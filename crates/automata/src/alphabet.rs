@@ -1,0 +1,180 @@
+//! Interned symbol tables.
+//!
+//! The paper uses the same finite set `Σ` both as the state-node set of a
+//! Markov sequence and as the input alphabet of the query automata
+//! (footnote 4). An [`Alphabet`] is the shared symbol table; a [`SymbolId`]
+//! is a dense index into it, so transition matrices and automaton tables
+//! can be flat arrays.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A dense index identifying a symbol within an [`Alphabet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SymbolId(pub u32);
+
+impl SymbolId {
+    /// The index as a `usize`, for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SymbolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// An interned, ordered set of named symbols.
+///
+/// Symbols keep the order in which they were added; `SymbolId(i)` refers to
+/// the `i`-th added symbol. Names are unique.
+#[derive(Debug, Clone, Default)]
+pub struct Alphabet {
+    names: Vec<String>,
+    index: HashMap<String, SymbolId>,
+}
+
+impl Alphabet {
+    /// Creates an empty alphabet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an alphabet from an iterator of names. Duplicate names are
+    /// collapsed to their first occurrence.
+    pub fn from_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut a = Self::new();
+        for n in names {
+            a.intern(n.as_ref());
+        }
+        a
+    }
+
+    /// An alphabet whose symbols are the single characters of `chars`, in
+    /// order. Convenient for text-like examples.
+    pub fn of_chars(chars: &str) -> Self {
+        Self::from_names(chars.chars().map(|c| c.to_string()))
+    }
+
+    /// Interns `name`, returning its id (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> SymbolId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = SymbolId(u32::try_from(self.names.len()).expect("alphabet too large"));
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up a symbol by name.
+    pub fn get(&self, name: &str) -> Option<SymbolId> {
+        self.index.get(name).copied()
+    }
+
+    /// Looks up a symbol by name, panicking with a clear message if absent.
+    /// Intended for tests and examples where the symbol is known to exist.
+    pub fn sym(&self, name: &str) -> SymbolId {
+        self.get(name)
+            .unwrap_or_else(|| panic!("symbol {name:?} not in alphabet"))
+    }
+
+    /// The name of a symbol.
+    pub fn name(&self, id: SymbolId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the alphabet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all symbol ids in order.
+    pub fn ids(&self) -> impl Iterator<Item = SymbolId> + '_ {
+        (0..self.names.len() as u32).map(SymbolId)
+    }
+
+    /// Iterates over `(id, name)` pairs in order.
+    pub fn iter(&self) -> impl Iterator<Item = (SymbolId, &str)> + '_ {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (SymbolId(i as u32), n.as_str()))
+    }
+
+    /// Renders a string of symbols using their names, separated by
+    /// `sep` (use `""` for character alphabets).
+    pub fn render(&self, symbols: &[SymbolId], sep: &str) -> String {
+        let mut out = String::new();
+        for (i, s) in symbols.iter().enumerate() {
+            if i > 0 {
+                out.push_str(sep);
+            }
+            out.push_str(self.name(*s));
+        }
+        out
+    }
+
+    /// Parses a whitespace-separated list of names into symbol ids.
+    pub fn parse(&self, text: &str) -> Option<Vec<SymbolId>> {
+        text.split_whitespace().map(|w| self.get(w)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut a = Alphabet::new();
+        let x = a.intern("x");
+        let y = a.intern("y");
+        assert_eq!(a.intern("x"), x);
+        assert_ne!(x, y);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn from_names_collapses_duplicates() {
+        let a = Alphabet::from_names(["a", "b", "a", "c"]);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.name(SymbolId(0)), "a");
+        assert_eq!(a.name(SymbolId(2)), "c");
+    }
+
+    #[test]
+    fn of_chars_builds_char_alphabet() {
+        let a = Alphabet::of_chars("abc");
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.sym("b"), SymbolId(1));
+    }
+
+    #[test]
+    fn render_and_parse_round_trip() {
+        let a = Alphabet::from_names(["r1a", "r1b", "la"]);
+        let s = vec![a.sym("r1a"), a.sym("la"), a.sym("r1b")];
+        assert_eq!(a.render(&s, " "), "r1a la r1b");
+        assert_eq!(a.parse("r1a la r1b").unwrap(), s);
+        assert!(a.parse("r1a bogus").is_none());
+    }
+
+    #[test]
+    fn ids_iterates_in_order() {
+        let a = Alphabet::from_names(["a", "b"]);
+        let ids: Vec<_> = a.ids().collect();
+        assert_eq!(ids, vec![SymbolId(0), SymbolId(1)]);
+    }
+}

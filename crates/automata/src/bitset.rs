@@ -1,0 +1,208 @@
+//! A small fixed-capacity bit set.
+//!
+//! Used as the canonical key for state subsets in determinization and in
+//! the query engine's subset-construction dynamic programs (Theorem 4.8 of
+//! the paper). The backing storage is a boxed `u64` slice so that a
+//! `BitSet` can be hashed and compared cheaply as a map key.
+
+use std::fmt;
+
+/// A set of small integers backed by `u64` words.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BitSet {
+    words: Box<[u64]>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set able to hold values `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        let n_words = capacity.div_ceil(64).max(1);
+        Self {
+            words: vec![0u64; n_words].into_boxed_slice(),
+            capacity,
+        }
+    }
+
+    /// Creates a set containing a single value.
+    pub fn singleton(capacity: usize, value: usize) -> Self {
+        let mut s = Self::new(capacity);
+        s.insert(value);
+        s
+    }
+
+    /// Creates a set from an iterator of values.
+    pub fn from_iter_with_capacity<I: IntoIterator<Item = usize>>(
+        capacity: usize,
+        values: I,
+    ) -> Self {
+        let mut s = Self::new(capacity);
+        for v in values {
+            s.insert(v);
+        }
+        s
+    }
+
+    /// The capacity the set was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `value`. Panics if `value >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, value: usize) {
+        assert!(value < self.capacity, "bit {value} out of capacity {}", self.capacity);
+        self.words[value / 64] |= 1u64 << (value % 64);
+    }
+
+    /// Removes `value` if present.
+    #[inline]
+    pub fn remove(&mut self, value: usize) {
+        if value < self.capacity {
+            self.words[value / 64] &= !(1u64 << (value % 64));
+        }
+    }
+
+    /// Whether `value` is in the set.
+    #[inline]
+    pub fn contains(&self, value: usize) -> bool {
+        value < self.capacity && (self.words[value / 64] >> (value % 64)) & 1 == 1
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        for w in self.words.iter_mut() {
+            *w = 0;
+        }
+    }
+
+    /// In-place union with `other`. Panics on capacity mismatch.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// Whether `self` and `other` share an element.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Iterates over the elements in increasing order.
+    pub fn iter(&self) -> BitSetIter<'_> {
+        BitSetIter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// Iterator over the elements of a [`BitSet`].
+pub struct BitSetIter<'a> {
+    set: &'a BitSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for BitSetIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(64);
+        s.insert(129);
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1) && !s.contains(128));
+        assert_eq!(s.len(), 3);
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn iter_yields_sorted_elements() {
+        let s = BitSet::from_iter_with_capacity(200, [199, 3, 64, 65, 0]);
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![0, 3, 64, 65, 199]);
+    }
+
+    #[test]
+    fn union_and_intersects() {
+        let mut a = BitSet::from_iter_with_capacity(70, [1, 65]);
+        let b = BitSet::from_iter_with_capacity(70, [2, 65]);
+        assert!(a.intersects(&b));
+        a.union_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2, 65]);
+        let c = BitSet::from_iter_with_capacity(70, [3]);
+        assert!(!b.intersects(&c));
+    }
+
+    #[test]
+    fn equality_is_by_contents() {
+        let a = BitSet::from_iter_with_capacity(100, [5, 50]);
+        let b = BitSet::from_iter_with_capacity(100, [50, 5]);
+        assert_eq!(a, b);
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn insert_out_of_range_panics() {
+        let mut s = BitSet::new(8);
+        s.insert(8);
+    }
+
+    #[test]
+    fn empty_capacity_is_usable() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type shared by the automata constructors and the regex compiler.
+
+use std::fmt;
+
+/// Errors produced while building or combining automata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AutomataError {
+    /// A state id was out of range for the automaton it was used with.
+    InvalidState {
+        /// The offending state id.
+        state: usize,
+        /// The automaton's state count.
+        n_states: usize,
+    },
+    /// A symbol id was out of range for the automaton's alphabet.
+    InvalidSymbol {
+        /// The offending symbol id.
+        symbol: usize,
+        /// The alphabet size.
+        n_symbols: usize,
+    },
+    /// Two automata (or an automaton and a Markov sequence) were combined
+    /// but their alphabets have different sizes.
+    AlphabetMismatch {
+        /// Alphabet size on the left/first object.
+        left: usize,
+        /// Alphabet size on the right/second object.
+        right: usize,
+    },
+    /// The automaton is required to be deterministic (a complete DFA) but
+    /// some `δ(q, s)` is not a singleton.
+    NotDeterministic {
+        /// The state whose transition violates determinism.
+        state: usize,
+        /// The symbol read.
+        symbol: usize,
+        /// How many successors `δ(state, symbol)` actually has.
+        arity: usize,
+    },
+    /// The regular expression failed to parse.
+    RegexParse {
+        /// Byte offset of the failure in the pattern.
+        position: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A regex character class or literal mentions a symbol that is not in
+    /// the alphabet the expression is being compiled against.
+    UnknownSymbol {
+        /// The symbol name that failed to resolve.
+        symbol: String,
+    },
+}
+
+impl fmt::Display for AutomataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AutomataError::InvalidState { state, n_states } => {
+                write!(f, "state {state} out of range (automaton has {n_states} states)")
+            }
+            AutomataError::InvalidSymbol { symbol, n_symbols } => {
+                write!(f, "symbol {symbol} out of range (alphabet has {n_symbols} symbols)")
+            }
+            AutomataError::AlphabetMismatch { left, right } => {
+                write!(f, "alphabet size mismatch: {left} vs {right}")
+            }
+            AutomataError::NotDeterministic { state, symbol, arity } => write!(
+                f,
+                "automaton is not deterministic: delta({state}, {symbol}) has {arity} successors"
+            ),
+            AutomataError::RegexParse { position, message } => {
+                write!(f, "regex parse error at byte {position}: {message}")
+            }
+            AutomataError::UnknownSymbol { symbol } => {
+                write!(f, "symbol {symbol:?} is not in the alphabet")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AutomataError {}

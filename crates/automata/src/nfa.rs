@@ -1,0 +1,298 @@
+//! Nondeterministic finite automata without epsilon transitions.
+//!
+//! This matches §2.1 of the paper: an NFA is `⟨Σ, Q, q0, F, δ⟩` with
+//! `δ : Q × Σ → 2^Q`, a single initial state, and no empty transitions.
+//! A *run* on `s₁⋯sₙ` assigns a state to every position; the automaton
+//! accepts if some run ends in an accepting state. The empty string is
+//! accepted iff the initial state is accepting.
+
+use crate::alphabet::SymbolId;
+use crate::bitset::BitSet;
+use crate::error::AutomataError;
+
+/// A dense index identifying a state of an automaton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateId(pub u32);
+
+impl StateId {
+    /// The index as a `usize`, for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An epsilon-free NFA over a dense alphabet `0..n_symbols`.
+///
+/// Transition targets are kept sorted and deduplicated, so
+/// [`Nfa::successors`] returns a canonical slice.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    n_symbols: usize,
+    initial: StateId,
+    accepting: Vec<bool>,
+    /// Flat table indexed by `state * n_symbols + symbol`.
+    delta: Vec<Vec<StateId>>,
+}
+
+impl Nfa {
+    /// Creates an NFA with no states over an alphabet of `n_symbols`
+    /// symbols. The first added state becomes the initial state unless
+    /// [`Nfa::set_initial`] is called.
+    pub fn new(n_symbols: usize) -> Self {
+        Self {
+            n_symbols,
+            initial: StateId(0),
+            accepting: Vec::new(),
+            delta: Vec::new(),
+        }
+    }
+
+    /// Adds a state and returns its id.
+    pub fn add_state(&mut self, accepting: bool) -> StateId {
+        let id = StateId(u32::try_from(self.accepting.len()).expect("too many states"));
+        self.accepting.push(accepting);
+        self.delta.extend((0..self.n_symbols).map(|_| Vec::new()));
+        id
+    }
+
+    /// Sets the initial state.
+    pub fn set_initial(&mut self, state: StateId) {
+        assert!(state.index() < self.n_states(), "initial state out of range");
+        self.initial = state;
+    }
+
+    /// Marks or unmarks a state as accepting.
+    pub fn set_accepting(&mut self, state: StateId, accepting: bool) {
+        self.accepting[state.index()] = accepting;
+    }
+
+    /// Adds `to` to `δ(from, symbol)`. Duplicate insertions are collapsed.
+    pub fn add_transition(&mut self, from: StateId, symbol: SymbolId, to: StateId) {
+        assert!(from.index() < self.n_states(), "source state out of range");
+        assert!(to.index() < self.n_states(), "target state out of range");
+        assert!(symbol.index() < self.n_symbols, "symbol out of range");
+        let targets = &mut self.delta[from.index() * self.n_symbols + symbol.index()];
+        if let Err(pos) = targets.binary_search(&to) {
+            targets.insert(pos, to);
+        }
+    }
+
+    /// Number of states.
+    #[inline]
+    pub fn n_states(&self) -> usize {
+        self.accepting.len()
+    }
+
+    /// Alphabet size.
+    #[inline]
+    pub fn n_symbols(&self) -> usize {
+        self.n_symbols
+    }
+
+    /// The initial state.
+    #[inline]
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// Whether `state` is accepting.
+    #[inline]
+    pub fn is_accepting(&self, state: StateId) -> bool {
+        self.accepting[state.index()]
+    }
+
+    /// The sorted successor states `δ(state, symbol)`.
+    #[inline]
+    pub fn successors(&self, state: StateId, symbol: SymbolId) -> &[StateId] {
+        &self.delta[state.index() * self.n_symbols + symbol.index()]
+    }
+
+    /// Iterates over all transitions as `(from, symbol, to)` triples.
+    pub fn transitions(&self) -> impl Iterator<Item = (StateId, SymbolId, StateId)> + '_ {
+        (0..self.n_states()).flat_map(move |q| {
+            (0..self.n_symbols).flat_map(move |s| {
+                self.delta[q * self.n_symbols + s]
+                    .iter()
+                    .map(move |&to| (StateId(q as u32), SymbolId(s as u32), to))
+            })
+        })
+    }
+
+    /// Whether every `δ(q, s)` is a singleton (the paper's DFA condition).
+    pub fn is_deterministic(&self) -> bool {
+        self.delta.iter().all(|t| t.len() == 1)
+    }
+
+    /// Computes the set of states reachable from `set` by reading `symbol`.
+    pub fn step_set(&self, set: &BitSet, symbol: SymbolId) -> BitSet {
+        let mut out = BitSet::new(self.n_states());
+        for q in set.iter() {
+            for &to in self.successors(StateId(q as u32), symbol) {
+                out.insert(to.index());
+            }
+        }
+        out
+    }
+
+    /// The set of states reachable from the initial state by reading
+    /// `string` (empty if the string cannot be read at all).
+    pub fn reachable_after(&self, string: &[SymbolId]) -> BitSet {
+        let mut set = BitSet::singleton(self.n_states().max(1), self.initial.index());
+        for &s in string {
+            set = self.step_set(&set, s);
+            if set.is_empty() {
+                break;
+            }
+        }
+        set
+    }
+
+    /// Whether the automaton accepts `string`.
+    pub fn accepts(&self, string: &[SymbolId]) -> bool {
+        if self.n_states() == 0 {
+            return false;
+        }
+        self.reachable_after(string)
+            .iter()
+            .any(|q| self.accepting[q])
+    }
+
+    /// The set of accepting state indices as a [`BitSet`].
+    pub fn accepting_set(&self) -> BitSet {
+        BitSet::from_iter_with_capacity(
+            self.n_states().max(1),
+            self.accepting
+                .iter()
+                .enumerate()
+                .filter(|(_, &a)| a)
+                .map(|(i, _)| i),
+        )
+    }
+
+    /// Validates internal consistency (states and symbols in range).
+    ///
+    /// The builder methods enforce this already; `validate` is a cheap
+    /// defensive check for automata produced by external constructors.
+    pub fn validate(&self) -> Result<(), AutomataError> {
+        if self.n_states() == 0 {
+            return Err(AutomataError::InvalidState { state: 0, n_states: 0 });
+        }
+        if self.initial.index() >= self.n_states() {
+            return Err(AutomataError::InvalidState {
+                state: self.initial.index(),
+                n_states: self.n_states(),
+            });
+        }
+        for (q, _, to) in self.transitions() {
+            if to.index() >= self.n_states() {
+                return Err(AutomataError::InvalidState {
+                    state: to.index(),
+                    n_states: self.n_states(),
+                });
+            }
+            let _ = q;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// NFA over {a, b} accepting strings that contain "ab".
+    fn contains_ab() -> Nfa {
+        let mut n = Nfa::new(2);
+        let q0 = n.add_state(false);
+        let q1 = n.add_state(false);
+        let q2 = n.add_state(true);
+        let (a, b) = (SymbolId(0), SymbolId(1));
+        n.add_transition(q0, a, q0);
+        n.add_transition(q0, b, q0);
+        n.add_transition(q0, a, q1);
+        n.add_transition(q1, b, q2);
+        n.add_transition(q2, a, q2);
+        n.add_transition(q2, b, q2);
+        n
+    }
+
+    #[test]
+    fn accepts_contains_ab() {
+        let n = contains_ab();
+        let (a, b) = (SymbolId(0), SymbolId(1));
+        assert!(n.accepts(&[a, b]));
+        assert!(n.accepts(&[b, b, a, b, a]));
+        assert!(!n.accepts(&[b, a]));
+        assert!(!n.accepts(&[]));
+        assert!(!n.accepts(&[a, a]));
+    }
+
+    #[test]
+    fn empty_string_accepted_iff_initial_accepting() {
+        let mut n = Nfa::new(1);
+        let q0 = n.add_state(true);
+        n.add_transition(q0, SymbolId(0), q0);
+        assert!(n.accepts(&[]));
+        n.set_accepting(q0, false);
+        assert!(!n.accepts(&[]));
+    }
+
+    #[test]
+    fn duplicate_transitions_collapse() {
+        let mut n = Nfa::new(1);
+        let q0 = n.add_state(false);
+        let q1 = n.add_state(true);
+        n.add_transition(q0, SymbolId(0), q1);
+        n.add_transition(q0, SymbolId(0), q1);
+        assert_eq!(n.successors(q0, SymbolId(0)), &[q1]);
+    }
+
+    #[test]
+    fn successors_are_sorted() {
+        let mut n = Nfa::new(1);
+        let q0 = n.add_state(false);
+        let q1 = n.add_state(false);
+        let q2 = n.add_state(false);
+        n.add_transition(q0, SymbolId(0), q2);
+        n.add_transition(q0, SymbolId(0), q0);
+        n.add_transition(q0, SymbolId(0), q1);
+        assert_eq!(n.successors(q0, SymbolId(0)), &[q0, q1, q2]);
+    }
+
+    #[test]
+    fn is_deterministic_detects_missing_and_multiple() {
+        let mut n = Nfa::new(1);
+        let q0 = n.add_state(true);
+        assert!(!n.is_deterministic()); // no transition at all
+        n.add_transition(q0, SymbolId(0), q0);
+        assert!(n.is_deterministic());
+        let q1 = n.add_state(false);
+        n.add_transition(q0, SymbolId(0), q1);
+        assert!(!n.is_deterministic()); // two successors
+    }
+
+    #[test]
+    fn transitions_iterator_reports_all() {
+        let n = contains_ab();
+        assert_eq!(n.transitions().count(), 6);
+    }
+
+    #[test]
+    fn dead_string_yields_empty_reach_set() {
+        let mut n = Nfa::new(2);
+        let q0 = n.add_state(false);
+        let q1 = n.add_state(true);
+        n.add_transition(q0, SymbolId(0), q1);
+        // no transition on symbol 1 anywhere
+        let set = n.reachable_after(&[SymbolId(1), SymbolId(0)]);
+        assert!(set.is_empty());
+        assert!(!n.accepts(&[SymbolId(1), SymbolId(0)]));
+    }
+
+    #[test]
+    fn validate_accepts_builder_output() {
+        assert!(contains_ab().validate().is_ok());
+        assert!(Nfa::new(3).validate().is_err()); // zero states
+    }
+}

@@ -1,0 +1,539 @@
+//! A regular-expression compiler for query authoring.
+//!
+//! §5 of the paper writes s-projector components as Perl-syntax
+//! expressions (e.g. `".*Name:"`, `"[a-zA-Z,]+"`, `"\s.*"`). This module
+//! compiles that subset into an epsilon-free [`Nfa`] via the Glushkov
+//! (position automaton) construction, so the result plugs directly into
+//! the engine's position-aligned dynamic programs.
+//!
+//! Supported syntax, interpreted over a caller-supplied [`Alphabet`] whose
+//! symbol names are single characters:
+//!
+//! * literal characters, `\`-escaped metacharacters
+//! * `.` — any symbol of the alphabet
+//! * `[abc]`, `[a-z0-9]`, `[^...]` — character classes (over the alphabet)
+//! * `\s` (whitespace), `\d` (digits), `\w` (word characters) — classes
+//!   restricted to symbols present in the alphabet
+//! * concatenation, `|`, `*`, `+`, `?`, and `(...)` grouping
+//!
+//! A class that matches no alphabet symbol is allowed (it denotes the empty
+//! language at that position), mirroring how Perl classes behave over a
+//! restricted alphabet.
+
+use crate::alphabet::{Alphabet, SymbolId};
+use crate::bitset::BitSet;
+use crate::error::AutomataError;
+use crate::nfa::Nfa;
+
+/// Abstract syntax of the supported regex subset. Character classes are
+/// pre-resolved to sets of alphabet symbols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Regex {
+    /// Matches only the empty string.
+    Epsilon,
+    /// Matches one symbol drawn from the class.
+    Class(BitSet),
+    /// Concatenation.
+    Concat(Box<Regex>, Box<Regex>),
+    /// Alternation.
+    Alt(Box<Regex>, Box<Regex>),
+    /// Kleene star.
+    Star(Box<Regex>),
+}
+
+impl Regex {
+    /// Parses `pattern` against `alphabet` (symbol names must be single
+    /// characters for symbols used by the pattern).
+    pub fn parse(pattern: &str, alphabet: &Alphabet) -> Result<Regex, AutomataError> {
+        Parser {
+            chars: pattern.char_indices().collect(),
+            pos: 0,
+            alphabet,
+        }
+        .parse_top()
+    }
+
+    /// Compiles the regex to an epsilon-free NFA over `alphabet`.
+    pub fn compile(&self, alphabet: &Alphabet) -> Nfa {
+        glushkov(self, alphabet.len())
+    }
+
+    /// Convenience: parse and compile in one step.
+    ///
+    /// ```
+    /// use transmark_automata::{regex::Regex, Alphabet};
+    ///
+    /// let alphabet = Alphabet::of_chars("ab");
+    /// let nfa = Regex::to_nfa("a(ba)*", &alphabet)?;
+    /// let a = alphabet.sym("a");
+    /// let b = alphabet.sym("b");
+    /// assert!(nfa.accepts(&[a]));
+    /// assert!(nfa.accepts(&[a, b, a]));
+    /// assert!(!nfa.accepts(&[a, b]));
+    /// # Ok::<(), transmark_automata::AutomataError>(())
+    /// ```
+    pub fn to_nfa(pattern: &str, alphabet: &Alphabet) -> Result<Nfa, AutomataError> {
+        Ok(Regex::parse(pattern, alphabet)?.compile(alphabet))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    alphabet: &'a Alphabet,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).map(|&(_, c)| c)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn byte_pos(&self) -> usize {
+        self.chars.get(self.pos).map_or_else(
+            || self.chars.last().map_or(0, |&(i, c)| i + c.len_utf8()),
+            |&(i, _)| i,
+        )
+    }
+
+    fn err(&self, message: impl Into<String>) -> AutomataError {
+        AutomataError::RegexParse {
+            position: self.byte_pos(),
+            message: message.into(),
+        }
+    }
+
+    fn parse_top(&mut self) -> Result<Regex, AutomataError> {
+        let r = self.parse_alt()?;
+        if self.pos != self.chars.len() {
+            return Err(self.err("unexpected trailing input (unbalanced ')'?)"));
+        }
+        Ok(r)
+    }
+
+    fn parse_alt(&mut self) -> Result<Regex, AutomataError> {
+        let mut r = self.parse_concat()?;
+        while self.peek() == Some('|') {
+            self.bump();
+            let rhs = self.parse_concat()?;
+            r = Regex::Alt(Box::new(r), Box::new(rhs));
+        }
+        Ok(r)
+    }
+
+    fn parse_concat(&mut self) -> Result<Regex, AutomataError> {
+        let mut parts = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            parts.push(self.parse_repeat()?);
+        }
+        Ok(parts
+            .into_iter()
+            .reduce(|a, b| Regex::Concat(Box::new(a), Box::new(b)))
+            .unwrap_or(Regex::Epsilon))
+    }
+
+    fn parse_repeat(&mut self) -> Result<Regex, AutomataError> {
+        let mut r = self.parse_atom()?;
+        while let Some(c) = self.peek() {
+            match c {
+                '*' => {
+                    self.bump();
+                    r = Regex::Star(Box::new(r));
+                }
+                '+' => {
+                    self.bump();
+                    // r+ = r · r*
+                    r = Regex::Concat(Box::new(r.clone()), Box::new(Regex::Star(Box::new(r))));
+                }
+                '?' => {
+                    self.bump();
+                    // r? = r | ε
+                    r = Regex::Alt(Box::new(r), Box::new(Regex::Epsilon));
+                }
+                _ => break,
+            }
+        }
+        Ok(r)
+    }
+
+    fn parse_atom(&mut self) -> Result<Regex, AutomataError> {
+        match self.peek() {
+            None => Err(self.err("expected an atom, found end of pattern")),
+            Some('(') => {
+                self.bump();
+                let r = self.parse_alt()?;
+                if self.bump() != Some(')') {
+                    return Err(self.err("expected ')'"));
+                }
+                Ok(r)
+            }
+            Some('.') => {
+                self.bump();
+                let mut set = BitSet::new(self.alphabet.len());
+                for id in self.alphabet.ids() {
+                    set.insert(id.index());
+                }
+                Ok(Regex::Class(set))
+            }
+            Some('[') => {
+                self.bump();
+                self.parse_class()
+            }
+            Some('\\') => {
+                self.bump();
+                let c = self.bump().ok_or_else(|| self.err("dangling '\\'"))?;
+                Ok(Regex::Class(self.escape_class(c)?))
+            }
+            Some(c) if "*+?)|]".contains(c) => {
+                Err(self.err(format!("unexpected metacharacter {c:?}")))
+            }
+            Some(c) => {
+                self.bump();
+                Ok(Regex::Class(self.literal_class(c)?))
+            }
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Regex, AutomataError> {
+        let negated = if self.peek() == Some('^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut chars: Vec<char> = Vec::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated character class")),
+                Some(']') => break,
+                Some('\\') => {
+                    let c = self
+                        .bump()
+                        .ok_or_else(|| self.err("dangling '\\' in class"))?;
+                    // In-class escapes: \s \d \w expand; others are literal.
+                    match c {
+                        's' => chars.extend([' ', '\t', '\n', '\r']),
+                        'd' => chars.extend('0'..='9'),
+                        'w' => {
+                            chars.extend('a'..='z');
+                            chars.extend('A'..='Z');
+                            chars.extend('0'..='9');
+                            chars.push('_');
+                        }
+                        other => chars.push(other),
+                    }
+                }
+                Some(lo) => {
+                    if self.peek() == Some('-') && self.chars.get(self.pos + 1).map(|&(_, c)| c) != Some(']')
+                    {
+                        self.bump(); // '-'
+                        let hi = self.bump().ok_or_else(|| self.err("unterminated range"))?;
+                        if hi < lo {
+                            return Err(self.err(format!("invalid range {lo}-{hi}")));
+                        }
+                        chars.extend(lo..=hi);
+                    } else {
+                        chars.push(lo);
+                    }
+                }
+            }
+        }
+        let mut set = BitSet::new(self.alphabet.len());
+        for c in chars {
+            if let Some(id) = self.alphabet.get(&c.to_string()) {
+                set.insert(id.index());
+            }
+            // Characters outside the alphabet simply cannot match.
+        }
+        if negated {
+            let mut neg = BitSet::new(self.alphabet.len());
+            for id in self.alphabet.ids() {
+                if !set.contains(id.index()) {
+                    neg.insert(id.index());
+                }
+            }
+            set = neg;
+        }
+        Ok(Regex::Class(set))
+    }
+
+    /// A class for a top-level escape like `\s`, `\d`, `\w`, or an escaped
+    /// literal metacharacter.
+    fn escape_class(&self, c: char) -> Result<BitSet, AutomataError> {
+        let mut set = BitSet::new(self.alphabet.len());
+        let mut add = |chars: &mut dyn Iterator<Item = char>, alphabet: &Alphabet| {
+            for ch in chars {
+                if let Some(id) = alphabet.get(&ch.to_string()) {
+                    set.insert(id.index());
+                }
+            }
+        };
+        match c {
+            's' => add(&mut [' ', '\t', '\n', '\r'].into_iter(), self.alphabet),
+            'd' => add(&mut ('0'..='9'), self.alphabet),
+            'w' => {
+                add(&mut ('a'..='z'), self.alphabet);
+                add(&mut ('A'..='Z'), self.alphabet);
+                add(&mut ('0'..='9'), self.alphabet);
+                add(&mut ['_'].into_iter(), self.alphabet);
+            }
+            // Escaped literal (covers \. \* \\ \[ etc.).
+            other => return self.literal_class(other),
+        }
+        Ok(set)
+    }
+
+    /// A singleton class for a literal character; it is an error if the
+    /// character is not in the alphabet (that literal could never match,
+    /// which is almost certainly a query bug — unlike classes, where
+    /// partial overlap with the alphabet is normal).
+    fn literal_class(&self, c: char) -> Result<BitSet, AutomataError> {
+        let id = self
+            .alphabet
+            .get(&c.to_string())
+            .ok_or(AutomataError::UnknownSymbol { symbol: c.to_string() })?;
+        Ok(BitSet::singleton(self.alphabet.len(), id.index()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Glushkov construction
+// ---------------------------------------------------------------------------
+
+/// Per-node analysis for the position automaton.
+struct Analysis {
+    nullable: bool,
+    first: Vec<usize>,
+    last: Vec<usize>,
+}
+
+fn glushkov(re: &Regex, n_symbols: usize) -> Nfa {
+    fn analyze(re: &Regex, classes: &mut Vec<BitSet>, follow: &mut Vec<Vec<usize>>) -> Analysis {
+        match re {
+            Regex::Epsilon => Analysis { nullable: true, first: vec![], last: vec![] },
+            Regex::Class(set) => {
+                let pos = classes.len();
+                classes.push(set.clone());
+                follow.push(Vec::new());
+                Analysis { nullable: false, first: vec![pos], last: vec![pos] }
+            }
+            Regex::Concat(a, b) => {
+                let left = analyze(a, classes, follow);
+                let right = analyze(b, classes, follow);
+                for &l in &left.last {
+                    follow[l].extend(right.first.iter().copied());
+                }
+                let mut first = left.first.clone();
+                if left.nullable {
+                    first.extend(right.first.iter().copied());
+                }
+                let mut last = right.last.clone();
+                if right.nullable {
+                    last.extend(left.last.iter().copied());
+                }
+                Analysis { nullable: left.nullable && right.nullable, first, last }
+            }
+            Regex::Alt(a, b) => {
+                let left = analyze(a, classes, follow);
+                let right = analyze(b, classes, follow);
+                let mut first = left.first;
+                first.extend(right.first);
+                let mut last = left.last;
+                last.extend(right.last);
+                Analysis { nullable: left.nullable || right.nullable, first, last }
+            }
+            Regex::Star(a) => {
+                let inner = analyze(a, classes, follow);
+                for &l in &inner.last {
+                    follow[l].extend(inner.first.iter().copied());
+                }
+                Analysis { nullable: true, first: inner.first, last: inner.last }
+            }
+        }
+    }
+
+    // Linearize: assign a position id to each Class leaf, collecting the
+    // per-position classes and the follow table.
+    let mut classes: Vec<BitSet> = Vec::new();
+    let mut follow: Vec<Vec<usize>> = Vec::new();
+    let analysis = analyze(re, &mut classes, &mut follow);
+
+    // Build the NFA: state 0 = start; state i+1 = position i.
+    let mut nfa = Nfa::new(n_symbols);
+    let start = nfa.add_state(analysis.nullable);
+    let pos_states: Vec<_> = (0..classes.len())
+        .map(|i| nfa.add_state(analysis.last.contains(&i)))
+        .collect();
+    nfa.set_initial(start);
+    for &p in &analysis.first {
+        for s in classes[p].iter() {
+            nfa.add_transition(start, SymbolId(s as u32), pos_states[p]);
+        }
+    }
+    for (p, nexts) in follow.iter().enumerate() {
+        for &q in nexts {
+            for s in classes[q].iter() {
+                nfa.add_transition(pos_states[p], SymbolId(s as u32), pos_states[q]);
+            }
+        }
+    }
+    nfa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ab() -> Alphabet {
+        Alphabet::of_chars("ab")
+    }
+
+    fn strings(alphabet: &Alphabet, max_len: usize) -> Vec<Vec<SymbolId>> {
+        let mut out = vec![vec![]];
+        let mut layer: Vec<Vec<SymbolId>> = vec![vec![]];
+        for _ in 0..max_len {
+            let mut next = Vec::new();
+            for s in &layer {
+                for id in alphabet.ids() {
+                    let mut t = s.clone();
+                    t.push(id);
+                    next.push(t);
+                }
+            }
+            out.extend(next.iter().cloned());
+            layer = next;
+        }
+        out
+    }
+
+    /// Checks pattern acceptance against a predicate on the rendered string.
+    fn check(pattern: &str, alphabet: &Alphabet, oracle: impl Fn(&str) -> bool) {
+        let nfa = Regex::to_nfa(pattern, alphabet).unwrap();
+        for s in strings(alphabet, 5) {
+            let text = alphabet.render(&s, "");
+            assert_eq!(
+                nfa.accepts(&s),
+                oracle(&text),
+                "pattern {pattern:?} on input {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn literal_and_concat() {
+        check("ab", &ab(), |s| s == "ab");
+        check("aba", &ab(), |s| s == "aba");
+    }
+
+    #[test]
+    fn alternation() {
+        check("a|bb", &ab(), |s| s == "a" || s == "bb");
+        check("ab|ba|", &ab(), |s| s == "ab" || s == "ba" || s.is_empty());
+    }
+
+    #[test]
+    fn star_plus_opt() {
+        check("a*", &ab(), |s| s.chars().all(|c| c == 'a'));
+        check("a+", &ab(), |s| !s.is_empty() && s.chars().all(|c| c == 'a'));
+        check("ab?", &ab(), |s| s == "a" || s == "ab");
+        check("(ab)*", &ab(), |s| {
+            s.len() % 2 == 0 && s.as_bytes().chunks(2).all(|c| c == b"ab")
+        });
+    }
+
+    #[test]
+    fn dot_and_classes() {
+        check(".b", &ab(), |s| s.len() == 2 && s.ends_with('b'));
+        check(".*b", &ab(), |s| s.ends_with('b'));
+        let abc = Alphabet::of_chars("abc");
+        check("[ab]+", &abc, |s| {
+            !s.is_empty() && s.chars().all(|c| c == 'a' || c == 'b')
+        });
+        check("[^a]*", &abc, |s| s.chars().all(|c| c != 'a'));
+    }
+
+    #[test]
+    fn ranges_and_escapes() {
+        let alpha = Alphabet::of_chars("abcXY2 .");
+        check("[a-c]+", &alpha, |s| {
+            !s.is_empty() && s.chars().all(|c| ('a'..='c').contains(&c))
+        });
+        check(r"\d", &alpha, |s| s == "2");
+        check(r"\s", &alpha, |s| s == " ");
+        check(r"\.", &alpha, |s| s == ".");
+        check(r"\w+", &alpha, |s| {
+            !s.is_empty() && s.chars().all(|c| c.is_alphanumeric() || c == '_')
+        });
+    }
+
+    #[test]
+    fn paper_section5_example_shapes() {
+        // The paper's Example 5.1 patterns, over a toy character alphabet.
+        let alpha = Alphabet::of_chars("Name:Hilary s");
+        let b = Regex::to_nfa(".*Name:", &alpha).unwrap();
+        let text: Vec<_> = "aNme:Name:".chars().map(|c| alpha.sym(&c.to_string())).collect();
+        let _ = text; // (symbols 'a'… may not exist; just exercise compile)
+        assert!(b.n_states() > 0);
+        let body = Regex::to_nfa("[a-zA-Z,]+", &alpha).unwrap();
+        let h: Vec<_> = "Hilary".chars().map(|c| alpha.sym(&c.to_string())).collect();
+        assert!(body.accepts(&h));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        let a = ab();
+        assert!(matches!(
+            Regex::parse("(ab", &a),
+            Err(AutomataError::RegexParse { .. })
+        ));
+        assert!(matches!(
+            Regex::parse("a)", &a),
+            Err(AutomataError::RegexParse { .. })
+        ));
+        assert!(matches!(
+            Regex::parse("*a", &a),
+            Err(AutomataError::RegexParse { .. })
+        ));
+        assert!(matches!(
+            Regex::parse("[ab", &a),
+            Err(AutomataError::RegexParse { .. })
+        ));
+        assert!(matches!(
+            Regex::parse("z", &a),
+            Err(AutomataError::UnknownSymbol { .. })
+        ));
+    }
+
+    #[test]
+    fn class_outside_alphabet_matches_nothing() {
+        // `[z]` over {a,b}: empty class — matches no single symbol.
+        let nfa = Regex::to_nfa("[z]", &ab()).unwrap();
+        for s in strings(&ab(), 3) {
+            assert!(!nfa.accepts(&s));
+        }
+        // But `[z]*` still matches ε.
+        let star = Regex::to_nfa("[z]*", &ab()).unwrap();
+        assert!(star.accepts(&[]));
+        assert!(!star.accepts(&[SymbolId(0)]));
+    }
+
+    #[test]
+    fn dash_at_class_end_is_literal() {
+        let alpha = Alphabet::of_chars("a-b");
+        check("[a-]", &alpha, |s| s == "a" || s == "-");
+    }
+}

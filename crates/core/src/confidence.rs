@@ -1,0 +1,839 @@
+//! Confidence computation: `Pr(S →[A^ω]→ o)` (§4.3) and acceptance
+//! probability `Pr(S ∈ L(A))`.
+//!
+//! Four algorithms, matching the paper's complexity landscape (Table 2):
+//!
+//! * [`confidence_deterministic`] — Theorem 4.6: for deterministic
+//!   transducers, a forward DP over (node, state, output position) in
+//!   `O(|o|·n·|Σ|²·|Q|)`; a k-uniform fast path drops the output-position
+//!   dimension (`O(k·n·|Σ|²·|Q|)`).
+//! * [`confidence_uniform_nfa`] — Theorem 4.8: for nondeterministic
+//!   transducers with k-uniform emission, a DP over (node, *exact set of
+//!   reachable states*), i.e. on-the-fly subset construction;
+//!   `O(n·k·|Σ|²·4^{|Q|})` worst case but only materializing reachable
+//!   subsets.
+//! * [`confidence_general`] — the general exact algorithm: the same
+//!   exact-reachable-set idea over (state, output-position)
+//!   *configurations*. Worst-case exponential — necessarily so, since the
+//!   problem is FP^#P-complete (Prop. 4.7) and stays hard even for a fixed
+//!   transducer (Thm 4.9) — but exact on any instance and polynomial
+//!   whenever the reachable configuration sets stay polynomial (it
+//!   degenerates gracefully to the deterministic case).
+//! * [`acceptance_probability`] — `Pr(S ∈ L(A))` for an NFA, the engine
+//!   behind 0-uniform queries, Theorem 5.5, and nonemptiness tests.
+//!
+//! All sums use compensated accumulation at the final reduction; per-cell
+//! accumulation is plain `f64` (additions of nonnegative numbers — no
+//! cancellation).
+
+use std::collections::HashMap;
+
+use transmark_automata::{ops::Determinizer, BitSet, Nfa, SymbolId};
+use transmark_markov::numeric::KahanSum;
+use transmark_markov::MarkovSequence;
+
+use crate::error::EngineError;
+use crate::transducer::Transducer;
+
+/// Validates that the transducer and sequence share an input alphabet and
+/// that `o` is over the output alphabet.
+pub(crate) fn check_inputs(
+    t: &Transducer,
+    m: &MarkovSequence,
+    o: Option<&[SymbolId]>,
+) -> Result<(), EngineError> {
+    if t.n_input_symbols() != m.n_symbols() {
+        return Err(EngineError::AlphabetMismatch {
+            transducer: t.n_input_symbols(),
+            sequence: m.n_symbols(),
+        });
+    }
+    if let Some(o) = o {
+        for &d in o {
+            if d.index() >= t.n_output_symbols() {
+                return Err(EngineError::InvalidSymbol {
+                    symbol: d.index(),
+                    n_symbols: t.n_output_symbols(),
+                    alphabet: "output",
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 4.6 — deterministic transducers
+// ---------------------------------------------------------------------------
+
+/// `Pr(S →[A^ω]→ o)` for a *deterministic* transducer (Theorem 4.6).
+///
+/// Dispatches to the k-uniform fast path when the emission is uniform.
+/// Returns [`EngineError::NotDeterministic`] otherwise — use
+/// [`confidence`] for automatic algorithm selection.
+pub fn confidence_deterministic(
+    t: &Transducer,
+    m: &MarkovSequence,
+    o: &[SymbolId],
+) -> Result<f64, EngineError> {
+    check_inputs(t, m, Some(o))?;
+    if !t.is_deterministic() {
+        return Err(EngineError::NotDeterministic);
+    }
+    if let Some(k) = t.uniform_emission() {
+        return confidence_deterministic_uniform(t, m, o, k);
+    }
+    let n = m.len();
+    let n_nodes = m.n_symbols();
+    let nq = t.n_states();
+    let width = o.len() + 1;
+    // layer[(node * nq + q) * width + j] = Pr(strings of this length whose
+    // unique run ends at q having emitted o[..j]).
+    let mut layer = vec![0.0f64; n_nodes * nq * width];
+    let idx = |node: usize, q: usize, j: usize| (node * nq + q) * width + j;
+
+    // Position 1.
+    for node in 0..n_nodes {
+        let p = m.initial_prob(SymbolId(node as u32));
+        if p == 0.0 {
+            continue;
+        }
+        let edges = t.edges(t.initial(), SymbolId(node as u32));
+        let e = edges[0];
+        let em = t.emission(e.emission);
+        if em.len() <= o.len() && o[..em.len()] == *em {
+            layer[idx(node, e.target.index(), em.len())] += p;
+        }
+    }
+
+    // Positions 2..n.
+    let mut next = vec![0.0f64; n_nodes * nq * width];
+    for i in 0..n - 1 {
+        next.iter_mut().for_each(|v| *v = 0.0);
+        for node in 0..n_nodes {
+            for q in 0..nq {
+                for j in 0..width {
+                    let p = layer[idx(node, q, j)];
+                    if p == 0.0 {
+                        continue;
+                    }
+                    for to in 0..n_nodes {
+                        let pt = m.transition_prob(i, SymbolId(node as u32), SymbolId(to as u32));
+                        if pt == 0.0 {
+                            continue;
+                        }
+                        let e = t.edges(transmark_automata::StateId(q as u32), SymbolId(to as u32))[0];
+                        let em = t.emission(e.emission);
+                        if j + em.len() <= o.len() && o[j..j + em.len()] == *em {
+                            next[idx(to, e.target.index(), j + em.len())] += p * pt;
+                        }
+                    }
+                }
+            }
+        }
+        std::mem::swap(&mut layer, &mut next);
+    }
+
+    // Accepting states with the full output emitted.
+    let mut total = KahanSum::new();
+    for node in 0..n_nodes {
+        for q in 0..nq {
+            if t.is_accepting(transmark_automata::StateId(q as u32)) {
+                total.add(layer[idx(node, q, o.len())]);
+            }
+        }
+    }
+    Ok(total.total())
+}
+
+/// k-uniform fast path of Theorem 4.6: the output position is forced to
+/// `k·i`, so the DP is over (node, state) only.
+fn confidence_deterministic_uniform(
+    t: &Transducer,
+    m: &MarkovSequence,
+    o: &[SymbolId],
+    k: usize,
+) -> Result<f64, EngineError> {
+    let n = m.len();
+    if o.len() != k * n {
+        return Ok(0.0);
+    }
+    let n_nodes = m.n_symbols();
+    let nq = t.n_states();
+    let mut layer = vec![0.0f64; n_nodes * nq];
+
+    for node in 0..n_nodes {
+        let p = m.initial_prob(SymbolId(node as u32));
+        if p == 0.0 {
+            continue;
+        }
+        let e = t.edges(t.initial(), SymbolId(node as u32))[0];
+        if *t.emission(e.emission) == o[..k] {
+            layer[node * nq + e.target.index()] += p;
+        }
+    }
+    let mut next = vec![0.0f64; n_nodes * nq];
+    for i in 0..n - 1 {
+        next.iter_mut().for_each(|v| *v = 0.0);
+        let expected = &o[k * (i + 1)..k * (i + 2)];
+        for node in 0..n_nodes {
+            for q in 0..nq {
+                let p = layer[node * nq + q];
+                if p == 0.0 {
+                    continue;
+                }
+                for to in 0..n_nodes {
+                    let pt = m.transition_prob(i, SymbolId(node as u32), SymbolId(to as u32));
+                    if pt == 0.0 {
+                        continue;
+                    }
+                    let e = t.edges(transmark_automata::StateId(q as u32), SymbolId(to as u32))[0];
+                    if *t.emission(e.emission) == *expected {
+                        next[to * nq + e.target.index()] += p * pt;
+                    }
+                }
+            }
+        }
+        std::mem::swap(&mut layer, &mut next);
+    }
+    let mut total = KahanSum::new();
+    for node in 0..n_nodes {
+        for q in 0..nq {
+            if t.is_accepting(transmark_automata::StateId(q as u32)) {
+                total.add(layer[node * nq + q]);
+            }
+        }
+    }
+    Ok(total.total())
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 4.8 — nondeterministic, uniform emission
+// ---------------------------------------------------------------------------
+
+/// `Pr(S →[A^ω]→ o)` for a k-uniform (possibly nondeterministic)
+/// transducer (Theorem 4.8).
+///
+/// The DP state is `(node, T)` where `T` is the *exact* set of transducer
+/// states reachable by runs on the string prefix whose emission matches
+/// the corresponding prefix of `o`. `T` is a deterministic function of the
+/// string prefix, so probability mass aggregates without double-counting —
+/// this is the subset construction the paper combines with dynamic
+/// programming (and the reason naive determinization fails: a transducer,
+/// unlike an automaton, cannot be determinized).
+pub fn confidence_uniform_nfa(
+    t: &Transducer,
+    m: &MarkovSequence,
+    o: &[SymbolId],
+) -> Result<f64, EngineError> {
+    check_inputs(t, m, Some(o))?;
+    let Some(k) = t.uniform_emission() else {
+        return Err(EngineError::NotUniform);
+    };
+    let n = m.len();
+    if o.len() != k * n {
+        return Ok(0.0);
+    }
+    let nq = t.n_states();
+    // layer: (node, reachable-set) → probability mass.
+    let mut layer: HashMap<(u32, BitSet), f64> = HashMap::new();
+    for node in 0..m.n_symbols() {
+        let p = m.initial_prob(SymbolId(node as u32));
+        if p == 0.0 {
+            continue;
+        }
+        let mut set = BitSet::new(nq.max(1));
+        for e in t.edges(t.initial(), SymbolId(node as u32)) {
+            if *t.emission(e.emission) == o[..k] {
+                set.insert(e.target.index());
+            }
+        }
+        if !set.is_empty() {
+            *layer.entry((node as u32, set)).or_insert(0.0) += p;
+        }
+    }
+    for i in 0..n - 1 {
+        let expected = &o[k * (i + 1)..k * (i + 2)];
+        let mut next: HashMap<(u32, BitSet), f64> = HashMap::with_capacity(layer.len());
+        for ((node, set), p) in sorted_layer(&layer) {
+            for to in 0..m.n_symbols() {
+                let pt = m.transition_prob(i, SymbolId(node), SymbolId(to as u32));
+                if pt == 0.0 {
+                    continue;
+                }
+                let mut set2 = BitSet::new(nq.max(1));
+                for q in set.iter() {
+                    for e in t.edges(transmark_automata::StateId(q as u32), SymbolId(to as u32)) {
+                        if *t.emission(e.emission) == *expected {
+                            set2.insert(e.target.index());
+                        }
+                    }
+                }
+                if !set2.is_empty() {
+                    *next.entry((to as u32, set2)).or_insert(0.0) += p * pt;
+                }
+            }
+        }
+        layer = next;
+    }
+    let accepting = accepting_bitset(t);
+    let mut total = KahanSum::new();
+    for ((_, set), p) in sorted_layer(&layer) {
+        if set.intersects(&accepting) {
+            total.add(p);
+        }
+    }
+    Ok(total.total())
+}
+
+// ---------------------------------------------------------------------------
+// General exact algorithm (exponential worst case)
+// ---------------------------------------------------------------------------
+
+/// `Pr(S →[A^ω]→ o)` for an arbitrary transducer.
+///
+/// Exact on every instance. The DP state is `(node, C)` where `C` is the
+/// exact set of `(state, output position)` *configurations* reachable by
+/// runs whose emission so far is a prefix of `o`. The number of distinct
+/// reachable `C` can be exponential — unavoidably, by Prop. 4.7 and
+/// Thm 4.9 — but the algorithm materializes only reachable ones, so it is
+/// polynomial exactly on the easy fragments (deterministic: singleton
+/// configurations; uniform: one output position per layer).
+pub fn confidence_general(
+    t: &Transducer,
+    m: &MarkovSequence,
+    o: &[SymbolId],
+) -> Result<f64, EngineError> {
+    check_inputs(t, m, Some(o))?;
+    let n = m.len();
+    let nq = t.n_states();
+    let width = o.len() + 1;
+    let cap = (nq * width).max(1);
+    let conf_bit = |q: usize, j: usize| q * width + j;
+
+    let mut layer: HashMap<(u32, BitSet), f64> = HashMap::new();
+    for node in 0..m.n_symbols() {
+        let p = m.initial_prob(SymbolId(node as u32));
+        if p == 0.0 {
+            continue;
+        }
+        let mut set = BitSet::new(cap);
+        for e in t.edges(t.initial(), SymbolId(node as u32)) {
+            let em = t.emission(e.emission);
+            if em.len() <= o.len() && o[..em.len()] == *em {
+                set.insert(conf_bit(e.target.index(), em.len()));
+            }
+        }
+        if !set.is_empty() {
+            *layer.entry((node as u32, set)).or_insert(0.0) += p;
+        }
+    }
+    for i in 0..n - 1 {
+        let mut next: HashMap<(u32, BitSet), f64> = HashMap::with_capacity(layer.len());
+        for ((node, set), p) in sorted_layer(&layer) {
+            for to in 0..m.n_symbols() {
+                let pt = m.transition_prob(i, SymbolId(node), SymbolId(to as u32));
+                if pt == 0.0 {
+                    continue;
+                }
+                let mut set2 = BitSet::new(cap);
+                for bit in set.iter() {
+                    let (q, j) = (bit / width, bit % width);
+                    for e in t.edges(transmark_automata::StateId(q as u32), SymbolId(to as u32)) {
+                        let em = t.emission(e.emission);
+                        if j + em.len() <= o.len() && o[j..j + em.len()] == *em {
+                            set2.insert(conf_bit(e.target.index(), j + em.len()));
+                        }
+                    }
+                }
+                if !set2.is_empty() {
+                    *next.entry((to as u32, set2)).or_insert(0.0) += p * pt;
+                }
+            }
+        }
+        layer = next;
+    }
+    let mut total = KahanSum::new();
+    for ((_, set), p) in sorted_layer(&layer) {
+        let full = (0..nq).any(|q| {
+            t.is_accepting(transmark_automata::StateId(q as u32))
+                && set.contains(conf_bit(q, o.len()))
+        });
+        if full {
+            total.add(p);
+        }
+    }
+    Ok(total.total())
+}
+
+/// `Pr(S →[A^ω]→ o)` with automatic algorithm selection:
+/// deterministic → Thm 4.6 (uniform fast path included);
+/// uniform NFA → Thm 4.8; otherwise the general exact algorithm.
+///
+/// ```
+/// use transmark_automata::Alphabet;
+/// use transmark_core::transducer::Transducer;
+/// use transmark_core::confidence::confidence;
+/// use transmark_markov::MarkovSequenceBuilder;
+///
+/// // A 2-step chain over {a, b} and the identity transducer.
+/// let alphabet = Alphabet::of_chars("ab");
+/// let (a, b) = (alphabet.sym("a"), alphabet.sym("b"));
+/// let chain = MarkovSequenceBuilder::new(alphabet.clone(), 2)
+///     .initial(a, 0.6).initial(b, 0.4)
+///     .transition(0, a, a, 0.5).transition(0, a, b, 0.5)
+///     .transition(0, b, b, 1.0)
+///     .build()?;
+/// let mut builder = Transducer::builder(alphabet.clone(), alphabet);
+/// let q = builder.add_state(true);
+/// builder.add_transition(q, a, q, &[a])?;
+/// builder.add_transition(q, b, q, &[b])?;
+/// let identity = builder.build()?;
+///
+/// // Identity ⇒ conf(o) = p(o): conf("ab") = 0.6·0.5.
+/// let conf = confidence(&identity, &chain, &[a, b])?;
+/// assert!((conf - 0.3).abs() < 1e-12);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn confidence(t: &Transducer, m: &MarkovSequence, o: &[SymbolId]) -> Result<f64, EngineError> {
+    if t.is_deterministic() {
+        confidence_deterministic(t, m, o)
+    } else if t.uniform_emission().is_some() {
+        confidence_uniform_nfa(t, m, o)
+    } else {
+        confidence_general(t, m, o)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Answer membership (polynomial for every transducer)
+// ---------------------------------------------------------------------------
+
+/// Decides whether `o` is an answer, i.e. `Pr(S →[A^ω]→ o) > 0` (§3.2:
+/// "whether a string is an answer can be decided efficiently").
+///
+/// Unlike the confidence *value*, membership needs only reachability over
+/// `(node, state, output position)`: `O(n·|Σ|²·|Q|·|o|)`.
+pub fn is_answer(t: &Transducer, m: &MarkovSequence, o: &[SymbolId]) -> Result<bool, EngineError> {
+    check_inputs(t, m, Some(o))?;
+    let n = m.len();
+    let n_nodes = m.n_symbols();
+    let nq = t.n_states();
+    let width = o.len() + 1;
+    let idx = |node: usize, q: usize, j: usize| (node * nq + q) * width + j;
+    let mut layer = vec![false; n_nodes * nq * width];
+
+    for node in 0..n_nodes {
+        if m.initial_prob(SymbolId(node as u32)) == 0.0 {
+            continue;
+        }
+        for e in t.edges(t.initial(), SymbolId(node as u32)) {
+            let em = t.emission(e.emission);
+            if em.len() <= o.len() && o[..em.len()] == *em {
+                layer[idx(node, e.target.index(), em.len())] = true;
+            }
+        }
+    }
+    let mut next = vec![false; n_nodes * nq * width];
+    for i in 0..n - 1 {
+        next.iter_mut().for_each(|v| *v = false);
+        for node in 0..n_nodes {
+            for q in 0..nq {
+                for j in 0..width {
+                    if !layer[idx(node, q, j)] {
+                        continue;
+                    }
+                    for to in 0..n_nodes {
+                        if m.transition_prob(i, SymbolId(node as u32), SymbolId(to as u32)) == 0.0 {
+                            continue;
+                        }
+                        for e in t.edges(transmark_automata::StateId(q as u32), SymbolId(to as u32))
+                        {
+                            let em = t.emission(e.emission);
+                            if j + em.len() <= o.len() && o[j..j + em.len()] == *em {
+                                next[idx(to, e.target.index(), j + em.len())] = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        std::mem::swap(&mut layer, &mut next);
+    }
+    for node in 0..n_nodes {
+        for q in 0..nq {
+            if t.is_accepting(transmark_automata::StateId(q as u32)) && layer[idx(node, q, o.len())]
+            {
+                return Ok(true);
+            }
+        }
+    }
+    Ok(false)
+}
+
+/// Whether the query has any answer at all: `Pr(S ∈ L(A)) > 0`.
+/// Boolean reachability over `(node, state)` — `O(n·|Σ|²·|Q|·b)`.
+pub fn answer_exists(t: &Transducer, m: &MarkovSequence) -> Result<bool, EngineError> {
+    check_inputs(t, m, None)?;
+    let n = m.len();
+    let n_nodes = m.n_symbols();
+    let nq = t.n_states();
+    let mut layer = vec![false; n_nodes * nq];
+    for node in 0..n_nodes {
+        if m.initial_prob(SymbolId(node as u32)) == 0.0 {
+            continue;
+        }
+        for e in t.edges(t.initial(), SymbolId(node as u32)) {
+            layer[node * nq + e.target.index()] = true;
+        }
+    }
+    let mut next = vec![false; n_nodes * nq];
+    for i in 0..n - 1 {
+        next.iter_mut().for_each(|v| *v = false);
+        for node in 0..n_nodes {
+            for q in 0..nq {
+                if !layer[node * nq + q] {
+                    continue;
+                }
+                for to in 0..n_nodes {
+                    if m.transition_prob(i, SymbolId(node as u32), SymbolId(to as u32)) == 0.0 {
+                        continue;
+                    }
+                    for e in t.edges(transmark_automata::StateId(q as u32), SymbolId(to as u32)) {
+                        next[to * nq + e.target.index()] = true;
+                    }
+                }
+            }
+        }
+        std::mem::swap(&mut layer, &mut next);
+    }
+    for node in 0..n_nodes {
+        for q in 0..nq {
+            if layer[node * nq + q] && t.is_accepting(transmark_automata::StateId(q as u32)) {
+                return Ok(true);
+            }
+        }
+    }
+    Ok(false)
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance probability
+// ---------------------------------------------------------------------------
+
+/// `Pr(S ∈ L(A))` for an NFA over `Σ_μ`, by on-the-fly determinization:
+/// the DP state is `(node, determinized subset)`, so only subsets actually
+/// reachable while scanning `μ` are materialized (this gives Theorem 5.5
+/// its `4^{|Q_E|}`-only blow-up downstream).
+pub fn acceptance_probability(nfa: &Nfa, m: &MarkovSequence) -> Result<f64, EngineError> {
+    if nfa.n_symbols() != m.n_symbols() {
+        return Err(EngineError::AlphabetMismatch {
+            transducer: nfa.n_symbols(),
+            sequence: m.n_symbols(),
+        });
+    }
+    let mut det = Determinizer::new(nfa);
+    let n = m.len();
+    // layer: (det-state, node) → probability.
+    let mut layer: HashMap<(usize, u32), f64> = HashMap::new();
+    for node in 0..m.n_symbols() {
+        let p = m.initial_prob(SymbolId(node as u32));
+        if p == 0.0 {
+            continue;
+        }
+        let d = det.step(det.initial(), SymbolId(node as u32));
+        if !det.is_dead(d) {
+            *layer.entry((d, node as u32)).or_insert(0.0) += p;
+        }
+    }
+    for i in 0..n - 1 {
+        let mut next: HashMap<(usize, u32), f64> = HashMap::with_capacity(layer.len());
+        for ((d, node), p) in sorted_layer(&layer) {
+            for to in 0..m.n_symbols() {
+                let pt = m.transition_prob(i, SymbolId(node), SymbolId(to as u32));
+                if pt == 0.0 {
+                    continue;
+                }
+                let d2 = det.step(d, SymbolId(to as u32));
+                if !det.is_dead(d2) {
+                    *next.entry((d2, to as u32)).or_insert(0.0) += p * pt;
+                }
+            }
+        }
+        layer = next;
+    }
+    let mut total = KahanSum::new();
+    for ((d, _), p) in sorted_layer(&layer) {
+        if det.is_accepting(d) {
+            total.add(p);
+        }
+    }
+    Ok(total.total())
+}
+
+/// The Lahar-style streaming Boolean query: for every position `i`,
+/// `Pr(S[1..i] ∈ L(A))` — "the probability that the query is true at each
+/// time period" (§6's description of Lahar's event queries). One scan,
+/// same on-the-fly-determinized DP as [`acceptance_probability`];
+/// `result[i-1]` is the probability at time `i`, and `result[n-1]` equals
+/// `acceptance_probability`.
+pub fn prefix_acceptance_probabilities(
+    nfa: &Nfa,
+    m: &MarkovSequence,
+) -> Result<Vec<f64>, EngineError> {
+    if nfa.n_symbols() != m.n_symbols() {
+        return Err(EngineError::AlphabetMismatch {
+            transducer: nfa.n_symbols(),
+            sequence: m.n_symbols(),
+        });
+    }
+    let mut det = Determinizer::new(nfa);
+    let n = m.len();
+    let mut out = Vec::with_capacity(n);
+    let mut layer: HashMap<(usize, u32), f64> = HashMap::new();
+    for node in 0..m.n_symbols() {
+        let p = m.initial_prob(SymbolId(node as u32));
+        if p == 0.0 {
+            continue;
+        }
+        let d = det.step(det.initial(), SymbolId(node as u32));
+        // The dead (empty) subset can never accept again, so it is safe to
+        // drop its mass even though we report per-prefix probabilities.
+        if !det.is_dead(d) {
+            *layer.entry((d, node as u32)).or_insert(0.0) += p;
+        }
+    }
+    let report = |layer: &HashMap<(usize, u32), f64>, det: &Determinizer<'_>| {
+        layer
+            .iter()
+            .filter(|((d, _), _)| det.is_accepting(*d))
+            .map(|(_, p)| *p)
+            .collect::<KahanSum>()
+            .total()
+    };
+    out.push(report(&layer, &det));
+    for i in 0..n - 1 {
+        let mut next: HashMap<(usize, u32), f64> = HashMap::with_capacity(layer.len());
+        for ((d, node), p) in sorted_layer(&layer) {
+            for to in 0..m.n_symbols() {
+                let pt = m.transition_prob(i, SymbolId(node), SymbolId(to as u32));
+                if pt == 0.0 {
+                    continue;
+                }
+                let d2 = det.step(d, SymbolId(to as u32));
+                if !det.is_dead(d2) {
+                    *next.entry((d2, to as u32)).or_insert(0.0) += p * pt;
+                }
+            }
+        }
+        layer = next;
+        out.push(report(&layer, &det));
+    }
+    Ok(out)
+}
+
+/// Public wrapper over the alphabet validation, for the high-level
+/// [`crate::evaluate::Evaluation`] facade.
+pub(crate) fn check_inputs_public(t: &Transducer, m: &MarkovSequence) -> Result<(), EngineError> {
+    check_inputs(t, m, None)
+}
+
+
+/// Sorts a DP layer's entries by key so that float accumulation order —
+/// and therefore the result, bit for bit — is independent of `HashMap`
+/// iteration order. Reproducibility is worth the `O(L log L)` per layer:
+/// identical queries must return identical bytes across runs.
+fn sorted_layer<K: Ord + Clone, V: Copy>(layer: &HashMap<K, V>) -> Vec<(K, V)> {
+    let mut v: Vec<(K, V)> = layer.iter().map(|(k, p)| (k.clone(), *p)).collect();
+    v.sort_by(|a, b| a.0.cmp(&b.0));
+    v
+}
+
+/// The accepting states of a transducer as a [`BitSet`].
+fn accepting_bitset(t: &Transducer) -> BitSet {
+    BitSet::from_iter_with_capacity(
+        t.n_states().max(1),
+        (0..t.n_states()).filter(|&q| t.is_accepting(transmark_automata::StateId(q as u32))),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transmark_automata::Alphabet;
+    use transmark_markov::numeric::approx_eq;
+    use transmark_markov::support::support;
+    use transmark_markov::MarkovSequenceBuilder;
+
+    fn sym(i: u32) -> SymbolId {
+        SymbolId(i)
+    }
+
+    /// μ over {a,b}, n = 3: P(a)=0.6 iid-ish with a slight twist at step 1.
+    fn chain() -> MarkovSequence {
+        let alphabet = Alphabet::of_chars("ab");
+        let (a, b) = (alphabet.sym("a"), alphabet.sym("b"));
+        MarkovSequenceBuilder::new(alphabet, 3)
+            .initial(a, 0.6)
+            .initial(b, 0.4)
+            .transition(0, a, a, 0.6)
+            .transition(0, a, b, 0.4)
+            .transition(0, b, a, 0.6)
+            .transition(0, b, b, 0.4)
+            .transition(1, a, a, 0.5)
+            .transition(1, a, b, 0.5)
+            .transition(1, b, a, 0.9)
+            .transition(1, b, b, 0.1)
+            .build()
+            .unwrap()
+    }
+
+    /// Identity transducer over {a,b}.
+    fn identity() -> Transducer {
+        let alphabet = Alphabet::of_chars("ab");
+        let mut b = Transducer::builder(alphabet.clone(), alphabet);
+        let q = b.add_state(true);
+        for s in 0..2u32 {
+            b.add_transition(q, sym(s), q, &[sym(s)]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn identity_confidence_is_string_probability() {
+        let m = chain();
+        let t = identity();
+        for (s, p) in support(&m) {
+            assert!(approx_eq(confidence(&t, &m, &s).unwrap(), p, 1e-15, 1e-12));
+            assert!(approx_eq(confidence_deterministic(&t, &m, &s).unwrap(), p, 1e-15, 1e-12));
+            assert!(approx_eq(confidence_uniform_nfa(&t, &m, &s).unwrap(), p, 1e-15, 1e-12));
+            assert!(approx_eq(confidence_general(&t, &m, &s).unwrap(), p, 1e-15, 1e-12));
+        }
+    }
+
+    #[test]
+    fn wrong_length_outputs_have_zero_confidence() {
+        let m = chain();
+        let t = identity();
+        assert_eq!(confidence(&t, &m, &[sym(0)]).unwrap(), 0.0);
+        assert_eq!(confidence(&t, &m, &[sym(0); 5]).unwrap(), 0.0);
+        assert_eq!(confidence(&t, &m, &[]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn invalid_output_symbols_are_rejected() {
+        let m = chain();
+        let t = identity();
+        assert!(matches!(
+            confidence(&t, &m, &[sym(9)]),
+            Err(EngineError::InvalidSymbol { alphabet: "output", .. })
+        ));
+    }
+
+    #[test]
+    fn prefix_acceptance_matches_brute_force() {
+        let m = chain();
+        // NFA: strings containing "b".
+        let mut nfa = Nfa::new(2);
+        let q0 = nfa.add_state(false);
+        let q1 = nfa.add_state(true);
+        nfa.add_transition(q0, sym(0), q0);
+        nfa.add_transition(q0, sym(1), q1);
+        nfa.add_transition(q1, sym(0), q1);
+        nfa.add_transition(q1, sym(1), q1);
+
+        let got = prefix_acceptance_probabilities(&nfa, &m).unwrap();
+        assert_eq!(got.len(), 3);
+        for (i, &gi) in got.iter().enumerate() {
+            let want: f64 = support(&m)
+                .iter()
+                .filter(|(s, _)| nfa.accepts(&s[..=i]))
+                .map(|(_, p)| p)
+                .sum();
+            assert!(approx_eq(gi, want, 1e-12, 1e-10), "position {i}: {gi} vs {want}");
+        }
+        // The last entry is the full acceptance probability, and the
+        // series is monotone for this monotone ("ever saw b") property.
+        let full = acceptance_probability(&nfa, &m).unwrap();
+        assert!(approx_eq(got[2], full, 1e-15, 1e-12));
+        assert!(got[0] <= got[1] && got[1] <= got[2]);
+    }
+
+    #[test]
+    fn answer_exists_on_selective_machines() {
+        let m = chain();
+        let alphabet = Alphabet::of_chars("ab");
+        // Accepts only strings of all-a.
+        let mut b = Transducer::builder(alphabet.clone(), alphabet.clone());
+        let q = b.add_state(true);
+        let dead = b.add_state(false);
+        b.add_transition(q, sym(0), q, &[]).unwrap();
+        b.add_transition(q, sym(1), dead, &[]).unwrap();
+        b.add_transition(dead, sym(0), dead, &[]).unwrap();
+        b.add_transition(dead, sym(1), dead, &[]).unwrap();
+        let t = b.build().unwrap();
+        assert!(answer_exists(&t, &m).unwrap());
+        assert!(approx_eq(
+            confidence(&t, &m, &[]).unwrap(),
+            0.6 * 0.6 * 0.5,
+            1e-15,
+            1e-12
+        ));
+
+        // Now make "all a" impossible: kill a→a at step 0.
+        let (a, bb) = (sym(0), sym(1));
+        let m2 = MarkovSequenceBuilder::new(Alphabet::of_chars("ab"), 2)
+            .initial(a, 1.0)
+            .transition(0, a, bb, 1.0)
+            .fill_dead_rows_self_loop()
+            .build()
+            .unwrap();
+        assert!(!answer_exists(&t, &m2).unwrap());
+    }
+}
+
+#[cfg(test)]
+mod determinism_tests {
+    use super::*;
+    use crate::generate::{random_transducer, RandomTransducerSpec, TransducerClass};
+    use rand::{rngs::StdRng, SeedableRng};
+    use transmark_markov::generate::{random_markov_sequence, RandomChainSpec};
+
+    /// The subset/configuration DPs must be bit-reproducible: HashMap
+    /// iteration order varies per map instance, so two calls in one
+    /// process already exercise different orders.
+    #[test]
+    fn probabilities_are_bit_reproducible() {
+        let mut rng = StdRng::seed_from_u64(321);
+        for _ in 0..10 {
+            let m = random_markov_sequence(
+                &RandomChainSpec { len: 8, n_symbols: 3, zero_prob: 0.2 },
+                &mut rng,
+            );
+            let t = random_transducer(
+                &RandomTransducerSpec {
+                    n_states: 4,
+                    n_input_symbols: 3,
+                    n_output_symbols: 2,
+                    class: TransducerClass::General,
+                    branching: 1.6,
+                },
+                &mut rng,
+            );
+            let nfa = t.underlying_nfa();
+            let a = acceptance_probability(&nfa, &m).unwrap();
+            let b = acceptance_probability(&nfa, &m).unwrap();
+            assert_eq!(a.to_bits(), b.to_bits(), "acceptance probability drifted");
+            let s1 = prefix_acceptance_probabilities(&nfa, &m).unwrap();
+            let s2 = prefix_acceptance_probabilities(&nfa, &m).unwrap();
+            for (x, y) in s1.iter().zip(s2.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "prefix series drifted");
+            }
+            if let Ok(Some(top)) = crate::emax::top_by_emax(&t, &m) {
+                let c1 = confidence_general(&t, &m, &top.output).unwrap();
+                let c2 = confidence_general(&t, &m, &top.output).unwrap();
+                assert_eq!(c1.to_bits(), c2.to_bits(), "general confidence drifted");
+            }
+        }
+    }
+}

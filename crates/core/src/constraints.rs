@@ -1,0 +1,369 @@
+//! Prefix constraints over output strings, and their enforcement.
+//!
+//! Both enumeration results of §4 (Theorems 4.1 and 4.3) rest on one
+//! technical device the paper calls *prefix constraints*: restricting the
+//! answer space to output strings of the form
+//!
+//! ```text
+//! { p }                      (if `allow_exact`)
+//!   ∪ { p·d·w : d ∉ forbidden, w ∈ Δ* }
+//! ```
+//!
+//! i.e. "everything extending the prefix `p`, except continuations that
+//! start with a forbidden symbol — optionally including `p` itself".
+//! This single family expresses the whole Lawler–Murty partition of
+//! Theorem 4.3 as well as the trie descent of Theorem 4.1:
+//!
+//! * "answers with prefix `p`" = `(p, ∅, true)`;
+//! * "exactly `p`" = `(p, Δ, true)`;
+//! * "proper extensions of `p`" = `(p, ∅, false)`.
+//!
+//! A constraint is *enforced* by a product construction
+//! ([`constrain`]): the transducer is crossed with the constraint's DFA
+//! over the output alphabet, where the DFA consumes each transition's
+//! emission string. The constrained machine accepts exactly the
+//! (string, run) pairs whose output satisfies the constraint, so
+//! answer-nonemptiness and `E_max` optimization apply unchanged.
+
+use std::sync::Arc;
+
+use transmark_automata::{Dfa, StateId, SymbolId};
+
+use crate::error::EngineError;
+use crate::transducer::{TEdge, Transducer, TransducerBuilder};
+
+/// A prefix constraint over the output language (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixConstraint {
+    /// The required prefix `p`.
+    pub prefix: Vec<SymbolId>,
+    /// Symbols that must not immediately follow `p`.
+    pub forbidden_next: Vec<SymbolId>,
+    /// Whether the answer `p` itself is in the subspace.
+    pub allow_exact: bool,
+}
+
+impl PrefixConstraint {
+    /// The unconstrained space: every output string.
+    pub fn all() -> Self {
+        Self { prefix: Vec::new(), forbidden_next: Vec::new(), allow_exact: true }
+    }
+
+    /// All outputs with prefix `p` (including `p`).
+    pub fn with_prefix(p: Vec<SymbolId>) -> Self {
+        Self { prefix: p, forbidden_next: Vec::new(), allow_exact: true }
+    }
+
+    /// Exactly the output `p`.
+    pub fn exactly(p: Vec<SymbolId>, n_output_symbols: usize) -> Self {
+        Self {
+            prefix: p,
+            forbidden_next: (0..n_output_symbols as u32).map(SymbolId).collect(),
+            allow_exact: true,
+        }
+    }
+
+    /// Whether a concrete output satisfies the constraint.
+    pub fn matches(&self, o: &[SymbolId]) -> bool {
+        if o.len() < self.prefix.len() || o[..self.prefix.len()] != self.prefix[..] {
+            return false;
+        }
+        match o.get(self.prefix.len()) {
+            None => self.allow_exact,
+            Some(d) => !self.forbidden_next.contains(d),
+        }
+    }
+
+    /// Compiles the constraint to a complete DFA over the output alphabet
+    /// (`n_output_symbols` symbols): `|p| + 3` states — the `|p|+1` match
+    /// positions, an accept-all sink and a dead sink.
+    pub fn to_dfa(&self, n_output_symbols: usize) -> Dfa {
+        let mut d = Dfa::new(n_output_symbols);
+        let positions: Vec<StateId> = (0..=self.prefix.len())
+            .map(|j| d.add_state(j == self.prefix.len() && self.allow_exact))
+            .collect();
+        let accept = d.add_sink_state(true);
+        let dead = d.add_sink_state(false);
+        for (j, &q) in positions.iter().enumerate() {
+            for s in 0..n_output_symbols {
+                let sym = SymbolId(s as u32);
+                let to = if j < self.prefix.len() {
+                    if self.prefix[j] == sym {
+                        positions[j + 1]
+                    } else {
+                        dead
+                    }
+                } else if self.forbidden_next.contains(&sym) {
+                    dead
+                } else {
+                    accept
+                };
+                d.set_transition(q, sym, to);
+            }
+        }
+        d
+    }
+
+    /// The Lawler–Murty partition of `self ∖ {answer}` (the answer must
+    /// satisfy `self`). The returned constraints are pairwise disjoint and
+    /// together cover every satisfying output except `answer`.
+    pub fn split_around(&self, answer: &[SymbolId]) -> Vec<PrefixConstraint> {
+        debug_assert!(self.matches(answer), "answer must satisfy the constraint");
+        let p_len = self.prefix.len();
+        if answer.len() == p_len {
+            // `answer == p`: drop the exact answer, keep all extensions.
+            return vec![PrefixConstraint {
+                prefix: self.prefix.clone(),
+                forbidden_next: self.forbidden_next.clone(),
+                allow_exact: false,
+            }];
+        }
+        let mut out = Vec::with_capacity(answer.len() - p_len + 2);
+        // Outputs that deviate from `answer` immediately after `p`: the
+        // original constraint with the answer's continuation also
+        // forbidden.
+        let mut forbidden = self.forbidden_next.clone();
+        forbidden.push(answer[p_len]);
+        out.push(PrefixConstraint {
+            prefix: self.prefix.clone(),
+            forbidden_next: forbidden,
+            allow_exact: self.allow_exact,
+        });
+        // Outputs sharing a longer proper prefix with `answer`, grouped by
+        // the exact length of the shared prefix.
+        for j in p_len + 1..answer.len() {
+            out.push(PrefixConstraint {
+                prefix: answer[..j].to_vec(),
+                forbidden_next: vec![answer[j]],
+                allow_exact: true,
+            });
+        }
+        // Strict extensions of `answer`.
+        out.push(PrefixConstraint {
+            prefix: answer.to_vec(),
+            forbidden_next: Vec::new(),
+            allow_exact: false,
+        });
+        out
+    }
+}
+
+/// Enforces an output-language DFA on a transducer: the product machine
+/// accepts `(s, run)` iff the original machine accepts it *and* the run's
+/// output is accepted by `dfa`. Emissions are preserved, so the product is
+/// again a transducer producing the same outputs.
+///
+/// State space is `Q_A × Q_dfa`; the construction is
+/// `O(|Q_A| · |Q_dfa| · |Σ| · branching · max_emission)`.
+pub fn constrain(t: &Transducer, dfa: &Dfa) -> Result<Transducer, EngineError> {
+    if dfa.n_symbols() != t.n_output_symbols() {
+        return Err(EngineError::AlphabetMismatch {
+            transducer: t.n_output_symbols(),
+            sequence: dfa.n_symbols(),
+        });
+    }
+    let nq = t.n_states();
+    let nc = dfa.n_states();
+    let mut b = TransducerBuilder::new(
+        Arc::clone(&t.input_alphabet_arc()),
+        Arc::clone(&t.output_alphabet_arc()),
+    );
+    let state = |q: StateId, c: StateId| StateId((q.index() * nc + c.index()) as u32);
+    for q in 0..nq {
+        for c in 0..nc {
+            b.add_state(
+                t.is_accepting(StateId(q as u32)) && dfa.is_accepting(StateId(c as u32)),
+            );
+        }
+    }
+    b.set_initial(state(t.initial(), dfa.initial()));
+
+    // Precompute where each interned emission drives each DFA state.
+    let mut em_step = vec![StateId(0); t.n_emissions() * nc];
+    for em in 0..t.n_emissions() {
+        let string = t.emission(crate::transducer::EmissionId(em as u32)).to_vec();
+        for c in 0..nc {
+            let mut cur = StateId(c as u32);
+            for &d in &string {
+                cur = dfa.step(cur, d);
+            }
+            em_step[em * nc + c] = cur;
+        }
+    }
+
+    for (from, sym, TEdge { target, emission }) in t.transitions() {
+        let em_string = t.emission(emission).to_vec();
+        for c in 0..nc {
+            let c2 = em_step[emission.index() * nc + c];
+            b.add_transition(
+                state(from, StateId(c as u32)),
+                sym,
+                state(target, c2),
+                &em_string,
+            )?;
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transmark_automata::Alphabet;
+
+    fn sym(i: u32) -> SymbolId {
+        SymbolId(i)
+    }
+
+    fn all_outputs(n_symbols: usize, max_len: usize) -> Vec<Vec<SymbolId>> {
+        let mut out = vec![vec![]];
+        let mut layer: Vec<Vec<SymbolId>> = vec![vec![]];
+        for _ in 0..max_len {
+            let mut next = Vec::new();
+            for s in &layer {
+                for c in 0..n_symbols {
+                    let mut t = s.clone();
+                    t.push(sym(c as u32));
+                    next.push(t);
+                }
+            }
+            out.extend(next.iter().cloned());
+            layer = next;
+        }
+        out
+    }
+
+    #[test]
+    fn dfa_agrees_with_matches() {
+        let cases = vec![
+            PrefixConstraint::all(),
+            PrefixConstraint::with_prefix(vec![sym(0), sym(1)]),
+            PrefixConstraint::exactly(vec![sym(1)], 2),
+            PrefixConstraint {
+                prefix: vec![sym(0)],
+                forbidden_next: vec![sym(0)],
+                allow_exact: false,
+            },
+            PrefixConstraint {
+                prefix: vec![],
+                forbidden_next: vec![sym(1)],
+                allow_exact: true,
+            },
+        ];
+        for c in cases {
+            let dfa = c.to_dfa(2);
+            assert!(dfa.validate().is_ok());
+            for o in all_outputs(2, 5) {
+                assert_eq!(
+                    dfa.accepts(&o),
+                    c.matches(&o),
+                    "constraint {c:?} on output {o:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn split_partitions_the_space() {
+        // Constraint: prefix [0], nothing forbidden, exact allowed.
+        let c = PrefixConstraint::with_prefix(vec![sym(0)]);
+        let answer = vec![sym(0), sym(1), sym(0)];
+        let parts = c.split_around(&answer);
+        for o in all_outputs(2, 5) {
+            let in_parent = c.matches(&o) && o != answer;
+            let count = parts.iter().filter(|p| p.matches(&o)).count();
+            assert_eq!(
+                count,
+                usize::from(in_parent),
+                "output {o:?} covered {count} times (parent={in_parent})"
+            );
+        }
+    }
+
+    #[test]
+    fn split_around_exact_answer() {
+        let c = PrefixConstraint::with_prefix(vec![sym(1)]);
+        let answer = vec![sym(1)];
+        let parts = c.split_around(&answer);
+        assert_eq!(parts.len(), 1);
+        for o in all_outputs(2, 4) {
+            let in_parent = c.matches(&o) && o != answer;
+            let count = parts.iter().filter(|p| p.matches(&o)).count();
+            assert_eq!(count, usize::from(in_parent), "output {o:?}");
+        }
+    }
+
+    #[test]
+    fn split_respects_existing_forbidden_set() {
+        let c = PrefixConstraint {
+            prefix: vec![sym(0)],
+            forbidden_next: vec![sym(0)],
+            allow_exact: false,
+        };
+        let answer = vec![sym(0), sym(1), sym(1)];
+        let parts = c.split_around(&answer);
+        for o in all_outputs(2, 5) {
+            let in_parent = c.matches(&o) && o != answer;
+            let count = parts.iter().filter(|p| p.matches(&o)).count();
+            assert_eq!(count, usize::from(in_parent), "output {o:?}");
+        }
+    }
+
+    /// Transducer over Σ=Δ={a,b} copying its input (identity, accepts all).
+    fn identity_transducer() -> Transducer {
+        let a = Alphabet::of_chars("ab");
+        let mut b = Transducer::builder(a.clone(), a);
+        let q = b.add_state(true);
+        for s in 0..2u32 {
+            b.add_transition(q, sym(s), q, &[sym(s)]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn constrain_filters_outputs() {
+        let t = identity_transducer();
+        let c = PrefixConstraint::with_prefix(vec![sym(0), sym(0)]);
+        let ct = constrain(&t, &c.to_dfa(2)).unwrap();
+        // Input "aab" → output "aab" satisfies the prefix [a,a].
+        let s = [sym(0), sym(0), sym(1)];
+        assert_eq!(ct.transduce_all(&s), vec![s.to_vec()]);
+        // Input "aba" → output "aba" violates it: no accepted run.
+        let s2 = [sym(0), sym(1), sym(0)];
+        assert!(ct.transduce_all(&s2).is_empty());
+        // Too-short input "a": output "a" is a proper prefix of the
+        // required prefix, rejected.
+        assert!(ct.transduce_all(&[sym(0)]).is_empty());
+    }
+
+    #[test]
+    fn constrain_preserves_emissions_with_multi_symbol_outputs() {
+        // Machine emitting two symbols per step: Σ={a}, Δ={x,y},
+        // ω = "xy" each step.
+        let input = Alphabet::of_chars("a");
+        let output = Alphabet::of_chars("xy");
+        let mut b = Transducer::builder(input, output);
+        let q = b.add_state(true);
+        b.add_transition(q, sym(0), q, &[sym(0), sym(1)]).unwrap();
+        let t = b.build().unwrap();
+
+        // Constraint: outputs starting "xy x" — satisfied after 2 steps.
+        let c = PrefixConstraint::with_prefix(vec![sym(0), sym(1), sym(0)]);
+        let ct = constrain(&t, &c.to_dfa(2)).unwrap();
+        assert!(ct.transduce_all(&[sym(0)]).is_empty());
+        assert_eq!(
+            ct.transduce_all(&[sym(0), sym(0)]),
+            vec![vec![sym(0), sym(1), sym(0), sym(1)]]
+        );
+    }
+
+    #[test]
+    fn constrain_rejects_alphabet_mismatch() {
+        let t = identity_transducer();
+        let dfa = Dfa::universal(3);
+        assert!(matches!(
+            constrain(&t, &dfa),
+            Err(EngineError::AlphabetMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,313 @@
+//! Best evidence: the `E_max` scoring function (§4.2).
+//!
+//! `E_max(o)` is the probability of the most likely possible world
+//! (*evidence*) transduced into `o`. The paper's heuristic ranked
+//! enumeration (Theorem 4.3) orders answers by decreasing `E_max`, which
+//! approximates decreasing confidence within a factor `|Σ|ⁿ` — and
+//! Theorem 4.4 shows that, up to sub-exponential factors, no polynomial
+//! algorithm does better.
+//!
+//! [`top_by_emax`] is the core optimizer: a Viterbi pass over the layered
+//! product graph (position × node × transducer state) that maximizes
+//! `p(s)` over accepting (string, run) pairs and returns the run's output.
+//! Because every evidence of the returned output lives in the same search
+//! space, the returned score *is* `E_max` of the returned output, and it
+//! is maximal among all answers. Prefix constraints are enforced upstream
+//! by [`crate::constraints::constrain`], which is what Theorem 4.3's
+//! Lawler–Murty instantiation does.
+
+use transmark_automata::{StateId, SymbolId};
+use transmark_markov::MarkovSequence;
+
+use crate::confidence::check_inputs;
+use crate::error::EngineError;
+use crate::transducer::Transducer;
+
+/// Result of an `E_max` optimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmaxResult {
+    /// The output string of the best (string, run) pair — the top answer.
+    pub output: Vec<SymbolId>,
+    /// The best evidence: the most likely string transduced into `output`.
+    pub evidence: Vec<SymbolId>,
+    /// `ln E_max(output)` (`= ln p(evidence)`).
+    pub log_prob: f64,
+}
+
+impl EmaxResult {
+    /// `E_max(output)` in linear space.
+    pub fn prob(&self) -> f64 {
+        self.log_prob.exp()
+    }
+}
+
+/// Back-pointer entry of the Viterbi DP.
+#[derive(Clone, Copy)]
+struct Back {
+    prev_node: u32,
+    prev_state: u32,
+    /// Index into the transducer's interned emissions for the edge taken.
+    emission: u32,
+}
+
+/// The top answer by `E_max`: maximizes `p(s)` over all `(s, run)` with
+/// `run` accepting, and returns the run's output (Theorem 4.3's
+/// constrained optimizer, with constraints pre-applied via
+/// [`crate::constraints::constrain`]).
+///
+/// Returns `None` when the (possibly constrained) query has no answer.
+/// `O(n·|Σ|²·|Q|·b)` time, `O(n·|Σ|·|Q|)` space for the back-pointers.
+pub fn top_by_emax(t: &Transducer, m: &MarkovSequence) -> Result<Option<EmaxResult>, EngineError> {
+    check_inputs(t, m, None)?;
+    let n = m.len();
+    let n_nodes = m.n_symbols();
+    let nq = t.n_states();
+    let sz = n_nodes * nq;
+    let idx = |node: usize, q: usize| node * nq + q;
+
+    let mut score = vec![f64::NEG_INFINITY; sz];
+    let mut backs: Vec<Vec<Back>> = Vec::with_capacity(n);
+    let mut first_back = vec![Back { prev_node: 0, prev_state: 0, emission: 0 }; sz];
+
+    for node in 0..n_nodes {
+        let p = m.initial_prob(SymbolId(node as u32));
+        if p == 0.0 {
+            continue;
+        }
+        let lp = p.ln();
+        for e in t.edges(t.initial(), SymbolId(node as u32)) {
+            let cell = idx(node, e.target.index());
+            if lp > score[cell] {
+                score[cell] = lp;
+                first_back[cell] = Back {
+                    prev_node: u32::MAX,
+                    prev_state: t.initial().0,
+                    emission: e.emission.0,
+                };
+            }
+        }
+    }
+    backs.push(first_back);
+
+    for i in 0..n - 1 {
+        let mut next = vec![f64::NEG_INFINITY; sz];
+        let mut back = vec![Back { prev_node: 0, prev_state: 0, emission: 0 }; sz];
+        for node in 0..n_nodes {
+            for q in 0..nq {
+                let s = score[idx(node, q)];
+                if s == f64::NEG_INFINITY {
+                    continue;
+                }
+                for to in 0..n_nodes {
+                    let pt = m.transition_prob(i, SymbolId(node as u32), SymbolId(to as u32));
+                    if pt == 0.0 {
+                        continue;
+                    }
+                    let cand = s + pt.ln();
+                    for e in t.edges(StateId(q as u32), SymbolId(to as u32)) {
+                        let cell = idx(to, e.target.index());
+                        if cand > next[cell] {
+                            next[cell] = cand;
+                            back[cell] = Back {
+                                prev_node: node as u32,
+                                prev_state: q as u32,
+                                emission: e.emission.0,
+                            };
+                        }
+                    }
+                }
+            }
+        }
+        score = next;
+        backs.push(back);
+    }
+
+    // Best accepting cell in the last layer.
+    let mut best_cell = None;
+    let mut best = f64::NEG_INFINITY;
+    for node in 0..n_nodes {
+        for q in 0..nq {
+            if t.is_accepting(StateId(q as u32)) && score[idx(node, q)] > best {
+                best = score[idx(node, q)];
+                best_cell = Some((node, q));
+            }
+        }
+    }
+    let Some((mut node, mut q)) = best_cell else {
+        return Ok(None);
+    };
+
+    // Traceback: recover the evidence string and the emission sequence.
+    let mut evidence_rev: Vec<SymbolId> = Vec::with_capacity(n);
+    let mut emissions_rev: Vec<u32> = Vec::with_capacity(n);
+    for layer in backs.iter().rev() {
+        let b = layer[idx(node, q)];
+        evidence_rev.push(SymbolId(node as u32));
+        emissions_rev.push(b.emission);
+        if b.prev_node == u32::MAX {
+            break;
+        }
+        node = b.prev_node as usize;
+        q = b.prev_state as usize;
+    }
+    evidence_rev.reverse();
+    emissions_rev.reverse();
+    let mut output = Vec::new();
+    for em in emissions_rev {
+        output.extend_from_slice(t.emission(crate::transducer::EmissionId(em)));
+    }
+    Ok(Some(EmaxResult { output, evidence: evidence_rev, log_prob: best }))
+}
+
+/// `ln E_max(o)` for a *specific* output string `o` — the max-probability
+/// evidence transduced into exactly `o` (`-∞` if `o` is not an answer).
+///
+/// A max-product DP over (node, state, output position):
+/// `O(|o|·n·|Σ|²·|Q|·b)`.
+pub fn emax_of_output(
+    t: &Transducer,
+    m: &MarkovSequence,
+    o: &[SymbolId],
+) -> Result<f64, EngineError> {
+    check_inputs(t, m, Some(o))?;
+    let n = m.len();
+    let n_nodes = m.n_symbols();
+    let nq = t.n_states();
+    let width = o.len() + 1;
+    let idx = |node: usize, q: usize, j: usize| (node * nq + q) * width + j;
+    let mut layer = vec![f64::NEG_INFINITY; n_nodes * nq * width];
+
+    for node in 0..n_nodes {
+        let p = m.initial_prob(SymbolId(node as u32));
+        if p == 0.0 {
+            continue;
+        }
+        for e in t.edges(t.initial(), SymbolId(node as u32)) {
+            let em = t.emission(e.emission);
+            if em.len() <= o.len() && o[..em.len()] == *em {
+                let cell = idx(node, e.target.index(), em.len());
+                layer[cell] = layer[cell].max(p.ln());
+            }
+        }
+    }
+    let mut next = vec![f64::NEG_INFINITY; n_nodes * nq * width];
+    for i in 0..n - 1 {
+        next.iter_mut().for_each(|v| *v = f64::NEG_INFINITY);
+        for node in 0..n_nodes {
+            for q in 0..nq {
+                for j in 0..width {
+                    let s = layer[idx(node, q, j)];
+                    if s == f64::NEG_INFINITY {
+                        continue;
+                    }
+                    for to in 0..n_nodes {
+                        let pt = m.transition_prob(i, SymbolId(node as u32), SymbolId(to as u32));
+                        if pt == 0.0 {
+                            continue;
+                        }
+                        let cand = s + pt.ln();
+                        for e in t.edges(StateId(q as u32), SymbolId(to as u32)) {
+                            let em = t.emission(e.emission);
+                            if j + em.len() <= o.len() && o[j..j + em.len()] == *em {
+                                let cell = idx(to, e.target.index(), j + em.len());
+                                if cand > next[cell] {
+                                    next[cell] = cand;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        std::mem::swap(&mut layer, &mut next);
+    }
+    let mut best = f64::NEG_INFINITY;
+    for node in 0..n_nodes {
+        for q in 0..nq {
+            if t.is_accepting(StateId(q as u32)) {
+                best = best.max(layer[idx(node, q, o.len())]);
+            }
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transmark_automata::Alphabet;
+    use transmark_markov::MarkovSequenceBuilder;
+
+    fn sym(i: u32) -> SymbolId {
+        SymbolId(i)
+    }
+
+    /// Collapsing Mealy machine: both input symbols map to output "z",
+    /// so E_max(zz…z) is the single most likely world.
+    #[test]
+    fn collapsing_machine_emax_is_viterbi() {
+        let input = Alphabet::of_chars("ab");
+        let output = Alphabet::of_chars("z");
+        let m = MarkovSequenceBuilder::new(input.clone(), 3)
+            .initial(sym(0), 0.9)
+            .initial(sym(1), 0.1)
+            .transition(0, sym(0), sym(0), 0.6)
+            .transition(0, sym(0), sym(1), 0.4)
+            .transition(0, sym(1), sym(1), 1.0)
+            .transition(1, sym(0), sym(0), 1.0)
+            .transition(1, sym(1), sym(0), 0.5)
+            .transition(1, sym(1), sym(1), 0.5)
+            .build()
+            .unwrap();
+        let mut b = Transducer::builder(input, output.clone());
+        let q = b.add_state(true);
+        for s in 0..2u32 {
+            b.add_transition(q, sym(s), q, &[output.sym("z")]).unwrap();
+        }
+        let t = b.build().unwrap();
+
+        let top = top_by_emax(&t, &m).unwrap().unwrap();
+        // Only one answer: zzz. Its E_max is the Viterbi path of μ.
+        assert_eq!(top.output, vec![output.sym("z"); 3]);
+        let (viterbi, p) = m.most_likely_string();
+        assert_eq!(top.evidence, viterbi);
+        assert!((top.prob() - p).abs() < 1e-12);
+        // And emax_of_output agrees.
+        let e = emax_of_output(&t, &m, &top.output).unwrap().exp();
+        assert!((e - p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emax_of_non_answer_is_zero() {
+        let input = Alphabet::of_chars("a");
+        let output = Alphabet::of_chars("xy");
+        let m = MarkovSequenceBuilder::new(input.clone(), 2)
+            .uniform_all()
+            .build()
+            .unwrap();
+        let mut b = Transducer::builder(input, output.clone());
+        let q = b.add_state(true);
+        b.add_transition(q, sym(0), q, &[output.sym("x")]).unwrap();
+        let t = b.build().unwrap();
+        // "yy" can never be emitted.
+        let e = emax_of_output(&t, &m, &[output.sym("y"), output.sym("y")]).unwrap();
+        assert_eq!(e, f64::NEG_INFINITY);
+        // "xx" is the sole answer with E_max = 1.
+        let e2 = emax_of_output(&t, &m, &[output.sym("x"), output.sym("x")]).unwrap();
+        assert!((e2.exp() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_accepting_path_yields_none() {
+        let input = Alphabet::of_chars("a");
+        let m = MarkovSequenceBuilder::new(input.clone(), 1)
+            .initial(sym(0), 1.0)
+            .build()
+            .unwrap();
+        let mut b = Transducer::builder(input.clone(), input);
+        let q = b.add_state(false);
+        b.add_transition(q, sym(0), q, &[]).unwrap();
+        let t = b.build().unwrap();
+        assert!(top_by_emax(&t, &m).unwrap().is_none());
+    }
+}

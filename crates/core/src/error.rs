@@ -1,0 +1,107 @@
+//! Error type for the query engine.
+
+use std::fmt;
+
+use transmark_automata::AutomataError;
+use transmark_markov::MarkovError;
+
+/// Errors produced while building transducers or evaluating queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The transducer's input alphabet does not match the Markov
+    /// sequence's node alphabet (the paper assumes `Σ_A = Σ_μ`).
+    AlphabetMismatch {
+        /// Alphabet size on the query side.
+        transducer: usize,
+        /// Alphabet size on the data side.
+        sequence: usize,
+    },
+    /// A `(q, σ, q')` transition was added twice with different emissions —
+    /// deterministic emission requires `ω` to be a function of the triple.
+    EmissionConflict {
+        /// The source state.
+        from: usize,
+        /// The symbol read.
+        symbol: usize,
+        /// The target state.
+        to: usize,
+    },
+    /// A state id was out of range.
+    InvalidState {
+        /// The offending state id.
+        state: usize,
+        /// The machine's state count.
+        n_states: usize,
+    },
+    /// A symbol id was out of range for the given alphabet.
+    InvalidSymbol {
+        /// The offending symbol id.
+        symbol: usize,
+        /// The alphabet size.
+        n_symbols: usize,
+        /// Which alphabet: "input" or "output".
+        alphabet: &'static str,
+    },
+    /// The operation requires a deterministic transducer.
+    NotDeterministic,
+    /// The operation requires uniform emission.
+    NotUniform,
+    /// The transducer has no states.
+    EmptyTransducer,
+    /// An underlying automata-toolkit error.
+    Automata(AutomataError),
+    /// An underlying Markov-sequence error.
+    Markov(MarkovError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::AlphabetMismatch { transducer, sequence } => write!(
+                f,
+                "transducer input alphabet ({transducer} symbols) does not match Markov sequence alphabet ({sequence} symbols)"
+            ),
+            EngineError::EmissionConflict { from, symbol, to } => write!(
+                f,
+                "transition ({from}, {symbol}, {to}) already exists with a different emission (deterministic emission violated)"
+            ),
+            EngineError::InvalidState { state, n_states } => {
+                write!(f, "state {state} out of range ({n_states} states)")
+            }
+            EngineError::InvalidSymbol { symbol, n_symbols, alphabet } => {
+                write!(f, "{alphabet} symbol {symbol} out of range ({n_symbols} symbols)")
+            }
+            EngineError::NotDeterministic => {
+                write!(f, "this algorithm requires a deterministic transducer")
+            }
+            EngineError::NotUniform => {
+                write!(f, "this algorithm requires uniform emission")
+            }
+            EngineError::EmptyTransducer => write!(f, "the transducer has no states"),
+            EngineError::Automata(e) => write!(f, "{e}"),
+            EngineError::Markov(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Automata(e) => Some(e),
+            EngineError::Markov(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AutomataError> for EngineError {
+    fn from(e: AutomataError) -> Self {
+        EngineError::Automata(e)
+    }
+}
+
+impl From<MarkovError> for EngineError {
+    fn from(e: MarkovError) -> Self {
+        EngineError::Markov(e)
+    }
+}

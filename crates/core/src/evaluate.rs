@@ -1,0 +1,247 @@
+//! High-level query evaluation: one entry point tying the engine
+//! together.
+//!
+//! [`Evaluation`] validates a `(transducer, Markov sequence)` pair once
+//! and then exposes the evaluation modes of §3.2 as methods, picking the
+//! right algorithm per the machine's class (Table 2) and attaching exact
+//! confidences to ranked answers when that is tractable.
+
+use transmark_automata::SymbolId;
+use transmark_markov::MarkovSequence;
+
+use crate::confidence::{self, confidence};
+use crate::emax::{top_by_emax, EmaxResult};
+use crate::enumerate::{enumerate_by_emax, enumerate_unranked, RankedAnswer};
+use crate::error::EngineError;
+use crate::transducer::Transducer;
+
+/// How expensive exact confidence computation is for a machine
+/// (the columns of Table 2 that apply to plain transducers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfidenceCost {
+    /// Deterministic: polynomial (Theorem 4.6).
+    Polynomial,
+    /// Nondeterministic but k-uniform: `O(4^{|Q|})` (Theorem 4.8).
+    ExponentialInStates,
+    /// General: exponential in reachable configurations (Prop. 4.7).
+    ExponentialWorstCase,
+}
+
+/// A fully scored answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredAnswer {
+    /// The output string.
+    pub output: Vec<SymbolId>,
+    /// `E_max(output)` — the best-evidence score the ranking used.
+    pub emax: f64,
+    /// The exact confidence `Pr(S →[A^ω]→ output)`.
+    pub confidence: f64,
+}
+
+/// A validated query/data pair with evaluation methods.
+pub struct Evaluation<'a> {
+    t: &'a Transducer,
+    m: &'a MarkovSequence,
+}
+
+impl<'a> Evaluation<'a> {
+    /// Validates alphabets and wraps the pair.
+    pub fn new(t: &'a Transducer, m: &'a MarkovSequence) -> Result<Self, EngineError> {
+        confidence::check_inputs_public(t, m)?;
+        Ok(Self { t, m })
+    }
+
+    /// The Table 2 cost class of exact confidence for this machine.
+    pub fn confidence_cost(&self) -> ConfidenceCost {
+        if self.t.is_deterministic() {
+            ConfidenceCost::Polynomial
+        } else if self.t.uniform_emission().is_some() {
+            ConfidenceCost::ExponentialInStates
+        } else {
+            ConfidenceCost::ExponentialWorstCase
+        }
+    }
+
+    /// Whether the query has any answer (`Pr(S ∈ L(A)) > 0`).
+    pub fn has_answers(&self) -> Result<bool, EngineError> {
+        confidence::answer_exists(self.t, self.m)
+    }
+
+    /// The confidence of a specific output (algorithm auto-selected).
+    pub fn confidence(&self, o: &[SymbolId]) -> Result<f64, EngineError> {
+        confidence(self.t, self.m, o)
+    }
+
+    /// Whether `o` is an answer (always polynomial, §3.2).
+    pub fn is_answer(&self, o: &[SymbolId]) -> Result<bool, EngineError> {
+        confidence::is_answer(self.t, self.m, o)
+    }
+
+    /// The top answer by best evidence, with its witnessing world.
+    pub fn top(&self) -> Result<Option<EmaxResult>, EngineError> {
+        top_by_emax(self.t, self.m)
+    }
+
+    /// All answers, lexicographically, with polynomial delay and space
+    /// (Theorem 4.1).
+    pub fn unranked(&self) -> Result<impl Iterator<Item = Vec<SymbolId>> + 'a, EngineError> {
+        enumerate_unranked(self.t, self.m)
+    }
+
+    /// All answers in decreasing `E_max` with polynomial delay
+    /// (Theorem 4.3).
+    pub fn ranked(&self) -> Result<impl Iterator<Item = RankedAnswer> + 'a, EngineError> {
+        enumerate_by_emax(self.t, self.m)
+    }
+
+    /// The top-k answers by `E_max`, each with its exact confidence.
+    ///
+    /// This is the paper's recommended practical mode: the ranking is the
+    /// provably-best polynomial heuristic, and the confidence attached to
+    /// each reported answer is exact (polynomial when
+    /// [`Evaluation::confidence_cost`] is `Polynomial`).
+    pub fn top_k_scored(&self, k: usize) -> Result<Vec<ScoredAnswer>, EngineError> {
+        let mut out = Vec::with_capacity(k);
+        for r in enumerate_by_emax(self.t, self.m)?.take(k) {
+            let conf = confidence(self.t, self.m, &r.output)?;
+            out.push(ScoredAnswer { emax: r.score(), confidence: conf, output: r.output });
+        }
+        Ok(out)
+    }
+
+    /// Anytime certified top answer by *true confidence* (deterministic
+    /// machines only; see [`crate::certified`]). Inspects at most
+    /// `budget` answers.
+    pub fn certified_top(
+        &self,
+        budget: usize,
+    ) -> Result<Option<crate::certified::CertifiedTop>, EngineError> {
+        crate::certified::certified_top_by_confidence(self.t, self.m, budget)
+    }
+
+    /// The k most probable worlds behind an answer (provenance; see
+    /// [`crate::evidence`]).
+    pub fn top_evidences(
+        &self,
+        o: &[SymbolId],
+        k: usize,
+    ) -> Result<Vec<crate::evidence::Evidence>, EngineError> {
+        crate::evidence::top_k_evidences(self.t, self.m, o, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transmark_automata::Alphabet;
+    use transmark_markov::MarkovSequenceBuilder;
+
+    fn sym(i: u32) -> SymbolId {
+        SymbolId(i)
+    }
+
+    fn setup() -> (Transducer, MarkovSequence) {
+        let alphabet = Alphabet::of_chars("ab");
+        let m = MarkovSequenceBuilder::new(alphabet.clone(), 3)
+            .uniform_all()
+            .build()
+            .unwrap();
+        let mut b = Transducer::builder(alphabet.clone(), alphabet);
+        let q = b.add_state(true);
+        for s in 0..2u32 {
+            b.add_transition(q, sym(s), q, &[sym(s)]).unwrap();
+        }
+        (b.build().unwrap(), m)
+    }
+
+    #[test]
+    fn evaluation_facade_works_end_to_end() {
+        let (t, m) = setup();
+        let ev = Evaluation::new(&t, &m).unwrap();
+        assert_eq!(ev.confidence_cost(), ConfidenceCost::Polynomial);
+        assert!(ev.has_answers().unwrap());
+        let scored = ev.top_k_scored(3).unwrap();
+        assert_eq!(scored.len(), 3);
+        for s in &scored {
+            // Identity over a uniform chain: every answer has conf = 1/8,
+            // and E_max = conf (single evidence each).
+            assert!((s.confidence - 0.125).abs() < 1e-12);
+            assert!((s.emax - 0.125).abs() < 1e-12);
+            assert!(ev.is_answer(&s.output).unwrap());
+        }
+        assert_eq!(ev.unranked().unwrap().count(), 8);
+        assert_eq!(ev.ranked().unwrap().count(), 8);
+        let top = ev.top().unwrap().unwrap();
+        assert!((top.prob() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_classification() {
+        let alphabet = Alphabet::of_chars("a");
+        // Nondeterministic 1-uniform.
+        let mut b = Transducer::builder(alphabet.clone(), alphabet.clone());
+        let q0 = b.add_state(true);
+        let q1 = b.add_state(true);
+        b.add_transition(q0, sym(0), q0, &[sym(0)]).unwrap();
+        b.add_transition(q0, sym(0), q1, &[sym(0)]).unwrap();
+        let t = b.build().unwrap();
+        let m = MarkovSequenceBuilder::new(Alphabet::of_chars("a"), 1)
+            .initial(sym(0), 1.0)
+            .build()
+            .unwrap();
+        let ev = Evaluation::new(&t, &m).unwrap();
+        assert_eq!(ev.confidence_cost(), ConfidenceCost::ExponentialInStates);
+    }
+
+    #[test]
+    fn mismatched_alphabets_rejected_at_construction() {
+        let (t, _) = setup();
+        let m3 = MarkovSequenceBuilder::new(Alphabet::of_chars("abc"), 2)
+            .uniform_all()
+            .build()
+            .unwrap();
+        assert!(Evaluation::new(&t, &m3).is_err());
+    }
+}
+
+#[cfg(test)]
+mod facade_extension_tests {
+    use super::*;
+    use transmark_automata::Alphabet;
+    use transmark_markov::MarkovSequenceBuilder;
+
+    #[test]
+    fn certified_top_and_evidences_through_the_facade() {
+        let alphabet = Alphabet::of_chars("ab");
+        let (a, b_) = (alphabet.sym("a"), alphabet.sym("b"));
+        let m = MarkovSequenceBuilder::new(alphabet.clone(), 3)
+            .initial(a, 0.9)
+            .initial(b_, 0.1)
+            .transition(0, a, a, 0.9)
+            .transition(0, a, b_, 0.1)
+            .transition(0, b_, b_, 1.0)
+            .transition(1, a, a, 0.9)
+            .transition(1, a, b_, 0.1)
+            .transition(1, b_, b_, 1.0)
+            .build()
+            .unwrap();
+        let mut tb = Transducer::builder(alphabet.clone(), alphabet);
+        let q = tb.add_state(true);
+        tb.add_transition(q, a, q, &[a]).unwrap();
+        tb.add_transition(q, b_, q, &[b_]).unwrap();
+        let t = tb.build().unwrap();
+
+        let ev = Evaluation::new(&t, &m).unwrap();
+        let top = ev.certified_top(100).unwrap().expect("answers exist");
+        assert!(top.certified);
+        // Identity: aaa is the dominant world (0.9³ = 0.729 > residual).
+        assert_eq!(top.answers_inspected, 1);
+        assert!((top.confidence - 0.729).abs() < 1e-12);
+
+        // Evidence view of the same answer.
+        let evs = ev.top_evidences(&top.output, 3).unwrap();
+        assert_eq!(evs.len(), 1, "identity: one world per answer");
+        assert_eq!(evs[0].world, top.output);
+        assert!((evs[0].prob() - top.confidence).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,183 @@
+//! Seeded random transducer generators.
+//!
+//! Companions to [`transmark_markov::generate`]: random instances for the
+//! oracle-based test suites and the benchmark sweeps. Generators can be
+//! told to produce each of the paper's transducer classes (general,
+//! uniform-emission, deterministic, Mealy, projector) so every Table 2
+//! column is exercised.
+
+use std::sync::Arc;
+
+use rand::{Rng, RngExt};
+use transmark_automata::{Alphabet, SymbolId};
+
+use crate::transducer::{Transducer, TransducerBuilder};
+
+/// Which §3.1.1 class to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransducerClass {
+    /// Arbitrary NFA, arbitrary-length emissions (0..=2 symbols).
+    General,
+    /// Arbitrary NFA, all emissions of length exactly `k`.
+    Uniform(usize),
+    /// Complete DFA, arbitrary-length emissions.
+    Deterministic,
+    /// Deterministic + non-selective + 1-uniform.
+    Mealy,
+    /// Arbitrary NFA, each emission is the read symbol or `ε`
+    /// (requires the output alphabet to mirror the input alphabet).
+    Projector,
+}
+
+/// Parameters for [`random_transducer`].
+#[derive(Debug, Clone)]
+pub struct RandomTransducerSpec {
+    /// Number of states `|Q|`.
+    pub n_states: usize,
+    /// Input alphabet size `|Σ|`.
+    pub n_input_symbols: usize,
+    /// Output alphabet size `|Δ|` (ignored for `Projector`/`Mealy`-with-copy).
+    pub n_output_symbols: usize,
+    /// The transducer class to generate.
+    pub class: TransducerClass,
+    /// For nondeterministic classes: expected number of successors per
+    /// `(q, σ)` (each candidate target is included independently).
+    pub branching: f64,
+}
+
+impl Default for RandomTransducerSpec {
+    fn default() -> Self {
+        Self {
+            n_states: 3,
+            n_input_symbols: 3,
+            n_output_symbols: 2,
+            class: TransducerClass::General,
+            branching: 1.5,
+        }
+    }
+}
+
+/// Generates a random transducer of the requested class. Guarantees at
+/// least one accepting state and, for nondeterministic classes, at least
+/// one outgoing transition per `(q, σ)` with probability high enough that
+/// most instances have answers (empty-answer instances are still legal).
+pub fn random_transducer<R: Rng + ?Sized>(
+    spec: &RandomTransducerSpec,
+    rng: &mut R,
+) -> Transducer {
+    assert!(spec.n_states >= 1 && spec.n_input_symbols >= 1, "degenerate spec");
+    let input = Arc::new(Alphabet::from_names(
+        (0..spec.n_input_symbols).map(|i| format!("s{i}")),
+    ));
+    let output: Arc<Alphabet> = match spec.class {
+        TransducerClass::Projector => Arc::clone(&input),
+        _ => Arc::new(Alphabet::from_names(
+            (0..spec.n_output_symbols.max(1)).map(|i| format!("d{i}")),
+        )),
+    };
+    let n_out = output.len();
+    let mut b = TransducerBuilder::new(Arc::clone(&input), Arc::clone(&output));
+
+    let non_selective = matches!(spec.class, TransducerClass::Mealy);
+    let states: Vec<_> = (0..spec.n_states)
+        .map(|_| b.add_state(non_selective || rng.random_bool(0.5)))
+        .collect();
+    // Ensure at least one accepting state.
+    let lucky = states[rng.random_range(0..states.len())];
+    b.set_accepting(lucky, true);
+
+    let deterministic = matches!(
+        spec.class,
+        TransducerClass::Deterministic | TransducerClass::Mealy
+    );
+
+    let emission = |rng: &mut R, sym: SymbolId| -> Vec<SymbolId> {
+        match spec.class {
+            TransducerClass::Uniform(k) => {
+                (0..k).map(|_| SymbolId(rng.random_range(0..n_out) as u32)).collect()
+            }
+            TransducerClass::Mealy => vec![SymbolId(rng.random_range(0..n_out) as u32)],
+            TransducerClass::Projector => {
+                if rng.random_bool(0.5) {
+                    vec![sym]
+                } else {
+                    vec![]
+                }
+            }
+            TransducerClass::General | TransducerClass::Deterministic => {
+                let len = rng.random_range(0..=2usize);
+                (0..len).map(|_| SymbolId(rng.random_range(0..n_out) as u32)).collect()
+            }
+        }
+    };
+
+    for &q in &states {
+        for s in 0..spec.n_input_symbols {
+            let sym = SymbolId(s as u32);
+            if deterministic {
+                let to = states[rng.random_range(0..states.len())];
+                let em = emission(rng, sym);
+                b.add_transition(q, sym, to, &em).expect("generator produces valid edges");
+            } else {
+                let p_each = (spec.branching / spec.n_states as f64).clamp(0.05, 1.0);
+                for &to in &states {
+                    if rng.random_bool(p_each) {
+                        let em = emission(rng, sym);
+                        b.add_transition(q, sym, to, &em)
+                            .expect("generator produces valid edges");
+                    }
+                }
+            }
+        }
+    }
+    b.build().expect("generator produces a nonempty machine")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn classes_have_their_advertised_properties() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let base = RandomTransducerSpec::default();
+
+            let det = random_transducer(
+                &RandomTransducerSpec { class: TransducerClass::Deterministic, ..base.clone() },
+                &mut rng,
+            );
+            assert!(det.is_deterministic());
+
+            let mealy = random_transducer(
+                &RandomTransducerSpec { class: TransducerClass::Mealy, ..base.clone() },
+                &mut rng,
+            );
+            assert!(mealy.is_mealy());
+
+            let uni = random_transducer(
+                &RandomTransducerSpec { class: TransducerClass::Uniform(2), ..base.clone() },
+                &mut rng,
+            );
+            assert_eq!(uni.uniform_emission(), Some(2));
+
+            let proj = random_transducer(
+                &RandomTransducerSpec { class: TransducerClass::Projector, ..base },
+                &mut rng,
+            );
+            assert!(proj.is_projector());
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic_per_seed() {
+        let spec = RandomTransducerSpec::default();
+        let a = random_transducer(&spec, &mut StdRng::seed_from_u64(3));
+        let b = random_transducer(&spec, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a.n_states(), b.n_states());
+        let ta: Vec<_> = a.transitions().collect();
+        let tb: Vec<_> = b.transitions().collect();
+        assert_eq!(ta, tb);
+    }
+}

@@ -1,0 +1,63 @@
+#![warn(missing_docs)]
+// Index-based loops are the clearest way to write the layered DP kernels
+// and matrix scans in this codebase; the clippy suggestion (iterators with
+// enumerate/zip) obscures the (position, node, state) indexing.
+#![allow(clippy::needless_range_loop)]
+
+//! The `transmark` query engine: evaluating finite-state transducers over
+//! Markov sequences.
+//!
+//! This crate is the reproduction of the primary contribution of
+//! "Transducing Markov Sequences" (Kimelfeld & Ré, PODS 2010). A query is
+//! a [`Transducer`] `A^ω` — an NFA whose transitions each emit a fixed
+//! output string ("deterministic emission", §3.1.1). Evaluating `A^ω` over
+//! a Markov sequence `μ` follows the probabilistic-database semantics:
+//! every output string `o` with `Pr(S →[A^ω]→ o) > 0` is an *answer*, and
+//! that probability is its *confidence*.
+//!
+//! The modules map onto the paper's results:
+//!
+//! | Module | Paper result |
+//! |---|---|
+//! | [`transducer`] | §3.1.1 — transducers, Mealy machines, projectors |
+//! | [`constraints`] | §4 — prefix constraints as output-DFA products |
+//! | [`mod@confidence`] | Thm 4.6 (deterministic, plus k-uniform fast path), Thm 4.8 (uniform NFA subset DP), the general exact algorithm (exponential, as Prop. 4.7 / Thm 4.9 force), and `Pr(S ∈ L(A))` |
+//! | [`emax`] | §4.2 — best evidence `E_max`, constrained Viterbi |
+//! | [`enumerate`] | Thm 4.1 (unranked, poly delay + poly space) and Thm 4.3 (decreasing `E_max`, poly delay) |
+//! | [`montecarlo`] | additive-error confidence estimation by sampling |
+//! | [`brute`] | brute-force oracles used by tests and the experiment harness |
+
+pub mod brute;
+pub mod certified;
+pub mod compose;
+pub mod confidence;
+pub mod constraints;
+pub mod emax;
+pub mod enumerate;
+pub mod error;
+pub mod evaluate;
+pub mod evidence;
+pub mod generate;
+pub mod montecarlo;
+pub mod streaming;
+pub mod textio;
+pub mod transducer;
+
+pub use certified::{certified_top_by_confidence, certified_top_k_by_confidence, CertifiedTop, CertifiedTopK};
+pub use compose::compose;
+pub use confidence::{
+    acceptance_probability, confidence, confidence_deterministic, confidence_general,
+    confidence_uniform_nfa, is_answer,
+};
+pub use emax::{emax_of_output, top_by_emax, EmaxResult};
+pub use enumerate::{
+    enumerate_by_emax, enumerate_unranked, top_k_by_emax, RankedAnswer, UnrankedAnswers,
+};
+pub use error::EngineError;
+pub use evaluate::{ConfidenceCost, Evaluation, ScoredAnswer};
+pub use evidence::{enumerate_evidences, top_k_evidences, Evidence, Evidences};
+pub use streaming::EventMonitor;
+pub use transducer::{Transducer, TransducerBuilder};
+
+pub use transmark_automata::{Alphabet, BitSet, Dfa, Nfa, StateId, SymbolId};
+pub use transmark_markov::{MarkovSequence, MarkovSequenceBuilder};

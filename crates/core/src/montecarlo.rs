@@ -1,0 +1,164 @@
+//! Monte-Carlo confidence estimation.
+//!
+//! For nondeterministic, non-uniform transducers, exact confidence is
+//! FP^#P-complete (Prop. 4.7, Thm 4.9), and the paper leaves the existence
+//! of an FPRAS open (it would settle a long-standing question about
+//! counting strings in regular languages \[28\]). What *is* easy is an
+//! additive-error estimator: `conf(o) = E[ 1{S →[A^ω]→ o} ]`, so sampling
+//! worlds from `μ` and testing membership (a polynomial reachability DP
+//! per sample) gives an unbiased estimate with `O(1/√N)` standard error.
+
+use rand::Rng;
+use transmark_automata::{StateId, SymbolId};
+use transmark_markov::MarkovSequence;
+
+use crate::confidence::check_inputs;
+use crate::error::EngineError;
+use crate::transducer::Transducer;
+
+/// An estimate with its standard error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McEstimate {
+    /// The sample mean of the membership indicator.
+    pub estimate: f64,
+    /// The standard error `√(p̂(1-p̂)/N)`.
+    pub std_error: f64,
+    /// Number of samples drawn.
+    pub samples: usize,
+}
+
+/// Tests whether some accepting run of `A^ω` on the concrete string `s`
+/// emits exactly `o` — a boolean DP over (state, output position),
+/// `O(|s|·|Q|·|o|·b)`.
+pub fn transduces_to(t: &Transducer, s: &[SymbolId], o: &[SymbolId]) -> bool {
+    let nq = t.n_states();
+    let width = o.len() + 1;
+    let mut layer = vec![false; nq * width];
+    layer[t.initial().index() * width] = true;
+    let mut next = vec![false; nq * width];
+    for &sym in s {
+        next.iter_mut().for_each(|v| *v = false);
+        for q in 0..nq {
+            for j in 0..width {
+                if !layer[q * width + j] {
+                    continue;
+                }
+                for e in t.edges(StateId(q as u32), sym) {
+                    let em = t.emission(e.emission);
+                    if j + em.len() <= o.len() && o[j..j + em.len()] == *em {
+                        next[e.target.index() * width + j + em.len()] = true;
+                    }
+                }
+            }
+        }
+        std::mem::swap(&mut layer, &mut next);
+    }
+    (0..nq).any(|q| t.is_accepting(StateId(q as u32)) && layer[q * width + o.len()])
+}
+
+/// Estimates `Pr(S →[A^ω]→ o)` from `samples` independent worlds.
+pub fn estimate_confidence<R: Rng + ?Sized>(
+    t: &Transducer,
+    m: &MarkovSequence,
+    o: &[SymbolId],
+    samples: usize,
+    rng: &mut R,
+) -> Result<McEstimate, EngineError> {
+    check_inputs(t, m, Some(o))?;
+    assert!(samples > 0, "at least one sample is required");
+    let mut hits = 0usize;
+    // Deterministic machines admit a cheaper membership test.
+    let deterministic = t.is_deterministic();
+    for _ in 0..samples {
+        let s = m.sample(rng);
+        let hit = if deterministic {
+            t.transduce_deterministic(&s).as_deref() == Some(o)
+        } else {
+            transduces_to(t, &s, o)
+        };
+        hits += usize::from(hit);
+    }
+    let p = hits as f64 / samples as f64;
+    Ok(McEstimate {
+        estimate: p,
+        std_error: (p * (1.0 - p) / samples as f64).sqrt(),
+        samples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use transmark_automata::Alphabet;
+    use transmark_markov::MarkovSequenceBuilder;
+
+    fn sym(i: u32) -> SymbolId {
+        SymbolId(i)
+    }
+
+    /// Nondeterministic suffix-copier over {a,b} (see transducer tests).
+    fn suffix_guesser() -> Transducer {
+        let a = Alphabet::of_chars("ab");
+        let mut b = Transducer::builder(a.clone(), a);
+        let skip = b.add_state(true);
+        let copy = b.add_state(true);
+        b.set_initial(skip);
+        for s in 0..2u32 {
+            b.add_transition(skip, sym(s), skip, &[]).unwrap();
+            b.add_transition(skip, sym(s), copy, &[sym(s)]).unwrap();
+            b.add_transition(copy, sym(s), copy, &[sym(s)]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn uniform_chain(n: usize) -> MarkovSequence {
+        let a = Alphabet::of_chars("ab");
+        MarkovSequenceBuilder::new(a, n).uniform_all().build().unwrap()
+    }
+
+    #[test]
+    fn transduces_to_agrees_with_definition() {
+        let t = suffix_guesser();
+        let s = [sym(0), sym(1), sym(0)];
+        let all = t.transduce_all(&s);
+        // Check several candidate outputs.
+        for o in [vec![], vec![sym(0)], vec![sym(1), sym(0)], vec![sym(0), sym(1), sym(0)], vec![sym(1)]]
+        {
+            assert_eq!(transduces_to(&t, &s, &o), all.contains(&o), "output {o:?}");
+        }
+    }
+
+    #[test]
+    fn estimate_converges_to_brute_force() {
+        let t = suffix_guesser();
+        let m = uniform_chain(3);
+        let o = vec![sym(0)]; // suffix "a"
+        let exact = crate::brute::evaluate(&t, &m).unwrap()[&o];
+        let mut rng = StdRng::seed_from_u64(99);
+        let est = estimate_confidence(&t, &m, &o, 20_000, &mut rng).unwrap();
+        assert!(
+            (est.estimate - exact).abs() < 4.0 * est.std_error + 1e-9,
+            "estimate {} vs exact {exact} (se {})",
+            est.estimate,
+            est.std_error
+        );
+    }
+
+    #[test]
+    fn deterministic_fast_path_matches() {
+        // Identity transducer (deterministic).
+        let a = Alphabet::of_chars("ab");
+        let mut b = Transducer::builder(a.clone(), a);
+        let q = b.add_state(true);
+        for s in 0..2u32 {
+            b.add_transition(q, sym(s), q, &[sym(s)]).unwrap();
+        }
+        let t = b.build().unwrap();
+        let m = uniform_chain(2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let o = vec![sym(0), sym(1)];
+        let est = estimate_confidence(&t, &m, &o, 20_000, &mut rng).unwrap();
+        assert!((est.estimate - 0.25).abs() < 0.02);
+    }
+}

@@ -1,0 +1,248 @@
+//! Streaming Boolean-query monitoring.
+//!
+//! §6 contrasts Lahar with CLARO, whose concern is "high-volume data
+//! streams" where storing the whole Markov sequence may be infeasible.
+//! The per-prefix acceptance DP of
+//! [`crate::confidence::prefix_acceptance_probabilities`] needs only the
+//! *current* layer, so it runs online: an [`EventMonitor`] holds the
+//! distribution over (determinized query state × current node) and folds
+//! in one transition matrix at a time, emitting the updated probability
+//! that the stream-so-far satisfies the query. Memory is independent of
+//! the stream length (bounded by reachable subsets × `|Σ|`).
+
+use std::collections::HashMap;
+
+use transmark_automata::{Nfa, SymbolId};
+use transmark_markov::numeric::KahanSum;
+use transmark_markov::MarkovSequence;
+
+use crate::error::EngineError;
+
+/// An online monitor for `Pr(S[1..t] ∈ L(A))` over a Markov stream whose
+/// transition matrices arrive one step at a time.
+///
+/// The query NFA is owned (determinized on the fly); feed the stream with
+/// [`EventMonitor::start`] (initial distribution) and
+/// [`EventMonitor::advance`] (one row-major `|Σ|²` matrix per step).
+pub struct EventMonitor {
+    nfa: Nfa,
+    /// Index into the lazily-grown determinization; rebuilt per monitor.
+    det: OwnedDeterminizer,
+    /// Mass per (determinized state, current node). Dead subsets are
+    /// dropped (they can never accept again).
+    layer: HashMap<(usize, u32), f64>,
+    n_symbols: usize,
+    steps: usize,
+}
+
+/// A `Determinizer` that owns its NFA (the library version borrows).
+struct OwnedDeterminizer {
+    /// Interned subsets → id, via the borrowed determinizer recreated on
+    /// demand would lose the cache; instead store transitions explicitly.
+    subset_accepting: Vec<bool>,
+    subset_dead: Vec<bool>,
+    trans: HashMap<(usize, u32), usize>,
+    subsets: Vec<transmark_automata::BitSet>,
+    ids: HashMap<transmark_automata::BitSet, usize>,
+}
+
+impl OwnedDeterminizer {
+    fn new(nfa: &Nfa) -> Self {
+        let init = transmark_automata::BitSet::singleton(
+            nfa.n_states().max(1),
+            nfa.initial().index(),
+        );
+        let mut ids = HashMap::new();
+        ids.insert(init.clone(), 0);
+        let accepting = nfa.accepting_set();
+        Self {
+            subset_accepting: vec![init.intersects(&accepting)],
+            subset_dead: vec![init.is_empty()],
+            trans: HashMap::new(),
+            subsets: vec![init],
+            ids,
+        }
+    }
+
+    fn step(&mut self, nfa: &Nfa, id: usize, sym: SymbolId) -> usize {
+        if let Some(&to) = self.trans.get(&(id, sym.0)) {
+            return to;
+        }
+        let next = nfa.step_set(&self.subsets[id], sym);
+        let to = match self.ids.get(&next) {
+            Some(&i) => i,
+            None => {
+                let i = self.subsets.len();
+                let accepting = nfa.accepting_set();
+                self.subset_accepting.push(next.intersects(&accepting));
+                self.subset_dead.push(next.is_empty());
+                self.ids.insert(next.clone(), i);
+                self.subsets.push(next);
+                i
+            }
+        };
+        self.trans.insert((id, sym.0), to);
+        to
+    }
+}
+
+impl EventMonitor {
+    /// Starts monitoring: `initial` is the stream's `μ₀→` distribution
+    /// over `|Σ|` nodes (must match the query's alphabet size).
+    pub fn start(nfa: Nfa, initial: &[f64]) -> Result<Self, EngineError> {
+        if nfa.n_symbols() != initial.len() {
+            return Err(EngineError::AlphabetMismatch {
+                transducer: nfa.n_symbols(),
+                sequence: initial.len(),
+            });
+        }
+        let mut det = OwnedDeterminizer::new(&nfa);
+        let mut layer = HashMap::new();
+        for (node, &p) in initial.iter().enumerate() {
+            if p == 0.0 {
+                continue;
+            }
+            let d = det.step(&nfa, 0, SymbolId(node as u32));
+            if !det.subset_dead[d] {
+                *layer.entry((d, node as u32)).or_insert(0.0) += p;
+            }
+        }
+        Ok(Self { n_symbols: initial.len(), nfa, det, layer, steps: 1 })
+    }
+
+    /// Number of stream positions consumed so far (`≥ 1`).
+    pub fn len(&self) -> usize {
+        self.steps
+    }
+
+    /// Always false (a monitor starts with one position consumed).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The current `Pr(S[1..t] ∈ L(A))`.
+    pub fn probability(&self) -> f64 {
+        let mut entries: Vec<((usize, u32), f64)> =
+            self.layer.iter().map(|(k, p)| (*k, *p)).collect();
+        entries.sort_unstable_by_key(|(k, _)| *k);
+        entries
+            .into_iter()
+            .filter(|((d, _), _)| self.det.subset_accepting[*d])
+            .map(|(_, p)| p)
+            .collect::<KahanSum>()
+            .total()
+    }
+
+    /// Folds in the next transition matrix (row-major `|Σ|²`) and returns
+    /// the updated probability.
+    pub fn advance(&mut self, matrix: &[f64]) -> Result<f64, EngineError> {
+        let k = self.n_symbols;
+        if matrix.len() != k * k {
+            return Err(EngineError::AlphabetMismatch { transducer: k * k, sequence: matrix.len() });
+        }
+        let mut next: HashMap<(usize, u32), f64> = HashMap::with_capacity(self.layer.len());
+        // Sorted iteration keeps float accumulation (and thus the result,
+        // bit for bit) independent of HashMap iteration order.
+        let mut entries: Vec<((usize, u32), f64)> =
+            self.layer.iter().map(|(k, p)| (*k, *p)).collect();
+        entries.sort_unstable_by_key(|(k, _)| *k);
+        for ((d, node), p) in &entries {
+            let row = &matrix[*node as usize * k..(*node as usize + 1) * k];
+            for (to, &pt) in row.iter().enumerate() {
+                if pt == 0.0 {
+                    continue;
+                }
+                let d2 = self.det.step(&self.nfa, *d, SymbolId(to as u32));
+                if !self.det.subset_dead[d2] {
+                    *next.entry((d2, to as u32)).or_insert(0.0) += p * pt;
+                }
+            }
+        }
+        self.layer = next;
+        self.steps += 1;
+        Ok(self.probability())
+    }
+
+    /// Convenience: replays a stored sequence through the monitor,
+    /// returning the full probability series (equals
+    /// [`crate::confidence::prefix_acceptance_probabilities`]).
+    pub fn replay(nfa: Nfa, m: &MarkovSequence) -> Result<Vec<f64>, EngineError> {
+        let mut monitor = EventMonitor::start(nfa, m.initial_dist())?;
+        let mut out = Vec::with_capacity(m.len());
+        out.push(monitor.probability());
+        let k = m.n_symbols();
+        let mut matrix = vec![0.0; k * k];
+        for i in 0..m.len() - 1 {
+            for from in 0..k {
+                matrix[from * k..(from + 1) * k]
+                    .copy_from_slice(m.transition_row(i, SymbolId(from as u32)));
+            }
+            out.push(monitor.advance(&matrix)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::confidence::prefix_acceptance_probabilities;
+    use rand::{rngs::StdRng, SeedableRng};
+    use transmark_markov::generate::{random_markov_sequence, RandomChainSpec};
+    use transmark_markov::numeric::approx_eq;
+
+    /// NFA over 3 symbols: has seen symbol 2.
+    fn has_two() -> Nfa {
+        let mut nfa = Nfa::new(3);
+        let q0 = nfa.add_state(false);
+        let acc = nfa.add_state(true);
+        for s in 0..3u32 {
+            nfa.add_transition(q0, SymbolId(s), if s == 2 { acc } else { q0 });
+            nfa.add_transition(acc, SymbolId(s), acc);
+        }
+        nfa
+    }
+
+    #[test]
+    fn replay_matches_batch_series() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..10 {
+            let m = random_markov_sequence(
+                &RandomChainSpec { len: 6, n_symbols: 3, zero_prob: 0.3 },
+                &mut rng,
+            );
+            let batch = prefix_acceptance_probabilities(&has_two(), &m).unwrap();
+            let streamed = EventMonitor::replay(has_two(), &m).unwrap();
+            assert_eq!(batch.len(), streamed.len());
+            for (b, s) in batch.iter().zip(streamed.iter()) {
+                assert!(approx_eq(*b, *s, 1e-12, 1e-10), "{b} vs {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_use_without_storing_the_stream() {
+        // Feed matrices one at a time; state size stays bounded.
+        let k = 3;
+        let uniform = vec![1.0 / k as f64; k * k];
+        let mut monitor = EventMonitor::start(has_two(), &[1.0, 0.0, 0.0]).unwrap();
+        assert_eq!(monitor.probability(), 0.0); // first node is 0, not 2
+        let mut last = 0.0;
+        for t in 0..1000 {
+            let p = monitor.advance(&uniform).unwrap();
+            assert!(p >= last - 1e-12, "monotone for a monotone property");
+            last = p;
+            let _ = t;
+        }
+        assert_eq!(monitor.len(), 1001);
+        // After 1000 uniform steps the pattern has almost surely appeared.
+        assert!(last > 0.999999);
+    }
+
+    #[test]
+    fn start_and_advance_validate_shapes() {
+        assert!(EventMonitor::start(has_two(), &[1.0]).is_err());
+        let mut m = EventMonitor::start(has_two(), &[1.0, 0.0, 0.0]).unwrap();
+        assert!(m.advance(&[1.0, 0.0]).is_err());
+    }
+}

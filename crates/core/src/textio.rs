@@ -1,0 +1,278 @@
+//! A plain-text interchange format for transducers.
+//!
+//! Companion to [`transmark_markov::textio`]; fixes a file format so
+//! queries can be stored and fed to the CLI:
+//!
+//! ```text
+//! transducer v1
+//! input-alphabet r1a r1b la lb
+//! output-alphabet 1 2 λ
+//! states 4
+//! initial 0
+//! accepting 1 2 3
+//! # from input-symbol to emission…
+//! edge 0 r1a 0
+//! edge 0 la 1
+//! edge 1 r1a 2 1
+//! ```
+//!
+//! * `edge q σ q' [d…]` adds `q' ∈ δ(q, σ)` emitting the listed output
+//!   symbols (none = ε);
+//! * `#` comments and blank lines are ignored;
+//! * deterministic emission and id ranges are validated by the
+//!   [`TransducerBuilder`], so a file that parses is a valid machine.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use transmark_automata::{Alphabet, StateId};
+
+use crate::error::EngineError;
+use crate::transducer::{Transducer, TransducerBuilder};
+
+pub use transmark_markov::textio::ParseError;
+
+/// Everything that can go wrong reading a transducer file.
+#[derive(Debug)]
+pub enum TextIoError {
+    /// Syntactic problem.
+    Parse(ParseError),
+    /// The parsed data is not a valid transducer.
+    Model(EngineError),
+}
+
+impl std::fmt::Display for TextIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TextIoError::Parse(e) => write!(f, "{e}"),
+            TextIoError::Model(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TextIoError {}
+
+impl From<EngineError> for TextIoError {
+    fn from(e: EngineError) -> Self {
+        TextIoError::Model(e)
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> TextIoError {
+    TextIoError::Parse(ParseError { line, message: message.into() })
+}
+
+/// Serializes a transducer to the v1 text format.
+pub fn to_text(t: &Transducer) -> String {
+    let mut out = String::new();
+    out.push_str("transducer v1\n");
+    out.push_str("input-alphabet");
+    for (_, name) in t.input_alphabet().iter() {
+        let _ = write!(out, " {name}");
+    }
+    out.push_str("\noutput-alphabet");
+    for (_, name) in t.output_alphabet().iter() {
+        let _ = write!(out, " {name}");
+    }
+    let _ = write!(out, "\nstates {}\ninitial {}\naccepting", t.n_states(), t.initial().0);
+    for q in 0..t.n_states() {
+        if t.is_accepting(StateId(q as u32)) {
+            let _ = write!(out, " {q}");
+        }
+    }
+    out.push('\n');
+    for (from, sym, e) in t.transitions() {
+        let _ = write!(
+            out,
+            "edge {} {} {}",
+            from.0,
+            t.input_alphabet().name(sym),
+            e.target.0
+        );
+        for &d in t.emission(e.emission) {
+            let _ = write!(out, " {}", t.output_alphabet().name(d));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the v1 text format.
+pub fn from_text(text: &str) -> Result<Transducer, TextIoError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'))
+        .peekable();
+
+    let (ln, header) = lines.next().ok_or_else(|| err(0, "empty input"))?;
+    if header != "transducer v1" {
+        return Err(err(ln, format!("expected \"transducer v1\", found {header:?}")));
+    }
+
+    let mut take_alphabet = |prefix: &str| -> Result<Arc<Alphabet>, TextIoError> {
+        let (ln, line) = lines
+            .next()
+            .ok_or_else(|| err(0, format!("missing \"{prefix}\" line")))?;
+        let body = line
+            .strip_prefix(prefix)
+            .ok_or_else(|| err(ln, format!("expected \"{prefix} <names…>\"")))?;
+        let names: Vec<&str> = body.split_whitespace().collect();
+        if names.is_empty() {
+            return Err(err(ln, format!("{prefix} must have at least one symbol")));
+        }
+        let a = Alphabet::from_names(names.iter().copied());
+        if a.len() != names.len() {
+            return Err(err(ln, format!("duplicate names in {prefix}")));
+        }
+        Ok(Arc::new(a))
+    };
+    let input = take_alphabet("input-alphabet")?;
+    let output = take_alphabet("output-alphabet")?;
+
+    let (ln, states_line) = lines.next().ok_or_else(|| err(0, "missing states line"))?;
+    let n_states: usize = states_line
+        .strip_prefix("states")
+        .map(str::trim)
+        .ok_or_else(|| err(ln, "expected \"states <n>\""))?
+        .parse()
+        .map_err(|e| err(ln, format!("bad state count: {e}")))?;
+
+    let (ln, init_line) = lines.next().ok_or_else(|| err(0, "missing initial line"))?;
+    let initial: usize = init_line
+        .strip_prefix("initial")
+        .map(str::trim)
+        .ok_or_else(|| err(ln, "expected \"initial <q>\""))?
+        .parse()
+        .map_err(|e| err(ln, format!("bad initial state: {e}")))?;
+
+    let (ln, acc_line) = lines.next().ok_or_else(|| err(0, "missing accepting line"))?;
+    let acc_body = acc_line
+        .strip_prefix("accepting")
+        .ok_or_else(|| err(ln, "expected \"accepting <q…>\""))?;
+    let accepting: Vec<usize> = acc_body
+        .split_whitespace()
+        .map(str::parse)
+        .collect::<Result<_, _>>()
+        .map_err(|e| err(ln, format!("bad accepting state: {e}")))?;
+
+    let mut b = TransducerBuilder::new(Arc::clone(&input), Arc::clone(&output));
+    for _ in 0..n_states {
+        b.add_state(false);
+    }
+    if initial >= n_states {
+        return Err(err(ln, format!("initial state {initial} out of range")));
+    }
+    b.set_initial(StateId(initial as u32));
+    for q in accepting {
+        if q >= n_states {
+            return Err(err(ln, format!("accepting state {q} out of range")));
+        }
+        b.set_accepting(StateId(q as u32), true);
+    }
+
+    for (ln, line) in lines {
+        let body = line
+            .strip_prefix("edge")
+            .ok_or_else(|| err(ln, format!("expected \"edge …\", found {line:?}")))?;
+        let mut parts = body.split_whitespace();
+        let from: usize = parts
+            .next()
+            .ok_or_else(|| err(ln, "edge missing source state"))?
+            .parse()
+            .map_err(|e| err(ln, format!("bad source state: {e}")))?;
+        let sym_name = parts.next().ok_or_else(|| err(ln, "edge missing input symbol"))?;
+        let sym = input
+            .get(sym_name)
+            .ok_or_else(|| err(ln, format!("unknown input symbol {sym_name:?}")))?;
+        let to: usize = parts
+            .next()
+            .ok_or_else(|| err(ln, "edge missing target state"))?
+            .parse()
+            .map_err(|e| err(ln, format!("bad target state: {e}")))?;
+        let emission: Vec<_> = parts
+            .map(|d| {
+                output
+                    .get(d)
+                    .ok_or_else(|| err(ln, format!("unknown output symbol {d:?}")))
+            })
+            .collect::<Result<_, _>>()?;
+        if from >= n_states || to >= n_states {
+            return Err(err(ln, "edge state out of range"));
+        }
+        b.add_transition(StateId(from as u32), sym, StateId(to as u32), &emission)?;
+    }
+    Ok(b.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{random_transducer, RandomTransducerSpec, TransducerClass};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn round_trip_preserves_machine() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for class in [
+            TransducerClass::General,
+            TransducerClass::Deterministic,
+            TransducerClass::Mealy,
+            TransducerClass::Projector,
+        ] {
+            let t = random_transducer(
+                &RandomTransducerSpec { class, ..RandomTransducerSpec::default() },
+                &mut rng,
+            );
+            let back = from_text(&to_text(&t)).expect("round trip parses");
+            assert_eq!(back.n_states(), t.n_states());
+            assert_eq!(back.initial(), t.initial());
+            let ta: Vec<_> = t.transitions().collect();
+            let tb: Vec<_> = back.transitions().collect();
+            assert_eq!(ta.len(), tb.len());
+            for ((f1, s1, e1), (f2, s2, e2)) in ta.iter().zip(tb.iter()) {
+                assert_eq!((f1, s1, e1.target), (f2, s2, e2.target));
+                assert_eq!(t.emission(e1.emission), back.emission(e2.emission));
+            }
+            for q in 0..t.n_states() {
+                assert_eq!(
+                    t.is_accepting(StateId(q as u32)),
+                    back.is_accepting(StateId(q as u32))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hand_written_file_parses() {
+        let text = "\n# room change detector\ntransducer v1\ninput-alphabet a b\noutput-alphabet x\nstates 2\ninitial 0\naccepting 0 1\nedge 0 a 0\nedge 0 b 1 x\nedge 1 b 1\nedge 1 a 0 x\n";
+        let t = from_text(text).unwrap();
+        assert_eq!(t.n_states(), 2);
+        assert!(t.is_deterministic());
+        let out = t
+            .transduce_deterministic(&[
+                t.input_alphabet().sym("a"),
+                t.input_alphabet().sym("b"),
+                t.input_alphabet().sym("b"),
+            ])
+            .unwrap();
+        assert_eq!(t.render_output(&out, ""), "x");
+    }
+
+    #[test]
+    fn errors_are_located() {
+        assert!(matches!(from_text(""), Err(TextIoError::Parse(_))));
+        let bad_edge = "transducer v1\ninput-alphabet a\noutput-alphabet x\nstates 1\ninitial 0\naccepting 0\nedge 0 z 0\n";
+        match from_text(bad_edge) {
+            Err(TextIoError::Parse(e)) => {
+                assert_eq!(e.line, 7);
+                assert!(e.message.contains("unknown input symbol"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        // Conflicting emissions are a model error.
+        let conflict = "transducer v1\ninput-alphabet a\noutput-alphabet x\nstates 1\ninitial 0\naccepting 0\nedge 0 a 0 x\nedge 0 a 0\n";
+        assert!(matches!(from_text(conflict), Err(TextIoError::Model(_))));
+    }
+}

@@ -1,0 +1,623 @@
+//! Finite-state transducers with deterministic emission (§3.1.1).
+//!
+//! A transducer `A^ω` is an NFA `A` over the input alphabet `Σ` together
+//! with an output function `ω : Q × Σ × Q → Δ*`: every transition emits a
+//! fixed string over the output alphabet `Δ` ("deterministic emission" —
+//! the emitted string is determined by the transition, even though the
+//! transition relation itself may be nondeterministic). There are no empty
+//! transitions: the machine reads exactly one input symbol per step, which
+//! keeps runs aligned with Markov-sequence positions.
+//!
+//! `A^ω` transduces `s` into `o` (written `s →[A^ω]→ o`) if some
+//! *accepting* run on `s` emits exactly `o`.
+//!
+//! The type is immutable after construction; build with
+//! [`TransducerBuilder`], which enforces deterministic emission (adding
+//! the same `(q, σ, q')` transition twice with different emissions is an
+//! error) and interns emission strings so the evaluation DPs compare them
+//! by id.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use transmark_automata::{Alphabet, Nfa, StateId, SymbolId};
+
+use crate::error::EngineError;
+
+/// Dense id of an interned emission string. Id `0` is always `ε`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EmissionId(pub u32);
+
+impl EmissionId {
+    /// The id of the empty emission `ε`.
+    pub const EPSILON: EmissionId = EmissionId(0);
+
+    /// The index as `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One outgoing transducer transition: target state plus emitted string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TEdge {
+    /// The state `q'` the transition moves to.
+    pub target: StateId,
+    /// The interned emission `ω(q, σ, q')`.
+    pub emission: EmissionId,
+}
+
+/// A finite-state transducer with deterministic emission.
+#[derive(Debug, Clone)]
+pub struct Transducer {
+    input_alphabet: Arc<Alphabet>,
+    output_alphabet: Arc<Alphabet>,
+    initial: StateId,
+    accepting: Vec<bool>,
+    /// Flat table indexed by `state * |Σ| + symbol`; edges sorted by
+    /// target state.
+    delta: Vec<Vec<TEdge>>,
+    /// Interned emission strings; index 0 is `ε`.
+    emissions: Vec<Box<[SymbolId]>>,
+}
+
+impl Transducer {
+    /// Starts building a transducer over the given alphabets.
+    pub fn builder(
+        input_alphabet: impl Into<Arc<Alphabet>>,
+        output_alphabet: impl Into<Arc<Alphabet>>,
+    ) -> TransducerBuilder {
+        TransducerBuilder::new(input_alphabet, output_alphabet)
+    }
+
+    /// The input alphabet `Σ_A` (must equal the Markov sequence's `Σ_μ`).
+    pub fn input_alphabet(&self) -> &Alphabet {
+        &self.input_alphabet
+    }
+
+    /// Shared handle to the input alphabet.
+    pub fn input_alphabet_arc(&self) -> Arc<Alphabet> {
+        Arc::clone(&self.input_alphabet)
+    }
+
+    /// The output alphabet `Δ_ω`.
+    pub fn output_alphabet(&self) -> &Alphabet {
+        &self.output_alphabet
+    }
+
+    /// Shared handle to the output alphabet.
+    pub fn output_alphabet_arc(&self) -> Arc<Alphabet> {
+        Arc::clone(&self.output_alphabet)
+    }
+
+    /// Number of states `|Q_A|`.
+    #[inline]
+    pub fn n_states(&self) -> usize {
+        self.accepting.len()
+    }
+
+    /// Number of input symbols `|Σ_A|`.
+    #[inline]
+    pub fn n_input_symbols(&self) -> usize {
+        self.input_alphabet.len()
+    }
+
+    /// Number of output symbols `|Δ_ω|`.
+    #[inline]
+    pub fn n_output_symbols(&self) -> usize {
+        self.output_alphabet.len()
+    }
+
+    /// The initial state `q⁰_A`.
+    #[inline]
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// Whether `state ∈ F_A`.
+    #[inline]
+    pub fn is_accepting(&self, state: StateId) -> bool {
+        self.accepting[state.index()]
+    }
+
+    /// The outgoing edges for `(state, symbol)`.
+    #[inline]
+    pub fn edges(&self, state: StateId, symbol: SymbolId) -> &[TEdge] {
+        &self.delta[state.index() * self.input_alphabet.len() + symbol.index()]
+    }
+
+    /// The emission string behind an [`EmissionId`].
+    #[inline]
+    pub fn emission(&self, id: EmissionId) -> &[SymbolId] {
+        &self.emissions[id.index()]
+    }
+
+    /// Number of distinct interned emissions (including `ε`).
+    pub fn n_emissions(&self) -> usize {
+        self.emissions.len()
+    }
+
+    /// Iterates over all transitions as `(from, symbol, edge)`.
+    pub fn transitions(&self) -> impl Iterator<Item = (StateId, SymbolId, TEdge)> + '_ {
+        let k = self.input_alphabet.len();
+        (0..self.n_states()).flat_map(move |q| {
+            (0..k).flat_map(move |s| {
+                self.delta[q * k + s]
+                    .iter()
+                    .map(move |&e| (StateId(q as u32), SymbolId(s as u32), e))
+            })
+        })
+    }
+
+    // ---- Classification (§3.1.1) ----------------------------------------
+
+    /// Whether the underlying automaton is a (complete) DFA.
+    pub fn is_deterministic(&self) -> bool {
+        self.delta.iter().all(|edges| edges.len() == 1)
+    }
+
+    /// Whether the transducer is selective (`F_A ≠ Q_A`). Non-selective
+    /// transducers accept every readable string.
+    pub fn is_selective(&self) -> bool {
+        !self.accepting.iter().all(|&a| a)
+    }
+
+    /// Returns `Some(k)` if the emission is k-uniform (every emitted
+    /// string has length exactly `k`), else `None`. A transducer with no
+    /// transitions is vacuously 0-uniform.
+    pub fn uniform_emission(&self) -> Option<usize> {
+        let mut k: Option<usize> = None;
+        for edges in &self.delta {
+            for e in edges {
+                let len = self.emissions[e.emission.index()].len();
+                match k {
+                    None => k = Some(len),
+                    Some(prev) if prev != len => return None,
+                    _ => {}
+                }
+            }
+        }
+        Some(k.unwrap_or(0))
+    }
+
+    /// Whether this is a Mealy machine: deterministic, non-selective, and
+    /// 1-uniform.
+    pub fn is_mealy(&self) -> bool {
+        self.is_deterministic() && !self.is_selective() && self.uniform_emission() == Some(1)
+    }
+
+    /// Whether this is a projector: every `ω(q, σ, q')` is either the read
+    /// symbol `σ` itself or `ε` (§4.2, before Theorem 4.5). Requires the
+    /// output alphabet to share symbol names with the input alphabet for
+    /// the emitted copies.
+    pub fn is_projector(&self) -> bool {
+        let k = self.input_alphabet.len();
+        for q in 0..self.n_states() {
+            for s in 0..k {
+                let sym_name = self.input_alphabet.name(SymbolId(s as u32));
+                for e in &self.delta[q * k + s] {
+                    let em = &self.emissions[e.emission.index()];
+                    let ok = em.is_empty()
+                        || (em.len() == 1 && self.output_alphabet.name(em[0]) == sym_name);
+                    if !ok {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// The longest emission length (0 for an emission-free machine). The
+    /// output of any transduction of an `n`-symbol string is at most
+    /// `n · max_emission_len()` long — the bound behind the enumeration
+    /// delay analysis.
+    pub fn max_emission_len(&self) -> usize {
+        self.emissions.iter().map(|e| e.len()).max().unwrap_or(0)
+    }
+
+    /// The underlying NFA `A` (emissions dropped).
+    pub fn underlying_nfa(&self) -> Nfa {
+        let k = self.input_alphabet.len();
+        let mut nfa = Nfa::new(k);
+        for &acc in &self.accepting {
+            nfa.add_state(acc);
+        }
+        nfa.set_initial(self.initial);
+        for q in 0..self.n_states() {
+            for s in 0..k {
+                for e in &self.delta[q * k + s] {
+                    nfa.add_transition(StateId(q as u32), SymbolId(s as u32), e.target);
+                }
+            }
+        }
+        nfa
+    }
+
+    // ---- Transduction on concrete strings --------------------------------
+
+    /// All outputs `o` with `s →[A^ω]→ o`, sorted and deduplicated.
+    ///
+    /// Exponential in the worst case (one output per accepting run); this
+    /// is the *definition*, used by oracles and on deterministic machines.
+    pub fn transduce_all(&self, s: &[SymbolId]) -> Vec<Vec<SymbolId>> {
+        let mut outputs = BTreeSet::new();
+        let mut out_prefix: Vec<SymbolId> = Vec::new();
+        self.transduce_rec(self.initial, s, &mut out_prefix, &mut outputs);
+        outputs.into_iter().collect()
+    }
+
+    fn transduce_rec(
+        &self,
+        q: StateId,
+        rest: &[SymbolId],
+        out_prefix: &mut Vec<SymbolId>,
+        outputs: &mut BTreeSet<Vec<SymbolId>>,
+    ) {
+        match rest.split_first() {
+            None => {
+                if self.is_accepting(q) {
+                    outputs.insert(out_prefix.clone());
+                }
+            }
+            Some((&sym, tail)) => {
+                for e in self.edges(q, sym) {
+                    let em = self.emission(e.emission);
+                    out_prefix.extend_from_slice(em);
+                    self.transduce_rec(e.target, tail, out_prefix, outputs);
+                    out_prefix.truncate(out_prefix.len() - em.len());
+                }
+            }
+        }
+    }
+
+    /// The unique output of a deterministic transducer on `s`, or `None`
+    /// if `s` is rejected (or a transition is missing).
+    pub fn transduce_deterministic(&self, s: &[SymbolId]) -> Option<Vec<SymbolId>> {
+        let mut q = self.initial;
+        let mut out = Vec::new();
+        for &sym in s {
+            let edges = self.edges(q, sym);
+            let e = edges.first()?;
+            debug_assert!(edges.len() == 1, "transduce_deterministic on a nondeterministic machine");
+            out.extend_from_slice(self.emission(e.emission));
+            q = e.target;
+        }
+        self.is_accepting(q).then_some(out)
+    }
+
+    /// Renders an output string using the output alphabet's names,
+    /// separated by `sep`.
+    pub fn render_output(&self, o: &[SymbolId], sep: &str) -> String {
+        self.output_alphabet.render(o, sep)
+    }
+}
+
+/// Builder for [`Transducer`]. See the module docs for the invariants it
+/// enforces.
+#[derive(Debug)]
+pub struct TransducerBuilder {
+    input_alphabet: Arc<Alphabet>,
+    output_alphabet: Arc<Alphabet>,
+    initial: StateId,
+    accepting: Vec<bool>,
+    delta: Vec<Vec<TEdge>>,
+    emissions: Vec<Box<[SymbolId]>>,
+    emission_ids: HashMap<Box<[SymbolId]>, EmissionId>,
+}
+
+impl TransducerBuilder {
+    /// Starts a builder over the given alphabets.
+    pub fn new(
+        input_alphabet: impl Into<Arc<Alphabet>>,
+        output_alphabet: impl Into<Arc<Alphabet>>,
+    ) -> Self {
+        let eps: Box<[SymbolId]> = Box::new([]);
+        let mut emission_ids = HashMap::new();
+        emission_ids.insert(eps.clone(), EmissionId::EPSILON);
+        Self {
+            input_alphabet: input_alphabet.into(),
+            output_alphabet: output_alphabet.into(),
+            initial: StateId(0),
+            accepting: Vec::new(),
+            delta: Vec::new(),
+            emissions: vec![eps],
+            emission_ids,
+        }
+    }
+
+    /// Adds a state; the first added state is the initial state unless
+    /// [`TransducerBuilder::set_initial`] overrides it.
+    pub fn add_state(&mut self, accepting: bool) -> StateId {
+        let id = StateId(u32::try_from(self.accepting.len()).expect("too many states"));
+        self.accepting.push(accepting);
+        self.delta
+            .extend((0..self.input_alphabet.len()).map(|_| Vec::new()));
+        id
+    }
+
+    /// Sets the initial state.
+    pub fn set_initial(&mut self, state: StateId) -> &mut Self {
+        self.initial = state;
+        self
+    }
+
+    /// Changes a state's acceptance.
+    pub fn set_accepting(&mut self, state: StateId, accepting: bool) -> &mut Self {
+        self.accepting[state.index()] = accepting;
+        self
+    }
+
+    /// Interns an emission string, validating its symbols.
+    fn intern_emission(&mut self, emission: &[SymbolId]) -> Result<EmissionId, EngineError> {
+        for &d in emission {
+            if d.index() >= self.output_alphabet.len() {
+                return Err(EngineError::InvalidSymbol {
+                    symbol: d.index(),
+                    n_symbols: self.output_alphabet.len(),
+                    alphabet: "output",
+                });
+            }
+        }
+        if let Some(&id) = self.emission_ids.get(emission) {
+            return Ok(id);
+        }
+        let id = EmissionId(u32::try_from(self.emissions.len()).expect("too many emissions"));
+        let boxed: Box<[SymbolId]> = emission.into();
+        self.emissions.push(boxed.clone());
+        self.emission_ids.insert(boxed, id);
+        Ok(id)
+    }
+
+    /// Adds the transition `q' ∈ δ(q, σ)` with `ω(q, σ, q') = emission`.
+    ///
+    /// Re-adding an existing transition with the same emission is a no-op;
+    /// with a different emission it is an [`EngineError::EmissionConflict`]
+    /// (deterministic emission).
+    pub fn add_transition(
+        &mut self,
+        from: StateId,
+        symbol: SymbolId,
+        to: StateId,
+        emission: &[SymbolId],
+    ) -> Result<&mut Self, EngineError> {
+        let n_states = self.accepting.len();
+        if from.index() >= n_states {
+            return Err(EngineError::InvalidState { state: from.index(), n_states });
+        }
+        if to.index() >= n_states {
+            return Err(EngineError::InvalidState { state: to.index(), n_states });
+        }
+        if symbol.index() >= self.input_alphabet.len() {
+            return Err(EngineError::InvalidSymbol {
+                symbol: symbol.index(),
+                n_symbols: self.input_alphabet.len(),
+                alphabet: "input",
+            });
+        }
+        let em = self.intern_emission(emission)?;
+        let k = self.input_alphabet.len();
+        let edges = &mut self.delta[from.index() * k + symbol.index()];
+        match edges.binary_search_by_key(&to, |e| e.target) {
+            Ok(pos) => {
+                if edges[pos].emission != em {
+                    return Err(EngineError::EmissionConflict {
+                        from: from.index(),
+                        symbol: symbol.index(),
+                        to: to.index(),
+                    });
+                }
+            }
+            Err(pos) => edges.insert(pos, TEdge { target: to, emission: em }),
+        }
+        Ok(self)
+    }
+
+    /// Adds a transition whose emission is given by output-symbol *names*
+    /// (convenient in examples and workloads).
+    pub fn add_transition_named(
+        &mut self,
+        from: StateId,
+        symbol: SymbolId,
+        to: StateId,
+        emission_names: &[&str],
+    ) -> Result<&mut Self, EngineError> {
+        let emission: Vec<SymbolId> = emission_names
+            .iter()
+            .map(|n| {
+                self.output_alphabet
+                    .get(n)
+                    .ok_or(EngineError::InvalidSymbol {
+                        symbol: usize::MAX,
+                        n_symbols: self.output_alphabet.len(),
+                        alphabet: "output",
+                    })
+            })
+            .collect::<Result<_, _>>()?;
+        self.add_transition(from, symbol, to, &emission)
+    }
+
+    /// Finalizes the transducer.
+    pub fn build(self) -> Result<Transducer, EngineError> {
+        if self.accepting.is_empty() {
+            return Err(EngineError::EmptyTransducer);
+        }
+        if self.initial.index() >= self.accepting.len() {
+            return Err(EngineError::InvalidState {
+                state: self.initial.index(),
+                n_states: self.accepting.len(),
+            });
+        }
+        Ok(Transducer {
+            input_alphabet: self.input_alphabet,
+            output_alphabet: self.output_alphabet,
+            initial: self.initial,
+            accepting: self.accepting,
+            delta: self.delta,
+            emissions: self.emissions,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(i: u32) -> SymbolId {
+        SymbolId(i)
+    }
+
+    /// A Mealy machine over Σ={a,b}, Δ={0,1}: emits 1 when the symbol
+    /// repeats the previous one, else 0 (first symbol emits 0).
+    fn repeat_detector() -> Transducer {
+        let input = Alphabet::of_chars("ab");
+        let output = Alphabet::of_chars("01");
+        let mut b = Transducer::builder(input, output);
+        let qa = b.add_state(true); // last read 'a'
+        let qb = b.add_state(true); // last read 'b'
+        let q0 = b.add_state(true); // start
+        b.set_initial(q0);
+        let zero = [sym(0)];
+        let one = [sym(1)];
+        b.add_transition(q0, sym(0), qa, &zero).unwrap();
+        b.add_transition(q0, sym(1), qb, &zero).unwrap();
+        b.add_transition(qa, sym(0), qa, &one).unwrap();
+        b.add_transition(qa, sym(1), qb, &zero).unwrap();
+        b.add_transition(qb, sym(0), qa, &zero).unwrap();
+        b.add_transition(qb, sym(1), qb, &one).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn classification_of_mealy_machine() {
+        let t = repeat_detector();
+        assert!(t.is_deterministic());
+        assert!(!t.is_selective());
+        assert_eq!(t.uniform_emission(), Some(1));
+        assert!(t.is_mealy());
+        assert!(!t.is_projector());
+        assert_eq!(t.max_emission_len(), 1);
+    }
+
+    #[test]
+    fn deterministic_transduction() {
+        let t = repeat_detector();
+        let s = [sym(0), sym(0), sym(1), sym(1), sym(0)];
+        assert_eq!(
+            t.transduce_deterministic(&s).unwrap(),
+            vec![sym(0), sym(1), sym(0), sym(1), sym(0)]
+        );
+        assert_eq!(t.transduce_all(&s), vec![vec![sym(0), sym(1), sym(0), sym(1), sym(0)]]);
+        assert_eq!(t.transduce_deterministic(&[]).unwrap(), Vec::<SymbolId>::new());
+    }
+
+    /// A nondeterministic projector: guess a suffix and copy it.
+    fn suffix_guesser() -> Transducer {
+        let input = Alphabet::of_chars("ab");
+        let output = Alphabet::of_chars("ab");
+        let mut b = Transducer::builder(input.clone(), output);
+        let skip = b.add_state(true); // still skipping
+        let copy = b.add_state(true); // copying suffix
+        b.set_initial(skip);
+        for s in 0..2u32 {
+            b.add_transition(skip, sym(s), skip, &[]).unwrap();
+            b.add_transition(skip, sym(s), copy, &[sym(s)]).unwrap();
+            b.add_transition(copy, sym(s), copy, &[sym(s)]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn nondeterministic_transduction_collects_all_outputs() {
+        let t = suffix_guesser();
+        assert!(!t.is_deterministic());
+        assert!(t.is_projector());
+        assert!(!t.is_selective());
+        let s = [sym(0), sym(1)];
+        // Outputs: ε (skip all), "b" (copy last), "ab" (copy all).
+        let outs = t.transduce_all(&s);
+        assert_eq!(
+            outs,
+            vec![vec![], vec![sym(0), sym(1)], vec![sym(1)]]
+        );
+    }
+
+    #[test]
+    fn emission_conflict_is_rejected() {
+        let input = Alphabet::of_chars("a");
+        let output = Alphabet::of_chars("x");
+        let mut b = Transducer::builder(input, output);
+        let q = b.add_state(true);
+        b.add_transition(q, sym(0), q, &[sym(0)]).unwrap();
+        // Same triple, same emission: fine.
+        b.add_transition(q, sym(0), q, &[sym(0)]).unwrap();
+        // Same triple, different emission: conflict.
+        let err = b.add_transition(q, sym(0), q, &[]).unwrap_err();
+        assert!(matches!(err, EngineError::EmissionConflict { .. }));
+    }
+
+    #[test]
+    fn out_of_range_inputs_are_rejected() {
+        let input = Alphabet::of_chars("a");
+        let output = Alphabet::of_chars("x");
+        let mut b = Transducer::builder(input, output);
+        let q = b.add_state(true);
+        assert!(matches!(
+            b.add_transition(q, sym(5), q, &[]),
+            Err(EngineError::InvalidSymbol { alphabet: "input", .. })
+        ));
+        assert!(matches!(
+            b.add_transition(q, sym(0), StateId(9), &[]),
+            Err(EngineError::InvalidState { .. })
+        ));
+        assert!(matches!(
+            b.add_transition(q, sym(0), q, &[sym(7)]),
+            Err(EngineError::InvalidSymbol { alphabet: "output", .. })
+        ));
+    }
+
+    #[test]
+    fn empty_transducer_is_rejected() {
+        let input = Alphabet::of_chars("a");
+        let output = Alphabet::of_chars("x");
+        assert!(matches!(
+            Transducer::builder(input, output).build(),
+            Err(EngineError::EmptyTransducer)
+        ));
+    }
+
+    #[test]
+    fn underlying_nfa_matches_acceptance() {
+        let t = suffix_guesser();
+        let nfa = t.underlying_nfa();
+        let s = [sym(0), sym(1), sym(1)];
+        assert!(nfa.accepts(&s));
+        assert_eq!(nfa.n_states(), t.n_states());
+    }
+
+    #[test]
+    fn uniform_emission_detects_nonuniform() {
+        let t = suffix_guesser(); // mixes ε and length-1
+        assert_eq!(t.uniform_emission(), None);
+    }
+
+    #[test]
+    fn emissions_are_interned() {
+        let t = repeat_detector();
+        // ε plus "0" and "1".
+        assert_eq!(t.n_emissions(), 3);
+    }
+
+    #[test]
+    fn add_transition_named_resolves_names() {
+        let input = Alphabet::of_chars("a");
+        let output = Alphabet::from_names(["room1", "room2"]);
+        let mut b = Transducer::builder(input, output);
+        let q = b.add_state(true);
+        b.add_transition_named(q, sym(0), q, &["room2", "room1"]).unwrap();
+        let t = b.build().unwrap();
+        let out = t.transduce_deterministic(&[sym(0)]).unwrap();
+        assert_eq!(t.render_output(&out, " "), "room2 room1");
+    }
+}

@@ -1,0 +1,198 @@
+//! The Lawler–Murty ranked-enumeration procedure.
+//!
+//! Lawler \[38\] and Murty \[43\] reduce "enumerate all answers in decreasing
+//! score" to "find the single best answer subject to a constraint": after
+//! emitting the best answer of a subspace, the subspace minus that answer
+//! is partitioned into disjoint constrained subspaces, the best answer of
+//! each is computed, and all are pushed into a priority queue.
+//!
+//! The paper uses this technique twice, with its *prefix constraints* as
+//! the constraint class: Theorem 4.3 (transducer answers by decreasing
+//! `E_max`) and Lemma 5.10 (s-projector answers by decreasing `I_max`).
+//! Both instantiate [`PartitionSpace`].
+//!
+//! Correctness requires the usual two properties, which implementors must
+//! guarantee:
+//!
+//! 1. `split(c, a)` partitions `{answers of c} ∖ {a}` into *disjoint*
+//!    subspaces (no duplicates, nothing lost);
+//! 2. `best(c)` returns an answer of maximal score within `c`.
+//!
+//! Under these, the iterator yields every answer exactly once, in
+//! non-increasing score, with delay `O(cost(best) · |split|)` plus heap
+//! maintenance. Space grows with the number of emitted answers — exactly
+//! the trade-off the paper notes for Theorem 4.3.
+
+use std::collections::BinaryHeap;
+
+use crate::Score;
+
+/// A constraint-partitionable answer space with a constrained optimizer.
+pub trait PartitionSpace {
+    /// The answer type (e.g. an output string of a transducer).
+    type Answer;
+    /// A description of a subspace of answers.
+    type Constraint;
+
+    /// The unconstrained space.
+    fn root(&self) -> Self::Constraint;
+
+    /// The best `(answer, log-score)` within `constraint`, or `None` if
+    /// the subspace is empty. Scores of `-∞` are treated as empty.
+    fn best(&mut self, constraint: &Self::Constraint) -> Option<(Self::Answer, f64)>;
+
+    /// Partitions `constraint ∖ {answer}` into disjoint subspaces.
+    /// `answer` is the value previously returned by `best(constraint)`.
+    fn split(&mut self, constraint: &Self::Constraint, answer: &Self::Answer)
+        -> Vec<Self::Constraint>;
+}
+
+struct Entry<S: PartitionSpace> {
+    score: Score,
+    answer: S::Answer,
+    constraint: S::Constraint,
+}
+
+impl<S: PartitionSpace> PartialEq for Entry<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.score == other.score
+    }
+}
+impl<S: PartitionSpace> Eq for Entry<S> {}
+impl<S: PartitionSpace> PartialOrd for Entry<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<S: PartitionSpace> Ord for Entry<S> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.score.cmp(&other.score)
+    }
+}
+
+/// Iterator produced by the Lawler–Murty procedure: yields
+/// `(answer, log-score)` in non-increasing score.
+pub struct LawlerMurty<S: PartitionSpace> {
+    space: S,
+    frontier: BinaryHeap<Entry<S>>,
+}
+
+impl<S: PartitionSpace> LawlerMurty<S> {
+    /// Starts enumeration over the whole space.
+    pub fn new(mut space: S) -> Self {
+        let mut frontier = BinaryHeap::new();
+        let root = space.root();
+        if let Some((answer, score)) = space.best(&root) {
+            if score > f64::NEG_INFINITY {
+                frontier.push(Entry { score: Score::new(score), answer, constraint: root });
+            }
+        }
+        Self { space, frontier }
+    }
+
+    /// Current frontier size (for space-usage experiments).
+    pub fn frontier_len(&self) -> usize {
+        self.frontier.len()
+    }
+}
+
+impl<S: PartitionSpace> Iterator for LawlerMurty<S> {
+    type Item = (S::Answer, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let Entry { score, answer, constraint } = self.frontier.pop()?;
+        for sub in self.space.split(&constraint, &answer) {
+            if let Some((a, s)) = self.space.best(&sub) {
+                if s > f64::NEG_INFINITY {
+                    self.frontier.push(Entry { score: Score::new(s), answer: a, constraint: sub });
+                }
+            }
+        }
+        Some((answer, score.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy space: answers are the integers `0..n` with given scores;
+    /// constraints are index ranges; `best` scans, `split` removes the
+    /// argmax by splitting the range around it.
+    struct RangeSpace {
+        scores: Vec<f64>,
+        best_calls: usize,
+    }
+
+    impl PartitionSpace for RangeSpace {
+        type Answer = usize;
+        type Constraint = (usize, usize); // half-open range
+
+        fn root(&self) -> (usize, usize) {
+            (0, self.scores.len())
+        }
+
+        fn best(&mut self, &(lo, hi): &(usize, usize)) -> Option<(usize, f64)> {
+            self.best_calls += 1;
+            (lo..hi)
+                .map(|i| (i, self.scores[i]))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        }
+
+        fn split(&mut self, &(lo, hi): &(usize, usize), &a: &usize) -> Vec<(usize, usize)> {
+            let mut out = Vec::new();
+            if lo < a {
+                out.push((lo, a));
+            }
+            if a + 1 < hi {
+                out.push((a + 1, hi));
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn enumerates_in_decreasing_score_without_duplicates() {
+        let scores = vec![0.3, -1.0, 2.5, 2.5, 0.0, -3.5, 1.0];
+        let it = LawlerMurty::new(RangeSpace { scores: scores.clone(), best_calls: 0 });
+        let got: Vec<(usize, f64)> = it.collect();
+        assert_eq!(got.len(), scores.len());
+        // Non-increasing scores.
+        for w in got.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        // Every answer exactly once.
+        let mut ids: Vec<usize> = got.iter().map(|(i, _)| *i).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..scores.len()).collect::<Vec<_>>());
+        // Scores match.
+        for (i, s) in &got {
+            assert_eq!(*s, scores[*i]);
+        }
+    }
+
+    #[test]
+    fn neg_infinity_answers_are_suppressed() {
+        let scores = vec![f64::NEG_INFINITY, 1.0, f64::NEG_INFINITY];
+        let got: Vec<_> = LawlerMurty::new(RangeSpace { scores, best_calls: 0 }).collect();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, 1);
+    }
+
+    #[test]
+    fn empty_space_yields_nothing() {
+        let got: Vec<_> = LawlerMurty::new(RangeSpace { scores: vec![], best_calls: 0 }).collect();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn top_k_early_stop_is_cheap() {
+        // Taking k answers must not call `best` more than O(k · splits).
+        let scores: Vec<f64> = (0..1000).map(|i| -(i as f64)).collect();
+        let mut it = LawlerMurty::new(RangeSpace { scores, best_calls: 0 });
+        for _ in 0..5 {
+            it.next();
+        }
+        assert!(it.space.best_calls <= 1 + 5 * 2, "best called {} times", it.space.best_calls);
+    }
+}

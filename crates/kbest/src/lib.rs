@@ -1,0 +1,81 @@
+#![warn(missing_docs)]
+// Index-based loops are the clearest way to write the layered DP kernels
+// and matrix scans in this codebase; the clippy suggestion (iterators with
+// enumerate/zip) obscures the (position, node, state) indexing.
+#![allow(clippy::needless_range_loop)]
+
+//! Ranked-enumeration machinery used by the `transmark` query engine.
+//!
+//! The paper obtains its ranked-evaluation results through two classical
+//! reductions, both implemented here generically:
+//!
+//! * [`lawler`] — the Lawler–Murty procedure \[38, 43\] (also behind Yen's
+//!   algorithm \[59\]): enumerate the answers of a constraint-partitionable
+//!   space in decreasing score, given only a *constrained optimizer*
+//!   ("best answer under constraint") and a *partitioner* ("split a
+//!   constraint around an answer"). Theorem 4.3 (ranked enumeration by
+//!   `E_max`) and Lemma 5.10 (`I_max`) instantiate this.
+//! * [`dag`] — enumeration of source→sink paths of an edge-weighted DAG in
+//!   decreasing weight, in the spirit of Eppstein \[14\]; Theorem 5.7
+//!   (indexed s-projectors in exact confidence order) reduces to it. Our
+//!   enumerator is best-first search with a perfect suffix heuristic: the
+//!   same output order and polynomial delay as Eppstein's algorithm, with
+//!   space that grows with the number of emitted paths (a documented
+//!   deviation from the strict poly-space bound).
+//!
+//! Scores are logarithms of probabilities (`f64`, larger is better);
+//! `-∞` encodes probability zero and is never emitted.
+
+pub mod dag;
+pub mod lawler;
+
+pub use dag::{Dag, EdgeId, KBestPaths, NodeId};
+pub use lawler::{LawlerMurty, PartitionSpace};
+
+/// A total order wrapper for non-NaN `f64` scores (log probabilities).
+///
+/// `BinaryHeap` needs `Ord`; probabilities are never NaN (we assert this at
+/// construction), so the wrapper simply promotes the partial order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Score(pub f64);
+
+impl Score {
+    /// Wraps a score, panicking on NaN (which would poison the heap order).
+    pub fn new(v: f64) -> Self {
+        assert!(!v.is_nan(), "score must not be NaN");
+        Score(v)
+    }
+}
+
+impl Eq for Score {}
+
+impl PartialOrd for Score {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Score {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("scores are not NaN")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Score;
+
+    #[test]
+    fn score_orders_like_f64() {
+        let mut v = [Score::new(0.5), Score::new(-1.0), Score::new(f64::NEG_INFINITY)];
+        v.sort();
+        assert_eq!(v[0].0, f64::NEG_INFINITY);
+        assert_eq!(v[2].0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_scores_are_rejected() {
+        Score::new(f64::NAN);
+    }
+}

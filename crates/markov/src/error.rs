@@ -1,0 +1,83 @@
+//! Error type for Markov-sequence construction and translation.
+
+use std::fmt;
+
+/// Errors produced while building or transforming Markov sequences.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MarkovError {
+    /// A distribution row does not sum to 1 (within tolerance).
+    NotADistribution {
+        /// Which object: "initial" or "transition".
+        what: &'static str,
+        /// Transition-step index (0 for the initial distribution).
+        position: usize,
+        /// Source node index (0 for the initial distribution).
+        row: usize,
+        /// The offending sum.
+        sum: f64,
+    },
+    /// A probability was negative, NaN, or infinite.
+    InvalidProbability {
+        /// Which object: "initial", "transition", "factor", ….
+        what: &'static str,
+        /// Position index of the offending entry.
+        position: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The sequence length is zero (the paper's `μ[n]` has `n ≥ 1`).
+    EmptySequence,
+    /// Alphabet sizes disagree between combined objects.
+    AlphabetMismatch {
+        /// Alphabet size on the left/first object.
+        left: usize,
+        /// Alphabet size on the right/second object.
+        right: usize,
+    },
+    /// A string had the wrong length for this sequence.
+    LengthMismatch {
+        /// The required length.
+        expected: usize,
+        /// The length that was supplied.
+        actual: usize,
+    },
+    /// The observation sequence refers to an unknown observation symbol,
+    /// or is impossible under the HMM (zero likelihood).
+    ImpossibleEvidence,
+    /// A k-order sequence was requested with an unsupported shape.
+    InvalidOrder {
+        /// The requested order `k`.
+        order: usize,
+        /// The sequence length `n`.
+        length: usize,
+    },
+}
+
+impl fmt::Display for MarkovError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarkovError::NotADistribution { what, position, row, sum } => write!(
+                f,
+                "{what} distribution at position {position}, row {row} sums to {sum} (expected 1)"
+            ),
+            MarkovError::InvalidProbability { what, position, value } => {
+                write!(f, "invalid probability {value} in {what} at position {position}")
+            }
+            MarkovError::EmptySequence => write!(f, "a Markov sequence must have length ≥ 1"),
+            MarkovError::AlphabetMismatch { left, right } => {
+                write!(f, "alphabet size mismatch: {left} vs {right}")
+            }
+            MarkovError::LengthMismatch { expected, actual } => {
+                write!(f, "string length {actual} does not match sequence length {expected}")
+            }
+            MarkovError::ImpossibleEvidence => {
+                write!(f, "the observation sequence has zero likelihood under the model")
+            }
+            MarkovError::InvalidOrder { order, length } => {
+                write!(f, "invalid k-order shape: order {order}, length {length}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MarkovError {}

@@ -1,0 +1,252 @@
+//! Translating chain-structured Gibbs distributions into Markov sequences.
+//!
+//! Both translations the paper relies on — HMM-conditioned-on-observations
+//! (footnote 1) and linear-chain CRFs \[37\] — are instances of one fact:
+//! any distribution of the form
+//!
+//! ```text
+//! P(s₁⋯sₙ) ∝ φ₀(s₁) · ∏_{i=1}^{n-1} ψᵢ(sᵢ, sᵢ₊₁)
+//! ```
+//!
+//! with nonnegative factors is a time-inhomogeneous Markov chain, with
+//! conditionals recoverable by backward message passing:
+//!
+//! ```text
+//! βₙ(s) = 1,      βᵢ(s) ∝ Σ_t ψᵢ(s,t)·βᵢ₊₁(t)
+//! μ₀→(s)   ∝ φ₀(s)·β₁(s)
+//! μᵢ→(s,t) ∝ ψᵢ(s,t)·βᵢ₊₁(t)        (normalized per row)
+//! ```
+//!
+//! Messages are renormalized at every step, so the translation is stable
+//! for arbitrarily long chains (no underflow), and rows that get zero mass
+//! (nodes that cannot occur at that position) become deterministic
+//! self-loops to honour the paper's requirement that *every* row of a
+//! Markov sequence is a distribution.
+
+use std::sync::Arc;
+
+use transmark_automata::Alphabet;
+
+use crate::error::MarkovError;
+use crate::numeric::KahanSum;
+use crate::sequence::{from_validated_parts, MarkovSequence};
+
+/// Converts a chain Gibbs distribution (factor chain) into the equivalent
+/// [`MarkovSequence`].
+///
+/// * `phi0` — length-`|Σ|` nonnegative vector (position-1 factor).
+/// * `factors` — `n-1` row-major `|Σ|²` nonnegative matrices.
+///
+/// Returns [`MarkovError::ImpossibleEvidence`] if the total mass is zero.
+pub fn chain_from_factors(
+    alphabet: impl Into<Arc<Alphabet>>,
+    phi0: &[f64],
+    factors: &[Vec<f64>],
+) -> Result<MarkovSequence, MarkovError> {
+    let alphabet = alphabet.into();
+    let k = alphabet.len();
+    if phi0.len() != k {
+        return Err(MarkovError::LengthMismatch { expected: k, actual: phi0.len() });
+    }
+    for (i, m) in factors.iter().enumerate() {
+        if m.len() != k * k {
+            return Err(MarkovError::LengthMismatch { expected: k * k, actual: m.len() });
+        }
+        for &v in m {
+            if !v.is_finite() || v < 0.0 {
+                return Err(MarkovError::InvalidProbability {
+                    what: "factor",
+                    position: i,
+                    value: v,
+                });
+            }
+        }
+    }
+    for &v in phi0 {
+        if !v.is_finite() || v < 0.0 {
+            return Err(MarkovError::InvalidProbability { what: "phi0", position: 0, value: v });
+        }
+    }
+
+    let n_minus_1 = factors.len();
+
+    // Backward messages, renormalized at each position.
+    // beta[i] corresponds to position i (0-based), beta[n-1] = 1.
+    let mut betas: Vec<Vec<f64>> = vec![Vec::new(); n_minus_1 + 1];
+    betas[n_minus_1] = vec![1.0; k];
+    for i in (0..n_minus_1).rev() {
+        let next = &betas[i + 1];
+        let mut b = vec![0.0; k];
+        let mut total = KahanSum::new();
+        for s in 0..k {
+            let mut acc = KahanSum::new();
+            let row = &factors[i][s * k..(s + 1) * k];
+            for (t, &psi) in row.iter().enumerate() {
+                if psi > 0.0 && next[t] > 0.0 {
+                    acc.add(psi * next[t]);
+                }
+            }
+            b[s] = acc.total();
+            total.add(b[s]);
+        }
+        let z = total.total();
+        if z > 0.0 {
+            for v in &mut b {
+                *v /= z;
+            }
+        }
+        betas[i] = b;
+    }
+
+    // Initial distribution.
+    let mut initial = vec![0.0; k];
+    let mut z0 = KahanSum::new();
+    for s in 0..k {
+        let v = phi0[s] * betas[0][s];
+        initial[s] = v;
+        z0.add(v);
+    }
+    let z0 = z0.total();
+    if z0 <= 0.0 {
+        return Err(MarkovError::ImpossibleEvidence);
+    }
+    for v in &mut initial {
+        *v /= z0;
+    }
+
+    // Row-normalized transition matrices.
+    let mut transitions = Vec::with_capacity(n_minus_1);
+    for i in 0..n_minus_1 {
+        let next = &betas[i + 1];
+        let mut m = vec![0.0; k * k];
+        for s in 0..k {
+            let frow = &factors[i][s * k..(s + 1) * k];
+            let row = &mut m[s * k..(s + 1) * k];
+            let mut total = KahanSum::new();
+            for (t, &psi) in frow.iter().enumerate() {
+                let v = psi * next[t];
+                row[t] = v;
+                total.add(v);
+            }
+            let z = total.total();
+            if z > 0.0 {
+                for v in row.iter_mut() {
+                    *v /= z;
+                }
+            } else {
+                // Dead row: the node cannot occur at position i with
+                // positive posterior mass. Any distribution is valid here;
+                // use a self-loop.
+                row[s] = 1.0;
+            }
+        }
+        transitions.push(m);
+    }
+
+    Ok(from_validated_parts(alphabet, initial, transitions))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::numeric::approx_eq;
+    use transmark_automata::SymbolId;
+
+    /// Brute-force Gibbs probability of a string.
+    fn gibbs_prob(phi0: &[f64], factors: &[Vec<f64>], k: usize, s: &[usize]) -> f64 {
+        let mut p = phi0[s[0]];
+        for i in 0..s.len() - 1 {
+            p *= factors[i][s[i] * k + s[i + 1]];
+        }
+        p
+    }
+
+    fn all_strings(k: usize, n: usize) -> Vec<Vec<usize>> {
+        let mut out: Vec<Vec<usize>> = vec![vec![]];
+        for _ in 0..n {
+            out = out
+                .into_iter()
+                .flat_map(|s| {
+                    (0..k).map(move |c| {
+                        let mut t = s.clone();
+                        t.push(c);
+                        t
+                    })
+                })
+                .collect();
+        }
+        out
+    }
+
+    #[test]
+    fn chain_matches_gibbs_distribution() {
+        let alphabet = Alphabet::from_names(["a", "b", "c"]);
+        let k = 3;
+        let phi0 = vec![2.0, 1.0, 0.0];
+        let factors = vec![
+            vec![1.0, 2.0, 0.5, 0.0, 3.0, 1.0, 1.0, 1.0, 1.0],
+            vec![0.5, 0.5, 0.5, 2.0, 0.0, 1.0, 0.0, 0.0, 4.0],
+        ];
+        let m = chain_from_factors(alphabet, &phi0, &factors).unwrap();
+
+        // Normalizing constant by brute force.
+        let z: f64 = all_strings(k, 3)
+            .iter()
+            .map(|s| gibbs_prob(&phi0, &factors, k, s))
+            .sum();
+
+        for s in all_strings(k, 3) {
+            let syms: Vec<SymbolId> = s.iter().map(|&i| SymbolId(i as u32)).collect();
+            let expected = gibbs_prob(&phi0, &factors, k, &s) / z;
+            let actual = m.string_probability(&syms).unwrap();
+            assert!(
+                approx_eq(actual, expected, 1e-12, 1e-10),
+                "string {s:?}: got {actual}, want {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_mass_is_rejected() {
+        let alphabet = Alphabet::from_names(["a", "b"]);
+        let phi0 = vec![1.0, 0.0];
+        // Factor forbids everything reachable from a.
+        let factors = vec![vec![0.0, 0.0, 1.0, 1.0]];
+        assert!(matches!(
+            chain_from_factors(alphabet, &phi0, &factors),
+            Err(MarkovError::ImpossibleEvidence)
+        ));
+    }
+
+    #[test]
+    fn negative_factor_is_rejected() {
+        let alphabet = Alphabet::from_names(["a", "b"]);
+        let phi0 = vec![1.0, 1.0];
+        let factors = vec![vec![1.0, -0.5, 1.0, 1.0]];
+        assert!(matches!(
+            chain_from_factors(alphabet, &phi0, &factors),
+            Err(MarkovError::InvalidProbability { .. })
+        ));
+    }
+
+    #[test]
+    fn length_one_chain() {
+        let alphabet = Alphabet::from_names(["a", "b"]);
+        let m = chain_from_factors(alphabet, &[3.0, 1.0], &[]).unwrap();
+        assert_eq!(m.len(), 1);
+        assert!(approx_eq(m.initial_dist()[0], 0.75, 1e-12, 0.0));
+    }
+
+    #[test]
+    fn long_chain_is_numerically_stable() {
+        // Factors with tiny values would underflow a naive implementation.
+        let alphabet = Alphabet::from_names(["a", "b"]);
+        let phi0 = vec![1.0, 1.0];
+        let factors = vec![vec![1e-30, 2e-30, 3e-30, 4e-30]; 500];
+        let m = chain_from_factors(alphabet, &phi0, &factors).unwrap();
+        for dist in m.marginals() {
+            let s: f64 = dist.iter().sum();
+            assert!(approx_eq(s, 1.0, 1e-9, 0.0), "marginal sum {s}");
+        }
+    }
+}

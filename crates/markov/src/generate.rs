@@ -1,0 +1,118 @@
+//! Seeded random Markov-sequence generators.
+//!
+//! Used by the property-based tests (random instances cross-checked
+//! against brute-force oracles) and by the benchmark harness (scaling
+//! sweeps). All generators are deterministic given the RNG.
+
+use std::sync::Arc;
+
+use rand::{Rng, RngExt};
+use transmark_automata::Alphabet;
+
+use crate::sequence::{from_validated_parts, MarkovSequence};
+
+/// Parameters for [`random_markov_sequence`].
+#[derive(Debug, Clone)]
+pub struct RandomChainSpec {
+    /// Sequence length `n ≥ 1`.
+    pub len: usize,
+    /// Alphabet size `|Σ| ≥ 1`.
+    pub n_symbols: usize,
+    /// Probability that any given transition entry is zero (sparsity).
+    /// Rows are re-rolled until at least one entry survives, so any value
+    /// in `[0, 1)` is safe.
+    pub zero_prob: f64,
+}
+
+impl Default for RandomChainSpec {
+    fn default() -> Self {
+        Self { len: 5, n_symbols: 3, zero_prob: 0.3 }
+    }
+}
+
+/// Generates a random Markov sequence with Dirichlet-ish rows (i.i.d.
+/// exponentials, normalized) and the requested sparsity. Symbol names are
+/// `s0, s1, …`.
+pub fn random_markov_sequence<R: Rng + ?Sized>(
+    spec: &RandomChainSpec,
+    rng: &mut R,
+) -> MarkovSequence {
+    assert!(spec.len >= 1 && spec.n_symbols >= 1, "degenerate spec");
+    assert!((0.0..1.0).contains(&spec.zero_prob), "zero_prob must be in [0,1)");
+    let alphabet = Arc::new(Alphabet::from_names(
+        (0..spec.n_symbols).map(|i| format!("s{i}")),
+    ));
+    let k = spec.n_symbols;
+    let initial = random_row(k, spec.zero_prob, rng);
+    let transitions = (0..spec.len - 1)
+        .map(|_| {
+            let mut m = Vec::with_capacity(k * k);
+            for _ in 0..k {
+                m.extend(random_row(k, spec.zero_prob, rng));
+            }
+            m
+        })
+        .collect();
+    from_validated_parts(alphabet, initial, transitions)
+}
+
+/// One random distribution row with the requested sparsity; guaranteed to
+/// have at least one positive entry and to sum to exactly 1.0 up to
+/// floating-point rounding of the final normalization.
+fn random_row<R: Rng + ?Sized>(k: usize, zero_prob: f64, rng: &mut R) -> Vec<f64> {
+    loop {
+        let mut row: Vec<f64> = (0..k)
+            .map(|_| {
+                if rng.random_bool(zero_prob) {
+                    0.0
+                } else {
+                    // Exponential variate: -ln(U).
+                    -(rng.random::<f64>().max(f64::MIN_POSITIVE)).ln()
+                }
+            })
+            .collect();
+        let sum: f64 = row.iter().sum();
+        if sum > 0.0 {
+            for v in &mut row {
+                *v /= sum;
+            }
+            return row;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::numeric::approx_eq;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn generated_chains_are_valid() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for len in [1usize, 2, 5, 20] {
+            for k in [1usize, 2, 4] {
+                let m = random_markov_sequence(
+                    &RandomChainSpec { len, n_symbols: k, zero_prob: 0.4 },
+                    &mut rng,
+                );
+                assert_eq!(m.len(), len);
+                assert_eq!(m.n_symbols(), k);
+                let init_sum: f64 = m.initial_dist().iter().sum();
+                assert!(approx_eq(init_sum, 1.0, 1e-9, 0.0));
+                for dist in m.marginals() {
+                    let s: f64 = dist.iter().sum();
+                    assert!(approx_eq(s, 1.0, 1e-9, 0.0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let spec = RandomChainSpec::default();
+        let a = random_markov_sequence(&spec, &mut StdRng::seed_from_u64(7));
+        let b = random_markov_sequence(&spec, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a.initial_dist(), b.initial_dist());
+    }
+}

@@ -1,0 +1,437 @@
+//! Hidden Markov models and their translation into Markov sequences.
+//!
+//! The paper's data arrives as the *posterior* of an HMM given a sequence
+//! of observations (footnote 1 and Example 3.1: RFID antenna sightings →
+//! distribution over location sequences). [`Hmm::posterior`] performs that
+//! translation exactly: the conditional distribution
+//! `P(S₁⋯Sₙ | O₁⋯Oₙ = o)` of a hidden chain given its observations is
+//! itself a (time-inhomogeneous) Markov chain, obtained by treating
+//! `π(s)·e(s,o₁)` and `T(s,t)·e(t,oᵢ₊₁)` as chain factors and running the
+//! backward-message translation of [`crate::factors`].
+
+use std::sync::Arc;
+
+use rand::{Rng, RngExt};
+use transmark_automata::{Alphabet, SymbolId};
+
+use crate::error::MarkovError;
+use crate::factors::chain_from_factors;
+use crate::numeric::{approx_eq, KahanSum, DIST_TOLERANCE};
+use crate::sequence::MarkovSequence;
+
+/// A time-homogeneous hidden Markov model.
+///
+/// * hidden states are symbols of `hidden` (these become the node alphabet
+///   of the posterior Markov sequence);
+/// * observations are symbols of `observations`;
+/// * `initial[s]`, `transition[s·K+t]`, `emission[s·M+o]` are the usual
+///   parameter tables (`K` hidden states, `M` observation symbols).
+#[derive(Debug, Clone)]
+pub struct Hmm {
+    hidden: Arc<Alphabet>,
+    observations: Alphabet,
+    initial: Vec<f64>,
+    transition: Vec<f64>,
+    emission: Vec<f64>,
+}
+
+impl Hmm {
+    /// Builds and validates an HMM.
+    pub fn new(
+        hidden: impl Into<Arc<Alphabet>>,
+        observations: Alphabet,
+        initial: Vec<f64>,
+        transition: Vec<f64>,
+        emission: Vec<f64>,
+    ) -> Result<Self, MarkovError> {
+        let hidden = hidden.into();
+        let k = hidden.len();
+        let m = observations.len();
+        if initial.len() != k {
+            return Err(MarkovError::LengthMismatch { expected: k, actual: initial.len() });
+        }
+        if transition.len() != k * k {
+            return Err(MarkovError::LengthMismatch { expected: k * k, actual: transition.len() });
+        }
+        if emission.len() != k * m {
+            return Err(MarkovError::LengthMismatch { expected: k * m, actual: emission.len() });
+        }
+        check_rows(&initial, 1, initial.len(), "initial")?;
+        check_rows(&transition, k, k, "transition")?;
+        check_rows(&emission, k, m, "emission")?;
+        Ok(Self { hidden, observations, initial, transition, emission })
+    }
+
+    /// The hidden-state alphabet.
+    pub fn hidden_alphabet(&self) -> &Alphabet {
+        &self.hidden
+    }
+
+    /// The observation alphabet.
+    pub fn observation_alphabet(&self) -> &Alphabet {
+        &self.observations
+    }
+
+    /// `P(S₁ = s)`.
+    pub fn initial_prob(&self, s: SymbolId) -> f64 {
+        self.initial[s.index()]
+    }
+
+    /// `P(Sᵢ₊₁ = t | Sᵢ = s)`.
+    pub fn transition_prob(&self, s: SymbolId, t: SymbolId) -> f64 {
+        self.transition[s.index() * self.hidden.len() + t.index()]
+    }
+
+    /// `P(Oᵢ = o | Sᵢ = s)`.
+    pub fn emission_prob(&self, s: SymbolId, o: SymbolId) -> f64 {
+        self.emission[s.index() * self.observations.len() + o.index()]
+    }
+
+    /// The exact posterior Markov sequence
+    /// `μ = P(S₁⋯Sₙ | O₁⋯Oₙ = obs)`.
+    ///
+    /// This is the footnote-1 translation: the query engine then runs
+    /// entirely on `μ`, never touching raw observations again.
+    ///
+    /// ```
+    /// use transmark_automata::Alphabet;
+    /// use transmark_markov::Hmm;
+    ///
+    /// // Rain/sun with umbrella observations.
+    /// let hidden = Alphabet::from_names(["rain", "sun"]);
+    /// let obs = Alphabet::from_names(["umbrella", "none"]);
+    /// let hmm = Hmm::new(
+    ///     hidden.clone(), obs.clone(),
+    ///     vec![0.5, 0.5],
+    ///     vec![0.7, 0.3, 0.3, 0.7],
+    ///     vec![0.9, 0.1, 0.2, 0.8],
+    /// )?;
+    /// let seen = vec![obs.sym("umbrella"), obs.sym("umbrella")];
+    /// let mu = hmm.posterior(&seen)?;
+    /// // Two umbrella days make rain the most likely hidden sequence.
+    /// let (best, _) = mu.most_likely_string();
+    /// assert_eq!(best, vec![hidden.sym("rain"), hidden.sym("rain")]);
+    /// # Ok::<(), transmark_markov::MarkovError>(())
+    /// ```
+    pub fn posterior(&self, obs: &[SymbolId]) -> Result<MarkovSequence, MarkovError> {
+        if obs.is_empty() {
+            return Err(MarkovError::EmptySequence);
+        }
+        let k = self.hidden.len();
+        let phi0: Vec<f64> = (0..k)
+            .map(|s| self.initial[s] * self.emission_prob(SymbolId(s as u32), obs[0]))
+            .collect();
+        let factors: Vec<Vec<f64>> = (1..obs.len())
+            .map(|i| {
+                let mut f = vec![0.0; k * k];
+                for s in 0..k {
+                    for t in 0..k {
+                        f[s * k + t] = self.transition[s * k + t]
+                            * self.emission_prob(SymbolId(t as u32), obs[i]);
+                    }
+                }
+                f
+            })
+            .collect();
+        chain_from_factors(Arc::clone(&self.hidden), &phi0, &factors)
+    }
+
+    /// The likelihood `P(O₁⋯Oₙ = obs)` via the forward algorithm (with
+    /// per-step scaling; returns the log-likelihood to stay stable for
+    /// long observation sequences).
+    pub fn log_likelihood(&self, obs: &[SymbolId]) -> Result<f64, MarkovError> {
+        if obs.is_empty() {
+            return Err(MarkovError::EmptySequence);
+        }
+        let k = self.hidden.len();
+        let mut alpha: Vec<f64> = (0..k)
+            .map(|s| self.initial[s] * self.emission_prob(SymbolId(s as u32), obs[0]))
+            .collect();
+        let mut log_z = 0.0f64;
+        let scale = |a: &mut Vec<f64>, log_z: &mut f64| -> Result<(), MarkovError> {
+            let z: f64 = a.iter().copied().collect::<KahanSum>().total();
+            if z <= 0.0 {
+                return Err(MarkovError::ImpossibleEvidence);
+            }
+            for v in a.iter_mut() {
+                *v /= z;
+            }
+            *log_z += z.ln();
+            Ok(())
+        };
+        scale(&mut alpha, &mut log_z)?;
+        for &o in &obs[1..] {
+            let mut next = vec![0.0; k];
+            for s in 0..k {
+                if alpha[s] == 0.0 {
+                    continue;
+                }
+                for t in 0..k {
+                    let p = self.transition[s * k + t];
+                    if p > 0.0 {
+                        next[t] += alpha[s] * p * self.emission_prob(SymbolId(t as u32), o);
+                    }
+                }
+            }
+            alpha = next;
+            scale(&mut alpha, &mut log_z)?;
+        }
+        Ok(log_z)
+    }
+
+    /// Classic Viterbi decoding: the most likely hidden sequence given
+    /// `obs`, with its posterior-unnormalized log score. Used in tests to
+    /// cross-check the posterior translation.
+    pub fn viterbi(&self, obs: &[SymbolId]) -> Result<(Vec<SymbolId>, f64), MarkovError> {
+        if obs.is_empty() {
+            return Err(MarkovError::EmptySequence);
+        }
+        let k = self.hidden.len();
+        let mut score: Vec<f64> = (0..k)
+            .map(|s| (self.initial[s] * self.emission_prob(SymbolId(s as u32), obs[0])).ln())
+            .collect();
+        let mut back: Vec<Vec<usize>> = Vec::new();
+        for &o in &obs[1..] {
+            let mut next = vec![f64::NEG_INFINITY; k];
+            let mut arg = vec![0usize; k];
+            for s in 0..k {
+                if score[s] == f64::NEG_INFINITY {
+                    continue;
+                }
+                for t in 0..k {
+                    let p = self.transition[s * k + t] * self.emission_prob(SymbolId(t as u32), o);
+                    if p > 0.0 {
+                        let cand = score[s] + p.ln();
+                        if cand > next[t] {
+                            next[t] = cand;
+                            arg[t] = s;
+                        }
+                    }
+                }
+            }
+            score = next;
+            back.push(arg);
+        }
+        let (mut best, mut best_score) = (0usize, f64::NEG_INFINITY);
+        for (s, &v) in score.iter().enumerate() {
+            if v > best_score {
+                best_score = v;
+                best = s;
+            }
+        }
+        if best_score == f64::NEG_INFINITY {
+            return Err(MarkovError::ImpossibleEvidence);
+        }
+        let mut path = vec![best];
+        for arg in back.iter().rev() {
+            path.push(arg[*path.last().expect("nonempty")]);
+        }
+        path.reverse();
+        Ok((path.into_iter().map(|i| SymbolId(i as u32)).collect(), best_score))
+    }
+
+    /// Samples a trajectory of `n` (hidden, observation) pairs.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> (Vec<SymbolId>, Vec<SymbolId>) {
+        let k = self.hidden.len();
+        let m = self.observations.len();
+        let mut hidden = Vec::with_capacity(n);
+        let mut obs = Vec::with_capacity(n);
+        for i in 0..n {
+            let s = if i == 0 {
+                pick(&self.initial, rng)
+            } else {
+                let prev = hidden[i - 1] as usize;
+                pick(&self.transition[prev * k..(prev + 1) * k], rng)
+            };
+            hidden.push(s as u32);
+            let o = pick(&self.emission[s * m..(s + 1) * m], rng);
+            obs.push(o as u32);
+        }
+        (
+            hidden.into_iter().map(SymbolId).collect(),
+            obs.into_iter().map(SymbolId).collect(),
+        )
+    }
+}
+
+fn pick<R: Rng + ?Sized>(dist: &[f64], rng: &mut R) -> usize {
+    let mut u: f64 = rng.random();
+    for (i, &p) in dist.iter().enumerate() {
+        if u < p {
+            return i;
+        }
+        u -= p;
+    }
+    dist.iter().rposition(|&p| p > 0.0).expect("positive mass")
+}
+
+fn check_rows(table: &[f64], rows: usize, cols: usize, what: &'static str) -> Result<(), MarkovError> {
+    for r in 0..rows {
+        let row = &table[r * cols..(r + 1) * cols];
+        let mut sum = KahanSum::new();
+        for &p in row {
+            if !p.is_finite() || p < 0.0 {
+                return Err(MarkovError::InvalidProbability { what, position: r, value: p });
+            }
+            sum.add(p);
+        }
+        let total = sum.total();
+        if !approx_eq(total, 1.0, DIST_TOLERANCE, DIST_TOLERANCE) {
+            return Err(MarkovError::NotADistribution { what, position: 0, row: r, sum: total });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::support::support;
+
+    /// A 2-state, 2-observation HMM (noisy channel).
+    fn toy_hmm() -> Hmm {
+        let hidden = Alphabet::from_names(["rain", "sun"]);
+        let obs = Alphabet::from_names(["umbrella", "none"]);
+        Hmm::new(
+            hidden,
+            obs,
+            vec![0.6, 0.4],
+            vec![0.7, 0.3, 0.2, 0.8],
+            vec![0.9, 0.1, 0.25, 0.75],
+        )
+        .unwrap()
+    }
+
+    /// Brute-force posterior: P(hidden | obs) by enumerating all hidden
+    /// sequences.
+    fn brute_posterior(hmm: &Hmm, obs: &[SymbolId], hidden: &[SymbolId]) -> f64 {
+        let k = hmm.hidden_alphabet().len();
+        let n = obs.len();
+        let joint = |h: &[SymbolId]| -> f64 {
+            let mut p = hmm.initial_prob(h[0]) * hmm.emission_prob(h[0], obs[0]);
+            for i in 1..n {
+                p *= hmm.transition_prob(h[i - 1], h[i]) * hmm.emission_prob(h[i], obs[i]);
+            }
+            p
+        };
+        let mut z = 0.0;
+        let mut stack: Vec<Vec<SymbolId>> = vec![vec![]];
+        for _ in 0..n {
+            stack = stack
+                .into_iter()
+                .flat_map(|s| {
+                    (0..k).map(move |c| {
+                        let mut t = s.clone();
+                        t.push(SymbolId(c as u32));
+                        t
+                    })
+                })
+                .collect();
+        }
+        for h in &stack {
+            z += joint(h);
+        }
+        joint(hidden) / z
+    }
+
+    #[test]
+    fn posterior_matches_brute_force() {
+        let hmm = toy_hmm();
+        let o = hmm.observation_alphabet().clone();
+        let obs = vec![o.sym("umbrella"), o.sym("none"), o.sym("umbrella")];
+        let m = hmm.posterior(&obs).unwrap();
+        for (s, p) in support(&m) {
+            let expected = brute_posterior(&hmm, &obs, &s);
+            assert!(
+                approx_eq(p, expected, 1e-12, 1e-10),
+                "hidden {s:?}: chain gives {p}, brute force {expected}"
+            );
+        }
+        // Posterior support must cover all positive-probability sequences.
+        let total: f64 = support(&m).iter().map(|(_, p)| p).sum();
+        assert!(approx_eq(total, 1.0, 1e-10, 0.0));
+    }
+
+    #[test]
+    fn log_likelihood_matches_enumeration() {
+        let hmm = toy_hmm();
+        let o = hmm.observation_alphabet().clone();
+        let obs = vec![o.sym("none"), o.sym("none"), o.sym("umbrella"), o.sym("none")];
+        let k = hmm.hidden_alphabet().len();
+        let mut z = 0.0;
+        let mut seqs: Vec<Vec<SymbolId>> = vec![vec![]];
+        for _ in 0..obs.len() {
+            seqs = seqs
+                .into_iter()
+                .flat_map(|s| {
+                    (0..k).map(move |c| {
+                        let mut t = s.clone();
+                        t.push(SymbolId(c as u32));
+                        t
+                    })
+                })
+                .collect();
+        }
+        for h in &seqs {
+            let mut p = hmm.initial_prob(h[0]) * hmm.emission_prob(h[0], obs[0]);
+            for i in 1..obs.len() {
+                p *= hmm.transition_prob(h[i - 1], h[i]) * hmm.emission_prob(h[i], obs[i]);
+            }
+            z += p;
+        }
+        let ll = hmm.log_likelihood(&obs).unwrap();
+        assert!(approx_eq(ll.exp(), z, 1e-12, 1e-10), "ll.exp()={} z={z}", ll.exp());
+    }
+
+    #[test]
+    fn viterbi_agrees_with_posterior_most_likely() {
+        let hmm = toy_hmm();
+        let o = hmm.observation_alphabet().clone();
+        let obs = vec![o.sym("umbrella"), o.sym("umbrella"), o.sym("none")];
+        let (vit, _) = hmm.viterbi(&obs).unwrap();
+        let m = hmm.posterior(&obs).unwrap();
+        let (best, _) = m.most_likely_string();
+        assert_eq!(vit, best);
+    }
+
+    #[test]
+    fn impossible_evidence_is_reported() {
+        let hidden = Alphabet::from_names(["a"]);
+        let obs = Alphabet::from_names(["x", "y"]);
+        // State "a" never emits "y".
+        let hmm = Hmm::new(hidden, obs.clone(), vec![1.0], vec![1.0], vec![1.0, 0.0]).unwrap();
+        let seq = vec![obs.sym("y")];
+        assert!(matches!(hmm.posterior(&seq), Err(MarkovError::ImpossibleEvidence)));
+        assert!(matches!(hmm.log_likelihood(&seq), Err(MarkovError::ImpossibleEvidence)));
+    }
+
+    #[test]
+    fn sampling_produces_consistent_pairs() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let hmm = toy_hmm();
+        let mut rng = StdRng::seed_from_u64(7);
+        let (hidden, obs) = hmm.sample(&mut rng, 50);
+        assert_eq!(hidden.len(), 50);
+        assert_eq!(obs.len(), 50);
+        // Every sampled step must have positive model probability.
+        assert!(hmm.initial_prob(hidden[0]) > 0.0);
+        for i in 1..50 {
+            assert!(hmm.transition_prob(hidden[i - 1], hidden[i]) > 0.0);
+            assert!(hmm.emission_prob(hidden[i], obs[i]) > 0.0);
+        }
+    }
+
+    #[test]
+    fn constructor_validates_tables() {
+        let hidden = Alphabet::from_names(["a", "b"]);
+        let obs = Alphabet::from_names(["x"]);
+        let bad = Hmm::new(
+            hidden,
+            obs,
+            vec![0.5, 0.4], // sums to 0.9
+            vec![1.0, 0.0, 0.0, 1.0],
+            vec![1.0, 1.0],
+        );
+        assert!(matches!(bad, Err(MarkovError::NotADistribution { .. })));
+    }
+}

@@ -1,0 +1,236 @@
+//! Information-theoretic utilities for Markov sequences.
+//!
+//! A Markov-sequence store needs to *quantify* the uncertainty it manages
+//! — which streams are noisy enough to need review, how far a posterior
+//! is from its prior, how much evidence a conditioning step bought. All
+//! three questions have exact, closed-form answers on Markov chains, in
+//! time `O(n·|Σ|²)`:
+//!
+//! * [`entropy`] — the Shannon entropy of the whole distribution over
+//!   `Σⁿ`, via the chain rule
+//!   `H(S) = H(S₁) + Σᵢ H(Sᵢ₊₁ | Sᵢ)`;
+//! * [`kl_divergence`] — `KL(μ ‖ ν)` between two sequences over the same
+//!   alphabet and length, via the analogous chain rule under `μ`'s
+//!   marginals;
+//! * [`perplexity`] — `2^{H(S)/n}`, the per-position effective branching
+//!   factor (the speech-recognition convention).
+//!
+//! All quantities use natural units internally and are returned in
+//! **bits**.
+
+use transmark_automata::SymbolId;
+
+use crate::error::MarkovError;
+use crate::numeric::KahanSum;
+use crate::sequence::MarkovSequence;
+
+/// `x·log₂(x)` with the `0·log 0 = 0` convention.
+#[inline]
+fn xlog2(x: f64) -> f64 {
+    if x <= 0.0 {
+        0.0
+    } else {
+        x * x.log2()
+    }
+}
+
+/// The Shannon entropy `H(S)` of the distribution over `Σⁿ`, in bits.
+///
+/// Chain rule: `H(S) = H(S₁) + Σᵢ Σₓ Pr(Sᵢ = x) · H(μᵢ→(x, ·))`.
+pub fn entropy(m: &MarkovSequence) -> f64 {
+    let marginals = m.marginals();
+    let mut total = KahanSum::new();
+    for &p in &marginals[0] {
+        total.add(-xlog2(p));
+    }
+    for i in 0..m.len() - 1 {
+        for (x, &px) in marginals[i].iter().enumerate() {
+            if px == 0.0 {
+                continue;
+            }
+            let row = m.transition_row(i, SymbolId(x as u32));
+            let mut h_row = KahanSum::new();
+            for &q in row {
+                h_row.add(-xlog2(q));
+            }
+            total.add(px * h_row.total());
+        }
+    }
+    total.total().max(0.0)
+}
+
+/// The per-position perplexity `2^{H(S)/n}` — between 1 (deterministic)
+/// and `|Σ|` (uniform i.i.d.).
+pub fn perplexity(m: &MarkovSequence) -> f64 {
+    (entropy(m) / m.len() as f64).exp2()
+}
+
+/// `KL(μ ‖ ν)` in bits, for sequences over the same alphabet and length.
+///
+/// Chain rule under `μ`:
+/// `KL = Σₓ μ₀(x)·log(μ₀(x)/ν₀(x)) + Σᵢ Σₓ Prμ(Sᵢ=x)·KL(μᵢ→(x,·) ‖ νᵢ→(x,·))`.
+///
+/// Returns `+∞` when `μ` puts mass somewhere `ν` does not (absolute
+/// continuity fails) and an error on shape mismatch.
+pub fn kl_divergence(mu: &MarkovSequence, nu: &MarkovSequence) -> Result<f64, MarkovError> {
+    if mu.n_symbols() != nu.n_symbols() {
+        return Err(MarkovError::AlphabetMismatch { left: mu.n_symbols(), right: nu.n_symbols() });
+    }
+    if mu.len() != nu.len() {
+        return Err(MarkovError::LengthMismatch { expected: mu.len(), actual: nu.len() });
+    }
+    let mut total = KahanSum::new();
+    let term = |p: f64, q: f64| -> f64 {
+        if p == 0.0 {
+            0.0
+        } else if q == 0.0 {
+            f64::INFINITY
+        } else {
+            p * (p / q).log2()
+        }
+    };
+    for (x, &p) in mu.initial_dist().iter().enumerate() {
+        let t = term(p, nu.initial_dist()[x]);
+        if t.is_infinite() {
+            return Ok(f64::INFINITY);
+        }
+        total.add(t);
+    }
+    let marginals = mu.marginals();
+    for i in 0..mu.len() - 1 {
+        for (x, &px) in marginals[i].iter().enumerate() {
+            if px == 0.0 {
+                continue;
+            }
+            let rm = mu.transition_row(i, SymbolId(x as u32));
+            let rn = nu.transition_row(i, SymbolId(x as u32));
+            for (pm, pn) in rm.iter().zip(rn.iter()) {
+                let t = term(*pm, *pn);
+                if t.is_infinite() {
+                    return Ok(f64::INFINITY);
+                }
+                total.add(px * t);
+            }
+        }
+    }
+    Ok(total.total().max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{random_markov_sequence, RandomChainSpec};
+    use crate::numeric::approx_eq;
+    use crate::support::support;
+    use crate::MarkovSequenceBuilder;
+    use rand::{rngs::StdRng, SeedableRng};
+    use transmark_automata::Alphabet;
+
+    /// Brute-force entropy: `-Σ p log₂ p` over the support.
+    fn brute_entropy(m: &MarkovSequence) -> f64 {
+        -support(m).iter().map(|(_, p)| xlog2(*p)).sum::<f64>()
+    }
+
+    fn brute_kl(mu: &MarkovSequence, nu: &MarkovSequence) -> f64 {
+        let mut total = 0.0;
+        for (s, p) in support(mu) {
+            let q = nu.string_probability(&s).unwrap();
+            if q == 0.0 {
+                return f64::INFINITY;
+            }
+            total += p * (p / q).log2();
+        }
+        total
+    }
+
+    #[test]
+    fn entropy_matches_brute_force_on_random_chains() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..20 {
+            let m = random_markov_sequence(
+                &RandomChainSpec { len: 4, n_symbols: 3, zero_prob: 0.3 },
+                &mut rng,
+            );
+            let fast = entropy(&m);
+            let brute = brute_entropy(&m);
+            assert!(approx_eq(fast, brute, 1e-9, 1e-7), "{fast} vs {brute}");
+        }
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        let a = Alphabet::of_chars("xy");
+        // Deterministic chain: zero entropy, perplexity 1.
+        let det = MarkovSequence::homogeneous(a.clone(), 5, &[1.0, 0.0], &[0.0, 1.0, 1.0, 0.0])
+            .unwrap();
+        assert!(entropy(&det).abs() < 1e-12);
+        assert!((perplexity(&det) - 1.0).abs() < 1e-12);
+        // Uniform i.i.d.: n bits over a binary alphabet, perplexity 2.
+        let uni = MarkovSequenceBuilder::new(a, 5).uniform_all().build().unwrap();
+        assert!(approx_eq(entropy(&uni), 5.0, 1e-12, 0.0));
+        assert!(approx_eq(perplexity(&uni), 2.0, 1e-12, 0.0));
+    }
+
+    #[test]
+    fn kl_matches_brute_force_and_is_nonnegative() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..20 {
+            // zero_prob = 0 keeps ν absolutely continuous w.r.t. μ.
+            let mu = random_markov_sequence(
+                &RandomChainSpec { len: 4, n_symbols: 2, zero_prob: 0.0 },
+                &mut rng,
+            );
+            let nu = random_markov_sequence(
+                &RandomChainSpec { len: 4, n_symbols: 2, zero_prob: 0.0 },
+                &mut rng,
+            );
+            let fast = kl_divergence(&mu, &nu).unwrap();
+            let brute = brute_kl(&mu, &nu);
+            assert!(approx_eq(fast, brute, 1e-9, 1e-7), "{fast} vs {brute}");
+            assert!(fast >= 0.0);
+            // KL(μ‖μ) = 0.
+            assert!(kl_divergence(&mu, &mu).unwrap().abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn kl_detects_support_violations() {
+        let a = Alphabet::of_chars("xy");
+        let mu = MarkovSequenceBuilder::new(a.clone(), 2).uniform_all().build().unwrap();
+        let nu = MarkovSequence::homogeneous(a, 2, &[1.0, 0.0], &[1.0, 0.0, 0.5, 0.5]).unwrap();
+        assert_eq!(kl_divergence(&mu, &nu).unwrap(), f64::INFINITY);
+    }
+
+    #[test]
+    fn kl_validates_shapes() {
+        let a2 = Alphabet::of_chars("xy");
+        let a3 = Alphabet::of_chars("xyz");
+        let mu = MarkovSequenceBuilder::new(a2.clone(), 2).uniform_all().build().unwrap();
+        let nu3 = MarkovSequenceBuilder::new(a3, 2).uniform_all().build().unwrap();
+        assert!(kl_divergence(&mu, &nu3).is_err());
+        let nu_long = MarkovSequenceBuilder::new(a2, 3).uniform_all().build().unwrap();
+        assert!(kl_divergence(&mu, &nu_long).is_err());
+    }
+
+    #[test]
+    fn conditioning_reduces_entropy_on_average() {
+        // H(S | evidence) averaged over the evidence value ≤ H(S).
+        use crate::seqops::{condition, Evidence};
+        let mut rng = StdRng::seed_from_u64(17);
+        let m = random_markov_sequence(
+            &RandomChainSpec { len: 4, n_symbols: 2, zero_prob: 0.0 },
+            &mut rng,
+        );
+        let h = entropy(&m);
+        let marg = m.marginals();
+        let mut expected_conditional = 0.0;
+        for node in 0..2u32 {
+            let pe = marg[2][node as usize];
+            if pe > 0.0 {
+                let cond = condition(&m, &[(2, Evidence::Exactly(SymbolId(node)))]).unwrap();
+                expected_conditional += pe * entropy(&cond);
+            }
+        }
+        assert!(expected_conditional <= h + 1e-9, "{expected_conditional} > {h}");
+    }
+}

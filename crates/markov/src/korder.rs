@@ -1,0 +1,373 @@
+//! k-order Markov sequences and their first-order reduction.
+//!
+//! Footnote 3 of the paper: "all our results generalize to k-order Markov
+//! sequences, provided that k is fixed". The generalization works by
+//! re-encoding: a k-order chain over `Σ` of length `n` is equivalent to a
+//! first-order chain over the window alphabet `Σᵏ` of length `n-k+1`,
+//! where consecutive windows overlap in `k-1` symbols. This module
+//! implements the k-order model, the reduction, and the decoding map back
+//! to `Σ` strings.
+
+use std::sync::Arc;
+
+use transmark_automata::{Alphabet, SymbolId};
+
+use crate::error::MarkovError;
+use crate::numeric::{approx_eq, KahanSum, DIST_TOLERANCE};
+use crate::sequence::{from_validated_parts, MarkovSequence};
+
+/// A k-order Markov sequence: `P(Sᵢ | S₁⋯Sᵢ₋₁) = P(Sᵢ | Sᵢ₋ₖ⋯Sᵢ₋₁)`.
+///
+/// The model is given as a joint distribution over the first `k` symbols
+/// plus, for each later position, a conditional over the next symbol given
+/// the previous `k`. Requires `1 ≤ k ≤ n`.
+#[derive(Debug, Clone)]
+pub struct KOrderMarkovSequence {
+    alphabet: Arc<Alphabet>,
+    k: usize,
+    n: usize,
+    /// Joint distribution over `Σᵏ`; index is big-endian base-`|Σ|`.
+    initial_joint: Vec<f64>,
+    /// `n - k` conditionals; entry `ctx * |Σ| + next`.
+    transitions: Vec<Vec<f64>>,
+}
+
+impl KOrderMarkovSequence {
+    /// Builds and validates a k-order sequence.
+    pub fn new(
+        alphabet: impl Into<Arc<Alphabet>>,
+        k: usize,
+        n: usize,
+        initial_joint: Vec<f64>,
+        transitions: Vec<Vec<f64>>,
+    ) -> Result<Self, MarkovError> {
+        let alphabet = alphabet.into();
+        let sigma = alphabet.len();
+        if k == 0 || k > n {
+            return Err(MarkovError::InvalidOrder { order: k, length: n });
+        }
+        let n_ctx = sigma.pow(k as u32);
+        if initial_joint.len() != n_ctx {
+            return Err(MarkovError::LengthMismatch { expected: n_ctx, actual: initial_joint.len() });
+        }
+        if transitions.len() != n - k {
+            return Err(MarkovError::LengthMismatch { expected: n - k, actual: transitions.len() });
+        }
+        // Initial joint must be a distribution.
+        let mut sum = KahanSum::new();
+        for &p in &initial_joint {
+            if !p.is_finite() || p < 0.0 {
+                return Err(MarkovError::InvalidProbability { what: "initial", position: 0, value: p });
+            }
+            sum.add(p);
+        }
+        if !approx_eq(sum.total(), 1.0, DIST_TOLERANCE, DIST_TOLERANCE) {
+            return Err(MarkovError::NotADistribution {
+                what: "initial",
+                position: 0,
+                row: 0,
+                sum: sum.total(),
+            });
+        }
+        for (i, t) in transitions.iter().enumerate() {
+            if t.len() != n_ctx * sigma {
+                return Err(MarkovError::LengthMismatch { expected: n_ctx * sigma, actual: t.len() });
+            }
+            for ctx in 0..n_ctx {
+                let row = &t[ctx * sigma..(ctx + 1) * sigma];
+                let mut s = KahanSum::new();
+                for &p in row {
+                    if !p.is_finite() || p < 0.0 {
+                        return Err(MarkovError::InvalidProbability {
+                            what: "transition",
+                            position: i,
+                            value: p,
+                        });
+                    }
+                    s.add(p);
+                }
+                if !approx_eq(s.total(), 1.0, DIST_TOLERANCE, DIST_TOLERANCE) {
+                    return Err(MarkovError::NotADistribution {
+                        what: "transition",
+                        position: i,
+                        row: ctx,
+                        sum: s.total(),
+                    });
+                }
+            }
+        }
+        Ok(Self { alphabet, k, n, initial_joint, transitions })
+    }
+
+    /// The order `k`.
+    pub fn order(&self) -> usize {
+        self.k
+    }
+
+    /// The sequence length `n`.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `n ≥ 1` always holds.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The underlying symbol alphabet `Σ`.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Big-endian base-`|Σ|` encoding of a context window.
+    fn encode(&self, window: &[SymbolId]) -> usize {
+        let sigma = self.alphabet.len();
+        window.iter().fold(0usize, |acc, s| acc * sigma + s.index())
+    }
+
+    /// The probability of a full string `s ∈ Σⁿ`.
+    pub fn string_probability(&self, s: &[SymbolId]) -> Result<f64, MarkovError> {
+        if s.len() != self.n {
+            return Err(MarkovError::LengthMismatch { expected: self.n, actual: s.len() });
+        }
+        let sigma = self.alphabet.len();
+        let mut p = self.initial_joint[self.encode(&s[..self.k])];
+        for i in self.k..self.n {
+            if p == 0.0 {
+                return Ok(0.0);
+            }
+            let ctx = self.encode(&s[i - self.k..i]);
+            p *= self.transitions[i - self.k][ctx * sigma + s[i].index()];
+        }
+        Ok(p)
+    }
+
+    /// Reduces to a first-order [`MarkovSequence`] over the window
+    /// alphabet `Σᵏ`, returning the chain and the [`WindowEncoding`] that
+    /// maps window strings back to `Σ` strings.
+    ///
+    /// The reduction is probability-preserving: for every `s ∈ Σⁿ`,
+    /// `p(s) = p'(windows(s))` where `windows(s)` is the length
+    /// `n-k+1` sequence of overlapping k-windows.
+    pub fn to_first_order(&self) -> (MarkovSequence, WindowEncoding) {
+        let sigma = self.alphabet.len();
+        let n_ctx = sigma.pow(self.k as u32);
+        // Window alphabet: names are the component names joined by '·'.
+        let mut names = Vec::with_capacity(n_ctx);
+        for code in 0..n_ctx {
+            names.push(self.window_name(code));
+        }
+        let window_alphabet = Arc::new(Alphabet::from_names(names));
+
+        let initial = self.initial_joint.clone();
+        let mut matrices = Vec::with_capacity(self.n - self.k);
+        for t in &self.transitions {
+            let mut m = vec![0.0; n_ctx * n_ctx];
+            for ctx in 0..n_ctx {
+                let row = &t[ctx * sigma..(ctx + 1) * sigma];
+                let mut dead = true;
+                for (next_sym, &p) in row.iter().enumerate() {
+                    // shift: drop the most significant symbol, append next.
+                    let shifted = (ctx % sigma.pow((self.k - 1) as u32)) * sigma + next_sym;
+                    m[ctx * n_ctx + shifted] = p;
+                    if p > 0.0 {
+                        dead = false;
+                    }
+                }
+                if dead {
+                    // Validation guarantees rows sum to 1, so this branch is
+                    // unreachable for validated inputs; keep the chain valid
+                    // regardless.
+                    m[ctx * n_ctx + ctx] = 1.0;
+                }
+            }
+            matrices.push(m);
+        }
+        let chain = from_validated_parts(Arc::clone(&window_alphabet), initial, matrices);
+        (
+            chain,
+            WindowEncoding { alphabet: Arc::clone(&self.alphabet), k: self.k },
+        )
+    }
+
+    fn window_name(&self, mut code: usize) -> String {
+        let sigma = self.alphabet.len();
+        let mut parts = vec![""; self.k];
+        for slot in (0..self.k).rev() {
+            parts[slot] = self.alphabet.name(SymbolId((code % sigma) as u32));
+            code /= sigma;
+        }
+        parts.join("·")
+    }
+}
+
+/// The mapping between `Σ` strings and window strings produced by
+/// [`KOrderMarkovSequence::to_first_order`].
+#[derive(Debug, Clone)]
+pub struct WindowEncoding {
+    alphabet: Arc<Alphabet>,
+    k: usize,
+}
+
+impl WindowEncoding {
+    /// Encodes a `Σ` string of length `n ≥ k` into its window string of
+    /// length `n-k+1`.
+    pub fn encode(&self, s: &[SymbolId]) -> Result<Vec<SymbolId>, MarkovError> {
+        if s.len() < self.k {
+            return Err(MarkovError::LengthMismatch { expected: self.k, actual: s.len() });
+        }
+        let sigma = self.alphabet.len();
+        Ok(s.windows(self.k)
+            .map(|w| {
+                SymbolId(w.iter().fold(0usize, |acc, c| acc * sigma + c.index()) as u32)
+            })
+            .collect())
+    }
+
+    /// Decodes a window string back to a `Σ` string. Adjacent windows must
+    /// be overlap-consistent; this is guaranteed for strings in the support
+    /// of the reduced chain.
+    pub fn decode(&self, w: &[SymbolId]) -> Result<Vec<SymbolId>, MarkovError> {
+        if w.is_empty() {
+            return Err(MarkovError::EmptySequence);
+        }
+        let sigma = self.alphabet.len();
+        let digits = |code: usize| -> Vec<usize> {
+            let mut c = code;
+            let mut d = vec![0usize; self.k];
+            for slot in (0..self.k).rev() {
+                d[slot] = c % sigma;
+                c /= sigma;
+            }
+            d
+        };
+        let mut out: Vec<usize> = digits(w[0].index());
+        for &win in &w[1..] {
+            out.push(*digits(win.index()).last().expect("k ≥ 1"));
+        }
+        Ok(out.into_iter().map(|i| SymbolId(i as u32)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 2nd-order chain over {a, b} of length 4 where the next symbol
+    /// prefers to repeat the symbol from two steps ago.
+    fn second_order() -> KOrderMarkovSequence {
+        let alphabet = Alphabet::from_names(["a", "b"]);
+        // contexts (big-endian): aa=0, ab=1, ba=2, bb=3
+        let initial = vec![0.4, 0.1, 0.2, 0.3];
+        let t = vec![
+            // ctx aa: next a w.p. .9
+            0.9, 0.1, // ctx ab: repeat-two-ago ⇒ a w.p. .8
+            0.8, 0.2, // ctx ba: b w.p. .7
+            0.3, 0.7, // ctx bb
+            0.25, 0.75,
+        ];
+        KOrderMarkovSequence::new(alphabet, 2, 4, initial, vec![t.clone(), t]).unwrap()
+    }
+
+    fn all_strings(k: usize, n: usize) -> Vec<Vec<SymbolId>> {
+        let mut out: Vec<Vec<SymbolId>> = vec![vec![]];
+        for _ in 0..n {
+            out = out
+                .into_iter()
+                .flat_map(|s| {
+                    (0..k).map(move |c| {
+                        let mut t = s.clone();
+                        t.push(SymbolId(c as u32));
+                        t
+                    })
+                })
+                .collect();
+        }
+        out
+    }
+
+    #[test]
+    fn korder_probabilities_sum_to_one() {
+        let m = second_order();
+        let total: f64 = all_strings(2, 4)
+            .iter()
+            .map(|s| m.string_probability(s).unwrap())
+            .sum();
+        assert!(approx_eq(total, 1.0, 1e-12, 0.0), "total {total}");
+    }
+
+    #[test]
+    fn reduction_preserves_probabilities() {
+        let m = second_order();
+        let (chain, enc) = m.to_first_order();
+        assert_eq!(chain.len(), 3); // n - k + 1
+        assert_eq!(chain.n_symbols(), 4);
+        for s in all_strings(2, 4) {
+            let w = enc.encode(&s).unwrap();
+            let p_korder = m.string_probability(&s).unwrap();
+            let p_chain = chain.string_probability(&w).unwrap();
+            assert!(
+                approx_eq(p_korder, p_chain, 1e-14, 1e-12),
+                "string {s:?}: {p_korder} vs {p_chain}"
+            );
+            assert_eq!(enc.decode(&w).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn reduced_chain_support_decodes_to_valid_strings() {
+        let m = second_order();
+        let (chain, enc) = m.to_first_order();
+        for (w, p) in crate::support::support(&chain) {
+            let s = enc.decode(&w).unwrap();
+            assert!(approx_eq(m.string_probability(&s).unwrap(), p, 1e-14, 1e-12));
+        }
+    }
+
+    #[test]
+    fn window_names_are_descriptive() {
+        let m = second_order();
+        let (chain, _) = m.to_first_order();
+        assert_eq!(chain.alphabet().name(SymbolId(0)), "a·a");
+        assert_eq!(chain.alphabet().name(SymbolId(1)), "a·b");
+        assert_eq!(chain.alphabet().name(SymbolId(3)), "b·b");
+    }
+
+    #[test]
+    fn invalid_orders_are_rejected() {
+        let alphabet = Alphabet::from_names(["a", "b"]);
+        assert!(matches!(
+            KOrderMarkovSequence::new(alphabet.clone(), 0, 3, vec![1.0], vec![]),
+            Err(MarkovError::InvalidOrder { .. })
+        ));
+        assert!(matches!(
+            KOrderMarkovSequence::new(alphabet, 5, 3, vec![1.0], vec![]),
+            Err(MarkovError::InvalidOrder { .. })
+        ));
+    }
+
+    #[test]
+    fn order_one_reduction_is_identity_shaped() {
+        let alphabet = Alphabet::from_names(["a", "b"]);
+        let m = KOrderMarkovSequence::new(
+            alphabet,
+            1,
+            3,
+            vec![0.5, 0.5],
+            vec![vec![0.1, 0.9, 0.6, 0.4], vec![1.0, 0.0, 0.0, 1.0]],
+        )
+        .unwrap();
+        let (chain, enc) = m.to_first_order();
+        assert_eq!(chain.len(), 3);
+        assert_eq!(chain.n_symbols(), 2);
+        for s in all_strings(2, 3) {
+            assert_eq!(enc.encode(&s).unwrap(), s);
+            assert!(approx_eq(
+                chain.string_probability(&s).unwrap(),
+                m.string_probability(&s).unwrap(),
+                1e-15,
+                0.0
+            ));
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Numeric helpers: compensated summation and tolerant comparison.
+//!
+//! Confidence computation sums huge numbers of tiny path probabilities;
+//! the engine's DPs use Neumaier (improved Kahan) accumulation so that the
+//! brute-force oracles and the dynamic programs agree to tight tolerances
+//! in tests.
+
+/// A Neumaier compensated accumulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KahanSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl KahanSum {
+    /// A fresh accumulator at 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `value`.
+    #[inline]
+    pub fn add(&mut self, value: f64) {
+        let t = self.sum + value;
+        if self.sum.abs() >= value.abs() {
+            self.compensation += (self.sum - t) + value;
+        } else {
+            self.compensation += (value - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// The compensated total.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.sum + self.compensation
+    }
+}
+
+impl FromIterator<f64> for KahanSum {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut k = KahanSum::new();
+        for v in iter {
+            k.add(v);
+        }
+        k
+    }
+}
+
+/// Compensated sum of a slice.
+pub fn kahan_sum(values: &[f64]) -> f64 {
+    values.iter().copied().collect::<KahanSum>().total()
+}
+
+/// Whether `a` and `b` are equal within absolute tolerance `abs` or
+/// relative tolerance `rel` (whichever is looser).
+pub fn approx_eq(a: f64, b: f64, abs: f64, rel: f64) -> bool {
+    let diff = (a - b).abs();
+    diff <= abs || diff <= rel * a.abs().max(b.abs())
+}
+
+/// Default tolerance used when validating that distributions sum to 1.
+pub const DIST_TOLERANCE: f64 = 1e-9;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kahan_beats_naive_on_adversarial_input() {
+        // 1 followed by many values that individually vanish against it.
+        let mut values = vec![1.0f64];
+        values.extend(std::iter::repeat_n(1e-16, 10_000));
+        let naive: f64 = values.iter().sum();
+        let kahan = kahan_sum(&values);
+        let exact = 1.0 + 1e-16 * 10_000.0;
+        assert!((kahan - exact).abs() < (naive - exact).abs() || naive == exact);
+        assert!(approx_eq(kahan, exact, 1e-15, 1e-15));
+    }
+
+    #[test]
+    fn approx_eq_absolute_and_relative() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9, 0.0));
+        assert!(approx_eq(1e12, 1e12 + 1.0, 0.0, 1e-9));
+        assert!(!approx_eq(1.0, 1.1, 1e-9, 1e-9));
+        assert!(approx_eq(0.0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn from_iterator_matches_manual() {
+        let xs = [0.1, 0.2, 0.3, 0.4];
+        let k: KahanSum = xs.iter().copied().collect();
+        assert!(approx_eq(k.total(), 1.0, 1e-15, 0.0));
+    }
+}

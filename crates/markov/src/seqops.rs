@@ -1,0 +1,341 @@
+//! Database-style operations on Markov sequences.
+//!
+//! A Markov-sequence store (the paper's Lahar setting) needs more than
+//! queries: it slices streams into windows and conditions them on ground
+//! observations ("the cart *was* in the lab at 3pm"). Both operations
+//! stay inside the model class:
+//!
+//! * [`window`] — the marginal of a contiguous window of a Markov chain
+//!   is again a Markov chain with the same transition matrices and the
+//!   window-start marginal as its initial distribution;
+//! * [`condition`] — conditioning on `Sᵢ = s` (or any per-position
+//!   evidence) is a chain Gibbs distribution, handled by the
+//!   [`crate::factors`] translation.
+
+use std::sync::Arc;
+
+use transmark_automata::SymbolId;
+
+use crate::error::MarkovError;
+use crate::factors::chain_from_factors;
+use crate::sequence::{from_validated_parts, MarkovSequence};
+
+/// The marginal Markov sequence of the window `[start, start + len)`
+/// (0-based positions). Errors if the window is empty or out of range.
+pub fn window(m: &MarkovSequence, start: usize, len: usize) -> Result<MarkovSequence, MarkovError> {
+    if len == 0 {
+        return Err(MarkovError::EmptySequence);
+    }
+    if start + len > m.len() {
+        return Err(MarkovError::LengthMismatch { expected: m.len(), actual: start + len });
+    }
+    let initial = m.marginals()[start].clone();
+    let transitions: Vec<Vec<f64>> = (start..start + len - 1)
+        .map(|i| {
+            let k = m.n_symbols();
+            let mut t = Vec::with_capacity(k * k);
+            for from in 0..k {
+                t.extend_from_slice(m.transition_row(i, SymbolId(from as u32)));
+            }
+            t
+        })
+        .collect();
+    Ok(from_validated_parts(m.alphabet_arc(), initial, transitions))
+}
+
+/// Per-position evidence: a hard observation or a soft likelihood.
+#[derive(Debug, Clone)]
+pub enum Evidence {
+    /// `Sᵢ` is known to be exactly this node.
+    Exactly(SymbolId),
+    /// `Sᵢ` is known to be one of these nodes.
+    OneOf(Vec<SymbolId>),
+    /// A nonnegative likelihood weight per node (virtual evidence).
+    Likelihood(Vec<f64>),
+}
+
+/// Conditions the sequence on evidence at given positions:
+/// `P(S | evidence) ∝ P(S) · ∏ weightᵢ(Sᵢ)`.
+///
+/// Returns [`MarkovError::ImpossibleEvidence`] when the evidence has zero
+/// probability.
+pub fn condition(
+    m: &MarkovSequence,
+    evidence: &[(usize, Evidence)],
+) -> Result<MarkovSequence, MarkovError> {
+    let k = m.n_symbols();
+    let n = m.len();
+    // Per-position weights, defaulting to 1.
+    let mut weights = vec![vec![1.0f64; k]; n];
+    for (pos, ev) in evidence {
+        if *pos >= n {
+            return Err(MarkovError::LengthMismatch { expected: n, actual: *pos + 1 });
+        }
+        let w = &mut weights[*pos];
+        match ev {
+            Evidence::Exactly(s) => {
+                for (i, v) in w.iter_mut().enumerate() {
+                    *v *= f64::from(u8::from(i == s.index()));
+                }
+            }
+            Evidence::OneOf(set) => {
+                for (i, v) in w.iter_mut().enumerate() {
+                    *v *= f64::from(u8::from(set.iter().any(|s| s.index() == i)));
+                }
+            }
+            Evidence::Likelihood(l) => {
+                if l.len() != k {
+                    return Err(MarkovError::LengthMismatch { expected: k, actual: l.len() });
+                }
+                for (v, &li) in w.iter_mut().zip(l) {
+                    if !li.is_finite() || li < 0.0 {
+                        return Err(MarkovError::InvalidProbability {
+                            what: "likelihood",
+                            position: *pos,
+                            value: li,
+                        });
+                    }
+                    *v *= li;
+                }
+            }
+        }
+    }
+
+    // Build the Gibbs factors: φ₀(s) = μ₀(s)·w₀(s);
+    // ψᵢ(s, t) = μᵢ(s, t)·wᵢ₊₁(t).
+    let phi0: Vec<f64> = (0..k).map(|s| m.initial_prob(SymbolId(s as u32)) * weights[0][s]).collect();
+    let factors: Vec<Vec<f64>> = (0..n - 1)
+        .map(|i| {
+            let mut f = vec![0.0; k * k];
+            for s in 0..k {
+                let row = m.transition_row(i, SymbolId(s as u32));
+                for t in 0..k {
+                    f[s * k + t] = row[t] * weights[i + 1][t];
+                }
+            }
+            f
+        })
+        .collect();
+    chain_from_factors(m.alphabet_arc(), &phi0, &factors)
+}
+
+/// The probability of the evidence itself, `Pr(∏ weightᵢ(Sᵢ))` for hard
+/// evidence (for soft evidence: the expected likelihood). Computed by one
+/// forward pass.
+pub fn evidence_probability(
+    m: &MarkovSequence,
+    evidence: &[(usize, Evidence)],
+) -> Result<f64, MarkovError> {
+    let k = m.n_symbols();
+    let n = m.len();
+    let mut weights = vec![vec![1.0f64; k]; n];
+    for (pos, ev) in evidence {
+        if *pos >= n {
+            return Err(MarkovError::LengthMismatch { expected: n, actual: *pos + 1 });
+        }
+        match ev {
+            Evidence::Exactly(s) => {
+                for (i, v) in weights[*pos].iter_mut().enumerate() {
+                    *v *= f64::from(u8::from(i == s.index()));
+                }
+            }
+            Evidence::OneOf(set) => {
+                for (i, v) in weights[*pos].iter_mut().enumerate() {
+                    *v *= f64::from(u8::from(set.iter().any(|s| s.index() == i)));
+                }
+            }
+            Evidence::Likelihood(l) => {
+                for (v, &li) in weights[*pos].iter_mut().zip(l) {
+                    *v *= li;
+                }
+            }
+        }
+    }
+    let mut alpha: Vec<f64> =
+        (0..k).map(|s| m.initial_prob(SymbolId(s as u32)) * weights[0][s]).collect();
+    for i in 0..n - 1 {
+        let mut next = vec![0.0f64; k];
+        for s in 0..k {
+            if alpha[s] == 0.0 {
+                continue;
+            }
+            let row = m.transition_row(i, SymbolId(s as u32));
+            for t in 0..k {
+                if row[t] > 0.0 {
+                    next[t] += alpha[s] * row[t] * weights[i + 1][t];
+                }
+            }
+        }
+        alpha = next;
+    }
+    Ok(alpha.iter().sum())
+}
+
+/// Reverses a Markov sequence: the distribution of `Sₙ⋯S₁` (useful for
+/// suffix-anchored queries). The reversed chain's parameters come from
+/// Bayes' rule over the forward marginals.
+pub fn reverse(m: &MarkovSequence) -> MarkovSequence {
+    let k = m.n_symbols();
+    let n = m.len();
+    let marg = m.marginals();
+    let initial = marg[n - 1].clone();
+    let mut transitions = Vec::with_capacity(n.saturating_sub(1));
+    // Reversed step j couples reversed positions j → j+1, i.e. original
+    // positions n-1-j → n-2-j.
+    for j in 0..n - 1 {
+        let orig = n - 2 - j; // original step index: orig → orig+1
+        let mut t = vec![0.0; k * k];
+        for from in 0..k {
+            // from = original position orig+1 node; to = original orig node.
+            let p_from = marg[orig + 1][from];
+            let row = &mut t[from * k..(from + 1) * k];
+            if p_from > 0.0 {
+                for (to, slot) in row.iter_mut().enumerate() {
+                    *slot = marg[orig][to]
+                        * m.transition_prob(orig, SymbolId(to as u32), SymbolId(from as u32))
+                        / p_from;
+                }
+                // Normalize away rounding drift.
+                let s: f64 = row.iter().sum();
+                if s > 0.0 {
+                    for v in row.iter_mut() {
+                        *v /= s;
+                    }
+                } else {
+                    row[from] = 1.0;
+                }
+            } else {
+                row[from] = 1.0;
+            }
+        }
+        transitions.push(t);
+    }
+    from_validated_parts(Arc::clone(&m.alphabet_arc()), initial, transitions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::numeric::approx_eq;
+    use crate::sequence::MarkovSequenceBuilder;
+    use crate::support::support;
+    use transmark_automata::Alphabet;
+
+    fn chain() -> MarkovSequence {
+        let a = Alphabet::of_chars("xy");
+        let (x, y) = (a.sym("x"), a.sym("y"));
+        MarkovSequenceBuilder::new(a, 4)
+            .initial(x, 0.7)
+            .initial(y, 0.3)
+            .transition(0, x, x, 0.5)
+            .transition(0, x, y, 0.5)
+            .transition(0, y, y, 1.0)
+            .transition(1, x, y, 0.8)
+            .transition(1, x, x, 0.2)
+            .transition(1, y, x, 0.4)
+            .transition(1, y, y, 0.6)
+            .transition(2, x, x, 1.0)
+            .transition(2, y, x, 0.9)
+            .transition(2, y, y, 0.1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn window_marginals_match_full_chain() {
+        let m = chain();
+        let w = window(&m, 1, 2).unwrap();
+        assert_eq!(w.len(), 2);
+        // P(w = s t) must equal P(S₂ = s, S₃ = t) in the original.
+        for (pair, pw) in support(&w) {
+            let want: f64 = support(&m)
+                .iter()
+                .filter(|(s, _)| s[1] == pair[0] && s[2] == pair[1])
+                .map(|(_, p)| p)
+                .sum();
+            assert!(approx_eq(pw, want, 1e-12, 1e-10), "pair {pair:?}");
+        }
+    }
+
+    #[test]
+    fn window_bounds_are_checked() {
+        let m = chain();
+        assert!(matches!(window(&m, 0, 0), Err(MarkovError::EmptySequence)));
+        assert!(matches!(window(&m, 3, 2), Err(MarkovError::LengthMismatch { .. })));
+        assert!(window(&m, 0, 4).is_ok());
+    }
+
+    #[test]
+    fn conditioning_is_bayes() {
+        let m = chain();
+        let a = m.alphabet().clone();
+        let y = a.sym("y");
+        let cond = condition(&m, &[(2, Evidence::Exactly(y))]).unwrap();
+        // Compare against direct Bayes over the support.
+        let z: f64 = support(&m).iter().filter(|(s, _)| s[2] == y).map(|(_, p)| p).sum();
+        for (s, p) in support(&m) {
+            let want = if s[2] == y { p / z } else { 0.0 };
+            let got = cond.string_probability(&s).unwrap();
+            assert!(approx_eq(got, want, 1e-12, 1e-9), "string {s:?}: {got} vs {want}");
+        }
+        // Evidence probability matches the normalizer.
+        let pe = evidence_probability(&m, &[(2, Evidence::Exactly(y))]).unwrap();
+        assert!(approx_eq(pe, z, 1e-12, 1e-10));
+    }
+
+    #[test]
+    fn soft_evidence_reweights() {
+        let m = chain();
+        let like = vec![2.0, 0.5];
+        let cond = condition(&m, &[(0, Evidence::Likelihood(like.clone()))]).unwrap();
+        let z: f64 = support(&m).iter().map(|(s, p)| p * like[s[0].index()]).sum();
+        for (s, p) in support(&m) {
+            let want = p * like[s[0].index()] / z;
+            assert!(approx_eq(cond.string_probability(&s).unwrap(), want, 1e-12, 1e-9));
+        }
+    }
+
+    #[test]
+    fn impossible_evidence_errors() {
+        let m = chain();
+        let a = m.alphabet().clone();
+        // S₁ = x and S₂ = x is possible; S₁ = y then S₂ = x is not (y→y only).
+        let bad = condition(
+            &m,
+            &[(0, Evidence::Exactly(a.sym("y"))), (1, Evidence::Exactly(a.sym("x")))],
+        );
+        assert!(matches!(bad, Err(MarkovError::ImpossibleEvidence)));
+    }
+
+    #[test]
+    fn one_of_evidence_filters() {
+        let m = chain();
+        let a = m.alphabet().clone();
+        let both = condition(&m, &[(1, Evidence::OneOf(vec![a.sym("x"), a.sym("y")]))]).unwrap();
+        // Conditioning on the full set is a no-op.
+        for (s, p) in support(&m) {
+            assert!(approx_eq(both.string_probability(&s).unwrap(), p, 1e-12, 1e-9));
+        }
+    }
+
+    #[test]
+    fn reverse_preserves_string_probabilities() {
+        let m = chain();
+        let r = reverse(&m);
+        assert_eq!(r.len(), m.len());
+        for (s, p) in support(&m) {
+            let rev: Vec<_> = s.iter().rev().copied().collect();
+            let pr = r.string_probability(&rev).unwrap();
+            assert!(approx_eq(pr, p, 1e-12, 1e-9), "string {s:?}: {pr} vs {p}");
+        }
+    }
+
+    #[test]
+    fn reverse_is_involutive_on_probabilities() {
+        let m = chain();
+        let rr = reverse(&reverse(&m));
+        for (s, p) in support(&m) {
+            assert!(approx_eq(rr.string_probability(&s).unwrap(), p, 1e-12, 1e-9));
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Exhaustive enumeration of a Markov sequence's support.
+//!
+//! `support(μ)` yields every string `s ∈ Σⁿ` with `p(s) > 0` together with
+//! its probability. This is exponential in `n` by nature — it exists as
+//! the *brute-force oracle* for the engine's tests and for the paper's
+//! tiny running example (where the support is small), not as a query
+//! mechanism.
+
+use transmark_automata::SymbolId;
+
+use crate::sequence::MarkovSequence;
+
+/// All `(string, probability)` pairs with positive probability, in
+/// lexicographic order of the string (by symbol id).
+///
+/// Cost is `O(|support| · n)`; callers are expected to use this only for
+/// small instances (tests, examples, oracles).
+pub fn support(m: &MarkovSequence) -> Vec<(Vec<SymbolId>, f64)> {
+    let mut out = Vec::new();
+    let mut prefix: Vec<SymbolId> = Vec::with_capacity(m.len());
+    for s in 0..m.n_symbols() {
+        let sym = SymbolId(s as u32);
+        let p = m.initial_prob(sym);
+        if p > 0.0 {
+            prefix.push(sym);
+            recurse(m, &mut prefix, p, &mut out);
+            prefix.pop();
+        }
+    }
+    out
+}
+
+fn recurse(
+    m: &MarkovSequence,
+    prefix: &mut Vec<SymbolId>,
+    p: f64,
+    out: &mut Vec<(Vec<SymbolId>, f64)>,
+) {
+    if prefix.len() == m.len() {
+        out.push((prefix.clone(), p));
+        return;
+    }
+    let i = prefix.len() - 1;
+    let from = *prefix.last().expect("nonempty prefix");
+    for t in 0..m.n_symbols() {
+        let sym = SymbolId(t as u32);
+        let q = m.transition_prob(i, from, sym);
+        if q > 0.0 {
+            prefix.push(sym);
+            recurse(m, prefix, p * q, out);
+            prefix.pop();
+        }
+    }
+}
+
+/// The number of positive-probability strings (same traversal as
+/// [`support`], without materializing the strings).
+pub fn support_size(m: &MarkovSequence) -> usize {
+    fn count(m: &MarkovSequence, i: usize, from: SymbolId) -> usize {
+        if i == m.len() - 1 {
+            return 1;
+        }
+        (0..m.n_symbols())
+            .filter(|&t| m.transition_prob(i, from, SymbolId(t as u32)) > 0.0)
+            .map(|t| count(m, i + 1, SymbolId(t as u32)))
+            .sum()
+    }
+    (0..m.n_symbols())
+        .filter(|&s| m.initial_prob(SymbolId(s as u32)) > 0.0)
+        .map(|s| count(m, 0, SymbolId(s as u32)))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::numeric::approx_eq;
+    use crate::sequence::MarkovSequenceBuilder;
+    use transmark_automata::Alphabet;
+
+    fn chain() -> MarkovSequence {
+        let a = Alphabet::from_names(["p", "q"]);
+        let (p, q) = (a.sym("p"), a.sym("q"));
+        MarkovSequenceBuilder::new(a, 3)
+            .initial(p, 0.5)
+            .initial(q, 0.5)
+            .transition(0, p, p, 1.0)
+            .transition(0, q, p, 0.5)
+            .transition(0, q, q, 0.5)
+            .transition(1, p, q, 1.0)
+            .transition(1, q, p, 1.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn support_sums_to_one_and_matches_probabilities() {
+        let m = chain();
+        let sup = support(&m);
+        let total: f64 = sup.iter().map(|(_, p)| p).sum();
+        assert!(approx_eq(total, 1.0, 1e-12, 0.0));
+        for (s, p) in &sup {
+            assert!(approx_eq(*p, m.string_probability(s).unwrap(), 1e-15, 0.0));
+            assert!(*p > 0.0);
+        }
+        assert_eq!(sup.len(), support_size(&m));
+        assert_eq!(sup.len(), 3); // ppq, qpq, qqp
+    }
+
+    #[test]
+    fn support_is_lexicographically_sorted() {
+        let m = chain();
+        let sup = support(&m);
+        for w in sup.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn singleton_sequence() {
+        let a = Alphabet::from_names(["p", "q"]);
+        let m = MarkovSequenceBuilder::new(a.clone(), 1)
+            .initial(a.sym("q"), 1.0)
+            .build()
+            .unwrap();
+        let sup = support(&m);
+        assert_eq!(sup, vec![(vec![a.sym("q")], 1.0)]);
+    }
+}

@@ -1,0 +1,276 @@
+//! A plain-text interchange format for Markov sequences.
+//!
+//! The paper assumes sequences are "represented in a straightforward
+//! manner … a transition matrix for each index and an array for μ₀→"
+//! (§3.2). This module fixes one such representation so sequences can be
+//! stored, diffed and fed to the CLI:
+//!
+//! ```text
+//! markov-sequence v1
+//! alphabet r1a r1b la
+//! length 3
+//! initial 0.7 0.28 0.02
+//! step 0
+//! 0.1 0.0 0.9
+//! 0.0 0.9 0.1
+//! 0.0 1.0 0.0
+//! step 1
+//! …
+//! ```
+//!
+//! * `#`-prefixed lines and blank lines are ignored;
+//! * symbol names may not contain whitespace;
+//! * each `step i` block holds `|Σ|` rows of `|Σ|` probabilities
+//!   (row = source node, in alphabet order);
+//! * probabilities accept anything `f64::from_str` does.
+//!
+//! Parsing validates through [`MarkovSequenceBuilder`], so a file that
+//! parses is a *valid* Markov sequence (rows summing to 1, etc.).
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use transmark_automata::{Alphabet, SymbolId};
+
+use crate::error::MarkovError;
+use crate::sequence::{MarkovSequence, MarkovSequenceBuilder};
+
+/// A parse failure with its (1-based) line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line of the failure (0 = end of input).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Everything that can go wrong reading a sequence file.
+#[derive(Debug)]
+pub enum TextIoError {
+    /// Syntactic problem.
+    Parse(ParseError),
+    /// The parsed data is not a valid Markov sequence.
+    Model(MarkovError),
+}
+
+impl std::fmt::Display for TextIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TextIoError::Parse(e) => write!(f, "{e}"),
+            TextIoError::Model(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TextIoError {}
+
+impl From<MarkovError> for TextIoError {
+    fn from(e: MarkovError) -> Self {
+        TextIoError::Model(e)
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> TextIoError {
+    TextIoError::Parse(ParseError { line, message: message.into() })
+}
+
+/// Serializes a sequence to the v1 text format.
+pub fn to_text(m: &MarkovSequence) -> String {
+    let k = m.n_symbols();
+    let mut out = String::new();
+    out.push_str("markov-sequence v1\n");
+    out.push_str("alphabet");
+    for (_, name) in m.alphabet().iter() {
+        let _ = write!(out, " {name}");
+    }
+    out.push('\n');
+    let _ = writeln!(out, "length {}", m.len());
+    out.push_str("initial");
+    for &p in m.initial_dist() {
+        let _ = write!(out, " {p}");
+    }
+    out.push('\n');
+    for i in 0..m.len() - 1 {
+        let _ = writeln!(out, "step {i}");
+        for from in 0..k {
+            let row = m.transition_row(i, SymbolId(from as u32));
+            let rendered: Vec<String> = row.iter().map(|p| p.to_string()).collect();
+            let _ = writeln!(out, "{}", rendered.join(" "));
+        }
+    }
+    out
+}
+
+/// Parses the v1 text format.
+pub fn from_text(text: &str) -> Result<MarkovSequence, TextIoError> {
+    // Meaningful lines with their 1-based numbers.
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+
+    let (ln, header) = lines.next().ok_or_else(|| err(0, "empty input"))?;
+    if header != "markov-sequence v1" {
+        return Err(err(ln, format!("expected \"markov-sequence v1\", found {header:?}")));
+    }
+
+    let (ln, alpha_line) = lines.next().ok_or_else(|| err(0, "missing alphabet line"))?;
+    let mut parts = alpha_line.split_whitespace();
+    if parts.next() != Some("alphabet") {
+        return Err(err(ln, "expected \"alphabet <names…>\""));
+    }
+    let names: Vec<&str> = parts.collect();
+    if names.is_empty() {
+        return Err(err(ln, "alphabet must have at least one symbol"));
+    }
+    let alphabet = Arc::new(Alphabet::from_names(names.iter().copied()));
+    if alphabet.len() != names.len() {
+        return Err(err(ln, "duplicate symbol names in alphabet"));
+    }
+    let k = alphabet.len();
+
+    let (ln, len_line) = lines.next().ok_or_else(|| err(0, "missing length line"))?;
+    let n: usize = len_line
+        .strip_prefix("length")
+        .map(str::trim)
+        .ok_or_else(|| err(ln, "expected \"length <n>\""))?
+        .parse()
+        .map_err(|e| err(ln, format!("bad length: {e}")))?;
+
+    let parse_row = |ln: usize, line: &str, what: &str| -> Result<Vec<f64>, TextIoError> {
+        let vals: Result<Vec<f64>, _> = line.split_whitespace().map(str::parse).collect();
+        let vals = vals.map_err(|e| err(ln, format!("bad number in {what}: {e}")))?;
+        if vals.len() != k {
+            return Err(err(ln, format!("{what} has {} entries, expected {k}", vals.len())));
+        }
+        Ok(vals)
+    };
+
+    let (ln, init_line) = lines.next().ok_or_else(|| err(0, "missing initial line"))?;
+    let init_body = init_line
+        .strip_prefix("initial")
+        .ok_or_else(|| err(ln, "expected \"initial <p…>\""))?;
+    let initial = parse_row(ln, init_body, "initial distribution")?;
+
+    let mut b = MarkovSequenceBuilder::new(Arc::clone(&alphabet), n).initial_dist(&initial);
+    for step in 0..n.saturating_sub(1) {
+        let (ln, step_line) = lines
+            .next()
+            .ok_or_else(|| err(0, format!("missing \"step {step}\" header")))?;
+        if step_line != format!("step {step}") {
+            return Err(err(ln, format!("expected \"step {step}\", found {step_line:?}")));
+        }
+        let mut matrix = Vec::with_capacity(k * k);
+        for row in 0..k {
+            let (ln, row_line) = lines
+                .next()
+                .ok_or_else(|| err(0, format!("missing row {row} of step {step}")))?;
+            matrix.extend(parse_row(ln, row_line, &format!("step {step} row {row}"))?);
+        }
+        b = b.transition_matrix(step, &matrix);
+    }
+    if let Some((ln, extra)) = lines.next() {
+        return Err(err(ln, format!("unexpected trailing content: {extra:?}")));
+    }
+    Ok(b.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{random_markov_sequence, RandomChainSpec};
+    use crate::numeric::approx_eq;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for len in [1usize, 2, 5] {
+            let m = random_markov_sequence(
+                &RandomChainSpec { len, n_symbols: 3, zero_prob: 0.3 },
+                &mut rng,
+            );
+            let text = to_text(&m);
+            let back = from_text(&text).expect("round trip parses");
+            assert_eq!(back.len(), m.len());
+            assert_eq!(back.n_symbols(), m.n_symbols());
+            for s in 0..3 {
+                assert_eq!(back.alphabet().name(SymbolId(s)), m.alphabet().name(SymbolId(s)));
+            }
+            assert_eq!(back.initial_dist(), m.initial_dist());
+            for i in 0..len.saturating_sub(1) {
+                for from in 0..3u32 {
+                    assert_eq!(
+                        back.transition_row(i, SymbolId(from)),
+                        m.transition_row(i, SymbolId(from))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "\n# weather model\nmarkov-sequence v1\n\nalphabet x y\nlength 2\n# start\ninitial 1 0\nstep 0\n0.5 0.5\n# dead row\n0 1\n";
+        let m = from_text(text).unwrap();
+        assert_eq!(m.len(), 2);
+        assert!(approx_eq(m.transition_prob(0, SymbolId(0), SymbolId(1)), 0.5, 0.0, 0.0));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let cases: Vec<(&str, usize)> = vec![
+            ("nope", 1),
+            ("markov-sequence v1\nalphabet", 2),
+            ("markov-sequence v1\nalphabet a a\nlength 1\ninitial 1", 2),
+            ("markov-sequence v1\nalphabet a b\nlen 2", 3),
+            ("markov-sequence v1\nalphabet a b\nlength 2\ninitial 1 0\nstep 1\n1 0\n0 1", 5),
+            ("markov-sequence v1\nalphabet a b\nlength 2\ninitial 1 0\nstep 0\n1 0 0\n0 1", 6),
+            (
+                "markov-sequence v1\nalphabet a b\nlength 1\ninitial 1 0\ntrailing junk",
+                5,
+            ),
+        ];
+        for (text, line) in cases {
+            match from_text(text) {
+                Err(TextIoError::Parse(e)) => assert_eq!(e.line, line, "input {text:?}"),
+                other => panic!("expected parse error at line {line} for {text:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_model_is_rejected_after_parsing() {
+        // Rows parse but don't sum to 1.
+        let text = "markov-sequence v1\nalphabet a b\nlength 2\ninitial 0.6 0.3\nstep 0\n1 0\n0 1\n";
+        assert!(matches!(from_text(text), Err(TextIoError::Model(_))));
+    }
+
+    #[test]
+    fn exact_float_round_trip_via_display() {
+        // `f64::to_string` is shortest-round-trip, so parse(to_string(x)) == x.
+        let m = {
+            let a = Alphabet::of_chars("ab");
+            MarkovSequenceBuilder::new(a, 2)
+                .initial(SymbolId(0), 1.0 / 3.0)
+                .initial(SymbolId(1), 2.0 / 3.0)
+                .transition(0, SymbolId(0), SymbolId(0), 0.1)
+                .transition(0, SymbolId(0), SymbolId(1), 0.9)
+                .transition(0, SymbolId(1), SymbolId(1), 1.0)
+                .build()
+                .unwrap()
+        };
+        let back = from_text(&to_text(&m)).unwrap();
+        assert_eq!(back.initial_dist()[0], 1.0 / 3.0);
+        assert_eq!(back.transition_prob(0, SymbolId(0), SymbolId(0)), 0.1);
+    }
+}

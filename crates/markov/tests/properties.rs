@@ -1,0 +1,293 @@
+// Index loops keep the (position, symbol) indexing visible in the checks.
+#![allow(clippy::needless_range_loop)]
+//! Property-based tests for the Markov-sequence data model and its
+//! statistical front-ends.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use transmark_automata::{Alphabet, SymbolId};
+use transmark_markov::factors::chain_from_factors;
+use transmark_markov::generate::{random_markov_sequence, RandomChainSpec};
+use transmark_markov::numeric::approx_eq;
+use transmark_markov::support::{support, support_size};
+use transmark_markov::{Hmm, KOrderMarkovSequence};
+
+fn all_strings(k: usize, n: usize) -> Vec<Vec<SymbolId>> {
+    let mut out: Vec<Vec<SymbolId>> = vec![vec![]];
+    for _ in 0..n {
+        out = out
+            .into_iter()
+            .flat_map(|s| {
+                (0..k).map(move |c| {
+                    let mut t = s.clone();
+                    t.push(SymbolId(c as u32));
+                    t
+                })
+            })
+            .collect();
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Eq. (1) defines a probability distribution: the support sums to 1,
+    /// and the most likely string is the support's argmax.
+    #[test]
+    fn support_is_a_distribution(seed in any::<u64>(), n in 1usize..5, k in 1usize..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = random_markov_sequence(
+            &RandomChainSpec { len: n, n_symbols: k, zero_prob: 0.3 },
+            &mut rng,
+        );
+        let sup = support(&m);
+        prop_assert_eq!(sup.len(), support_size(&m));
+        let total: f64 = sup.iter().map(|(_, p)| p).sum();
+        prop_assert!(approx_eq(total, 1.0, 1e-9, 0.0), "total {}", total);
+
+        let (viterbi, p_viterbi) = m.most_likely_string();
+        let best = sup.iter().map(|(_, p)| *p).fold(0.0, f64::max);
+        prop_assert!(approx_eq(p_viterbi, best, 1e-12, 1e-9));
+        prop_assert!(approx_eq(
+            m.string_probability(&viterbi).unwrap(), best, 1e-12, 1e-9
+        ));
+    }
+
+    /// Marginals from the forward pass equal marginals from the support.
+    #[test]
+    fn marginals_match_support(seed in any::<u64>(), n in 1usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = random_markov_sequence(
+            &RandomChainSpec { len: n, n_symbols: 3, zero_prob: 0.3 },
+            &mut rng,
+        );
+        let marg = m.marginals();
+        for pos in 0..n {
+            for sym in 0..3 {
+                let direct: f64 = support(&m)
+                    .iter()
+                    .filter(|(s, _)| s[pos] == SymbolId(sym as u32))
+                    .map(|(_, p)| p)
+                    .sum();
+                prop_assert!(
+                    approx_eq(marg[pos][sym], direct, 1e-10, 1e-8),
+                    "pos {} sym {}: {} vs {}", pos, sym, marg[pos][sym], direct
+                );
+            }
+        }
+    }
+
+    /// The factor-chain translation reproduces the Gibbs distribution for
+    /// arbitrary nonnegative factors.
+    #[test]
+    fn factor_chain_matches_gibbs(
+        phi in proptest::collection::vec(0.0f64..2.0, 2),
+        f1 in proptest::collection::vec(0.0f64..2.0, 4),
+        f2 in proptest::collection::vec(0.0f64..2.0, 4),
+    ) {
+        let alphabet = Alphabet::of_chars("ab");
+        let gibbs = |s: &[SymbolId]| -> f64 {
+            phi[s[0].index()]
+                * f1[s[0].index() * 2 + s[1].index()]
+                * f2[s[1].index() * 2 + s[2].index()]
+        };
+        let z: f64 = all_strings(2, 3).iter().map(|s| gibbs(s)).sum();
+        match chain_from_factors(alphabet, &phi, &[f1.clone(), f2.clone()]) {
+            Ok(m) => {
+                prop_assert!(z > 0.0, "zero mass should have errored");
+                for s in all_strings(2, 3) {
+                    let want = gibbs(&s) / z;
+                    let got = m.string_probability(&s).unwrap();
+                    prop_assert!(
+                        approx_eq(got, want, 1e-10, 1e-8),
+                        "string {:?}: {} vs {}", s, got, want
+                    );
+                }
+            }
+            Err(_) => prop_assert!(approx_eq(z, 0.0, 1e-12, 0.0), "mass {} but errored", z),
+        }
+    }
+
+    /// HMM posterior: a genuine distribution whose probabilities match
+    /// Bayes' rule on every hidden string.
+    #[test]
+    fn hmm_posterior_is_bayes(seed in any::<u64>(), obs_bits in 0u8..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::RngExt;
+        let dirichlet = |rng: &mut StdRng, k: usize| -> Vec<f64> {
+            let raw: Vec<f64> = (0..k).map(|_| rng.random::<f64>() + 0.05).collect();
+            let s: f64 = raw.iter().sum();
+            raw.into_iter().map(|v| v / s).collect()
+        };
+        let hidden = Alphabet::of_chars("xy");
+        let observed = Alphabet::of_chars("01");
+        let initial = dirichlet(&mut rng, 2);
+        let mut transition = dirichlet(&mut rng, 2);
+        transition.extend(dirichlet(&mut rng, 2));
+        let mut emission = dirichlet(&mut rng, 2);
+        emission.extend(dirichlet(&mut rng, 2));
+        let hmm = Hmm::new(hidden, observed, initial, transition, emission).unwrap();
+
+        let obs: Vec<SymbolId> =
+            (0..3).map(|i| SymbolId(u32::from(obs_bits >> i & 1))).collect();
+        let joint = |h: &[SymbolId]| -> f64 {
+            let mut p = hmm.initial_prob(h[0]) * hmm.emission_prob(h[0], obs[0]);
+            for i in 1..3 {
+                p *= hmm.transition_prob(h[i - 1], h[i]) * hmm.emission_prob(h[i], obs[i]);
+            }
+            p
+        };
+        let z: f64 = all_strings(2, 3).iter().map(|h| joint(h)).sum();
+        let m = hmm.posterior(&obs).unwrap();
+        for h in all_strings(2, 3) {
+            let want = joint(&h) / z;
+            let got = m.string_probability(&h).unwrap();
+            prop_assert!(approx_eq(got, want, 1e-10, 1e-8), "{:?}: {} vs {}", h, got, want);
+        }
+        // Likelihoods agree too.
+        prop_assert!(approx_eq(hmm.log_likelihood(&obs).unwrap().exp(), z, 1e-10, 1e-8));
+    }
+
+    /// k-order reduction is probability-preserving and decodes correctly.
+    #[test]
+    fn korder_reduction_round_trips(
+        seed in any::<u64>(),
+        k in 1usize..3,
+        extra in 0usize..3,
+    ) {
+        let n = k + extra;
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::RngExt;
+        let sigma = 2usize;
+        let n_ctx = sigma.pow(k as u32);
+        let dirichlet = |rng: &mut StdRng, k: usize| -> Vec<f64> {
+            let raw: Vec<f64> = (0..k).map(|_| rng.random::<f64>() + 0.05).collect();
+            let s: f64 = raw.iter().sum();
+            raw.into_iter().map(|v| v / s).collect()
+        };
+        let initial = dirichlet(&mut rng, n_ctx);
+        let transitions: Vec<Vec<f64>> = (0..n - k)
+            .map(|_| {
+                let mut t = Vec::new();
+                for _ in 0..n_ctx {
+                    t.extend(dirichlet(&mut rng, sigma));
+                }
+                t
+            })
+            .collect();
+        let alphabet = Alphabet::of_chars("ab");
+        let korder =
+            KOrderMarkovSequence::new(alphabet, k, n, initial, transitions).unwrap();
+        let (chain, enc) = korder.to_first_order();
+        for s in all_strings(sigma, n) {
+            let w = enc.encode(&s).unwrap();
+            prop_assert!(approx_eq(
+                korder.string_probability(&s).unwrap(),
+                chain.string_probability(&w).unwrap(),
+                1e-12,
+                1e-10
+            ));
+            prop_assert_eq!(enc.decode(&w).unwrap(), s);
+        }
+    }
+
+    /// Sampled strings are always in the support.
+    #[test]
+    fn samples_lie_in_the_support(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = random_markov_sequence(
+            &RandomChainSpec { len: 6, n_symbols: 3, zero_prob: 0.5 },
+            &mut rng,
+        );
+        for _ in 0..50 {
+            let s = m.sample(&mut rng);
+            prop_assert!(m.is_possible(&s).unwrap());
+        }
+    }
+}
+
+mod seqops_props {
+    use super::*;
+    use rand::{rngs::StdRng, RngExt, SeedableRng};
+    use transmark_markov::generate::{random_markov_sequence, RandomChainSpec};
+    use transmark_markov::seqops::{condition, evidence_probability, reverse, window, Evidence};
+    use transmark_markov::support::support;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        /// Windows are exact marginals of the original chain.
+        #[test]
+        fn window_is_the_marginal(seed in any::<u64>(), n in 2usize..6) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let m = random_markov_sequence(
+                &RandomChainSpec { len: n, n_symbols: 2, zero_prob: 0.25 },
+                &mut rng,
+            );
+            let start = rng.random_range(0..n);
+            let len = rng.random_range(1..=n - start);
+            let w = window(&m, start, len).unwrap();
+            for (sub, pw) in support(&w) {
+                let direct: f64 = support(&m)
+                    .iter()
+                    .filter(|(s, _)| s[start..start + len] == sub[..])
+                    .map(|(_, p)| p)
+                    .sum();
+                prop_assert!(approx_eq(pw, direct, 1e-10, 1e-8), "{:?}", sub);
+            }
+        }
+
+        /// Hard conditioning is Bayes' rule; evidence probability is the
+        /// normalizer.
+        #[test]
+        fn conditioning_is_bayes(seed in any::<u64>(), n in 1usize..6) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let m = random_markov_sequence(
+                &RandomChainSpec { len: n, n_symbols: 2, zero_prob: 0.25 },
+                &mut rng,
+            );
+            let pos = rng.random_range(0..n);
+            let node = SymbolId(rng.random_range(0..2u32));
+            let ev = [(pos, Evidence::Exactly(node))];
+            let z: f64 = support(&m)
+                .iter()
+                .filter(|(s, _)| s[pos] == node)
+                .map(|(_, p)| p)
+                .sum();
+            match condition(&m, &ev) {
+                Ok(cond) => {
+                    prop_assert!(z > 0.0);
+                    for (s, p) in support(&m) {
+                        let want = if s[pos] == node { p / z } else { 0.0 };
+                        prop_assert!(approx_eq(
+                            cond.string_probability(&s).unwrap(), want, 1e-10, 1e-8
+                        ));
+                    }
+                }
+                Err(_) => prop_assert!(approx_eq(z, 0.0, 1e-12, 0.0)),
+            }
+            prop_assert!(approx_eq(evidence_probability(&m, &ev).unwrap(), z, 1e-10, 1e-8));
+        }
+
+        /// Reversal preserves string probabilities and is an involution in
+        /// distribution.
+        #[test]
+        fn reversal_preserves_distribution(seed in any::<u64>(), n in 1usize..6) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let m = random_markov_sequence(
+                &RandomChainSpec { len: n, n_symbols: 3, zero_prob: 0.3 },
+                &mut rng,
+            );
+            let r = reverse(&m);
+            for (s, p) in support(&m) {
+                let rev: Vec<_> = s.iter().rev().copied().collect();
+                prop_assert!(approx_eq(r.string_probability(&rev).unwrap(), p, 1e-9, 1e-7));
+            }
+            let rr = reverse(&r);
+            for (s, p) in support(&m) {
+                prop_assert!(approx_eq(rr.string_probability(&s).unwrap(), p, 1e-9, 1e-7));
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Compiling an s-projector to an equivalent transducer.
+//!
+//! §5's "easy observation": given `P = [B]A[E]`, one can efficiently
+//! construct a *nondeterministic* transducer `Â^ω̂` with
+//! `s →[P]→ o ⇔ s →[Â^ω̂]→ o`. The construction runs the three DFAs in
+//! phases — read a prefix with `B` emitting `ε`, nondeterministically
+//! hand over to `A` emitting each read symbol, then hand over to `E`
+//! emitting `ε` again. Nondeterminism encodes the unknown split points;
+//! this is exactly why s-projector confidence is hard (Thm 5.4) even
+//! though all three components are deterministic.
+//!
+//! The compiled transducer plugs into *all* of the §4 machinery: unranked
+//! enumeration (Thm 4.1 "holds for s-projectors"), `E_max` ranking,
+//! membership tests, and the brute-force oracles.
+
+use std::sync::Arc;
+
+use transmark_automata::{StateId, SymbolId};
+use transmark_core::error::EngineError;
+use transmark_core::transducer::{Transducer, TransducerBuilder};
+
+use crate::projector::SProjector;
+
+/// Phase layout of the compiled machine's state space:
+/// `[0, nb)` = B-phase, `[nb, nb+na)` = A-phase, `[nb+na, …)` = E-phase.
+fn b_state(q: StateId) -> StateId {
+    q
+}
+fn a_state(nb: usize, q: StateId) -> StateId {
+    StateId((nb + q.index()) as u32)
+}
+fn e_state(nb: usize, na: usize, q: StateId) -> StateId {
+    StateId((nb + na + q.index()) as u32)
+}
+
+/// Compiles `[B]A[E]` into an equivalent nondeterministic transducer over
+/// `Σ_P` (output alphabet = `Σ_P`). `O((|Q_B|+|Q_A|+|Q_E|)·|Σ|)` states
+/// and transitions.
+pub fn to_transducer(p: &SProjector) -> Result<Transducer, EngineError> {
+    let alphabet = p.alphabet_arc();
+    let k = alphabet.len();
+    let (b, a, e) = (p.prefix_dfa(), p.pattern_dfa(), p.suffix_dfa());
+    let (nb, na, ne) = (b.n_states(), a.n_states(), e.n_states());
+    let eps_in_a = a.is_accepting(a.initial());
+    let eps_in_e = e.is_accepting(e.initial());
+
+    let mut tb = TransducerBuilder::new(Arc::clone(&alphabet), Arc::clone(&alphabet));
+    // B-phase states: accepting iff the whole string may stop here with
+    // empty middle and empty suffix.
+    for q in 0..nb {
+        tb.add_state(b.is_accepting(StateId(q as u32)) && eps_in_a && eps_in_e);
+    }
+    // A-phase: accepting iff the match may end here with empty suffix.
+    for q in 0..na {
+        tb.add_state(a.is_accepting(StateId(q as u32)) && eps_in_e);
+    }
+    // E-phase: accepting iff E accepts.
+    for q in 0..ne {
+        tb.add_state(e.is_accepting(StateId(q as u32)));
+    }
+    tb.set_initial(b_state(b.initial()));
+
+    for q in 0..nb {
+        let from = StateId(q as u32);
+        for s in 0..k {
+            let sym = SymbolId(s as u32);
+            // Stay in the prefix.
+            tb.add_transition(b_state(from), sym, b_state(b.step(from, sym)), &[])?;
+            if b.is_accepting(from) {
+                // Hand over: this symbol starts the match...
+                tb.add_transition(b_state(from), sym, a_state(nb, a.step(a.initial(), sym)), &[sym])?;
+                // ...or the match is empty and this symbol starts the suffix.
+                if eps_in_a {
+                    tb.add_transition(
+                        b_state(from),
+                        sym,
+                        e_state(nb, na, e.step(e.initial(), sym)),
+                        &[],
+                    )?;
+                }
+            }
+        }
+    }
+    for q in 0..na {
+        let from = StateId(q as u32);
+        for s in 0..k {
+            let sym = SymbolId(s as u32);
+            // Continue the match, emitting the symbol.
+            tb.add_transition(a_state(nb, from), sym, a_state(nb, a.step(from, sym)), &[sym])?;
+            // Or end the match here; this symbol starts the suffix.
+            if a.is_accepting(from) {
+                tb.add_transition(
+                    a_state(nb, from),
+                    sym,
+                    e_state(nb, na, e.step(e.initial(), sym)),
+                    &[],
+                )?;
+            }
+        }
+    }
+    for q in 0..ne {
+        let from = StateId(q as u32);
+        for s in 0..k {
+            let sym = SymbolId(s as u32);
+            tb.add_transition(e_state(nb, na, from), sym, e_state(nb, na, e.step(from, sym)), &[])?;
+        }
+    }
+    tb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transmark_automata::Alphabet;
+
+    fn sym(i: u32) -> SymbolId {
+        SymbolId(i)
+    }
+
+    fn strings(k: usize, n: usize) -> Vec<Vec<SymbolId>> {
+        let mut out: Vec<Vec<SymbolId>> = vec![vec![]];
+        for _ in 0..n {
+            out = out
+                .into_iter()
+                .flat_map(|s| {
+                    (0..k).map(move |c| {
+                        let mut t = s.clone();
+                        t.push(sym(c as u32));
+                        t
+                    })
+                })
+                .collect();
+        }
+        out
+    }
+
+    /// Exhaustive equivalence: for every string s (up to a length), the
+    /// transducer's output set equals the projector's match set.
+    fn assert_equivalent(p: &SProjector, max_len: usize) {
+        let t = to_transducer(p).unwrap();
+        assert!(t.is_projector());
+        for s in strings(p.alphabet().len(), max_len) {
+            if s.is_empty() {
+                continue; // Markov sequences have n ≥ 1
+            }
+            let got = t.transduce_all(&s);
+            let want = p.project_all(&s);
+            assert_eq!(got, want, "outputs differ on input {s:?}");
+        }
+    }
+
+    #[test]
+    fn simple_pattern_equivalence() {
+        let alphabet = Alphabet::of_chars("ab");
+        let p = SProjector::from_patterns(alphabet, ".*", "ab", ".*").unwrap();
+        assert_equivalent(&p, 4);
+    }
+
+    #[test]
+    fn constrained_pattern_equivalence() {
+        let alphabet = Alphabet::of_chars("ab");
+        let p = SProjector::from_patterns(alphabet, "b*", "a+", "b*").unwrap();
+        assert_equivalent(&p, 4);
+    }
+
+    #[test]
+    fn epsilon_pattern_equivalence() {
+        let alphabet = Alphabet::of_chars("ab");
+        // Middle can be empty: ε ∈ L(a*).
+        let p = SProjector::from_patterns(alphabet, "a*", "a*", "b*").unwrap();
+        assert_equivalent(&p, 4);
+    }
+
+    #[test]
+    fn empty_suffix_language_equivalence() {
+        let alphabet = Alphabet::of_chars("ab");
+        // Suffix must be exactly "b".
+        let p = SProjector::from_patterns(alphabet, ".*", "a+", "b").unwrap();
+        assert_equivalent(&p, 4);
+    }
+
+    #[test]
+    fn three_symbol_alphabet_equivalence() {
+        let alphabet = Alphabet::of_chars("abc");
+        let p = SProjector::from_patterns(alphabet, "[ab]*", "c+", "[ab]*").unwrap();
+        assert_equivalent(&p, 3);
+    }
+}

@@ -1,0 +1,149 @@
+//! High-level s-projector evaluation: one entry point for the §5 engines.
+//!
+//! [`SprojEvaluation`] validates a `(projector, Markov sequence)` pair
+//! once (building the Theorem 5.8 tables) and exposes §5's evaluation
+//! modes as methods, mirroring [`transmark_core::evaluate::Evaluation`]
+//! for plain transducers.
+
+use transmark_automata::SymbolId;
+use transmark_core::enumerate::RankedAnswer;
+use transmark_core::error::EngineError;
+use transmark_markov::MarkovSequence;
+
+use crate::confidence::sproj_confidence;
+use crate::enumerate::{enumerate_by_imax, enumerate_by_imax_lawler, imax_of_output};
+use crate::indexed::{enumerate_indexed, IndexedAnswer, IndexedEnumeration, IndexedEvaluator};
+use crate::projector::SProjector;
+
+/// A validated projector/data pair with evaluation methods.
+pub struct SprojEvaluation<'a> {
+    p: &'a SProjector,
+    m: &'a MarkovSequence,
+    tables: IndexedEvaluator<'a>,
+}
+
+impl<'a> SprojEvaluation<'a> {
+    /// Validates alphabets and precomputes the Theorem 5.8 tables.
+    pub fn new(p: &'a SProjector, m: &'a MarkovSequence) -> Result<Self, EngineError> {
+        Ok(Self { tables: IndexedEvaluator::new(p, m)?, p, m })
+    }
+
+    /// Exact confidence of the indexed answer `(o, i)` — Theorem 5.8,
+    /// `O(|o|)` per call after table construction.
+    pub fn indexed_confidence(&self, o: &[SymbolId], i: usize) -> f64 {
+        self.tables.confidence(o, i)
+    }
+
+    /// `I_max(o)`: the best occurrence confidence.
+    pub fn imax(&self, o: &[SymbolId]) -> Result<f64, EngineError> {
+        imax_of_output(self.p, self.m, o)
+    }
+
+    /// Exact (plain) confidence `Pr(S →[P]→ o)` — Theorem 5.5
+    /// (exponential only in `|Q_E|`).
+    pub fn confidence(&self, o: &[SymbolId]) -> Result<f64, EngineError> {
+        sproj_confidence(self.p, self.m, o)
+    }
+
+    /// All indexed answers in exact decreasing confidence — Theorem 5.7.
+    pub fn occurrences(&self) -> Result<IndexedEnumeration, EngineError> {
+        enumerate_indexed(self.p, self.m)
+    }
+
+    /// The top-k occurrences.
+    pub fn top_k_occurrences(&self, k: usize) -> Result<Vec<IndexedAnswer>, EngineError> {
+        Ok(self.occurrences()?.take(k).collect())
+    }
+
+    /// Distinct output strings in decreasing `I_max` — Theorem 5.2
+    /// (the dedup implementation; incremental polynomial time).
+    pub fn strings(&self) -> Result<impl Iterator<Item = RankedAnswer> + 'a, EngineError> {
+        enumerate_by_imax(self.p, self.m)
+    }
+
+    /// Distinct output strings in decreasing `I_max` with guaranteed
+    /// polynomial delay — Lemma 5.10's Lawler variant.
+    pub fn strings_poly_delay(
+        &self,
+    ) -> Result<impl Iterator<Item = RankedAnswer> + 'a, EngineError> {
+        enumerate_by_imax_lawler(self.p, self.m)
+    }
+
+    /// The top-k distinct strings with their exact Theorem 5.5
+    /// confidences attached (the recommended user-facing mode).
+    pub fn top_k_scored(
+        &self,
+        k: usize,
+    ) -> Result<Vec<(Vec<SymbolId>, f64, f64)>, EngineError> {
+        let mut out = Vec::with_capacity(k);
+        for r in enumerate_by_imax(self.p, self.m)?.take(k) {
+            let conf = sproj_confidence(self.p, self.m, &r.output)?;
+            let imax = r.score();
+            out.push((r.output, imax, conf));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transmark_automata::{Alphabet, Dfa};
+    use transmark_markov::MarkovSequenceBuilder;
+
+    fn setup() -> (SProjector, MarkovSequence) {
+        let alphabet = Alphabet::of_chars("ab");
+        let m = MarkovSequenceBuilder::new(alphabet.clone(), 4)
+            .uniform_all()
+            .build()
+            .unwrap();
+        let p = SProjector::simple(
+            std::sync::Arc::new(alphabet.clone()),
+            Dfa::word(2, &[alphabet.sym("a")]),
+        )
+        .unwrap();
+        (p, m)
+    }
+
+    #[test]
+    fn facade_modes_are_consistent() {
+        let (p, m) = setup();
+        let ev = SprojEvaluation::new(&p, &m).unwrap();
+        let a = [m.alphabet().sym("a")];
+        // 4 occurrence positions, each with confidence 1/2.
+        let occ = ev.top_k_occurrences(10).unwrap();
+        assert_eq!(occ.len(), 4);
+        for o in &occ {
+            assert!((o.confidence() - 0.5).abs() < 1e-12);
+            assert!(
+                (ev.indexed_confidence(&o.output, o.index) - o.confidence()).abs() < 1e-12
+            );
+        }
+        // One distinct string; I_max = 1/2; conf = 1 - (1/2)^4.
+        let strings: Vec<_> = ev.strings().unwrap().collect();
+        assert_eq!(strings.len(), 1);
+        assert!((ev.imax(&a).unwrap() - 0.5).abs() < 1e-12);
+        assert!((ev.confidence(&a).unwrap() - (1.0 - 0.0625)).abs() < 1e-12);
+        // Scored mode bundles all three numbers.
+        let scored = ev.top_k_scored(5).unwrap();
+        assert_eq!(scored.len(), 1);
+        let (out, imax, conf) = &scored[0];
+        assert_eq!(out, &a.to_vec());
+        assert!((imax - 0.5).abs() < 1e-12);
+        assert!((conf - 0.9375).abs() < 1e-12);
+        // Both I_max enumerations agree.
+        let lawler: Vec<_> = ev.strings_poly_delay().unwrap().collect();
+        assert_eq!(lawler.len(), 1);
+        assert!((lawler[0].score() - strings[0].score()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn facade_rejects_mismatched_alphabets() {
+        let (p, _) = setup();
+        let m3 = MarkovSequenceBuilder::new(Alphabet::of_chars("abc"), 2)
+            .uniform_all()
+            .build()
+            .unwrap();
+        assert!(SprojEvaluation::new(&p, &m3).is_err());
+    }
+}

@@ -1,0 +1,418 @@
+//! Indexed s-projectors `[B]↓A[E]` (§5.1).
+//!
+//! An indexed answer is a pair `(o, i)`: the matched substring together
+//! with the (1-based) position where the match starts. Fixing the
+//! position removes the union over occurrences that makes plain
+//! s-projector confidence #P-hard (Thm 5.4), so both problems become
+//! polynomial:
+//!
+//! * **Theorem 5.8** — [`IndexedEvaluator::confidence`]: the confidence of
+//!   `(o, i)` factorizes as
+//!   `W_pre(i, o₁) · ∏ⱼ μ(oⱼ, oⱼ₊₁) · W_suf(i+|o|-1, o_|o|)` where
+//!   `W_pre` aggregates prefix strings in `L(B)` and `W_suf` aggregates
+//!   suffix strings in `L(E)`. Both tables come from one forward DP over
+//!   `(position, node, Q_B)` and one backward DP over
+//!   `(position, Q_E, node)` — `O(n·|Σ|²·|Q|)` total, then `O(|o|)` per
+//!   query.
+//! * **Theorem 5.7** — [`enumerate_indexed`]: answers are in bijection
+//!   with source→sink paths of a layered DAG whose path weights are
+//!   exactly the confidences (`A` is deterministic, so each `(o, i)` has
+//!   one path), and the k-best-paths enumerator of `transmark-kbest`
+//!   yields them in decreasing confidence with polynomial delay.
+
+use transmark_automata::{Dfa, StateId, SymbolId};
+use transmark_core::error::EngineError;
+use transmark_kbest::{Dag, KBestPaths};
+use transmark_markov::numeric::KahanSum;
+use transmark_markov::MarkovSequence;
+
+use crate::projector::SProjector;
+
+/// An answer of an indexed s-projector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexedAnswer {
+    /// The matched substring `o`.
+    pub output: Vec<SymbolId>,
+    /// The 1-based start position `i` of the match
+    /// (`s = b·o·e` with `|b| = i - 1`).
+    pub index: usize,
+    /// `ln Pr(S →[B]↓A[E]→ (o, i))`.
+    pub log_confidence: f64,
+}
+
+impl IndexedAnswer {
+    /// The confidence in linear space.
+    pub fn confidence(&self) -> f64 {
+        self.log_confidence.exp()
+    }
+}
+
+/// Precomputed prefix/suffix probability tables for one
+/// `(projector, Markov sequence)` pair — the engine behind Theorems 5.7
+/// and 5.8.
+pub struct IndexedEvaluator<'a> {
+    p: &'a SProjector,
+    m: &'a MarkovSequence,
+    /// `prefix_b[l-1][x]` = `Pr(S[1..l] ∈ L(B) ∧ S_l = x)`, `l = 1..=n`.
+    prefix_b: Vec<Vec<f64>>,
+    /// `g[l-2][qE·|Σ| + y]` = `Pr(S[l..n] drives E from qE to acceptance
+    /// | S_{l-1} = y)`, `l = 2..=n+1`.
+    g: Vec<Vec<f64>>,
+    /// `g_start[qE]` = `Pr(S[1..n] drives E from qE to acceptance)`.
+    g_start: Vec<f64>,
+    eps_in_b: bool,
+    eps_in_e: bool,
+}
+
+impl<'a> IndexedEvaluator<'a> {
+    /// Builds the tables: `O(n·|Σ|²·(|Q_B| + |Q_E|))`.
+    pub fn new(p: &'a SProjector, m: &'a MarkovSequence) -> Result<Self, EngineError> {
+        if p.alphabet().len() != m.n_symbols() {
+            return Err(EngineError::AlphabetMismatch {
+                transducer: p.alphabet().len(),
+                sequence: m.n_symbols(),
+            });
+        }
+        let n = m.len();
+        let k = m.n_symbols();
+        let b: &Dfa = p.prefix_dfa();
+        let e: &Dfa = p.suffix_dfa();
+        let (nb, ne) = (b.n_states(), e.n_states());
+
+        // Forward over (node, B-state). fwd[x*nb + q].
+        let mut fwd = vec![0.0f64; k * nb];
+        for x in 0..k {
+            let px = m.initial_prob(SymbolId(x as u32));
+            if px > 0.0 {
+                fwd[x * nb + b.step(b.initial(), SymbolId(x as u32)).index()] += px;
+            }
+        }
+        let mut prefix_b = Vec::with_capacity(n);
+        let collect_prefix = |fwd: &[f64]| -> Vec<f64> {
+            (0..k)
+                .map(|x| {
+                    let mut acc = KahanSum::new();
+                    for q in 0..nb {
+                        if b.is_accepting(StateId(q as u32)) {
+                            acc.add(fwd[x * nb + q]);
+                        }
+                    }
+                    acc.total()
+                })
+                .collect()
+        };
+        prefix_b.push(collect_prefix(&fwd));
+        for step in 0..n - 1 {
+            let mut next = vec![0.0f64; k * nb];
+            for x in 0..k {
+                for q in 0..nb {
+                    let pv = fwd[x * nb + q];
+                    if pv == 0.0 {
+                        continue;
+                    }
+                    for y in 0..k {
+                        let pt = m.transition_prob(step, SymbolId(x as u32), SymbolId(y as u32));
+                        if pt > 0.0 {
+                            next[y * nb + b.step(StateId(q as u32), SymbolId(y as u32)).index()] +=
+                                pv * pt;
+                        }
+                    }
+                }
+            }
+            fwd = next;
+            prefix_b.push(collect_prefix(&fwd));
+        }
+
+        // Backward over (E-state, conditioning node). g[l-2][qE*k + y].
+        // Base case l = n+1: acceptance indicator, no node dependence.
+        let mut g: Vec<Vec<f64>> = vec![Vec::new(); n]; // slots for l = 2..=n+1
+        let mut last = vec![0.0f64; ne * k];
+        for q in 0..ne {
+            let v = f64::from(u8::from(e.is_accepting(StateId(q as u32))));
+            for y in 0..k {
+                last[q * k + y] = v;
+            }
+        }
+        g[n - 1] = last;
+        for l in (2..=n).rev() {
+            // g[l] from g[l+1]; transition 0-based index l-1 couples
+            // 1-based positions l-1 → l... here: previous node y at l-1,
+            // next node t at l, matrix index l-2.
+            let mut cur = vec![0.0f64; ne * k];
+            let nxt = &g[l - 1]; // slot of l+1 is (l+1)-2 = l-1
+            for q in 0..ne {
+                for y in 0..k {
+                    let mut acc = KahanSum::new();
+                    for t in 0..k {
+                        let pt = m.transition_prob(l - 2, SymbolId(y as u32), SymbolId(t as u32));
+                        if pt > 0.0 {
+                            let q2 = e.step(StateId(q as u32), SymbolId(t as u32)).index();
+                            acc.add(pt * nxt[q2 * k + t]);
+                        }
+                    }
+                    cur[q * k + y] = acc.total();
+                }
+            }
+            g[l - 2] = cur;
+        }
+        // g_start: suffix = whole string (l = 1), weighted by μ₀.
+        let mut g_start = vec![0.0f64; ne];
+        for q in 0..ne {
+            let mut acc = KahanSum::new();
+            for t in 0..k {
+                let p0 = m.initial_prob(SymbolId(t as u32));
+                if p0 > 0.0 {
+                    let q2 = e.step(StateId(q as u32), SymbolId(t as u32)).index();
+                    // value of "suffix from position 2 onwards" given node t:
+                    let v = if n == 1 {
+                        f64::from(u8::from(e.is_accepting(StateId(q2 as u32))))
+                    } else {
+                        g[0][q2 * k + t]
+                    };
+                    acc.add(p0 * v);
+                }
+            }
+            g_start[q] = acc.total();
+        }
+
+        Ok(Self {
+            eps_in_b: b.is_accepting(b.initial()),
+            eps_in_e: e.is_accepting(e.initial()),
+            p,
+            m,
+            prefix_b,
+            g,
+            g_start,
+        })
+    }
+
+    /// The sequence length `n`.
+    pub fn n(&self) -> usize {
+        self.m.len()
+    }
+
+    /// `W_pre(i, c)` = `Pr(S[1..i-1] ∈ L(B) ∧ S_i = c)` — the probability
+    /// mass of prefixes in `L(B)` followed by node `c` at position `i`
+    /// (1-based).
+    fn w_pre(&self, i: usize, c: SymbolId) -> f64 {
+        if i == 1 {
+            return if self.eps_in_b { self.m.initial_prob(c) } else { 0.0 };
+        }
+        let k = self.m.n_symbols();
+        let mut acc = KahanSum::new();
+        for x in 0..k {
+            let pb = self.prefix_b[i - 2][x];
+            if pb > 0.0 {
+                acc.add(pb * self.m.transition_prob(i - 2, SymbolId(x as u32), c));
+            }
+        }
+        acc.total()
+    }
+
+    /// `W_suf(l, y)` = `Pr(S[l..n] ∈ L(E) | S_{l-1} = y)` for `2 ≤ l ≤ n+1`
+    /// (`l = n+1` means the suffix is empty).
+    fn w_suf(&self, l: usize, y: SymbolId) -> f64 {
+        debug_assert!(l >= 2);
+        if l == self.m.len() + 1 {
+            return f64::from(u8::from(self.eps_in_e));
+        }
+        let e0 = self.p.suffix_dfa().initial().index();
+        self.g[l - 2][e0 * self.m.n_symbols() + y.index()]
+    }
+
+    /// **Theorem 5.8**: the confidence of the indexed answer `(o, i)`,
+    /// in `O(|o| + |Σ|)` after table construction. Returns 0 for invalid
+    /// indices or `o ∉ L(A)`.
+    pub fn confidence(&self, o: &[SymbolId], i: usize) -> f64 {
+        let n = self.m.len();
+        let mlen = o.len();
+        if i == 0 || !self.p.pattern_dfa().accepts(o) {
+            return 0.0;
+        }
+        if mlen == 0 {
+            // Valid indices 1..=n+1; conf = Pr(prefix ∈ L(B) ∧ suffix ∈ L(E)).
+            if i > n + 1 {
+                return 0.0;
+            }
+            return if i == 1 {
+                if self.eps_in_b {
+                    self.g_start[self.p.suffix_dfa().initial().index()]
+                } else {
+                    0.0
+                }
+            } else if i == n + 1 {
+                if self.eps_in_e {
+                    self.prefix_b[n - 1].iter().copied().collect::<KahanSum>().total()
+                } else {
+                    0.0
+                }
+            } else {
+                let k = self.m.n_symbols();
+                let e0 = self.p.suffix_dfa().initial().index();
+                let mut acc = KahanSum::new();
+                for x in 0..k {
+                    let pb = self.prefix_b[i - 2][x];
+                    if pb > 0.0 {
+                        acc.add(pb * self.g[i - 2][e0 * k + x]);
+                    }
+                }
+                acc.total()
+            };
+        }
+        if i + mlen - 1 > n {
+            return 0.0;
+        }
+        let mut prob = self.w_pre(i, o[0]);
+        for j in 0..mlen - 1 {
+            if prob == 0.0 {
+                return 0.0;
+            }
+            prob *= self.m.transition_prob(i - 1 + j, o[j], o[j + 1]);
+        }
+        prob * self.w_suf(i + mlen, o[mlen - 1])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 5.7 — ranked enumeration via k-best DAG paths
+// ---------------------------------------------------------------------------
+
+/// What each DAG edge encodes, for reconstructing `(o, i)` from a path.
+#[derive(Debug, Clone, Copy)]
+enum EdgeKind {
+    /// Path start: the match begins at position `i` with symbol `c`.
+    Start { i: usize, c: SymbolId },
+    /// The match continues with symbol `c`.
+    Continue { c: SymbolId },
+    /// The match ends (suffix weight absorbed here).
+    Finish,
+    /// A whole `(ε, i)` answer.
+    Epsilon { i: usize },
+}
+
+/// Iterator over the indexed answers in non-increasing confidence
+/// (Theorem 5.7).
+pub struct IndexedEnumeration {
+    paths: KBestPaths,
+    kinds: Vec<EdgeKind>,
+}
+
+impl Iterator for IndexedEnumeration {
+    type Item = IndexedAnswer;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let (edges, w) = self.paths.next()?;
+        let mut output = Vec::new();
+        let mut index = 0usize;
+        for eid in edges {
+            match self.kinds[eid] {
+                EdgeKind::Start { i, c } => {
+                    index = i;
+                    output.push(c);
+                }
+                EdgeKind::Continue { c } => output.push(c),
+                EdgeKind::Finish => {}
+                EdgeKind::Epsilon { i } => index = i,
+            }
+        }
+        Some(IndexedAnswer { output, index, log_confidence: w })
+    }
+}
+
+/// **Theorem 5.7**: enumerates the answers of `[B]↓A[E]` over `μ` in
+/// decreasing confidence with polynomial delay.
+///
+/// Builds a layered DAG with nodes `(position, node, Q_A-state)` whose
+/// source→sink paths are in weight-preserving bijection with the indexed
+/// answers, then runs the best-first path enumerator. DAG size:
+/// `O(n·|Σ|·|Q_A|)` nodes, `O(n·|Σ|²·|Q_A| + n·|Σ|)` edges.
+pub fn enumerate_indexed(
+    p: &SProjector,
+    m: &MarkovSequence,
+) -> Result<IndexedEnumeration, EngineError> {
+    let ev = IndexedEvaluator::new(p, m)?;
+    let n = m.len();
+    let k = m.n_symbols();
+    let a: &Dfa = p.pattern_dfa();
+    let na = a.n_states();
+    let eps_in_a = a.is_accepting(a.initial());
+
+    // Node ids: 0 = source, 1 = sink, then (pos, c, q) for pos = 1..=n,
+    // then ε-answer nodes.
+    let node_id = |pos: usize, c: usize, q: usize| 2 + ((pos - 1) * k + c) * na + q;
+    let n_main = 2 + n * k * na;
+    let n_eps = if eps_in_a { n + 1 } else { 0 };
+    let mut dag = Dag::new(n_main + n_eps);
+    let mut kinds: Vec<EdgeKind> = Vec::new();
+    let add = |dag: &mut Dag, kinds: &mut Vec<EdgeKind>, from, to, w: f64, kind| {
+        if w > f64::NEG_INFINITY {
+            let id = dag.add_edge(from, to, w);
+            debug_assert_eq!(id, kinds.len());
+            kinds.push(kind);
+        }
+    };
+
+    for pos in 1..=n {
+        for c in 0..k {
+            let sym = SymbolId(c as u32);
+            // Start edges: prefix mass ends just before `pos`, match
+            // begins with `c`.
+            let q1 = a.step(a.initial(), sym);
+            add(
+                &mut dag,
+                &mut kinds,
+                0,
+                node_id(pos, c, q1.index()),
+                ev.w_pre(pos, sym).ln(),
+                EdgeKind::Start { i: pos, c: sym },
+            );
+            for q in 0..na {
+                // Continue edges.
+                if pos < n {
+                    for c2 in 0..k {
+                        let sym2 = SymbolId(c2 as u32);
+                        let q2 = a.step(StateId(q as u32), sym2);
+                        add(
+                            &mut dag,
+                            &mut kinds,
+                            node_id(pos, c, q),
+                            node_id(pos + 1, c2, q2.index()),
+                            m.transition_prob(pos - 1, sym, sym2).ln(),
+                            EdgeKind::Continue { c: sym2 },
+                        );
+                    }
+                }
+                // Finish edges (only from accepting pattern states).
+                if a.is_accepting(StateId(q as u32)) {
+                    add(
+                        &mut dag,
+                        &mut kinds,
+                        node_id(pos, c, q),
+                        1,
+                        ev.w_suf(pos + 1, sym).ln(),
+                        EdgeKind::Finish,
+                    );
+                }
+            }
+        }
+    }
+    if eps_in_a {
+        for i in 1..=n + 1 {
+            let conf = ev.confidence(&[], i);
+            let eps_node = n_main + (i - 1);
+            add(&mut dag, &mut kinds, 0, eps_node, conf.ln(), EdgeKind::Epsilon { i });
+            add(&mut dag, &mut kinds, eps_node, 1, 0.0, EdgeKind::Finish);
+        }
+    }
+
+    Ok(IndexedEnumeration { paths: KBestPaths::new(dag, 0, 1), kinds })
+}
+
+/// Top-k indexed answers by confidence (stop Theorem 5.7 after `k`).
+pub fn top_k_indexed(
+    p: &SProjector,
+    m: &MarkovSequence,
+    k: usize,
+) -> Result<Vec<IndexedAnswer>, EngineError> {
+    Ok(enumerate_indexed(p, m)?.take(k).collect())
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+// Index-based loops are the clearest way to write the layered DP kernels
+// and matrix scans in this codebase; the clippy suggestion (iterators with
+// enumerate/zip) obscures the (position, node, state) indexing.
+#![allow(clippy::needless_range_loop)]
+
+//! Substring projectors over Markov sequences (§5 of "Transducing Markov
+//! Sequences", PODS 2010).
+//!
+//! An s-projector `P = [B]A[E]` extracts from a string the substrings
+//! matching the DFA `A`, subject to the prefix of the string (before the
+//! match) lying in `L(B)` and the suffix (after it) in `L(E)`:
+//! `s →[P]→ o` iff `o ∈ L(A)` and `s = b·o·e` with `b ∈ L(B)`,
+//! `e ∈ L(E)`. An *indexed* s-projector `[B]↓A[E]` additionally reports
+//! *where* the match starts: its answers are pairs `(o, i)`.
+//!
+//! The paper's Section 5 results and their homes here:
+//!
+//! | Module | Result |
+//! |---|---|
+//! | [`projector`] | the `[B]A[E]` model, regex front-end, direct match semantics |
+//! | [`compile`]   | the §5 observation that `P` is expressible as a nondeterministic transducer (so all §4 machinery applies) |
+//! | [`indexed`]   | Thm 5.8 (indexed confidence in polynomial time) and Thm 5.7 (exact ranked enumeration via k-best DAG paths) |
+//! | [`confidence`]| Thm 5.5 (`Pr(S →[P]→ o)` via the concatenation language `L(B)·o·L(E)`; exponential only in `|Q_E|`) — and the Thm 5.4 hardness is why it cannot be fully polynomial |
+//! | [`enumerate`] | Lemma 5.10 / Thm 5.2 (`I_max` order = n-approximate confidence order), Prop. 5.9 bounds |
+
+pub mod compile;
+pub mod confidence;
+pub mod enumerate;
+pub mod evaluate;
+pub mod indexed;
+pub mod projector;
+pub mod textio;
+
+pub use confidence::sproj_confidence;
+pub use enumerate::{enumerate_by_imax, enumerate_by_imax_lawler, top_k_by_imax};
+pub use indexed::{enumerate_indexed, IndexedAnswer, IndexedEvaluator};
+pub use evaluate::SprojEvaluation;
+pub use projector::SProjector;

@@ -1,0 +1,269 @@
+//! The s-projector model `[B]A[E]`.
+
+use std::sync::Arc;
+
+use transmark_automata::{ops, regex::Regex, Alphabet, Dfa, SymbolId};
+use transmark_core::error::EngineError;
+
+/// A substring projector `P = [B]A[E]` (§5).
+///
+/// All three components are *complete DFAs over the same alphabet* `Σ_P`
+/// (which must equal the Markov sequence's `Σ_μ` at query time). `A` plays
+/// the role of the paper's deterministic 1-uniform projector: the matched
+/// substring is emitted verbatim, so no output function needs to be
+/// stored.
+#[derive(Debug, Clone)]
+pub struct SProjector {
+    alphabet: Arc<Alphabet>,
+    prefix: Dfa,
+    pattern: Dfa,
+    suffix: Dfa,
+}
+
+impl SProjector {
+    /// Builds `[B]A[E]` from three DFAs, validating completeness and
+    /// alphabet agreement.
+    pub fn new(
+        alphabet: impl Into<Arc<Alphabet>>,
+        prefix: Dfa,
+        pattern: Dfa,
+        suffix: Dfa,
+    ) -> Result<Self, EngineError> {
+        let alphabet = alphabet.into();
+        for (dfa, _name) in [(&prefix, "B"), (&pattern, "A"), (&suffix, "E")] {
+            dfa.validate()?;
+            if dfa.n_symbols() != alphabet.len() {
+                return Err(EngineError::AlphabetMismatch {
+                    transducer: dfa.n_symbols(),
+                    sequence: alphabet.len(),
+                });
+            }
+        }
+        Ok(Self { alphabet, prefix, pattern, suffix })
+    }
+
+    /// A *simple* s-projector `[*]A[*]`: no prefix/suffix constraints.
+    pub fn simple(alphabet: impl Into<Arc<Alphabet>>, pattern: Dfa) -> Result<Self, EngineError> {
+        let alphabet = alphabet.into();
+        let u = Dfa::universal(alphabet.len());
+        Self::new(alphabet, u.clone(), pattern, u)
+    }
+
+    /// Builds an s-projector from three regular expressions in the
+    /// Perl-ish syntax of [`transmark_automata::regex`] (the paper's
+    /// Example 5.1 style: `[B]A[E]` = `(".*Name:", "[a-zA-Z,]+", "\s.*")`).
+    ///
+    /// ```
+    /// use transmark_automata::Alphabet;
+    /// use transmark_sproj::SProjector;
+    ///
+    /// // Extract a maximal run of a's that follows only b's.
+    /// let alphabet = Alphabet::of_chars("ab");
+    /// let p = SProjector::from_patterns(alphabet.clone(), "b*", "a+", ".*")?;
+    /// let text: Vec<_> = "bbaab".chars().map(|c| alphabet.sym(&c.to_string())).collect();
+    /// let aa: Vec<_> = "aa".chars().map(|c| alphabet.sym(&c.to_string())).collect();
+    /// assert!(p.matches(&text, &aa));
+    /// # Ok::<(), transmark_core::error::EngineError>(())
+    /// ```
+    pub fn from_patterns(
+        alphabet: impl Into<Arc<Alphabet>>,
+        prefix: &str,
+        pattern: &str,
+        suffix: &str,
+    ) -> Result<Self, EngineError> {
+        let alphabet = alphabet.into();
+        let compile = |pat: &str| -> Result<Dfa, EngineError> {
+            let nfa = Regex::to_nfa(pat, &alphabet)?;
+            Ok(ops::determinize(&nfa))
+        };
+        let b = compile(prefix)?;
+        let a = compile(pattern)?;
+        let e = compile(suffix)?;
+        Self::new(alphabet, b, a, e)
+    }
+
+    /// The shared alphabet `Σ_P`.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Shared handle to the alphabet.
+    pub fn alphabet_arc(&self) -> Arc<Alphabet> {
+        Arc::clone(&self.alphabet)
+    }
+
+    /// The prefix constraint `B`.
+    pub fn prefix_dfa(&self) -> &Dfa {
+        &self.prefix
+    }
+
+    /// The pattern `A`.
+    pub fn pattern_dfa(&self) -> &Dfa {
+        &self.pattern
+    }
+
+    /// The suffix constraint `E`.
+    pub fn suffix_dfa(&self) -> &Dfa {
+        &self.suffix
+    }
+
+    /// Whether both constraints are universal (`[*]A[*]`).
+    pub fn is_simple(&self) -> bool {
+        // A DFA is universal iff its complement's language is empty.
+        let universal = |d: &Dfa| ops::is_empty_dfa(&ops::complement(d));
+        universal(&self.prefix) && universal(&self.suffix)
+    }
+
+    /// Direct match semantics (by definition, trying every split):
+    /// `s →[P]→ o` iff `o ∈ L(A)` and some split `s = b·o·e` has
+    /// `b ∈ L(B)` and `e ∈ L(E)`. `O(n)` splits, each `O(n)` — used by
+    /// oracles and tests.
+    pub fn matches(&self, s: &[SymbolId], o: &[SymbolId]) -> bool {
+        self.match_indices(s, o).next().is_some()
+    }
+
+    /// All (1-based) start indices `i` such that `(o, i)` is an answer for
+    /// the *indexed* projector on the concrete string `s`.
+    pub fn match_indices<'a>(
+        &'a self,
+        s: &'a [SymbolId],
+        o: &'a [SymbolId],
+    ) -> impl Iterator<Item = usize> + 'a {
+        let m = o.len();
+        let n = s.len();
+        let pattern_ok = self.pattern.accepts(o);
+        (1..=n.saturating_sub(m) + 1).filter(move |&i| {
+            pattern_ok
+                && s[i - 1..i - 1 + m] == *o
+                && self.prefix.accepts(&s[..i - 1])
+                && self.suffix.accepts(&s[i - 1 + m..])
+        })
+    }
+
+    /// All answers of the (non-indexed) projector on a concrete string.
+    pub fn project_all(&self, s: &[SymbolId]) -> Vec<Vec<SymbolId>> {
+        let mut out = std::collections::BTreeSet::new();
+        for i in 1..=s.len() + 1 {
+            for j in i..=s.len() + 1 {
+                let o = &s[i - 1..j - 1];
+                if self.pattern.accepts(o)
+                    && self.prefix.accepts(&s[..i - 1])
+                    && self.suffix.accepts(&s[j - 1..])
+                {
+                    out.insert(o.to_vec());
+                }
+            }
+        }
+        out.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(i: u32) -> SymbolId {
+        SymbolId(i)
+    }
+
+    fn strings(k: usize, n: usize) -> Vec<Vec<SymbolId>> {
+        let mut out: Vec<Vec<SymbolId>> = vec![vec![]];
+        for _ in 0..n {
+            out = out
+                .into_iter()
+                .flat_map(|s| {
+                    (0..k).map(move |c| {
+                        let mut t = s.clone();
+                        t.push(sym(c as u32));
+                        t
+                    })
+                })
+                .collect();
+        }
+        out
+    }
+
+    /// `[b* ] a+ [ .*]` over {a,b}: extract a block of a's that starts
+    /// after only b's.
+    fn block_projector() -> SProjector {
+        let alphabet = Alphabet::of_chars("ab");
+        SProjector::from_patterns(alphabet, "b*", "a+", ".*").unwrap()
+    }
+
+    #[test]
+    fn matches_by_definition() {
+        let p = block_projector();
+        let a = |s: &str| -> Vec<SymbolId> {
+            s.chars().map(|c| if c == 'a' { sym(0) } else { sym(1) }).collect()
+        };
+        assert!(p.matches(&a("bbaab"), &a("aa")));
+        assert!(p.matches(&a("bbaab"), &a("a"))); // shorter match inside
+        assert!(!p.matches(&a("abaa"), &a("aa"))); // prefix "ab" ∉ b*
+        assert!(p.matches(&a("aa"), &a("aa")));
+        assert!(!p.matches(&a("bb"), &a("a")));
+        assert!(!p.matches(&a("bbaab"), &a("b"))); // pattern must be a+
+    }
+
+    #[test]
+    fn match_indices_are_correct() {
+        let p = block_projector();
+        let a = |s: &str| -> Vec<SymbolId> {
+            s.chars().map(|c| if c == 'a' { sym(0) } else { sym(1) }).collect()
+        };
+        let s = a("baab");
+        let idx: Vec<usize> = p.match_indices(&s, &a("a")).collect();
+        // "a" occurs at positions 2, 3; prefix "b" ∈ b*, prefix "ba" ∉ b*.
+        assert_eq!(idx, vec![2]);
+        let idx2: Vec<usize> = p.match_indices(&s, &a("aa")).collect();
+        assert_eq!(idx2, vec![2]);
+    }
+
+    #[test]
+    fn project_all_collects_every_match() {
+        let p = block_projector();
+        let a = |s: &str| -> Vec<SymbolId> {
+            s.chars().map(|c| if c == 'a' { sym(0) } else { sym(1) }).collect()
+        };
+        let outs = p.project_all(&a("baa"));
+        assert_eq!(outs, vec![a("a"), a("aa")]);
+    }
+
+    #[test]
+    fn simple_projector_has_no_context_constraints() {
+        let alphabet = Alphabet::of_chars("ab");
+        let pattern = {
+            let nfa = Regex::to_nfa("ab", &alphabet).unwrap();
+            transmark_automata::ops::determinize(&nfa)
+        };
+        let p = SProjector::simple(alphabet, pattern).unwrap();
+        for s in strings(2, 4) {
+            let expect = s.windows(2).any(|w| w == [sym(0), sym(1)]);
+            assert_eq!(p.matches(&s, &[sym(0), sym(1)]), expect, "on {s:?}");
+        }
+    }
+
+    #[test]
+    fn empty_pattern_match_is_allowed() {
+        // A accepts only ε: answers are (ε, i) wherever prefix/suffix split.
+        let alphabet = Alphabet::of_chars("ab");
+        let p = SProjector::from_patterns(alphabet, "a*", "", ".*").unwrap();
+        assert!(p.matches(&[sym(0), sym(1)], &[]));
+        assert!(!p.matches(&[sym(1), sym(1)], &[sym(1)]));
+        // match_indices for ε: i-1 = |prefix| must satisfy a*.
+        let idx: Vec<usize> = p.match_indices(&[sym(0), sym(1)], &[]).collect();
+        assert_eq!(idx, vec![1, 2]); // prefixes "", "a" ∈ a*; "ab" ∉ a*
+    }
+
+    #[test]
+    fn alphabet_mismatch_rejected() {
+        let alphabet = Alphabet::of_chars("ab");
+        let wrong = Dfa::universal(3);
+        assert!(SProjector::new(
+            alphabet.clone(),
+            wrong,
+            Dfa::universal(2),
+            Dfa::universal(2)
+        )
+        .is_err());
+    }
+}

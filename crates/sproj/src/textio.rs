@@ -1,0 +1,168 @@
+//! A plain-text interchange format for s-projectors.
+//!
+//! Companion to the sequence and transducer formats; an extraction query
+//! is three regular expressions over a character alphabet (exactly the
+//! paper's Example 5.1 presentation):
+//!
+//! ```text
+//! sprojector v1
+//! alphabet abcABC:  …one character per symbol, concatenated
+//! prefix .*Name:
+//! pattern [a-zA-Z]+
+//! suffix \s.*
+//! ```
+//!
+//! `alphabet` is given as a single run of characters (symbol names must
+//! be single characters for the regex syntax to apply; write `\s` for a
+//! space symbol); the three component lines hold the §5 `B`, `A`, `E`
+//! expressions. `#` comments and blank lines are ignored.
+
+use std::fmt::Write as _;
+
+use transmark_automata::Alphabet;
+
+use crate::projector::SProjector;
+
+pub use transmark_markov::textio::ParseError;
+
+/// Everything that can go wrong reading an s-projector file.
+#[derive(Debug)]
+pub enum TextIoError {
+    /// Syntactic problem (including regex errors, which carry the line of
+    /// the offending component).
+    Parse(ParseError),
+}
+
+impl std::fmt::Display for TextIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TextIoError::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TextIoError {}
+
+fn err(line: usize, message: impl Into<String>) -> TextIoError {
+    TextIoError::Parse(ParseError { line, message: message.into() })
+}
+
+/// Serializes the *source form* of an s-projector: the alphabet and the
+/// three component patterns. Since [`SProjector`] stores compiled DFAs
+/// (patterns are not recoverable), this takes the patterns explicitly;
+/// it is the inverse of [`from_text`].
+pub fn to_text(alphabet: &Alphabet, prefix: &str, pattern: &str, suffix: &str) -> String {
+    let mut out = String::new();
+    out.push_str("sprojector v1\nalphabet ");
+    for (_, name) in alphabet.iter() {
+        // Whitespace would be destroyed by line trimming; escape it.
+        if name == " " {
+            out.push_str("\\s");
+        } else {
+            out.push_str(name);
+        }
+    }
+    let _ = write!(out, "\nprefix {prefix}\npattern {pattern}\nsuffix {suffix}\n");
+    out
+}
+
+/// Parses the v1 text format and compiles the projector.
+pub fn from_text(text: &str) -> Result<SProjector, TextIoError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+
+    let (ln, header) = lines.next().ok_or_else(|| err(0, "empty input"))?;
+    if header != "sprojector v1" {
+        return Err(err(ln, format!("expected \"sprojector v1\", found {header:?}")));
+    }
+    let (ln, alpha_line) = lines.next().ok_or_else(|| err(0, "missing alphabet line"))?;
+    let chars = alpha_line
+        .strip_prefix("alphabet")
+        .map(str::trim)
+        .ok_or_else(|| err(ln, "expected \"alphabet <chars>\""))?;
+    if chars.is_empty() {
+        return Err(err(ln, "alphabet must have at least one character"));
+    }
+    // `\s` escapes a space symbol (plain spaces are destroyed by trimming).
+    let chars = chars.replace("\\s", " ");
+    let alphabet = Alphabet::of_chars(&chars);
+    if alphabet.len() != chars.chars().count() {
+        return Err(err(ln, "duplicate characters in alphabet"));
+    }
+
+    let mut component = |what: &'static str| -> Result<(usize, String), TextIoError> {
+        let (ln, line) = lines
+            .next()
+            .ok_or_else(|| err(0, format!("missing \"{what}\" line")))?;
+        let body = line
+            .strip_prefix(what)
+            .ok_or_else(|| err(ln, format!("expected \"{what} <regex>\"")))?;
+        Ok((ln, body.trim().to_string()))
+    };
+    let (pl, prefix) = component("prefix")?;
+    let (al, pattern) = component("pattern")?;
+    let (sl, suffix) = component("suffix")?;
+
+    // Compile each component separately so errors point at the right line.
+    let compile_err = |ln: usize, which: &str, e: transmark_core::error::EngineError| {
+        err(ln, format!("invalid {which} pattern: {e}"))
+    };
+    SProjector::from_patterns(alphabet.clone(), &prefix, &pattern, &suffix).map_err(|e| {
+        // Re-compile the pieces to locate the failure.
+        use transmark_automata::regex::Regex;
+        if Regex::parse(&prefix, &alphabet).is_err() {
+            compile_err(pl, "prefix", e)
+        } else if Regex::parse(&pattern, &alphabet).is_err() {
+            compile_err(al, "pattern", e)
+        } else {
+            compile_err(sl, "suffix", e)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transmark_automata::SymbolId;
+
+    #[test]
+    fn round_trip_compiles_the_same_query() {
+        let alphabet = Alphabet::of_chars("abN:me ");
+        let text = to_text(&alphabet, ".*N:", "[ab]+", "\\s.*");
+        let p = from_text(&text).unwrap();
+        let parse = |s: &str| -> Vec<SymbolId> {
+            s.chars().map(|c| p.alphabet().sym(&c.to_string())).collect()
+        };
+        assert!(p.matches(&parse("aN:ab b"), &parse("ab")));
+        assert!(!p.matches(&parse("aaN:abb"), &parse("ab"))); // no trailing space
+    }
+
+    #[test]
+    fn hand_written_file_parses() {
+        let text = "# extract runs of a\nsprojector v1\nalphabet ab\nprefix b*\npattern a+\nsuffix .*\n";
+        let p = from_text(text).unwrap();
+        let a = p.alphabet().sym("a");
+        let b = p.alphabet().sym("b");
+        assert!(p.matches(&[b, a, a], &[a, a]));
+        assert!(!p.matches(&[a, b, a], &[a, a]));
+    }
+
+    #[test]
+    fn errors_carry_component_lines() {
+        let missing = "sprojector v1\nalphabet ab\nprefix .*\npattern a+\n";
+        assert!(matches!(from_text(missing), Err(TextIoError::Parse(_))));
+        let bad_pattern = "sprojector v1\nalphabet ab\nprefix .*\npattern [a\nsuffix .*\n";
+        match from_text(bad_pattern) {
+            Err(TextIoError::Parse(e)) => {
+                assert_eq!(e.line, 4, "{e}");
+                assert!(e.message.contains("pattern"), "{e}");
+            }
+            other => panic!("expected located error, got {other:?}"),
+        }
+        let dup = "sprojector v1\nalphabet aa\nprefix .*\npattern a\nsuffix .*\n";
+        assert!(matches!(from_text(dup), Err(TextIoError::Parse(_))));
+    }
+}

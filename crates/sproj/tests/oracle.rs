@@ -1,0 +1,277 @@
+//! Oracle cross-validation for the §5 engines.
+//!
+//! Random s-projectors (random complete DFAs for B, A, E) over random
+//! small Markov sequences, checked against brute force:
+//!
+//! * the compiled transducer (§5's observation) agrees with the direct
+//!   match semantics on every support string;
+//! * Thm 5.8 indexed confidence equals the per-occurrence sum over worlds;
+//! * Thm 5.7 enumeration yields exactly the indexed answers, in
+//!   non-increasing confidence, each with the right confidence;
+//! * Thm 5.5 confidence equals both brute force and the general §4
+//!   algorithm run on the compiled transducer;
+//! * Prop. 5.9: `I_max(o) ≤ conf(o) ≤ (#occurrence positions)·I_max(o)`;
+//! * Lemma 5.10 / Thm 5.2: the deduplicated enumeration emits each output
+//!   once, scored by `I_max`, in non-increasing `I_max`.
+
+use std::collections::BTreeMap;
+
+use rand::{rngs::StdRng, Rng, RngExt, SeedableRng};
+use transmark_automata::{Dfa, StateId, SymbolId};
+use transmark_core::confidence::confidence_general;
+use transmark_markov::generate::{random_markov_sequence, RandomChainSpec};
+use transmark_markov::numeric::approx_eq;
+use transmark_markov::support::support;
+use transmark_markov::MarkovSequence;
+use transmark_sproj::compile::to_transducer;
+use transmark_sproj::enumerate::{enumerate_by_imax, imax_of_output};
+use transmark_sproj::indexed::{enumerate_indexed, IndexedEvaluator};
+use transmark_sproj::projector::SProjector;
+use transmark_sproj::sproj_confidence;
+
+const TOL_ABS: f64 = 1e-10;
+const TOL_REL: f64 = 1e-8;
+
+/// A random complete DFA with at least one accepting state.
+fn random_dfa<R: Rng + ?Sized>(k: usize, n_states: usize, rng: &mut R) -> Dfa {
+    let mut d = Dfa::new(k);
+    let states: Vec<StateId> = (0..n_states).map(|_| d.add_state(rng.random_bool(0.5))).collect();
+    d.set_accepting(states[rng.random_range(0..n_states)], true);
+    for &q in &states {
+        for s in 0..k {
+            d.set_transition(q, SymbolId(s as u32), states[rng.random_range(0..n_states)]);
+        }
+    }
+    d.set_initial(states[rng.random_range(0..n_states)]);
+    d
+}
+
+fn instance(seed: u64) -> (SProjector, MarkovSequence) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k = 2 + (seed % 2) as usize;
+    let m = random_markov_sequence(
+        &RandomChainSpec { len: 2 + (seed % 3) as usize, n_symbols: k, zero_prob: 0.3 },
+        &mut rng,
+    );
+    let alphabet = m.alphabet_arc();
+    let b = random_dfa(k, 1 + rng.random_range(0..2), &mut rng);
+    let a = random_dfa(k, 1 + rng.random_range(0..2), &mut rng);
+    let e = random_dfa(k, 1 + rng.random_range(0..2), &mut rng);
+    (SProjector::new(alphabet, b, a, e).unwrap(), m)
+}
+
+/// Brute-force indexed evaluation: `conf(o, i)` for every indexed answer.
+fn brute_indexed(p: &SProjector, m: &MarkovSequence) -> BTreeMap<(Vec<SymbolId>, usize), f64> {
+    let mut map: BTreeMap<(Vec<SymbolId>, usize), f64> = BTreeMap::new();
+    for (s, prob) in support(m) {
+        // Every substring occurrence (including ε at every boundary).
+        for i in 1..=s.len() + 1 {
+            for j in i..=s.len() + 1 {
+                let o = s[i - 1..j - 1].to_vec();
+                if p.pattern_dfa().accepts(&o)
+                    && p.prefix_dfa().accepts(&s[..i - 1])
+                    && p.suffix_dfa().accepts(&s[j - 1..])
+                {
+                    *map.entry((o, i)).or_insert(0.0) += prob;
+                }
+            }
+        }
+    }
+    map
+}
+
+/// Brute-force plain confidence: `conf(o)` for every answer.
+fn brute_plain(p: &SProjector, m: &MarkovSequence) -> BTreeMap<Vec<SymbolId>, f64> {
+    let mut map: BTreeMap<Vec<SymbolId>, f64> = BTreeMap::new();
+    for (s, prob) in support(m) {
+        for o in p.project_all(&s) {
+            *map.entry(o).or_insert(0.0) += prob;
+        }
+    }
+    map
+}
+
+fn check_instance(p: &SProjector, m: &MarkovSequence, ctx: &str) {
+    let n = m.len();
+
+    // --- compiled transducer vs direct semantics ---------------------------
+    let t = to_transducer(p).expect("compile");
+    for (s, _) in support(m) {
+        assert_eq!(
+            t.transduce_all(&s),
+            p.project_all(&s),
+            "{ctx}: compiled transducer diverges on {s:?}"
+        );
+    }
+
+    // --- Thm 5.8: indexed confidence ---------------------------------------
+    let truth_indexed = brute_indexed(p, m);
+    let ev = IndexedEvaluator::new(p, m).expect("evaluator");
+    for ((o, i), &want) in &truth_indexed {
+        let got = ev.confidence(o, *i);
+        assert!(
+            approx_eq(got, want, TOL_ABS, TOL_REL),
+            "{ctx}: indexed confidence({o:?}, {i}) = {got}, want {want}"
+        );
+    }
+    // Invalid / non-answer probes.
+    assert_eq!(ev.confidence(&[SymbolId(0)], 0), 0.0, "{ctx}: index 0 must be invalid");
+    assert_eq!(ev.confidence(&[SymbolId(0)], n + 5), 0.0, "{ctx}: overflow index");
+
+    // --- Thm 5.7: ranked indexed enumeration -------------------------------
+    let enumerated: Vec<_> = enumerate_indexed(p, m).expect("enumerate").collect();
+    assert_eq!(
+        enumerated.len(),
+        truth_indexed.len(),
+        "{ctx}: indexed enumeration count mismatch"
+    );
+    let mut prev = f64::INFINITY;
+    let mut seen = std::collections::BTreeSet::new();
+    for ia in &enumerated {
+        assert!(
+            ia.log_confidence <= prev + 1e-9,
+            "{ctx}: confidence order violated"
+        );
+        prev = ia.log_confidence;
+        let key = (ia.output.clone(), ia.index);
+        assert!(seen.insert(key.clone()), "{ctx}: duplicate indexed answer {key:?}");
+        let want = truth_indexed
+            .get(&key)
+            .unwrap_or_else(|| panic!("{ctx}: enumerated non-answer {key:?}"));
+        assert!(
+            approx_eq(ia.confidence(), *want, TOL_ABS, TOL_REL),
+            "{ctx}: enumerated confidence {} want {want} for {key:?}",
+            ia.confidence()
+        );
+    }
+
+    // --- Thm 5.5: plain confidence ------------------------------------------
+    let truth_plain = brute_plain(p, m);
+    for (o, &want) in &truth_plain {
+        let got = sproj_confidence(p, m, o).expect("sproj confidence");
+        assert!(
+            approx_eq(got, want, TOL_ABS, TOL_REL),
+            "{ctx}: sproj confidence({o:?}) = {got}, want {want}"
+        );
+        // Cross-check against the §4 general algorithm on the compiled
+        // transducer.
+        let via_general = confidence_general(&t, m, o).expect("general confidence");
+        assert!(
+            approx_eq(via_general, want, TOL_ABS, TOL_REL),
+            "{ctx}: general-algorithm confidence {via_general}, want {want}"
+        );
+
+        // --- Prop. 5.9 sandwich ---------------------------------------------
+        let imax = imax_of_output(p, m, o).expect("imax");
+        let n_positions = if o.is_empty() { n + 1 } else { n - o.len() + 1 };
+        assert!(
+            imax <= want * (1.0 + 1e-9) + TOL_ABS,
+            "{ctx}: I_max {imax} exceeds confidence {want} for {o:?}"
+        );
+        assert!(
+            want <= (n_positions as f64) * imax * (1.0 + 1e-9) + TOL_ABS,
+            "{ctx}: confidence {want} exceeds {n_positions}·I_max = {} for {o:?}",
+            n_positions as f64 * imax
+        );
+    }
+    // Non-answers get confidence zero.
+    let probe = vec![SymbolId(0); n + 2]; // longer than any substring
+    assert_eq!(sproj_confidence(p, m, &probe).expect("confidence"), 0.0);
+
+    // --- Lemma 5.10 / Thm 5.2: I_max dedup enumeration -----------------------
+    let deduped: Vec<_> = enumerate_by_imax(p, m).expect("imax enumeration").collect();
+    assert_eq!(deduped.len(), truth_plain.len(), "{ctx}: distinct output count");
+    let mut prev = f64::INFINITY;
+    for r in &deduped {
+        assert!(r.log_score <= prev + 1e-9, "{ctx}: I_max order violated");
+        prev = r.log_score;
+        let want_imax = imax_of_output(p, m, &r.output).expect("imax");
+        assert!(
+            approx_eq(r.score(), want_imax, TOL_ABS, TOL_REL),
+            "{ctx}: dedup score {} != I_max {want_imax} for {:?}",
+            r.score(),
+            r.output
+        );
+        assert!(truth_plain.contains_key(&r.output), "{ctx}: dedup emitted non-answer");
+    }
+}
+
+#[test]
+fn random_sprojectors_match_oracle() {
+    for seed in 0..60 {
+        let (p, m) = instance(seed);
+        check_instance(&p, &m, &format!("random/{seed}"));
+    }
+}
+
+#[test]
+fn regex_built_projectors_match_oracle() {
+    let cases: [(&str, &str, &str); 6] = [
+        (".*", "ab", ".*"),
+        ("b*", "a+", "b*"),
+        ("a*", "a*", "b*"),
+        (".*", "a+b", "b*"),
+        ("", ".*", ""),      // whole-string extraction (B, E accept only ε)
+        (".*a", "b+", ".*"), // prefix must end in a
+    ];
+    for (idx, (bp, ap, ep)) in cases.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(1000 + idx as u64);
+        let m = random_markov_sequence(
+            &RandomChainSpec { len: 4, n_symbols: 2, zero_prob: 0.25 },
+            &mut rng,
+        );
+        // Name the alphabet {a, b} so the regexes apply.
+        let alphabet = transmark_automata::Alphabet::of_chars("ab");
+        let m = {
+            // Rebuild the chain on the named alphabet (same parameters).
+            let mut b = transmark_markov::MarkovSequenceBuilder::new(alphabet.clone(), m.len())
+                .initial_dist(m.initial_dist());
+            for i in 0..m.len() - 1 {
+                for x in 0..2u32 {
+                    for y in 0..2u32 {
+                        b = b.transition(
+                            i,
+                            SymbolId(x),
+                            SymbolId(y),
+                            m.transition_prob(i, SymbolId(x), SymbolId(y)),
+                        );
+                    }
+                }
+            }
+            b.build().unwrap()
+        };
+        let p = SProjector::from_patterns(alphabet, bp, ap, ep).unwrap();
+        check_instance(&p, &m, &format!("regex/{idx}"));
+    }
+}
+
+#[test]
+fn length_one_sequences() {
+    for seed in 300..315 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = random_markov_sequence(
+            &RandomChainSpec { len: 1, n_symbols: 2, zero_prob: 0.2 },
+            &mut rng,
+        );
+        let alphabet = m.alphabet_arc();
+        let b = random_dfa(2, 2, &mut rng);
+        let a = random_dfa(2, 2, &mut rng);
+        let e = random_dfa(2, 2, &mut rng);
+        let p = SProjector::new(alphabet, b, a, e).unwrap();
+        check_instance(&p, &m, &format!("len1/{seed}"));
+    }
+}
+
+#[test]
+fn alphabet_mismatch_is_rejected() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let m = random_markov_sequence(
+        &RandomChainSpec { len: 3, n_symbols: 3, zero_prob: 0.2 },
+        &mut rng,
+    );
+    let alphabet = transmark_automata::Alphabet::of_chars("ab");
+    let p = SProjector::from_patterns(alphabet, ".*", "a", ".*").unwrap();
+    assert!(IndexedEvaluator::new(&p, &m).is_err());
+    assert!(enumerate_indexed(&p, &m).is_err());
+    assert!(sproj_confidence(&p, &m, &[]).is_err());
+}

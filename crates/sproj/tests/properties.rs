@@ -1,0 +1,154 @@
+//! Property-based tests for the §5 s-projector engine.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, RngExt, SeedableRng};
+use transmark_automata::{Dfa, StateId, SymbolId};
+use transmark_markov::generate::{random_markov_sequence, RandomChainSpec};
+use transmark_markov::numeric::approx_eq;
+use transmark_markov::MarkovSequence;
+use transmark_sproj::compile::to_transducer;
+use transmark_sproj::enumerate::{enumerate_by_imax, imax_of_output};
+use transmark_sproj::indexed::{enumerate_indexed, IndexedEvaluator};
+use transmark_sproj::projector::SProjector;
+use transmark_sproj::sproj_confidence;
+
+fn random_dfa<R: Rng + ?Sized>(k: usize, n_states: usize, rng: &mut R) -> Dfa {
+    let mut d = Dfa::new(k);
+    let states: Vec<StateId> = (0..n_states).map(|_| d.add_state(rng.random_bool(0.5))).collect();
+    d.set_accepting(states[rng.random_range(0..n_states)], true);
+    for &q in &states {
+        for s in 0..k {
+            d.set_transition(q, SymbolId(s as u32), states[rng.random_range(0..n_states)]);
+        }
+    }
+    d
+}
+
+fn instance(seed: u64, n: usize) -> (SProjector, MarkovSequence) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = random_markov_sequence(
+        &RandomChainSpec { len: n, n_symbols: 2, zero_prob: 0.25 },
+        &mut rng,
+    );
+    let b = random_dfa(2, 1 + rng.random_range(0..2), &mut rng);
+    let a = random_dfa(2, 1 + rng.random_range(0..2), &mut rng);
+    let e = random_dfa(2, 1 + rng.random_range(0..2), &mut rng);
+    (SProjector::new(m.alphabet_arc(), b, a, e).unwrap(), m)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The indexed confidences of all occurrences of `o` sum to at least
+    /// the plain confidence (union bound from below: conf ≤ Σᵢ conf(o,i)),
+    /// and each is at most it (monotonicity).
+    #[test]
+    fn occurrence_probabilities_bracket_the_union(seed in any::<u64>(), n in 1usize..5) {
+        let (p, m) = instance(seed, n);
+        let ev = IndexedEvaluator::new(&p, &m).unwrap();
+        // Distinct outputs via the dedup enumeration.
+        for r in enumerate_by_imax(&p, &m).unwrap() {
+            let o = r.output;
+            let conf = sproj_confidence(&p, &m, &o).unwrap();
+            let hi = if o.is_empty() { n + 1 } else { n - o.len() + 1 };
+            let per_index: Vec<f64> = (1..=hi).map(|i| ev.confidence(&o, i)).collect();
+            let sum: f64 = per_index.iter().sum();
+            let max = per_index.iter().copied().fold(0.0, f64::max);
+            prop_assert!(conf <= sum + 1e-9, "union exceeds sum for {:?}", o);
+            prop_assert!(max <= conf + 1e-9, "occurrence exceeds union for {:?}", o);
+            // I_max is that max.
+            prop_assert!(approx_eq(imax_of_output(&p, &m, &o).unwrap(), max, 1e-12, 1e-9));
+        }
+    }
+
+    /// The indexed enumeration is ordered, duplicate-free, and complete
+    /// with respect to the Theorem 5.8 evaluator.
+    #[test]
+    fn indexed_enumeration_invariants(seed in any::<u64>(), n in 1usize..5) {
+        let (p, m) = instance(seed, n);
+        let ev = IndexedEvaluator::new(&p, &m).unwrap();
+        let answers: Vec<_> = enumerate_indexed(&p, &m).unwrap().collect();
+        let mut prev = f64::INFINITY;
+        let mut seen = std::collections::BTreeSet::new();
+        for a in &answers {
+            prop_assert!(a.log_confidence <= prev + 1e-9);
+            prev = a.log_confidence;
+            prop_assert!(seen.insert((a.output.clone(), a.index)));
+            prop_assert!(approx_eq(
+                a.confidence(), ev.confidence(&a.output, a.index), 1e-12, 1e-9
+            ));
+            prop_assert!(a.confidence() > 0.0);
+        }
+        // Nothing with positive confidence is missing: probe all candidate
+        // (substring, index) pairs up to length n.
+        let mut candidates = vec![vec![]];
+        for _ in 0..n {
+            candidates = candidates
+                .into_iter()
+                .flat_map(|s: Vec<SymbolId>| {
+                    (0..3).map(move |c| {
+                        let mut t = s.clone();
+                        if c < 2 {
+                            t.push(SymbolId(c as u32));
+                        }
+                        t
+                    })
+                })
+                .collect();
+            candidates.sort();
+            candidates.dedup();
+        }
+        for o in candidates {
+            for i in 1..=n + 1 {
+                if ev.confidence(&o, i) > 0.0 {
+                    prop_assert!(
+                        seen.contains(&(o.clone(), i)),
+                        "missing answer ({:?}, {})", o, i
+                    );
+                }
+            }
+        }
+    }
+
+    /// The dedup and Lawler implementations of Lemma 5.10 produce the same
+    /// outputs with the same scores, in equivalent order (ties may swap).
+    #[test]
+    fn imax_lawler_matches_dedup(seed in any::<u64>(), n in 1usize..6) {
+        let (p, m) = instance(seed, n);
+        let dedup: Vec<_> = enumerate_by_imax(&p, &m).unwrap().collect();
+        let lawler: Vec<_> =
+            transmark_sproj::enumerate_by_imax_lawler(&p, &m).unwrap().collect();
+        prop_assert_eq!(dedup.len(), lawler.len());
+        // Scores are non-increasing in both and equal pointwise.
+        for (a, b) in dedup.iter().zip(lawler.iter()) {
+            prop_assert!(approx_eq(a.score(), b.score(), 1e-12, 1e-9));
+        }
+        // Same answer sets with the same per-answer score.
+        let mut da: Vec<_> = dedup.iter().map(|r| (r.output.clone(),)).collect();
+        let mut la: Vec<_> = lawler.iter().map(|r| (r.output.clone(),)).collect();
+        da.sort();
+        la.sort();
+        prop_assert_eq!(da, la);
+        for r in &lawler {
+            let want = imax_of_output(&p, &m, &r.output).unwrap();
+            prop_assert!(approx_eq(r.score(), want, 1e-12, 1e-9));
+        }
+    }
+
+    /// The compiled transducer and the native Thm 5.5 algorithm agree on
+    /// confidences (engine-vs-engine, no brute force).
+    #[test]
+    fn engines_agree_on_confidence(seed in any::<u64>(), n in 1usize..6) {
+        let (p, m) = instance(seed, n);
+        let t = to_transducer(&p).unwrap();
+        for r in enumerate_by_imax(&p, &m).unwrap().take(8) {
+            let native = sproj_confidence(&p, &m, &r.output).unwrap();
+            let general =
+                transmark_core::confidence::confidence_general(&t, &m, &r.output).unwrap();
+            prop_assert!(
+                approx_eq(native, general, 1e-10, 1e-8),
+                "{:?}: {} vs {}", r.output, native, general
+            );
+        }
+    }
+}

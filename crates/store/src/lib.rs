@@ -1,0 +1,695 @@
+#![warn(missing_docs)]
+//! A Markov-sequence store, in the spirit of Lahar.
+//!
+//! The paper studies querying a *single* Markov sequence "with the goal
+//! of introducing strong querying capabilities into Lahar" — a
+//! Markov-sequence *database* holding a collection of streams (one per
+//! tracked object) and answering queries across them (§1, §6). This
+//! crate supplies that system layer: a [`SequenceStore`] keyed by stream
+//! name, sharing one node alphabet, with
+//!
+//! * **Boolean event queries** (Lahar's native query class, §6: "at each
+//!   time period it returns the probability that it is evaluated to
+//!   true") — [`SequenceStore::event_probability`],
+//!   [`SequenceStore::event_series`], [`SequenceStore::detect`];
+//! * **transducer queries** per stream — [`SequenceStore::top_k`];
+//! * **s-projector extraction** per stream —
+//!   [`SequenceStore::extract_top_k`];
+//! * **cross-stream conjunctions** under the store's independence
+//!   assumption (streams are separate objects, e.g. different carts) —
+//!   [`SequenceStore::joint_event_probability`].
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use transmark_automata::{Alphabet, Nfa};
+use transmark_core::confidence::{acceptance_probability, prefix_acceptance_probabilities};
+use transmark_core::error::EngineError;
+use transmark_core::evaluate::{Evaluation, ScoredAnswer};
+use transmark_core::transducer::Transducer;
+use transmark_markov::MarkovSequence;
+use transmark_sproj::{enumerate_by_imax, SProjector};
+
+/// Errors of the store layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// A stream with this name already exists (use [`SequenceStore::replace`]).
+    DuplicateStream(String),
+    /// No stream with this name.
+    UnknownStream(String),
+    /// The stream's alphabet differs from the store's.
+    AlphabetMismatch {
+        /// The store's alphabet size.
+        store: usize,
+        /// The offending stream's alphabet size.
+        stream: usize,
+    },
+    /// An engine error while evaluating a query.
+    Engine(EngineError),
+    /// A filesystem or format error during persistence.
+    Io(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::DuplicateStream(n) => write!(f, "stream {n:?} already exists"),
+            StoreError::UnknownStream(n) => write!(f, "no stream named {n:?}"),
+            StoreError::AlphabetMismatch { store, stream } => {
+                write!(f, "stream alphabet has {stream} symbols, store has {store}")
+            }
+            StoreError::Engine(e) => write!(f, "{e}"),
+            StoreError::Io(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<EngineError> for StoreError {
+    fn from(e: EngineError) -> Self {
+        StoreError::Engine(e)
+    }
+}
+
+/// A named collection of Markov sequences over one shared alphabet.
+pub struct SequenceStore {
+    alphabet: Arc<Alphabet>,
+    streams: BTreeMap<String, MarkovSequence>,
+}
+
+impl SequenceStore {
+    /// Creates an empty store over `alphabet`.
+    pub fn new(alphabet: impl Into<Arc<Alphabet>>) -> Self {
+        Self { alphabet: alphabet.into(), streams: BTreeMap::new() }
+    }
+
+    /// The shared node alphabet.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Number of streams.
+    pub fn len(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Whether the store holds no streams.
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+
+    /// Stream names, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.streams.keys().map(String::as_str)
+    }
+
+    /// Inserts a new stream; errors on duplicates or alphabet mismatch.
+    pub fn insert(&mut self, name: impl Into<String>, seq: MarkovSequence) -> Result<(), StoreError> {
+        let name = name.into();
+        if seq.n_symbols() != self.alphabet.len() {
+            return Err(StoreError::AlphabetMismatch {
+                store: self.alphabet.len(),
+                stream: seq.n_symbols(),
+            });
+        }
+        if self.streams.contains_key(&name) {
+            return Err(StoreError::DuplicateStream(name));
+        }
+        self.streams.insert(name, seq);
+        Ok(())
+    }
+
+    /// Inserts or replaces a stream.
+    pub fn replace(&mut self, name: impl Into<String>, seq: MarkovSequence) -> Result<(), StoreError> {
+        let name = name.into();
+        if seq.n_symbols() != self.alphabet.len() {
+            return Err(StoreError::AlphabetMismatch {
+                store: self.alphabet.len(),
+                stream: seq.n_symbols(),
+            });
+        }
+        self.streams.insert(name, seq);
+        Ok(())
+    }
+
+    /// Removes a stream, returning it.
+    pub fn remove(&mut self, name: &str) -> Result<MarkovSequence, StoreError> {
+        self.streams.remove(name).ok_or_else(|| StoreError::UnknownStream(name.to_string()))
+    }
+
+    /// Fetches a stream.
+    pub fn get(&self, name: &str) -> Result<&MarkovSequence, StoreError> {
+        self.streams.get(name).ok_or_else(|| StoreError::UnknownStream(name.to_string()))
+    }
+
+    // ---- Boolean event queries ------------------------------------------
+
+    /// `Pr(stream ∈ L(query))` for every stream.
+    pub fn event_probability(&self, query: &Nfa) -> Result<BTreeMap<String, f64>, StoreError> {
+        self.streams
+            .iter()
+            .map(|(n, m)| Ok((n.clone(), acceptance_probability(query, m)?)))
+            .collect()
+    }
+
+    /// The per-time-period truth-probability series for every stream
+    /// (Lahar's query mode: `series[i]` is the probability that the
+    /// prefix up to time `i+1` satisfies the query).
+    pub fn event_series(&self, query: &Nfa) -> Result<BTreeMap<String, Vec<f64>>, StoreError> {
+        self.streams
+            .iter()
+            .map(|(n, m)| Ok((n.clone(), prefix_acceptance_probabilities(query, m)?)))
+            .collect()
+    }
+
+    /// Streams whose event probability reaches `threshold`, most probable
+    /// first — the "which carts were (probably) in the contaminated lab"
+    /// detection query.
+    pub fn detect(&self, query: &Nfa, threshold: f64) -> Result<Vec<(String, f64)>, StoreError> {
+        let mut hits: Vec<(String, f64)> = self
+            .event_probability(query)?
+            .into_iter()
+            .filter(|(_, p)| *p >= threshold)
+            .collect();
+        hits.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("probabilities are not NaN"));
+        Ok(hits)
+    }
+
+    /// Under stream independence, the probability that *every* named
+    /// stream satisfies its query (product rule). Duplicate stream names
+    /// are allowed only with identical queries (conjunction on the same
+    /// stream is not independent); they are rejected.
+    pub fn joint_event_probability(&self, queries: &[(&str, &Nfa)]) -> Result<f64, StoreError> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut p = 1.0;
+        for (name, q) in queries {
+            if !seen.insert(*name) {
+                return Err(StoreError::DuplicateStream((*name).to_string()));
+            }
+            p *= acceptance_probability(q, self.get(name)?)?;
+        }
+        Ok(p)
+    }
+
+    // ---- Uncertainty profiling ----------------------------------------------
+
+    /// Streams ranked by per-position perplexity, most uncertain first —
+    /// "which objects does the sensor network track worst?". Perplexity is
+    /// `2^{H/n}` (1 = deterministic, `|Σ|` = uniform noise).
+    pub fn rank_by_uncertainty(&self) -> Vec<(String, f64)> {
+        let mut v: Vec<(String, f64)> = self
+            .streams
+            .iter()
+            .map(|(n, m)| (n.clone(), transmark_markov::info::perplexity(m)))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("perplexities are not NaN"));
+        v
+    }
+
+    // ---- Parallel evaluation ----------------------------------------------
+
+    /// Maps `f` over all streams on `n_threads` OS threads (queries are
+    /// read-only and independent per stream, so fleet evaluation is
+    /// embarrassingly parallel). Results come back in name order; the
+    /// first error wins.
+    pub fn par_map_streams<T, F>(
+        &self,
+        n_threads: usize,
+        f: F,
+    ) -> Result<BTreeMap<String, T>, StoreError>
+    where
+        T: Send,
+        F: Fn(&str, &MarkovSequence) -> Result<T, StoreError> + Sync,
+    {
+        let n_threads = n_threads.max(1);
+        let streams: Vec<(&String, &MarkovSequence)> = self.streams.iter().collect();
+        if streams.is_empty() {
+            return Ok(BTreeMap::new());
+        }
+        let chunk = streams.len().div_ceil(n_threads).max(1);
+        let results = std::thread::scope(|scope| {
+            let handles: Vec<_> = streams
+                .chunks(chunk)
+                .map(|part| {
+                    let f = &f;
+                    scope.spawn(move || {
+                        part.iter()
+                            .map(|(name, m)| Ok(((*name).clone(), f(name, m)?)))
+                            .collect::<Result<Vec<(String, T)>, StoreError>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread does not panic"))
+                .collect::<Result<Vec<_>, StoreError>>()
+        })?;
+        Ok(results.into_iter().flatten().collect())
+    }
+
+    /// Parallel [`SequenceStore::event_probability`].
+    pub fn event_probability_parallel(
+        &self,
+        query: &Nfa,
+        n_threads: usize,
+    ) -> Result<BTreeMap<String, f64>, StoreError> {
+        self.par_map_streams(n_threads, |_, m| Ok(acceptance_probability(query, m)?))
+    }
+
+    /// Parallel [`SequenceStore::top_k`].
+    pub fn top_k_parallel(
+        &self,
+        query: &Transducer,
+        k: usize,
+        n_threads: usize,
+    ) -> Result<BTreeMap<String, Vec<ScoredAnswer>>, StoreError> {
+        self.par_map_streams(n_threads, |_, m| {
+            let ev = Evaluation::new(query, m)?;
+            Ok(ev.top_k_scored(k)?)
+        })
+    }
+
+    // ---- Persistence ------------------------------------------------------
+
+    /// Saves every stream to `dir` as `<name>.tms` files in the
+    /// `markov-sequence v1` text format, plus a `store.manifest` listing
+    /// them. Stream names must be valid file stems (no path separators).
+    pub fn save_dir(&self, dir: &std::path::Path) -> Result<(), StoreError> {
+        std::fs::create_dir_all(dir).map_err(|e| StoreError::Io(e.to_string()))?;
+        let mut manifest = String::new();
+        for (name, m) in &self.streams {
+            if name.contains(['/', '\\']) {
+                return Err(StoreError::Io(format!("stream name {name:?} is not a file stem")));
+            }
+            let path = dir.join(format!("{name}.tms"));
+            std::fs::write(&path, transmark_markov::textio::to_text(m))
+                .map_err(|e| StoreError::Io(format!("{}: {e}", path.display())))?;
+            manifest.push_str(name);
+            manifest.push('\n');
+        }
+        std::fs::write(dir.join("store.manifest"), manifest)
+            .map_err(|e| StoreError::Io(e.to_string()))?;
+        Ok(())
+    }
+
+    /// Loads a store previously written by [`SequenceStore::save_dir`].
+    /// The alphabet is taken from the first stream; all streams must
+    /// agree on it.
+    pub fn load_dir(dir: &std::path::Path) -> Result<SequenceStore, StoreError> {
+        let manifest = std::fs::read_to_string(dir.join("store.manifest"))
+            .map_err(|e| StoreError::Io(format!("{}: {e}", dir.display())))?;
+        let names: Vec<&str> = manifest.lines().filter(|l| !l.is_empty()).collect();
+        let mut store: Option<SequenceStore> = None;
+        for name in names {
+            let path = dir.join(format!("{name}.tms"));
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| StoreError::Io(format!("{}: {e}", path.display())))?;
+            let m = transmark_markov::textio::from_text(&text)
+                .map_err(|e| StoreError::Io(format!("{}: {e}", path.display())))?;
+            let s = store.get_or_insert_with(|| SequenceStore::new(m.alphabet_arc()));
+            s.insert(name, m)?;
+        }
+        store.ok_or_else(|| StoreError::Io("manifest lists no streams".to_string()))
+    }
+
+    // ---- Transducer and s-projector queries ------------------------------
+
+    /// Top-k transducer answers (by `E_max`, with exact confidences) for
+    /// every stream.
+    pub fn top_k(
+        &self,
+        query: &Transducer,
+        k: usize,
+    ) -> Result<BTreeMap<String, Vec<ScoredAnswer>>, StoreError> {
+        self.streams
+            .iter()
+            .map(|(n, m)| {
+                let ev = Evaluation::new(query, m)?;
+                Ok((n.clone(), ev.top_k_scored(k)?))
+            })
+            .collect()
+    }
+
+    /// Top-k distinct s-projector extractions (by `I_max`) per stream.
+    pub fn extract_top_k(
+        &self,
+        query: &SProjector,
+        k: usize,
+    ) -> Result<BTreeMap<String, Vec<transmark_core::enumerate::RankedAnswer>>, StoreError> {
+        self.streams
+            .iter()
+            .map(|(n, m)| Ok((n.clone(), enumerate_by_imax(query, m)?.take(k).collect())))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use transmark_automata::SymbolId;
+    use transmark_markov::generate::{random_markov_sequence, RandomChainSpec};
+    use transmark_markov::support::support;
+    use transmark_markov::MarkovSequenceBuilder;
+
+    fn sym(i: u32) -> SymbolId {
+        SymbolId(i)
+    }
+
+    fn store_with_streams(k: usize) -> SequenceStore {
+        let alphabet = Alphabet::of_chars("ab");
+        let mut store = SequenceStore::new(alphabet);
+        let mut rng = StdRng::seed_from_u64(9);
+        for i in 0..k {
+            let m = random_markov_sequence(
+                &RandomChainSpec { len: 3 + i % 2, n_symbols: 2, zero_prob: 0.2 },
+                &mut rng,
+            );
+            store.insert(format!("cart{i}"), m).unwrap();
+        }
+        store
+    }
+
+    /// NFA: contains symbol b.
+    fn has_b() -> Nfa {
+        let mut nfa = Nfa::new(2);
+        let q0 = nfa.add_state(false);
+        let acc = nfa.add_state(true);
+        nfa.add_transition(q0, sym(0), q0);
+        nfa.add_transition(q0, sym(1), acc);
+        nfa.add_transition(acc, sym(0), acc);
+        nfa.add_transition(acc, sym(1), acc);
+        nfa
+    }
+
+    #[test]
+    fn crud_and_validation() {
+        let mut store = store_with_streams(2);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.names().collect::<Vec<_>>(), vec!["cart0", "cart1"]);
+        assert!(matches!(
+            store.insert("cart0", store.get("cart1").unwrap().clone()),
+            Err(StoreError::DuplicateStream(_))
+        ));
+        let wrong = MarkovSequenceBuilder::new(Alphabet::of_chars("abc"), 2)
+            .uniform_all()
+            .build()
+            .unwrap();
+        assert!(matches!(
+            store.insert("cart9", wrong),
+            Err(StoreError::AlphabetMismatch { .. })
+        ));
+        assert!(store.get("nope").is_err());
+        let removed = store.remove("cart0").unwrap();
+        assert!(store.replace("cart0", removed).is_ok());
+    }
+
+    #[test]
+    fn event_probabilities_match_brute_force() {
+        let store = store_with_streams(3);
+        let q = has_b();
+        let probs = store.event_probability(&q).unwrap();
+        for (name, p) in &probs {
+            let m = store.get(name).unwrap();
+            let want: f64 =
+                support(m).iter().filter(|(s, _)| q.accepts(s)).map(|(_, pp)| pp).sum();
+            assert!((p - want).abs() < 1e-10, "stream {name}");
+        }
+        // Series last element equals the total probability.
+        for (name, series) in store.event_series(&q).unwrap() {
+            assert!((series.last().unwrap() - probs[&name]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn detection_filters_and_sorts() {
+        let store = store_with_streams(4);
+        let q = has_b();
+        let all = store.detect(&q, 0.0).unwrap();
+        assert_eq!(all.len(), 4);
+        for w in all.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        let none = store.detect(&q, 1.1).unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn joint_probability_is_the_product() {
+        let store = store_with_streams(2);
+        let q = has_b();
+        let probs = store.event_probability(&q).unwrap();
+        let joint = store
+            .joint_event_probability(&[("cart0", &q), ("cart1", &q)])
+            .unwrap();
+        assert!((joint - probs["cart0"] * probs["cart1"]).abs() < 1e-12);
+        // Same stream twice is rejected.
+        assert!(matches!(
+            store.joint_event_probability(&[("cart0", &q), ("cart0", &q)]),
+            Err(StoreError::DuplicateStream(_))
+        ));
+    }
+
+    #[test]
+    fn per_stream_transducer_query() {
+        let store = store_with_streams(2);
+        // Identity transducer.
+        let alphabet = Arc::clone(&store.alphabet);
+        let mut b = Transducer::builder(Arc::clone(&alphabet), alphabet);
+        let q = b.add_state(true);
+        for s in 0..2u32 {
+            b.add_transition(q, sym(s), q, &[sym(s)]).unwrap();
+        }
+        let t = b.build().unwrap();
+        let results = store.top_k(&t, 2).unwrap();
+        assert_eq!(results.len(), 2);
+        for (name, answers) in results {
+            assert!(!answers.is_empty(), "stream {name}");
+            for a in &answers {
+                // Identity: confidence = world probability = E_max.
+                assert!((a.confidence - a.emax).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn per_stream_extraction() {
+        let store = store_with_streams(2);
+        let pattern = transmark_automata::Dfa::word(2, &[sym(1)]);
+        // Make pattern complete (Dfa::word already is).
+        assert!(pattern.validate().is_ok());
+        let p = SProjector::simple(Arc::clone(&store.alphabet), pattern).unwrap();
+        let results = store.extract_top_k(&p, 3).unwrap();
+        for (name, answers) in results {
+            let m = store.get(&name).unwrap();
+            for a in &answers {
+                // Every extraction really occurs with its I_max score.
+                let want =
+                    transmark_sproj::enumerate::imax_of_output(&p, m, &a.output).unwrap();
+                assert!((a.score() - want).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_store_behaves() {
+        let store = SequenceStore::new(Alphabet::of_chars("ab"));
+        assert!(store.is_empty());
+        assert!(store.event_probability(&has_b()).unwrap().is_empty());
+        assert_eq!(store.joint_event_probability(&[]).unwrap(), 1.0);
+    }
+}
+
+#[cfg(test)]
+mod persistence_tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use transmark_markov::generate::{random_markov_sequence, RandomChainSpec};
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let alphabet = Alphabet::of_chars("ab");
+        let mut store = SequenceStore::new(alphabet);
+        let mut rng = StdRng::seed_from_u64(99);
+        for name in ["alpha", "beta", "gamma"] {
+            let m = random_markov_sequence(
+                &RandomChainSpec { len: 4, n_symbols: 2, zero_prob: 0.2 },
+                &mut rng,
+            );
+            store.insert(name, m).unwrap();
+        }
+        let dir = std::env::temp_dir()
+            .join(format!("transmark-store-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        store.save_dir(&dir).unwrap();
+        let loaded = SequenceStore::load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 3);
+        for name in ["alpha", "beta", "gamma"] {
+            let (a, b) = (store.get(name).unwrap(), loaded.get(name).unwrap());
+            assert_eq!(a.len(), b.len());
+            assert_eq!(a.initial_dist(), b.initial_dist());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_stream_names_are_rejected() {
+        let alphabet = Alphabet::of_chars("a");
+        let mut store = SequenceStore::new(alphabet.clone());
+        let m = transmark_markov::MarkovSequenceBuilder::new(alphabet, 1)
+            .initial(transmark_automata::SymbolId(0), 1.0)
+            .build()
+            .unwrap();
+        store.insert("evil/name", m).unwrap();
+        let dir = std::env::temp_dir()
+            .join(format!("transmark-store-bad-{}", std::process::id()));
+        assert!(matches!(store.save_dir(&dir), Err(StoreError::Io(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn loading_missing_dir_fails_cleanly() {
+        let missing = std::path::Path::new("/nonexistent/transmark-store");
+        assert!(matches!(SequenceStore::load_dir(missing), Err(StoreError::Io(_))));
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use transmark_automata::SymbolId;
+    use transmark_markov::generate::{random_markov_sequence, RandomChainSpec};
+
+    fn big_store(streams: usize) -> SequenceStore {
+        let alphabet = Alphabet::of_chars("ab");
+        let mut store = SequenceStore::new(alphabet);
+        let mut rng = StdRng::seed_from_u64(77);
+        for i in 0..streams {
+            let m = random_markov_sequence(
+                &RandomChainSpec { len: 6, n_symbols: 2, zero_prob: 0.2 },
+                &mut rng,
+            );
+            store.insert(format!("s{i:03}"), m).unwrap();
+        }
+        store
+    }
+
+    fn has_b() -> Nfa {
+        let mut nfa = Nfa::new(2);
+        let q0 = nfa.add_state(false);
+        let acc = nfa.add_state(true);
+        nfa.add_transition(q0, SymbolId(0), q0);
+        nfa.add_transition(q0, SymbolId(1), acc);
+        nfa.add_transition(acc, SymbolId(0), acc);
+        nfa.add_transition(acc, SymbolId(1), acc);
+        nfa
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let store = big_store(23); // deliberately not a multiple of threads
+        let q = has_b();
+        let seq = store.event_probability(&q).unwrap();
+        for threads in [1usize, 2, 4, 7, 64] {
+            let par = store.event_probability_parallel(&q, threads).unwrap();
+            assert_eq!(seq.len(), par.len(), "threads = {threads}");
+            for (name, p_seq) in &seq {
+                // The DP sums in HashMap iteration order, which varies
+                // between runs, so values agree only up to rounding.
+                let p_par = par[name];
+                assert!(
+                    (p_seq - p_par).abs() < 1e-12,
+                    "threads = {threads}, stream {name}: {p_seq} vs {p_par}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_top_k_matches_sequential() {
+        let store = big_store(6);
+        let alphabet = Arc::clone(&store.alphabet);
+        let mut b = Transducer::builder(Arc::clone(&alphabet), alphabet);
+        let q = b.add_state(true);
+        for s in 0..2u32 {
+            b.add_transition(q, SymbolId(s), q, &[SymbolId(s)]).unwrap();
+        }
+        let t = b.build().unwrap();
+        let seq = store.top_k(&t, 3).unwrap();
+        let par = store.top_k_parallel(&t, 3, 3).unwrap();
+        assert_eq!(seq.len(), par.len());
+        for (name, answers) in seq {
+            let pars = &par[&name];
+            assert_eq!(answers.len(), pars.len(), "stream {name}");
+            for (a, b) in answers.iter().zip(pars.iter()) {
+                assert_eq!(a.output, b.output, "stream {name}");
+                assert!((a.confidence - b.confidence).abs() < 1e-12);
+                assert!((a.emax - b.emax).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_on_empty_store() {
+        let store = SequenceStore::new(Alphabet::of_chars("ab"));
+        assert!(store.event_probability_parallel(&has_b(), 4).unwrap().is_empty());
+    }
+}
+
+#[cfg(test)]
+mod uncertainty_tests {
+    use super::*;
+    use transmark_markov::MarkovSequenceBuilder;
+
+    #[test]
+    fn uncertainty_ranking_orders_by_perplexity() {
+        let alphabet = Alphabet::of_chars("xy");
+        let mut store = SequenceStore::new(alphabet.clone());
+        let noisy = MarkovSequenceBuilder::new(alphabet.clone(), 4).uniform_all().build().unwrap();
+        let sharp = MarkovSequence::homogeneous(
+            alphabet.clone(),
+            4,
+            &[1.0, 0.0],
+            &[0.9, 0.1, 0.1, 0.9],
+        )
+        .unwrap();
+        store.insert("noisy", noisy).unwrap();
+        store.insert("sharp", sharp).unwrap();
+        let ranked = store.rank_by_uncertainty();
+        assert_eq!(ranked[0].0, "noisy");
+        assert!((ranked[0].1 - 2.0).abs() < 1e-12);
+        assert!(ranked[1].1 < 2.0);
+    }
+}
+
+#[cfg(test)]
+mod error_propagation_tests {
+    use super::*;
+
+    #[test]
+    fn par_map_propagates_the_first_error() {
+        let alphabet = Alphabet::of_chars("ab");
+        let mut store = SequenceStore::new(alphabet.clone());
+        for i in 0..8 {
+            let m = transmark_markov::MarkovSequenceBuilder::new(alphabet.clone(), 2)
+                .uniform_all()
+                .build()
+                .unwrap();
+            store.insert(format!("s{i}"), m).unwrap();
+        }
+        // A worker that fails on one specific stream.
+        let result = store.par_map_streams(3, |name, _| {
+            if name == "s5" {
+                Err(StoreError::UnknownStream("injected".into()))
+            } else {
+                Ok(name.len())
+            }
+        });
+        assert!(matches!(result, Err(StoreError::UnknownStream(_))));
+        // And a query with the wrong alphabet fails cleanly in parallel.
+        let bad_query = Nfa::new(3); // zero states + wrong alphabet width
+        assert!(store.event_probability_parallel(&bad_query, 2).is_err());
+    }
+}

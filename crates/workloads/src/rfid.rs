@@ -1,0 +1,235 @@
+//! Synthetic RFID deployment (substitute for the Lahar production data).
+//!
+//! The paper's motivating deployment — RFID sensors in a hospital feeding
+//! the Lahar Markov-sequence database \[39, 40, 47\] — is proprietary. This
+//! module builds the closest synthetic equivalent: a corridor of `rooms`
+//! rooms, each with `locations_per_room` sub-locations, a crash cart
+//! performing a random walk over sub-locations, and noisy sensors that
+//! misreport sub-locations. Conditioning the HMM on a sampled sensor read
+//! sequence yields exactly the kind of posterior Markov sequence the
+//! engine queries (footnote 1), at any length — the algorithms only ever
+//! see the [`MarkovSequence`] abstraction, so the substitution preserves
+//! the exercised code paths.
+
+use std::sync::Arc;
+
+use rand::Rng;
+use transmark_automata::{Alphabet, SymbolId};
+use transmark_core::transducer::Transducer;
+use transmark_markov::{Hmm, MarkovSequence};
+
+/// Parameters of the synthetic deployment.
+#[derive(Debug, Clone)]
+pub struct RfidSpec {
+    /// Number of rooms along the corridor.
+    pub rooms: usize,
+    /// Sub-locations (antenna zones) per room.
+    pub locations_per_room: usize,
+    /// Probability of staying at the current sub-location per step.
+    pub stay_prob: f64,
+    /// Probability that a sensor reports a uniformly random sub-location
+    /// instead of the true one.
+    pub noise: f64,
+}
+
+impl Default for RfidSpec {
+    fn default() -> Self {
+        Self { rooms: 3, locations_per_room: 2, stay_prob: 0.5, noise: 0.2 }
+    }
+}
+
+/// A generated deployment: the HMM, its alphabets, and helpers.
+pub struct RfidDeployment {
+    /// The movement/sensing model.
+    pub hmm: Hmm,
+    /// Hidden-state alphabet: sub-locations named `r{room}{letter}`.
+    pub locations: Arc<Alphabet>,
+    spec: RfidSpec,
+}
+
+/// Builds the corridor HMM. Sub-locations are ordered along the corridor;
+/// the cart moves to adjacent sub-locations or stays; sensors read the
+/// true sub-location with probability `1 - noise` (plus a uniform share
+/// of the noise).
+pub fn deployment(spec: &RfidSpec) -> RfidDeployment {
+    assert!(spec.rooms >= 1 && spec.locations_per_room >= 1, "degenerate deployment");
+    let n = spec.rooms * spec.locations_per_room;
+    let letters = "abcdefghij";
+    assert!(spec.locations_per_room <= letters.len(), "too many sub-locations per room");
+    let names: Vec<String> = (0..n)
+        .map(|i| {
+            let room = i / spec.locations_per_room + 1;
+            let letter = letters.as_bytes()[i % spec.locations_per_room] as char;
+            format!("r{room}{letter}")
+        })
+        .collect();
+    let locations = Arc::new(Alphabet::from_names(names.iter().map(String::as_str)));
+    // Observations: one sensor per sub-location.
+    let observations = Alphabet::from_names(names.iter().map(|s| format!("sense_{s}")));
+
+    // Uniform start.
+    let initial = vec![1.0 / n as f64; n];
+    // Random walk on the corridor: stay, or step to a neighbour.
+    let mut transition = vec![0.0; n * n];
+    for i in 0..n {
+        let mut targets = vec![i];
+        if i > 0 {
+            targets.push(i - 1);
+        }
+        if i + 1 < n {
+            targets.push(i + 1);
+        }
+        let move_prob = (1.0 - spec.stay_prob) / (targets.len() - 1).max(1) as f64;
+        for &t in &targets {
+            transition[i * n + t] = if t == i {
+                if targets.len() == 1 {
+                    1.0
+                } else {
+                    spec.stay_prob
+                }
+            } else {
+                move_prob
+            };
+        }
+    }
+    // Noisy sensing.
+    let mut emission = vec![0.0; n * n];
+    for i in 0..n {
+        for o in 0..n {
+            emission[i * n + o] =
+                if i == o { 1.0 - spec.noise } else { 0.0 } + spec.noise / n as f64;
+        }
+    }
+    let hmm = Hmm::new(Arc::clone(&locations), observations, initial, transition, emission)
+        .expect("corridor HMM is valid");
+    RfidDeployment { hmm, locations, spec: spec.clone() }
+}
+
+impl RfidDeployment {
+    /// Samples a trajectory of length `n` and returns the posterior
+    /// Markov sequence given the sampled sensor reads (plus the true
+    /// hidden trajectory, for evaluation).
+    pub fn sample_posterior<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        rng: &mut R,
+    ) -> (MarkovSequence, Vec<SymbolId>) {
+        let (hidden, obs) = self.hmm.sample(rng, n);
+        let posterior = self.hmm.posterior(&obs).expect("sampled evidence is possible");
+        (posterior, hidden)
+    }
+
+    /// The room-visit transducer generalizing Figure 2 to this
+    /// deployment: after the first visit to the designated `lab_room`
+    /// (1-based), emit the room number whenever a room is entered from a
+    /// different room. With `lab_room = None` the tracker is
+    /// non-selective and reports every room entry from the start
+    /// (including the first room) — the variant used by the
+    /// uniform-emission benchmarks.
+    pub fn room_tracker(&self, lab_room: Option<usize>) -> Transducer {
+        let rooms = self.spec.rooms;
+        let lpr = self.spec.locations_per_room;
+        let output = Arc::new(Alphabet::from_names((1..=rooms).map(|r| format!("{r}"))));
+        let mut b = Transducer::builder(Arc::clone(&self.locations), Arc::clone(&output));
+
+        let pre = lab_room.map(|_| b.add_state(false));
+        let room_states: Vec<_> = (0..rooms).map(|_| b.add_state(true)).collect();
+        // A synthetic "nowhere" start so the first symbol counts as
+        // entering its room (lab-less variant only).
+        let start = if pre.is_none() { Some(b.add_state(true)) } else { None };
+        b.set_initial(pre.or(start).expect("one of the two start states exists"));
+
+        let room_of = |sym: usize| sym / lpr; // 0-based room
+        for s in 0..rooms * lpr {
+            let sym = SymbolId(s as u32);
+            let room = room_of(s);
+            let out_sym = SymbolId(room as u32);
+            if let Some(p) = pre {
+                let lab = lab_room.expect("pre implies lab") - 1;
+                if room == lab {
+                    // First lab visit: start tracking, ε emission
+                    // (mirrors Figure 2's q0 → qλ).
+                    b.add_transition(p, sym, room_states[room], &[]).expect("valid");
+                } else {
+                    b.add_transition(p, sym, p, &[]).expect("valid");
+                }
+            } else if let Some(start) = start {
+                b.add_transition(start, sym, room_states[room], &[out_sym]).expect("valid");
+            }
+            for (r, &state) in room_states.iter().enumerate() {
+                if r == room {
+                    b.add_transition(state, sym, state, &[]).expect("valid");
+                } else {
+                    b.add_transition(state, sym, room_states[room], &[out_sym]).expect("valid");
+                }
+            }
+        }
+        b.build().expect("room tracker is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use transmark_core::confidence::confidence_deterministic;
+    use transmark_markov::numeric::approx_eq;
+
+    #[test]
+    fn deployment_produces_valid_posteriors() {
+        let dep = deployment(&RfidSpec::default());
+        let mut rng = StdRng::seed_from_u64(42);
+        let (posterior, hidden) = dep.sample_posterior(8, &mut rng);
+        assert_eq!(posterior.len(), 8);
+        assert_eq!(posterior.n_symbols(), 6);
+        // The true trajectory must have positive posterior probability.
+        assert!(posterior.string_probability(&hidden).unwrap() > 0.0);
+        for dist in posterior.marginals() {
+            let s: f64 = dist.iter().sum();
+            assert!(approx_eq(s, 1.0, 1e-9, 0.0));
+        }
+    }
+
+    #[test]
+    fn room_tracker_is_deterministic_and_selective_with_lab() {
+        let dep = deployment(&RfidSpec::default());
+        let t = dep.room_tracker(Some(2));
+        assert!(t.is_deterministic());
+        assert!(t.is_selective());
+        // A trajectory that never enters room 2 is rejected.
+        let a = &dep.locations;
+        let stay = vec![a.sym("r1a"); 4];
+        assert_eq!(t.transduce_deterministic(&stay), None);
+        // One that visits room 2 then room 3 emits "3" (entering 3).
+        let path = vec![a.sym("r1b"), a.sym("r2a"), a.sym("r2b"), a.sym("r3a")];
+        let out = t.transduce_deterministic(&path).expect("accepted");
+        assert_eq!(t.render_output(&out, ""), "3");
+    }
+
+    #[test]
+    fn trackerless_variant_is_total() {
+        let dep = deployment(&RfidSpec::default());
+        let t = dep.room_tracker(None);
+        assert!(t.is_deterministic());
+        assert!(!t.is_selective());
+        let a = &dep.locations;
+        let path = vec![a.sym("r1a"), a.sym("r1b"), a.sym("r2a"), a.sym("r1a")];
+        let out = t.transduce_deterministic(&path).expect("non-selective accepts");
+        assert_eq!(t.render_output(&out, ""), "121");
+    }
+
+    #[test]
+    fn end_to_end_query_on_posterior() {
+        let dep =
+            deployment(&RfidSpec { rooms: 2, locations_per_room: 2, stay_prob: 0.6, noise: 0.15 });
+        let mut rng = StdRng::seed_from_u64(7);
+        let (posterior, _) = dep.sample_posterior(5, &mut rng);
+        let t = dep.room_tracker(None);
+        // The engine and brute force agree on this realistic instance.
+        let truth = transmark_core::brute::evaluate(&t, &posterior).unwrap();
+        for (o, want) in truth {
+            let got = confidence_deterministic(&t, &posterior, &o).unwrap();
+            assert!(approx_eq(got, want, 1e-10, 1e-8), "output {o:?}: {got} vs {want}");
+        }
+    }
+}

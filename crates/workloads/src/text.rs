@@ -1,0 +1,204 @@
+//! Noisy-text extraction workloads for s-projectors.
+//!
+//! §5 motivates s-projectors with data extraction from handwritten-form /
+//! OCR text (Example 5.1: extract `Hillary` from `Name:Hillary␣`). The
+//! upstream recognizer is modeled here as a per-character confusion
+//! process over a template string: each template character is read
+//! correctly with probability `1 - noise` and confused with a designated
+//! look-alike otherwise, *with a Markov twist* — confusions are sticky
+//! (a misread character makes the next confusion more likely), which
+//! makes the result a genuine Markov sequence rather than a product
+//! distribution.
+
+use std::sync::Arc;
+
+use transmark_automata::Alphabet;
+use transmark_core::error::EngineError;
+use transmark_markov::{MarkovSequence, MarkovSequenceBuilder};
+use transmark_sproj::SProjector;
+
+/// Parameters of the noisy-text model.
+#[derive(Debug, Clone)]
+pub struct TextSpec {
+    /// Base probability of confusing a character.
+    pub noise: f64,
+    /// Multiplier on `noise` right after a confusion (sticky errors);
+    /// the product is clamped to 0.9.
+    pub stickiness: f64,
+}
+
+impl Default for TextSpec {
+    fn default() -> Self {
+        Self { noise: 0.1, stickiness: 3.0 }
+    }
+}
+
+/// Look-alike used when a character is confused (a fixed visual-confusion
+/// table; characters without an entry get `.` as their confusion).
+fn confusion_of(c: char) -> char {
+    match c {
+        'l' => '1',
+        '1' => 'l',
+        'o' | 'O' => '0',
+        '0' => 'o',
+        'i' => 'j',
+        'a' => 'o',
+        'e' => 'c',
+        'n' => 'm',
+        'm' => 'n',
+        'r' => 'n',
+        's' => '5',
+        'B' => '8',
+        ':' => ';',
+        ' ' => '_',
+        _ => '.',
+    }
+}
+
+/// A generated noisy document: the character alphabet and the Markov
+/// sequence over it.
+pub struct NoisyDocument {
+    /// Character alphabet (single-char symbol names, regex-ready).
+    pub alphabet: Arc<Alphabet>,
+    /// The OCR-posterior-like Markov sequence, one position per template
+    /// character.
+    pub sequence: MarkovSequence,
+    /// The clean template.
+    pub template: String,
+}
+
+/// Builds the noisy Markov sequence for `template`.
+///
+/// State space per position: the template character or its look-alike;
+/// the chain state additionally remembers (implicitly, through which
+/// character is observed) whether the previous position was confused.
+pub fn noisy_document(template: &str, spec: &TextSpec) -> NoisyDocument {
+    assert!(!template.is_empty(), "template must be nonempty");
+    let chars: Vec<char> = template.chars().collect();
+    // Alphabet: all template characters plus all confusions.
+    let mut names: Vec<String> = Vec::new();
+    for &c in &chars {
+        names.push(c.to_string());
+        names.push(confusion_of(c).to_string());
+    }
+    let alphabet = Arc::new(Alphabet::from_names(names.iter().map(String::as_str)));
+
+    let p0 = spec.noise.clamp(0.0, 0.9);
+    let p_sticky = (spec.noise * spec.stickiness).clamp(0.0, 0.9);
+    let n = chars.len();
+    let mut b = MarkovSequenceBuilder::new(Arc::clone(&alphabet), n);
+    let good = |i: usize| alphabet.sym(&chars[i].to_string());
+    let bad = |i: usize| alphabet.sym(&confusion_of(chars[i]).to_string());
+
+    b = b.initial(good(0), 1.0 - p0);
+    if bad(0) == good(0) {
+        // Confusion maps to the same symbol (degenerate entry).
+        b = b.initial(good(0), 1.0);
+    } else {
+        b = b.initial(bad(0), p0);
+    }
+    for i in 0..n - 1 {
+        for (from, sticky) in [(good(i), false), (bad(i), true)] {
+            let p_bad = if sticky { p_sticky } else { p0 };
+            if bad(i + 1) == good(i + 1) {
+                b = b.transition(i, from, good(i + 1), 1.0);
+            } else {
+                b = b
+                    .transition(i, from, good(i + 1), 1.0 - p_bad)
+                    .transition(i, from, bad(i + 1), p_bad);
+            }
+            if from == bad(i) && !sticky {
+                // good(i) == bad(i): the pair collapses; skip duplicate.
+                break;
+            }
+        }
+    }
+    let sequence = b.fill_dead_rows_self_loop().build().expect("noisy chain is valid");
+    NoisyDocument { alphabet, sequence, template: template.to_string() }
+}
+
+impl NoisyDocument {
+    /// The Example 5.1 extractor: `[".*Name:"] "[a-zA-Z]+" ["\s.*"]` —
+    /// a name following the literal `Name:` and followed by whitespace —
+    /// compiled against this document's alphabet.
+    pub fn name_extractor(&self) -> Result<SProjector, EngineError> {
+        SProjector::from_patterns(Arc::clone(&self.alphabet), ".*Name:", "[a-zA-Z]+", "\\s.*")
+    }
+
+    /// A custom extractor over this document's alphabet.
+    pub fn extractor(
+        &self,
+        prefix: &str,
+        pattern: &str,
+        suffix: &str,
+    ) -> Result<SProjector, EngineError> {
+        SProjector::from_patterns(Arc::clone(&self.alphabet), prefix, pattern, suffix)
+    }
+
+    /// Renders a symbol string as text.
+    pub fn render(&self, s: &[transmark_automata::SymbolId]) -> String {
+        self.alphabet.render(s, "")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transmark_sproj::enumerate::enumerate_by_imax;
+    use transmark_sproj::indexed::enumerate_indexed;
+
+    #[test]
+    fn clean_template_is_most_likely() {
+        let doc = noisy_document("Name:Al ", &TextSpec::default());
+        let (best, p) = doc.sequence.most_likely_string();
+        assert_eq!(doc.render(&best), "Name:Al ");
+        assert!(p > 0.3);
+    }
+
+    #[test]
+    fn name_extractor_finds_the_clean_name_first() {
+        let doc = noisy_document("xName:Al y", &TextSpec { noise: 0.05, stickiness: 2.0 });
+        let p = doc.name_extractor().unwrap();
+        let top = enumerate_by_imax(&p, &doc.sequence)
+            .unwrap()
+            .next()
+            .expect("some extraction exists");
+        assert_eq!(doc.render(&top.output), "Al");
+    }
+
+    #[test]
+    fn indexed_extraction_reports_the_position() {
+        let doc = noisy_document("xName:Al y", &TextSpec { noise: 0.05, stickiness: 2.0 });
+        let p = doc.name_extractor().unwrap();
+        let top = enumerate_indexed(&p, &doc.sequence)
+            .unwrap()
+            .next()
+            .expect("some extraction exists");
+        // "Al" starts at 1-based position 7 of "xName:Al y".
+        assert_eq!(doc.render(&top.output), "Al");
+        assert_eq!(top.index, 7);
+    }
+
+    #[test]
+    fn noise_creates_competing_answers() {
+        // 'l' ↔ '1' confusion: with an unconstrained suffix, both the full
+        // name "Al" and its truncation "A" (all that remains alphabetic
+        // when 'l' is misread as '1') are answers.
+        let doc = noisy_document("xName:Al y", &TextSpec { noise: 0.3, stickiness: 1.0 });
+        let p = doc.extractor(".*Name:", "[a-zA-Z]+", ".*").unwrap();
+        let outs: Vec<String> = enumerate_by_imax(&p, &doc.sequence)
+            .unwrap()
+            .map(|r| doc.render(&r.output))
+            .collect();
+        assert!(outs.contains(&"Al".to_string()), "answers: {outs:?}");
+        assert!(outs.contains(&"A".to_string()), "answers: {outs:?}");
+        // The misread world "xName:A1 y" yields no whitespace-terminated
+        // name at all, so the strict extractor returns only "Al".
+        let strict = doc.name_extractor().unwrap();
+        let strict_outs: Vec<String> = enumerate_by_imax(&strict, &doc.sequence)
+            .unwrap()
+            .map(|r| doc.render(&r.output))
+            .collect();
+        assert_eq!(strict_outs, vec!["Al".to_string()]);
+    }
+}

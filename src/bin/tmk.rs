@@ -1,0 +1,14 @@
+//! `tmk` — the transmark command-line interface.
+//!
+//! See `transmark::cli::USAGE` (or run `tmk help`).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match transmark::cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("tmk: {e}");
+            std::process::exit(e.exit_code);
+        }
+    }
+}

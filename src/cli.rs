@@ -1,0 +1,355 @@
+//! The `tmk` command-line interface.
+//!
+//! All command logic lives here and returns the rendered output as a
+//! `String`, so the integration tests can drive it without spawning
+//! processes; `src/bin/tmk.rs` is a thin wrapper.
+//!
+//! ```text
+//! tmk show <sequence.tms>
+//! tmk map <sequence.tms>
+//! tmk sample <sequence.tms> [--count N] [--seed S]
+//! tmk top <sequence.tms> <query.tmt> [--k N]
+//! tmk enumerate <sequence.tms> <query.tmt> [--limit N]
+//! tmk confidence <sequence.tms> <query.tmt> <output-symbol>...
+//! tmk evidences <sequence.tms> <query.tmt> [--k N] <output-symbol>...
+//! tmk extract <sequence.tms> <query.tmp> [--k N]
+//! tmk occurrences <sequence.tms> <query.tmp> [--k N]
+//! tmk posterior <model.tmh> --out <file.tms> <observation>...
+//! tmk export-example <directory>
+//! ```
+//!
+//! Sequences use the `markov-sequence v1` format
+//! ([`transmark_markov::textio`]); queries use `transducer v1`
+//! ([`transmark_core::textio`]).
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use transmark_core::confidence::confidence;
+use transmark_core::enumerate::{enumerate_unranked, top_k_by_emax};
+use transmark_core::evidence::top_k_evidences;
+use transmark_core::transducer::Transducer;
+use transmark_markov::MarkovSequence;
+
+/// A CLI failure: message plus suggested exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Suggested process exit code (2 = usage, 1 = runtime).
+    pub exit_code: i32,
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn usage_err(message: impl Into<String>) -> CliError {
+    CliError { message: format!("{}\n\n{}", message.into(), USAGE), exit_code: 2 }
+}
+
+fn run_err(message: impl std::fmt::Display) -> CliError {
+    CliError { message: message.to_string(), exit_code: 1 }
+}
+
+/// The usage text.
+pub const USAGE: &str = "tmk — query Markov sequences with finite-state transducers
+
+USAGE:
+  tmk show <sequence.tms>                               model summary + marginals
+  tmk map <sequence.tms>                                most likely world
+  tmk sample <sequence.tms> [--count N] [--seed S]      draw random worlds
+  tmk top <sequence.tms> <query.tmt> [--k N]            ranked answers + confidence
+  tmk enumerate <sequence.tms> <query.tmt> [--limit N]  all answers, lexicographic
+  tmk confidence <sequence.tms> <query.tmt> <sym>...    confidence of one output
+  tmk evidences <sequence.tms> <query.tmt> [--k N] <sym>...
+                                                        most likely worlds behind an output
+  tmk extract <sequence.tms> <query.tmp> [--k N]        s-projector: distinct strings by I_max
+  tmk occurrences <sequence.tms> <query.tmp> [--k N]    s-projector: (string, position) by confidence
+  tmk posterior <model.tmh> --out <f.tms> <obs>...      condition an HMM, write the posterior
+  tmk export-example <dir>                              write the paper's running example
+
+FILES:
+  .tms — markov-sequence v1 (see transmark_markov::textio)
+  .tmt — transducer v1      (see transmark_core::textio)
+  .tmp — sprojector v1      (see transmark_sproj::textio)
+  .tmh — hmm v1             (see transmark_markov::hmm_textio)";
+
+/// Parses `--flag value` style options out of an argument list, returning
+/// the remaining positional arguments.
+fn take_opt(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, CliError> {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        if pos + 1 >= args.len() {
+            return Err(usage_err(format!("{flag} requires a value")));
+        }
+        let value = args.remove(pos + 1);
+        args.remove(pos);
+        Ok(Some(value))
+    } else {
+        Ok(None)
+    }
+}
+
+fn parse_usize(s: &str, what: &str) -> Result<usize, CliError> {
+    s.parse().map_err(|e| usage_err(format!("bad {what} {s:?}: {e}")))
+}
+
+fn load_sequence(path: &str) -> Result<MarkovSequence, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| run_err(format!("cannot read {path}: {e}")))?;
+    transmark_markov::textio::from_text(&text).map_err(|e| run_err(format!("{path}: {e}")))
+}
+
+fn load_sprojector(path: &str) -> Result<transmark_sproj::SProjector, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| run_err(format!("cannot read {path}: {e}")))?;
+    transmark_sproj::textio::from_text(&text).map_err(|e| run_err(format!("{path}: {e}")))
+}
+
+fn load_transducer(path: &str) -> Result<Transducer, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| run_err(format!("cannot read {path}: {e}")))?;
+    transmark_core::textio::from_text(&text).map_err(|e| run_err(format!("{path}: {e}")))
+}
+
+fn parse_output(
+    t: &Transducer,
+    names: &[String],
+) -> Result<Vec<transmark_automata::SymbolId>, CliError> {
+    names
+        .iter()
+        .map(|n| {
+            t.output_alphabet()
+                .get(n)
+                .ok_or_else(|| run_err(format!("unknown output symbol {n:?}")))
+        })
+        .collect()
+}
+
+fn render(t: &Transducer, o: &[transmark_automata::SymbolId]) -> String {
+    if o.is_empty() {
+        "ε".to_string()
+    } else {
+        t.render_output(o, " ")
+    }
+}
+
+/// Runs a CLI invocation (excluding the program name) and returns its
+/// stdout text.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let mut args: Vec<String> = args.to_vec();
+    if args.is_empty() {
+        return Err(usage_err("missing command"));
+    }
+    let command = args.remove(0);
+    let mut out = String::new();
+    match command.as_str() {
+        "show" => {
+            let [seq_path] = positional::<1>(args)?;
+            let m = load_sequence(&seq_path)?;
+            let _ = writeln!(out, "markov sequence: length {}, {} symbols", m.len(), m.n_symbols());
+            let names: Vec<&str> = m.alphabet().iter().map(|(_, n)| n).collect();
+            let _ = writeln!(out, "alphabet: {}", names.join(" "));
+            let _ = writeln!(out, "marginals:");
+            for (i, dist) in m.marginals().iter().enumerate() {
+                let cells: Vec<String> = dist.iter().map(|p| format!("{p:.4}")).collect();
+                let _ = writeln!(out, "  t={:<3} {}", i + 1, cells.join(" "));
+            }
+        }
+        "map" => {
+            let [seq_path] = positional::<1>(args)?;
+            let m = load_sequence(&seq_path)?;
+            let (s, p) = m.most_likely_string();
+            let _ = writeln!(out, "{}  (p = {p:.6})", m.alphabet().render(&s, " "));
+        }
+        "sample" => {
+            use rand::{rngs::StdRng, SeedableRng};
+            let count = take_opt(&mut args, "--count")?
+                .map(|v| parse_usize(&v, "--count"))
+                .transpose()?
+                .unwrap_or(1);
+            let seed = take_opt(&mut args, "--seed")?
+                .map(|v| parse_usize(&v, "--seed"))
+                .transpose()?
+                .unwrap_or(0) as u64;
+            let [seq_path] = positional::<1>(args)?;
+            let m = load_sequence(&seq_path)?;
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..count {
+                let s = m.sample(&mut rng);
+                let _ = writeln!(out, "{}", m.alphabet().render(&s, " "));
+            }
+        }
+        "top" => {
+            let k = take_opt(&mut args, "--k")?
+                .map(|v| parse_usize(&v, "--k"))
+                .transpose()?
+                .unwrap_or(10);
+            let [seq_path, query_path] = positional::<2>(args)?;
+            let m = load_sequence(&seq_path)?;
+            let t = load_transducer(&query_path)?;
+            let answers = top_k_by_emax(&t, &m, k).map_err(run_err)?;
+            if answers.is_empty() {
+                let _ = writeln!(out, "(no answers)");
+            }
+            for a in answers {
+                let conf = confidence(&t, &m, &a.output).map_err(run_err)?;
+                let _ = writeln!(
+                    out,
+                    "{:<30} E_max = {:.6}  confidence = {:.6}",
+                    render(&t, &a.output),
+                    a.score(),
+                    conf
+                );
+            }
+        }
+        "enumerate" => {
+            let limit = take_opt(&mut args, "--limit")?
+                .map(|v| parse_usize(&v, "--limit"))
+                .transpose()?
+                .unwrap_or(usize::MAX);
+            let [seq_path, query_path] = positional::<2>(args)?;
+            let m = load_sequence(&seq_path)?;
+            let t = load_transducer(&query_path)?;
+            for o in enumerate_unranked(&t, &m).map_err(run_err)?.take(limit) {
+                let _ = writeln!(out, "{}", render(&t, &o));
+            }
+        }
+        "confidence" => {
+            if args.len() < 2 {
+                return Err(usage_err("confidence needs <sequence> <query> <symbols…>"));
+            }
+            let seq_path = args.remove(0);
+            let query_path = args.remove(0);
+            let m = load_sequence(&seq_path)?;
+            let t = load_transducer(&query_path)?;
+            let o = parse_output(&t, &args)?;
+            let c = confidence(&t, &m, &o).map_err(run_err)?;
+            let _ = writeln!(out, "{c}");
+        }
+        "evidences" => {
+            let k = take_opt(&mut args, "--k")?
+                .map(|v| parse_usize(&v, "--k"))
+                .transpose()?
+                .unwrap_or(5);
+            if args.len() < 2 {
+                return Err(usage_err("evidences needs <sequence> <query> <symbols…>"));
+            }
+            let seq_path = args.remove(0);
+            let query_path = args.remove(0);
+            let m = load_sequence(&seq_path)?;
+            let t = load_transducer(&query_path)?;
+            let o = parse_output(&t, &args)?;
+            for e in top_k_evidences(&t, &m, &o, k).map_err(run_err)? {
+                let _ = writeln!(
+                    out,
+                    "{}  (p = {:.6})",
+                    m.alphabet().render(&e.world, " "),
+                    e.prob()
+                );
+            }
+        }
+        "extract" => {
+            let k = take_opt(&mut args, "--k")?
+                .map(|v| parse_usize(&v, "--k"))
+                .transpose()?
+                .unwrap_or(10);
+            let [seq_path, query_path] = positional::<2>(args)?;
+            let m = load_sequence(&seq_path)?;
+            let p = load_sprojector(&query_path)?;
+            for r in transmark_sproj::enumerate_by_imax(&p, &m).map_err(run_err)?.take(k) {
+                let text = m.alphabet().render(&r.output, "");
+                let rendered = if text.is_empty() { "ε".to_string() } else { text };
+                let exact =
+                    transmark_sproj::sproj_confidence(&p, &m, &r.output).map_err(run_err)?;
+                let _ = writeln!(
+                    out,
+                    "{rendered:<24} I_max = {:.6}  confidence = {exact:.6}",
+                    r.score()
+                );
+            }
+        }
+        "occurrences" => {
+            let k = take_opt(&mut args, "--k")?
+                .map(|v| parse_usize(&v, "--k"))
+                .transpose()?
+                .unwrap_or(10);
+            let [seq_path, query_path] = positional::<2>(args)?;
+            let m = load_sequence(&seq_path)?;
+            let p = load_sprojector(&query_path)?;
+            for ia in transmark_sproj::enumerate_indexed(&p, &m).map_err(run_err)?.take(k) {
+                let text = m.alphabet().render(&ia.output, "");
+                let rendered = if text.is_empty() { "ε".to_string() } else { text };
+                let _ = writeln!(
+                    out,
+                    "{rendered:<24} at {:<4} confidence = {:.6}",
+                    ia.index,
+                    ia.confidence()
+                );
+            }
+        }
+        "posterior" => {
+            let out_path = take_opt(&mut args, "--out")?;
+            if args.len() < 2 {
+                return Err(usage_err("posterior needs <model.tmh> <observations…>"));
+            }
+            let model_path = args.remove(0);
+            let text = std::fs::read_to_string(&model_path)
+                .map_err(|e| run_err(format!("cannot read {model_path}: {e}")))?;
+            let hmm = transmark_markov::hmm_textio::from_text(&text)
+                .map_err(|e| run_err(format!("{model_path}: {e}")))?;
+            let obs: Vec<transmark_automata::SymbolId> = args
+                .iter()
+                .map(|n| {
+                    hmm.observation_alphabet()
+                        .get(n)
+                        .ok_or_else(|| run_err(format!("unknown observation {n:?}")))
+                })
+                .collect::<Result<_, _>>()?;
+            let posterior = hmm.posterior(&obs).map_err(run_err)?;
+            let rendered = transmark_markov::textio::to_text(&posterior);
+            match out_path {
+                Some(path) => {
+                    std::fs::write(&path, rendered)
+                        .map_err(|e| run_err(format!("write {path}: {e}")))?;
+                    let _ = writeln!(out, "wrote {path}");
+                }
+                None => out.push_str(&rendered),
+            }
+        }
+        "export-example" => {
+            let [dir] = positional::<1>(args)?;
+            let dir = Path::new(&dir);
+            std::fs::create_dir_all(dir)
+                .map_err(|e| run_err(format!("cannot create {}: {e}", dir.display())))?;
+            let m = transmark_workloads::hospital::hospital_sequence();
+            let t = transmark_workloads::hospital::room_tracker();
+            let seq_path = dir.join("hospital.tms");
+            let query_path = dir.join("room_tracker.tmt");
+            std::fs::write(&seq_path, transmark_markov::textio::to_text(&m))
+                .map_err(|e| run_err(format!("write {}: {e}", seq_path.display())))?;
+            std::fs::write(&query_path, transmark_core::textio::to_text(&t))
+                .map_err(|e| run_err(format!("write {}: {e}", query_path.display())))?;
+            let _ = writeln!(out, "wrote {}", seq_path.display());
+            let _ = writeln!(out, "wrote {}", query_path.display());
+            let _ = writeln!(out, "try: tmk top {} {}", seq_path.display(), query_path.display());
+        }
+        "help" | "--help" | "-h" => {
+            let _ = writeln!(out, "{USAGE}");
+        }
+        other => return Err(usage_err(format!("unknown command {other:?}"))),
+    }
+    Ok(out)
+}
+
+/// Exactly-N positional arguments, or a usage error.
+fn positional<const N: usize>(args: Vec<String>) -> Result<[String; N], CliError> {
+    if args.len() != N {
+        return Err(usage_err(format!("expected {N} argument(s), found {}", args.len())));
+    }
+    Ok(args.try_into().expect("length checked"))
+}

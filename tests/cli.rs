@@ -1,0 +1,226 @@
+//! Integration tests for the `tmk` command-line interface (driven through
+//! `transmark::cli::run`, no subprocesses).
+
+use transmark::cli::run;
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| s.to_string()).collect()
+}
+
+/// A scratch directory under the target dir, unique per test.
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("transmark-cli-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn export_then_query_round_trip() {
+    let dir = scratch("roundtrip");
+    let out = run(&args(&["export-example", dir.to_str().unwrap()])).expect("export");
+    assert!(out.contains("hospital.tms"));
+    let seq = dir.join("hospital.tms");
+    let query = dir.join("room_tracker.tmt");
+
+    // show
+    let out = run(&args(&["show", seq.to_str().unwrap()])).expect("show");
+    assert!(out.contains("length 5"), "{out}");
+    assert!(out.contains("r1a"), "{out}");
+
+    // map: the most likely world is Table 1's string s.
+    let out = run(&args(&["map", seq.to_str().unwrap()])).expect("map");
+    assert!(out.starts_with("r1a la la r1a r2a"), "{out}");
+
+    // top: the first answer is "1 2" with the paper's confidence.
+    let out = run(&args(&["top", seq.to_str().unwrap(), query.to_str().unwrap(), "--k", "2"]))
+        .expect("top");
+    let first = out.lines().next().unwrap();
+    assert!(first.starts_with("1 2"), "{out}");
+    assert!(first.contains("0.403800"), "{out}");
+
+    // confidence of "1 2" = 0.4038.
+    let out = run(&args(&[
+        "confidence",
+        seq.to_str().unwrap(),
+        query.to_str().unwrap(),
+        "1",
+        "2",
+    ]))
+    .expect("confidence");
+    let value: f64 = out.trim().parse().expect("a number");
+    assert!((value - 0.4038).abs() < 1e-9);
+
+    // evidences of "1 2" are s, t, u in decreasing probability.
+    let out = run(&args(&[
+        "evidences",
+        seq.to_str().unwrap(),
+        query.to_str().unwrap(),
+        "--k",
+        "5",
+        "1",
+        "2",
+    ]))
+    .expect("evidences");
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 3, "{out}");
+    assert!(lines[0].starts_with("r1a la la r1a r2a"));
+    assert!(lines[1].starts_with("r1a r1a la r1a r2a"));
+    assert!(lines[2].starts_with("la r1b r1b r1a r2a"));
+
+    // enumerate lists every answer once.
+    let out = run(&args(&["enumerate", seq.to_str().unwrap(), query.to_str().unwrap()]))
+        .expect("enumerate");
+    let mut answers: Vec<&str> = out.lines().collect();
+    let count = answers.len();
+    answers.sort_unstable();
+    answers.dedup();
+    assert_eq!(answers.len(), count, "duplicate answers in {out}");
+    assert!(answers.contains(&"1 2"));
+    assert!(answers.contains(&"ε"));
+
+    // sample is deterministic per seed and emits valid worlds.
+    let a = run(&args(&["sample", seq.to_str().unwrap(), "--count", "4", "--seed", "7"]))
+        .expect("sample");
+    let b = run(&args(&["sample", seq.to_str().unwrap(), "--count", "4", "--seed", "7"]))
+        .expect("sample again");
+    assert_eq!(a, b);
+    assert_eq!(a.lines().count(), 4);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn usage_errors_are_reported() {
+    let e = run(&[]).unwrap_err();
+    assert_eq!(e.exit_code, 2);
+    let e = run(&args(&["frobnicate"])).unwrap_err();
+    assert_eq!(e.exit_code, 2);
+    assert!(e.message.contains("unknown command"));
+    let e = run(&args(&["show"])).unwrap_err();
+    assert_eq!(e.exit_code, 2);
+    let e = run(&args(&["sample", "x.tms", "--count"])).unwrap_err();
+    assert!(e.message.contains("--count requires a value"));
+}
+
+#[test]
+fn runtime_errors_are_reported() {
+    let e = run(&args(&["show", "/nonexistent/file.tms"])).unwrap_err();
+    assert_eq!(e.exit_code, 1);
+    assert!(e.message.contains("cannot read"));
+
+    // A malformed sequence file.
+    let dir = scratch("badfile");
+    let bad = dir.join("bad.tms");
+    std::fs::write(&bad, "not a sequence").unwrap();
+    let e = run(&args(&["show", bad.to_str().unwrap()])).unwrap_err();
+    assert_eq!(e.exit_code, 1);
+    assert!(e.message.contains("line 1"), "{}", e.message);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_output_symbol_is_rejected() {
+    let dir = scratch("symbols");
+    run(&args(&["export-example", dir.to_str().unwrap()])).expect("export");
+    let seq = dir.join("hospital.tms");
+    let query = dir.join("room_tracker.tmt");
+    let e = run(&args(&[
+        "confidence",
+        seq.to_str().unwrap(),
+        query.to_str().unwrap(),
+        "bogus",
+    ]))
+    .unwrap_err();
+    assert!(e.message.contains("unknown output symbol"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = run(&args(&["help"])).expect("help");
+    assert!(out.contains("USAGE"));
+}
+
+#[test]
+fn sprojector_extraction_commands() {
+    let dir = scratch("sproj");
+    // A 4-step chain over {a, b}: mostly a's.
+    let seq_text = "markov-sequence v1\nalphabet a b\nlength 4\ninitial 0.8 0.2\nstep 0\n0.8 0.2\n0.8 0.2\nstep 1\n0.8 0.2\n0.8 0.2\nstep 2\n0.8 0.2\n0.8 0.2\n";
+    let proj_text = "sprojector v1\nalphabet ab\nprefix .*\npattern a+\nsuffix .*\n";
+    let seq = dir.join("chain.tms");
+    let proj = dir.join("runs.tmp");
+    std::fs::write(&seq, seq_text).unwrap();
+    std::fs::write(&proj, proj_text).unwrap();
+
+    let out = run(&args(&["extract", seq.to_str().unwrap(), proj.to_str().unwrap(), "--k", "3"]))
+        .expect("extract");
+    assert_eq!(out.lines().count(), 3, "{out}");
+    assert!(out.contains("I_max"), "{out}");
+    assert!(out.lines().next().unwrap().starts_with('a'), "{out}");
+
+    let out = run(&args(&[
+        "occurrences",
+        seq.to_str().unwrap(),
+        proj.to_str().unwrap(),
+        "--k",
+        "4",
+    ]))
+    .expect("occurrences");
+    assert_eq!(out.lines().count(), 4, "{out}");
+    assert!(out.contains(" at "), "{out}");
+
+    // Confidences in the occurrences listing are non-increasing.
+    let confs: Vec<f64> = out
+        .lines()
+        .map(|l| l.rsplit('=').next().unwrap().trim().parse().unwrap())
+        .collect();
+    for w in confs.windows(2) {
+        assert!(w[0] >= w[1] - 1e-9);
+    }
+
+    // A malformed projector file reports its line.
+    let bad = dir.join("bad.tmp");
+    std::fs::write(&bad, "sprojector v1\nalphabet ab\nprefix .*\npattern [a\nsuffix .*\n").unwrap();
+    let e = run(&args(&["extract", seq.to_str().unwrap(), bad.to_str().unwrap()])).unwrap_err();
+    assert!(e.message.contains("line 4"), "{}", e.message);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn posterior_command_conditions_an_hmm() {
+    let dir = scratch("posterior");
+    let model = dir.join("weather.tmh");
+    std::fs::write(
+        &model,
+        "hmm v1\nhidden rain sun\nobservations umbrella none\ninitial 0.5 0.5\ntransition\n0.7 0.3\n0.3 0.7\nemission\n0.9 0.1\n0.2 0.8\n",
+    )
+    .unwrap();
+    let out_file = dir.join("posterior.tms");
+    let out = run(&args(&[
+        "posterior",
+        model.to_str().unwrap(),
+        "--out",
+        out_file.to_str().unwrap(),
+        "umbrella",
+        "umbrella",
+        "none",
+    ]))
+    .expect("posterior");
+    assert!(out.contains("wrote"), "{out}");
+    // The written file is a valid sequence; its MAP string starts rainy.
+    let shown = run(&args(&["map", out_file.to_str().unwrap()])).expect("map");
+    assert!(shown.starts_with("rain rain"), "{shown}");
+    // Without --out, the sequence is printed to stdout.
+    let printed = run(&args(&[
+        "posterior",
+        model.to_str().unwrap(),
+        "umbrella",
+    ]))
+    .expect("posterior stdout");
+    assert!(printed.starts_with("markov-sequence v1"), "{printed}");
+    // Unknown observations are rejected.
+    let e = run(&args(&["posterior", model.to_str().unwrap(), "snow"])).unwrap_err();
+    assert!(e.message.contains("unknown observation"), "{}", e.message);
+    let _ = std::fs::remove_dir_all(&dir);
+}
