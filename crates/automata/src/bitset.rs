@@ -51,7 +51,11 @@ impl BitSet {
     /// Inserts `value`. Panics if `value >= capacity`.
     #[inline]
     pub fn insert(&mut self, value: usize) {
-        assert!(value < self.capacity, "bit {value} out of capacity {}", self.capacity);
+        assert!(
+            value < self.capacity,
+            "bit {value} out of capacity {}",
+            self.capacity
+        );
         self.words[value / 64] |= 1u64 << (value % 64);
     }
 

@@ -54,7 +54,10 @@ impl Dfa {
 
     /// Sets the initial state.
     pub fn set_initial(&mut self, state: StateId) {
-        assert!(state.index() < self.n_states(), "initial state out of range");
+        assert!(
+            state.index() < self.n_states(),
+            "initial state out of range"
+        );
         self.initial = state;
     }
 
@@ -122,7 +125,10 @@ impl Dfa {
     /// Checks that the DFA is complete and all ids are in range.
     pub fn validate(&self) -> Result<(), AutomataError> {
         if self.n_states() == 0 {
-            return Err(AutomataError::InvalidState { state: 0, n_states: 0 });
+            return Err(AutomataError::InvalidState {
+                state: 0,
+                n_states: 0,
+            });
         }
         if self.initial.index() >= self.n_states() {
             return Err(AutomataError::InvalidState {
@@ -134,7 +140,11 @@ impl Dfa {
             for s in 0..self.n_symbols {
                 let to = self.delta[q * self.n_symbols + s];
                 if to == UNSET {
-                    return Err(AutomataError::NotDeterministic { state: q, symbol: s, arity: 0 });
+                    return Err(AutomataError::NotDeterministic {
+                        state: q,
+                        symbol: s,
+                        arity: 0,
+                    });
                 }
                 if to.index() >= self.n_states() {
                     return Err(AutomataError::InvalidState {
@@ -285,7 +295,13 @@ mod tests {
         let n = d.to_nfa();
         assert!(n.is_deterministic());
         let (a, b) = (SymbolId(0), SymbolId(1));
-        for s in [vec![], vec![a], vec![a, a], vec![b, a, a, b], vec![a, b, a, a]] {
+        for s in [
+            vec![],
+            vec![a],
+            vec![a, a],
+            vec![b, a, a, b],
+            vec![a, b, a, a],
+        ] {
             assert_eq!(d.accepts(&s), n.accepts(&s), "mismatch on {s:?}");
         }
     }

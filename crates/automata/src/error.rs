@@ -56,15 +56,25 @@ impl fmt::Display for AutomataError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AutomataError::InvalidState { state, n_states } => {
-                write!(f, "state {state} out of range (automaton has {n_states} states)")
+                write!(
+                    f,
+                    "state {state} out of range (automaton has {n_states} states)"
+                )
             }
             AutomataError::InvalidSymbol { symbol, n_symbols } => {
-                write!(f, "symbol {symbol} out of range (alphabet has {n_symbols} symbols)")
+                write!(
+                    f,
+                    "symbol {symbol} out of range (alphabet has {n_symbols} symbols)"
+                )
             }
             AutomataError::AlphabetMismatch { left, right } => {
                 write!(f, "alphabet size mismatch: {left} vs {right}")
             }
-            AutomataError::NotDeterministic { state, symbol, arity } => write!(
+            AutomataError::NotDeterministic {
+                state,
+                symbol,
+                arity,
+            } => write!(
                 f,
                 "automaton is not deterministic: delta({state}, {symbol}) has {arity} successors"
             ),

@@ -58,7 +58,10 @@ impl Nfa {
 
     /// Sets the initial state.
     pub fn set_initial(&mut self, state: StateId) {
-        assert!(state.index() < self.n_states(), "initial state out of range");
+        assert!(
+            state.index() < self.n_states(),
+            "initial state out of range"
+        );
         self.initial = state;
     }
 
@@ -176,7 +179,10 @@ impl Nfa {
     /// defensive check for automata produced by external constructors.
     pub fn validate(&self) -> Result<(), AutomataError> {
         if self.n_states() == 0 {
-            return Err(AutomataError::InvalidState { state: 0, n_states: 0 });
+            return Err(AutomataError::InvalidState {
+                state: 0,
+                n_states: 0,
+            });
         }
         if self.initial.index() >= self.n_states() {
             return Err(AutomataError::InvalidState {

@@ -369,11 +369,7 @@ pub fn minimize(dfa: &Dfa) -> Dfa {
         }
     }
     let reachable: Vec<usize> = (0..dfa.n_states()).filter(|&q| reach[q]).collect();
-    let dense: HashMap<usize, usize> = reachable
-        .iter()
-        .enumerate()
-        .map(|(i, &q)| (q, i))
-        .collect();
+    let dense: HashMap<usize, usize> = reachable.iter().enumerate().map(|(i, &q)| (q, i)).collect();
 
     // 2. Moore refinement over reachable states.
     let n = reachable.len();
@@ -420,7 +416,11 @@ pub fn minimize(dfa: &Dfa) -> Dfa {
         for s in 0..dfa.n_symbols() {
             let to = dfa.step(StateId(q as u32), SymbolId(s as u32));
             let to_class = class[dense[&to.index()]];
-            out.set_transition(StateId(c as u32), SymbolId(s as u32), StateId(to_class as u32));
+            out.set_transition(
+                StateId(c as u32),
+                SymbolId(s as u32),
+                StateId(to_class as u32),
+            );
         }
     }
     out.set_initial(StateId(class[dense[&dfa.initial().index()]] as u32));
@@ -567,10 +567,7 @@ mod tests {
         l2e.add_transition(b0, sym(1), b1);
         let cat2 = concat_nfa(&l1, &l2e).unwrap();
         for s in all_strings(2, 4) {
-            let expect = s.is_empty()
-                || s == [sym(0)]
-                || s == [sym(1)]
-                || s == [sym(0), sym(1)];
+            let expect = s.is_empty() || s == [sym(0)] || s == [sym(1)] || s == [sym(0), sym(1)];
             assert_eq!(cat2.accepts(&s), expect, "mismatch on {s:?}");
         }
     }
@@ -596,7 +593,12 @@ mod tests {
         let o1 = d.add_state(false);
         let unreachable = d.add_sink_state(true);
         let _ = unreachable;
-        for (q, (on_a, on_b)) in [(e0, (o1, e1)), (o0, (e1, o1)), (e1, (o0, e0)), (o1, (e0, o0))] {
+        for (q, (on_a, on_b)) in [
+            (e0, (o1, e1)),
+            (o0, (e1, o1)),
+            (e1, (o0, e0)),
+            (o1, (e0, o0)),
+        ] {
             d.set_transition(q, sym(0), on_a);
             d.set_transition(q, sym(1), on_b);
         }

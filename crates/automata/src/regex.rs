@@ -238,7 +238,8 @@ impl Parser<'_> {
                     }
                 }
                 Some(lo) => {
-                    if self.peek() == Some('-') && self.chars.get(self.pos + 1).map(|&(_, c)| c) != Some(']')
+                    if self.peek() == Some('-')
+                        && self.chars.get(self.pos + 1).map(|&(_, c)| c) != Some(']')
                     {
                         self.bump(); // '-'
                         let hi = self.bump().ok_or_else(|| self.err("unterminated range"))?;
@@ -305,7 +306,9 @@ impl Parser<'_> {
         let id = self
             .alphabet
             .get(&c.to_string())
-            .ok_or(AutomataError::UnknownSymbol { symbol: c.to_string() })?;
+            .ok_or(AutomataError::UnknownSymbol {
+                symbol: c.to_string(),
+            })?;
         Ok(BitSet::singleton(self.alphabet.len(), id.index()))
     }
 }
@@ -324,12 +327,20 @@ struct Analysis {
 fn glushkov(re: &Regex, n_symbols: usize) -> Nfa {
     fn analyze(re: &Regex, classes: &mut Vec<BitSet>, follow: &mut Vec<Vec<usize>>) -> Analysis {
         match re {
-            Regex::Epsilon => Analysis { nullable: true, first: vec![], last: vec![] },
+            Regex::Epsilon => Analysis {
+                nullable: true,
+                first: vec![],
+                last: vec![],
+            },
             Regex::Class(set) => {
                 let pos = classes.len();
                 classes.push(set.clone());
                 follow.push(Vec::new());
-                Analysis { nullable: false, first: vec![pos], last: vec![pos] }
+                Analysis {
+                    nullable: false,
+                    first: vec![pos],
+                    last: vec![pos],
+                }
             }
             Regex::Concat(a, b) => {
                 let left = analyze(a, classes, follow);
@@ -345,7 +356,11 @@ fn glushkov(re: &Regex, n_symbols: usize) -> Nfa {
                 if right.nullable {
                     last.extend(left.last.iter().copied());
                 }
-                Analysis { nullable: left.nullable && right.nullable, first, last }
+                Analysis {
+                    nullable: left.nullable && right.nullable,
+                    first,
+                    last,
+                }
             }
             Regex::Alt(a, b) => {
                 let left = analyze(a, classes, follow);
@@ -354,14 +369,22 @@ fn glushkov(re: &Regex, n_symbols: usize) -> Nfa {
                 first.extend(right.first);
                 let mut last = left.last;
                 last.extend(right.last);
-                Analysis { nullable: left.nullable || right.nullable, first, last }
+                Analysis {
+                    nullable: left.nullable || right.nullable,
+                    first,
+                    last,
+                }
             }
             Regex::Star(a) => {
                 let inner = analyze(a, classes, follow);
                 for &l in &inner.last {
                     follow[l].extend(inner.first.iter().copied());
                 }
-                Analysis { nullable: true, first: inner.first, last: inner.last }
+                Analysis {
+                    nullable: true,
+                    first: inner.first,
+                    last: inner.last,
+                }
             }
         }
     }
@@ -448,7 +471,9 @@ mod tests {
     #[test]
     fn star_plus_opt() {
         check("a*", &ab(), |s| s.chars().all(|c| c == 'a'));
-        check("a+", &ab(), |s| !s.is_empty() && s.chars().all(|c| c == 'a'));
+        check("a+", &ab(), |s| {
+            !s.is_empty() && s.chars().all(|c| c == 'a')
+        });
         check("ab?", &ab(), |s| s == "a" || s == "ab");
         check("(ab)*", &ab(), |s| {
             s.len() % 2 == 0 && s.as_bytes().chunks(2).all(|c| c == b"ab")
@@ -485,11 +510,17 @@ mod tests {
         // The paper's Example 5.1 patterns, over a toy character alphabet.
         let alpha = Alphabet::of_chars("Name:Hilary s");
         let b = Regex::to_nfa(".*Name:", &alpha).unwrap();
-        let text: Vec<_> = "aNme:Name:".chars().map(|c| alpha.sym(&c.to_string())).collect();
+        let text: Vec<_> = "aNme:Name:"
+            .chars()
+            .map(|c| alpha.sym(&c.to_string()))
+            .collect();
         let _ = text; // (symbols 'a'… may not exist; just exercise compile)
         assert!(b.n_states() > 0);
         let body = Regex::to_nfa("[a-zA-Z,]+", &alpha).unwrap();
-        let h: Vec<_> = "Hilary".chars().map(|c| alpha.sym(&c.to_string())).collect();
+        let h: Vec<_> = "Hilary"
+            .chars()
+            .map(|c| alpha.sym(&c.to_string()))
+            .collect();
         assert!(body.accepts(&h));
     }
 

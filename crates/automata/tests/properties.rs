@@ -19,7 +19,12 @@ struct NfaSpec {
 }
 
 fn nfa_spec() -> impl Strategy<Value = NfaSpec> {
-    (1usize..=3, 1usize..=4, any::<u32>(), proptest::collection::vec(any::<(u8, u8, u8)>(), 0..20))
+    (
+        1usize..=3,
+        1usize..=4,
+        any::<u32>(),
+        proptest::collection::vec(any::<(u8, u8, u8)>(), 0..20),
+    )
         .prop_map(|(n_symbols, n_states, accepting_mask, edges)| NfaSpec {
             n_symbols,
             n_states,
@@ -171,7 +176,10 @@ mod regex_props {
         let leaf = prop_oneof![
             Just(Regex::Epsilon),
             (0..alphabet_len as u32).prop_map(move |c| {
-                Regex::Class(transmark_automata::BitSet::singleton(alphabet_len, c as usize))
+                Regex::Class(transmark_automata::BitSet::singleton(
+                    alphabet_len,
+                    c as usize,
+                ))
             }),
         ];
         leaf.prop_recursive(3, 12, 2, |inner| {

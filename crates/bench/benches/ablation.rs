@@ -34,7 +34,8 @@ fn defeat_uniformity(t: &Transducer) -> Transducer {
     b.set_initial(t.initial());
     for (from, sym, e) in t.transitions() {
         let em = t.emission(e.emission).to_vec();
-        b.add_transition(from, sym, e.target, &em).expect("copy is valid");
+        b.add_transition(from, sym, e.target, &em)
+            .expect("copy is valid");
     }
     // Unreachable ghost edges (no incoming transitions): one long emission
     // defeats uniformity; the rest keep the machine a complete DFA, since
@@ -48,7 +49,10 @@ fn defeat_uniformity(t: &Transducer) -> Transducer {
     }
     let out = b.build().expect("ghost copy builds");
     assert_eq!(out.uniform_emission(), None);
-    assert!(out.is_deterministic(), "ablation needs the deterministic path");
+    assert!(
+        out.is_deterministic(),
+        "ablation needs the deterministic path"
+    );
     out
 }
 
@@ -90,10 +94,18 @@ fn bench_top_answer_route(c: &mut Criterion) {
         let (p, m, _) = sproj_instance(n, 3, 3, 3, 53);
         let compiled = to_transducer(&p).expect("compiles");
         g.bench_with_input(BenchmarkId::new("indexed_dag_thm57", n), &n, |b, _| {
-            b.iter(|| enumerate_indexed(black_box(&p), black_box(&m)).unwrap().next())
+            b.iter(|| {
+                enumerate_indexed(black_box(&p), black_box(&m))
+                    .unwrap()
+                    .next()
+            })
         });
         g.bench_with_input(BenchmarkId::new("lawler_imax_lemma510", n), &n, |b, _| {
-            b.iter(|| enumerate_by_imax_lawler(black_box(&p), black_box(&m)).unwrap().next())
+            b.iter(|| {
+                enumerate_by_imax_lawler(black_box(&p), black_box(&m))
+                    .unwrap()
+                    .next()
+            })
         });
         g.bench_with_input(BenchmarkId::new("emax_on_compiled_thm43", n), &n, |b, _| {
             b.iter(|| transmark_core::emax::top_by_emax(black_box(&compiled), black_box(&m)))
@@ -101,7 +113,6 @@ fn bench_top_answer_route(c: &mut Criterion) {
     }
     g.finish();
 }
-
 
 /// Short sampling windows: these benches confirm complexity *shapes*
 /// (what grows in which parameter), for which Criterion's default 5-second

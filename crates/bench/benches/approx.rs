@@ -53,7 +53,6 @@ fn bench_running_example(c: &mut Criterion) {
     });
 }
 
-
 /// Short sampling windows: these benches confirm complexity *shapes*
 /// (what grows in which parameter), for which Criterion's default 5-second
 /// windows are overkill; `cargo bench --workspace` stays minutes, not hours.

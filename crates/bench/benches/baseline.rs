@@ -52,7 +52,6 @@ fn bench_plans(c: &mut Criterion) {
     g.finish();
 }
 
-
 /// Short sampling windows: these benches confirm complexity *shapes*
 /// (what grows in which parameter), for which Criterion's default 5-second
 /// windows are overkill; `cargo bench --workspace` stays minutes, not hours.

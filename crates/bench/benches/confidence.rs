@@ -15,8 +15,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use transmark_bench::{chain, instance_with_answer, sproj_instance};
 use transmark_core::confidence::{
-    acceptance_probability, confidence_deterministic, confidence_general,
-    confidence_uniform_nfa,
+    acceptance_probability, confidence_deterministic, confidence_general, confidence_uniform_nfa,
 };
 use transmark_core::generate::TransducerClass;
 use transmark_sproj::indexed::IndexedEvaluator;
@@ -109,7 +108,6 @@ fn bench_acceptance(c: &mut Criterion) {
     }
     g.finish();
 }
-
 
 /// Short sampling windows: these benches confirm complexity *shapes*
 /// (what grows in which parameter), for which Criterion's default 5-second

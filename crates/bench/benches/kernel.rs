@@ -1,0 +1,103 @@
+//! Criterion benches for the `transmark-kernel` primitives themselves:
+//! the cost of precompiling the sparse structures (amortized once per
+//! query) and the per-layer cost of the three semiring drivers over the
+//! same step graph. These isolate the kernel from the query-level
+//! algorithms benched in `confidence.rs` / `enumeration.rs`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use transmark_bench::{chain, instance_with_answer};
+use transmark_core::generate::TransducerClass;
+use transmark_core::kernelize::output_step_graph;
+use transmark_kernel::{advance, Bool, MaxLog, Prob, Semiring, SparseSteps, StepGraph, Workspace};
+
+const N: usize = 256;
+const SYMBOLS: usize = 8;
+
+fn bench_precompile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel/precompile");
+    let m = chain(N, SYMBOLS, 11);
+    g.bench_function("sparse_steps", |b| b.iter(|| black_box(&m).sparse_steps()));
+    let (t, _, o) = instance_with_answer(TransducerClass::Deterministic, N, SYMBOLS, 3, 1);
+    g.bench_function("output_step_graph", |b| {
+        b.iter(|| output_step_graph(black_box(&t), black_box(&o)))
+    });
+    g.finish();
+}
+
+/// One full forward pass (seed + all layers + swap) under semiring `S`,
+/// reusing the workspace across iterations as the migrated passes do.
+fn forward_pass<S: Semiring>(
+    steps: &SparseSteps,
+    graph: &StepGraph,
+    init_row: u32,
+    ws: &mut Workspace<S::Elem>,
+) {
+    let nr = graph.n_rows();
+    ws.reset(steps.n_nodes() * nr, S::zero());
+    for &(node, p) in steps.initial() {
+        for e in graph.edges(node, init_row) {
+            let cell = &mut ws.cur_mut()[node as usize * nr + e.to as usize];
+            S::accum(cell, S::from_prob(p));
+        }
+    }
+    for step in 0..steps.n_steps() {
+        ws.clear_next(S::zero());
+        let (cur, next) = ws.buffers();
+        advance::<S>(steps, step, graph, cur, next);
+        ws.swap();
+    }
+    black_box(ws.cur());
+}
+
+fn bench_semirings(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel/forward_pass");
+    let (t, m, o) = instance_with_answer(TransducerClass::Deterministic, N, SYMBOLS, 3, 1);
+    let steps = m.sparse_steps();
+    let graph = output_step_graph(&t, &o);
+    let init_row = (t.initial().index() * (o.len() + 1)) as u32;
+
+    let mut ws_p: Workspace<f64> = Workspace::new();
+    g.bench_function("prob", |b| {
+        b.iter(|| forward_pass::<Prob>(&steps, &graph, init_row, &mut ws_p))
+    });
+    let mut ws_m: Workspace<f64> = Workspace::new();
+    g.bench_function("maxlog", |b| {
+        b.iter(|| forward_pass::<MaxLog>(&steps, &graph, init_row, &mut ws_m))
+    });
+    let mut ws_b: Workspace<bool> = Workspace::new();
+    g.bench_function("bool", |b| {
+        b.iter(|| forward_pass::<Bool>(&steps, &graph, init_row, &mut ws_b))
+    });
+    g.finish();
+}
+
+fn bench_sparsity(c: &mut Criterion) {
+    // The same pass over chains of increasing sparsity: the CSR rows
+    // shrink with the number of surviving transitions, so the layer cost
+    // should track the nonzero count, not |Σ|².
+    let mut g = c.benchmark_group("kernel/sparsity");
+    let (t, _, o) = instance_with_answer(TransducerClass::Deterministic, N, SYMBOLS, 3, 1);
+    let graph = output_step_graph(&t, &o);
+    let init_row = (t.initial().index() * (o.len() + 1)) as u32;
+    for zero_pct in [0usize, 50, 80] {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
+        let m = transmark_markov::generate::random_markov_sequence(
+            &transmark_markov::generate::RandomChainSpec {
+                len: N,
+                n_symbols: t.n_input_symbols(),
+                zero_prob: zero_pct as f64 / 100.0,
+            },
+            &mut rng,
+        );
+        let steps = m.sparse_steps();
+        let mut ws: Workspace<f64> = Workspace::new();
+        g.bench_with_input(BenchmarkId::from_parameter(zero_pct), &zero_pct, |b, _| {
+            b.iter(|| forward_pass::<Prob>(&steps, &graph, init_row, &mut ws))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_precompile, bench_semirings, bench_sparsity);
+criterion_main!(benches);

@@ -55,8 +55,7 @@ fn main() {
         use transmark_bench::instance_with_answer;
         use transmark_core::enumerate::{enumerate_by_emax, enumerate_unranked};
         use transmark_core::generate::TransducerClass;
-        let (t, m, _) =
-            instance_with_answer(TransducerClass::Deterministic, 16, 3, 3, 2024);
+        let (t, m, _) = instance_with_answer(TransducerClass::Deterministic, 16, 3, 3, 2024);
         let mut ranked = enumerate_by_emax(&t, &m).expect("enumerate");
         let mut unranked = enumerate_unranked(&t, &m).expect("enumerate");
         let mut max_stack = 0usize;

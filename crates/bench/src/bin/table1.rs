@@ -19,7 +19,10 @@ fn main() {
         let names: Vec<&str> = alphabet.iter().map(|(_, n)| n).collect();
         names.join(", ")
     });
-    println!("μ0→(r1a) = {} (paper: 0.7)", mu.initial_prob(alphabet.sym("r1a")));
+    println!(
+        "μ0→(r1a) = {} (paper: 0.7)",
+        mu.initial_prob(alphabet.sym("r1a"))
+    );
     println!(
         "μ3→(la, lb) = {} (paper: 0.1)",
         mu.transition_prob(2, alphabet.sym("la"), alphabet.sym("lb"))
@@ -35,7 +38,10 @@ fn main() {
     );
 
     println!("\n=== Table 1: Random strings and their output ===");
-    println!("{:<8}{:<30}{:>12}   {:<8}output", "string", "value", "probability", "paper");
+    println!(
+        "{:<8}{:<30}{:>12}   {:<8}output",
+        "string", "value", "probability", "paper"
+    );
     let mut all_ok = true;
     for row in table1_rows() {
         let s: Vec<_> = row.string.iter().map(|n| alphabet.sym(n)).collect();
@@ -61,10 +67,25 @@ fn main() {
     let twelve = places(&["1", "2"]);
     let conf = confidence(&t, &mu, &twelve).expect("confidence");
     let emax = emax_of_output(&t, &mu, &twelve).expect("emax").exp();
-    println!("\nExample 3.4: conf(12) = {conf:.4} (paper: {CONF_12})  {}",
-        if (conf - CONF_12).abs() < 1e-9 { "✓" } else { "✗" });
-    println!("Example 4.2: E_max(12) = {emax:.4} (paper: 0.3969)  {}",
-        if (emax - 0.3969).abs() < 1e-9 { "✓" } else { "✗" });
-    assert!(all_ok && (conf - CONF_12).abs() < 1e-9, "Table 1 reproduction failed");
+    println!(
+        "\nExample 3.4: conf(12) = {conf:.4} (paper: {CONF_12})  {}",
+        if (conf - CONF_12).abs() < 1e-9 {
+            "✓"
+        } else {
+            "✗"
+        }
+    );
+    println!(
+        "Example 4.2: E_max(12) = {emax:.4} (paper: 0.3969)  {}",
+        if (emax - 0.3969).abs() < 1e-9 {
+            "✓"
+        } else {
+            "✗"
+        }
+    );
+    assert!(
+        all_ok && (conf - CONF_12).abs() < 1e-9,
+        "Table 1 reproduction failed"
+    );
     println!("\nAll Table 1 values reproduced exactly.");
 }

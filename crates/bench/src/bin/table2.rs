@@ -38,7 +38,11 @@ fn row1_confidence() {
         let dt = time_median(5, || {
             let _ = confidence_general(&t, &m, &o).expect("confidence");
         });
-        println!("  |Q| = {nq}: n = 12, |o| = {:<3} {:>12}", o.len(), fmt_time(dt));
+        println!(
+            "  |Q| = {nq}: n = 12, |o| = {:<3} {:>12}",
+            o.len(),
+            fmt_time(dt)
+        );
     }
 
     println!("\ngeneral, FIXED machine (Thm 4.9 regime — data complexity of the exact algorithm):");
@@ -47,7 +51,11 @@ fn row1_confidence() {
         let dt = time_median(3, || {
             let _ = confidence_general(&t, &m, &o).expect("confidence");
         });
-        println!("  n = {n:>2}: |o| = {:<3}            {:>12}", o.len(), fmt_time(dt));
+        println!(
+            "  n = {n:>2}: |o| = {:<3}            {:>12}",
+            o.len(),
+            fmt_time(dt)
+        );
     }
 
     println!("\nuniform emission, nondeterministic (Thm 4.8; exponential in |Q| only):");
@@ -65,7 +73,11 @@ fn row1_confidence() {
         let dt = time_median(5, || {
             let _ = confidence_deterministic(&t, &m, &o).expect("confidence");
         });
-        println!("  |Q| = {nq:>2}, n = {n:>3}: |o| = {:<4} {:>12}", o.len(), fmt_time(dt));
+        println!(
+            "  |Q| = {nq:>2}, n = {n:>3}: |o| = {:<4} {:>12}",
+            o.len(),
+            fmt_time(dt)
+        );
     }
 
     println!("\ns-projector (Thm 5.5; exponential only in |Q_E| — Thm 5.4 forces this):");
@@ -103,25 +115,49 @@ fn row2_ranked_delays() {
 
     let (t, m, _) = instance_with_answer(TransducerClass::Deterministic, 24, 3, 3, 5);
     let dt = time_median(3, || {
-        let _ = enumerate_unranked(&t, &m).expect("enumerate").take(k).count();
+        let _ = enumerate_unranked(&t, &m)
+            .expect("enumerate")
+            .take(k)
+            .count();
     });
-    println!("  unranked, poly delay + poly space (Thm 4.1):   {:>10}/answer", fmt_time(dt / k as f64));
+    println!(
+        "  unranked, poly delay + poly space (Thm 4.1):   {:>10}/answer",
+        fmt_time(dt / k as f64)
+    );
 
     let dt = time_median(3, || {
-        let _ = enumerate_by_emax(&t, &m).expect("enumerate").take(k).count();
+        let _ = enumerate_by_emax(&t, &m)
+            .expect("enumerate")
+            .take(k)
+            .count();
     });
-    println!("  decreasing E_max (Thm 4.3, ratio |Σ|^n):       {:>10}/answer", fmt_time(dt / k as f64));
+    println!(
+        "  decreasing E_max (Thm 4.3, ratio |Σ|^n):       {:>10}/answer",
+        fmt_time(dt / k as f64)
+    );
 
     let (p, m, _) = sproj_instance(48, 3, 3, 3, 29);
     let dt = time_median(3, || {
-        let _ = enumerate_by_imax(&p, &m).expect("enumerate").take(k).count();
+        let _ = enumerate_by_imax(&p, &m)
+            .expect("enumerate")
+            .take(k)
+            .count();
     });
-    println!("  decreasing I_max (Thm 5.2, ratio n):           {:>10}/answer", fmt_time(dt / k as f64));
+    println!(
+        "  decreasing I_max (Thm 5.2, ratio n):           {:>10}/answer",
+        fmt_time(dt / k as f64)
+    );
 
     let dt = time_median(3, || {
-        let _ = enumerate_indexed(&p, &m).expect("enumerate").take(k).count();
+        let _ = enumerate_indexed(&p, &m)
+            .expect("enumerate")
+            .take(k)
+            .count();
     });
-    println!("  decreasing confidence, indexed (Thm 5.7):      {:>10}/answer", fmt_time(dt / k as f64));
+    println!(
+        "  decreasing confidence, indexed (Thm 5.7):      {:>10}/answer",
+        fmt_time(dt / k as f64)
+    );
     println!();
 }
 
@@ -151,7 +187,10 @@ fn row3_inapproximability() {
         let a = [m.alphabet().sym("a")];
         let conf = sproj_confidence(&p, &m, &a).expect("confidence");
         let imax = transmark_sproj::enumerate::imax_of_output(&p, &m, &a).expect("imax");
-        println!("    n = {n:>3}: conf/I_max = {:>7.2} (bound: n = {n})", conf / imax);
+        println!(
+            "    n = {n:>3}: conf/I_max = {:>7.2} (bound: n = {n})",
+            conf / imax
+        );
     }
     println!("\n  indexed s-projector: exact order — ratio 1 by construction (Thm 5.7).");
 

@@ -26,14 +26,23 @@ use transmark_sproj::SProjector;
 pub fn chain(n: usize, n_symbols: usize, seed: u64) -> MarkovSequence {
     let mut rng = StdRng::seed_from_u64(seed);
     random_markov_sequence(
-        &RandomChainSpec { len: n, n_symbols, zero_prob: 0.2 },
+        &RandomChainSpec {
+            len: n,
+            n_symbols,
+            zero_prob: 0.2,
+        },
         &mut rng,
     )
 }
 
 /// A reproducible transducer of the given class over `n_symbols` input
 /// symbols and 2 output symbols.
-pub fn transducer(class: TransducerClass, n_states: usize, n_symbols: usize, seed: u64) -> Transducer {
+pub fn transducer(
+    class: TransducerClass,
+    n_states: usize,
+    n_symbols: usize,
+    seed: u64,
+) -> Transducer {
     let mut rng = StdRng::seed_from_u64(seed);
     random_transducer(
         &RandomTransducerSpec {
@@ -72,8 +81,9 @@ pub fn random_dfa(n_symbols: usize, n_states: usize, seed: u64) -> Dfa {
     use rand::RngExt;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut d = Dfa::new(n_symbols);
-    let states: Vec<StateId> =
-        (0..n_states).map(|_| d.add_state(rng.random_bool(0.5))).collect();
+    let states: Vec<StateId> = (0..n_states)
+        .map(|_| d.add_state(rng.random_bool(0.5)))
+        .collect();
     d.set_accepting(states[rng.random_range(0..n_states)], true);
     for &q in &states {
         for s in 0..n_symbols {
@@ -114,8 +124,7 @@ pub fn sproj_instance(
         };
         let e = random_dfa(n_symbols, qe, s + 2);
         let p = SProjector::new(m.alphabet_arc(), b, a, e).expect("valid projector");
-        if let Ok(Some(first)) = transmark_sproj::enumerate_indexed(&p, &m)
-            .map(|mut it| it.next())
+        if let Ok(Some(first)) = transmark_sproj::enumerate_indexed(&p, &m).map(|mut it| it.next())
         {
             return (p, m, first.output);
         }

@@ -44,7 +44,11 @@ pub fn ranked_by_confidence(
     m: &MarkovSequence,
 ) -> Result<Vec<(Vec<SymbolId>, f64)>, EngineError> {
     let mut v: Vec<(Vec<SymbolId>, f64)> = evaluate(t, m)?.into_iter().collect();
-    v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN").then_with(|| a.0.cmp(&b.0)));
+    v.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("no NaN")
+            .then_with(|| a.0.cmp(&b.0))
+    });
     Ok(v)
 }
 

@@ -91,7 +91,11 @@ pub fn certified_top_by_confidence(
     match best {
         None => Ok(None),
         Some((output, confidence)) => {
-            let residual = if exhausted { 0.0 } else { (total_mass - seen_mass).max(0.0) };
+            let residual = if exhausted {
+                0.0
+            } else {
+                (total_mass - seen_mass).max(0.0)
+            };
             Ok(Some(CertifiedTop {
                 output,
                 confidence,
@@ -158,7 +162,11 @@ pub fn certified_top_k_by_confidence(
             break;
         }
     }
-    let residual = if exhausted { 0.0 } else { (total_mass - seen_mass).max(0.0) };
+    let residual = if exhausted {
+        0.0
+    } else {
+        (total_mass - seen_mass).max(0.0)
+    };
     Ok(CertifiedTopK {
         answers: top,
         certified: exhausted,
@@ -180,7 +188,11 @@ mod tests {
         for seed in 0..30u64 {
             let mut rng = StdRng::seed_from_u64(seed);
             let m = random_markov_sequence(
-                &RandomChainSpec { len: 3, n_symbols: 2, zero_prob: 0.3 },
+                &RandomChainSpec {
+                    len: 3,
+                    n_symbols: 2,
+                    zero_prob: 0.3,
+                },
                 &mut rng,
             );
             let t = random_transducer(
@@ -241,9 +253,14 @@ mod tests {
         tb.add_transition(q, b_, q, &[b_]).unwrap();
         let t = tb.build().unwrap();
 
-        let got = certified_top_by_confidence(&t, &m, usize::MAX).unwrap().unwrap();
+        let got = certified_top_by_confidence(&t, &m, usize::MAX)
+            .unwrap()
+            .unwrap();
         assert!(got.certified);
-        assert_eq!(got.answers_inspected, 1, "aaaa's mass certifies immediately");
+        assert_eq!(
+            got.answers_inspected, 1,
+            "aaaa's mass certifies immediately"
+        );
         assert_eq!(got.output, vec![a; 4]);
     }
 
@@ -272,7 +289,9 @@ mod tests {
         assert_eq!(small.answers_inspected, 3);
         // …an unlimited budget certifies only near the end (8 answers of
         // mass 1/8 each: residual after 7 is 1/8 = best).
-        let full = certified_top_by_confidence(&t, &m, usize::MAX).unwrap().unwrap();
+        let full = certified_top_by_confidence(&t, &m, usize::MAX)
+            .unwrap()
+            .unwrap();
         assert!(full.certified);
         assert!(full.answers_inspected >= 7);
     }
@@ -281,7 +300,11 @@ mod tests {
     fn nondeterministic_machines_are_rejected() {
         let mut rng = StdRng::seed_from_u64(1);
         let m = random_markov_sequence(
-            &RandomChainSpec { len: 2, n_symbols: 2, zero_prob: 0.2 },
+            &RandomChainSpec {
+                len: 2,
+                n_symbols: 2,
+                zero_prob: 0.2,
+            },
             &mut rng,
         );
         let t = random_transducer(
@@ -307,7 +330,11 @@ mod tests {
         for seed in 50..70u64 {
             let mut rng = StdRng::seed_from_u64(seed);
             let m = random_markov_sequence(
-                &RandomChainSpec { len: 3, n_symbols: 2, zero_prob: 0.25 },
+                &RandomChainSpec {
+                    len: 3,
+                    n_symbols: 2,
+                    zero_prob: 0.25,
+                },
                 &mut rng,
             );
             let t = random_transducer(

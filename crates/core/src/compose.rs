@@ -227,7 +227,10 @@ mod tests {
         let d = dedup_rooms();
         let composite = compose(&c, &d).unwrap();
         let alphabet = c.input_alphabet_arc();
-        let m = MarkovSequenceBuilder::new(alphabet, 3).uniform_all().build().unwrap();
+        let m = MarkovSequenceBuilder::new(alphabet, 3)
+            .uniform_all()
+            .build()
+            .unwrap();
         let truth = crate::brute::evaluate(&composite, &m).unwrap();
         assert!(!truth.is_empty());
         for (o, want) in truth {

@@ -22,17 +22,18 @@
 //! * [`acceptance_probability`] — `Pr(S ∈ L(A))` for an NFA, the engine
 //!   behind 0-uniform queries, Theorem 5.5, and nonemptiness tests.
 //!
-//! All sums use compensated accumulation at the final reduction; per-cell
-//! accumulation is plain `f64` (additions of nonnegative numbers — no
-//! cancellation).
+//! The flat-layer passes run on the `transmark-kernel` drivers over step
+//! graphs precompiled by [`crate::kernelize`]; the dynamic-state passes
+//! fold their layers through [`SubsetLayer`]. All sums use compensated
+//! accumulation at the final reduction; per-cell accumulation is plain
+//! `f64` (additions of nonnegative numbers — no cancellation).
 
-use std::collections::HashMap;
-
-use transmark_automata::{ops::Determinizer, BitSet, Nfa, SymbolId};
-use transmark_markov::numeric::KahanSum;
+use transmark_automata::{ops::Determinizer, BitSet, Nfa, StateId, SymbolId};
+use transmark_kernel::{advance, advance_filtered, Bool, Prob, SubsetLayer, Workspace};
 use transmark_markov::MarkovSequence;
 
 use crate::error::EngineError;
+use crate::kernelize::{emission_id_for, output_step_graph, state_step_graph};
 use crate::transducer::Transducer;
 
 /// Validates that the transducer and sequence share an input alphabet and
@@ -87,59 +88,39 @@ pub fn confidence_deterministic(
     let n_nodes = m.n_symbols();
     let nq = t.n_states();
     let width = o.len() + 1;
-    // layer[(node * nq + q) * width + j] = Pr(strings of this length whose
-    // unique run ends at q having emitted o[..j]).
-    let mut layer = vec![0.0f64; n_nodes * nq * width];
-    let idx = |node: usize, q: usize, j: usize| (node * nq + q) * width + j;
+    let steps = m.sparse_steps();
+    let graph = output_step_graph(t, o);
+    let nr = graph.n_rows();
 
-    // Position 1.
-    for node in 0..n_nodes {
-        let p = m.initial_prob(SymbolId(node as u32));
-        if p == 0.0 {
-            continue;
-        }
-        let edges = t.edges(t.initial(), SymbolId(node as u32));
-        let e = edges[0];
-        let em = t.emission(e.emission);
-        if em.len() <= o.len() && o[..em.len()] == *em {
-            layer[idx(node, e.target.index(), em.len())] += p;
+    // cell[node * nr + q * width + j] = Pr(strings of this length whose
+    // unique run ends at q having emitted o[..j]).
+    let mut ws: Workspace<f64> = Workspace::new();
+    ws.reset(n_nodes * nr, 0.0);
+
+    // Position 1: the precompiled edges out of (q₀, j = 0) already encode
+    // the output-prefix check.
+    let init_row = (t.initial().index() * width) as u32;
+    for &(node, p) in steps.initial() {
+        for e in graph.edges(node, init_row) {
+            ws.cur_mut()[node as usize * nr + e.to as usize] += p;
         }
     }
 
     // Positions 2..n.
-    let mut next = vec![0.0f64; n_nodes * nq * width];
     for i in 0..n - 1 {
-        next.iter_mut().for_each(|v| *v = 0.0);
-        for node in 0..n_nodes {
-            for q in 0..nq {
-                for j in 0..width {
-                    let p = layer[idx(node, q, j)];
-                    if p == 0.0 {
-                        continue;
-                    }
-                    for to in 0..n_nodes {
-                        let pt = m.transition_prob(i, SymbolId(node as u32), SymbolId(to as u32));
-                        if pt == 0.0 {
-                            continue;
-                        }
-                        let e = t.edges(transmark_automata::StateId(q as u32), SymbolId(to as u32))[0];
-                        let em = t.emission(e.emission);
-                        if j + em.len() <= o.len() && o[j..j + em.len()] == *em {
-                            next[idx(to, e.target.index(), j + em.len())] += p * pt;
-                        }
-                    }
-                }
-            }
-        }
-        std::mem::swap(&mut layer, &mut next);
+        ws.clear_next(0.0);
+        let (cur, next) = ws.buffers();
+        advance::<Prob>(&steps, i, &graph, cur, next);
+        ws.swap();
     }
 
     // Accepting states with the full output emitted.
-    let mut total = KahanSum::new();
+    let cur = ws.cur();
+    let mut total = transmark_kernel::Neumaier::new();
     for node in 0..n_nodes {
         for q in 0..nq {
-            if t.is_accepting(transmark_automata::StateId(q as u32)) {
-                total.add(layer[idx(node, q, o.len())]);
+            if t.is_accepting(StateId(q as u32)) {
+                total.add(cur[node * nr + q * width + o.len()]);
             }
         }
     }
@@ -147,7 +128,8 @@ pub fn confidence_deterministic(
 }
 
 /// k-uniform fast path of Theorem 4.6: the output position is forced to
-/// `k·i`, so the DP is over (node, state) only.
+/// `k·i`, so the DP is over (node, state) only; edges are gated per step
+/// by the interned id of the k-gram this step must emit.
 fn confidence_deterministic_uniform(
     t: &Transducer,
     m: &MarkovSequence,
@@ -160,47 +142,32 @@ fn confidence_deterministic_uniform(
     }
     let n_nodes = m.n_symbols();
     let nq = t.n_states();
-    let mut layer = vec![0.0f64; n_nodes * nq];
+    let steps = m.sparse_steps();
+    let graph = state_step_graph(t);
 
-    for node in 0..n_nodes {
-        let p = m.initial_prob(SymbolId(node as u32));
-        if p == 0.0 {
-            continue;
-        }
-        let e = t.edges(t.initial(), SymbolId(node as u32))[0];
-        if *t.emission(e.emission) == o[..k] {
-            layer[node * nq + e.target.index()] += p;
-        }
-    }
-    let mut next = vec![0.0f64; n_nodes * nq];
-    for i in 0..n - 1 {
-        next.iter_mut().for_each(|v| *v = 0.0);
-        let expected = &o[k * (i + 1)..k * (i + 2)];
-        for node in 0..n_nodes {
-            for q in 0..nq {
-                let p = layer[node * nq + q];
-                if p == 0.0 {
-                    continue;
-                }
-                for to in 0..n_nodes {
-                    let pt = m.transition_prob(i, SymbolId(node as u32), SymbolId(to as u32));
-                    if pt == 0.0 {
-                        continue;
-                    }
-                    let e = t.edges(transmark_automata::StateId(q as u32), SymbolId(to as u32))[0];
-                    if *t.emission(e.emission) == *expected {
-                        next[to * nq + e.target.index()] += p * pt;
-                    }
-                }
+    let mut ws: Workspace<f64> = Workspace::new();
+    ws.reset(n_nodes * nq, 0.0);
+    let seed_id = emission_id_for(t, &o[..k]);
+    for &(node, p) in steps.initial() {
+        for e in graph.edges(node, t.initial().0) {
+            if e.payload == seed_id {
+                ws.cur_mut()[node as usize * nq + e.to as usize] += p;
             }
         }
-        std::mem::swap(&mut layer, &mut next);
     }
-    let mut total = KahanSum::new();
+    for i in 0..n - 1 {
+        let expected = emission_id_for(t, &o[k * (i + 1)..k * (i + 2)]);
+        ws.clear_next(0.0);
+        let (cur, next) = ws.buffers();
+        advance_filtered::<Prob>(&steps, i, &graph, expected, cur, next);
+        ws.swap();
+    }
+    let cur = ws.cur();
+    let mut total = transmark_kernel::Neumaier::new();
     for node in 0..n_nodes {
         for q in 0..nq {
-            if t.is_accepting(transmark_automata::StateId(q as u32)) {
-                total.add(layer[node * nq + q]);
+            if t.is_accepting(StateId(q as u32)) {
+                total.add(cur[node * nq + q]);
             }
         }
     }
@@ -235,55 +202,47 @@ pub fn confidence_uniform_nfa(
         return Ok(0.0);
     }
     let nq = t.n_states();
+    let graph = state_step_graph(t);
     // layer: (node, reachable-set) → probability mass.
-    let mut layer: HashMap<(u32, BitSet), f64> = HashMap::new();
+    let mut layer: SubsetLayer<(u32, BitSet)> = SubsetLayer::new();
+    let seed_id = emission_id_for(t, &o[..k]);
     for node in 0..m.n_symbols() {
         let p = m.initial_prob(SymbolId(node as u32));
         if p == 0.0 {
             continue;
         }
         let mut set = BitSet::new(nq.max(1));
-        for e in t.edges(t.initial(), SymbolId(node as u32)) {
-            if *t.emission(e.emission) == o[..k] {
-                set.insert(e.target.index());
+        for e in graph.edges(node as u32, t.initial().0) {
+            if e.payload == seed_id {
+                set.insert(e.to as usize);
             }
         }
         if !set.is_empty() {
-            *layer.entry((node as u32, set)).or_insert(0.0) += p;
+            layer.add((node as u32, set), p);
         }
     }
     for i in 0..n - 1 {
-        let expected = &o[k * (i + 1)..k * (i + 2)];
-        let mut next: HashMap<(u32, BitSet), f64> = HashMap::with_capacity(layer.len());
-        for ((node, set), p) in sorted_layer(&layer) {
-            for to in 0..m.n_symbols() {
-                let pt = m.transition_prob(i, SymbolId(node), SymbolId(to as u32));
-                if pt == 0.0 {
-                    continue;
-                }
+        let expected = emission_id_for(t, &o[k * (i + 1)..k * (i + 2)]);
+        let mut next: SubsetLayer<(u32, BitSet)> = SubsetLayer::with_capacity(layer.len());
+        for ((node, set), p) in layer.sorted() {
+            for (to, pt) in m.transitions_from(i, SymbolId(node)) {
                 let mut set2 = BitSet::new(nq.max(1));
                 for q in set.iter() {
-                    for e in t.edges(transmark_automata::StateId(q as u32), SymbolId(to as u32)) {
-                        if *t.emission(e.emission) == *expected {
-                            set2.insert(e.target.index());
+                    for e in graph.edges(to.0, q as u32) {
+                        if e.payload == expected {
+                            set2.insert(e.to as usize);
                         }
                     }
                 }
                 if !set2.is_empty() {
-                    *next.entry((to as u32, set2)).or_insert(0.0) += p * pt;
+                    next.add((to.0, set2), p * pt);
                 }
             }
         }
         layer = next;
     }
     let accepting = accepting_bitset(t);
-    let mut total = KahanSum::new();
-    for ((_, set), p) in sorted_layer(&layer) {
-        if set.intersects(&accepting) {
-            total.add(p);
-        }
-    }
-    Ok(total.total())
+    Ok(layer.reduce(|(_, set)| set.intersects(&accepting)))
 }
 
 // ---------------------------------------------------------------------------
@@ -308,62 +267,45 @@ pub fn confidence_general(
     let n = m.len();
     let nq = t.n_states();
     let width = o.len() + 1;
+    // Configuration bits ARE the output-graph rows: bit = q * width + j.
+    let graph = output_step_graph(t, o);
     let cap = (nq * width).max(1);
-    let conf_bit = |q: usize, j: usize| q * width + j;
 
-    let mut layer: HashMap<(u32, BitSet), f64> = HashMap::new();
+    let mut layer: SubsetLayer<(u32, BitSet)> = SubsetLayer::new();
+    let init_row = (t.initial().index() * width) as u32;
     for node in 0..m.n_symbols() {
         let p = m.initial_prob(SymbolId(node as u32));
         if p == 0.0 {
             continue;
         }
         let mut set = BitSet::new(cap);
-        for e in t.edges(t.initial(), SymbolId(node as u32)) {
-            let em = t.emission(e.emission);
-            if em.len() <= o.len() && o[..em.len()] == *em {
-                set.insert(conf_bit(e.target.index(), em.len()));
-            }
+        for e in graph.edges(node as u32, init_row) {
+            set.insert(e.to as usize);
         }
         if !set.is_empty() {
-            *layer.entry((node as u32, set)).or_insert(0.0) += p;
+            layer.add((node as u32, set), p);
         }
     }
     for i in 0..n - 1 {
-        let mut next: HashMap<(u32, BitSet), f64> = HashMap::with_capacity(layer.len());
-        for ((node, set), p) in sorted_layer(&layer) {
-            for to in 0..m.n_symbols() {
-                let pt = m.transition_prob(i, SymbolId(node), SymbolId(to as u32));
-                if pt == 0.0 {
-                    continue;
-                }
+        let mut next: SubsetLayer<(u32, BitSet)> = SubsetLayer::with_capacity(layer.len());
+        for ((node, set), p) in layer.sorted() {
+            for (to, pt) in m.transitions_from(i, SymbolId(node)) {
                 let mut set2 = BitSet::new(cap);
                 for bit in set.iter() {
-                    let (q, j) = (bit / width, bit % width);
-                    for e in t.edges(transmark_automata::StateId(q as u32), SymbolId(to as u32)) {
-                        let em = t.emission(e.emission);
-                        if j + em.len() <= o.len() && o[j..j + em.len()] == *em {
-                            set2.insert(conf_bit(e.target.index(), j + em.len()));
-                        }
+                    for e in graph.edges(to.0, bit as u32) {
+                        set2.insert(e.to as usize);
                     }
                 }
                 if !set2.is_empty() {
-                    *next.entry((to as u32, set2)).or_insert(0.0) += p * pt;
+                    next.add((to.0, set2), p * pt);
                 }
             }
         }
         layer = next;
     }
-    let mut total = KahanSum::new();
-    for ((_, set), p) in sorted_layer(&layer) {
-        let full = (0..nq).any(|q| {
-            t.is_accepting(transmark_automata::StateId(q as u32))
-                && set.contains(conf_bit(q, o.len()))
-        });
-        if full {
-            total.add(p);
-        }
-    }
-    Ok(total.total())
+    Ok(layer.reduce(|(_, set)| {
+        (0..nq).any(|q| t.is_accepting(StateId(q as u32)) && set.contains(q * width + o.len()))
+    }))
 }
 
 /// `Pr(S →[A^ω]→ o)` with automatic algorithm selection:
@@ -413,57 +355,37 @@ pub fn confidence(t: &Transducer, m: &MarkovSequence, o: &[SymbolId]) -> Result<
 /// "whether a string is an answer can be decided efficiently").
 ///
 /// Unlike the confidence *value*, membership needs only reachability over
-/// `(node, state, output position)`: `O(n·|Σ|²·|Q|·|o|)`.
+/// `(node, state, output position)` — the same step graph as
+/// [`confidence_deterministic`] driven in the [`Bool`] semiring:
+/// `O(n·|Σ|²·|Q|·|o|)`.
 pub fn is_answer(t: &Transducer, m: &MarkovSequence, o: &[SymbolId]) -> Result<bool, EngineError> {
     check_inputs(t, m, Some(o))?;
     let n = m.len();
     let n_nodes = m.n_symbols();
     let nq = t.n_states();
     let width = o.len() + 1;
-    let idx = |node: usize, q: usize, j: usize| (node * nq + q) * width + j;
-    let mut layer = vec![false; n_nodes * nq * width];
+    let steps = m.sparse_steps();
+    let graph = output_step_graph(t, o);
+    let nr = graph.n_rows();
 
-    for node in 0..n_nodes {
-        if m.initial_prob(SymbolId(node as u32)) == 0.0 {
-            continue;
-        }
-        for e in t.edges(t.initial(), SymbolId(node as u32)) {
-            let em = t.emission(e.emission);
-            if em.len() <= o.len() && o[..em.len()] == *em {
-                layer[idx(node, e.target.index(), em.len())] = true;
-            }
+    let mut ws: Workspace<bool> = Workspace::new();
+    ws.reset(n_nodes * nr, false);
+    let init_row = (t.initial().index() * width) as u32;
+    for &(node, _) in steps.initial() {
+        for e in graph.edges(node, init_row) {
+            ws.cur_mut()[node as usize * nr + e.to as usize] = true;
         }
     }
-    let mut next = vec![false; n_nodes * nq * width];
     for i in 0..n - 1 {
-        next.iter_mut().for_each(|v| *v = false);
-        for node in 0..n_nodes {
-            for q in 0..nq {
-                for j in 0..width {
-                    if !layer[idx(node, q, j)] {
-                        continue;
-                    }
-                    for to in 0..n_nodes {
-                        if m.transition_prob(i, SymbolId(node as u32), SymbolId(to as u32)) == 0.0 {
-                            continue;
-                        }
-                        for e in t.edges(transmark_automata::StateId(q as u32), SymbolId(to as u32))
-                        {
-                            let em = t.emission(e.emission);
-                            if j + em.len() <= o.len() && o[j..j + em.len()] == *em {
-                                next[idx(to, e.target.index(), j + em.len())] = true;
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        std::mem::swap(&mut layer, &mut next);
+        ws.clear_next(false);
+        let (cur, next) = ws.buffers();
+        advance::<Bool>(&steps, i, &graph, cur, next);
+        ws.swap();
     }
+    let cur = ws.cur();
     for node in 0..n_nodes {
         for q in 0..nq {
-            if t.is_accepting(transmark_automata::StateId(q as u32)) && layer[idx(node, q, o.len())]
-            {
+            if t.is_accepting(StateId(q as u32)) && cur[node * nr + q * width + o.len()] {
                 return Ok(true);
             }
         }
@@ -478,38 +400,26 @@ pub fn answer_exists(t: &Transducer, m: &MarkovSequence) -> Result<bool, EngineE
     let n = m.len();
     let n_nodes = m.n_symbols();
     let nq = t.n_states();
-    let mut layer = vec![false; n_nodes * nq];
-    for node in 0..n_nodes {
-        if m.initial_prob(SymbolId(node as u32)) == 0.0 {
-            continue;
-        }
-        for e in t.edges(t.initial(), SymbolId(node as u32)) {
-            layer[node * nq + e.target.index()] = true;
+    let steps = m.sparse_steps();
+    let graph = state_step_graph(t);
+
+    let mut ws: Workspace<bool> = Workspace::new();
+    ws.reset(n_nodes * nq, false);
+    for &(node, _) in steps.initial() {
+        for e in graph.edges(node, t.initial().0) {
+            ws.cur_mut()[node as usize * nq + e.to as usize] = true;
         }
     }
-    let mut next = vec![false; n_nodes * nq];
     for i in 0..n - 1 {
-        next.iter_mut().for_each(|v| *v = false);
-        for node in 0..n_nodes {
-            for q in 0..nq {
-                if !layer[node * nq + q] {
-                    continue;
-                }
-                for to in 0..n_nodes {
-                    if m.transition_prob(i, SymbolId(node as u32), SymbolId(to as u32)) == 0.0 {
-                        continue;
-                    }
-                    for e in t.edges(transmark_automata::StateId(q as u32), SymbolId(to as u32)) {
-                        next[to * nq + e.target.index()] = true;
-                    }
-                }
-            }
-        }
-        std::mem::swap(&mut layer, &mut next);
+        ws.clear_next(false);
+        let (cur, next) = ws.buffers();
+        advance::<Bool>(&steps, i, &graph, cur, next);
+        ws.swap();
     }
+    let cur = ws.cur();
     for node in 0..n_nodes {
         for q in 0..nq {
-            if layer[node * nq + q] && t.is_accepting(transmark_automata::StateId(q as u32)) {
+            if cur[node * nq + q] && t.is_accepting(StateId(q as u32)) {
                 return Ok(true);
             }
         }
@@ -535,7 +445,7 @@ pub fn acceptance_probability(nfa: &Nfa, m: &MarkovSequence) -> Result<f64, Engi
     let mut det = Determinizer::new(nfa);
     let n = m.len();
     // layer: (det-state, node) → probability.
-    let mut layer: HashMap<(usize, u32), f64> = HashMap::new();
+    let mut layer: SubsetLayer<(usize, u32)> = SubsetLayer::new();
     for node in 0..m.n_symbols() {
         let p = m.initial_prob(SymbolId(node as u32));
         if p == 0.0 {
@@ -543,32 +453,22 @@ pub fn acceptance_probability(nfa: &Nfa, m: &MarkovSequence) -> Result<f64, Engi
         }
         let d = det.step(det.initial(), SymbolId(node as u32));
         if !det.is_dead(d) {
-            *layer.entry((d, node as u32)).or_insert(0.0) += p;
+            layer.add((d, node as u32), p);
         }
     }
     for i in 0..n - 1 {
-        let mut next: HashMap<(usize, u32), f64> = HashMap::with_capacity(layer.len());
-        for ((d, node), p) in sorted_layer(&layer) {
-            for to in 0..m.n_symbols() {
-                let pt = m.transition_prob(i, SymbolId(node), SymbolId(to as u32));
-                if pt == 0.0 {
-                    continue;
-                }
-                let d2 = det.step(d, SymbolId(to as u32));
+        let mut next: SubsetLayer<(usize, u32)> = SubsetLayer::with_capacity(layer.len());
+        for ((d, node), p) in layer.sorted() {
+            for (to, pt) in m.transitions_from(i, SymbolId(node)) {
+                let d2 = det.step(d, to);
                 if !det.is_dead(d2) {
-                    *next.entry((d2, to as u32)).or_insert(0.0) += p * pt;
+                    next.add((d2, to.0), p * pt);
                 }
             }
         }
         layer = next;
     }
-    let mut total = KahanSum::new();
-    for ((d, _), p) in sorted_layer(&layer) {
-        if det.is_accepting(d) {
-            total.add(p);
-        }
-    }
-    Ok(total.total())
+    Ok(layer.reduce(|&(d, _)| det.is_accepting(d)))
 }
 
 /// The Lahar-style streaming Boolean query: for every position `i`,
@@ -590,7 +490,7 @@ pub fn prefix_acceptance_probabilities(
     let mut det = Determinizer::new(nfa);
     let n = m.len();
     let mut out = Vec::with_capacity(n);
-    let mut layer: HashMap<(usize, u32), f64> = HashMap::new();
+    let mut layer: SubsetLayer<(usize, u32)> = SubsetLayer::new();
     for node in 0..m.n_symbols() {
         let p = m.initial_prob(SymbolId(node as u32));
         if p == 0.0 {
@@ -600,34 +500,22 @@ pub fn prefix_acceptance_probabilities(
         // The dead (empty) subset can never accept again, so it is safe to
         // drop its mass even though we report per-prefix probabilities.
         if !det.is_dead(d) {
-            *layer.entry((d, node as u32)).or_insert(0.0) += p;
+            layer.add((d, node as u32), p);
         }
     }
-    let report = |layer: &HashMap<(usize, u32), f64>, det: &Determinizer<'_>| {
-        layer
-            .iter()
-            .filter(|((d, _), _)| det.is_accepting(*d))
-            .map(|(_, p)| *p)
-            .collect::<KahanSum>()
-            .total()
-    };
-    out.push(report(&layer, &det));
+    out.push(layer.reduce(|&(d, _)| det.is_accepting(d)));
     for i in 0..n - 1 {
-        let mut next: HashMap<(usize, u32), f64> = HashMap::with_capacity(layer.len());
-        for ((d, node), p) in sorted_layer(&layer) {
-            for to in 0..m.n_symbols() {
-                let pt = m.transition_prob(i, SymbolId(node), SymbolId(to as u32));
-                if pt == 0.0 {
-                    continue;
-                }
-                let d2 = det.step(d, SymbolId(to as u32));
+        let mut next: SubsetLayer<(usize, u32)> = SubsetLayer::with_capacity(layer.len());
+        for ((d, node), p) in layer.sorted() {
+            for (to, pt) in m.transitions_from(i, SymbolId(node)) {
+                let d2 = det.step(d, to);
                 if !det.is_dead(d2) {
-                    *next.entry((d2, to as u32)).or_insert(0.0) += p * pt;
+                    next.add((d2, to.0), p * pt);
                 }
             }
         }
         layer = next;
-        out.push(report(&layer, &det));
+        out.push(layer.reduce(|&(d, _)| det.is_accepting(d)));
     }
     Ok(out)
 }
@@ -638,22 +526,11 @@ pub(crate) fn check_inputs_public(t: &Transducer, m: &MarkovSequence) -> Result<
     check_inputs(t, m, None)
 }
 
-
-/// Sorts a DP layer's entries by key so that float accumulation order —
-/// and therefore the result, bit for bit — is independent of `HashMap`
-/// iteration order. Reproducibility is worth the `O(L log L)` per layer:
-/// identical queries must return identical bytes across runs.
-fn sorted_layer<K: Ord + Clone, V: Copy>(layer: &HashMap<K, V>) -> Vec<(K, V)> {
-    let mut v: Vec<(K, V)> = layer.iter().map(|(k, p)| (k.clone(), *p)).collect();
-    v.sort_by(|a, b| a.0.cmp(&b.0));
-    v
-}
-
 /// The accepting states of a transducer as a [`BitSet`].
 fn accepting_bitset(t: &Transducer) -> BitSet {
     BitSet::from_iter_with_capacity(
         t.n_states().max(1),
-        (0..t.n_states()).filter(|&q| t.is_accepting(transmark_automata::StateId(q as u32))),
+        (0..t.n_states()).filter(|&q| t.is_accepting(StateId(q as u32))),
     )
 }
 
@@ -705,9 +582,24 @@ mod tests {
         let t = identity();
         for (s, p) in support(&m) {
             assert!(approx_eq(confidence(&t, &m, &s).unwrap(), p, 1e-15, 1e-12));
-            assert!(approx_eq(confidence_deterministic(&t, &m, &s).unwrap(), p, 1e-15, 1e-12));
-            assert!(approx_eq(confidence_uniform_nfa(&t, &m, &s).unwrap(), p, 1e-15, 1e-12));
-            assert!(approx_eq(confidence_general(&t, &m, &s).unwrap(), p, 1e-15, 1e-12));
+            assert!(approx_eq(
+                confidence_deterministic(&t, &m, &s).unwrap(),
+                p,
+                1e-15,
+                1e-12
+            ));
+            assert!(approx_eq(
+                confidence_uniform_nfa(&t, &m, &s).unwrap(),
+                p,
+                1e-15,
+                1e-12
+            ));
+            assert!(approx_eq(
+                confidence_general(&t, &m, &s).unwrap(),
+                p,
+                1e-15,
+                1e-12
+            ));
         }
     }
 
@@ -726,7 +618,10 @@ mod tests {
         let t = identity();
         assert!(matches!(
             confidence(&t, &m, &[sym(9)]),
-            Err(EngineError::InvalidSymbol { alphabet: "output", .. })
+            Err(EngineError::InvalidSymbol {
+                alphabet: "output",
+                ..
+            })
         ));
     }
 
@@ -750,7 +645,10 @@ mod tests {
                 .filter(|(s, _)| nfa.accepts(&s[..=i]))
                 .map(|(_, p)| p)
                 .sum();
-            assert!(approx_eq(gi, want, 1e-12, 1e-10), "position {i}: {gi} vs {want}");
+            assert!(
+                approx_eq(gi, want, 1e-12, 1e-10),
+                "position {i}: {gi} vs {want}"
+            );
         }
         // The last entry is the full acceptance probability, and the
         // series is monotone for this monotone ("ever saw b") property.
@@ -807,7 +705,11 @@ mod determinism_tests {
         let mut rng = StdRng::seed_from_u64(321);
         for _ in 0..10 {
             let m = random_markov_sequence(
-                &RandomChainSpec { len: 8, n_symbols: 3, zero_prob: 0.2 },
+                &RandomChainSpec {
+                    len: 8,
+                    n_symbols: 3,
+                    zero_prob: 0.2,
+                },
                 &mut rng,
             );
             let t = random_transducer(

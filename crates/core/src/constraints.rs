@@ -46,12 +46,20 @@ pub struct PrefixConstraint {
 impl PrefixConstraint {
     /// The unconstrained space: every output string.
     pub fn all() -> Self {
-        Self { prefix: Vec::new(), forbidden_next: Vec::new(), allow_exact: true }
+        Self {
+            prefix: Vec::new(),
+            forbidden_next: Vec::new(),
+            allow_exact: true,
+        }
     }
 
     /// All outputs with prefix `p` (including `p`).
     pub fn with_prefix(p: Vec<SymbolId>) -> Self {
-        Self { prefix: p, forbidden_next: Vec::new(), allow_exact: true }
+        Self {
+            prefix: p,
+            forbidden_next: Vec::new(),
+            allow_exact: true,
+        }
     }
 
     /// Exactly the output `p`.
@@ -171,9 +179,7 @@ pub fn constrain(t: &Transducer, dfa: &Dfa) -> Result<Transducer, EngineError> {
     let state = |q: StateId, c: StateId| StateId((q.index() * nc + c.index()) as u32);
     for q in 0..nq {
         for c in 0..nc {
-            b.add_state(
-                t.is_accepting(StateId(q as u32)) && dfa.is_accepting(StateId(c as u32)),
-            );
+            b.add_state(t.is_accepting(StateId(q as u32)) && dfa.is_accepting(StateId(c as u32)));
         }
     }
     b.set_initial(state(t.initial(), dfa.initial()));
@@ -181,7 +187,9 @@ pub fn constrain(t: &Transducer, dfa: &Dfa) -> Result<Transducer, EngineError> {
     // Precompute where each interned emission drives each DFA state.
     let mut em_step = vec![StateId(0); t.n_emissions() * nc];
     for em in 0..t.n_emissions() {
-        let string = t.emission(crate::transducer::EmissionId(em as u32)).to_vec();
+        let string = t
+            .emission(crate::transducer::EmissionId(em as u32))
+            .to_vec();
         for c in 0..nc {
             let mut cur = StateId(c as u32);
             for &d in &string {

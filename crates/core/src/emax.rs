@@ -17,10 +17,12 @@
 //! Lawler–Murty instantiation does.
 
 use transmark_automata::{StateId, SymbolId};
+use transmark_kernel::{advance, advance_tracked, BackEdge, MaxLog, Workspace};
 use transmark_markov::MarkovSequence;
 
 use crate::confidence::check_inputs;
 use crate::error::EngineError;
+use crate::kernelize::{output_step_graph, state_step_graph};
 use crate::transducer::Transducer;
 
 /// Result of an `E_max` optimization.
@@ -41,19 +43,14 @@ impl EmaxResult {
     }
 }
 
-/// Back-pointer entry of the Viterbi DP.
-#[derive(Clone, Copy)]
-struct Back {
-    prev_node: u32,
-    prev_state: u32,
-    /// Index into the transducer's interned emissions for the edge taken.
-    emission: u32,
-}
-
 /// The top answer by `E_max`: maximizes `p(s)` over all `(s, run)` with
 /// `run` accepting, and returns the run's output (Theorem 4.3's
 /// constrained optimizer, with constraints pre-applied via
 /// [`crate::constraints::constrain`]).
+///
+/// A tracked (back-pointered) Viterbi pass of the kernel over the
+/// state-only step graph; edge payloads carry the interned emission ids
+/// the traceback concatenates into the output.
 ///
 /// Returns `None` when the (possibly constrained) query has no answer.
 /// `O(n·|Σ|²·|Q|·b)` time, `O(n·|Σ|·|Q|)` space for the back-pointers.
@@ -64,25 +61,22 @@ pub fn top_by_emax(t: &Transducer, m: &MarkovSequence) -> Result<Option<EmaxResu
     let nq = t.n_states();
     let sz = n_nodes * nq;
     let idx = |node: usize, q: usize| node * nq + q;
+    let steps = m.sparse_steps();
+    let graph = state_step_graph(t);
 
     let mut score = vec![f64::NEG_INFINITY; sz];
-    let mut backs: Vec<Vec<Back>> = Vec::with_capacity(n);
-    let mut first_back = vec![Back { prev_node: 0, prev_state: 0, emission: 0 }; sz];
+    let mut backs: Vec<Vec<BackEdge>> = Vec::with_capacity(n);
+    let mut first_back = vec![BackEdge::NONE; sz];
 
-    for node in 0..n_nodes {
-        let p = m.initial_prob(SymbolId(node as u32));
-        if p == 0.0 {
-            continue;
-        }
+    for &(node, p) in steps.initial() {
         let lp = p.ln();
-        for e in t.edges(t.initial(), SymbolId(node as u32)) {
-            let cell = idx(node, e.target.index());
+        for e in graph.edges(node, t.initial().0) {
+            let cell = idx(node as usize, e.to as usize);
             if lp > score[cell] {
                 score[cell] = lp;
-                first_back[cell] = Back {
-                    prev_node: u32::MAX,
-                    prev_state: t.initial().0,
-                    emission: e.emission.0,
+                first_back[cell] = BackEdge {
+                    prev: u32::MAX,
+                    payload: e.payload,
                 };
             }
         }
@@ -91,33 +85,8 @@ pub fn top_by_emax(t: &Transducer, m: &MarkovSequence) -> Result<Option<EmaxResu
 
     for i in 0..n - 1 {
         let mut next = vec![f64::NEG_INFINITY; sz];
-        let mut back = vec![Back { prev_node: 0, prev_state: 0, emission: 0 }; sz];
-        for node in 0..n_nodes {
-            for q in 0..nq {
-                let s = score[idx(node, q)];
-                if s == f64::NEG_INFINITY {
-                    continue;
-                }
-                for to in 0..n_nodes {
-                    let pt = m.transition_prob(i, SymbolId(node as u32), SymbolId(to as u32));
-                    if pt == 0.0 {
-                        continue;
-                    }
-                    let cand = s + pt.ln();
-                    for e in t.edges(StateId(q as u32), SymbolId(to as u32)) {
-                        let cell = idx(to, e.target.index());
-                        if cand > next[cell] {
-                            next[cell] = cand;
-                            back[cell] = Back {
-                                prev_node: node as u32,
-                                prev_state: q as u32,
-                                emission: e.emission.0,
-                            };
-                        }
-                    }
-                }
-            }
-        }
+        let mut back = vec![BackEdge::NONE; sz];
+        advance_tracked(&steps, i, &graph, &score, &mut next, &mut back);
         score = next;
         backs.push(back);
     }
@@ -138,17 +107,18 @@ pub fn top_by_emax(t: &Transducer, m: &MarkovSequence) -> Result<Option<EmaxResu
     };
 
     // Traceback: recover the evidence string and the emission sequence.
+    // A back-pointer's `prev` is the flat source cell `node * nq + q`.
     let mut evidence_rev: Vec<SymbolId> = Vec::with_capacity(n);
     let mut emissions_rev: Vec<u32> = Vec::with_capacity(n);
     for layer in backs.iter().rev() {
         let b = layer[idx(node, q)];
         evidence_rev.push(SymbolId(node as u32));
-        emissions_rev.push(b.emission);
-        if b.prev_node == u32::MAX {
+        emissions_rev.push(b.payload);
+        if b.prev == u32::MAX {
             break;
         }
-        node = b.prev_node as usize;
-        q = b.prev_state as usize;
+        node = b.prev as usize / nq;
+        q = b.prev as usize % nq;
     }
     evidence_rev.reverse();
     emissions_rev.reverse();
@@ -156,13 +126,19 @@ pub fn top_by_emax(t: &Transducer, m: &MarkovSequence) -> Result<Option<EmaxResu
     for em in emissions_rev {
         output.extend_from_slice(t.emission(crate::transducer::EmissionId(em)));
     }
-    Ok(Some(EmaxResult { output, evidence: evidence_rev, log_prob: best }))
+    Ok(Some(EmaxResult {
+        output,
+        evidence: evidence_rev,
+        log_prob: best,
+    }))
 }
 
 /// `ln E_max(o)` for a *specific* output string `o` — the max-probability
 /// evidence transduced into exactly `o` (`-∞` if `o` is not an answer).
 ///
-/// A max-product DP over (node, state, output position):
+/// A max-product DP over (node, state, output position) — the kernel's
+/// [`MaxLog`] semiring over the same output step graph as
+/// [`crate::confidence::confidence_deterministic`]:
 /// `O(|o|·n·|Σ|²·|Q|·b)`.
 pub fn emax_of_output(
     t: &Transducer,
@@ -174,58 +150,32 @@ pub fn emax_of_output(
     let n_nodes = m.n_symbols();
     let nq = t.n_states();
     let width = o.len() + 1;
-    let idx = |node: usize, q: usize, j: usize| (node * nq + q) * width + j;
-    let mut layer = vec![f64::NEG_INFINITY; n_nodes * nq * width];
+    let steps = m.sparse_steps();
+    let graph = output_step_graph(t, o);
+    let nr = graph.n_rows();
 
-    for node in 0..n_nodes {
-        let p = m.initial_prob(SymbolId(node as u32));
-        if p == 0.0 {
-            continue;
-        }
-        for e in t.edges(t.initial(), SymbolId(node as u32)) {
-            let em = t.emission(e.emission);
-            if em.len() <= o.len() && o[..em.len()] == *em {
-                let cell = idx(node, e.target.index(), em.len());
-                layer[cell] = layer[cell].max(p.ln());
-            }
+    let mut ws: Workspace<f64> = Workspace::new();
+    ws.reset(n_nodes * nr, f64::NEG_INFINITY);
+    let init_row = (t.initial().index() * width) as u32;
+    for &(node, p) in steps.initial() {
+        let lp = p.ln();
+        for e in graph.edges(node, init_row) {
+            let cell = &mut ws.cur_mut()[node as usize * nr + e.to as usize];
+            *cell = cell.max(lp);
         }
     }
-    let mut next = vec![f64::NEG_INFINITY; n_nodes * nq * width];
     for i in 0..n - 1 {
-        next.iter_mut().for_each(|v| *v = f64::NEG_INFINITY);
-        for node in 0..n_nodes {
-            for q in 0..nq {
-                for j in 0..width {
-                    let s = layer[idx(node, q, j)];
-                    if s == f64::NEG_INFINITY {
-                        continue;
-                    }
-                    for to in 0..n_nodes {
-                        let pt = m.transition_prob(i, SymbolId(node as u32), SymbolId(to as u32));
-                        if pt == 0.0 {
-                            continue;
-                        }
-                        let cand = s + pt.ln();
-                        for e in t.edges(StateId(q as u32), SymbolId(to as u32)) {
-                            let em = t.emission(e.emission);
-                            if j + em.len() <= o.len() && o[j..j + em.len()] == *em {
-                                let cell = idx(to, e.target.index(), j + em.len());
-                                if cand > next[cell] {
-                                    next[cell] = cand;
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        std::mem::swap(&mut layer, &mut next);
+        ws.clear_next(f64::NEG_INFINITY);
+        let (cur, next) = ws.buffers();
+        advance::<MaxLog>(&steps, i, &graph, cur, next);
+        ws.swap();
     }
+    let cur = ws.cur();
     let mut best = f64::NEG_INFINITY;
     for node in 0..n_nodes {
         for q in 0..nq {
             if t.is_accepting(StateId(q as u32)) {
-                best = best.max(layer[idx(node, q, o.len())]);
+                best = best.max(cur[node * nr + q * width + o.len()]);
             }
         }
     }

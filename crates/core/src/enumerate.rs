@@ -3,12 +3,17 @@
 //!
 //! **Unranked (Theorem 4.1).** [`enumerate_unranked`] walks the trie of
 //! output prefixes depth-first, descending into `p·d` only when the
-//! prefix-constrained query still has an answer (a boolean reachability
-//! DP on the constrained transducer) and emitting `p` whenever `p` itself
-//! is an answer. Every visited trie node has an answer below it, answers
-//! are at depth ≤ `n · max_emission`, and each step costs one polynomial
-//! nonemptiness test — polynomial delay; the DFS stack is the only state —
-//! polynomial space. Answers appear in lexicographic order.
+//! prefix-constrained query still has an answer and emitting `p` whenever
+//! `p` itself is an answer. Both facts come from *one* boolean
+//! reachability DP per visited trie node — a kernel pass over the
+//! [`crate::kernelize::prefix_step_graph`], whose saturating
+//! matched-length row distinguishes "emitted exactly `p`" from "emitted a
+//! proper extension" — replacing the constrained-product construction and
+//! the two dense DPs per node this used to cost. Every visited trie node
+//! has an answer below it, answers are at depth ≤ `n · max_emission`, and
+//! each step costs one polynomial nonemptiness test — polynomial delay;
+//! the DFS stack is the only state — polynomial space. Answers appear in
+//! lexicographic order.
 //!
 //! **Ranked by `E_max` (Theorem 4.3).** [`enumerate_by_emax`] instantiates
 //! the Lawler–Murty framework of `transmark-kbest` with
@@ -18,14 +23,15 @@
 //! prefix with the emitted answer. Polynomial delay; space grows with the
 //! number of answers emitted, exactly as the paper notes.
 
-use transmark_automata::SymbolId;
+use transmark_automata::{StateId, SymbolId};
 use transmark_kbest::{LawlerMurty, PartitionSpace};
+use transmark_kernel::{advance, Bool, SparseSteps, Workspace};
 use transmark_markov::MarkovSequence;
 
-use crate::confidence::answer_exists;
 use crate::constraints::{constrain, PrefixConstraint};
 use crate::emax::top_by_emax;
 use crate::error::EngineError;
+use crate::kernelize::prefix_step_graph;
 use crate::transducer::Transducer;
 
 // ---------------------------------------------------------------------------
@@ -36,7 +42,11 @@ use crate::transducer::Transducer;
 /// and polynomial space (Theorem 4.1).
 pub struct UnrankedAnswers<'a> {
     t: &'a Transducer,
-    m: &'a MarkovSequence,
+    /// The Markov side of every per-trie-node DP, flattened once.
+    steps: SparseSteps,
+    /// Layer buffers reused across every visited trie node.
+    ws: Workspace<bool>,
+    n: usize,
     /// DFS stack: the current prefix is implicit in `frames`; each frame
     /// remembers which continuation symbol to try next.
     frames: Vec<Frame>,
@@ -51,6 +61,9 @@ struct Frame {
     next_symbol: usize,
     /// Whether the current prefix still needs to be tested/emitted.
     emit_pending: bool,
+    /// Whether the prefix at this frame is itself an answer — computed by
+    /// the same DP that justified descending into it.
+    exact: bool,
 }
 
 /// Starts the Theorem 4.1 enumeration. Fails fast on alphabet mismatch.
@@ -58,20 +71,27 @@ pub fn enumerate_unranked<'a>(
     t: &'a Transducer,
     m: &'a MarkovSequence,
 ) -> Result<UnrankedAnswers<'a>, EngineError> {
-    // Probe once so errors surface eagerly rather than on first `next()`.
-    let nonempty = answer_exists(t, m)?;
-    Ok(UnrankedAnswers {
+    crate::confidence::check_inputs(t, m, None)?;
+    let mut it = UnrankedAnswers {
         t,
-        m,
-        frames: if nonempty {
-            vec![Frame { next_symbol: 0, emit_pending: true }]
-        } else {
-            Vec::new()
-        },
+        steps: m.sparse_steps(),
+        ws: Workspace::new(),
+        n: m.len(),
+        frames: Vec::new(),
         prefix: Vec::new(),
         max_len: m.len() * t.max_emission_len(),
-        done: !nonempty,
-    })
+        done: true,
+    };
+    let (nonempty, exact) = it.query_prefix();
+    if nonempty {
+        it.frames.push(Frame {
+            next_symbol: 0,
+            emit_pending: true,
+            exact,
+        });
+        it.done = false;
+    }
+    Ok(it)
 }
 
 impl UnrankedAnswers<'_> {
@@ -82,19 +102,45 @@ impl UnrankedAnswers<'_> {
         self.frames.len()
     }
 
-    /// Does the (possibly constrained) query have an answer extending the
-    /// current prefix by `d`?
-    fn has_answer_with_prefix(&self, candidate: &[SymbolId]) -> bool {
-        let c = PrefixConstraint::with_prefix(candidate.to_vec());
-        let ct = constrain(self.t, &c.to_dfa(self.t.n_output_symbols()))
-            .expect("alphabets validated at construction");
-        answer_exists(&ct, self.m).expect("alphabets validated at construction")
-    }
-
-    /// Is the current prefix itself an answer?
-    fn prefix_is_answer(&self) -> bool {
-        crate::confidence::is_answer(self.t, self.m, &self.prefix)
-            .expect("alphabets validated at construction")
+    /// One boolean kernel DP over the current prefix's step graph:
+    /// returns `(some answer extends the prefix, the prefix itself is an
+    /// answer)`. Rows `(q, matched)` saturate at `matched = len + 1`, so
+    /// the final layer separates exact emission (`matched == len`) from
+    /// proper extension (`matched == len + 1`).
+    fn query_prefix(&mut self) -> (bool, bool) {
+        let t = self.t;
+        let nq = t.n_states();
+        let l = self.prefix.len();
+        let width = l + 2;
+        let graph = prefix_step_graph(t, &self.prefix);
+        let nr = graph.n_rows();
+        let n_nodes = self.steps.n_nodes();
+        self.ws.reset(n_nodes * nr, false);
+        let init_row = (t.initial().index() * width) as u32;
+        for &(node, _) in self.steps.initial() {
+            for e in graph.edges(node, init_row) {
+                self.ws.cur_mut()[node as usize * nr + e.to as usize] = true;
+            }
+        }
+        for i in 0..self.n - 1 {
+            self.ws.clear_next(false);
+            let (cur, next) = self.ws.buffers();
+            advance::<Bool>(&self.steps, i, &graph, cur, next);
+            self.ws.swap();
+        }
+        let cur = self.ws.cur();
+        let (mut any, mut exact) = (false, false);
+        for node in 0..n_nodes {
+            for q in 0..nq {
+                if !t.is_accepting(StateId(q as u32)) {
+                    continue;
+                }
+                let base = node * nr + q * width;
+                exact |= cur[base + l];
+                any |= cur[base + l] | cur[base + l + 1];
+            }
+        }
+        (any, exact)
     }
 }
 
@@ -112,7 +158,7 @@ impl Iterator for UnrankedAnswers<'_> {
             };
             if self.frames[top].emit_pending {
                 self.frames[top].emit_pending = false;
-                if self.prefix_is_answer() {
+                if self.frames[top].exact {
                     return Some(self.prefix.clone());
                 }
                 continue;
@@ -127,8 +173,13 @@ impl Iterator for UnrankedAnswers<'_> {
             }
             self.frames[top].next_symbol += 1;
             self.prefix.push(SymbolId(d as u32));
-            if self.has_answer_with_prefix(&self.prefix) {
-                self.frames.push(Frame { next_symbol: 0, emit_pending: true });
+            let (any, exact) = self.query_prefix();
+            if any {
+                self.frames.push(Frame {
+                    next_symbol: 0,
+                    emit_pending: true,
+                    exact,
+                });
             } else {
                 self.prefix.pop();
             }
@@ -207,7 +258,9 @@ impl Iterator for EmaxEnumeration<'_> {
     type Item = RankedAnswer;
 
     fn next(&mut self) -> Option<RankedAnswer> {
-        self.inner.next().map(|(output, log_score)| RankedAnswer { output, log_score })
+        self.inner
+            .next()
+            .map(|(output, log_score)| RankedAnswer { output, log_score })
     }
 }
 
@@ -220,7 +273,9 @@ pub fn enumerate_by_emax<'a>(
 ) -> Result<EmaxEnumeration<'a>, EngineError> {
     // Validate alphabets once up front.
     crate::confidence::check_inputs(t, m, None)?;
-    Ok(EmaxEnumeration { inner: LawlerMurty::new(EmaxSpace { t, m }) })
+    Ok(EmaxEnumeration {
+        inner: LawlerMurty::new(EmaxSpace { t, m }),
+    })
 }
 
 /// The top-k answers by `E_max` (stop the Theorem 4.3 enumeration after

@@ -104,7 +104,11 @@ impl<'a> Evaluation<'a> {
         let mut out = Vec::with_capacity(k);
         for r in enumerate_by_emax(self.t, self.m)?.take(k) {
             let conf = confidence(self.t, self.m, &r.output)?;
-            out.push(ScoredAnswer { emax: r.score(), confidence: conf, output: r.output });
+            out.push(ScoredAnswer {
+                emax: r.score(),
+                confidence: conf,
+                output: r.output,
+            });
         }
         Ok(out)
     }

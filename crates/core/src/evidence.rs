@@ -24,6 +24,7 @@ use transmark_markov::MarkovSequence;
 
 use crate::confidence::check_inputs;
 use crate::error::EngineError;
+use crate::kernelize::output_step_graph;
 use crate::transducer::Transducer;
 
 /// One evidence: a possible world and its probability.
@@ -58,8 +59,7 @@ impl Iterator for Evidences {
     fn next(&mut self) -> Option<Evidence> {
         loop {
             let (edges, w) = self.paths.next()?;
-            let world: Vec<SymbolId> =
-                edges.iter().filter_map(|&e| self.labels[e]).collect();
+            let world: Vec<SymbolId> = edges.iter().filter_map(|&e| self.labels[e]).collect();
             if self.seen.insert(world.clone()) {
                 return Some(Evidence { world, log_prob: w });
             }
@@ -83,64 +83,56 @@ pub fn enumerate_evidences(
     let k = m.n_symbols();
     let nq = t.n_states();
     let width = o.len() + 1;
-    // Node ids: 0 = source, 1 = sink, then dense (i, x, q, j).
-    let node_id =
-        |i: usize, x: usize, q: usize, j: usize| 2 + (((i - 1) * k + x) * nq + q) * width + j;
-    let mut dag = Dag::new(2 + n * k * nq * width);
+    // The machine side — states × output positions with the emission
+    // checks resolved — is precompiled once; its rows are the `(q, j)`
+    // part of the DAG's node ids.
+    let graph = output_step_graph(t, o);
+    let nr = graph.n_rows();
+    // Node ids: 0 = source, 1 = sink, then dense (i, x, row).
+    let node_id = |i: usize, x: usize, row: usize| 2 + ((i - 1) * k + x) * nr + row;
+    let mut dag = Dag::new(2 + n * k * nr);
     let mut labels: Vec<Option<SymbolId>> = Vec::new();
-    let add =
-        |dag: &mut Dag, labels: &mut Vec<Option<SymbolId>>, from, to, w: f64, label| {
-            if w > f64::NEG_INFINITY {
-                let id = dag.add_edge(from, to, w);
-                debug_assert_eq!(id, labels.len());
-                labels.push(label);
-            }
-        };
+    let add = |dag: &mut Dag, labels: &mut Vec<Option<SymbolId>>, from, to, w: f64, label| {
+        if w > f64::NEG_INFINITY {
+            let id = dag.add_edge(from, to, w);
+            debug_assert_eq!(id, labels.len());
+            labels.push(label);
+        }
+    };
 
     // Source edges: position 1.
+    let init_row = (t.initial().index() * width) as u32;
     for x in 0..k {
         let p = m.initial_prob(SymbolId(x as u32));
         if p == 0.0 {
             continue;
         }
-        for e in t.edges(t.initial(), SymbolId(x as u32)) {
-            let em = t.emission(e.emission);
-            if em.len() <= o.len() && o[..em.len()] == *em {
-                add(
-                    &mut dag,
-                    &mut labels,
-                    0,
-                    node_id(1, x, e.target.index(), em.len()),
-                    p.ln(),
-                    Some(SymbolId(x as u32)),
-                );
-            }
+        for e in graph.edges(x as u32, init_row) {
+            add(
+                &mut dag,
+                &mut labels,
+                0,
+                node_id(1, x, e.to as usize),
+                p.ln(),
+                Some(SymbolId(x as u32)),
+            );
         }
     }
     // Interior edges.
     for i in 1..n {
         for x in 0..k {
-            for y in 0..k {
-                let pt = m.transition_prob(i - 1, SymbolId(x as u32), SymbolId(y as u32));
-                if pt == 0.0 {
-                    continue;
-                }
+            for (y, pt) in m.transitions_from(i - 1, SymbolId(x as u32)) {
                 let lw = pt.ln();
-                for q in 0..nq {
-                    for e in t.edges(StateId(q as u32), SymbolId(y as u32)) {
-                        let em = t.emission(e.emission);
-                        for j in 0..width {
-                            if j + em.len() <= o.len() && o[j..j + em.len()] == *em {
-                                add(
-                                    &mut dag,
-                                    &mut labels,
-                                    node_id(i, x, q, j),
-                                    node_id(i + 1, y, e.target.index(), j + em.len()),
-                                    lw,
-                                    Some(SymbolId(y as u32)),
-                                );
-                            }
-                        }
+                for row in 0..nr {
+                    for e in graph.edges(y.0, row as u32) {
+                        add(
+                            &mut dag,
+                            &mut labels,
+                            node_id(i, x, row),
+                            node_id(i + 1, y.index(), e.to as usize),
+                            lw,
+                            Some(y),
+                        );
                     }
                 }
             }
@@ -150,11 +142,22 @@ pub fn enumerate_evidences(
     for x in 0..k {
         for q in 0..nq {
             if t.is_accepting(StateId(q as u32)) {
-                add(&mut dag, &mut labels, node_id(n, x, q, o.len()), 1, 0.0, None);
+                add(
+                    &mut dag,
+                    &mut labels,
+                    node_id(n, x, q * width + o.len()),
+                    1,
+                    0.0,
+                    None,
+                );
             }
         }
     }
-    Ok(Evidences { paths: KBestPaths::new(dag, 0, 1), labels, seen: HashSet::new() })
+    Ok(Evidences {
+        paths: KBestPaths::new(dag, 0, 1),
+        labels,
+        seen: HashSet::new(),
+    })
 }
 
 /// The `k` most probable evidences of `o`.
@@ -266,7 +269,10 @@ mod tests {
             b.add_transition(q1, sym(s), q1, &[sym(s)]).unwrap();
         }
         let t = b.build().unwrap();
-        let m = MarkovSequenceBuilder::new(alphabet, 2).uniform_all().build().unwrap();
+        let m = MarkovSequenceBuilder::new(alphabet, 2)
+            .uniform_all()
+            .build()
+            .unwrap();
         // Output "ab" has exactly one world, despite 4 runs.
         let o = vec![sym(0), sym(1)];
         let evs: Vec<_> = enumerate_evidences(&t, &m, &o).unwrap().collect();
@@ -287,6 +293,9 @@ mod tests {
         b.add_transition(q, sym(0), q, &[sym(0)]).unwrap();
         let t = b.build().unwrap();
         assert_eq!(enumerate_evidences(&t, &m, &[sym(0)]).unwrap().count(), 0);
-        assert_eq!(top_k_evidences(&t, &m, &[sym(0), sym(0)], 5).unwrap().len(), 1);
+        assert_eq!(
+            top_k_evidences(&t, &m, &[sym(0), sym(0)], 5).unwrap().len(),
+            1
+        );
     }
 }

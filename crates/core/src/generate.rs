@@ -61,11 +61,11 @@ impl Default for RandomTransducerSpec {
 /// least one accepting state and, for nondeterministic classes, at least
 /// one outgoing transition per `(q, σ)` with probability high enough that
 /// most instances have answers (empty-answer instances are still legal).
-pub fn random_transducer<R: Rng + ?Sized>(
-    spec: &RandomTransducerSpec,
-    rng: &mut R,
-) -> Transducer {
-    assert!(spec.n_states >= 1 && spec.n_input_symbols >= 1, "degenerate spec");
+pub fn random_transducer<R: Rng + ?Sized>(spec: &RandomTransducerSpec, rng: &mut R) -> Transducer {
+    assert!(
+        spec.n_states >= 1 && spec.n_input_symbols >= 1,
+        "degenerate spec"
+    );
     let input = Arc::new(Alphabet::from_names(
         (0..spec.n_input_symbols).map(|i| format!("s{i}")),
     ));
@@ -93,9 +93,9 @@ pub fn random_transducer<R: Rng + ?Sized>(
 
     let emission = |rng: &mut R, sym: SymbolId| -> Vec<SymbolId> {
         match spec.class {
-            TransducerClass::Uniform(k) => {
-                (0..k).map(|_| SymbolId(rng.random_range(0..n_out) as u32)).collect()
-            }
+            TransducerClass::Uniform(k) => (0..k)
+                .map(|_| SymbolId(rng.random_range(0..n_out) as u32))
+                .collect(),
             TransducerClass::Mealy => vec![SymbolId(rng.random_range(0..n_out) as u32)],
             TransducerClass::Projector => {
                 if rng.random_bool(0.5) {
@@ -106,7 +106,9 @@ pub fn random_transducer<R: Rng + ?Sized>(
             }
             TransducerClass::General | TransducerClass::Deterministic => {
                 let len = rng.random_range(0..=2usize);
-                (0..len).map(|_| SymbolId(rng.random_range(0..n_out) as u32)).collect()
+                (0..len)
+                    .map(|_| SymbolId(rng.random_range(0..n_out) as u32))
+                    .collect()
             }
         }
     };
@@ -117,7 +119,8 @@ pub fn random_transducer<R: Rng + ?Sized>(
             if deterministic {
                 let to = states[rng.random_range(0..states.len())];
                 let em = emission(rng, sym);
-                b.add_transition(q, sym, to, &em).expect("generator produces valid edges");
+                b.add_transition(q, sym, to, &em)
+                    .expect("generator produces valid edges");
             } else {
                 let p_each = (spec.branching / spec.n_states as f64).clamp(0.05, 1.0);
                 for &to in &states {
@@ -145,25 +148,37 @@ mod tests {
             let base = RandomTransducerSpec::default();
 
             let det = random_transducer(
-                &RandomTransducerSpec { class: TransducerClass::Deterministic, ..base.clone() },
+                &RandomTransducerSpec {
+                    class: TransducerClass::Deterministic,
+                    ..base.clone()
+                },
                 &mut rng,
             );
             assert!(det.is_deterministic());
 
             let mealy = random_transducer(
-                &RandomTransducerSpec { class: TransducerClass::Mealy, ..base.clone() },
+                &RandomTransducerSpec {
+                    class: TransducerClass::Mealy,
+                    ..base.clone()
+                },
                 &mut rng,
             );
             assert!(mealy.is_mealy());
 
             let uni = random_transducer(
-                &RandomTransducerSpec { class: TransducerClass::Uniform(2), ..base.clone() },
+                &RandomTransducerSpec {
+                    class: TransducerClass::Uniform(2),
+                    ..base.clone()
+                },
                 &mut rng,
             );
             assert_eq!(uni.uniform_emission(), Some(2));
 
             let proj = random_transducer(
-                &RandomTransducerSpec { class: TransducerClass::Projector, ..base },
+                &RandomTransducerSpec {
+                    class: TransducerClass::Projector,
+                    ..base
+                },
                 &mut rng,
             );
             assert!(proj.is_projector());

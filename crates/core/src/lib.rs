@@ -1,7 +1,8 @@
 #![warn(missing_docs)]
-// Index-based loops are the clearest way to write the layered DP kernels
-// and matrix scans in this codebase; the clippy suggestion (iterators with
-// enumerate/zip) obscures the (position, node, state) indexing.
+// The layered DP kernels live in `transmark-kernel`; what remains here are
+// seed/reduce loops and graph builders over (position, node, state)
+// indices, where the clippy suggestion (iterators with enumerate/zip)
+// obscures the indexing the kernel's cell layout is defined by.
 #![allow(clippy::needless_range_loop)]
 
 //! The `transmark` query engine: evaluating finite-state transducers over
@@ -25,6 +26,7 @@
 //! | [`emax`] | §4.2 — best evidence `E_max`, constrained Viterbi |
 //! | [`enumerate`] | Thm 4.1 (unranked, poly delay + poly space) and Thm 4.3 (decreasing `E_max`, poly delay) |
 //! | [`montecarlo`] | additive-error confidence estimation by sampling |
+//! | [`kernelize`] | bridges to the shared `transmark-kernel` DP substrate (semirings, CSR step graphs, workspaces) |
 //! | [`brute`] | brute-force oracles used by tests and the experiment harness |
 
 pub mod brute;
@@ -38,12 +40,15 @@ pub mod error;
 pub mod evaluate;
 pub mod evidence;
 pub mod generate;
+pub mod kernelize;
 pub mod montecarlo;
 pub mod streaming;
 pub mod textio;
 pub mod transducer;
 
-pub use certified::{certified_top_by_confidence, certified_top_k_by_confidence, CertifiedTop, CertifiedTopK};
+pub use certified::{
+    certified_top_by_confidence, certified_top_k_by_confidence, CertifiedTop, CertifiedTopK,
+};
 pub use compose::compose;
 pub use confidence::{
     acceptance_probability, confidence, confidence_deterministic, confidence_general,

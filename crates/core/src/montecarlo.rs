@@ -10,10 +10,12 @@
 
 use rand::Rng;
 use transmark_automata::{StateId, SymbolId};
+use transmark_kernel::{advance_string, Bool, StepGraph, Workspace};
 use transmark_markov::MarkovSequence;
 
 use crate::confidence::check_inputs;
 use crate::error::EngineError;
+use crate::kernelize::output_step_graph;
 use crate::transducer::Transducer;
 
 /// An estimate with its standard error.
@@ -31,29 +33,33 @@ pub struct McEstimate {
 /// emits exactly `o` — a boolean DP over (state, output position),
 /// `O(|s|·|Q|·|o|·b)`.
 pub fn transduces_to(t: &Transducer, s: &[SymbolId], o: &[SymbolId]) -> bool {
+    let graph = output_step_graph(t, o);
+    let mut ws = Workspace::new();
+    transduces_to_with(t, &graph, &mut ws, s, o.len())
+}
+
+/// [`transduces_to`] against a prebuilt output step graph and workspace —
+/// the sampling loop reuses one graph across tens of thousands of worlds
+/// instead of re-deriving every emission/output-prefix check per sample.
+fn transduces_to_with(
+    t: &Transducer,
+    graph: &StepGraph,
+    ws: &mut Workspace<bool>,
+    s: &[SymbolId],
+    o_len: usize,
+) -> bool {
     let nq = t.n_states();
-    let width = o.len() + 1;
-    let mut layer = vec![false; nq * width];
-    layer[t.initial().index() * width] = true;
-    let mut next = vec![false; nq * width];
+    let width = o_len + 1;
+    ws.reset(nq * width, false);
+    ws.cur_mut()[t.initial().index() * width] = true;
     for &sym in s {
-        next.iter_mut().for_each(|v| *v = false);
-        for q in 0..nq {
-            for j in 0..width {
-                if !layer[q * width + j] {
-                    continue;
-                }
-                for e in t.edges(StateId(q as u32), sym) {
-                    let em = t.emission(e.emission);
-                    if j + em.len() <= o.len() && o[j..j + em.len()] == *em {
-                        next[e.target.index() * width + j + em.len()] = true;
-                    }
-                }
-            }
-        }
-        std::mem::swap(&mut layer, &mut next);
+        ws.clear_next(false);
+        let (cur, next) = ws.buffers();
+        advance_string::<Bool>(graph, sym.0, cur, next);
+        ws.swap();
     }
-    (0..nq).any(|q| t.is_accepting(StateId(q as u32)) && layer[q * width + o.len()])
+    let cur = ws.cur();
+    (0..nq).any(|q| t.is_accepting(StateId(q as u32)) && cur[q * width + o_len])
 }
 
 /// Estimates `Pr(S →[A^ω]→ o)` from `samples` independent worlds.
@@ -67,14 +73,19 @@ pub fn estimate_confidence<R: Rng + ?Sized>(
     check_inputs(t, m, Some(o))?;
     assert!(samples > 0, "at least one sample is required");
     let mut hits = 0usize;
-    // Deterministic machines admit a cheaper membership test.
-    let deterministic = t.is_deterministic();
+    // Deterministic machines admit a cheaper membership test; otherwise
+    // precompile the membership DP's step graph once for all samples.
+    let graph = if t.is_deterministic() {
+        None
+    } else {
+        Some(output_step_graph(t, o))
+    };
+    let mut ws: Workspace<bool> = Workspace::new();
     for _ in 0..samples {
         let s = m.sample(rng);
-        let hit = if deterministic {
-            t.transduce_deterministic(&s).as_deref() == Some(o)
-        } else {
-            transduces_to(t, &s, o)
+        let hit = match &graph {
+            None => t.transduce_deterministic(&s).as_deref() == Some(o),
+            Some(g) => transduces_to_with(t, g, &mut ws, &s, o.len()),
         };
         hits += usize::from(hit);
     }
@@ -114,7 +125,10 @@ mod tests {
 
     fn uniform_chain(n: usize) -> MarkovSequence {
         let a = Alphabet::of_chars("ab");
-        MarkovSequenceBuilder::new(a, n).uniform_all().build().unwrap()
+        MarkovSequenceBuilder::new(a, n)
+            .uniform_all()
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -123,8 +137,13 @@ mod tests {
         let s = [sym(0), sym(1), sym(0)];
         let all = t.transduce_all(&s);
         // Check several candidate outputs.
-        for o in [vec![], vec![sym(0)], vec![sym(1), sym(0)], vec![sym(0), sym(1), sym(0)], vec![sym(1)]]
-        {
+        for o in [
+            vec![],
+            vec![sym(0)],
+            vec![sym(1), sym(0)],
+            vec![sym(0), sym(1), sym(0)],
+            vec![sym(1)],
+        ] {
             assert_eq!(transduces_to(&t, &s, &o), all.contains(&o), "output {o:?}");
         }
     }

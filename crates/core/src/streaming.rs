@@ -5,15 +5,16 @@
 //! The per-prefix acceptance DP of
 //! [`crate::confidence::prefix_acceptance_probabilities`] needs only the
 //! *current* layer, so it runs online: an [`EventMonitor`] holds the
-//! distribution over (determinized query state × current node) and folds
-//! in one transition matrix at a time, emitting the updated probability
-//! that the stream-so-far satisfies the query. Memory is independent of
-//! the stream length (bounded by reachable subsets × `|Σ|`).
+//! distribution over (determinized query state × current node) — a kernel
+//! [`SubsetLayer`] — and folds in one transition matrix at a time,
+//! emitting the updated probability that the stream-so-far satisfies the
+//! query. Memory is independent of the stream length (bounded by
+//! reachable subsets × `|Σ|`).
 
 use std::collections::HashMap;
 
 use transmark_automata::{Nfa, SymbolId};
-use transmark_markov::numeric::KahanSum;
+use transmark_kernel::SubsetLayer;
 use transmark_markov::MarkovSequence;
 
 use crate::error::EngineError;
@@ -30,7 +31,7 @@ pub struct EventMonitor {
     det: OwnedDeterminizer,
     /// Mass per (determinized state, current node). Dead subsets are
     /// dropped (they can never accept again).
-    layer: HashMap<(usize, u32), f64>,
+    layer: SubsetLayer<(usize, u32)>,
     n_symbols: usize,
     steps: usize,
 }
@@ -48,10 +49,8 @@ struct OwnedDeterminizer {
 
 impl OwnedDeterminizer {
     fn new(nfa: &Nfa) -> Self {
-        let init = transmark_automata::BitSet::singleton(
-            nfa.n_states().max(1),
-            nfa.initial().index(),
-        );
+        let init =
+            transmark_automata::BitSet::singleton(nfa.n_states().max(1), nfa.initial().index());
         let mut ids = HashMap::new();
         ids.insert(init.clone(), 0);
         let accepting = nfa.accepting_set();
@@ -97,17 +96,23 @@ impl EventMonitor {
             });
         }
         let mut det = OwnedDeterminizer::new(&nfa);
-        let mut layer = HashMap::new();
+        let mut layer = SubsetLayer::new();
         for (node, &p) in initial.iter().enumerate() {
             if p == 0.0 {
                 continue;
             }
             let d = det.step(&nfa, 0, SymbolId(node as u32));
             if !det.subset_dead[d] {
-                *layer.entry((d, node as u32)).or_insert(0.0) += p;
+                layer.add((d, node as u32), p);
             }
         }
-        Ok(Self { n_symbols: initial.len(), nfa, det, layer, steps: 1 })
+        Ok(Self {
+            n_symbols: initial.len(),
+            nfa,
+            det,
+            layer,
+            steps: 1,
+        })
     }
 
     /// Number of stream positions consumed so far (`≥ 1`).
@@ -122,15 +127,9 @@ impl EventMonitor {
 
     /// The current `Pr(S[1..t] ∈ L(A))`.
     pub fn probability(&self) -> f64 {
-        let mut entries: Vec<((usize, u32), f64)> =
-            self.layer.iter().map(|(k, p)| (*k, *p)).collect();
-        entries.sort_unstable_by_key(|(k, _)| *k);
-        entries
-            .into_iter()
-            .filter(|((d, _), _)| self.det.subset_accepting[*d])
-            .map(|(_, p)| p)
-            .collect::<KahanSum>()
-            .total()
+        // The layer reduces in ascending key order, so the result is
+        // bit-for-bit independent of HashMap iteration order.
+        self.layer.reduce(|&(d, _)| self.det.subset_accepting[d])
     }
 
     /// Folds in the next transition matrix (row-major `|Σ|²`) and returns
@@ -138,23 +137,21 @@ impl EventMonitor {
     pub fn advance(&mut self, matrix: &[f64]) -> Result<f64, EngineError> {
         let k = self.n_symbols;
         if matrix.len() != k * k {
-            return Err(EngineError::AlphabetMismatch { transducer: k * k, sequence: matrix.len() });
+            return Err(EngineError::AlphabetMismatch {
+                transducer: k * k,
+                sequence: matrix.len(),
+            });
         }
-        let mut next: HashMap<(usize, u32), f64> = HashMap::with_capacity(self.layer.len());
-        // Sorted iteration keeps float accumulation (and thus the result,
-        // bit for bit) independent of HashMap iteration order.
-        let mut entries: Vec<((usize, u32), f64)> =
-            self.layer.iter().map(|(k, p)| (*k, *p)).collect();
-        entries.sort_unstable_by_key(|(k, _)| *k);
-        for ((d, node), p) in &entries {
-            let row = &matrix[*node as usize * k..(*node as usize + 1) * k];
+        let mut next: SubsetLayer<(usize, u32)> = SubsetLayer::with_capacity(self.layer.len());
+        for ((d, node), p) in self.layer.sorted() {
+            let row = &matrix[node as usize * k..(node as usize + 1) * k];
             for (to, &pt) in row.iter().enumerate() {
                 if pt == 0.0 {
                     continue;
                 }
-                let d2 = self.det.step(&self.nfa, *d, SymbolId(to as u32));
+                let d2 = self.det.step(&self.nfa, d, SymbolId(to as u32));
                 if !self.det.subset_dead[d2] {
-                    *next.entry((d2, to as u32)).or_insert(0.0) += p * pt;
+                    next.add((d2, to as u32), p * pt);
                 }
             }
         }
@@ -208,7 +205,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(12);
         for _ in 0..10 {
             let m = random_markov_sequence(
-                &RandomChainSpec { len: 6, n_symbols: 3, zero_prob: 0.3 },
+                &RandomChainSpec {
+                    len: 6,
+                    n_symbols: 3,
+                    zero_prob: 0.3,
+                },
                 &mut rng,
             );
             let batch = prefix_acceptance_probabilities(&has_two(), &m).unwrap();

@@ -59,7 +59,10 @@ impl From<EngineError> for TextIoError {
 }
 
 fn err(line: usize, message: impl Into<String>) -> TextIoError {
-    TextIoError::Parse(ParseError { line, message: message.into() })
+    TextIoError::Parse(ParseError {
+        line,
+        message: message.into(),
+    })
 }
 
 /// Serializes a transducer to the v1 text format.
@@ -74,7 +77,12 @@ pub fn to_text(t: &Transducer) -> String {
     for (_, name) in t.output_alphabet().iter() {
         let _ = write!(out, " {name}");
     }
-    let _ = write!(out, "\nstates {}\ninitial {}\naccepting", t.n_states(), t.initial().0);
+    let _ = write!(
+        out,
+        "\nstates {}\ninitial {}\naccepting",
+        t.n_states(),
+        t.initial().0
+    );
     for q in 0..t.n_states() {
         if t.is_accepting(StateId(q as u32)) {
             let _ = write!(out, " {q}");
@@ -108,7 +116,10 @@ pub fn from_text(text: &str) -> Result<Transducer, TextIoError> {
 
     let (ln, header) = lines.next().ok_or_else(|| err(0, "empty input"))?;
     if header != "transducer v1" {
-        return Err(err(ln, format!("expected \"transducer v1\", found {header:?}")));
+        return Err(err(
+            ln,
+            format!("expected \"transducer v1\", found {header:?}"),
+        ));
     }
 
     let mut take_alphabet = |prefix: &str| -> Result<Arc<Alphabet>, TextIoError> {
@@ -147,7 +158,9 @@ pub fn from_text(text: &str) -> Result<Transducer, TextIoError> {
         .parse()
         .map_err(|e| err(ln, format!("bad initial state: {e}")))?;
 
-    let (ln, acc_line) = lines.next().ok_or_else(|| err(0, "missing accepting line"))?;
+    let (ln, acc_line) = lines
+        .next()
+        .ok_or_else(|| err(0, "missing accepting line"))?;
     let acc_body = acc_line
         .strip_prefix("accepting")
         .ok_or_else(|| err(ln, "expected \"accepting <q…>\""))?;
@@ -182,7 +195,9 @@ pub fn from_text(text: &str) -> Result<Transducer, TextIoError> {
             .ok_or_else(|| err(ln, "edge missing source state"))?
             .parse()
             .map_err(|e| err(ln, format!("bad source state: {e}")))?;
-        let sym_name = parts.next().ok_or_else(|| err(ln, "edge missing input symbol"))?;
+        let sym_name = parts
+            .next()
+            .ok_or_else(|| err(ln, "edge missing input symbol"))?;
         let sym = input
             .get(sym_name)
             .ok_or_else(|| err(ln, format!("unknown input symbol {sym_name:?}")))?;
@@ -222,7 +237,10 @@ mod tests {
             TransducerClass::Projector,
         ] {
             let t = random_transducer(
-                &RandomTransducerSpec { class, ..RandomTransducerSpec::default() },
+                &RandomTransducerSpec {
+                    class,
+                    ..RandomTransducerSpec::default()
+                },
                 &mut rng,
             );
             let back = from_text(&to_text(&t)).expect("round trip parses");

@@ -280,7 +280,10 @@ impl Transducer {
         for &sym in s {
             let edges = self.edges(q, sym);
             let e = edges.first()?;
-            debug_assert!(edges.len() == 1, "transduce_deterministic on a nondeterministic machine");
+            debug_assert!(
+                edges.len() == 1,
+                "transduce_deterministic on a nondeterministic machine"
+            );
             out.extend_from_slice(self.emission(e.emission));
             q = e.target;
         }
@@ -384,10 +387,16 @@ impl TransducerBuilder {
     ) -> Result<&mut Self, EngineError> {
         let n_states = self.accepting.len();
         if from.index() >= n_states {
-            return Err(EngineError::InvalidState { state: from.index(), n_states });
+            return Err(EngineError::InvalidState {
+                state: from.index(),
+                n_states,
+            });
         }
         if to.index() >= n_states {
-            return Err(EngineError::InvalidState { state: to.index(), n_states });
+            return Err(EngineError::InvalidState {
+                state: to.index(),
+                n_states,
+            });
         }
         if symbol.index() >= self.input_alphabet.len() {
             return Err(EngineError::InvalidSymbol {
@@ -409,7 +418,13 @@ impl TransducerBuilder {
                     });
                 }
             }
-            Err(pos) => edges.insert(pos, TEdge { target: to, emission: em }),
+            Err(pos) => edges.insert(
+                pos,
+                TEdge {
+                    target: to,
+                    emission: em,
+                },
+            ),
         }
         Ok(self)
     }
@@ -508,8 +523,14 @@ mod tests {
             t.transduce_deterministic(&s).unwrap(),
             vec![sym(0), sym(1), sym(0), sym(1), sym(0)]
         );
-        assert_eq!(t.transduce_all(&s), vec![vec![sym(0), sym(1), sym(0), sym(1), sym(0)]]);
-        assert_eq!(t.transduce_deterministic(&[]).unwrap(), Vec::<SymbolId>::new());
+        assert_eq!(
+            t.transduce_all(&s),
+            vec![vec![sym(0), sym(1), sym(0), sym(1), sym(0)]]
+        );
+        assert_eq!(
+            t.transduce_deterministic(&[]).unwrap(),
+            Vec::<SymbolId>::new()
+        );
     }
 
     /// A nondeterministic projector: guess a suffix and copy it.
@@ -537,10 +558,7 @@ mod tests {
         let s = [sym(0), sym(1)];
         // Outputs: ε (skip all), "b" (copy last), "ab" (copy all).
         let outs = t.transduce_all(&s);
-        assert_eq!(
-            outs,
-            vec![vec![], vec![sym(0), sym(1)], vec![sym(1)]]
-        );
+        assert_eq!(outs, vec![vec![], vec![sym(0), sym(1)], vec![sym(1)]]);
     }
 
     #[test]
@@ -565,7 +583,10 @@ mod tests {
         let q = b.add_state(true);
         assert!(matches!(
             b.add_transition(q, sym(5), q, &[]),
-            Err(EngineError::InvalidSymbol { alphabet: "input", .. })
+            Err(EngineError::InvalidSymbol {
+                alphabet: "input",
+                ..
+            })
         ));
         assert!(matches!(
             b.add_transition(q, sym(0), StateId(9), &[]),
@@ -573,7 +594,10 @@ mod tests {
         ));
         assert!(matches!(
             b.add_transition(q, sym(0), q, &[sym(7)]),
-            Err(EngineError::InvalidSymbol { alphabet: "output", .. })
+            Err(EngineError::InvalidSymbol {
+                alphabet: "output",
+                ..
+            })
         ));
     }
 
@@ -615,7 +639,8 @@ mod tests {
         let output = Alphabet::from_names(["room1", "room2"]);
         let mut b = Transducer::builder(input, output);
         let q = b.add_state(true);
-        b.add_transition_named(q, sym(0), q, &["room2", "room1"]).unwrap();
+        b.add_transition_named(q, sym(0), q, &["room2", "room1"])
+            .unwrap();
         let t = b.build().unwrap();
         let out = t.transduce_deterministic(&[sym(0)]).unwrap();
         assert_eq!(t.render_output(&out, " "), "room2 room1");

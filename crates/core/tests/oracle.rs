@@ -38,7 +38,11 @@ fn instance(class: TransducerClass, seed: u64) -> (Transducer, MarkovSequence) {
     let mut rng = StdRng::seed_from_u64(seed);
     let n_symbols = 2 + (seed % 2) as usize; // 2 or 3
     let chain = random_markov_sequence(
-        &RandomChainSpec { len: 2 + (seed % 3) as usize, n_symbols, zero_prob: 0.35 },
+        &RandomChainSpec {
+            len: 2 + (seed % 3) as usize,
+            n_symbols,
+            zero_prob: 0.35,
+        },
         &mut rng,
     );
     let t = random_transducer(
@@ -112,7 +116,10 @@ fn check_instance(t: &Transducer, m: &MarkovSequence, ctx: &str) {
         );
 
         // Membership.
-        assert!(is_answer(t, m, o).expect("is_answer"), "{ctx}: {o:?} should be an answer");
+        assert!(
+            is_answer(t, m, o).expect("is_answer"),
+            "{ctx}: {o:?} should be an answer"
+        );
     }
 
     // --- Negative membership & zero confidence ----------------------------
@@ -165,7 +172,11 @@ fn check_instance(t: &Transducer, m: &MarkovSequence, ctx: &str) {
             r.log_score
         );
         prev = r.log_score;
-        assert!(seen.insert(r.output.clone()), "{ctx}: duplicate answer {:?}", r.output);
+        assert!(
+            seen.insert(r.output.clone()),
+            "{ctx}: duplicate answer {:?}",
+            r.output
+        );
         let e_brute = brute::emax(t, m, &r.output).expect("brute emax");
         assert!(
             approx_eq(r.score(), e_brute, TOL_ABS, TOL_REL),
@@ -173,7 +184,10 @@ fn check_instance(t: &Transducer, m: &MarkovSequence, ctx: &str) {
             r.score(),
             r.output
         );
-        assert!(truth.contains_key(&r.output), "{ctx}: ranked emitted non-answer");
+        assert!(
+            truth.contains_key(&r.output),
+            "{ctx}: ranked emitted non-answer"
+        );
     }
 
     // --- Global E_max optimizer --------------------------------------------
@@ -199,7 +213,10 @@ fn check_instance(t: &Transducer, m: &MarkovSequence, ctx: &str) {
                 "{ctx}: evidence probability mismatch"
             );
         }
-        None => assert!(truth.is_empty(), "{ctx}: optimizer found nothing but answers exist"),
+        None => assert!(
+            truth.is_empty(),
+            "{ctx}: optimizer found nothing but answers exist"
+        ),
     }
 }
 
@@ -257,7 +274,11 @@ fn length_one_sequences_work() {
     for seed in 100..115 {
         let mut rng = StdRng::seed_from_u64(seed);
         let m = random_markov_sequence(
-            &RandomChainSpec { len: 1, n_symbols: 2, zero_prob: 0.2 },
+            &RandomChainSpec {
+                len: 1,
+                n_symbols: 2,
+                zero_prob: 0.2,
+            },
             &mut rng,
         );
         let t = random_transducer(
@@ -279,7 +300,11 @@ fn single_symbol_alphabet_works() {
     for seed in 200..210 {
         let mut rng = StdRng::seed_from_u64(seed);
         let m = random_markov_sequence(
-            &RandomChainSpec { len: 4, n_symbols: 1, zero_prob: 0.0 },
+            &RandomChainSpec {
+                len: 4,
+                n_symbols: 1,
+                zero_prob: 0.0,
+            },
             &mut rng,
         );
         let t = random_transducer(
@@ -300,7 +325,11 @@ fn single_symbol_alphabet_works() {
 fn mismatched_alphabets_are_rejected_everywhere() {
     let mut rng = StdRng::seed_from_u64(0);
     let m = random_markov_sequence(
-        &RandomChainSpec { len: 3, n_symbols: 3, zero_prob: 0.2 },
+        &RandomChainSpec {
+            len: 3,
+            n_symbols: 3,
+            zero_prob: 0.2,
+        },
         &mut rng,
     );
     let t = random_transducer(

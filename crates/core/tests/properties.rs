@@ -31,7 +31,11 @@ fn arb_class() -> impl Strategy<Value = TransducerClass> {
 fn instance(class: TransducerClass, seed: u64, n: usize) -> (Transducer, MarkovSequence) {
     let mut rng = StdRng::seed_from_u64(seed);
     let m = random_markov_sequence(
-        &RandomChainSpec { len: n, n_symbols: 2, zero_prob: 0.3 },
+        &RandomChainSpec {
+            len: n,
+            n_symbols: 2,
+            zero_prob: 0.3,
+        },
         &mut rng,
     );
     let t = random_transducer(

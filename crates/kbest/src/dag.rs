@@ -40,7 +40,10 @@ pub struct Dag {
 impl Dag {
     /// Creates a graph with `n_nodes` nodes and no edges.
     pub fn new(n_nodes: usize) -> Self {
-        Self { edges: Vec::new(), out: vec![Vec::new(); n_nodes] }
+        Self {
+            edges: Vec::new(),
+            out: vec![Vec::new(); n_nodes],
+        }
     }
 
     /// Number of nodes.
@@ -62,7 +65,10 @@ impl Dag {
     /// Adds an edge with log-weight `weight`, returning its id. Edges with
     /// weight `-∞` are legal but never appear on enumerated paths.
     pub fn add_edge(&mut self, from: NodeId, to: NodeId, weight: f64) -> EdgeId {
-        assert!(from < self.out.len() && to < self.out.len(), "node out of range");
+        assert!(
+            from < self.out.len() && to < self.out.len(),
+            "node out of range"
+        );
         assert!(!weight.is_nan(), "edge weight must not be NaN");
         let id = self.edges.len();
         self.edges.push(Edge { from, to, weight });
@@ -154,7 +160,9 @@ impl KBestPaths {
     /// Panics if the graph is cyclic (the engine only ever builds layered
     /// graphs, so a cycle is a programming error, not an input error).
     pub fn new(dag: Dag, source: NodeId, sink: NodeId) -> Self {
-        let order = dag.topological_order().expect("k-best paths requires a DAG");
+        let order = dag
+            .topological_order()
+            .expect("k-best paths requires a DAG");
         let mut best_suffix = vec![f64::NEG_INFINITY; dag.n_nodes()];
         best_suffix[sink] = 0.0;
         for &v in order.iter().rev() {
@@ -175,7 +183,12 @@ impl KBestPaths {
                 edges: Vec::new(),
             });
         }
-        Self { dag, best_suffix, frontier, sink }
+        Self {
+            dag,
+            best_suffix,
+            frontier,
+            sink,
+        }
     }
 
     /// The underlying graph (for mapping edge ids back to labels).
@@ -329,7 +342,9 @@ mod tests {
         dfs(&g, 0, sink, 0.0, &mut brute);
         brute.sort_by(|a, b| b.partial_cmp(a).unwrap());
 
-        let got: Vec<f64> = KBestPaths::new(g.clone(), 0, sink).map(|(_, w)| w).collect();
+        let got: Vec<f64> = KBestPaths::new(g.clone(), 0, sink)
+            .map(|(_, w)| w)
+            .collect();
         assert_eq!(got.len(), brute.len());
         for (a, b) in got.iter().zip(brute.iter()) {
             assert!((a - b).abs() < 1e-9, "weights diverge: {a} vs {b}");

@@ -43,8 +43,11 @@ pub trait PartitionSpace {
 
     /// Partitions `constraint ∖ {answer}` into disjoint subspaces.
     /// `answer` is the value previously returned by `best(constraint)`.
-    fn split(&mut self, constraint: &Self::Constraint, answer: &Self::Answer)
-        -> Vec<Self::Constraint>;
+    fn split(
+        &mut self,
+        constraint: &Self::Constraint,
+        answer: &Self::Answer,
+    ) -> Vec<Self::Constraint>;
 }
 
 struct Entry<S: PartitionSpace> {
@@ -84,7 +87,11 @@ impl<S: PartitionSpace> LawlerMurty<S> {
         let root = space.root();
         if let Some((answer, score)) = space.best(&root) {
             if score > f64::NEG_INFINITY {
-                frontier.push(Entry { score: Score::new(score), answer, constraint: root });
+                frontier.push(Entry {
+                    score: Score::new(score),
+                    answer,
+                    constraint: root,
+                });
             }
         }
         Self { space, frontier }
@@ -100,11 +107,19 @@ impl<S: PartitionSpace> Iterator for LawlerMurty<S> {
     type Item = (S::Answer, f64);
 
     fn next(&mut self) -> Option<Self::Item> {
-        let Entry { score, answer, constraint } = self.frontier.pop()?;
+        let Entry {
+            score,
+            answer,
+            constraint,
+        } = self.frontier.pop()?;
         for sub in self.space.split(&constraint, &answer) {
             if let Some((a, s)) = self.space.best(&sub) {
                 if s > f64::NEG_INFINITY {
-                    self.frontier.push(Entry { score: Score::new(s), answer: a, constraint: sub });
+                    self.frontier.push(Entry {
+                        score: Score::new(s),
+                        answer: a,
+                        constraint: sub,
+                    });
                 }
             }
         }
@@ -154,7 +169,10 @@ mod tests {
     #[test]
     fn enumerates_in_decreasing_score_without_duplicates() {
         let scores = vec![0.3, -1.0, 2.5, 2.5, 0.0, -3.5, 1.0];
-        let it = LawlerMurty::new(RangeSpace { scores: scores.clone(), best_calls: 0 });
+        let it = LawlerMurty::new(RangeSpace {
+            scores: scores.clone(),
+            best_calls: 0,
+        });
         let got: Vec<(usize, f64)> = it.collect();
         assert_eq!(got.len(), scores.len());
         // Non-increasing scores.
@@ -174,14 +192,22 @@ mod tests {
     #[test]
     fn neg_infinity_answers_are_suppressed() {
         let scores = vec![f64::NEG_INFINITY, 1.0, f64::NEG_INFINITY];
-        let got: Vec<_> = LawlerMurty::new(RangeSpace { scores, best_calls: 0 }).collect();
+        let got: Vec<_> = LawlerMurty::new(RangeSpace {
+            scores,
+            best_calls: 0,
+        })
+        .collect();
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].0, 1);
     }
 
     #[test]
     fn empty_space_yields_nothing() {
-        let got: Vec<_> = LawlerMurty::new(RangeSpace { scores: vec![], best_calls: 0 }).collect();
+        let got: Vec<_> = LawlerMurty::new(RangeSpace {
+            scores: vec![],
+            best_calls: 0,
+        })
+        .collect();
         assert!(got.is_empty());
     }
 
@@ -189,10 +215,17 @@ mod tests {
     fn top_k_early_stop_is_cheap() {
         // Taking k answers must not call `best` more than O(k · splits).
         let scores: Vec<f64> = (0..1000).map(|i| -(i as f64)).collect();
-        let mut it = LawlerMurty::new(RangeSpace { scores, best_calls: 0 });
+        let mut it = LawlerMurty::new(RangeSpace {
+            scores,
+            best_calls: 0,
+        });
         for _ in 0..5 {
             it.next();
         }
-        assert!(it.space.best_calls <= 1 + 5 * 2, "best called {} times", it.space.best_calls);
+        assert!(
+            it.space.best_calls <= 1 + 5 * 2,
+            "best called {} times",
+            it.space.best_calls
+        );
     }
 }

@@ -67,7 +67,11 @@ mod tests {
 
     #[test]
     fn score_orders_like_f64() {
-        let mut v = [Score::new(0.5), Score::new(-1.0), Score::new(f64::NEG_INFINITY)];
+        let mut v = [
+            Score::new(0.5),
+            Score::new(-1.0),
+            Score::new(f64::NEG_INFINITY),
+        ];
         v.sort();
         assert_eq!(v[0].0, f64::NEG_INFINITY);
         assert_eq!(v[2].0, 0.5);

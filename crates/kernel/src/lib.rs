@@ -1,0 +1,52 @@
+//! `transmark-kernel` — the shared substrate of every layered DP in the
+//! engine.
+//!
+//! Each theorem-bearing pass in `transmark-core`, `transmark-sproj`, and
+//! `transmark-markov` is the same computation: seed a layer of cells
+//! indexed by `(Markov node, machine row)`, advance it once per sequence
+//! position through the product of the Markov transitions and a
+//! finite-state machine's edges, then reduce the accepting cells. The
+//! passes differ only in the *semiring* (sum-product, max-product,
+//! reachability) and in what a "machine row" is. This crate factors that
+//! shape out:
+//!
+//! * [`Semiring`] with the three monomorphic instantiations [`Prob`],
+//!   [`MaxLog`], and [`Bool`] — uninhabited type-parameter enums, so every
+//!   driver compiles to straight-line `f64`/`bool` code with no dynamic
+//!   dispatch;
+//! * [`SparseSteps`] — the Markov side, flattened once into CSR with zero
+//!   transitions dropped at build time;
+//! * [`StepGraph`] — the machine side, the product transitions
+//!   precompiled once per query into CSR buckets keyed by
+//!   `(input symbol, machine row)`;
+//! * [`Workspace`] — double-buffered layer vectors, reused across
+//!   invocations instead of reallocated;
+//! * the [`dp`] drivers — `advance`, `advance_filtered`,
+//!   `advance_tracked` (Viterbi back-pointers), `advance_string`;
+//! * [`SubsetLayer`] — sorted-iteration `HashMap` layers for the
+//!   dynamic-state (subset construction) passes;
+//! * [`Neumaier`] — compensated summation for final reductions.
+//!
+//! Migrated passes promise **bit-identical** results to their hand-rolled
+//! predecessors: same cell linearization, same visit order (node, then
+//! row, then Markov target, then edge insertion order), same zero skips,
+//! same plain `+=` inside layers with compensation only at the final
+//! reduction, and first-wins tie-breaking in the tracked max driver.
+//! The brute-force oracles and golden Table 1 assertions in the dependent
+//! crates pin this.
+
+pub mod dp;
+pub mod numeric;
+pub mod semiring;
+pub mod step_graph;
+pub mod steps;
+pub mod subset;
+pub mod workspace;
+
+pub use dp::{advance, advance_filtered, advance_string, advance_tracked, BackEdge};
+pub use numeric::Neumaier;
+pub use semiring::{Bool, MaxLog, Prob, Semiring};
+pub use step_graph::{MachineEdge, StepGraph, StepGraphBuilder};
+pub use steps::{SparseSteps, SparseStepsBuilder};
+pub use subset::SubsetLayer;
+pub use workspace::Workspace;

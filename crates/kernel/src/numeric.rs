@@ -1,0 +1,74 @@
+//! Compensated summation for final reductions.
+//!
+//! This is the engine's single Neumaier/Kahan implementation:
+//! `transmark_markov::numeric::KahanSum` re-exports it, so every crate in
+//! the workspace folds floats through the exact same operation sequence.
+//! That sequence must not change: the migrated passes promise bit-for-bit
+//! results, and the golden Table 1 assertions pin them.
+
+/// Neumaier (improved Kahan) compensated accumulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Neumaier {
+    sum: f64,
+    compensation: f64,
+}
+
+impl Neumaier {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `value`, tracking the rounding error of the addition.
+    #[inline]
+    pub fn add(&mut self, value: f64) {
+        let t = self.sum + value;
+        if self.sum.abs() >= value.abs() {
+            self.compensation += (self.sum - t) + value;
+        } else {
+            self.compensation += (value - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// The compensated total.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.sum + self.compensation
+    }
+}
+
+impl FromIterator<f64> for Neumaier {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut k = Neumaier::new();
+        for v in iter {
+            k.add(v);
+        }
+        k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Neumaier;
+
+    #[test]
+    fn recovers_mass_lost_by_naive_summation() {
+        // Classic Neumaier showcase: 1 + 1e100 + 1 - 1e100 == 2 exactly,
+        // while naive summation returns 0.
+        let mut k = Neumaier::new();
+        for v in [1.0, 1e100, 1.0, -1e100] {
+            k.add(v);
+        }
+        assert_eq!(k.total(), 2.0);
+    }
+
+    #[test]
+    fn matches_exact_sum_on_uniform_probabilities() {
+        let n = 1_000_000;
+        let mut k = Neumaier::new();
+        for _ in 0..n {
+            k.add(1.0 / n as f64);
+        }
+        assert!((k.total() - 1.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,207 @@
+//! The three semirings behind every layered DP in the paper.
+//!
+//! Theorems 4.1/4.3/4.6/4.8/5.5/5.8 all run the same product-graph DP and
+//! differ only in how layer cells combine:
+//!
+//! * [`Prob`] — sum-product over `f64` probabilities (confidence, marginal
+//!   and acceptance probabilities);
+//! * [`MaxLog`] — max-product in log space (Viterbi / E-max scoring, with
+//!   backpointers handled by the tracked drivers);
+//! * [`Bool`] — reachability (answer nonemptiness, support tests).
+//!
+//! The instantiations are uninhabited enums used purely as type parameters,
+//! so every kernel loop monomorphizes to straight-line `f64`/`bool` code —
+//! the "no dynamic dispatch in kernels" stance of the original concrete
+//! implementations is preserved by construction.
+
+/// A semiring over copyable elements, as used by the layer drivers.
+///
+/// `accum` is the additive operation in *in-place* form because every DP
+/// here folds many incoming edges into one target cell; for [`Prob`] it
+/// must stay a plain `+=` (not compensated) to remain bit-identical with
+/// the hand-rolled passes it replaced — compensation belongs only in final
+/// reductions via [`crate::Neumaier`].
+pub trait Semiring {
+    type Elem: Copy + PartialEq + std::fmt::Debug;
+
+    /// Additive identity: the value of an unreachable cell.
+    fn zero() -> Self::Elem;
+
+    /// Multiplicative identity: the seed value of an initial cell.
+    fn one() -> Self::Elem;
+
+    /// True for values that cannot contribute (used for sparse skips).
+    fn is_zero(e: Self::Elem) -> bool;
+
+    /// The multiplicative operation (extend along an edge).
+    fn mul(a: Self::Elem, b: Self::Elem) -> Self::Elem;
+
+    /// The additive operation, in place (combine into a cell).
+    fn accum(into: &mut Self::Elem, v: Self::Elem);
+
+    /// Injects a transition probability into the semiring.
+    fn from_prob(p: f64) -> Self::Elem;
+}
+
+/// Sum-product over raw `f64` probabilities.
+pub enum Prob {}
+
+impl Semiring for Prob {
+    type Elem = f64;
+
+    #[inline(always)]
+    fn zero() -> f64 {
+        0.0
+    }
+
+    #[inline(always)]
+    fn one() -> f64 {
+        1.0
+    }
+
+    #[inline(always)]
+    fn is_zero(e: f64) -> bool {
+        e == 0.0
+    }
+
+    #[inline(always)]
+    fn mul(a: f64, b: f64) -> f64 {
+        a * b
+    }
+
+    #[inline(always)]
+    fn accum(into: &mut f64, v: f64) {
+        *into += v;
+    }
+
+    #[inline(always)]
+    fn from_prob(p: f64) -> f64 {
+        p
+    }
+}
+
+/// Max-product in log space (Viterbi scores).
+///
+/// `accum` keeps the *first* maximal value it sees (strict `>`), so ties
+/// resolve to the earliest edge in iteration order — matching the
+/// hand-rolled Viterbi passes, whose traceback relied on that.
+pub enum MaxLog {}
+
+impl Semiring for MaxLog {
+    type Elem = f64;
+
+    #[inline(always)]
+    fn zero() -> f64 {
+        f64::NEG_INFINITY
+    }
+
+    #[inline(always)]
+    fn one() -> f64 {
+        0.0
+    }
+
+    #[inline(always)]
+    fn is_zero(e: f64) -> bool {
+        e == f64::NEG_INFINITY
+    }
+
+    #[inline(always)]
+    fn mul(a: f64, b: f64) -> f64 {
+        a + b
+    }
+
+    #[inline(always)]
+    fn accum(into: &mut f64, v: f64) {
+        if v > *into {
+            *into = v;
+        }
+    }
+
+    #[inline(always)]
+    fn from_prob(p: f64) -> f64 {
+        p.ln()
+    }
+}
+
+/// Reachability.
+pub enum Bool {}
+
+impl Semiring for Bool {
+    type Elem = bool;
+
+    #[inline(always)]
+    fn zero() -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn one() -> bool {
+        true
+    }
+
+    #[inline(always)]
+    fn is_zero(e: bool) -> bool {
+        !e
+    }
+
+    #[inline(always)]
+    fn mul(a: bool, b: bool) -> bool {
+        a && b
+    }
+
+    #[inline(always)]
+    fn accum(into: &mut bool, v: bool) {
+        *into |= v;
+    }
+
+    #[inline(always)]
+    fn from_prob(p: f64) -> bool {
+        p > 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn axioms<S: Semiring>(samples: &[S::Elem]) {
+        for &a in samples {
+            assert_eq!(S::mul(a, S::one()), a);
+            let mut cell = S::zero();
+            S::accum(&mut cell, a);
+            assert_eq!(cell, a);
+            assert!(S::is_zero(S::mul(a, S::zero())) || S::is_zero(S::zero()));
+        }
+        assert!(S::is_zero(S::zero()));
+    }
+
+    #[test]
+    fn identities_hold() {
+        axioms::<Prob>(&[0.0, 0.25, 1.0]);
+        axioms::<MaxLog>(&[f64::NEG_INFINITY, -1.5, 0.0]);
+        axioms::<Bool>(&[false, true]);
+    }
+
+    #[test]
+    fn maxlog_ties_keep_first() {
+        let mut cell = -1.0;
+        MaxLog::accum(&mut cell, -1.0);
+        assert_eq!(cell, -1.0);
+        MaxLog::accum(&mut cell, -0.5);
+        assert_eq!(cell, -0.5);
+        MaxLog::accum(&mut cell, -2.0);
+        assert_eq!(cell, -0.5);
+    }
+
+    #[test]
+    fn from_prob_agrees_across_semirings() {
+        for p in [0.0, 1e-300, 0.5, 1.0] {
+            assert_eq!(Bool::from_prob(p), Prob::from_prob(p) > 0.0);
+            if p > 0.0 {
+                assert!((MaxLog::from_prob(p) - p.ln()).abs() < 1e-15);
+            } else {
+                assert!(MaxLog::is_zero(MaxLog::from_prob(p)));
+            }
+        }
+    }
+}

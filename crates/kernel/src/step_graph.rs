@@ -1,0 +1,131 @@
+//! Precompiled machine side of the product transitions.
+//!
+//! A layered DP's cell is `(markov node, machine row)`, where a "machine
+//! row" flattens whatever the pass tracks per node — a transducer state
+//! `q`, or a `(q, output position)` pair. Stepping the DP pairs a Markov
+//! transition `node → to` with the machine edges enabled by reading `to`.
+//! The hand-rolled passes re-derived those edges in the inner loop
+//! (emission lookup, output-prefix comparison, target index arithmetic)
+//! on every layer of every call; a [`StepGraph`] does that work once per
+//! query and stores the surviving edges in a flat CSR indexed by
+//! `(symbol, row)`.
+//!
+//! Buckets preserve insertion order, so a builder that adds edges in the
+//! same order the hand-rolled loop visited them reproduces that loop's
+//! accumulation sequence exactly — the bit-for-bit guarantee the migrated
+//! passes rely on.
+
+/// One precompiled machine edge: target row plus a caller-defined payload
+/// (typically the interned emission id, used for Viterbi traceback or
+/// per-step filtering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineEdge {
+    pub to: u32,
+    pub payload: u32,
+}
+
+/// CSR over `(input symbol, machine row)` buckets of [`MachineEdge`]s.
+#[derive(Debug, Clone)]
+pub struct StepGraph {
+    n_symbols: usize,
+    n_rows: usize,
+    offsets: Vec<u32>,
+    edges: Vec<MachineEdge>,
+}
+
+impl StepGraph {
+    pub fn builder(n_symbols: usize, n_rows: usize) -> StepGraphBuilder {
+        StepGraphBuilder {
+            n_symbols,
+            n_rows,
+            buckets: vec![Vec::new(); n_symbols * n_rows],
+        }
+    }
+
+    /// Number of machine rows per Markov node.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    #[inline]
+    pub fn n_symbols(&self) -> usize {
+        self.n_symbols
+    }
+
+    /// Edges enabled from `row` when the machine reads `symbol`, in the
+    /// order they were added.
+    #[inline]
+    pub fn edges(&self, symbol: u32, row: u32) -> &[MachineEdge] {
+        let b = symbol as usize * self.n_rows + row as usize;
+        let lo = self.offsets[b] as usize;
+        let hi = self.offsets[b + 1] as usize;
+        &self.edges[lo..hi]
+    }
+
+    /// Total number of precompiled edges (diagnostics / bench reporting).
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+/// Accumulates edges into per-`(symbol, row)` buckets, then flattens.
+pub struct StepGraphBuilder {
+    n_symbols: usize,
+    n_rows: usize,
+    buckets: Vec<Vec<MachineEdge>>,
+}
+
+impl StepGraphBuilder {
+    #[inline]
+    pub fn add_edge(&mut self, symbol: u32, from_row: u32, to_row: u32, payload: u32) {
+        self.buckets[symbol as usize * self.n_rows + from_row as usize].push(MachineEdge {
+            to: to_row,
+            payload,
+        });
+    }
+
+    pub fn build(self) -> StepGraph {
+        let mut offsets = Vec::with_capacity(self.buckets.len() + 1);
+        let mut edges = Vec::with_capacity(self.buckets.iter().map(Vec::len).sum());
+        offsets.push(0);
+        for bucket in &self.buckets {
+            edges.extend_from_slice(bucket);
+            offsets.push(edges.len() as u32);
+        }
+        StepGraph {
+            n_symbols: self.n_symbols,
+            n_rows: self.n_rows,
+            offsets,
+            edges,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_preserve_insertion_order() {
+        let mut b = StepGraph::builder(2, 3);
+        b.add_edge(1, 0, 2, 7);
+        b.add_edge(1, 0, 1, 8);
+        b.add_edge(0, 2, 0, 9);
+        let g = b.build();
+        assert_eq!(g.n_symbols(), 2);
+        assert_eq!(g.n_rows(), 3);
+        assert_eq!(g.n_edges(), 3);
+        assert_eq!(
+            g.edges(1, 0),
+            &[
+                MachineEdge { to: 2, payload: 7 },
+                MachineEdge { to: 1, payload: 8 }
+            ]
+        );
+        assert_eq!(g.edges(0, 2), &[MachineEdge { to: 0, payload: 9 }]);
+        assert!(g.edges(0, 0).is_empty());
+        assert!(g.edges(1, 2).is_empty());
+    }
+}

@@ -1,0 +1,162 @@
+//! Precompiled sparse view of a Markov sequence's transition structure.
+//!
+//! Every layered DP walks the same probability data: the initial
+//! distribution and one `|Σ|×|Σ|` transition matrix per position. The
+//! hand-rolled passes probed those matrices densely (`for to in 0..k`,
+//! skipping zeros one probe at a time); [`SparseSteps`] flattens the
+//! nonzero entries into one CSR array so the drivers touch only live
+//! transitions. Rows keep ascending-`to` order and drop exact zeros —
+//! the same visit order and the same skips as the dense probes, so
+//! float accumulation sequences (and results, bit for bit) are
+//! unchanged.
+//!
+//! Built once per query (or once per session for the enumeration DFS,
+//! which runs hundreds of DPs over one chain) via [`SparseStepsBuilder`];
+//! the kernel has no dependency on `transmark-markov`, so the markov crate
+//! provides the conversion.
+
+/// CSR layout of an inhomogeneous Markov sequence's nonzero transitions.
+#[derive(Debug, Clone)]
+pub struct SparseSteps {
+    n_nodes: usize,
+    n_steps: usize,
+    initial: Vec<(u32, f64)>,
+    /// `offsets[step * n_nodes + from] .. offsets[step * n_nodes + from + 1]`
+    /// indexes the row's entries.
+    offsets: Vec<u32>,
+    /// `(to, probability)` pairs, ascending `to`, exact zeros omitted.
+    entries: Vec<(u32, f64)>,
+}
+
+impl SparseSteps {
+    pub fn builder(n_nodes: usize, n_steps: usize) -> SparseStepsBuilder {
+        SparseStepsBuilder {
+            steps: SparseSteps {
+                n_nodes,
+                n_steps,
+                initial: Vec::new(),
+                offsets: vec![0],
+                entries: Vec::new(),
+            },
+        }
+    }
+
+    /// Number of distinct node symbols `|Σ|`.
+    #[inline]
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Number of transition steps (sequence length − 1).
+    #[inline]
+    pub fn n_steps(&self) -> usize {
+        self.n_steps
+    }
+
+    /// The nonzero entries of the initial distribution, ascending node.
+    #[inline]
+    pub fn initial(&self) -> &[(u32, f64)] {
+        &self.initial
+    }
+
+    /// The nonzero transitions out of `from` at `step`, ascending `to`.
+    #[inline]
+    pub fn row(&self, step: usize, from: usize) -> &[(u32, f64)] {
+        let r = step * self.n_nodes + from;
+        let lo = self.offsets[r] as usize;
+        let hi = self.offsets[r + 1] as usize;
+        &self.entries[lo..hi]
+    }
+}
+
+/// Row-by-row constructor for [`SparseSteps`]. Push rows in
+/// `(step, from)`-major order; each row's entries in ascending `to`.
+pub struct SparseStepsBuilder {
+    steps: SparseSteps,
+}
+
+impl SparseStepsBuilder {
+    /// Pre-sizes the entry array. `entries` may be an upper bound (e.g.
+    /// the dense transition count); the CSR build is append-only, so
+    /// reserving once avoids repeated reallocation on large chains.
+    #[inline]
+    pub fn reserve(&mut self, entries: usize) {
+        self.steps.entries.reserve(entries);
+        self.steps
+            .offsets
+            .reserve(self.steps.n_steps * self.steps.n_nodes);
+    }
+
+    /// Records a nonzero initial probability. Call in ascending node order.
+    #[inline]
+    pub fn push_initial(&mut self, node: u32, p: f64) {
+        debug_assert!(p != 0.0, "zero entries are skipped at build time");
+        self.steps.initial.push((node, p));
+    }
+
+    /// Records a nonzero transition in the current row.
+    #[inline]
+    pub fn push_transition(&mut self, to: u32, p: f64) {
+        debug_assert!(p != 0.0, "zero entries are skipped at build time");
+        self.steps.entries.push((to, p));
+    }
+
+    /// Closes the current `(step, from)` row.
+    #[inline]
+    pub fn finish_row(&mut self) {
+        self.steps.offsets.push(self.steps.entries.len() as u32);
+    }
+
+    pub fn build(self) -> SparseSteps {
+        assert_eq!(
+            self.steps.offsets.len(),
+            self.steps.n_steps * self.steps.n_nodes + 1,
+            "every (step, from) row must be finished exactly once"
+        );
+        self.steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_sparse_and_ordered() {
+        // 2 nodes, 2 steps; step 0 matrix [[0.5, 0.5], [0, 1]],
+        // step 1 matrix [[1, 0], [0.25, 0.75]].
+        let mut b = SparseSteps::builder(2, 2);
+        b.push_initial(0, 0.9);
+        b.push_initial(1, 0.1);
+        for (row, entries) in [
+            vec![(0, 0.5), (1, 0.5)],
+            vec![(1, 1.0)],
+            vec![(0, 1.0)],
+            vec![(0, 0.25), (1, 0.75)],
+        ]
+        .iter()
+        .enumerate()
+        {
+            let _ = row;
+            for &(to, p) in entries {
+                b.push_transition(to, p);
+            }
+            b.finish_row();
+        }
+        let s = b.build();
+        assert_eq!(s.n_nodes(), 2);
+        assert_eq!(s.n_steps(), 2);
+        assert_eq!(s.initial(), &[(0, 0.9), (1, 0.1)]);
+        assert_eq!(s.row(0, 0), &[(0, 0.5), (1, 0.5)]);
+        assert_eq!(s.row(0, 1), &[(1, 1.0)]);
+        assert_eq!(s.row(1, 0), &[(0, 1.0)]);
+        assert_eq!(s.row(1, 1), &[(0, 0.25), (1, 0.75)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finished exactly once")]
+    fn unfinished_rows_are_rejected() {
+        let b = SparseSteps::builder(2, 1);
+        let _ = b.build();
+    }
+}

@@ -1,0 +1,80 @@
+//! Reusable double-buffered layer storage.
+//!
+//! The hand-rolled passes allocated two fresh `Vec`s per call (and the
+//! enumeration DFS did so per *trie node*). A [`Workspace`] owns the pair
+//! and is reset — not reallocated — between invocations, so repeated DPs
+//! over the same machine reuse hot memory.
+
+/// Double-buffered `cur`/`next` layer vectors.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace<E> {
+    cur: Vec<E>,
+    next: Vec<E>,
+}
+
+impl<E: Copy> Workspace<E> {
+    pub fn new() -> Self {
+        Workspace {
+            cur: Vec::new(),
+            next: Vec::new(),
+        }
+    }
+
+    /// Sizes both buffers to `cells` and fills them with `zero`. Keeps
+    /// capacity across calls.
+    pub fn reset(&mut self, cells: usize, zero: E) {
+        self.cur.clear();
+        self.cur.resize(cells, zero);
+        self.next.clear();
+        self.next.resize(cells, zero);
+    }
+
+    #[inline]
+    pub fn cur(&self) -> &[E] {
+        &self.cur
+    }
+
+    #[inline]
+    pub fn cur_mut(&mut self) -> &mut [E] {
+        &mut self.cur
+    }
+
+    /// Read buffer and write buffer together, for the step drivers.
+    #[inline]
+    pub fn buffers(&mut self) -> (&[E], &mut [E]) {
+        (&self.cur, &mut self.next)
+    }
+
+    /// Makes `next` the new `cur` (the old `cur` becomes scratch).
+    #[inline]
+    pub fn swap(&mut self) {
+        std::mem::swap(&mut self.cur, &mut self.next);
+    }
+
+    /// Zeroes the write buffer before the next step.
+    #[inline]
+    pub fn clear_next(&mut self, zero: E) {
+        self.next.iter_mut().for_each(|v| *v = zero);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Workspace;
+
+    #[test]
+    fn reset_and_swap_cycle() {
+        let mut ws: Workspace<f64> = Workspace::new();
+        ws.reset(3, 0.0);
+        ws.cur_mut()[1] = 2.0;
+        {
+            let (cur, next) = ws.buffers();
+            next[0] = cur[1] * 3.0;
+        }
+        ws.swap();
+        assert_eq!(ws.cur(), &[6.0, 0.0, 0.0]);
+        ws.clear_next(0.0);
+        ws.reset(2, 1.0);
+        assert_eq!(ws.cur(), &[1.0, 1.0]);
+    }
+}

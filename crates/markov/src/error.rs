@@ -56,22 +56,40 @@ pub enum MarkovError {
 impl fmt::Display for MarkovError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MarkovError::NotADistribution { what, position, row, sum } => write!(
+            MarkovError::NotADistribution {
+                what,
+                position,
+                row,
+                sum,
+            } => write!(
                 f,
                 "{what} distribution at position {position}, row {row} sums to {sum} (expected 1)"
             ),
-            MarkovError::InvalidProbability { what, position, value } => {
-                write!(f, "invalid probability {value} in {what} at position {position}")
+            MarkovError::InvalidProbability {
+                what,
+                position,
+                value,
+            } => {
+                write!(
+                    f,
+                    "invalid probability {value} in {what} at position {position}"
+                )
             }
             MarkovError::EmptySequence => write!(f, "a Markov sequence must have length ≥ 1"),
             MarkovError::AlphabetMismatch { left, right } => {
                 write!(f, "alphabet size mismatch: {left} vs {right}")
             }
             MarkovError::LengthMismatch { expected, actual } => {
-                write!(f, "string length {actual} does not match sequence length {expected}")
+                write!(
+                    f,
+                    "string length {actual} does not match sequence length {expected}"
+                )
             }
             MarkovError::ImpossibleEvidence => {
-                write!(f, "the observation sequence has zero likelihood under the model")
+                write!(
+                    f,
+                    "the observation sequence has zero likelihood under the model"
+                )
             }
             MarkovError::InvalidOrder { order, length } => {
                 write!(f, "invalid k-order shape: order {order}, length {length}")

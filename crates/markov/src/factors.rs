@@ -46,11 +46,17 @@ pub fn chain_from_factors(
     let alphabet = alphabet.into();
     let k = alphabet.len();
     if phi0.len() != k {
-        return Err(MarkovError::LengthMismatch { expected: k, actual: phi0.len() });
+        return Err(MarkovError::LengthMismatch {
+            expected: k,
+            actual: phi0.len(),
+        });
     }
     for (i, m) in factors.iter().enumerate() {
         if m.len() != k * k {
-            return Err(MarkovError::LengthMismatch { expected: k * k, actual: m.len() });
+            return Err(MarkovError::LengthMismatch {
+                expected: k * k,
+                actual: m.len(),
+            });
         }
         for &v in m {
             if !v.is_finite() || v < 0.0 {
@@ -64,7 +70,11 @@ pub fn chain_from_factors(
     }
     for &v in phi0 {
         if !v.is_finite() || v < 0.0 {
-            return Err(MarkovError::InvalidProbability { what: "phi0", position: 0, value: v });
+            return Err(MarkovError::InvalidProbability {
+                what: "phi0",
+                position: 0,
+                value: v,
+            });
         }
     }
 

@@ -26,7 +26,11 @@ pub struct RandomChainSpec {
 
 impl Default for RandomChainSpec {
     fn default() -> Self {
-        Self { len: 5, n_symbols: 3, zero_prob: 0.3 }
+        Self {
+            len: 5,
+            n_symbols: 3,
+            zero_prob: 0.3,
+        }
     }
 }
 
@@ -38,7 +42,10 @@ pub fn random_markov_sequence<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> MarkovSequence {
     assert!(spec.len >= 1 && spec.n_symbols >= 1, "degenerate spec");
-    assert!((0.0..1.0).contains(&spec.zero_prob), "zero_prob must be in [0,1)");
+    assert!(
+        (0.0..1.0).contains(&spec.zero_prob),
+        "zero_prob must be in [0,1)"
+    );
     let alphabet = Arc::new(Alphabet::from_names(
         (0..spec.n_symbols).map(|i| format!("s{i}")),
     ));
@@ -93,7 +100,11 @@ mod tests {
         for len in [1usize, 2, 5, 20] {
             for k in [1usize, 2, 4] {
                 let m = random_markov_sequence(
-                    &RandomChainSpec { len, n_symbols: k, zero_prob: 0.4 },
+                    &RandomChainSpec {
+                        len,
+                        n_symbols: k,
+                        zero_prob: 0.4,
+                    },
                     &mut rng,
                 );
                 assert_eq!(m.len(), len);

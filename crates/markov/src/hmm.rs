@@ -48,18 +48,33 @@ impl Hmm {
         let k = hidden.len();
         let m = observations.len();
         if initial.len() != k {
-            return Err(MarkovError::LengthMismatch { expected: k, actual: initial.len() });
+            return Err(MarkovError::LengthMismatch {
+                expected: k,
+                actual: initial.len(),
+            });
         }
         if transition.len() != k * k {
-            return Err(MarkovError::LengthMismatch { expected: k * k, actual: transition.len() });
+            return Err(MarkovError::LengthMismatch {
+                expected: k * k,
+                actual: transition.len(),
+            });
         }
         if emission.len() != k * m {
-            return Err(MarkovError::LengthMismatch { expected: k * m, actual: emission.len() });
+            return Err(MarkovError::LengthMismatch {
+                expected: k * m,
+                actual: emission.len(),
+            });
         }
         check_rows(&initial, 1, initial.len(), "initial")?;
         check_rows(&transition, k, k, "transition")?;
         check_rows(&emission, k, m, "emission")?;
-        Ok(Self { hidden, observations, initial, transition, emission })
+        Ok(Self {
+            hidden,
+            observations,
+            initial,
+            transition,
+            emission,
+        })
     }
 
     /// The hidden-state alphabet.
@@ -227,7 +242,10 @@ impl Hmm {
             path.push(arg[*path.last().expect("nonempty")]);
         }
         path.reverse();
-        Ok((path.into_iter().map(|i| SymbolId(i as u32)).collect(), best_score))
+        Ok((
+            path.into_iter().map(|i| SymbolId(i as u32)).collect(),
+            best_score,
+        ))
     }
 
     /// Samples a trajectory of `n` (hidden, observation) pairs.
@@ -265,19 +283,33 @@ fn pick<R: Rng + ?Sized>(dist: &[f64], rng: &mut R) -> usize {
     dist.iter().rposition(|&p| p > 0.0).expect("positive mass")
 }
 
-fn check_rows(table: &[f64], rows: usize, cols: usize, what: &'static str) -> Result<(), MarkovError> {
+fn check_rows(
+    table: &[f64],
+    rows: usize,
+    cols: usize,
+    what: &'static str,
+) -> Result<(), MarkovError> {
     for r in 0..rows {
         let row = &table[r * cols..(r + 1) * cols];
         let mut sum = KahanSum::new();
         for &p in row {
             if !p.is_finite() || p < 0.0 {
-                return Err(MarkovError::InvalidProbability { what, position: r, value: p });
+                return Err(MarkovError::InvalidProbability {
+                    what,
+                    position: r,
+                    value: p,
+                });
             }
             sum.add(p);
         }
         let total = sum.total();
         if !approx_eq(total, 1.0, DIST_TOLERANCE, DIST_TOLERANCE) {
-            return Err(MarkovError::NotADistribution { what, position: 0, row: r, sum: total });
+            return Err(MarkovError::NotADistribution {
+                what,
+                position: 0,
+                row: r,
+                sum: total,
+            });
         }
     }
     Ok(())
@@ -356,7 +388,12 @@ mod tests {
     fn log_likelihood_matches_enumeration() {
         let hmm = toy_hmm();
         let o = hmm.observation_alphabet().clone();
-        let obs = vec![o.sym("none"), o.sym("none"), o.sym("umbrella"), o.sym("none")];
+        let obs = vec![
+            o.sym("none"),
+            o.sym("none"),
+            o.sym("umbrella"),
+            o.sym("none"),
+        ];
         let k = hmm.hidden_alphabet().len();
         let mut z = 0.0;
         let mut seqs: Vec<Vec<SymbolId>> = vec![vec![]];
@@ -380,7 +417,11 @@ mod tests {
             z += p;
         }
         let ll = hmm.log_likelihood(&obs).unwrap();
-        assert!(approx_eq(ll.exp(), z, 1e-12, 1e-10), "ll.exp()={} z={z}", ll.exp());
+        assert!(
+            approx_eq(ll.exp(), z, 1e-12, 1e-10),
+            "ll.exp()={} z={z}",
+            ll.exp()
+        );
     }
 
     #[test]
@@ -401,8 +442,14 @@ mod tests {
         // State "a" never emits "y".
         let hmm = Hmm::new(hidden, obs.clone(), vec![1.0], vec![1.0], vec![1.0, 0.0]).unwrap();
         let seq = vec![obs.sym("y")];
-        assert!(matches!(hmm.posterior(&seq), Err(MarkovError::ImpossibleEvidence)));
-        assert!(matches!(hmm.log_likelihood(&seq), Err(MarkovError::ImpossibleEvidence)));
+        assert!(matches!(
+            hmm.posterior(&seq),
+            Err(MarkovError::ImpossibleEvidence)
+        ));
+        assert!(matches!(
+            hmm.log_likelihood(&seq),
+            Err(MarkovError::ImpossibleEvidence)
+        ));
     }
 
     #[test]

@@ -29,7 +29,10 @@ use crate::hmm::Hmm;
 use crate::textio::{ParseError, TextIoError};
 
 fn err(line: usize, message: impl Into<String>) -> TextIoError {
-    TextIoError::Parse(ParseError { line, message: message.into() })
+    TextIoError::Parse(ParseError {
+        line,
+        message: message.into(),
+    })
 }
 
 /// Serializes an HMM to the v1 text format.
@@ -91,8 +94,9 @@ pub fn from_text(text: &str) -> Result<Hmm, TextIoError> {
         return Err(err(ln, format!("expected \"hmm v1\", found {header:?}")));
     }
     let mut alphabet_line = |prefix: &str| -> Result<Arc<Alphabet>, TextIoError> {
-        let (ln, line) =
-            lines.next().ok_or_else(|| err(0, format!("missing \"{prefix}\" line")))?;
+        let (ln, line) = lines
+            .next()
+            .ok_or_else(|| err(0, format!("missing \"{prefix}\" line")))?;
         let names: Vec<&str> = line
             .strip_prefix(prefix)
             .ok_or_else(|| err(ln, format!("expected \"{prefix} <names…>\"")))?
@@ -111,26 +115,33 @@ pub fn from_text(text: &str) -> Result<Hmm, TextIoError> {
     let observations = alphabet_line("observations")?;
     let (k, m) = (hidden.len(), observations.len());
 
-    let parse_row = |ln: usize, body: &str, cols: usize, what: &str| -> Result<Vec<f64>, TextIoError> {
-        let vals: Result<Vec<f64>, _> = body.split_whitespace().map(str::parse).collect();
-        let vals = vals.map_err(|e| err(ln, format!("bad number in {what}: {e}")))?;
-        if vals.len() != cols {
-            return Err(err(ln, format!("{what} has {} entries, expected {cols}", vals.len())));
-        }
-        Ok(vals)
-    };
+    let parse_row =
+        |ln: usize, body: &str, cols: usize, what: &str| -> Result<Vec<f64>, TextIoError> {
+            let vals: Result<Vec<f64>, _> = body.split_whitespace().map(str::parse).collect();
+            let vals = vals.map_err(|e| err(ln, format!("bad number in {what}: {e}")))?;
+            if vals.len() != cols {
+                return Err(err(
+                    ln,
+                    format!("{what} has {} entries, expected {cols}", vals.len()),
+                ));
+            }
+            Ok(vals)
+        };
 
     let (ln, init_line) = lines.next().ok_or_else(|| err(0, "missing initial line"))?;
     let initial = parse_row(
         ln,
-        init_line.strip_prefix("initial").ok_or_else(|| err(ln, "expected \"initial <p…>\""))?,
+        init_line
+            .strip_prefix("initial")
+            .ok_or_else(|| err(ln, "expected \"initial <p…>\""))?,
         k,
         "initial distribution",
     )?;
 
     let mut table = |header: &str, cols: usize| -> Result<Vec<f64>, TextIoError> {
-        let (ln, line) =
-            lines.next().ok_or_else(|| err(0, format!("missing \"{header}\" header")))?;
+        let (ln, line) = lines
+            .next()
+            .ok_or_else(|| err(0, format!("missing \"{header}\" header")))?;
         if line != header {
             return Err(err(ln, format!("expected \"{header}\", found {line:?}")));
         }
@@ -196,7 +207,8 @@ mod tests {
     #[test]
     fn errors_are_located_and_classified() {
         assert!(matches!(from_text(""), Err(TextIoError::Parse(_))));
-        let short_row = "hmm v1\nhidden a b\nobservations x\ninitial 1 0\ntransition\n1 0\n0\nemission\n1\n1\n";
+        let short_row =
+            "hmm v1\nhidden a b\nobservations x\ninitial 1 0\ntransition\n1 0\n0\nemission\n1\n1\n";
         match from_text(short_row) {
             Err(TextIoError::Parse(e)) => assert_eq!(e.line, 7, "{e}"),
             other => panic!("expected located error, got {other:?}"),

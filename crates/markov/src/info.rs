@@ -74,10 +74,16 @@ pub fn perplexity(m: &MarkovSequence) -> f64 {
 /// continuity fails) and an error on shape mismatch.
 pub fn kl_divergence(mu: &MarkovSequence, nu: &MarkovSequence) -> Result<f64, MarkovError> {
     if mu.n_symbols() != nu.n_symbols() {
-        return Err(MarkovError::AlphabetMismatch { left: mu.n_symbols(), right: nu.n_symbols() });
+        return Err(MarkovError::AlphabetMismatch {
+            left: mu.n_symbols(),
+            right: nu.n_symbols(),
+        });
     }
     if mu.len() != nu.len() {
-        return Err(MarkovError::LengthMismatch { expected: mu.len(), actual: nu.len() });
+        return Err(MarkovError::LengthMismatch {
+            expected: mu.len(),
+            actual: nu.len(),
+        });
     }
     let mut total = KahanSum::new();
     let term = |p: f64, q: f64| -> f64 {
@@ -148,7 +154,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         for _ in 0..20 {
             let m = random_markov_sequence(
-                &RandomChainSpec { len: 4, n_symbols: 3, zero_prob: 0.3 },
+                &RandomChainSpec {
+                    len: 4,
+                    n_symbols: 3,
+                    zero_prob: 0.3,
+                },
                 &mut rng,
             );
             let fast = entropy(&m);
@@ -161,12 +171,15 @@ mod tests {
     fn entropy_extremes() {
         let a = Alphabet::of_chars("xy");
         // Deterministic chain: zero entropy, perplexity 1.
-        let det = MarkovSequence::homogeneous(a.clone(), 5, &[1.0, 0.0], &[0.0, 1.0, 1.0, 0.0])
-            .unwrap();
+        let det =
+            MarkovSequence::homogeneous(a.clone(), 5, &[1.0, 0.0], &[0.0, 1.0, 1.0, 0.0]).unwrap();
         assert!(entropy(&det).abs() < 1e-12);
         assert!((perplexity(&det) - 1.0).abs() < 1e-12);
         // Uniform i.i.d.: n bits over a binary alphabet, perplexity 2.
-        let uni = MarkovSequenceBuilder::new(a, 5).uniform_all().build().unwrap();
+        let uni = MarkovSequenceBuilder::new(a, 5)
+            .uniform_all()
+            .build()
+            .unwrap();
         assert!(approx_eq(entropy(&uni), 5.0, 1e-12, 0.0));
         assert!(approx_eq(perplexity(&uni), 2.0, 1e-12, 0.0));
     }
@@ -177,11 +190,19 @@ mod tests {
         for _ in 0..20 {
             // zero_prob = 0 keeps ν absolutely continuous w.r.t. μ.
             let mu = random_markov_sequence(
-                &RandomChainSpec { len: 4, n_symbols: 2, zero_prob: 0.0 },
+                &RandomChainSpec {
+                    len: 4,
+                    n_symbols: 2,
+                    zero_prob: 0.0,
+                },
                 &mut rng,
             );
             let nu = random_markov_sequence(
-                &RandomChainSpec { len: 4, n_symbols: 2, zero_prob: 0.0 },
+                &RandomChainSpec {
+                    len: 4,
+                    n_symbols: 2,
+                    zero_prob: 0.0,
+                },
                 &mut rng,
             );
             let fast = kl_divergence(&mu, &nu).unwrap();
@@ -196,7 +217,10 @@ mod tests {
     #[test]
     fn kl_detects_support_violations() {
         let a = Alphabet::of_chars("xy");
-        let mu = MarkovSequenceBuilder::new(a.clone(), 2).uniform_all().build().unwrap();
+        let mu = MarkovSequenceBuilder::new(a.clone(), 2)
+            .uniform_all()
+            .build()
+            .unwrap();
         let nu = MarkovSequence::homogeneous(a, 2, &[1.0, 0.0], &[1.0, 0.0, 0.5, 0.5]).unwrap();
         assert_eq!(kl_divergence(&mu, &nu).unwrap(), f64::INFINITY);
     }
@@ -205,10 +229,19 @@ mod tests {
     fn kl_validates_shapes() {
         let a2 = Alphabet::of_chars("xy");
         let a3 = Alphabet::of_chars("xyz");
-        let mu = MarkovSequenceBuilder::new(a2.clone(), 2).uniform_all().build().unwrap();
-        let nu3 = MarkovSequenceBuilder::new(a3, 2).uniform_all().build().unwrap();
+        let mu = MarkovSequenceBuilder::new(a2.clone(), 2)
+            .uniform_all()
+            .build()
+            .unwrap();
+        let nu3 = MarkovSequenceBuilder::new(a3, 2)
+            .uniform_all()
+            .build()
+            .unwrap();
         assert!(kl_divergence(&mu, &nu3).is_err());
-        let nu_long = MarkovSequenceBuilder::new(a2, 3).uniform_all().build().unwrap();
+        let nu_long = MarkovSequenceBuilder::new(a2, 3)
+            .uniform_all()
+            .build()
+            .unwrap();
         assert!(kl_divergence(&mu, &nu_long).is_err());
     }
 
@@ -218,7 +251,11 @@ mod tests {
         use crate::seqops::{condition, Evidence};
         let mut rng = StdRng::seed_from_u64(17);
         let m = random_markov_sequence(
-            &RandomChainSpec { len: 4, n_symbols: 2, zero_prob: 0.0 },
+            &RandomChainSpec {
+                len: 4,
+                n_symbols: 2,
+                zero_prob: 0.0,
+            },
             &mut rng,
         );
         let h = entropy(&m);
@@ -231,6 +268,9 @@ mod tests {
                 expected_conditional += pe * entropy(&cond);
             }
         }
-        assert!(expected_conditional <= h + 1e-9, "{expected_conditional} > {h}");
+        assert!(
+            expected_conditional <= h + 1e-9,
+            "{expected_conditional} > {h}"
+        );
     }
 }

@@ -44,20 +44,33 @@ impl KOrderMarkovSequence {
         let alphabet = alphabet.into();
         let sigma = alphabet.len();
         if k == 0 || k > n {
-            return Err(MarkovError::InvalidOrder { order: k, length: n });
+            return Err(MarkovError::InvalidOrder {
+                order: k,
+                length: n,
+            });
         }
         let n_ctx = sigma.pow(k as u32);
         if initial_joint.len() != n_ctx {
-            return Err(MarkovError::LengthMismatch { expected: n_ctx, actual: initial_joint.len() });
+            return Err(MarkovError::LengthMismatch {
+                expected: n_ctx,
+                actual: initial_joint.len(),
+            });
         }
         if transitions.len() != n - k {
-            return Err(MarkovError::LengthMismatch { expected: n - k, actual: transitions.len() });
+            return Err(MarkovError::LengthMismatch {
+                expected: n - k,
+                actual: transitions.len(),
+            });
         }
         // Initial joint must be a distribution.
         let mut sum = KahanSum::new();
         for &p in &initial_joint {
             if !p.is_finite() || p < 0.0 {
-                return Err(MarkovError::InvalidProbability { what: "initial", position: 0, value: p });
+                return Err(MarkovError::InvalidProbability {
+                    what: "initial",
+                    position: 0,
+                    value: p,
+                });
             }
             sum.add(p);
         }
@@ -71,7 +84,10 @@ impl KOrderMarkovSequence {
         }
         for (i, t) in transitions.iter().enumerate() {
             if t.len() != n_ctx * sigma {
-                return Err(MarkovError::LengthMismatch { expected: n_ctx * sigma, actual: t.len() });
+                return Err(MarkovError::LengthMismatch {
+                    expected: n_ctx * sigma,
+                    actual: t.len(),
+                });
             }
             for ctx in 0..n_ctx {
                 let row = &t[ctx * sigma..(ctx + 1) * sigma];
@@ -96,7 +112,13 @@ impl KOrderMarkovSequence {
                 }
             }
         }
-        Ok(Self { alphabet, k, n, initial_joint, transitions })
+        Ok(Self {
+            alphabet,
+            k,
+            n,
+            initial_joint,
+            transitions,
+        })
     }
 
     /// The order `k`.
@@ -128,7 +150,10 @@ impl KOrderMarkovSequence {
     /// The probability of a full string `s ∈ Σⁿ`.
     pub fn string_probability(&self, s: &[SymbolId]) -> Result<f64, MarkovError> {
         if s.len() != self.n {
-            return Err(MarkovError::LengthMismatch { expected: self.n, actual: s.len() });
+            return Err(MarkovError::LengthMismatch {
+                expected: self.n,
+                actual: s.len(),
+            });
         }
         let sigma = self.alphabet.len();
         let mut p = self.initial_joint[self.encode(&s[..self.k])];
@@ -186,7 +211,10 @@ impl KOrderMarkovSequence {
         let chain = from_validated_parts(Arc::clone(&window_alphabet), initial, matrices);
         (
             chain,
-            WindowEncoding { alphabet: Arc::clone(&self.alphabet), k: self.k },
+            WindowEncoding {
+                alphabet: Arc::clone(&self.alphabet),
+                k: self.k,
+            },
         )
     }
 
@@ -214,13 +242,14 @@ impl WindowEncoding {
     /// length `n-k+1`.
     pub fn encode(&self, s: &[SymbolId]) -> Result<Vec<SymbolId>, MarkovError> {
         if s.len() < self.k {
-            return Err(MarkovError::LengthMismatch { expected: self.k, actual: s.len() });
+            return Err(MarkovError::LengthMismatch {
+                expected: self.k,
+                actual: s.len(),
+            });
         }
         let sigma = self.alphabet.len();
         Ok(s.windows(self.k)
-            .map(|w| {
-                SymbolId(w.iter().fold(0usize, |acc, c| acc * sigma + c.index()) as u32)
-            })
+            .map(|w| SymbolId(w.iter().fold(0usize, |acc, c| acc * sigma + c.index()) as u32))
             .collect())
     }
 
@@ -320,7 +349,12 @@ mod tests {
         let (chain, enc) = m.to_first_order();
         for (w, p) in crate::support::support(&chain) {
             let s = enc.decode(&w).unwrap();
-            assert!(approx_eq(m.string_probability(&s).unwrap(), p, 1e-14, 1e-12));
+            assert!(approx_eq(
+                m.string_probability(&s).unwrap(),
+                p,
+                1e-14,
+                1e-12
+            ));
         }
     }
 

@@ -3,49 +3,12 @@
 //! Confidence computation sums huge numbers of tiny path probabilities;
 //! the engine's DPs use Neumaier (improved Kahan) accumulation so that the
 //! brute-force oracles and the dynamic programs agree to tight tolerances
-//! in tests.
+//! in tests. The accumulator itself lives in `transmark-kernel` (the
+//! bottom of the workspace dependency graph) so every crate folds floats
+//! through the exact same operation sequence; `KahanSum` is its historical
+//! name here.
 
-/// A Neumaier compensated accumulator.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct KahanSum {
-    sum: f64,
-    compensation: f64,
-}
-
-impl KahanSum {
-    /// A fresh accumulator at 0.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Adds `value`.
-    #[inline]
-    pub fn add(&mut self, value: f64) {
-        let t = self.sum + value;
-        if self.sum.abs() >= value.abs() {
-            self.compensation += (self.sum - t) + value;
-        } else {
-            self.compensation += (value - t) + self.sum;
-        }
-        self.sum = t;
-    }
-
-    /// The compensated total.
-    #[inline]
-    pub fn total(&self) -> f64 {
-        self.sum + self.compensation
-    }
-}
-
-impl FromIterator<f64> for KahanSum {
-    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
-        let mut k = KahanSum::new();
-        for v in iter {
-            k.add(v);
-        }
-        k
-    }
-}
+pub use transmark_kernel::Neumaier as KahanSum;
 
 /// Compensated sum of a slice.
 pub fn kahan_sum(values: &[f64]) -> f64 {

@@ -27,7 +27,10 @@ pub fn window(m: &MarkovSequence, start: usize, len: usize) -> Result<MarkovSequ
         return Err(MarkovError::EmptySequence);
     }
     if start + len > m.len() {
-        return Err(MarkovError::LengthMismatch { expected: m.len(), actual: start + len });
+        return Err(MarkovError::LengthMismatch {
+            expected: m.len(),
+            actual: start + len,
+        });
     }
     let initial = m.marginals()[start].clone();
     let transitions: Vec<Vec<f64>> = (start..start + len - 1)
@@ -69,7 +72,10 @@ pub fn condition(
     let mut weights = vec![vec![1.0f64; k]; n];
     for (pos, ev) in evidence {
         if *pos >= n {
-            return Err(MarkovError::LengthMismatch { expected: n, actual: *pos + 1 });
+            return Err(MarkovError::LengthMismatch {
+                expected: n,
+                actual: *pos + 1,
+            });
         }
         let w = &mut weights[*pos];
         match ev {
@@ -85,7 +91,10 @@ pub fn condition(
             }
             Evidence::Likelihood(l) => {
                 if l.len() != k {
-                    return Err(MarkovError::LengthMismatch { expected: k, actual: l.len() });
+                    return Err(MarkovError::LengthMismatch {
+                        expected: k,
+                        actual: l.len(),
+                    });
                 }
                 for (v, &li) in w.iter_mut().zip(l) {
                     if !li.is_finite() || li < 0.0 {
@@ -103,7 +112,9 @@ pub fn condition(
 
     // Build the Gibbs factors: φ₀(s) = μ₀(s)·w₀(s);
     // ψᵢ(s, t) = μᵢ(s, t)·wᵢ₊₁(t).
-    let phi0: Vec<f64> = (0..k).map(|s| m.initial_prob(SymbolId(s as u32)) * weights[0][s]).collect();
+    let phi0: Vec<f64> = (0..k)
+        .map(|s| m.initial_prob(SymbolId(s as u32)) * weights[0][s])
+        .collect();
     let factors: Vec<Vec<f64>> = (0..n - 1)
         .map(|i| {
             let mut f = vec![0.0; k * k];
@@ -131,7 +142,10 @@ pub fn evidence_probability(
     let mut weights = vec![vec![1.0f64; k]; n];
     for (pos, ev) in evidence {
         if *pos >= n {
-            return Err(MarkovError::LengthMismatch { expected: n, actual: *pos + 1 });
+            return Err(MarkovError::LengthMismatch {
+                expected: n,
+                actual: *pos + 1,
+            });
         }
         match ev {
             Evidence::Exactly(s) => {
@@ -151,8 +165,9 @@ pub fn evidence_probability(
             }
         }
     }
-    let mut alpha: Vec<f64> =
-        (0..k).map(|s| m.initial_prob(SymbolId(s as u32)) * weights[0][s]).collect();
+    let mut alpha: Vec<f64> = (0..k)
+        .map(|s| m.initial_prob(SymbolId(s as u32)) * weights[0][s])
+        .collect();
     for i in 0..n - 1 {
         let mut next = vec![0.0f64; k];
         for s in 0..k {
@@ -261,7 +276,10 @@ mod tests {
     fn window_bounds_are_checked() {
         let m = chain();
         assert!(matches!(window(&m, 0, 0), Err(MarkovError::EmptySequence)));
-        assert!(matches!(window(&m, 3, 2), Err(MarkovError::LengthMismatch { .. })));
+        assert!(matches!(
+            window(&m, 3, 2),
+            Err(MarkovError::LengthMismatch { .. })
+        ));
         assert!(window(&m, 0, 4).is_ok());
     }
 
@@ -272,11 +290,18 @@ mod tests {
         let y = a.sym("y");
         let cond = condition(&m, &[(2, Evidence::Exactly(y))]).unwrap();
         // Compare against direct Bayes over the support.
-        let z: f64 = support(&m).iter().filter(|(s, _)| s[2] == y).map(|(_, p)| p).sum();
+        let z: f64 = support(&m)
+            .iter()
+            .filter(|(s, _)| s[2] == y)
+            .map(|(_, p)| p)
+            .sum();
         for (s, p) in support(&m) {
             let want = if s[2] == y { p / z } else { 0.0 };
             let got = cond.string_probability(&s).unwrap();
-            assert!(approx_eq(got, want, 1e-12, 1e-9), "string {s:?}: {got} vs {want}");
+            assert!(
+                approx_eq(got, want, 1e-12, 1e-9),
+                "string {s:?}: {got} vs {want}"
+            );
         }
         // Evidence probability matches the normalizer.
         let pe = evidence_probability(&m, &[(2, Evidence::Exactly(y))]).unwrap();
@@ -288,10 +313,18 @@ mod tests {
         let m = chain();
         let like = vec![2.0, 0.5];
         let cond = condition(&m, &[(0, Evidence::Likelihood(like.clone()))]).unwrap();
-        let z: f64 = support(&m).iter().map(|(s, p)| p * like[s[0].index()]).sum();
+        let z: f64 = support(&m)
+            .iter()
+            .map(|(s, p)| p * like[s[0].index()])
+            .sum();
         for (s, p) in support(&m) {
             let want = p * like[s[0].index()] / z;
-            assert!(approx_eq(cond.string_probability(&s).unwrap(), want, 1e-12, 1e-9));
+            assert!(approx_eq(
+                cond.string_probability(&s).unwrap(),
+                want,
+                1e-12,
+                1e-9
+            ));
         }
     }
 
@@ -302,7 +335,10 @@ mod tests {
         // S₁ = x and S₂ = x is possible; S₁ = y then S₂ = x is not (y→y only).
         let bad = condition(
             &m,
-            &[(0, Evidence::Exactly(a.sym("y"))), (1, Evidence::Exactly(a.sym("x")))],
+            &[
+                (0, Evidence::Exactly(a.sym("y"))),
+                (1, Evidence::Exactly(a.sym("x"))),
+            ],
         );
         assert!(matches!(bad, Err(MarkovError::ImpossibleEvidence)));
     }
@@ -314,7 +350,12 @@ mod tests {
         let both = condition(&m, &[(1, Evidence::OneOf(vec![a.sym("x"), a.sym("y")]))]).unwrap();
         // Conditioning on the full set is a no-op.
         for (s, p) in support(&m) {
-            assert!(approx_eq(both.string_probability(&s).unwrap(), p, 1e-12, 1e-9));
+            assert!(approx_eq(
+                both.string_probability(&s).unwrap(),
+                p,
+                1e-12,
+                1e-9
+            ));
         }
     }
 
@@ -335,7 +376,12 @@ mod tests {
         let m = chain();
         let rr = reverse(&reverse(&m));
         for (s, p) in support(&m) {
-            assert!(approx_eq(rr.string_probability(&s).unwrap(), p, 1e-12, 1e-9));
+            assert!(approx_eq(
+                rr.string_probability(&s).unwrap(),
+                p,
+                1e-12,
+                1e-9
+            ));
         }
     }
 }

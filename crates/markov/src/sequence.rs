@@ -95,10 +95,58 @@ impl MarkovSequence {
         &self.transitions[i][from.index() * k..(from.index() + 1) * k]
     }
 
+    /// The nonzero entries of the row `μ_{i+1→}(from, ·)`, in ascending
+    /// target order. The sparse counterpart of
+    /// [`MarkovSequence::transition_row`]: scans that skip zero-probability
+    /// targets should iterate this instead of testing each dense entry.
+    #[inline]
+    pub fn transitions_from(
+        &self,
+        i: usize,
+        from: SymbolId,
+    ) -> impl Iterator<Item = (SymbolId, f64)> + '_ {
+        self.transition_row(i, from)
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p > 0.0)
+            .map(|(to, &p)| (SymbolId(to as u32), p))
+    }
+
+    /// Flattens the chain into the kernel's CSR form: one sparse row per
+    /// `(step, node)` with zero-probability transitions dropped at build
+    /// time. Built once per query and fed to the `transmark_kernel::dp`
+    /// drivers; rows keep ascending target order, so DPs that previously
+    /// scanned dense rows (skipping zeros inline) accumulate in the exact
+    /// same sequence.
+    pub fn sparse_steps(&self) -> transmark_kernel::SparseSteps {
+        let k = self.alphabet.len();
+        let mut b = transmark_kernel::SparseSteps::builder(k, self.n - 1);
+        b.reserve((self.n - 1) * k * k);
+        for (s, &p) in self.initial.iter().enumerate() {
+            if p > 0.0 {
+                b.push_initial(s as u32, p);
+            }
+        }
+        for m in &self.transitions {
+            for from in 0..k {
+                for (to, &p) in m[from * k..(from + 1) * k].iter().enumerate() {
+                    if p > 0.0 {
+                        b.push_transition(to as u32, p);
+                    }
+                }
+                b.finish_row();
+            }
+        }
+        b.build()
+    }
+
     /// Eq. (1): the probability `p(s)` of a full string `s ∈ Σⁿ`.
     pub fn string_probability(&self, s: &[SymbolId]) -> Result<f64, MarkovError> {
         if s.len() != self.n {
-            return Err(MarkovError::LengthMismatch { expected: self.n, actual: s.len() });
+            return Err(MarkovError::LengthMismatch {
+                expected: self.n,
+                actual: s.len(),
+            });
         }
         let mut p = self.initial_prob(s[0]);
         for i in 0..self.n - 1 {
@@ -120,14 +168,30 @@ impl MarkovSequence {
         Ok(self.string_probability(s)? > 0.0)
     }
 
-    /// Samples one string from the distribution.
+    /// Samples one string from the distribution. Transition rows are
+    /// walked through [`MarkovSequence::transitions_from`], so zero
+    /// entries cost nothing; they also absorb none of the uniform draw,
+    /// so the sampled strings are identical to a dense walk.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<SymbolId> {
         let mut out = Vec::with_capacity(self.n);
         let first = sample_index(&self.initial, rng);
         out.push(SymbolId(first as u32));
         for i in 0..self.n - 1 {
-            let row = self.transition_row(i, *out.last().expect("nonempty"));
-            out.push(SymbolId(sample_index(row, rng) as u32));
+            let from = *out.last().expect("nonempty");
+            let mut u: f64 = rng.random();
+            let mut chosen = None;
+            let mut last = None;
+            for (to, p) in self.transitions_from(i, from) {
+                last = Some(to);
+                if u < p {
+                    chosen = Some(to);
+                    break;
+                }
+                u -= p;
+            }
+            // Rounding can leave `u` past the end: take the last positive
+            // entry, as the dense walk did.
+            out.push(chosen.or(last).expect("distribution has positive mass"));
         }
         out
     }
@@ -146,11 +210,8 @@ impl MarkovSequence {
                 if pf == 0.0 {
                     continue;
                 }
-                let row = &self.transitions[i][from * k..(from + 1) * k];
-                for (to, &pt) in row.iter().enumerate() {
-                    if pt > 0.0 {
-                        next[to].add(pf * pt);
-                    }
+                for (to, pt) in self.transitions_from(i, SymbolId(from as u32)) {
+                    next[to.index()].add(pf * pt);
                 }
             }
             out.push(next.into_iter().map(|a| a.total()).collect());
@@ -216,10 +277,16 @@ impl MarkovSequence {
     ) -> Result<MarkovSequence, MarkovError> {
         let k = self.alphabet.len();
         if other.alphabet.len() != k {
-            return Err(MarkovError::AlphabetMismatch { left: k, right: other.alphabet.len() });
+            return Err(MarkovError::AlphabetMismatch {
+                left: k,
+                right: other.alphabet.len(),
+            });
         }
         if glue.len() != k * k {
-            return Err(MarkovError::LengthMismatch { expected: k * k, actual: glue.len() });
+            return Err(MarkovError::LengthMismatch {
+                expected: k * k,
+                actual: glue.len(),
+            });
         }
         validate_matrix(glue, k, "transition", self.n - 1)?;
         // The glued chain ignores `other`'s initial distribution: positions
@@ -255,13 +322,22 @@ fn validate_vector(v: &[f64], what: &'static str, position: usize) -> Result<(),
     let mut sum = KahanSum::new();
     for &p in v {
         if !p.is_finite() || p < 0.0 {
-            return Err(MarkovError::InvalidProbability { what, position, value: p });
+            return Err(MarkovError::InvalidProbability {
+                what,
+                position,
+                value: p,
+            });
         }
         sum.add(p);
     }
     let total = sum.total();
     if !approx_eq(total, 1.0, DIST_TOLERANCE, DIST_TOLERANCE) {
-        return Err(MarkovError::NotADistribution { what, position, row: 0, sum: total });
+        return Err(MarkovError::NotADistribution {
+            what,
+            position,
+            row: 0,
+            sum: total,
+        });
     }
     Ok(())
 }
@@ -277,13 +353,22 @@ fn validate_matrix(
         let mut sum = KahanSum::new();
         for &p in slice {
             if !p.is_finite() || p < 0.0 {
-                return Err(MarkovError::InvalidProbability { what, position, value: p });
+                return Err(MarkovError::InvalidProbability {
+                    what,
+                    position,
+                    value: p,
+                });
             }
             sum.add(p);
         }
         let total = sum.total();
         if !approx_eq(total, 1.0, DIST_TOLERANCE, DIST_TOLERANCE) {
-            return Err(MarkovError::NotADistribution { what, position, row, sum: total });
+            return Err(MarkovError::NotADistribution {
+                what,
+                position,
+                row,
+                sum: total,
+            });
         }
     }
     Ok(())
@@ -430,7 +515,12 @@ pub(crate) fn from_validated_parts(
     transitions: Vec<Vec<f64>>,
 ) -> MarkovSequence {
     let n = transitions.len() + 1;
-    MarkovSequence { alphabet, n, initial, transitions }
+    MarkovSequence {
+        alphabet,
+        n,
+        initial,
+        transitions,
+    }
 }
 
 #[cfg(test)]
@@ -471,7 +561,10 @@ mod tests {
         let x = m.alphabet().sym("x");
         assert!(matches!(
             m.string_probability(&[x]),
-            Err(MarkovError::LengthMismatch { expected: 3, actual: 1 })
+            Err(MarkovError::LengthMismatch {
+                expected: 3,
+                actual: 1
+            })
         ));
     }
 
@@ -483,13 +576,25 @@ mod tests {
             .initial(x, 1.0)
             .build()
             .unwrap_err();
-        assert!(matches!(err, MarkovError::NotADistribution { what: "transition", .. }));
+        assert!(matches!(
+            err,
+            MarkovError::NotADistribution {
+                what: "transition",
+                ..
+            }
+        ));
 
         let err2 = MarkovSequenceBuilder::new(alphabet.clone(), 1)
             .initial(x, 0.5)
             .build()
             .unwrap_err();
-        assert!(matches!(err2, MarkovError::NotADistribution { what: "initial", .. }));
+        assert!(matches!(
+            err2,
+            MarkovError::NotADistribution {
+                what: "initial",
+                ..
+            }
+        ));
 
         let err3 = MarkovSequenceBuilder::new(alphabet, 1)
             .initial(x, -1.0)
@@ -562,6 +667,23 @@ mod tests {
         }
         let freq = count_yxy as f64 / trials as f64;
         assert!((freq - 0.75).abs() < 0.02, "freq {freq} far from 0.75");
+    }
+
+    #[test]
+    fn sparse_views_match_dense_rows() {
+        let m = two_step();
+        let a = m.alphabet().clone();
+        let (x, y) = (a.sym("x"), a.sym("y"));
+        let got: Vec<_> = m.transitions_from(0, x).collect();
+        assert_eq!(got, vec![(x, 0.5), (y, 0.5)]);
+        let got: Vec<_> = m.transitions_from(1, x).collect();
+        assert_eq!(got, vec![(y, 1.0)]); // the x→x zero is skipped
+        let steps = m.sparse_steps();
+        assert_eq!(steps.n_nodes(), 2);
+        assert_eq!(steps.n_steps(), 2);
+        assert_eq!(steps.initial(), &[(0, 0.25), (1, 0.75)]);
+        assert_eq!(steps.row(0, 1), &[(0, 1.0)]); // y→x at step 0
+        assert_eq!(steps.row(1, 1), &[(1, 1.0)]);
     }
 
     #[test]

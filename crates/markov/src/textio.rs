@@ -79,7 +79,10 @@ impl From<MarkovError> for TextIoError {
 }
 
 fn err(line: usize, message: impl Into<String>) -> TextIoError {
-    TextIoError::Parse(ParseError { line, message: message.into() })
+    TextIoError::Parse(ParseError {
+        line,
+        message: message.into(),
+    })
 }
 
 /// Serializes a sequence to the v1 text format.
@@ -120,10 +123,15 @@ pub fn from_text(text: &str) -> Result<MarkovSequence, TextIoError> {
 
     let (ln, header) = lines.next().ok_or_else(|| err(0, "empty input"))?;
     if header != "markov-sequence v1" {
-        return Err(err(ln, format!("expected \"markov-sequence v1\", found {header:?}")));
+        return Err(err(
+            ln,
+            format!("expected \"markov-sequence v1\", found {header:?}"),
+        ));
     }
 
-    let (ln, alpha_line) = lines.next().ok_or_else(|| err(0, "missing alphabet line"))?;
+    let (ln, alpha_line) = lines
+        .next()
+        .ok_or_else(|| err(0, "missing alphabet line"))?;
     let mut parts = alpha_line.split_whitespace();
     if parts.next() != Some("alphabet") {
         return Err(err(ln, "expected \"alphabet <names…>\""));
@@ -150,7 +158,10 @@ pub fn from_text(text: &str) -> Result<MarkovSequence, TextIoError> {
         let vals: Result<Vec<f64>, _> = line.split_whitespace().map(str::parse).collect();
         let vals = vals.map_err(|e| err(ln, format!("bad number in {what}: {e}")))?;
         if vals.len() != k {
-            return Err(err(ln, format!("{what} has {} entries, expected {k}", vals.len())));
+            return Err(err(
+                ln,
+                format!("{what} has {} entries, expected {k}", vals.len()),
+            ));
         }
         Ok(vals)
     };
@@ -167,7 +178,10 @@ pub fn from_text(text: &str) -> Result<MarkovSequence, TextIoError> {
             .next()
             .ok_or_else(|| err(0, format!("missing \"step {step}\" header")))?;
         if step_line != format!("step {step}") {
-            return Err(err(ln, format!("expected \"step {step}\", found {step_line:?}")));
+            return Err(err(
+                ln,
+                format!("expected \"step {step}\", found {step_line:?}"),
+            ));
         }
         let mut matrix = Vec::with_capacity(k * k);
         for row in 0..k {
@@ -196,7 +210,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(77);
         for len in [1usize, 2, 5] {
             let m = random_markov_sequence(
-                &RandomChainSpec { len, n_symbols: 3, zero_prob: 0.3 },
+                &RandomChainSpec {
+                    len,
+                    n_symbols: 3,
+                    zero_prob: 0.3,
+                },
                 &mut rng,
             );
             let text = to_text(&m);
@@ -204,7 +222,10 @@ mod tests {
             assert_eq!(back.len(), m.len());
             assert_eq!(back.n_symbols(), m.n_symbols());
             for s in 0..3 {
-                assert_eq!(back.alphabet().name(SymbolId(s)), m.alphabet().name(SymbolId(s)));
+                assert_eq!(
+                    back.alphabet().name(SymbolId(s)),
+                    m.alphabet().name(SymbolId(s))
+                );
             }
             assert_eq!(back.initial_dist(), m.initial_dist());
             for i in 0..len.saturating_sub(1) {
@@ -223,7 +244,12 @@ mod tests {
         let text = "\n# weather model\nmarkov-sequence v1\n\nalphabet x y\nlength 2\n# start\ninitial 1 0\nstep 0\n0.5 0.5\n# dead row\n0 1\n";
         let m = from_text(text).unwrap();
         assert_eq!(m.len(), 2);
-        assert!(approx_eq(m.transition_prob(0, SymbolId(0), SymbolId(1)), 0.5, 0.0, 0.0));
+        assert!(approx_eq(
+            m.transition_prob(0, SymbolId(0), SymbolId(1)),
+            0.5,
+            0.0,
+            0.0
+        ));
     }
 
     #[test]
@@ -233,8 +259,14 @@ mod tests {
             ("markov-sequence v1\nalphabet", 2),
             ("markov-sequence v1\nalphabet a a\nlength 1\ninitial 1", 2),
             ("markov-sequence v1\nalphabet a b\nlen 2", 3),
-            ("markov-sequence v1\nalphabet a b\nlength 2\ninitial 1 0\nstep 1\n1 0\n0 1", 5),
-            ("markov-sequence v1\nalphabet a b\nlength 2\ninitial 1 0\nstep 0\n1 0 0\n0 1", 6),
+            (
+                "markov-sequence v1\nalphabet a b\nlength 2\ninitial 1 0\nstep 1\n1 0\n0 1",
+                5,
+            ),
+            (
+                "markov-sequence v1\nalphabet a b\nlength 2\ninitial 1 0\nstep 0\n1 0 0\n0 1",
+                6,
+            ),
             (
                 "markov-sequence v1\nalphabet a b\nlength 1\ninitial 1 0\ntrailing junk",
                 5,
@@ -251,7 +283,8 @@ mod tests {
     #[test]
     fn invalid_model_is_rejected_after_parsing() {
         // Rows parse but don't sum to 1.
-        let text = "markov-sequence v1\nalphabet a b\nlength 2\ninitial 0.6 0.3\nstep 0\n1 0\n0 1\n";
+        let text =
+            "markov-sequence v1\nalphabet a b\nlength 2\ninitial 0.6 0.3\nstep 0\n1 0\n0 1\n";
         assert!(matches!(from_text(text), Err(TextIoError::Model(_))));
     }
 

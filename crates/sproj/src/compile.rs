@@ -68,7 +68,12 @@ pub fn to_transducer(p: &SProjector) -> Result<Transducer, EngineError> {
             tb.add_transition(b_state(from), sym, b_state(b.step(from, sym)), &[])?;
             if b.is_accepting(from) {
                 // Hand over: this symbol starts the match...
-                tb.add_transition(b_state(from), sym, a_state(nb, a.step(a.initial(), sym)), &[sym])?;
+                tb.add_transition(
+                    b_state(from),
+                    sym,
+                    a_state(nb, a.step(a.initial(), sym)),
+                    &[sym],
+                )?;
                 // ...or the match is empty and this symbol starts the suffix.
                 if eps_in_a {
                     tb.add_transition(
@@ -86,7 +91,12 @@ pub fn to_transducer(p: &SProjector) -> Result<Transducer, EngineError> {
         for s in 0..k {
             let sym = SymbolId(s as u32);
             // Continue the match, emitting the symbol.
-            tb.add_transition(a_state(nb, from), sym, a_state(nb, a.step(from, sym)), &[sym])?;
+            tb.add_transition(
+                a_state(nb, from),
+                sym,
+                a_state(nb, a.step(from, sym)),
+                &[sym],
+            )?;
             // Or end the match here; this symbol starts the suffix.
             if a.is_accepting(from) {
                 tb.add_transition(
@@ -102,7 +112,12 @@ pub fn to_transducer(p: &SProjector) -> Result<Transducer, EngineError> {
         let from = StateId(q as u32);
         for s in 0..k {
             let sym = SymbolId(s as u32);
-            tb.add_transition(e_state(nb, na, from), sym, e_state(nb, na, e.step(from, sym)), &[])?;
+            tb.add_transition(
+                e_state(nb, na, from),
+                sym,
+                e_state(nb, na, e.step(from, sym)),
+                &[],
+            )?;
         }
     }
     tb.build()

@@ -143,7 +143,11 @@ pub fn imax_of_output(
 ) -> Result<f64, EngineError> {
     let ev = crate::indexed::IndexedEvaluator::new(p, m)?;
     let n = m.len();
-    let hi = if o.is_empty() { n + 1 } else { n.saturating_sub(o.len()) + 1 };
+    let hi = if o.is_empty() {
+        n + 1
+    } else {
+        n.saturating_sub(o.len()) + 1
+    };
     let mut best = 0.0f64;
     for i in 1..=hi {
         best = best.max(ev.confidence(o, i));

@@ -25,7 +25,11 @@ pub struct SprojEvaluation<'a> {
 impl<'a> SprojEvaluation<'a> {
     /// Validates alphabets and precomputes the Theorem 5.8 tables.
     pub fn new(p: &'a SProjector, m: &'a MarkovSequence) -> Result<Self, EngineError> {
-        Ok(Self { tables: IndexedEvaluator::new(p, m)?, p, m })
+        Ok(Self {
+            tables: IndexedEvaluator::new(p, m)?,
+            p,
+            m,
+        })
     }
 
     /// Exact confidence of the indexed answer `(o, i)` — Theorem 5.8,
@@ -71,10 +75,7 @@ impl<'a> SprojEvaluation<'a> {
 
     /// The top-k distinct strings with their exact Theorem 5.5
     /// confidences attached (the recommended user-facing mode).
-    pub fn top_k_scored(
-        &self,
-        k: usize,
-    ) -> Result<Vec<(Vec<SymbolId>, f64, f64)>, EngineError> {
+    pub fn top_k_scored(&self, k: usize) -> Result<Vec<(Vec<SymbolId>, f64, f64)>, EngineError> {
         let mut out = Vec::with_capacity(k);
         for r in enumerate_by_imax(self.p, self.m)?.take(k) {
             let conf = sproj_confidence(self.p, self.m, &r.output)?;
@@ -115,9 +116,7 @@ mod tests {
         assert_eq!(occ.len(), 4);
         for o in &occ {
             assert!((o.confidence() - 0.5).abs() < 1e-12);
-            assert!(
-                (ev.indexed_confidence(&o.output, o.index) - o.confidence()).abs() < 1e-12
-            );
+            assert!((ev.indexed_confidence(&o.output, o.index) - o.confidence()).abs() < 1e-12);
         }
         // One distinct string; I_max = 1/2; conf = 1 - (1/2)^4.
         let strings: Vec<_> = ev.strings().unwrap().collect();

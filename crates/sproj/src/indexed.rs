@@ -23,10 +23,29 @@
 use transmark_automata::{Dfa, StateId, SymbolId};
 use transmark_core::error::EngineError;
 use transmark_kbest::{Dag, KBestPaths};
+use transmark_kernel::{advance, Prob, StepGraph, Workspace};
 use transmark_markov::numeric::KahanSum;
 use transmark_markov::MarkovSequence;
 
 use crate::projector::SProjector;
+
+/// Precompiles a DFA's transition function into a kernel step graph:
+/// rows are DFA states, one edge per `(symbol, state)`.
+fn dfa_step_graph(d: &Dfa, n_symbols: usize) -> StepGraph {
+    let nq = d.n_states();
+    let mut b = StepGraph::builder(n_symbols, nq);
+    for sym in 0..n_symbols {
+        for q in 0..nq {
+            b.add_edge(
+                sym as u32,
+                q as u32,
+                d.step(StateId(q as u32), SymbolId(sym as u32)).0,
+                0,
+            );
+        }
+    }
+    b.build()
+}
 
 /// An answer of an indexed s-projector.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,12 +98,15 @@ impl<'a> IndexedEvaluator<'a> {
         let e: &Dfa = p.suffix_dfa();
         let (nb, ne) = (b.n_states(), e.n_states());
 
-        // Forward over (node, B-state). fwd[x*nb + q].
-        let mut fwd = vec![0.0f64; k * nb];
-        for x in 0..k {
-            let px = m.initial_prob(SymbolId(x as u32));
-            if px > 0.0 {
-                fwd[x * nb + b.step(b.initial(), SymbolId(x as u32)).index()] += px;
+        // Forward over (node, B-state): a kernel sum-product pass over the
+        // B-DFA's step graph. Cells are fwd[x*nb + q].
+        let steps = m.sparse_steps();
+        let bgraph = dfa_step_graph(b, k);
+        let mut ws: Workspace<f64> = Workspace::new();
+        ws.reset(k * nb, 0.0);
+        for &(node, px) in steps.initial() {
+            for e in bgraph.edges(node, b.initial().0) {
+                ws.cur_mut()[node as usize * nb + e.to as usize] += px;
             }
         }
         let mut prefix_b = Vec::with_capacity(n);
@@ -101,26 +123,13 @@ impl<'a> IndexedEvaluator<'a> {
                 })
                 .collect()
         };
-        prefix_b.push(collect_prefix(&fwd));
+        prefix_b.push(collect_prefix(ws.cur()));
         for step in 0..n - 1 {
-            let mut next = vec![0.0f64; k * nb];
-            for x in 0..k {
-                for q in 0..nb {
-                    let pv = fwd[x * nb + q];
-                    if pv == 0.0 {
-                        continue;
-                    }
-                    for y in 0..k {
-                        let pt = m.transition_prob(step, SymbolId(x as u32), SymbolId(y as u32));
-                        if pt > 0.0 {
-                            next[y * nb + b.step(StateId(q as u32), SymbolId(y as u32)).index()] +=
-                                pv * pt;
-                        }
-                    }
-                }
-            }
-            fwd = next;
-            prefix_b.push(collect_prefix(&fwd));
+            ws.clear_next(0.0);
+            let (cur, next) = ws.buffers();
+            advance::<Prob>(&steps, step, &bgraph, cur, next);
+            ws.swap();
+            prefix_b.push(collect_prefix(ws.cur()));
         }
 
         // Backward over (E-state, conditioning node). g[l-2][qE*k + y].
@@ -143,12 +152,9 @@ impl<'a> IndexedEvaluator<'a> {
             for q in 0..ne {
                 for y in 0..k {
                     let mut acc = KahanSum::new();
-                    for t in 0..k {
-                        let pt = m.transition_prob(l - 2, SymbolId(y as u32), SymbolId(t as u32));
-                        if pt > 0.0 {
-                            let q2 = e.step(StateId(q as u32), SymbolId(t as u32)).index();
-                            acc.add(pt * nxt[q2 * k + t]);
-                        }
+                    for (t, pt) in m.transitions_from(l - 2, SymbolId(y as u32)) {
+                        let q2 = e.step(StateId(q as u32), t).index();
+                        acc.add(pt * nxt[q2 * k + t.index()]);
                     }
                     cur[q * k + y] = acc.total();
                 }
@@ -196,7 +202,11 @@ impl<'a> IndexedEvaluator<'a> {
     /// (1-based).
     fn w_pre(&self, i: usize, c: SymbolId) -> f64 {
         if i == 1 {
-            return if self.eps_in_b { self.m.initial_prob(c) } else { 0.0 };
+            return if self.eps_in_b {
+                self.m.initial_prob(c)
+            } else {
+                0.0
+            };
         }
         let k = self.m.n_symbols();
         let mut acc = KahanSum::new();
@@ -242,7 +252,11 @@ impl<'a> IndexedEvaluator<'a> {
                 }
             } else if i == n + 1 {
                 if self.eps_in_e {
-                    self.prefix_b[n - 1].iter().copied().collect::<KahanSum>().total()
+                    self.prefix_b[n - 1]
+                        .iter()
+                        .copied()
+                        .collect::<KahanSum>()
+                        .total()
                 } else {
                     0.0
                 }
@@ -315,7 +329,11 @@ impl Iterator for IndexedEnumeration {
                 EdgeKind::Epsilon { i } => index = i,
             }
         }
-        Some(IndexedAnswer { output, index, log_confidence: w })
+        Some(IndexedAnswer {
+            output,
+            index,
+            log_confidence: w,
+        })
     }
 }
 
@@ -400,12 +418,22 @@ pub fn enumerate_indexed(
         for i in 1..=n + 1 {
             let conf = ev.confidence(&[], i);
             let eps_node = n_main + (i - 1);
-            add(&mut dag, &mut kinds, 0, eps_node, conf.ln(), EdgeKind::Epsilon { i });
+            add(
+                &mut dag,
+                &mut kinds,
+                0,
+                eps_node,
+                conf.ln(),
+                EdgeKind::Epsilon { i },
+            );
             add(&mut dag, &mut kinds, eps_node, 1, 0.0, EdgeKind::Finish);
         }
     }
 
-    Ok(IndexedEnumeration { paths: KBestPaths::new(dag, 0, 1), kinds })
+    Ok(IndexedEnumeration {
+        paths: KBestPaths::new(dag, 0, 1),
+        kinds,
+    })
 }
 
 /// Top-k indexed answers by confidence (stop Theorem 5.7 after `k`).

@@ -1,7 +1,8 @@
 #![warn(missing_docs)]
-// Index-based loops are the clearest way to write the layered DP kernels
-// and matrix scans in this codebase; the clippy suggestion (iterators with
-// enumerate/zip) obscures the (position, node, state) indexing.
+// The layered DP kernels live in `transmark-kernel`; what remains here are
+// seed/reduce loops and table builders over (position, node, state)
+// indices, where the clippy suggestion (iterators with enumerate/zip)
+// obscures the indexing the kernel's cell layout is defined by.
 #![allow(clippy::needless_range_loop)]
 
 //! Substring projectors over Markov sequences (§5 of "Transducing Markov
@@ -34,6 +35,6 @@ pub mod textio;
 
 pub use confidence::sproj_confidence;
 pub use enumerate::{enumerate_by_imax, enumerate_by_imax_lawler, top_k_by_imax};
-pub use indexed::{enumerate_indexed, IndexedAnswer, IndexedEvaluator};
 pub use evaluate::SprojEvaluation;
+pub use indexed::{enumerate_indexed, IndexedAnswer, IndexedEvaluator};
 pub use projector::SProjector;

@@ -39,7 +39,12 @@ impl SProjector {
                 });
             }
         }
-        Ok(Self { alphabet, prefix, pattern, suffix })
+        Ok(Self {
+            alphabet,
+            prefix,
+            pattern,
+            suffix,
+        })
     }
 
     /// A *simple* s-projector `[*]A[*]`: no prefix/suffix constraints.
@@ -194,7 +199,9 @@ mod tests {
     fn matches_by_definition() {
         let p = block_projector();
         let a = |s: &str| -> Vec<SymbolId> {
-            s.chars().map(|c| if c == 'a' { sym(0) } else { sym(1) }).collect()
+            s.chars()
+                .map(|c| if c == 'a' { sym(0) } else { sym(1) })
+                .collect()
         };
         assert!(p.matches(&a("bbaab"), &a("aa")));
         assert!(p.matches(&a("bbaab"), &a("a"))); // shorter match inside
@@ -208,7 +215,9 @@ mod tests {
     fn match_indices_are_correct() {
         let p = block_projector();
         let a = |s: &str| -> Vec<SymbolId> {
-            s.chars().map(|c| if c == 'a' { sym(0) } else { sym(1) }).collect()
+            s.chars()
+                .map(|c| if c == 'a' { sym(0) } else { sym(1) })
+                .collect()
         };
         let s = a("baab");
         let idx: Vec<usize> = p.match_indices(&s, &a("a")).collect();
@@ -222,7 +231,9 @@ mod tests {
     fn project_all_collects_every_match() {
         let p = block_projector();
         let a = |s: &str| -> Vec<SymbolId> {
-            s.chars().map(|c| if c == 'a' { sym(0) } else { sym(1) }).collect()
+            s.chars()
+                .map(|c| if c == 'a' { sym(0) } else { sym(1) })
+                .collect()
         };
         let outs = p.project_all(&a("baa"));
         assert_eq!(outs, vec![a("a"), a("aa")]);

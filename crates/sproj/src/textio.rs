@@ -44,7 +44,10 @@ impl std::fmt::Display for TextIoError {
 impl std::error::Error for TextIoError {}
 
 fn err(line: usize, message: impl Into<String>) -> TextIoError {
-    TextIoError::Parse(ParseError { line, message: message.into() })
+    TextIoError::Parse(ParseError {
+        line,
+        message: message.into(),
+    })
 }
 
 /// Serializes the *source form* of an s-projector: the alphabet and the
@@ -62,7 +65,10 @@ pub fn to_text(alphabet: &Alphabet, prefix: &str, pattern: &str, suffix: &str) -
             out.push_str(name);
         }
     }
-    let _ = write!(out, "\nprefix {prefix}\npattern {pattern}\nsuffix {suffix}\n");
+    let _ = write!(
+        out,
+        "\nprefix {prefix}\npattern {pattern}\nsuffix {suffix}\n"
+    );
     out
 }
 
@@ -76,9 +82,14 @@ pub fn from_text(text: &str) -> Result<SProjector, TextIoError> {
 
     let (ln, header) = lines.next().ok_or_else(|| err(0, "empty input"))?;
     if header != "sprojector v1" {
-        return Err(err(ln, format!("expected \"sprojector v1\", found {header:?}")));
+        return Err(err(
+            ln,
+            format!("expected \"sprojector v1\", found {header:?}"),
+        ));
     }
-    let (ln, alpha_line) = lines.next().ok_or_else(|| err(0, "missing alphabet line"))?;
+    let (ln, alpha_line) = lines
+        .next()
+        .ok_or_else(|| err(0, "missing alphabet line"))?;
     let chars = alpha_line
         .strip_prefix("alphabet")
         .map(str::trim)
@@ -134,7 +145,9 @@ mod tests {
         let text = to_text(&alphabet, ".*N:", "[ab]+", "\\s.*");
         let p = from_text(&text).unwrap();
         let parse = |s: &str| -> Vec<SymbolId> {
-            s.chars().map(|c| p.alphabet().sym(&c.to_string())).collect()
+            s.chars()
+                .map(|c| p.alphabet().sym(&c.to_string()))
+                .collect()
         };
         assert!(p.matches(&parse("aN:ab b"), &parse("ab")));
         assert!(!p.matches(&parse("aaN:abb"), &parse("ab"))); // no trailing space
@@ -142,7 +155,8 @@ mod tests {
 
     #[test]
     fn hand_written_file_parses() {
-        let text = "# extract runs of a\nsprojector v1\nalphabet ab\nprefix b*\npattern a+\nsuffix .*\n";
+        let text =
+            "# extract runs of a\nsprojector v1\nalphabet ab\nprefix b*\npattern a+\nsuffix .*\n";
         let p = from_text(text).unwrap();
         let a = p.alphabet().sym("a");
         let b = p.alphabet().sym("b");

@@ -35,7 +35,9 @@ const TOL_REL: f64 = 1e-8;
 /// A random complete DFA with at least one accepting state.
 fn random_dfa<R: Rng + ?Sized>(k: usize, n_states: usize, rng: &mut R) -> Dfa {
     let mut d = Dfa::new(k);
-    let states: Vec<StateId> = (0..n_states).map(|_| d.add_state(rng.random_bool(0.5))).collect();
+    let states: Vec<StateId> = (0..n_states)
+        .map(|_| d.add_state(rng.random_bool(0.5)))
+        .collect();
     d.set_accepting(states[rng.random_range(0..n_states)], true);
     for &q in &states {
         for s in 0..k {
@@ -50,13 +52,17 @@ fn instance(seed: u64) -> (SProjector, MarkovSequence) {
     let mut rng = StdRng::seed_from_u64(seed);
     let k = 2 + (seed % 2) as usize;
     let m = random_markov_sequence(
-        &RandomChainSpec { len: 2 + (seed % 3) as usize, n_symbols: k, zero_prob: 0.3 },
+        &RandomChainSpec {
+            len: 2 + (seed % 3) as usize,
+            n_symbols: k,
+            zero_prob: 0.3,
+        },
         &mut rng,
     );
     let alphabet = m.alphabet_arc();
-    let b = random_dfa(k, 1 + rng.random_range(0..2), &mut rng);
-    let a = random_dfa(k, 1 + rng.random_range(0..2), &mut rng);
-    let e = random_dfa(k, 1 + rng.random_range(0..2), &mut rng);
+    let b = random_dfa(k, rng.random_range(1..3), &mut rng);
+    let a = random_dfa(k, rng.random_range(1..3), &mut rng);
+    let e = random_dfa(k, rng.random_range(1..3), &mut rng);
     (SProjector::new(alphabet, b, a, e).unwrap(), m)
 }
 
@@ -115,8 +121,16 @@ fn check_instance(p: &SProjector, m: &MarkovSequence, ctx: &str) {
         );
     }
     // Invalid / non-answer probes.
-    assert_eq!(ev.confidence(&[SymbolId(0)], 0), 0.0, "{ctx}: index 0 must be invalid");
-    assert_eq!(ev.confidence(&[SymbolId(0)], n + 5), 0.0, "{ctx}: overflow index");
+    assert_eq!(
+        ev.confidence(&[SymbolId(0)], 0),
+        0.0,
+        "{ctx}: index 0 must be invalid"
+    );
+    assert_eq!(
+        ev.confidence(&[SymbolId(0)], n + 5),
+        0.0,
+        "{ctx}: overflow index"
+    );
 
     // --- Thm 5.7: ranked indexed enumeration -------------------------------
     let enumerated: Vec<_> = enumerate_indexed(p, m).expect("enumerate").collect();
@@ -134,7 +148,10 @@ fn check_instance(p: &SProjector, m: &MarkovSequence, ctx: &str) {
         );
         prev = ia.log_confidence;
         let key = (ia.output.clone(), ia.index);
-        assert!(seen.insert(key.clone()), "{ctx}: duplicate indexed answer {key:?}");
+        assert!(
+            seen.insert(key.clone()),
+            "{ctx}: duplicate indexed answer {key:?}"
+        );
         let want = truth_indexed
             .get(&key)
             .unwrap_or_else(|| panic!("{ctx}: enumerated non-answer {key:?}"));
@@ -180,7 +197,11 @@ fn check_instance(p: &SProjector, m: &MarkovSequence, ctx: &str) {
 
     // --- Lemma 5.10 / Thm 5.2: I_max dedup enumeration -----------------------
     let deduped: Vec<_> = enumerate_by_imax(p, m).expect("imax enumeration").collect();
-    assert_eq!(deduped.len(), truth_plain.len(), "{ctx}: distinct output count");
+    assert_eq!(
+        deduped.len(),
+        truth_plain.len(),
+        "{ctx}: distinct output count"
+    );
     let mut prev = f64::INFINITY;
     for r in &deduped {
         assert!(r.log_score <= prev + 1e-9, "{ctx}: I_max order violated");
@@ -192,7 +213,10 @@ fn check_instance(p: &SProjector, m: &MarkovSequence, ctx: &str) {
             r.score(),
             r.output
         );
-        assert!(truth_plain.contains_key(&r.output), "{ctx}: dedup emitted non-answer");
+        assert!(
+            truth_plain.contains_key(&r.output),
+            "{ctx}: dedup emitted non-answer"
+        );
     }
 }
 
@@ -217,7 +241,11 @@ fn regex_built_projectors_match_oracle() {
     for (idx, (bp, ap, ep)) in cases.iter().enumerate() {
         let mut rng = StdRng::seed_from_u64(1000 + idx as u64);
         let m = random_markov_sequence(
-            &RandomChainSpec { len: 4, n_symbols: 2, zero_prob: 0.25 },
+            &RandomChainSpec {
+                len: 4,
+                n_symbols: 2,
+                zero_prob: 0.25,
+            },
             &mut rng,
         );
         // Name the alphabet {a, b} so the regexes apply.
@@ -250,7 +278,11 @@ fn length_one_sequences() {
     for seed in 300..315 {
         let mut rng = StdRng::seed_from_u64(seed);
         let m = random_markov_sequence(
-            &RandomChainSpec { len: 1, n_symbols: 2, zero_prob: 0.2 },
+            &RandomChainSpec {
+                len: 1,
+                n_symbols: 2,
+                zero_prob: 0.2,
+            },
             &mut rng,
         );
         let alphabet = m.alphabet_arc();
@@ -266,7 +298,11 @@ fn length_one_sequences() {
 fn alphabet_mismatch_is_rejected() {
     let mut rng = StdRng::seed_from_u64(1);
     let m = random_markov_sequence(
-        &RandomChainSpec { len: 3, n_symbols: 3, zero_prob: 0.2 },
+        &RandomChainSpec {
+            len: 3,
+            n_symbols: 3,
+            zero_prob: 0.2,
+        },
         &mut rng,
     );
     let alphabet = transmark_automata::Alphabet::of_chars("ab");

@@ -14,7 +14,9 @@ use transmark_sproj::sproj_confidence;
 
 fn random_dfa<R: Rng + ?Sized>(k: usize, n_states: usize, rng: &mut R) -> Dfa {
     let mut d = Dfa::new(k);
-    let states: Vec<StateId> = (0..n_states).map(|_| d.add_state(rng.random_bool(0.5))).collect();
+    let states: Vec<StateId> = (0..n_states)
+        .map(|_| d.add_state(rng.random_bool(0.5)))
+        .collect();
     d.set_accepting(states[rng.random_range(0..n_states)], true);
     for &q in &states {
         for s in 0..k {
@@ -27,12 +29,16 @@ fn random_dfa<R: Rng + ?Sized>(k: usize, n_states: usize, rng: &mut R) -> Dfa {
 fn instance(seed: u64, n: usize) -> (SProjector, MarkovSequence) {
     let mut rng = StdRng::seed_from_u64(seed);
     let m = random_markov_sequence(
-        &RandomChainSpec { len: n, n_symbols: 2, zero_prob: 0.25 },
+        &RandomChainSpec {
+            len: n,
+            n_symbols: 2,
+            zero_prob: 0.25,
+        },
         &mut rng,
     );
-    let b = random_dfa(2, 1 + rng.random_range(0..2), &mut rng);
-    let a = random_dfa(2, 1 + rng.random_range(0..2), &mut rng);
-    let e = random_dfa(2, 1 + rng.random_range(0..2), &mut rng);
+    let b = random_dfa(2, rng.random_range(1..3), &mut rng);
+    let a = random_dfa(2, rng.random_range(1..3), &mut rng);
+    let e = random_dfa(2, rng.random_range(1..3), &mut rng);
     (SProjector::new(m.alphabet_arc(), b, a, e).unwrap(), m)
 }
 

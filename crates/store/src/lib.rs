@@ -81,7 +81,10 @@ pub struct SequenceStore {
 impl SequenceStore {
     /// Creates an empty store over `alphabet`.
     pub fn new(alphabet: impl Into<Arc<Alphabet>>) -> Self {
-        Self { alphabet: alphabet.into(), streams: BTreeMap::new() }
+        Self {
+            alphabet: alphabet.into(),
+            streams: BTreeMap::new(),
+        }
     }
 
     /// The shared node alphabet.
@@ -105,7 +108,11 @@ impl SequenceStore {
     }
 
     /// Inserts a new stream; errors on duplicates or alphabet mismatch.
-    pub fn insert(&mut self, name: impl Into<String>, seq: MarkovSequence) -> Result<(), StoreError> {
+    pub fn insert(
+        &mut self,
+        name: impl Into<String>,
+        seq: MarkovSequence,
+    ) -> Result<(), StoreError> {
         let name = name.into();
         if seq.n_symbols() != self.alphabet.len() {
             return Err(StoreError::AlphabetMismatch {
@@ -121,7 +128,11 @@ impl SequenceStore {
     }
 
     /// Inserts or replaces a stream.
-    pub fn replace(&mut self, name: impl Into<String>, seq: MarkovSequence) -> Result<(), StoreError> {
+    pub fn replace(
+        &mut self,
+        name: impl Into<String>,
+        seq: MarkovSequence,
+    ) -> Result<(), StoreError> {
         let name = name.into();
         if seq.n_symbols() != self.alphabet.len() {
             return Err(StoreError::AlphabetMismatch {
@@ -135,12 +146,16 @@ impl SequenceStore {
 
     /// Removes a stream, returning it.
     pub fn remove(&mut self, name: &str) -> Result<MarkovSequence, StoreError> {
-        self.streams.remove(name).ok_or_else(|| StoreError::UnknownStream(name.to_string()))
+        self.streams
+            .remove(name)
+            .ok_or_else(|| StoreError::UnknownStream(name.to_string()))
     }
 
     /// Fetches a stream.
     pub fn get(&self, name: &str) -> Result<&MarkovSequence, StoreError> {
-        self.streams.get(name).ok_or_else(|| StoreError::UnknownStream(name.to_string()))
+        self.streams
+            .get(name)
+            .ok_or_else(|| StoreError::UnknownStream(name.to_string()))
     }
 
     // ---- Boolean event queries ------------------------------------------
@@ -280,7 +295,9 @@ impl SequenceStore {
         let mut manifest = String::new();
         for (name, m) in &self.streams {
             if name.contains(['/', '\\']) {
-                return Err(StoreError::Io(format!("stream name {name:?} is not a file stem")));
+                return Err(StoreError::Io(format!(
+                    "stream name {name:?} is not a file stem"
+                )));
             }
             let path = dir.join(format!("{name}.tms"));
             std::fs::write(&path, transmark_markov::textio::to_text(m))
@@ -363,7 +380,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         for i in 0..k {
             let m = random_markov_sequence(
-                &RandomChainSpec { len: 3 + i % 2, n_symbols: 2, zero_prob: 0.2 },
+                &RandomChainSpec {
+                    len: 3 + i % 2,
+                    n_symbols: 2,
+                    zero_prob: 0.2,
+                },
                 &mut rng,
             );
             store.insert(format!("cart{i}"), m).unwrap();
@@ -412,8 +433,11 @@ mod tests {
         let probs = store.event_probability(&q).unwrap();
         for (name, p) in &probs {
             let m = store.get(name).unwrap();
-            let want: f64 =
-                support(m).iter().filter(|(s, _)| q.accepts(s)).map(|(_, pp)| pp).sum();
+            let want: f64 = support(m)
+                .iter()
+                .filter(|(s, _)| q.accepts(s))
+                .map(|(_, pp)| pp)
+                .sum();
             assert!((p - want).abs() < 1e-10, "stream {name}");
         }
         // Series last element equals the total probability.
@@ -485,8 +509,7 @@ mod tests {
             let m = store.get(&name).unwrap();
             for a in &answers {
                 // Every extraction really occurs with its I_max score.
-                let want =
-                    transmark_sproj::enumerate::imax_of_output(&p, m, &a.output).unwrap();
+                let want = transmark_sproj::enumerate::imax_of_output(&p, m, &a.output).unwrap();
                 assert!((a.score() - want).abs() < 1e-12);
             }
         }
@@ -514,13 +537,16 @@ mod persistence_tests {
         let mut rng = StdRng::seed_from_u64(99);
         for name in ["alpha", "beta", "gamma"] {
             let m = random_markov_sequence(
-                &RandomChainSpec { len: 4, n_symbols: 2, zero_prob: 0.2 },
+                &RandomChainSpec {
+                    len: 4,
+                    n_symbols: 2,
+                    zero_prob: 0.2,
+                },
                 &mut rng,
             );
             store.insert(name, m).unwrap();
         }
-        let dir = std::env::temp_dir()
-            .join(format!("transmark-store-test-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("transmark-store-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         store.save_dir(&dir).unwrap();
         let loaded = SequenceStore::load_dir(&dir).unwrap();
@@ -542,8 +568,7 @@ mod persistence_tests {
             .build()
             .unwrap();
         store.insert("evil/name", m).unwrap();
-        let dir = std::env::temp_dir()
-            .join(format!("transmark-store-bad-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("transmark-store-bad-{}", std::process::id()));
         assert!(matches!(store.save_dir(&dir), Err(StoreError::Io(_))));
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -551,7 +576,10 @@ mod persistence_tests {
     #[test]
     fn loading_missing_dir_fails_cleanly() {
         let missing = std::path::Path::new("/nonexistent/transmark-store");
-        assert!(matches!(SequenceStore::load_dir(missing), Err(StoreError::Io(_))));
+        assert!(matches!(
+            SequenceStore::load_dir(missing),
+            Err(StoreError::Io(_))
+        ));
     }
 }
 
@@ -568,7 +596,11 @@ mod parallel_tests {
         let mut rng = StdRng::seed_from_u64(77);
         for i in 0..streams {
             let m = random_markov_sequence(
-                &RandomChainSpec { len: 6, n_symbols: 2, zero_prob: 0.2 },
+                &RandomChainSpec {
+                    len: 6,
+                    n_symbols: 2,
+                    zero_prob: 0.2,
+                },
                 &mut rng,
             );
             store.insert(format!("s{i:03}"), m).unwrap();
@@ -634,7 +666,10 @@ mod parallel_tests {
     #[test]
     fn parallel_on_empty_store() {
         let store = SequenceStore::new(Alphabet::of_chars("ab"));
-        assert!(store.event_probability_parallel(&has_b(), 4).unwrap().is_empty());
+        assert!(store
+            .event_probability_parallel(&has_b(), 4)
+            .unwrap()
+            .is_empty());
     }
 }
 
@@ -647,14 +682,13 @@ mod uncertainty_tests {
     fn uncertainty_ranking_orders_by_perplexity() {
         let alphabet = Alphabet::of_chars("xy");
         let mut store = SequenceStore::new(alphabet.clone());
-        let noisy = MarkovSequenceBuilder::new(alphabet.clone(), 4).uniform_all().build().unwrap();
-        let sharp = MarkovSequence::homogeneous(
-            alphabet.clone(),
-            4,
-            &[1.0, 0.0],
-            &[0.9, 0.1, 0.1, 0.9],
-        )
-        .unwrap();
+        let noisy = MarkovSequenceBuilder::new(alphabet.clone(), 4)
+            .uniform_all()
+            .build()
+            .unwrap();
+        let sharp =
+            MarkovSequence::homogeneous(alphabet.clone(), 4, &[1.0, 0.0], &[0.9, 0.1, 0.1, 0.9])
+                .unwrap();
         store.insert("noisy", noisy).unwrap();
         store.insert("sharp", sharp).unwrap();
         let ranked = store.rank_by_uncertainty();

@@ -33,7 +33,10 @@ pub struct ReadSpec {
 
 impl Default for ReadSpec {
     fn default() -> Self {
-        Self { error_rate: 0.05, burstiness: 4.0 }
+        Self {
+            error_rate: 0.05,
+            burstiness: 4.0,
+        }
     }
 }
 
@@ -75,7 +78,10 @@ pub fn uncertain_read(reference: &str, spec: &ReadSpec) -> UncertainRead {
                 .transition(i, from, bad_next, p_err);
         }
     }
-    let sequence = b.fill_dead_rows_self_loop().build().expect("read model is valid");
+    let sequence = b
+        .fill_dead_rows_self_loop()
+        .build()
+        .expect("read model is valid");
     UncertainRead { sequence, truth }
 }
 
@@ -89,8 +95,10 @@ impl UncertainRead {
     /// `"GAT"`), context-free (`[*]motif[*]`).
     pub fn motif_extractor(&self, motif: &str) -> Result<SProjector, EngineError> {
         let alphabet = self.sequence.alphabet_arc();
-        let word: Vec<SymbolId> =
-            motif.chars().map(|c| alphabet.sym(&c.to_string())).collect();
+        let word: Vec<SymbolId> = motif
+            .chars()
+            .map(|c| alphabet.sym(&c.to_string()))
+            .collect();
         let pattern = Dfa::word(alphabet.len(), &word);
         SProjector::simple(alphabet, pattern)
     }
@@ -129,7 +137,11 @@ pub fn random_reference<R: Rng + ?Sized>(len: usize, gc_bias: f64, rng: &mut R) 
     (0..len)
         .map(|_| {
             if rng.random_bool(gc_bias) {
-                if rng.random_bool(0.5) { 'G' } else { 'C' }
+                if rng.random_bool(0.5) {
+                    'G'
+                } else {
+                    'C'
+                }
             } else if rng.random_bool(0.5) {
                 'A'
             } else {
@@ -159,9 +171,18 @@ mod tests {
 
     #[test]
     fn motif_extraction_finds_true_occurrences_first() {
-        let read = uncertain_read("ACGATGAT", &ReadSpec { error_rate: 0.05, burstiness: 2.0 });
+        let read = uncertain_read(
+            "ACGATGAT",
+            &ReadSpec {
+                error_rate: 0.05,
+                burstiness: 2.0,
+            },
+        );
         let p = read.motif_extractor("GAT").unwrap();
-        let hits: Vec<_> = enumerate_indexed(&p, &read.sequence).unwrap().take(2).collect();
+        let hits: Vec<_> = enumerate_indexed(&p, &read.sequence)
+            .unwrap()
+            .take(2)
+            .collect();
         assert_eq!(hits.len(), 2);
         // "GAT" occurs at 1-based positions 3 and 6 in the reference.
         let mut idx: Vec<usize> = hits.iter().map(|h| h.index).collect();
@@ -174,7 +195,13 @@ mod tests {
 
     #[test]
     fn motif_confidence_matches_brute_force() {
-        let read = uncertain_read("GATAC", &ReadSpec { error_rate: 0.2, burstiness: 2.0 });
+        let read = uncertain_read(
+            "GATAC",
+            &ReadSpec {
+                error_rate: 0.2,
+                burstiness: 2.0,
+            },
+        );
         let p = read.motif_extractor("AT").unwrap();
         let o: Vec<SymbolId> = "AT"
             .chars()

@@ -91,7 +91,8 @@ pub fn projector_gap(n: usize) -> (Transducer, MarkovSequence) {
     let m = iid_chain(Arc::clone(&input), n, &[0.25, 0.25, 0.25, 0.25]);
     let mut b = Transducer::builder(input.clone(), Arc::clone(&input));
     let q = b.add_state(true);
-    b.add_transition(q, input.sym("a"), q, &[input.sym("a")]).expect("valid");
+    b.add_transition(q, input.sym("a"), q, &[input.sym("a")])
+        .expect("valid");
     b.add_transition(q, input.sym("b1"), q, &[]).expect("valid");
     b.add_transition(q, input.sym("b2"), q, &[]).expect("valid");
     b.add_transition(q, input.sym("c"), q, &[]).expect("valid");
@@ -141,7 +142,13 @@ pub fn imax_gap_expected(n: usize) -> (f64, f64) {
 /// the unavailable extended version — see DESIGN.md's substitutions.
 ///
 /// Returns `(transducer, μ[n] uniform over {a,b}, the output x^{⌊3n/4⌋})`.
-pub fn confidence_blowup(n: usize) -> (Transducer, MarkovSequence, Vec<transmark_automata::SymbolId>) {
+pub fn confidence_blowup(
+    n: usize,
+) -> (
+    Transducer,
+    MarkovSequence,
+    Vec<transmark_automata::SymbolId>,
+) {
     use transmark_automata::SymbolId;
     let input = Arc::new(Alphabet::of_chars("ab"));
     let output = Arc::new(Alphabet::of_chars("x"));
@@ -212,8 +219,14 @@ mod tests {
             let (conf_want, imax_want) = imax_gap_expected(n);
             let conf = sproj_confidence(&p, &m, &a).unwrap();
             let imax = imax_of_output(&p, &m, &a).unwrap();
-            assert!(approx_eq(conf, conf_want, 1e-10, 1e-8), "n={n}: conf {conf}");
-            assert!(approx_eq(imax, imax_want, 1e-10, 1e-8), "n={n}: imax {imax}");
+            assert!(
+                approx_eq(conf, conf_want, 1e-10, 1e-8),
+                "n={n}: conf {conf}"
+            );
+            assert!(
+                approx_eq(imax, imax_want, 1e-10, 1e-8),
+                "n={n}: imax {imax}"
+            );
             // Proposition 5.9 sandwich, and the gap really grows with n.
             assert!(imax <= conf && conf <= n as f64 * imax + 1e-12);
         }
@@ -303,7 +316,8 @@ mod blowup_tests {
         assert!(w16 > w8, "width stalled: {w8} -> {w16}");
         assert!(w32 > w16, "width stalled: {w16} -> {w32}");
         assert!(w32 >= 2 * w8, "width must scale with n: {w8} -> {w32}");
-    }}
+    }
+}
 
 /// The paper's amplification device (proofs of Thms 4.4/4.5): boost a
 /// constant-factor gap "by essentially concatenating a polynomial number

@@ -35,8 +35,7 @@ pub fn hospital_alphabet() -> Arc<Alphabet> {
 pub fn hospital_sequence() -> MarkovSequence {
     let alphabet = hospital_alphabet();
     let s = |name: &str| alphabet.sym(name);
-    let (r1a, r1b, r2a, r2b, la, lb) =
-        (s("r1a"), s("r1b"), s("r2a"), s("r2b"), s("la"), s("lb"));
+    let (r1a, r1b, r2a, r2b, la, lb) = (s("r1a"), s("r1b"), s("r2a"), s("r2b"), s("la"), s("lb"));
 
     MarkovSequenceBuilder::new(alphabet.clone(), 5)
         // μ₀→: the cart starts in Room 1 (mostly near r1a) or the lab.
@@ -245,7 +244,10 @@ mod tests {
         let t = room_tracker();
         let o = places(&["1", "2"]);
         let c = confidence_deterministic(&t, &m, &o).expect("deterministic confidence");
-        assert!(approx_eq(c, CONF_12, 1e-12, 1e-10), "conf(12) = {c}, paper says {CONF_12}");
+        assert!(
+            approx_eq(c, CONF_12, 1e-12, 1e-10),
+            "conf(12) = {c}, paper says {CONF_12}"
+        );
         // And via the auto-dispatcher.
         let c2 = confidence(&t, &m, &o).expect("confidence");
         assert!(approx_eq(c2, CONF_12, 1e-12, 1e-10));
@@ -273,7 +275,9 @@ mod tests {
         let m = hospital_sequence();
         let t = room_tracker();
         let o = places(&["1", "2"]);
-        let e = transmark_core::emax::emax_of_output(&t, &m, &o).expect("emax").exp();
+        let e = transmark_core::emax::emax_of_output(&t, &m, &o)
+            .expect("emax")
+            .exp();
         assert!(approx_eq(e, 0.3969, 1e-12, 1e-10), "E_max(12) = {e}");
     }
 }

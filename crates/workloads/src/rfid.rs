@@ -34,7 +34,12 @@ pub struct RfidSpec {
 
 impl Default for RfidSpec {
     fn default() -> Self {
-        Self { rooms: 3, locations_per_room: 2, stay_prob: 0.5, noise: 0.2 }
+        Self {
+            rooms: 3,
+            locations_per_room: 2,
+            stay_prob: 0.5,
+            noise: 0.2,
+        }
     }
 }
 
@@ -52,10 +57,16 @@ pub struct RfidDeployment {
 /// true sub-location with probability `1 - noise` (plus a uniform share
 /// of the noise).
 pub fn deployment(spec: &RfidSpec) -> RfidDeployment {
-    assert!(spec.rooms >= 1 && spec.locations_per_room >= 1, "degenerate deployment");
+    assert!(
+        spec.rooms >= 1 && spec.locations_per_room >= 1,
+        "degenerate deployment"
+    );
     let n = spec.rooms * spec.locations_per_room;
     let letters = "abcdefghij";
-    assert!(spec.locations_per_room <= letters.len(), "too many sub-locations per room");
+    assert!(
+        spec.locations_per_room <= letters.len(),
+        "too many sub-locations per room"
+    );
     let names: Vec<String> = (0..n)
         .map(|i| {
             let room = i / spec.locations_per_room + 1;
@@ -100,9 +111,19 @@ pub fn deployment(spec: &RfidSpec) -> RfidDeployment {
                 if i == o { 1.0 - spec.noise } else { 0.0 } + spec.noise / n as f64;
         }
     }
-    let hmm = Hmm::new(Arc::clone(&locations), observations, initial, transition, emission)
-        .expect("corridor HMM is valid");
-    RfidDeployment { hmm, locations, spec: spec.clone() }
+    let hmm = Hmm::new(
+        Arc::clone(&locations),
+        observations,
+        initial,
+        transition,
+        emission,
+    )
+    .expect("corridor HMM is valid");
+    RfidDeployment {
+        hmm,
+        locations,
+        spec: spec.clone(),
+    }
 }
 
 impl RfidDeployment {
@@ -115,7 +136,10 @@ impl RfidDeployment {
         rng: &mut R,
     ) -> (MarkovSequence, Vec<SymbolId>) {
         let (hidden, obs) = self.hmm.sample(rng, n);
-        let posterior = self.hmm.posterior(&obs).expect("sampled evidence is possible");
+        let posterior = self
+            .hmm
+            .posterior(&obs)
+            .expect("sampled evidence is possible");
         (posterior, hidden)
     }
 
@@ -136,7 +160,11 @@ impl RfidDeployment {
         let room_states: Vec<_> = (0..rooms).map(|_| b.add_state(true)).collect();
         // A synthetic "nowhere" start so the first symbol counts as
         // entering its room (lab-less variant only).
-        let start = if pre.is_none() { Some(b.add_state(true)) } else { None };
+        let start = if pre.is_none() {
+            Some(b.add_state(true))
+        } else {
+            None
+        };
         b.set_initial(pre.or(start).expect("one of the two start states exists"));
 
         let room_of = |sym: usize| sym / lpr; // 0-based room
@@ -149,18 +177,21 @@ impl RfidDeployment {
                 if room == lab {
                     // First lab visit: start tracking, ε emission
                     // (mirrors Figure 2's q0 → qλ).
-                    b.add_transition(p, sym, room_states[room], &[]).expect("valid");
+                    b.add_transition(p, sym, room_states[room], &[])
+                        .expect("valid");
                 } else {
                     b.add_transition(p, sym, p, &[]).expect("valid");
                 }
             } else if let Some(start) = start {
-                b.add_transition(start, sym, room_states[room], &[out_sym]).expect("valid");
+                b.add_transition(start, sym, room_states[room], &[out_sym])
+                    .expect("valid");
             }
             for (r, &state) in room_states.iter().enumerate() {
                 if r == room {
                     b.add_transition(state, sym, state, &[]).expect("valid");
                 } else {
-                    b.add_transition(state, sym, room_states[room], &[out_sym]).expect("valid");
+                    b.add_transition(state, sym, room_states[room], &[out_sym])
+                        .expect("valid");
                 }
             }
         }
@@ -214,14 +245,20 @@ mod tests {
         assert!(!t.is_selective());
         let a = &dep.locations;
         let path = vec![a.sym("r1a"), a.sym("r1b"), a.sym("r2a"), a.sym("r1a")];
-        let out = t.transduce_deterministic(&path).expect("non-selective accepts");
+        let out = t
+            .transduce_deterministic(&path)
+            .expect("non-selective accepts");
         assert_eq!(t.render_output(&out, ""), "121");
     }
 
     #[test]
     fn end_to_end_query_on_posterior() {
-        let dep =
-            deployment(&RfidSpec { rooms: 2, locations_per_room: 2, stay_prob: 0.6, noise: 0.15 });
+        let dep = deployment(&RfidSpec {
+            rooms: 2,
+            locations_per_room: 2,
+            stay_prob: 0.6,
+            noise: 0.15,
+        });
         let mut rng = StdRng::seed_from_u64(7);
         let (posterior, _) = dep.sample_posterior(5, &mut rng);
         let t = dep.room_tracker(None);
@@ -229,7 +266,10 @@ mod tests {
         let truth = transmark_core::brute::evaluate(&t, &posterior).unwrap();
         for (o, want) in truth {
             let got = confidence_deterministic(&t, &posterior, &o).unwrap();
-            assert!(approx_eq(got, want, 1e-10, 1e-8), "output {o:?}: {got} vs {want}");
+            assert!(
+                approx_eq(got, want, 1e-10, 1e-8),
+                "output {o:?}: {got} vs {want}"
+            );
         }
     }
 }

@@ -34,10 +34,7 @@ impl Lexicon {
     /// phoneme is one character of `phoneme_chars`. The vocabulary must
     /// be nonempty and *prefix-free* (no word's spelling is a prefix of
     /// another's), which makes greedy word segmentation deterministic.
-    pub fn new(
-        phoneme_chars: &str,
-        entries: &[(&str, &str)],
-    ) -> Result<Lexicon, EngineError> {
+    pub fn new(phoneme_chars: &str, entries: &[(&str, &str)]) -> Result<Lexicon, EngineError> {
         assert!(!entries.is_empty(), "vocabulary must be nonempty");
         let phonemes = Arc::new(Alphabet::of_chars(phoneme_chars));
         let words = Arc::new(Alphabet::from_names(entries.iter().map(|(w, _)| *w)));
@@ -47,11 +44,13 @@ impl Lexicon {
                 spelling
                     .chars()
                     .map(|c| {
-                        phonemes.get(&c.to_string()).ok_or(EngineError::InvalidSymbol {
-                            symbol: usize::MAX,
-                            n_symbols: phonemes.len(),
-                            alphabet: "input",
-                        })
+                        phonemes
+                            .get(&c.to_string())
+                            .ok_or(EngineError::InvalidSymbol {
+                                symbol: usize::MAX,
+                                n_symbols: phonemes.len(),
+                                alphabet: "input",
+                            })
                     })
                     .collect::<Result<Vec<_>, _>>()
             })
@@ -67,7 +66,11 @@ impl Lexicon {
                 }
             }
         }
-        Ok(Lexicon { phonemes, words, spellings })
+        Ok(Lexicon {
+            phonemes,
+            words,
+            spellings,
+        })
     }
 
     /// The phoneme alphabet.
@@ -152,20 +155,23 @@ impl Lexicon {
     /// posterior for the engine.
     pub fn recognizer(&self, noise: f64) -> Hmm {
         let k = self.phonemes.len();
-        let obs = Alphabet::from_names(
-            self.phonemes.iter().map(|(_, n)| format!("~{n}")),
-        );
+        let obs = Alphabet::from_names(self.phonemes.iter().map(|(_, n)| format!("~{n}")));
         let initial = vec![1.0 / k as f64; k];
         let transition = vec![1.0 / k as f64; k * k];
         let mut emission = vec![0.0; k * k];
         for i in 0..k {
             for o in 0..k {
-                emission[i * k + o] =
-                    if i == o { 1.0 - noise } else { 0.0 } + noise / k as f64;
+                emission[i * k + o] = if i == o { 1.0 - noise } else { 0.0 } + noise / k as f64;
             }
         }
-        Hmm::new(Arc::clone(&self.phonemes), obs, initial, transition, emission)
-            .expect("recognizer HMM is valid")
+        Hmm::new(
+            Arc::clone(&self.phonemes),
+            obs,
+            initial,
+            transition,
+            emission,
+        )
+        .expect("recognizer HMM is valid")
     }
 
     /// Samples an utterance: a concatenation of `n_words` random word
@@ -202,7 +208,9 @@ impl Lexicon {
                 }
             })
             .collect();
-        let posterior = hmm.posterior(&obs).expect("observations have positive likelihood");
+        let posterior = hmm
+            .posterior(&obs)
+            .expect("observations have positive likelihood");
         (spoken_words, posterior)
     }
 }
@@ -211,7 +219,13 @@ impl Lexicon {
 pub fn demo_lexicon() -> Lexicon {
     Lexicon::new(
         "abdgnot",
-        &[("dog", "dog"), ("bat", "bat"), ("and", "and"), ("tab", "tab"), ("go", "go")],
+        &[
+            ("dog", "dog"),
+            ("bat", "bat"),
+            ("and", "and"),
+            ("tab", "tab"),
+            ("go", "go"),
+        ],
     )
     .expect("demo lexicon is valid")
 }
@@ -229,7 +243,9 @@ mod tests {
         assert!(t.is_deterministic());
         assert!(t.is_selective());
         let parse = |s: &str| -> Vec<SymbolId> {
-            s.chars().map(|c| lex.phonemes().sym(&c.to_string())).collect()
+            s.chars()
+                .map(|c| lex.phonemes().sym(&c.to_string()))
+                .collect()
         };
         // "dogbat" → dog bat
         let out = t.transduce_deterministic(&parse("dogbat")).unwrap();
@@ -270,8 +286,7 @@ mod tests {
         assert!(!hyps.is_empty());
         // Hypotheses are valid word sequences with positive confidence.
         for h in &hyps {
-            let conf =
-                transmark_core::confidence::confidence(&t, &posterior, &h.output).unwrap();
+            let conf = transmark_core::confidence::confidence(&t, &posterior, &h.output).unwrap();
             assert!(conf > 0.0);
             assert!(h.score() <= conf + 1e-12);
         }
@@ -289,11 +304,8 @@ mod tests {
         let t = lex.transducer().unwrap();
         let mut rng = StdRng::seed_from_u64(21);
         let (_, posterior) = lex.sample_utterance(2, 0.2, &mut rng);
-        let p = transmark_core::confidence::acceptance_probability(
-            &t.underlying_nfa(),
-            &posterior,
-        )
-        .unwrap();
+        let p = transmark_core::confidence::acceptance_probability(&t.underlying_nfa(), &posterior)
+            .unwrap();
         assert!((0.0..=1.0 + 1e-12).contains(&p));
         // It must equal the total confidence mass over all answers
         // (deterministic machine: worlds map to ≤ 1 answer).

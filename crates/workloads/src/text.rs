@@ -29,7 +29,10 @@ pub struct TextSpec {
 
 impl Default for TextSpec {
     fn default() -> Self {
-        Self { noise: 0.1, stickiness: 3.0 }
+        Self {
+            noise: 0.1,
+            stickiness: 3.0,
+        }
     }
 }
 
@@ -103,9 +106,12 @@ pub fn noisy_document(template: &str, spec: &TextSpec) -> NoisyDocument {
             if bad(i + 1) == good(i + 1) {
                 b = b.transition(i, from, good(i + 1), 1.0);
             } else {
-                b = b
-                    .transition(i, from, good(i + 1), 1.0 - p_bad)
-                    .transition(i, from, bad(i + 1), p_bad);
+                b = b.transition(i, from, good(i + 1), 1.0 - p_bad).transition(
+                    i,
+                    from,
+                    bad(i + 1),
+                    p_bad,
+                );
             }
             if from == bad(i) && !sticky {
                 // good(i) == bad(i): the pair collapses; skip duplicate.
@@ -113,8 +119,15 @@ pub fn noisy_document(template: &str, spec: &TextSpec) -> NoisyDocument {
             }
         }
     }
-    let sequence = b.fill_dead_rows_self_loop().build().expect("noisy chain is valid");
-    NoisyDocument { alphabet, sequence, template: template.to_string() }
+    let sequence = b
+        .fill_dead_rows_self_loop()
+        .build()
+        .expect("noisy chain is valid");
+    NoisyDocument {
+        alphabet,
+        sequence,
+        template: template.to_string(),
+    }
 }
 
 impl NoisyDocument {
@@ -157,7 +170,13 @@ mod tests {
 
     #[test]
     fn name_extractor_finds_the_clean_name_first() {
-        let doc = noisy_document("xName:Al y", &TextSpec { noise: 0.05, stickiness: 2.0 });
+        let doc = noisy_document(
+            "xName:Al y",
+            &TextSpec {
+                noise: 0.05,
+                stickiness: 2.0,
+            },
+        );
         let p = doc.name_extractor().unwrap();
         let top = enumerate_by_imax(&p, &doc.sequence)
             .unwrap()
@@ -168,7 +187,13 @@ mod tests {
 
     #[test]
     fn indexed_extraction_reports_the_position() {
-        let doc = noisy_document("xName:Al y", &TextSpec { noise: 0.05, stickiness: 2.0 });
+        let doc = noisy_document(
+            "xName:Al y",
+            &TextSpec {
+                noise: 0.05,
+                stickiness: 2.0,
+            },
+        );
         let p = doc.name_extractor().unwrap();
         let top = enumerate_indexed(&p, &doc.sequence)
             .unwrap()
@@ -184,7 +209,13 @@ mod tests {
         // 'l' ↔ '1' confusion: with an unconstrained suffix, both the full
         // name "Al" and its truncation "A" (all that remains alphabetic
         // when 'l' is misread as '1') are answers.
-        let doc = noisy_document("xName:Al y", &TextSpec { noise: 0.3, stickiness: 1.0 });
+        let doc = noisy_document(
+            "xName:Al y",
+            &TextSpec {
+                noise: 0.3,
+                stickiness: 1.0,
+            },
+        );
         let p = doc.extractor(".*Name:", "[a-zA-Z]+", ".*").unwrap();
         let outs: Vec<String> = enumerate_by_imax(&p, &doc.sequence)
             .unwrap()

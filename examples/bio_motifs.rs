@@ -15,7 +15,13 @@ use transmark::workloads::bio::{gc_run_query, uncertain_read, ReadSpec};
 
 fn main() -> Result<(), EngineError> {
     let reference = "TACGATGGGCGATTA";
-    let read = uncertain_read(reference, &ReadSpec { error_rate: 0.08, burstiness: 3.0 });
+    let read = uncertain_read(
+        reference,
+        &ReadSpec {
+            error_rate: 0.08,
+            burstiness: 3.0,
+        },
+    );
     println!("reference: {reference}");
     let (ml, p) = read.sequence.most_likely_string();
     println!("most likely call: {} (p = {p:.4})\n", read.render(&ml));

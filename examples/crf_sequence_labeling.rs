@@ -46,8 +46,8 @@ fn main() -> Result<(), EngineError> {
             f
         })
         .collect();
-    let posterior = chain_from_factors(labels.clone(), &phi0, &factors)
-        .expect("the CRF has positive mass");
+    let posterior =
+        chain_from_factors(labels.clone(), &phi0, &factors).expect("the CRF has positive mass");
     println!("CRF posterior over label sequences (4 tokens, 3 labels)");
     let (map, p) = posterior.most_likely_string();
     println!("MAP labeling: {} (p = {p:.4})\n", labels.render(&map, " "));

@@ -17,7 +17,12 @@ use transmark::store::SequenceStore;
 use transmark::workloads::rfid::{deployment, RfidSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let spec = RfidSpec { rooms: 3, locations_per_room: 2, stay_prob: 0.55, noise: 0.2 };
+    let spec = RfidSpec {
+        rooms: 3,
+        locations_per_room: 2,
+        stay_prob: 0.55,
+        noise: 0.2,
+    };
     let dep = deployment(&spec);
     let mut rng = StdRng::seed_from_u64(4);
 
@@ -27,7 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (posterior, _) = dep.sample_posterior(10, &mut rng);
         store.insert(name, posterior)?;
     }
-    println!("store: {} streams over {} locations\n", store.len(), store.alphabet().len());
+    println!(
+        "store: {} streams over {} locations\n",
+        store.len(),
+        store.alphabet().len()
+    );
 
     // Boolean event query: "ever in room 2" (the lab).
     let lab_query = {
@@ -50,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Detection with a threshold, most probable first.
     let suspicious = store.detect(&lab_query, 0.9)?;
-    println!("\nobjects with Pr ≥ 0.9: {:?}", suspicious.iter().map(|(n, _)| n).collect::<Vec<_>>());
+    println!(
+        "\nobjects with Pr ≥ 0.9: {:?}",
+        suspicious.iter().map(|(n, _)| n).collect::<Vec<_>>()
+    );
 
     // Streaming view for the top hit.
     if let Some((name, _)) = suspicious.first() {
@@ -80,7 +92,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Fleet-scale evaluation is embarrassingly parallel.
     let parallel = store.event_probability_parallel(&lab_query, 4)?;
     assert_eq!(parallel.len(), store.len());
-    println!("(parallel evaluation over 4 threads agrees on all {} streams)", parallel.len());
+    println!(
+        "(parallel evaluation over 4 threads agrees on all {} streams)",
+        parallel.len()
+    );
 
     // Which objects does the sensor network track worst?
     println!("\nstreams by tracking uncertainty (perplexity, 1 = certain):");

@@ -14,7 +14,11 @@ fn main() -> Result<(), EngineError> {
     let t = room_tracker();
     let alphabet = mu.alphabet().clone();
 
-    println!("Figure 1: Markov sequence μ[{}] over {} locations", mu.len(), mu.n_symbols());
+    println!(
+        "Figure 1: Markov sequence μ[{}] over {} locations",
+        mu.len(),
+        mu.n_symbols()
+    );
     println!(
         "Figure 2: transducer with {} states (deterministic={}, selective={}, uniform={:?})\n",
         t.n_states(),
@@ -25,7 +29,10 @@ fn main() -> Result<(), EngineError> {
 
     // ---- Table 1 ---------------------------------------------------------
     println!("Table 1: random strings and their output");
-    println!("{:<8}{:<28}{:>12}   output", "string", "value", "probability");
+    println!(
+        "{:<8}{:<28}{:>12}   output",
+        "string", "value", "probability"
+    );
     for row in table1_rows() {
         let s: Vec<SymbolId> = row.string.iter().map(|n| alphabet.sym(n)).collect();
         let p = mu.string_probability(&s).expect("length 5");
@@ -41,7 +48,10 @@ fn main() -> Result<(), EngineError> {
             p,
             out
         );
-        assert!((p - row.probability).abs() < 1e-9, "probability drifted from the paper");
+        assert!(
+            (p - row.probability).abs() < 1e-9,
+            "probability drifted from the paper"
+        );
     }
 
     // ---- Example 3.4: conf(12) -------------------------------------------
@@ -58,13 +68,25 @@ fn main() -> Result<(), EngineError> {
     println!("\nAll answers, ranked by E_max (Theorem 4.3):");
     for a in enumerate_by_emax(&t, &mu)? {
         let c = confidence(&t, &mu, &a.output)?;
-        let rendered = if a.output.is_empty() { "ε".into() } else { t.render_output(&a.output, "") };
-        println!("  {rendered:<6} E_max = {:.4}  confidence = {:.4}", a.score(), c);
+        let rendered = if a.output.is_empty() {
+            "ε".into()
+        } else {
+            t.render_output(&a.output, "")
+        };
+        println!(
+            "  {rendered:<6} E_max = {:.4}  confidence = {:.4}",
+            a.score(),
+            c
+        );
     }
 
     println!("\nGold standard (brute force), ranked by true confidence:");
     for (o, c) in brute::ranked_by_confidence(&t, &mu)? {
-        let rendered = if o.is_empty() { "ε".into() } else { t.render_output(&o, "") };
+        let rendered = if o.is_empty() {
+            "ε".into()
+        } else {
+            t.render_output(&o, "")
+        };
         println!("  {rendered:<6} confidence = {c:.4}");
     }
     Ok(())

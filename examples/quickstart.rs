@@ -60,7 +60,12 @@ fn main() -> Result<(), EngineError> {
 
     // ---- Top-k is just early stopping -----------------------------------
     let top2 = top_k_by_emax(&t, &chain, 2)?;
-    println!("\ntop-2 by E_max: {:?}", top2.iter().map(|a| t.render_output(&a.output, "")).collect::<Vec<_>>());
+    println!(
+        "\ntop-2 by E_max: {:?}",
+        top2.iter()
+            .map(|a| t.render_output(&a.output, ""))
+            .collect::<Vec<_>>()
+    );
 
     // ---- The most likely world behind the top answer --------------------
     let best = top_by_emax(&t, &chain)?.expect("answers exist");

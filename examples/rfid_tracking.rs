@@ -14,7 +14,12 @@ use transmark::prelude::*;
 use transmark::workloads::rfid::{deployment, RfidSpec};
 
 fn main() -> Result<(), EngineError> {
-    let spec = RfidSpec { rooms: 3, locations_per_room: 2, stay_prob: 0.55, noise: 0.25 };
+    let spec = RfidSpec {
+        rooms: 3,
+        locations_per_room: 2,
+        stay_prob: 0.55,
+        noise: 0.25,
+    };
     let dep = deployment(&spec);
     let mut rng = StdRng::seed_from_u64(2010);
 
@@ -29,7 +34,10 @@ fn main() -> Result<(), EngineError> {
     );
     println!("true trajectory: {}", dep.locations.render(&truth, " "));
     let (map_traj, p) = posterior.most_likely_string();
-    println!("MAP trajectory:  {} (posterior p = {p:.4})\n", dep.locations.render(&map_traj, " "));
+    println!(
+        "MAP trajectory:  {} (posterior p = {p:.4})\n",
+        dep.locations.render(&map_traj, " ")
+    );
 
     // Query 1: room-entry sequence (non-selective Mealy-style tracker).
     let tracker = dep.room_tracker(None);

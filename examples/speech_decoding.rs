@@ -50,8 +50,12 @@ fn main() -> Result<(), EngineError> {
 
     // Provenance: the most likely phoneme strings behind the top hypothesis.
     if let Some(top) = ev.top()? {
-        println!("\nwhy: most likely phoneme evidence for {:?}:", lex.words().render(&top.output, " "));
-        for e in transmark::engine::evidence::top_k_evidences(&decoder, &posterior, &top.output, 3)? {
+        println!(
+            "\nwhy: most likely phoneme evidence for {:?}:",
+            lex.words().render(&top.output, " ")
+        );
+        for e in transmark::engine::evidence::top_k_evidences(&decoder, &posterior, &top.output, 3)?
+        {
             println!(
                 "  {}  (p = {:.4})",
                 posterior.alphabet().render(&e.world, ""),

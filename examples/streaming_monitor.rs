@@ -13,7 +13,11 @@ use transmark::prelude::*;
 fn main() -> Result<(), EngineError> {
     // Query over {ok, warn, fail}: "two consecutive warns, or any fail".
     let alphabet = Alphabet::from_names(["ok", "warn", "fail"]);
-    let (ok, warn, fail) = (alphabet.sym("ok"), alphabet.sym("warn"), alphabet.sym("fail"));
+    let (ok, warn, fail) = (
+        alphabet.sym("ok"),
+        alphabet.sym("warn"),
+        alphabet.sym("fail"),
+    );
     let mut query = Nfa::new(3);
     let calm = query.add_state(false);
     let warned = query.add_state(false);
@@ -54,6 +58,9 @@ fn main() -> Result<(), EngineError> {
             break;
         }
     }
-    println!("\nmonitor consumed {} ticks with O(1) memory per tick", monitor.len());
+    println!(
+        "\nmonitor consumed {} ticks with O(1) memory per tick",
+        monitor.len()
+    );
     Ok(())
 }

@@ -16,7 +16,13 @@ use transmark::workloads::text::{noisy_document, TextSpec};
 
 fn main() -> Result<(), EngineError> {
     let template = "id:42 Name:Carol ";
-    let doc = noisy_document(template, &TextSpec { noise: 0.15, stickiness: 2.5 });
+    let doc = noisy_document(
+        template,
+        &TextSpec {
+            noise: 0.15,
+            stickiness: 2.5,
+        },
+    );
     println!("template: {template:?}");
     println!(
         "model: {} positions, {} character hypotheses, noise 15% (sticky)",

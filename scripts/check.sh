@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The full pre-submit gate: formatting, lints, release build, tests.
+# Run from anywhere inside the repository.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "All checks passed."

@@ -1,0 +1,341 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no network access, so the workspace vendors the
+//! subset of the criterion 0.5 API its benches use: `criterion_group!` /
+//! `criterion_main!`, [`Criterion`] with the builder knobs the benches set
+//! (`warm_up_time`, `measurement_time`, `sample_size`), benchmark groups,
+//! [`BenchmarkId`], and `Bencher::iter`.
+//!
+//! Measurement model: after a warm-up phase sizes the per-iteration cost,
+//! each sample times a fixed batch of iterations; the report prints the
+//! minimum / median / maximum of the per-iteration sample means in the
+//! same `time: [low mid high]` shape criterion uses, so existing
+//! eyeball-and-diff workflows keep working. There is no statistical
+//! outlier analysis, HTML report, or baseline persistence.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can use `criterion::black_box` if they prefer it
+/// over `std::hint::black_box`.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver and configuration.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let cfg = self.clone();
+        run_benchmark(&name.into(), &cfg, &mut f);
+        self
+    }
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement = d;
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut cfg = self.criterion.clone();
+        if let Some(n) = self.sample_size {
+            cfg.sample_size = n;
+        }
+        let full = format!("{}/{}", self.name, id.0);
+        run_benchmark(&full, &cfg, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut cfg = self.criterion.clone();
+        if let Some(n) = self.sample_size {
+            cfg.sample_size = n;
+        }
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        run_benchmark(&full, &cfg, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+/// Conversion into [`BenchmarkId`] for `bench_function` arguments.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<f64>,
+    mode: BencherMode,
+}
+
+enum BencherMode {
+    /// Run `f` repeatedly until the warm-up budget is spent, recording the
+    /// per-iteration cost so the measurement phase can size its batches.
+    WarmUp {
+        budget: Duration,
+        per_iter_ns: f64,
+    },
+    Measure,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its return value alive via `black_box` so
+    /// the benchmarked work is not optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match &mut self.mode {
+            BencherMode::WarmUp {
+                budget,
+                per_iter_ns,
+            } => {
+                let start = Instant::now();
+                let mut iters = 0u64;
+                while start.elapsed() < *budget {
+                    black_box(routine());
+                    iters += 1;
+                }
+                let elapsed = start.elapsed().as_nanos() as f64;
+                *per_iter_ns = elapsed / iters.max(1) as f64;
+            }
+            BencherMode::Measure => {
+                let n = self.iters_per_sample.max(1);
+                let start = Instant::now();
+                for _ in 0..n {
+                    black_box(routine());
+                }
+                let elapsed = start.elapsed().as_nanos() as f64;
+                self.samples.push(elapsed / n as f64);
+            }
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, cfg: &Criterion, f: &mut F) {
+    // Warm-up: one call to the closure, whose `iter` spins for the budget
+    // and estimates per-iteration cost.
+    let mut bencher = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        mode: BencherMode::WarmUp {
+            budget: cfg.warm_up,
+            per_iter_ns: 0.0,
+        },
+    };
+    f(&mut bencher);
+    let per_iter_ns = match bencher.mode {
+        BencherMode::WarmUp { per_iter_ns, .. } => per_iter_ns.max(1.0),
+        BencherMode::Measure => unreachable!("warm-up mode is set above"),
+    };
+
+    // Size batches so the whole measurement phase fits the time budget.
+    let budget_ns = cfg.measurement.as_nanos() as f64;
+    let iters_per_sample =
+        ((budget_ns / cfg.sample_size as f64 / per_iter_ns).floor() as u64).max(1);
+
+    let mut bencher = Bencher {
+        iters_per_sample,
+        samples: Vec::with_capacity(cfg.sample_size),
+        mode: BencherMode::Measure,
+    };
+    for _ in 0..cfg.sample_size {
+        f(&mut bencher);
+    }
+
+    let mut samples = bencher.samples;
+    if samples.is_empty() {
+        // The closure never called `iter`; nothing to report.
+        println!("{id:<40} time:   [no samples]");
+        return;
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let low = samples[0];
+    let mid = samples[samples.len() / 2];
+    let high = samples[samples.len() - 1];
+    println!(
+        "{id:<40} time:   [{} {} {}]",
+        format_ns(low),
+        format_ns(mid),
+        format_ns(high)
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions, in both the plain and the
+/// `name = / config = / targets =` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the `main` for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes `--bench` (and possibly filter args) to bench
+            // binaries; this harness runs everything regardless.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .warm_up_time(Duration::from_millis(10))
+            .measurement_time(Duration::from_millis(50))
+            .sample_size(5)
+    }
+
+    #[test]
+    fn groups_and_functions_run_and_sample() {
+        let mut c = quick();
+        c.bench_function("smoke/direct", |b| b.iter(|| black_box(2u64 + 2)));
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).0, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").0, "x");
+    }
+}

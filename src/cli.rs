@@ -49,11 +49,17 @@ impl std::fmt::Display for CliError {
 impl std::error::Error for CliError {}
 
 fn usage_err(message: impl Into<String>) -> CliError {
-    CliError { message: format!("{}\n\n{}", message.into(), USAGE), exit_code: 2 }
+    CliError {
+        message: format!("{}\n\n{}", message.into(), USAGE),
+        exit_code: 2,
+    }
 }
 
 fn run_err(message: impl std::fmt::Display) -> CliError {
-    CliError { message: message.to_string(), exit_code: 1 }
+    CliError {
+        message: message.to_string(),
+        exit_code: 1,
+    }
 }
 
 /// The usage text.
@@ -95,24 +101,25 @@ fn take_opt(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, CliErr
 }
 
 fn parse_usize(s: &str, what: &str) -> Result<usize, CliError> {
-    s.parse().map_err(|e| usage_err(format!("bad {what} {s:?}: {e}")))
+    s.parse()
+        .map_err(|e| usage_err(format!("bad {what} {s:?}: {e}")))
 }
 
 fn load_sequence(path: &str) -> Result<MarkovSequence, CliError> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| run_err(format!("cannot read {path}: {e}")))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| run_err(format!("cannot read {path}: {e}")))?;
     transmark_markov::textio::from_text(&text).map_err(|e| run_err(format!("{path}: {e}")))
 }
 
 fn load_sprojector(path: &str) -> Result<transmark_sproj::SProjector, CliError> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| run_err(format!("cannot read {path}: {e}")))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| run_err(format!("cannot read {path}: {e}")))?;
     transmark_sproj::textio::from_text(&text).map_err(|e| run_err(format!("{path}: {e}")))
 }
 
 fn load_transducer(path: &str) -> Result<Transducer, CliError> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| run_err(format!("cannot read {path}: {e}")))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| run_err(format!("cannot read {path}: {e}")))?;
     transmark_core::textio::from_text(&text).map_err(|e| run_err(format!("{path}: {e}")))
 }
 
@@ -151,7 +158,12 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "show" => {
             let [seq_path] = positional::<1>(args)?;
             let m = load_sequence(&seq_path)?;
-            let _ = writeln!(out, "markov sequence: length {}, {} symbols", m.len(), m.n_symbols());
+            let _ = writeln!(
+                out,
+                "markov sequence: length {}, {} symbols",
+                m.len(),
+                m.n_symbols()
+            );
             let names: Vec<&str> = m.alphabet().iter().map(|(_, n)| n).collect();
             let _ = writeln!(out, "alphabet: {}", names.join(" "));
             let _ = writeln!(out, "marginals:");
@@ -261,9 +273,16 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let [seq_path, query_path] = positional::<2>(args)?;
             let m = load_sequence(&seq_path)?;
             let p = load_sprojector(&query_path)?;
-            for r in transmark_sproj::enumerate_by_imax(&p, &m).map_err(run_err)?.take(k) {
+            for r in transmark_sproj::enumerate_by_imax(&p, &m)
+                .map_err(run_err)?
+                .take(k)
+            {
                 let text = m.alphabet().render(&r.output, "");
-                let rendered = if text.is_empty() { "ε".to_string() } else { text };
+                let rendered = if text.is_empty() {
+                    "ε".to_string()
+                } else {
+                    text
+                };
                 let exact =
                     transmark_sproj::sproj_confidence(&p, &m, &r.output).map_err(run_err)?;
                 let _ = writeln!(
@@ -281,9 +300,16 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let [seq_path, query_path] = positional::<2>(args)?;
             let m = load_sequence(&seq_path)?;
             let p = load_sprojector(&query_path)?;
-            for ia in transmark_sproj::enumerate_indexed(&p, &m).map_err(run_err)?.take(k) {
+            for ia in transmark_sproj::enumerate_indexed(&p, &m)
+                .map_err(run_err)?
+                .take(k)
+            {
                 let text = m.alphabet().render(&ia.output, "");
-                let rendered = if text.is_empty() { "ε".to_string() } else { text };
+                let rendered = if text.is_empty() {
+                    "ε".to_string()
+                } else {
+                    text
+                };
                 let _ = writeln!(
                     out,
                     "{rendered:<24} at {:<4} confidence = {:.6}",
@@ -336,7 +362,12 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 .map_err(|e| run_err(format!("write {}: {e}", query_path.display())))?;
             let _ = writeln!(out, "wrote {}", seq_path.display());
             let _ = writeln!(out, "wrote {}", query_path.display());
-            let _ = writeln!(out, "try: tmk top {} {}", seq_path.display(), query_path.display());
+            let _ = writeln!(
+                out,
+                "try: tmk top {} {}",
+                seq_path.display(),
+                query_path.display()
+            );
         }
         "help" | "--help" | "-h" => {
             let _ = writeln!(out, "{USAGE}");
@@ -349,7 +380,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
 /// Exactly-N positional arguments, or a usage error.
 fn positional<const N: usize>(args: Vec<String>) -> Result<[String; N], CliError> {
     if args.len() != N {
-        return Err(usage_err(format!("expected {N} argument(s), found {}", args.len())));
+        return Err(usage_err(format!(
+            "expected {N} argument(s), found {}",
+            args.len()
+        )));
     }
     Ok(args.try_into().expect("length checked"))
 }

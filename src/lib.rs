@@ -88,6 +88,9 @@ pub use transmark_workloads as workloads;
 /// The most common imports in one place.
 pub mod prelude {
     pub use transmark_automata::{Alphabet, Dfa, Nfa, SymbolId};
+    pub use transmark_core::certified::{
+        certified_top_by_confidence, certified_top_k_by_confidence, CertifiedTop, CertifiedTopK,
+    };
     pub use transmark_core::compose::compose;
     pub use transmark_core::confidence::{
         acceptance_probability, confidence, confidence_deterministic, confidence_general,
@@ -98,9 +101,6 @@ pub mod prelude {
         enumerate_by_emax, enumerate_unranked, top_k_by_emax, RankedAnswer,
     };
     pub use transmark_core::error::EngineError;
-    pub use transmark_core::certified::{
-        certified_top_by_confidence, certified_top_k_by_confidence, CertifiedTop, CertifiedTopK,
-    };
     pub use transmark_core::evaluate::{ConfidenceCost, Evaluation, ScoredAnswer};
     pub use transmark_core::evidence::{enumerate_evidences, top_k_evidences};
     pub use transmark_core::streaming::EventMonitor;

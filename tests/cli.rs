@@ -9,7 +9,8 @@ fn args(list: &[&str]) -> Vec<String> {
 
 /// A scratch directory under the target dir, unique per test.
 fn scratch(name: &str) -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join(format!("transmark-cli-test-{name}-{}", std::process::id()));
+    let dir =
+        std::env::temp_dir().join(format!("transmark-cli-test-{name}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).expect("create scratch dir");
     dir
@@ -33,8 +34,14 @@ fn export_then_query_round_trip() {
     assert!(out.starts_with("r1a la la r1a r2a"), "{out}");
 
     // top: the first answer is "1 2" with the paper's confidence.
-    let out = run(&args(&["top", seq.to_str().unwrap(), query.to_str().unwrap(), "--k", "2"]))
-        .expect("top");
+    let out = run(&args(&[
+        "top",
+        seq.to_str().unwrap(),
+        query.to_str().unwrap(),
+        "--k",
+        "2",
+    ]))
+    .expect("top");
     let first = out.lines().next().unwrap();
     assert!(first.starts_with("1 2"), "{out}");
     assert!(first.contains("0.403800"), "{out}");
@@ -69,8 +76,12 @@ fn export_then_query_round_trip() {
     assert!(lines[2].starts_with("la r1b r1b r1a r2a"));
 
     // enumerate lists every answer once.
-    let out = run(&args(&["enumerate", seq.to_str().unwrap(), query.to_str().unwrap()]))
-        .expect("enumerate");
+    let out = run(&args(&[
+        "enumerate",
+        seq.to_str().unwrap(),
+        query.to_str().unwrap(),
+    ]))
+    .expect("enumerate");
     let mut answers: Vec<&str> = out.lines().collect();
     let count = answers.len();
     answers.sort_unstable();
@@ -80,10 +91,24 @@ fn export_then_query_round_trip() {
     assert!(answers.contains(&"ε"));
 
     // sample is deterministic per seed and emits valid worlds.
-    let a = run(&args(&["sample", seq.to_str().unwrap(), "--count", "4", "--seed", "7"]))
-        .expect("sample");
-    let b = run(&args(&["sample", seq.to_str().unwrap(), "--count", "4", "--seed", "7"]))
-        .expect("sample again");
+    let a = run(&args(&[
+        "sample",
+        seq.to_str().unwrap(),
+        "--count",
+        "4",
+        "--seed",
+        "7",
+    ]))
+    .expect("sample");
+    let b = run(&args(&[
+        "sample",
+        seq.to_str().unwrap(),
+        "--count",
+        "4",
+        "--seed",
+        "7",
+    ]))
+    .expect("sample again");
     assert_eq!(a, b);
     assert_eq!(a.lines().count(), 4);
 
@@ -153,8 +178,14 @@ fn sprojector_extraction_commands() {
     std::fs::write(&seq, seq_text).unwrap();
     std::fs::write(&proj, proj_text).unwrap();
 
-    let out = run(&args(&["extract", seq.to_str().unwrap(), proj.to_str().unwrap(), "--k", "3"]))
-        .expect("extract");
+    let out = run(&args(&[
+        "extract",
+        seq.to_str().unwrap(),
+        proj.to_str().unwrap(),
+        "--k",
+        "3",
+    ]))
+    .expect("extract");
     assert_eq!(out.lines().count(), 3, "{out}");
     assert!(out.contains("I_max"), "{out}");
     assert!(out.lines().next().unwrap().starts_with('a'), "{out}");
@@ -181,8 +212,17 @@ fn sprojector_extraction_commands() {
 
     // A malformed projector file reports its line.
     let bad = dir.join("bad.tmp");
-    std::fs::write(&bad, "sprojector v1\nalphabet ab\nprefix .*\npattern [a\nsuffix .*\n").unwrap();
-    let e = run(&args(&["extract", seq.to_str().unwrap(), bad.to_str().unwrap()])).unwrap_err();
+    std::fs::write(
+        &bad,
+        "sprojector v1\nalphabet ab\nprefix .*\npattern [a\nsuffix .*\n",
+    )
+    .unwrap();
+    let e = run(&args(&[
+        "extract",
+        seq.to_str().unwrap(),
+        bad.to_str().unwrap(),
+    ]))
+    .unwrap_err();
     assert!(e.message.contains("line 4"), "{}", e.message);
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -212,12 +252,8 @@ fn posterior_command_conditions_an_hmm() {
     let shown = run(&args(&["map", out_file.to_str().unwrap()])).expect("map");
     assert!(shown.starts_with("rain rain"), "{shown}");
     // Without --out, the sequence is printed to stdout.
-    let printed = run(&args(&[
-        "posterior",
-        model.to_str().unwrap(),
-        "umbrella",
-    ]))
-    .expect("posterior stdout");
+    let printed =
+        run(&args(&["posterior", model.to_str().unwrap(), "umbrella"])).expect("posterior stdout");
     assert!(printed.starts_with("markov-sequence v1"), "{printed}");
     // Unknown observations are rejected.
     let e = run(&args(&["posterior", model.to_str().unwrap(), "snow"])).unwrap_err();

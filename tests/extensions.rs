@@ -12,7 +12,12 @@ use transmark::workloads::rfid::{deployment, RfidSpec};
 #[test]
 fn composed_pipeline_equals_staged_pipeline() {
     use rand::{rngs::StdRng, SeedableRng};
-    let dep = deployment(&RfidSpec { rooms: 2, locations_per_room: 2, stay_prob: 0.5, noise: 0.2 });
+    let dep = deployment(&RfidSpec {
+        rooms: 2,
+        locations_per_room: 2,
+        stay_prob: 0.5,
+        noise: 0.2,
+    });
     let mut rng = StdRng::seed_from_u64(31);
     let (posterior, _) = dep.sample_posterior(5, &mut rng);
 
@@ -91,7 +96,12 @@ fn evaluation_facade_consistency() {
 #[test]
 fn condition_window_and_stream() {
     use rand::{rngs::StdRng, SeedableRng};
-    let dep = deployment(&RfidSpec { rooms: 2, locations_per_room: 1, stay_prob: 0.5, noise: 0.3 });
+    let dep = deployment(&RfidSpec {
+        rooms: 2,
+        locations_per_room: 1,
+        stay_prob: 0.5,
+        noise: 0.3,
+    });
     let mut rng = StdRng::seed_from_u64(5);
     let (posterior, truth) = dep.sample_posterior(6, &mut rng);
 
@@ -139,10 +149,18 @@ fn condition_window_and_stream() {
 #[test]
 fn imax_variants_agree_on_text_workload() {
     use transmark::workloads::text::{noisy_document, TextSpec};
-    let doc = noisy_document("ab:na me", &TextSpec { noise: 0.25, stickiness: 1.5 });
+    let doc = noisy_document(
+        "ab:na me",
+        &TextSpec {
+            noise: 0.25,
+            stickiness: 1.5,
+        },
+    );
     let p = doc.extractor(".*", "[a-z]+", ".*").unwrap();
     let a: Vec<_> = enumerate_by_imax(&p, &doc.sequence).unwrap().collect();
-    let b: Vec<_> = enumerate_by_imax_lawler(&p, &doc.sequence).unwrap().collect();
+    let b: Vec<_> = enumerate_by_imax_lawler(&p, &doc.sequence)
+        .unwrap()
+        .collect();
     assert_eq!(a.len(), b.len());
     for (x, y) in a.iter().zip(b.iter()) {
         assert!((x.score() - y.score()).abs() < 1e-12);

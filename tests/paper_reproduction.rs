@@ -58,7 +58,12 @@ fn hmm_pipeline_to_ranked_answers() {
     use rand::{rngs::StdRng, SeedableRng};
     use transmark::workloads::rfid::{deployment, RfidSpec};
 
-    let dep = deployment(&RfidSpec { rooms: 2, locations_per_room: 2, stay_prob: 0.5, noise: 0.2 });
+    let dep = deployment(&RfidSpec {
+        rooms: 2,
+        locations_per_room: 2,
+        stay_prob: 0.5,
+        noise: 0.2,
+    });
     let mut rng = StdRng::seed_from_u64(123);
     let (posterior, _) = dep.sample_posterior(6, &mut rng);
     let t = dep.room_tracker(None);
@@ -80,15 +85,20 @@ fn sprojector_pipeline_over_posterior() {
     use rand::{rngs::StdRng, SeedableRng};
     use transmark::workloads::rfid::{deployment, RfidSpec};
 
-    let dep = deployment(&RfidSpec { rooms: 2, locations_per_room: 1, stay_prob: 0.6, noise: 0.2 });
+    let dep = deployment(&RfidSpec {
+        rooms: 2,
+        locations_per_room: 1,
+        stay_prob: 0.6,
+        noise: 0.2,
+    });
     let mut rng = StdRng::seed_from_u64(77);
     let (posterior, _) = dep.sample_posterior(6, &mut rng);
 
     // Extract maximal stretches inside room 2 preceded by room-1 time.
     let p = SProjector::from_patterns(
         posterior.alphabet_arc(),
-        ".*a",  // prefix ends in room 1's location r1a
-        "b+",   // a block of room 2's location r2a
+        ".*a", // prefix ends in room 1's location r1a
+        "b+",  // a block of room 2's location r2a
         ".*",
     );
     // Location names are r1a/r2a — two chars don't fit the char-regex; use
@@ -125,8 +135,9 @@ fn sprojector_pipeline_over_posterior() {
     // The indexed enumeration is in exact decreasing confidence, and each
     // confidence matches the Theorem 5.8 evaluator.
     let ev = IndexedEvaluator::new(&p, &posterior).expect("evaluator");
-    let answers: Vec<IndexedAnswer> =
-        enumerate_indexed(&p, &posterior).expect("enumerate").collect();
+    let answers: Vec<IndexedAnswer> = enumerate_indexed(&p, &posterior)
+        .expect("enumerate")
+        .collect();
     for w in answers.windows(2) {
         assert!(w[0].log_confidence >= w[1].log_confidence - 1e-12);
     }
@@ -166,7 +177,11 @@ fn korder_reduction_composes_with_the_engine() {
     let mut b = Transducer::builder(chain.alphabet_arc(), out.clone());
     let q = b.add_state(true);
     for (wid, name) in chain.alphabet().iter() {
-        let emit = if name == "a·a" || name == "b·b" { out.sym("x") } else { out.sym("y") };
+        let emit = if name == "a·a" || name == "b·b" {
+            out.sym("x")
+        } else {
+            out.sym("y")
+        };
         b.add_transition(q, wid, q, &[emit]).expect("valid edge");
     }
     let t = b.build().expect("window Mealy machine");
@@ -179,8 +194,7 @@ fn korder_reduction_composes_with_the_engine() {
         // to output o.
         let mut direct = 0.0;
         for code in 0..16u32 {
-            let s: Vec<SymbolId> =
-                (0..4).rev().map(|b| SymbolId((code >> b) & 1)).collect();
+            let s: Vec<SymbolId> = (0..4).rev().map(|b| SymbolId((code >> b) & 1)).collect();
             let w = enc.encode(&s).expect("encode");
             if t.transduce_deterministic(&w).as_deref() == Some(&o[..]) {
                 direct += k2.string_probability(&s).expect("probability");

@@ -10,14 +10,21 @@ use std::time::{Duration, Instant};
 
 use rand::{rngs::StdRng, SeedableRng};
 use transmark::engine::generate::{random_transducer, RandomTransducerSpec, TransducerClass};
-use transmark::prelude::*;
 use transmark::markov::generate::{random_markov_sequence, RandomChainSpec};
+use transmark::prelude::*;
 
 const BUDGET: Duration = Duration::from_secs(20);
 
 fn chain(n: usize, k: usize, seed: u64) -> MarkovSequence {
     let mut rng = StdRng::seed_from_u64(seed);
-    random_markov_sequence(&RandomChainSpec { len: n, n_symbols: k, zero_prob: 0.2 }, &mut rng)
+    random_markov_sequence(
+        &RandomChainSpec {
+            len: n,
+            n_symbols: k,
+            zero_prob: 0.2,
+        },
+        &mut rng,
+    )
 }
 
 #[test]
@@ -35,7 +42,9 @@ fn deterministic_confidence_scales_to_thousands() {
         &mut rng,
     );
     let start = Instant::now();
-    let top = top_by_emax(&t, &m).unwrap().expect("non-selective machine has answers");
+    let top = top_by_emax(&t, &m)
+        .unwrap()
+        .expect("non-selective machine has answers");
     let conf = confidence(&t, &m, &top.output).unwrap();
     assert!(conf > 0.0 || top.output.len() == 2000);
     assert!(start.elapsed() < BUDGET, "took {:?}", start.elapsed());
@@ -66,7 +75,11 @@ fn indexed_enumeration_first_answers_scale() {
     let p = SProjector::simple(m.alphabet_arc(), Dfa::word(3, &w)).unwrap();
     let start = Instant::now();
     let first_100: Vec<_> = enumerate_indexed(&p, &m).unwrap().take(100).collect();
-    assert_eq!(first_100.len(), 100, "a length-1000 chain has ≥100 occurrences");
+    assert_eq!(
+        first_100.len(),
+        100,
+        "a length-1000 chain has ≥100 occurrences"
+    );
     for w in first_100.windows(2) {
         assert!(w[0].log_confidence >= w[1].log_confidence - 1e-9);
     }
@@ -98,7 +111,12 @@ fn acceptance_probability_scales_with_subsets() {
 #[test]
 fn hmm_posterior_scales() {
     use transmark::workloads::rfid::{deployment, RfidSpec};
-    let dep = deployment(&RfidSpec { rooms: 5, locations_per_room: 3, stay_prob: 0.6, noise: 0.2 });
+    let dep = deployment(&RfidSpec {
+        rooms: 5,
+        locations_per_room: 3,
+        stay_prob: 0.6,
+        noise: 0.2,
+    });
     let mut rng = StdRng::seed_from_u64(11);
     let start = Instant::now();
     let (posterior, truth) = dep.sample_posterior(1500, &mut rng);
