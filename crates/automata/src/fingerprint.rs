@@ -1,0 +1,183 @@
+//! Structural fingerprints for automata.
+//!
+//! A fingerprint is a deterministic 64-bit hash of an automaton's exact
+//! structure (alphabet size, initial state, accepting set, transition
+//! table). It is platform-independent — FNV-1a over a fixed little-endian
+//! encoding, not `std::hash` (whose `Hasher` output is allowed to vary
+//! between releases) — so it can key on-disk or cross-process caches.
+//!
+//! Fingerprints are *not* canonical forms: two automata accepting the same
+//! language but built differently hash differently, and (as with any 64-bit
+//! hash) distinct structures may collide. Callers that must distinguish
+//! collisions (e.g. the plan cache in `transmark-store`) pair the
+//! fingerprint with a full structural-equality check.
+
+use crate::dfa::Dfa;
+use crate::nfa::Nfa;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A streaming FNV-1a 64-bit hasher with fixed-width integer encoding.
+///
+/// Every `write_*` method feeds a self-delimiting little-endian encoding,
+/// so value sequences cannot alias each other across field boundaries as
+/// long as callers write a fixed schema (length prefixes before
+/// variable-length data).
+#[derive(Debug, Clone)]
+pub struct Fingerprinter {
+    state: u64,
+}
+
+impl Default for Fingerprinter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fingerprinter {
+    /// Starts a fresh fingerprint.
+    pub fn new() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds a `u64` as 8 little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds a `u32` as 4 little-endian bytes.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds a `usize` as a `u64` (so 32- and 64-bit builds agree).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Feeds a length-prefixed string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Feeds a bool as one byte.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_bytes(&[u8::from(v)]);
+    }
+
+    /// The fingerprint of everything written so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Nfa {
+    /// A structural fingerprint of this NFA (see the module docs for the
+    /// collision / canonicity caveats).
+    pub fn fingerprint(&self) -> u64 {
+        use crate::nfa::StateId;
+        let mut fp = Fingerprinter::new();
+        fp.write_bytes(b"nfa");
+        fp.write_usize(self.n_symbols());
+        fp.write_usize(self.n_states());
+        fp.write_u32(self.initial().0);
+        for q in 0..self.n_states() {
+            fp.write_bool(self.is_accepting(StateId(q as u32)));
+        }
+        for (from, symbol, to) in self.transitions() {
+            fp.write_u32(from.0);
+            fp.write_u32(symbol.0);
+            fp.write_u32(to.0);
+        }
+        fp.finish()
+    }
+}
+
+impl Dfa {
+    /// A structural fingerprint of this DFA (see the module docs for the
+    /// collision / canonicity caveats).
+    pub fn fingerprint(&self) -> u64 {
+        use crate::alphabet::SymbolId;
+        use crate::nfa::StateId;
+        let mut fp = Fingerprinter::new();
+        fp.write_bytes(b"dfa");
+        fp.write_usize(self.n_symbols());
+        fp.write_usize(self.n_states());
+        fp.write_u32(self.initial().0);
+        for q in 0..self.n_states() {
+            let q = StateId(q as u32);
+            fp.write_bool(self.is_accepting(q));
+            for s in 0..self.n_symbols() {
+                fp.write_u32(self.step(q, SymbolId(s as u32)).0);
+            }
+        }
+        fp.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::SymbolId;
+
+    fn two_state_nfa(accepting_second: bool) -> Nfa {
+        let mut n = Nfa::new(2);
+        let a = n.add_state(false);
+        let b = n.add_state(accepting_second);
+        n.add_transition(a, SymbolId(0), b);
+        n.add_transition(b, SymbolId(1), a);
+        n
+    }
+
+    #[test]
+    fn identical_structures_agree() {
+        assert_eq!(two_state_nfa(true).fingerprint(), two_state_nfa(true).fingerprint());
+    }
+
+    #[test]
+    fn accepting_flip_changes_fingerprint() {
+        assert_ne!(two_state_nfa(true).fingerprint(), two_state_nfa(false).fingerprint());
+    }
+
+    #[test]
+    fn transition_changes_fingerprint() {
+        use crate::nfa::StateId;
+        let base = two_state_nfa(true);
+        let mut other = two_state_nfa(true);
+        other.add_transition(StateId(0), SymbolId(1), StateId(1));
+        assert_ne!(base.fingerprint(), other.fingerprint());
+    }
+
+    #[test]
+    fn dfa_fingerprint_is_stable_and_structure_sensitive() {
+        let mut d = Dfa::new(1);
+        let s = d.add_sink_state(true);
+        let mut d2 = Dfa::new(1);
+        let s2 = d2.add_sink_state(false);
+        let _ = (s, s2);
+        assert_eq!(d.fingerprint(), d.clone().fingerprint());
+        assert_ne!(d.fingerprint(), d2.fingerprint());
+    }
+
+    #[test]
+    fn nfa_and_dfa_domains_are_separated() {
+        // A 1-symbol, 1-state accepting sink in both representations must
+        // not collide just because the encoded fields happen to match.
+        let mut n = Nfa::new(1);
+        let q = n.add_state(true);
+        n.add_transition(q, SymbolId(0), q);
+        let mut d = Dfa::new(1);
+        d.add_sink_state(true);
+        assert_ne!(n.fingerprint(), d.fingerprint());
+    }
+}

@@ -32,6 +32,7 @@ pub mod alphabet;
 pub mod bitset;
 pub mod dfa;
 pub mod error;
+pub mod fingerprint;
 pub mod nfa;
 pub mod ops;
 pub mod regex;
@@ -40,4 +41,5 @@ pub use alphabet::{Alphabet, SymbolId};
 pub use bitset::BitSet;
 pub use dfa::Dfa;
 pub use error::AutomataError;
+pub use fingerprint::Fingerprinter;
 pub use nfa::{Nfa, StateId};

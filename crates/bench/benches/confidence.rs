@@ -15,9 +15,11 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use transmark_bench::{chain, instance_with_answer, sproj_instance};
 use transmark_core::confidence::{
-    acceptance_probability, confidence_deterministic, confidence_general, confidence_uniform_nfa,
+    acceptance_probability, confidence, confidence_deterministic, confidence_general,
+    confidence_uniform_nfa,
 };
 use transmark_core::generate::TransducerClass;
+use transmark_core::plan::prepare;
 use transmark_sproj::indexed::IndexedEvaluator;
 use transmark_sproj::sproj_confidence;
 
@@ -38,6 +40,68 @@ fn bench_deterministic(c: &mut Criterion) {
             b.iter(|| confidence_deterministic(black_box(&t), black_box(&m), black_box(&o)))
         });
     }
+    g.finish();
+}
+
+/// The prepared-query counterparts of `confidence/deterministic` and
+/// `confidence/mealy_uniform_fast_path`: the same call, but executed
+/// over a pre-bound plan, so the per-call CSR + step-graph build is
+/// amortized away (compare the `/512` points against the unprepared
+/// groups above).
+fn bench_prepared(c: &mut Criterion) {
+    let mut g = c.benchmark_group("confidence/deterministic_prepared");
+    for n in [32usize, 128, 512] {
+        let (t, m, o) = instance_with_answer(TransducerClass::Deterministic, n, 8, 3, 1);
+        let plan = prepare(&t);
+        let bound = plan.bind(&m).expect("bind");
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| bound.confidence(black_box(&o)))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("confidence/mealy_uniform_fast_path_prepared");
+    for n in [32usize, 128, 512] {
+        let (t, m, o) = instance_with_answer(TransducerClass::Mealy, n, 8, 3, 2);
+        let plan = prepare(&t);
+        let bound = plan.bind(&m).expect("bind");
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| bound.confidence(black_box(&o)))
+        });
+    }
+    g.finish();
+
+    // One query over a fleet of 128 sequences: the per-call path
+    // recompiles the machine-side artifacts (accepting sets, emission
+    // interning, the (state × output-position) step graph) for every
+    // sequence; the prepared path compiles once and only binds.
+    let mut g = c.benchmark_group("confidence/fleet_128_sequences");
+    g.sample_size(20);
+    let (t, _, o) = instance_with_answer(TransducerClass::Deterministic, 32, 8, 3, 1);
+    let chains: Vec<_> = (0..128).map(|i| chain(32, 3, 100 + i)).collect();
+    g.bench_function("per_call", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for m in &chains {
+                acc += confidence(black_box(&t), black_box(m), black_box(&o)).expect("confidence");
+            }
+            acc
+        })
+    });
+    g.bench_function("prepared", |b| {
+        b.iter(|| {
+            let plan = prepare(black_box(&t));
+            let mut acc = 0.0;
+            for m in &chains {
+                acc += plan
+                    .bind(black_box(m))
+                    .expect("bind")
+                    .confidence(black_box(&o))
+                    .expect("confidence");
+            }
+            acc
+        })
+    });
     g.finish();
 }
 
@@ -122,6 +186,6 @@ fn quick() -> Criterion {
 criterion_group! {
     name = benches;
     config = quick();
-    targets = bench_deterministic, bench_uniform_nfa, bench_general, bench_sproj, bench_indexed, bench_acceptance
+    targets = bench_deterministic, bench_prepared, bench_uniform_nfa, bench_general, bench_sproj, bench_indexed, bench_acceptance
 }
 criterion_main!(benches);

@@ -9,6 +9,7 @@ use std::hint::black_box;
 use transmark_bench::{chain, instance_with_answer};
 use transmark_core::generate::TransducerClass;
 use transmark_core::kernelize::output_step_graph;
+use transmark_core::plan::prepare;
 use transmark_kernel::{advance, Bool, MaxLog, Prob, Semiring, SparseSteps, StepGraph, Workspace};
 
 const N: usize = 256;
@@ -48,6 +49,22 @@ fn forward_pass<S: Semiring>(
         ws.swap();
     }
     black_box(ws.cur());
+}
+
+/// The planner's compile/bind/execute split over the same instance as
+/// `kernel/precompile`: `prepare` is the one-time machine-side compile,
+/// `bind` the per-sequence data-side setup (dominated by the CSR
+/// build), and `execute` a confidence call on an existing bind — the
+/// cost repeated queries actually pay.
+fn bench_prepared_split(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel/prepared");
+    let (t, m, o) = instance_with_answer(TransducerClass::Deterministic, N, SYMBOLS, 3, 1);
+    g.bench_function("prepare", |b| b.iter(|| prepare(black_box(&t))));
+    let plan = prepare(&t);
+    g.bench_function("bind", |b| b.iter(|| plan.bind(black_box(&m))));
+    let bound = plan.bind(&m).expect("bind");
+    g.bench_function("execute", |b| b.iter(|| bound.confidence(black_box(&o))));
+    g.finish();
 }
 
 fn bench_semirings(c: &mut Criterion) {
@@ -99,5 +116,5 @@ fn bench_sparsity(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_precompile, bench_semirings, bench_sparsity);
+criterion_group!(benches, bench_precompile, bench_prepared_split, bench_semirings, bench_sparsity);
 criterion_main!(benches);

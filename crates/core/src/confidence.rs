@@ -29,12 +29,18 @@
 //! `f64` (additions of nonnegative numbers — no cancellation).
 
 use transmark_automata::{ops::Determinizer, BitSet, Nfa, StateId, SymbolId};
-use transmark_kernel::{advance, advance_filtered, Bool, Prob, SubsetLayer, Workspace};
+use transmark_kernel::{advance, advance_filtered, Bool, Prob, StepGraph, SubsetLayer, Workspace};
 use transmark_markov::MarkovSequence;
 
 use crate::error::EngineError;
 use crate::kernelize::{emission_id_for, output_step_graph, state_step_graph};
 use crate::transducer::Transducer;
+
+// Each pass below is split into a validating free function (the public,
+// historical API) and a `*_impl` that runs the DP over caller-supplied
+// precompiled artifacts. The free functions build the artifacts exactly as
+// they always did; `crate::plan`'s bound queries pass cached ones. Both
+// routes execute the identical loop, so outputs agree bit for bit.
 
 /// Validates that the transducer and sequence share an input alphabet and
 /// that `o` is over the output alphabet.
@@ -82,19 +88,48 @@ pub fn confidence_deterministic(
         return Err(EngineError::NotDeterministic);
     }
     if let Some(k) = t.uniform_emission() {
-        return confidence_deterministic_uniform(t, m, o, k);
+        let steps = m.sparse_steps();
+        let graph = state_step_graph(t);
+        let mut ws: Workspace<f64> = Workspace::new();
+        return Ok(confidence_deterministic_uniform_impl(
+            t,
+            &steps,
+            &graph,
+            &mut ws,
+            o,
+            k,
+            &mut |slice| emission_id_for(t, slice),
+        ));
     }
-    let n = m.len();
-    let n_nodes = m.n_symbols();
-    let nq = t.n_states();
-    let width = o.len() + 1;
     let steps = m.sparse_steps();
     let graph = output_step_graph(t, o);
+    let mut ws: Workspace<f64> = Workspace::new();
+    Ok(confidence_deterministic_impl(
+        t,
+        &steps,
+        &graph,
+        &mut ws,
+        o.len(),
+    ))
+}
+
+/// The Thm 4.6 positional DP over precompiled artifacts. `graph` must be
+/// `output_step_graph(t, o)` and `steps` the sequence's CSR.
+pub(crate) fn confidence_deterministic_impl(
+    t: &Transducer,
+    steps: &transmark_kernel::SparseSteps,
+    graph: &StepGraph,
+    ws: &mut Workspace<f64>,
+    o_len: usize,
+) -> f64 {
+    let n = steps.n_steps() + 1;
+    let n_nodes = steps.n_nodes();
+    let nq = t.n_states();
+    let width = o_len + 1;
     let nr = graph.n_rows();
 
     // cell[node * nr + q * width + j] = Pr(strings of this length whose
     // unique run ends at q having emitted o[..j]).
-    let mut ws: Workspace<f64> = Workspace::new();
     ws.reset(n_nodes * nr, 0.0);
 
     // Position 1: the precompiled edges out of (q₀, j = 0) already encode
@@ -110,7 +145,7 @@ pub fn confidence_deterministic(
     for i in 0..n - 1 {
         ws.clear_next(0.0);
         let (cur, next) = ws.buffers();
-        advance::<Prob>(&steps, i, &graph, cur, next);
+        advance::<Prob>(steps, i, graph, cur, next);
         ws.swap();
     }
 
@@ -120,34 +155,37 @@ pub fn confidence_deterministic(
     for node in 0..n_nodes {
         for q in 0..nq {
             if t.is_accepting(StateId(q as u32)) {
-                total.add(cur[node * nr + q * width + o.len()]);
+                total.add(cur[node * nr + q * width + o_len]);
             }
         }
     }
-    Ok(total.total())
+    total.total()
 }
 
 /// k-uniform fast path of Theorem 4.6: the output position is forced to
 /// `k·i`, so the DP is over (node, state) only; edges are gated per step
-/// by the interned id of the k-gram this step must emit.
-fn confidence_deterministic_uniform(
+/// by the interned id of the k-gram this step must emit. `graph` must be
+/// `state_step_graph(t)`; `emission_id` maps a k-gram to its interned id
+/// (or `u32::MAX` when absent) and may be a cached index — interning is
+/// injective, so any correct lookup yields identical gating.
+pub(crate) fn confidence_deterministic_uniform_impl(
     t: &Transducer,
-    m: &MarkovSequence,
+    steps: &transmark_kernel::SparseSteps,
+    graph: &StepGraph,
+    ws: &mut Workspace<f64>,
     o: &[SymbolId],
     k: usize,
-) -> Result<f64, EngineError> {
-    let n = m.len();
+    emission_id: &mut dyn FnMut(&[SymbolId]) -> u32,
+) -> f64 {
+    let n = steps.n_steps() + 1;
     if o.len() != k * n {
-        return Ok(0.0);
+        return 0.0;
     }
-    let n_nodes = m.n_symbols();
+    let n_nodes = steps.n_nodes();
     let nq = t.n_states();
-    let steps = m.sparse_steps();
-    let graph = state_step_graph(t);
 
-    let mut ws: Workspace<f64> = Workspace::new();
     ws.reset(n_nodes * nq, 0.0);
-    let seed_id = emission_id_for(t, &o[..k]);
+    let seed_id = emission_id(&o[..k]);
     for &(node, p) in steps.initial() {
         for e in graph.edges(node, t.initial().0) {
             if e.payload == seed_id {
@@ -156,10 +194,10 @@ fn confidence_deterministic_uniform(
         }
     }
     for i in 0..n - 1 {
-        let expected = emission_id_for(t, &o[k * (i + 1)..k * (i + 2)]);
+        let expected = emission_id(&o[k * (i + 1)..k * (i + 2)]);
         ws.clear_next(0.0);
         let (cur, next) = ws.buffers();
-        advance_filtered::<Prob>(&steps, i, &graph, expected, cur, next);
+        advance_filtered::<Prob>(steps, i, graph, expected, cur, next);
         ws.swap();
     }
     let cur = ws.cur();
@@ -171,7 +209,7 @@ fn confidence_deterministic_uniform(
             }
         }
     }
-    Ok(total.total())
+    total.total()
 }
 
 // ---------------------------------------------------------------------------
@@ -197,15 +235,38 @@ pub fn confidence_uniform_nfa(
     let Some(k) = t.uniform_emission() else {
         return Err(EngineError::NotUniform);
     };
+    let graph = state_step_graph(t);
+    let accepting = accepting_bitset(t);
+    Ok(confidence_uniform_nfa_impl(
+        t,
+        m,
+        &graph,
+        &accepting,
+        o,
+        k,
+        &mut |slice| emission_id_for(t, slice),
+    ))
+}
+
+/// The Thm 4.8 subset DP over precompiled artifacts. `graph` must be
+/// `state_step_graph(t)` and `accepting` the accepting-state bitset.
+pub(crate) fn confidence_uniform_nfa_impl(
+    t: &Transducer,
+    m: &MarkovSequence,
+    graph: &StepGraph,
+    accepting: &BitSet,
+    o: &[SymbolId],
+    k: usize,
+    emission_id: &mut dyn FnMut(&[SymbolId]) -> u32,
+) -> f64 {
     let n = m.len();
     if o.len() != k * n {
-        return Ok(0.0);
+        return 0.0;
     }
     let nq = t.n_states();
-    let graph = state_step_graph(t);
     // layer: (node, reachable-set) → probability mass.
     let mut layer: SubsetLayer<(u32, BitSet)> = SubsetLayer::new();
-    let seed_id = emission_id_for(t, &o[..k]);
+    let seed_id = emission_id(&o[..k]);
     for node in 0..m.n_symbols() {
         let p = m.initial_prob(SymbolId(node as u32));
         if p == 0.0 {
@@ -222,7 +283,7 @@ pub fn confidence_uniform_nfa(
         }
     }
     for i in 0..n - 1 {
-        let expected = emission_id_for(t, &o[k * (i + 1)..k * (i + 2)]);
+        let expected = emission_id(&o[k * (i + 1)..k * (i + 2)]);
         let mut next: SubsetLayer<(u32, BitSet)> = SubsetLayer::with_capacity(layer.len());
         for ((node, set), p) in layer.sorted() {
             for (to, pt) in m.transitions_from(i, SymbolId(node)) {
@@ -241,8 +302,7 @@ pub fn confidence_uniform_nfa(
         }
         layer = next;
     }
-    let accepting = accepting_bitset(t);
-    Ok(layer.reduce(|(_, set)| set.intersects(&accepting)))
+    layer.reduce(|(_, set)| set.intersects(accepting))
 }
 
 // ---------------------------------------------------------------------------
@@ -264,11 +324,22 @@ pub fn confidence_general(
     o: &[SymbolId],
 ) -> Result<f64, EngineError> {
     check_inputs(t, m, Some(o))?;
+    let graph = output_step_graph(t, o);
+    Ok(confidence_general_impl(t, m, &graph, o.len()))
+}
+
+/// The general exact configuration-set DP over precompiled artifacts.
+/// `graph` must be `output_step_graph(t, o)` for an `o` of length `o_len`.
+pub(crate) fn confidence_general_impl(
+    t: &Transducer,
+    m: &MarkovSequence,
+    graph: &StepGraph,
+    o_len: usize,
+) -> f64 {
     let n = m.len();
     let nq = t.n_states();
-    let width = o.len() + 1;
+    let width = o_len + 1;
     // Configuration bits ARE the output-graph rows: bit = q * width + j.
-    let graph = output_step_graph(t, o);
     let cap = (nq * width).max(1);
 
     let mut layer: SubsetLayer<(u32, BitSet)> = SubsetLayer::new();
@@ -303,9 +374,9 @@ pub fn confidence_general(
         }
         layer = next;
     }
-    Ok(layer.reduce(|(_, set)| {
-        (0..nq).any(|q| t.is_accepting(StateId(q as u32)) && set.contains(q * width + o.len()))
-    }))
+    layer.reduce(|(_, set)| {
+        (0..nq).any(|q| t.is_accepting(StateId(q as u32)) && set.contains(q * width + o_len))
+    })
 }
 
 /// `Pr(S →[A^ω]→ o)` with automatic algorithm selection:
@@ -360,15 +431,27 @@ pub fn confidence(t: &Transducer, m: &MarkovSequence, o: &[SymbolId]) -> Result<
 /// `O(n·|Σ|²·|Q|·|o|)`.
 pub fn is_answer(t: &Transducer, m: &MarkovSequence, o: &[SymbolId]) -> Result<bool, EngineError> {
     check_inputs(t, m, Some(o))?;
-    let n = m.len();
-    let n_nodes = m.n_symbols();
-    let nq = t.n_states();
-    let width = o.len() + 1;
     let steps = m.sparse_steps();
     let graph = output_step_graph(t, o);
+    let mut ws: Workspace<bool> = Workspace::new();
+    Ok(is_answer_impl(t, &steps, &graph, &mut ws, o.len()))
+}
+
+/// Boolean reachability over the positional graph. `graph` must be
+/// `output_step_graph(t, o)` for an `o` of length `o_len`.
+pub(crate) fn is_answer_impl(
+    t: &Transducer,
+    steps: &transmark_kernel::SparseSteps,
+    graph: &StepGraph,
+    ws: &mut Workspace<bool>,
+    o_len: usize,
+) -> bool {
+    let n = steps.n_steps() + 1;
+    let n_nodes = steps.n_nodes();
+    let nq = t.n_states();
+    let width = o_len + 1;
     let nr = graph.n_rows();
 
-    let mut ws: Workspace<bool> = Workspace::new();
     ws.reset(n_nodes * nr, false);
     let init_row = (t.initial().index() * width) as u32;
     for &(node, _) in steps.initial() {
@@ -379,31 +462,42 @@ pub fn is_answer(t: &Transducer, m: &MarkovSequence, o: &[SymbolId]) -> Result<b
     for i in 0..n - 1 {
         ws.clear_next(false);
         let (cur, next) = ws.buffers();
-        advance::<Bool>(&steps, i, &graph, cur, next);
+        advance::<Bool>(steps, i, graph, cur, next);
         ws.swap();
     }
     let cur = ws.cur();
     for node in 0..n_nodes {
         for q in 0..nq {
-            if t.is_accepting(StateId(q as u32)) && cur[node * nr + q * width + o.len()] {
-                return Ok(true);
+            if t.is_accepting(StateId(q as u32)) && cur[node * nr + q * width + o_len] {
+                return true;
             }
         }
     }
-    Ok(false)
+    false
 }
 
 /// Whether the query has any answer at all: `Pr(S ∈ L(A)) > 0`.
 /// Boolean reachability over `(node, state)` — `O(n·|Σ|²·|Q|·b)`.
 pub fn answer_exists(t: &Transducer, m: &MarkovSequence) -> Result<bool, EngineError> {
     check_inputs(t, m, None)?;
-    let n = m.len();
-    let n_nodes = m.n_symbols();
-    let nq = t.n_states();
     let steps = m.sparse_steps();
     let graph = state_step_graph(t);
-
     let mut ws: Workspace<bool> = Workspace::new();
+    Ok(answer_exists_impl(t, &steps, &graph, &mut ws))
+}
+
+/// Boolean reachability over the state graph. `graph` must be
+/// `state_step_graph(t)`.
+pub(crate) fn answer_exists_impl(
+    t: &Transducer,
+    steps: &transmark_kernel::SparseSteps,
+    graph: &StepGraph,
+    ws: &mut Workspace<bool>,
+) -> bool {
+    let n = steps.n_steps() + 1;
+    let n_nodes = steps.n_nodes();
+    let nq = t.n_states();
+
     ws.reset(n_nodes * nq, false);
     for &(node, _) in steps.initial() {
         for e in graph.edges(node, t.initial().0) {
@@ -413,18 +507,18 @@ pub fn answer_exists(t: &Transducer, m: &MarkovSequence) -> Result<bool, EngineE
     for i in 0..n - 1 {
         ws.clear_next(false);
         let (cur, next) = ws.buffers();
-        advance::<Bool>(&steps, i, &graph, cur, next);
+        advance::<Bool>(steps, i, graph, cur, next);
         ws.swap();
     }
     let cur = ws.cur();
     for node in 0..n_nodes {
         for q in 0..nq {
             if cur[node * nq + q] && t.is_accepting(StateId(q as u32)) {
-                return Ok(true);
+                return true;
             }
         }
     }
-    Ok(false)
+    false
 }
 
 // ---------------------------------------------------------------------------
@@ -520,14 +614,8 @@ pub fn prefix_acceptance_probabilities(
     Ok(out)
 }
 
-/// Public wrapper over the alphabet validation, for the high-level
-/// [`crate::evaluate::Evaluation`] facade.
-pub(crate) fn check_inputs_public(t: &Transducer, m: &MarkovSequence) -> Result<(), EngineError> {
-    check_inputs(t, m, None)
-}
-
 /// The accepting states of a transducer as a [`BitSet`].
-fn accepting_bitset(t: &Transducer) -> BitSet {
+pub(crate) fn accepting_bitset(t: &Transducer) -> BitSet {
     BitSet::from_iter_with_capacity(
         t.n_states().max(1),
         (0..t.n_states()).filter(|&q| t.is_accepting(StateId(q as u32))),

@@ -33,7 +33,7 @@ use crate::error::EngineError;
 use crate::transducer::{TEdge, Transducer, TransducerBuilder};
 
 /// A prefix constraint over the output language (see module docs).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PrefixConstraint {
     /// The required prefix `p`.
     pub prefix: Vec<SymbolId>,

@@ -56,13 +56,23 @@ impl EmaxResult {
 /// `O(n·|Σ|²·|Q|·b)` time, `O(n·|Σ|·|Q|)` space for the back-pointers.
 pub fn top_by_emax(t: &Transducer, m: &MarkovSequence) -> Result<Option<EmaxResult>, EngineError> {
     check_inputs(t, m, None)?;
-    let n = m.len();
-    let n_nodes = m.n_symbols();
+    let steps = m.sparse_steps();
+    let graph = state_step_graph(t);
+    Ok(top_by_emax_impl(t, &steps, &graph))
+}
+
+/// The tracked Viterbi pass over precompiled artifacts. `graph` must be
+/// `state_step_graph(t)` and `steps` the sequence's CSR.
+pub(crate) fn top_by_emax_impl(
+    t: &Transducer,
+    steps: &transmark_kernel::SparseSteps,
+    graph: &transmark_kernel::StepGraph,
+) -> Option<EmaxResult> {
+    let n = steps.n_steps() + 1;
+    let n_nodes = steps.n_nodes();
     let nq = t.n_states();
     let sz = n_nodes * nq;
     let idx = |node: usize, q: usize| node * nq + q;
-    let steps = m.sparse_steps();
-    let graph = state_step_graph(t);
 
     let mut score = vec![f64::NEG_INFINITY; sz];
     let mut backs: Vec<Vec<BackEdge>> = Vec::with_capacity(n);
@@ -86,7 +96,7 @@ pub fn top_by_emax(t: &Transducer, m: &MarkovSequence) -> Result<Option<EmaxResu
     for i in 0..n - 1 {
         let mut next = vec![f64::NEG_INFINITY; sz];
         let mut back = vec![BackEdge::NONE; sz];
-        advance_tracked(&steps, i, &graph, &score, &mut next, &mut back);
+        advance_tracked(steps, i, graph, &score, &mut next, &mut back);
         score = next;
         backs.push(back);
     }
@@ -102,9 +112,7 @@ pub fn top_by_emax(t: &Transducer, m: &MarkovSequence) -> Result<Option<EmaxResu
             }
         }
     }
-    let Some((mut node, mut q)) = best_cell else {
-        return Ok(None);
-    };
+    let (mut node, mut q) = best_cell?;
 
     // Traceback: recover the evidence string and the emission sequence.
     // A back-pointer's `prev` is the flat source cell `node * nq + q`.
@@ -126,11 +134,11 @@ pub fn top_by_emax(t: &Transducer, m: &MarkovSequence) -> Result<Option<EmaxResu
     for em in emissions_rev {
         output.extend_from_slice(t.emission(crate::transducer::EmissionId(em)));
     }
-    Ok(Some(EmaxResult {
+    Some(EmaxResult {
         output,
         evidence: evidence_rev,
         log_prob: best,
-    }))
+    })
 }
 
 /// `ln E_max(o)` for a *specific* output string `o` — the max-probability
@@ -146,15 +154,27 @@ pub fn emax_of_output(
     o: &[SymbolId],
 ) -> Result<f64, EngineError> {
     check_inputs(t, m, Some(o))?;
-    let n = m.len();
-    let n_nodes = m.n_symbols();
-    let nq = t.n_states();
-    let width = o.len() + 1;
     let steps = m.sparse_steps();
     let graph = output_step_graph(t, o);
+    let mut ws: Workspace<f64> = Workspace::new();
+    Ok(emax_of_output_impl(t, &steps, &graph, &mut ws, o.len()))
+}
+
+/// The max-product positional DP over precompiled artifacts. `graph` must
+/// be `output_step_graph(t, o)` for an `o` of length `o_len`.
+pub(crate) fn emax_of_output_impl(
+    t: &Transducer,
+    steps: &transmark_kernel::SparseSteps,
+    graph: &transmark_kernel::StepGraph,
+    ws: &mut Workspace<f64>,
+    o_len: usize,
+) -> f64 {
+    let n = steps.n_steps() + 1;
+    let n_nodes = steps.n_nodes();
+    let nq = t.n_states();
+    let width = o_len + 1;
     let nr = graph.n_rows();
 
-    let mut ws: Workspace<f64> = Workspace::new();
     ws.reset(n_nodes * nr, f64::NEG_INFINITY);
     let init_row = (t.initial().index() * width) as u32;
     for &(node, p) in steps.initial() {
@@ -167,7 +187,7 @@ pub fn emax_of_output(
     for i in 0..n - 1 {
         ws.clear_next(f64::NEG_INFINITY);
         let (cur, next) = ws.buffers();
-        advance::<MaxLog>(&steps, i, &graph, cur, next);
+        advance::<MaxLog>(steps, i, graph, cur, next);
         ws.swap();
     }
     let cur = ws.cur();
@@ -175,11 +195,11 @@ pub fn emax_of_output(
     for node in 0..n_nodes {
         for q in 0..nq {
             if t.is_accepting(StateId(q as u32)) {
-                best = best.max(cur[node * nr + q * width + o.len()]);
+                best = best.max(cur[node * nr + q * width + o_len]);
             }
         }
     }
-    Ok(best)
+    best
 }
 
 #[cfg(test)]

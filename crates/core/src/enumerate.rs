@@ -23,15 +23,18 @@
 //! prefix with the emitted answer. Polynomial delay; space grows with the
 //! number of answers emitted, exactly as the paper notes.
 
+use std::sync::Arc;
+
 use transmark_automata::{StateId, SymbolId};
 use transmark_kbest::{LawlerMurty, PartitionSpace};
-use transmark_kernel::{advance, Bool, SparseSteps, Workspace};
+use transmark_kernel::{advance, Bool, SharedSparseSteps, StepGraph, Workspace};
 use transmark_markov::MarkovSequence;
 
 use crate::constraints::{constrain, PrefixConstraint};
-use crate::emax::top_by_emax;
+use crate::emax::{top_by_emax, top_by_emax_impl};
 use crate::error::EngineError;
 use crate::kernelize::prefix_step_graph;
+use crate::plan::PreparedQuery;
 use crate::transducer::Transducer;
 
 // ---------------------------------------------------------------------------
@@ -42,8 +45,12 @@ use crate::transducer::Transducer;
 /// and polynomial space (Theorem 4.1).
 pub struct UnrankedAnswers<'a> {
     t: &'a Transducer,
-    /// The Markov side of every per-trie-node DP, flattened once.
-    steps: SparseSteps,
+    /// The Markov side of every per-trie-node DP, flattened once (or
+    /// shared with the bind that spawned this enumeration).
+    steps: SharedSparseSteps,
+    /// Where per-trie-node prefix step graphs come from: built fresh
+    /// (legacy path) or memoized in a prepared plan.
+    graphs: PrefixGraphSource,
     /// Layer buffers reused across every visited trie node.
     ws: Workspace<bool>,
     n: usize,
@@ -66,15 +73,54 @@ struct Frame {
     exact: bool,
 }
 
+/// Where [`UnrankedAnswers::query_prefix`] gets its per-trie-node step
+/// graph: compiled fresh every visit (the legacy free-function path) or
+/// served from a [`PreparedQuery`]'s memo cache. Both produce
+/// identical-content graphs, so the DP — and the enumeration order — is
+/// bit-for-bit the same.
+pub(crate) enum PrefixGraphSource {
+    /// Compile `prefix_step_graph` on every trie-node visit.
+    Fresh,
+    /// Serve graphs from the plan's bounded memo cache.
+    Plan(Arc<PreparedQuery>),
+}
+
+impl PrefixGraphSource {
+    fn graph(&self, t: &Transducer, prefix: &[SymbolId]) -> Arc<StepGraph> {
+        match self {
+            PrefixGraphSource::Fresh => Arc::new(prefix_step_graph(t, prefix)),
+            PrefixGraphSource::Plan(p) => p.prefix_graph(prefix),
+        }
+    }
+}
+
 /// Starts the Theorem 4.1 enumeration. Fails fast on alphabet mismatch.
 pub fn enumerate_unranked<'a>(
     t: &'a Transducer,
     m: &'a MarkovSequence,
 ) -> Result<UnrankedAnswers<'a>, EngineError> {
     crate::confidence::check_inputs(t, m, None)?;
+    Ok(enumerate_unranked_with(
+        t,
+        m,
+        m.sparse_steps().into_shared(),
+        PrefixGraphSource::Fresh,
+    ))
+}
+
+/// The enumeration over caller-supplied artifacts (the prepared path
+/// passes its shared CSR and its graph cache). Inputs must already be
+/// validated.
+pub(crate) fn enumerate_unranked_with<'a>(
+    t: &'a Transducer,
+    m: &MarkovSequence,
+    steps: SharedSparseSteps,
+    graphs: PrefixGraphSource,
+) -> UnrankedAnswers<'a> {
     let mut it = UnrankedAnswers {
         t,
-        steps: m.sparse_steps(),
+        steps,
+        graphs,
         ws: Workspace::new(),
         n: m.len(),
         frames: Vec::new(),
@@ -91,7 +137,7 @@ pub fn enumerate_unranked<'a>(
         });
         it.done = false;
     }
-    Ok(it)
+    it
 }
 
 impl UnrankedAnswers<'_> {
@@ -112,7 +158,7 @@ impl UnrankedAnswers<'_> {
         let nq = t.n_states();
         let l = self.prefix.len();
         let width = l + 2;
-        let graph = prefix_step_graph(t, &self.prefix);
+        let graph = self.graphs.graph(t, &self.prefix);
         let nr = graph.n_rows();
         let n_nodes = self.steps.n_nodes();
         self.ws.reset(n_nodes * nr, false);
@@ -239,18 +285,59 @@ impl PartitionSpace for EmaxSpace<'_> {
     }
 }
 
+/// The [`PartitionSpace`] of the prepared path: same Lawler–Murty
+/// framework, but the constraint-product machines come from the plan's
+/// memo cache (shared across subspace probes *and* across binds) and the
+/// Viterbi probes share the bind's CSR instead of re-flattening the
+/// sequence per subspace. Probe results are bit-identical to
+/// [`EmaxSpace`]'s, so the emission order is too.
+struct PlanEmaxSpace {
+    plan: Arc<PreparedQuery>,
+    steps: SharedSparseSteps,
+}
+
+impl PartitionSpace for PlanEmaxSpace {
+    type Answer = Vec<SymbolId>;
+    type Constraint = PrefixConstraint;
+
+    fn root(&self) -> PrefixConstraint {
+        PrefixConstraint::all()
+    }
+
+    fn best(&mut self, constraint: &PrefixConstraint) -> Option<(Vec<SymbolId>, f64)> {
+        let cm = self.plan.constrained(constraint);
+        top_by_emax_impl(&cm.t, &self.steps, &cm.graph).map(|r| (r.output, r.log_prob))
+    }
+
+    fn split(
+        &mut self,
+        constraint: &PrefixConstraint,
+        answer: &Vec<SymbolId>,
+    ) -> Vec<PrefixConstraint> {
+        constraint.split_around(answer)
+    }
+}
+
+enum EmaxInner<'a> {
+    Legacy(LawlerMurty<EmaxSpace<'a>>),
+    Plan(LawlerMurty<PlanEmaxSpace>),
+}
+
 /// The Theorem 4.3 enumeration, as a concrete iterator exposing its
 /// frontier size (the space that, as the paper notes, "can grow
 /// proportionally to the number of printed answers" — measured by the
 /// experiment harness).
 pub struct EmaxEnumeration<'a> {
-    inner: LawlerMurty<EmaxSpace<'a>>,
+    inner: EmaxInner<'a>,
 }
 
 impl EmaxEnumeration<'_> {
     /// Number of pending subspaces in the Lawler–Murty frontier.
     pub fn frontier_len(&self) -> usize {
-        self.inner.frontier_len()
+        match &self.inner {
+            EmaxInner::Legacy(lm) => lm.frontier_len(),
+            EmaxInner::Plan(lm) => lm.frontier_len(),
+        }
     }
 }
 
@@ -258,9 +345,11 @@ impl Iterator for EmaxEnumeration<'_> {
     type Item = RankedAnswer;
 
     fn next(&mut self) -> Option<RankedAnswer> {
-        self.inner
-            .next()
-            .map(|(output, log_score)| RankedAnswer { output, log_score })
+        match &mut self.inner {
+            EmaxInner::Legacy(lm) => lm.next(),
+            EmaxInner::Plan(lm) => lm.next(),
+        }
+        .map(|(output, log_score)| RankedAnswer { output, log_score })
     }
 }
 
@@ -274,8 +363,19 @@ pub fn enumerate_by_emax<'a>(
     // Validate alphabets once up front.
     crate::confidence::check_inputs(t, m, None)?;
     Ok(EmaxEnumeration {
-        inner: LawlerMurty::new(EmaxSpace { t, m }),
+        inner: EmaxInner::Legacy(LawlerMurty::new(EmaxSpace { t, m })),
     })
+}
+
+/// The Theorem 4.3 enumeration over a prepared plan and a shared CSR.
+/// Inputs must already be validated (the bind did).
+pub(crate) fn enumerate_by_emax_planned(
+    plan: Arc<PreparedQuery>,
+    steps: SharedSparseSteps,
+) -> EmaxEnumeration<'static> {
+    EmaxEnumeration {
+        inner: EmaxInner::Plan(LawlerMurty::new(PlanEmaxSpace { plan, steps })),
+    }
 }
 
 /// The top-k answers by `E_max` (stop the Theorem 4.3 enumeration after

@@ -5,14 +5,27 @@
 //! and then exposes the evaluation modes of §3.2 as methods, picking the
 //! right algorithm per the machine's class (Table 2) and attaching exact
 //! confidences to ranked answers when that is tractable.
+//!
+//! Since the prepared-query refactor this facade is a thin veneer over
+//! [`crate::plan`]: construction compiles (or adopts) a
+//! [`PreparedQuery`], binds it to the sequence, and every method executes
+//! the resulting [`BoundQuery`] — so repeated calls share the precompiled
+//! machine-side artifacts, and [`Evaluation::with_plan`] lets callers
+//! (the store's fleet evaluation, batch CLIs) amortize one plan across
+//! many sequences. Results are bit-identical to the legacy free
+//! functions.
+
+use std::sync::Arc;
 
 use transmark_automata::SymbolId;
 use transmark_markov::MarkovSequence;
 
-use crate::confidence::{self, confidence};
-use crate::emax::{top_by_emax, EmaxResult};
-use crate::enumerate::{enumerate_by_emax, enumerate_unranked, RankedAnswer};
+use crate::emax::EmaxResult;
+use crate::enumerate::{
+    enumerate_by_emax_planned, enumerate_unranked_with, PrefixGraphSource, RankedAnswer,
+};
 use crate::error::EngineError;
+use crate::plan::{prepare, BoundQuery, PlanExplain, PreparedQuery};
 use crate::transducer::Transducer;
 
 /// How expensive exact confidence computation is for a machine
@@ -38,60 +51,91 @@ pub struct ScoredAnswer {
     pub confidence: f64,
 }
 
-/// A validated query/data pair with evaluation methods.
+/// A validated query/data pair with evaluation methods — a compiled plan
+/// bound to one sequence.
 pub struct Evaluation<'a> {
     t: &'a Transducer,
     m: &'a MarkovSequence,
+    bound: BoundQuery<'a>,
 }
 
 impl<'a> Evaluation<'a> {
-    /// Validates alphabets and wraps the pair.
+    /// Validates alphabets, compiles a fresh plan, and binds it.
     pub fn new(t: &'a Transducer, m: &'a MarkovSequence) -> Result<Self, EngineError> {
-        confidence::check_inputs_public(t, m)?;
-        Ok(Self { t, m })
+        let plan = prepare(t);
+        let bound = plan.bind(m)?;
+        Ok(Self { t, m, bound })
+    }
+
+    /// Binds an already-compiled plan (from a plan cache or a previous
+    /// evaluation) to a sequence, skipping recompilation. The plan's own
+    /// transducer is the query.
+    pub fn with_plan(
+        plan: &'a Arc<PreparedQuery>,
+        m: &'a MarkovSequence,
+    ) -> Result<Self, EngineError> {
+        let bound = plan.bind(m)?;
+        Ok(Self {
+            t: plan.transducer(),
+            m,
+            bound,
+        })
+    }
+
+    /// The compiled plan behind this evaluation.
+    pub fn plan(&self) -> &Arc<PreparedQuery> {
+        self.bound.plan()
+    }
+
+    /// EXPLAIN-style introspection: selected Table 2 route, machine shape,
+    /// precompile cost, and plan-cache traffic so far.
+    pub fn explain(&self) -> PlanExplain {
+        self.bound.plan().explain()
     }
 
     /// The Table 2 cost class of exact confidence for this machine.
     pub fn confidence_cost(&self) -> ConfidenceCost {
-        if self.t.is_deterministic() {
-            ConfidenceCost::Polynomial
-        } else if self.t.uniform_emission().is_some() {
-            ConfidenceCost::ExponentialInStates
-        } else {
-            ConfidenceCost::ExponentialWorstCase
-        }
+        self.bound.plan().kind().confidence_cost()
     }
 
     /// Whether the query has any answer (`Pr(S ∈ L(A)) > 0`).
     pub fn has_answers(&self) -> Result<bool, EngineError> {
-        confidence::answer_exists(self.t, self.m)
+        self.bound.answer_exists()
     }
 
     /// The confidence of a specific output (algorithm auto-selected).
     pub fn confidence(&self, o: &[SymbolId]) -> Result<f64, EngineError> {
-        confidence(self.t, self.m, o)
+        self.bound.confidence(o)
     }
 
     /// Whether `o` is an answer (always polynomial, §3.2).
     pub fn is_answer(&self, o: &[SymbolId]) -> Result<bool, EngineError> {
-        confidence::is_answer(self.t, self.m, o)
+        self.bound.is_answer(o)
     }
 
     /// The top answer by best evidence, with its witnessing world.
     pub fn top(&self) -> Result<Option<EmaxResult>, EngineError> {
-        top_by_emax(self.t, self.m)
+        self.bound.top()
     }
 
     /// All answers, lexicographically, with polynomial delay and space
     /// (Theorem 4.1).
     pub fn unranked(&self) -> Result<impl Iterator<Item = Vec<SymbolId>> + 'a, EngineError> {
-        enumerate_unranked(self.t, self.m)
+        Ok(enumerate_unranked_with(
+            self.t,
+            self.m,
+            Arc::clone(self.bound.steps_shared()),
+            PrefixGraphSource::Plan(Arc::clone(self.bound.plan())),
+        ))
     }
 
     /// All answers in decreasing `E_max` with polynomial delay
     /// (Theorem 4.3).
     pub fn ranked(&self) -> Result<impl Iterator<Item = RankedAnswer> + 'a, EngineError> {
-        enumerate_by_emax(self.t, self.m)
+        Ok(enumerate_by_emax_planned(
+            Arc::clone(self.bound.plan()),
+            Arc::clone(self.bound.steps_shared()),
+        ))
     }
 
     /// The top-k answers by `E_max`, each with its exact confidence.
@@ -101,16 +145,7 @@ impl<'a> Evaluation<'a> {
     /// each reported answer is exact (polynomial when
     /// [`Evaluation::confidence_cost`] is `Polynomial`).
     pub fn top_k_scored(&self, k: usize) -> Result<Vec<ScoredAnswer>, EngineError> {
-        let mut out = Vec::with_capacity(k);
-        for r in enumerate_by_emax(self.t, self.m)?.take(k) {
-            let conf = confidence(self.t, self.m, &r.output)?;
-            out.push(ScoredAnswer {
-                emax: r.score(),
-                confidence: conf,
-                output: r.output,
-            });
-        }
-        Ok(out)
+        self.bound.top_k_scored(k)
     }
 
     /// Anytime certified top answer by *true confidence* (deterministic
@@ -130,7 +165,7 @@ impl<'a> Evaluation<'a> {
         o: &[SymbolId],
         k: usize,
     ) -> Result<Vec<crate::evidence::Evidence>, EngineError> {
-        crate::evidence::top_k_evidences(self.t, self.m, o, k)
+        self.bound.top_evidences(o, k)
     }
 }
 

@@ -79,14 +79,25 @@ pub fn enumerate_evidences(
     o: &[SymbolId],
 ) -> Result<Evidences, EngineError> {
     check_inputs(t, m, Some(o))?;
-    let n = m.len();
-    let k = m.n_symbols();
-    let nq = t.n_states();
-    let width = o.len() + 1;
     // The machine side — states × output positions with the emission
     // checks resolved — is precompiled once; its rows are the `(q, j)`
     // part of the DAG's node ids.
     let graph = output_step_graph(t, o);
+    Ok(enumerate_evidences_impl(t, m, &graph, o.len()))
+}
+
+/// The evidence-DAG construction over a precompiled output graph. `graph`
+/// must be `output_step_graph(t, o)` for an `o` of length `o_len`.
+pub(crate) fn enumerate_evidences_impl(
+    t: &Transducer,
+    m: &MarkovSequence,
+    graph: &transmark_kernel::StepGraph,
+    o_len: usize,
+) -> Evidences {
+    let n = m.len();
+    let k = m.n_symbols();
+    let nq = t.n_states();
+    let width = o_len + 1;
     let nr = graph.n_rows();
     // Node ids: 0 = source, 1 = sink, then dense (i, x, row).
     let node_id = |i: usize, x: usize, row: usize| 2 + ((i - 1) * k + x) * nr + row;
@@ -145,7 +156,7 @@ pub fn enumerate_evidences(
                 add(
                     &mut dag,
                     &mut labels,
-                    node_id(n, x, q * width + o.len()),
+                    node_id(n, x, q * width + o_len),
                     1,
                     0.0,
                     None,
@@ -153,11 +164,11 @@ pub fn enumerate_evidences(
             }
         }
     }
-    Ok(Evidences {
+    Evidences {
         paths: KBestPaths::new(dag, 0, 1),
         labels,
         seen: HashSet::new(),
-    })
+    }
 }
 
 /// The `k` most probable evidences of `o`.

@@ -26,6 +26,7 @@
 //! | [`emax`] | §4.2 — best evidence `E_max`, constrained Viterbi |
 //! | [`enumerate`] | Thm 4.1 (unranked, poly delay + poly space) and Thm 4.3 (decreasing `E_max`, poly delay) |
 //! | [`montecarlo`] | additive-error confidence estimation by sampling |
+//! | [`plan`] | Table 2 as an explicit planner — compile a [`plan::PreparedQuery`] once, bind it per sequence, execute every pass over cached machine-side artifacts |
 //! | [`kernelize`] | bridges to the shared `transmark-kernel` DP substrate (semirings, CSR step graphs, workspaces) |
 //! | [`brute`] | brute-force oracles used by tests and the experiment harness |
 
@@ -42,6 +43,7 @@ pub mod evidence;
 pub mod generate;
 pub mod kernelize;
 pub mod montecarlo;
+pub mod plan;
 pub mod streaming;
 pub mod textio;
 pub mod transducer;
@@ -61,6 +63,9 @@ pub use enumerate::{
 pub use error::EngineError;
 pub use evaluate::{ConfidenceCost, Evaluation, ScoredAnswer};
 pub use evidence::{enumerate_evidences, top_k_evidences, Evidence, Evidences};
+pub use plan::{
+    prepare, BoundQuery, BoundedCache, PlanExplain, PlanKind, PreparedEventQuery, PreparedQuery,
+};
 pub use streaming::EventMonitor;
 pub use transducer::{Transducer, TransducerBuilder};
 

@@ -41,7 +41,7 @@ pub fn transduces_to(t: &Transducer, s: &[SymbolId], o: &[SymbolId]) -> bool {
 /// [`transduces_to`] against a prebuilt output step graph and workspace —
 /// the sampling loop reuses one graph across tens of thousands of worlds
 /// instead of re-deriving every emission/output-prefix check per sample.
-fn transduces_to_with(
+pub(crate) fn transduces_to_with(
     t: &Transducer,
     graph: &StepGraph,
     ws: &mut Workspace<bool>,
@@ -71,8 +71,6 @@ pub fn estimate_confidence<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<McEstimate, EngineError> {
     check_inputs(t, m, Some(o))?;
-    assert!(samples > 0, "at least one sample is required");
-    let mut hits = 0usize;
     // Deterministic machines admit a cheaper membership test; otherwise
     // precompile the membership DP's step graph once for all samples.
     let graph = if t.is_deterministic() {
@@ -80,21 +78,44 @@ pub fn estimate_confidence<R: Rng + ?Sized>(
     } else {
         Some(output_step_graph(t, o))
     };
+    Ok(estimate_confidence_impl(
+        t,
+        m,
+        graph.as_ref(),
+        o,
+        samples,
+        rng,
+    ))
+}
+
+/// The sampling loop over an optionally precompiled membership graph.
+/// `graph` must be `Some(output_step_graph(t, o))` exactly when `t` is
+/// nondeterministic (the deterministic fast path needs no graph).
+pub(crate) fn estimate_confidence_impl<R: Rng + ?Sized>(
+    t: &Transducer,
+    m: &MarkovSequence,
+    graph: Option<&StepGraph>,
+    o: &[SymbolId],
+    samples: usize,
+    rng: &mut R,
+) -> McEstimate {
+    assert!(samples > 0, "at least one sample is required");
+    let mut hits = 0usize;
     let mut ws: Workspace<bool> = Workspace::new();
     for _ in 0..samples {
         let s = m.sample(rng);
-        let hit = match &graph {
+        let hit = match graph {
             None => t.transduce_deterministic(&s).as_deref() == Some(o),
             Some(g) => transduces_to_with(t, g, &mut ws, &s, o.len()),
         };
         hits += usize::from(hit);
     }
     let p = hits as f64 / samples as f64;
-    Ok(McEstimate {
+    McEstimate {
         estimate: p,
         std_error: (p * (1.0 - p) / samples as f64).sqrt(),
         samples,
-    })
+    }
 }
 
 #[cfg(test)]

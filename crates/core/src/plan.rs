@@ -1,0 +1,869 @@
+//! The prepared-query layer: compile once, bind per sequence, execute
+//! many times.
+//!
+//! The paper's Table 2 is a query planner in prose: for each machine
+//! class it names the algorithm that evaluates it. The free functions in
+//! [`crate::confidence`], [`crate::emax`], … re-derive that choice — and
+//! rebuild every machine-side artifact — on each call. A
+//! [`PreparedQuery`] does the analysis once:
+//!
+//! 1. **compile** ([`PreparedQuery::new`]): classify the machine
+//!    (deterministic? k-uniform? Mealy?), select the Table 2 route as a
+//!    [`PlanKind`], precompile the state step graph, the accepting-state
+//!    bitset, and an emission index (a hash lookup replacing the linear
+//!    scans of `emission_id_for` — interning is injective, so lookups are
+//!    equivalent); output-dependent artifacts (output/prefix step graphs,
+//!    Lawler–Murty constraint products) are compiled on first use and
+//!    memoized in bounded caches.
+//! 2. **bind** ([`PreparedQuery::bind`]): flatten one sequence's CSR
+//!    ([`SparseSteps`]) and allocate reusable workspaces.
+//! 3. **execute**: every pass of the engine, as a method on
+//!    [`BoundQuery`], running the *same* `*_impl` loops as the legacy free
+//!    functions over the cached artifacts — outputs are bit-for-bit
+//!    identical (pinned by the golden Table 1, oracle, and parity suites).
+//!
+//! The machine side is immutable after compilation and `Send + Sync`, so
+//! one `Arc<PreparedQuery>` serves a whole fleet of threads (the store's
+//! parallel evaluation binds the same plan per stream per thread).
+//!
+//! What is deliberately **not** cached: the on-the-fly determinizations
+//! behind [`crate::confidence::acceptance_probability`] and the streaming
+//! monitor. Their subset ids are interned in discovery order and the
+//! reduction order follows those ids, so sharing a determinizer across
+//! sequences (or even across repeated evaluations) would perturb float
+//! accumulation order and break bit-reproducibility. Each evaluation gets
+//! a fresh determinizer, exactly as the legacy path did.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use rand::Rng;
+use transmark_automata::{BitSet, Nfa, SymbolId};
+use transmark_kernel::{SharedSparseSteps, SharedStepGraph, StepGraph, Workspace};
+use transmark_markov::MarkovSequence;
+
+use crate::confidence::{self, check_inputs};
+use crate::constraints::{constrain, PrefixConstraint};
+use crate::emax::{self, EmaxResult};
+use crate::enumerate::{
+    enumerate_by_emax_planned, enumerate_unranked_with, EmaxEnumeration, PrefixGraphSource,
+    RankedAnswer, UnrankedAnswers,
+};
+use crate::error::EngineError;
+use crate::evaluate::{ConfidenceCost, ScoredAnswer};
+use crate::evidence::{self, Evidence, Evidences};
+use crate::kernelize::{output_step_graph, prefix_step_graph, state_step_graph};
+use crate::montecarlo::{self, McEstimate};
+use crate::streaming::EventMonitor;
+use crate::transducer::Transducer;
+
+/// The Table 2 route a prepared query executes — one variant per machine
+/// class the paper distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlanKind {
+    /// Deterministic and k-uniform: the positional dimension collapses
+    /// (Theorem 4.6, fast path).
+    DeterministicUniform {
+        /// The uniform emission length `k`.
+        k: usize,
+    },
+    /// Deterministic, non-uniform emission: forward DP over
+    /// `(node, state, output position)` (Theorem 4.6).
+    Deterministic,
+    /// Nondeterministic but k-uniform: subset DP over
+    /// `(node, reachable state set)` (Theorem 4.8).
+    UniformNfa {
+        /// The uniform emission length `k`.
+        k: usize,
+    },
+    /// General: exact configuration-set DP, worst-case exponential —
+    /// necessarily, the problem is FP^#P-complete (Prop. 4.7, Thm 4.9).
+    General,
+    /// An s-projector evaluated through the concatenation language
+    /// `L(B)·o·L(E)` (Theorem 5.5).
+    Sproj,
+    /// An indexed s-projector with precomputed prefix/suffix weight
+    /// tables (Theorems 5.7/5.8).
+    SprojIndexed,
+}
+
+impl PlanKind {
+    /// Classifies a transducer into its Table 2 row.
+    pub fn for_transducer(t: &Transducer) -> PlanKind {
+        if t.is_deterministic() {
+            match t.uniform_emission() {
+                Some(k) => PlanKind::DeterministicUniform { k },
+                None => PlanKind::Deterministic,
+            }
+        } else if let Some(k) = t.uniform_emission() {
+            PlanKind::UniformNfa { k }
+        } else {
+            PlanKind::General
+        }
+    }
+
+    /// The Table 2 row this plan executes, for EXPLAIN output.
+    pub fn table2_row(&self) -> &'static str {
+        match self {
+            PlanKind::DeterministicUniform { .. } => "deterministic, k-uniform (Thm 4.6 fast path)",
+            PlanKind::Deterministic => "deterministic (Thm 4.6)",
+            PlanKind::UniformNfa { .. } => "k-uniform NFA subset DP (Thm 4.8)",
+            PlanKind::General => "general NFA configuration DP (Prop 4.7 / Thm 4.9)",
+            PlanKind::Sproj => "s-projector via L(B)·o·L(E) (Thm 5.5)",
+            PlanKind::SprojIndexed => "indexed s-projector tables (Thm 5.7 / 5.8)",
+        }
+    }
+
+    /// The exact-confidence cost class this route implies.
+    pub fn confidence_cost(&self) -> ConfidenceCost {
+        match self {
+            PlanKind::DeterministicUniform { .. }
+            | PlanKind::Deterministic
+            | PlanKind::SprojIndexed => ConfidenceCost::Polynomial,
+            PlanKind::UniformNfa { .. } | PlanKind::Sproj => ConfidenceCost::ExponentialInStates,
+            PlanKind::General => ConfidenceCost::ExponentialWorstCase,
+        }
+    }
+}
+
+impl fmt::Display for PlanKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanKind::DeterministicUniform { k } => write!(f, "deterministic-uniform(k={k})"),
+            PlanKind::Deterministic => write!(f, "deterministic"),
+            PlanKind::UniformNfa { k } => write!(f, "uniform-nfa(k={k})"),
+            PlanKind::General => write!(f, "general"),
+            PlanKind::Sproj => write!(f, "sproj"),
+            PlanKind::SprojIndexed => write!(f, "sproj-indexed"),
+        }
+    }
+}
+
+/// A bounded memo cache with LRU eviction and hit/miss accounting.
+/// Small (tens of entries), so the `VecDeque` order bookkeeping is cheap.
+/// Shared by the plan layers of this crate and `transmark-sproj`; callers
+/// wrap it in a `Mutex`.
+pub struct BoundedCache<K: Eq + std::hash::Hash + Clone, V> {
+    cap: usize,
+    map: HashMap<K, Arc<V>>,
+    order: VecDeque<K>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Eq + std::hash::Hash + Clone, V> BoundedCache<K, V> {
+    /// An empty cache holding at most `cap` entries (minimum 1).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap: cap.max(1),
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lookups served from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to build (= compilations) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// The cached value for `key`, building (and possibly evicting the
+    /// least-recently-used entry) on miss.
+    pub fn get_or_insert_with(&mut self, key: &K, build: impl FnOnce() -> V) -> Arc<V> {
+        if let Some(v) = self.map.get(key) {
+            self.hits += 1;
+            let v = Arc::clone(v);
+            if let Some(pos) = self.order.iter().position(|k| k == key) {
+                self.order.remove(pos);
+                self.order.push_back(key.clone());
+            }
+            return v;
+        }
+        self.misses += 1;
+        if self.map.len() >= self.cap {
+            if let Some(old) = self.order.pop_front() {
+                self.map.remove(&old);
+            }
+        }
+        let v = Arc::new(build());
+        self.map.insert(key.clone(), Arc::clone(&v));
+        self.order.push_back(key.clone());
+        v
+    }
+}
+
+/// A constraint product compiled once per [`PrefixConstraint`]: the
+/// constrained machine and its state step graph, shared across every
+/// Lawler–Murty subspace probe (and across binds — the product is purely
+/// machine-side).
+pub(crate) struct ConstrainedMachine {
+    pub(crate) t: Transducer,
+    pub(crate) graph: StepGraph,
+}
+
+/// A compiled query: machine classified, Table 2 route selected, every
+/// sequence-independent artifact precompiled or memoized. Immutable and
+/// `Send + Sync`; share it as `Arc<PreparedQuery>` and
+/// [`PreparedQuery::bind`] it once per sequence.
+pub struct PreparedQuery {
+    t: Transducer,
+    kind: PlanKind,
+    state_graph: SharedStepGraph,
+    accepting: BitSet,
+    /// Interned emission string → id; replaces the O(#emissions) scans of
+    /// `emission_id_for` with an equivalent (interning is injective) hash
+    /// lookup.
+    emission_index: HashMap<Box<[SymbolId]>, u32>,
+    output_graphs: Mutex<BoundedCache<Vec<SymbolId>, StepGraph>>,
+    prefix_graphs: Mutex<BoundedCache<Vec<SymbolId>, StepGraph>>,
+    constraint_products: Mutex<BoundedCache<PrefixConstraint, ConstrainedMachine>>,
+}
+
+/// How many output-keyed graphs each prepared query memoizes. Answers a
+/// fleet evaluation touches repeatedly (top-k outputs, enumeration
+/// prefixes) fit comfortably; unbounded growth over adversarial output
+/// streams does not happen.
+const GRAPH_CACHE_CAP: usize = 64;
+const CONSTRAINT_CACHE_CAP: usize = 256;
+
+/// Compiles `t` into a shareable plan (convenience for
+/// `Arc::new(PreparedQuery::new(t))`).
+pub fn prepare(t: &Transducer) -> Arc<PreparedQuery> {
+    Arc::new(PreparedQuery::new(t))
+}
+
+impl PreparedQuery {
+    /// Analyzes and compiles the machine. The transducer is cloned into
+    /// the plan, so the plan is self-contained and `'static`.
+    pub fn new(t: &Transducer) -> Self {
+        Self::from_owned(t.clone())
+    }
+
+    /// Like [`PreparedQuery::new`] but takes ownership.
+    pub fn from_owned(t: Transducer) -> Self {
+        let kind = PlanKind::for_transducer(&t);
+        let state_graph = state_step_graph(&t).into_shared();
+        let accepting = confidence::accepting_bitset(&t);
+        let mut emission_index = HashMap::with_capacity(t.n_emissions());
+        for id in 0..t.n_emissions() {
+            let em: Box<[SymbolId]> = t.emission(crate::transducer::EmissionId(id as u32)).into();
+            emission_index.entry(em).or_insert(id as u32);
+        }
+        Self {
+            t,
+            kind,
+            state_graph,
+            accepting,
+            emission_index,
+            output_graphs: Mutex::new(BoundedCache::new(GRAPH_CACHE_CAP)),
+            prefix_graphs: Mutex::new(BoundedCache::new(GRAPH_CACHE_CAP)),
+            constraint_products: Mutex::new(BoundedCache::new(CONSTRAINT_CACHE_CAP)),
+        }
+    }
+
+    /// The selected Table 2 route.
+    pub fn kind(&self) -> PlanKind {
+        self.kind
+    }
+
+    /// The compiled machine.
+    pub fn transducer(&self) -> &Transducer {
+        &self.t
+    }
+
+    /// The machine's structural fingerprint (the store's plan-cache key).
+    pub fn fingerprint(&self) -> u64 {
+        self.t.fingerprint()
+    }
+
+    /// The interned id of an emission string, `u32::MAX` if the machine
+    /// never emits it. Equivalent to `kernelize::emission_id_for`.
+    pub(crate) fn emission_id(&self, slice: &[SymbolId]) -> u32 {
+        self.emission_index.get(slice).copied().unwrap_or(u32::MAX)
+    }
+
+    /// The shared `(node, state)` step graph.
+    pub(crate) fn state_graph(&self) -> &SharedStepGraph {
+        &self.state_graph
+    }
+
+    /// The accepting-state bitset.
+    pub(crate) fn accepting(&self) -> &BitSet {
+        &self.accepting
+    }
+
+    /// The memoized `output_step_graph(t, o)`.
+    pub(crate) fn output_graph(&self, o: &[SymbolId]) -> Arc<StepGraph> {
+        let mut cache = self.output_graphs.lock().expect("plan cache poisoned");
+        cache.get_or_insert_with(&o.to_vec(), || output_step_graph(&self.t, o))
+    }
+
+    /// The memoized `prefix_step_graph(t, prefix)`.
+    pub(crate) fn prefix_graph(&self, prefix: &[SymbolId]) -> Arc<StepGraph> {
+        let mut cache = self.prefix_graphs.lock().expect("plan cache poisoned");
+        cache.get_or_insert_with(&prefix.to_vec(), || prefix_step_graph(&self.t, prefix))
+    }
+
+    /// The memoized constraint product for a Lawler–Murty subspace.
+    pub(crate) fn constrained(&self, c: &PrefixConstraint) -> Arc<ConstrainedMachine> {
+        let mut cache = self.constraint_products.lock().expect("plan cache poisoned");
+        cache.get_or_insert_with(c, || {
+            let ct = constrain(&self.t, &c.to_dfa(self.t.n_output_symbols()))
+                .expect("constraint DFA is over the output alphabet by construction");
+            let graph = state_step_graph(&ct);
+            ConstrainedMachine { t: ct, graph }
+        })
+    }
+
+    /// EXPLAIN-style introspection: the selected route, machine shape, and
+    /// precompile / cache statistics.
+    pub fn explain(&self) -> PlanExplain {
+        let (og_len, og_hits, og_misses) = {
+            let c = self.output_graphs.lock().expect("plan cache poisoned");
+            (c.len(), c.hits(), c.misses())
+        };
+        let (pg_len, pg_hits, pg_misses) = {
+            let c = self.prefix_graphs.lock().expect("plan cache poisoned");
+            (c.len(), c.hits(), c.misses())
+        };
+        let (cp_len, cp_hits, cp_misses) = {
+            let c = self.constraint_products.lock().expect("plan cache poisoned");
+            (c.len(), c.hits(), c.misses())
+        };
+        PlanExplain {
+            kind: self.kind,
+            n_states: self.t.n_states(),
+            n_input_symbols: self.t.n_input_symbols(),
+            n_output_symbols: self.t.n_output_symbols(),
+            n_emissions: self.t.n_emissions(),
+            deterministic: self.t.is_deterministic(),
+            uniform_k: self.t.uniform_emission(),
+            mealy: self.t.is_mealy(),
+            selective: self.t.is_selective(),
+            state_graph_edges: self.state_graph.n_edges(),
+            precompiled_bytes: self.state_graph.approx_bytes(),
+            cached_output_graphs: og_len,
+            cached_prefix_graphs: pg_len,
+            cached_constraint_products: cp_len,
+            cache_hits: og_hits + pg_hits + cp_hits,
+            cache_misses: og_misses + pg_misses + cp_misses,
+        }
+    }
+
+    /// Binds one sequence: validates alphabets, flattens the sequence's
+    /// CSR, allocates the reusable workspaces. The returned [`BoundQuery`]
+    /// is cheap to use repeatedly and thread-local (the plan itself is the
+    /// shareable part).
+    pub fn bind<'m>(
+        self: &Arc<Self>,
+        m: &'m MarkovSequence,
+    ) -> Result<BoundQuery<'m>, EngineError> {
+        check_inputs(&self.t, m, None)?;
+        Ok(BoundQuery {
+            plan: Arc::clone(self),
+            m,
+            steps: m.sparse_steps().into_shared(),
+            ws_f: std::cell::RefCell::new(Workspace::new()),
+            ws_b: std::cell::RefCell::new(Workspace::new()),
+        })
+    }
+}
+
+// One Arc<PreparedQuery> serves the parallel fleet; this fails to compile
+// if the plan ever grows a non-thread-safe field.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PreparedQuery>();
+};
+
+/// One plan bound to one sequence: the data-side artifacts (CSR, layer
+/// workspaces) plus a handle on the shared machine side. Methods mirror
+/// the legacy free functions — same validation, same errors, bit-identical
+/// results — but reuse every precompiled artifact across calls.
+pub struct BoundQuery<'m> {
+    plan: Arc<PreparedQuery>,
+    m: &'m MarkovSequence,
+    steps: SharedSparseSteps,
+    ws_f: std::cell::RefCell<Workspace<f64>>,
+    ws_b: std::cell::RefCell<Workspace<bool>>,
+}
+
+impl<'m> BoundQuery<'m> {
+    /// The plan this bind executes.
+    pub fn plan(&self) -> &Arc<PreparedQuery> {
+        &self.plan
+    }
+
+    /// The bound sequence.
+    pub fn sequence(&self) -> &'m MarkovSequence {
+        self.m
+    }
+
+    /// The bind's shared CSR (for facade iterators that outlive `&self`).
+    pub(crate) fn steps_shared(&self) -> &SharedSparseSteps {
+        &self.steps
+    }
+
+    /// `Pr(S →[A^ω]→ o)` along the plan's Table 2 route (bit-identical to
+    /// [`crate::confidence::confidence`]).
+    pub fn confidence(&self, o: &[SymbolId]) -> Result<f64, EngineError> {
+        let t = &self.plan.t;
+        check_inputs(t, self.m, Some(o))?;
+        Ok(match self.plan.kind {
+            PlanKind::DeterministicUniform { k } => confidence::confidence_deterministic_uniform_impl(
+                t,
+                &self.steps,
+                self.plan.state_graph(),
+                &mut self.ws_f.borrow_mut(),
+                o,
+                k,
+                &mut |slice| self.plan.emission_id(slice),
+            ),
+            PlanKind::Deterministic => confidence::confidence_deterministic_impl(
+                t,
+                &self.steps,
+                &self.plan.output_graph(o),
+                &mut self.ws_f.borrow_mut(),
+                o.len(),
+            ),
+            PlanKind::UniformNfa { k } => confidence::confidence_uniform_nfa_impl(
+                t,
+                self.m,
+                self.plan.state_graph(),
+                self.plan.accepting(),
+                o,
+                k,
+                &mut |slice| self.plan.emission_id(slice),
+            ),
+            PlanKind::General | PlanKind::Sproj | PlanKind::SprojIndexed => {
+                confidence::confidence_general_impl(t, self.m, &self.plan.output_graph(o), o.len())
+            }
+        })
+    }
+
+    /// Whether `o` is an answer (bit-identical to
+    /// [`crate::confidence::is_answer`]).
+    pub fn is_answer(&self, o: &[SymbolId]) -> Result<bool, EngineError> {
+        let t = &self.plan.t;
+        check_inputs(t, self.m, Some(o))?;
+        Ok(confidence::is_answer_impl(
+            t,
+            &self.steps,
+            &self.plan.output_graph(o),
+            &mut self.ws_b.borrow_mut(),
+            o.len(),
+        ))
+    }
+
+    /// Whether the query has any answer (bit-identical to
+    /// [`crate::confidence::answer_exists`]).
+    pub fn answer_exists(&self) -> Result<bool, EngineError> {
+        Ok(confidence::answer_exists_impl(
+            &self.plan.t,
+            &self.steps,
+            self.plan.state_graph(),
+            &mut self.ws_b.borrow_mut(),
+        ))
+    }
+
+    /// The top answer by `E_max` (bit-identical to
+    /// [`crate::emax::top_by_emax`]).
+    pub fn top(&self) -> Result<Option<EmaxResult>, EngineError> {
+        Ok(emax::top_by_emax_impl(
+            &self.plan.t,
+            &self.steps,
+            self.plan.state_graph(),
+        ))
+    }
+
+    /// `ln E_max(o)` (bit-identical to [`crate::emax::emax_of_output`]).
+    pub fn emax_of_output(&self, o: &[SymbolId]) -> Result<f64, EngineError> {
+        let t = &self.plan.t;
+        check_inputs(t, self.m, Some(o))?;
+        Ok(emax::emax_of_output_impl(
+            t,
+            &self.steps,
+            &self.plan.output_graph(o),
+            &mut self.ws_f.borrow_mut(),
+            o.len(),
+        ))
+    }
+
+    /// Monte-Carlo confidence estimate (same sampling sequence as
+    /// [`crate::montecarlo::estimate_confidence`] for the same `rng`
+    /// state).
+    pub fn estimate_confidence<R: Rng + ?Sized>(
+        &self,
+        o: &[SymbolId],
+        samples: usize,
+        rng: &mut R,
+    ) -> Result<McEstimate, EngineError> {
+        let t = &self.plan.t;
+        check_inputs(t, self.m, Some(o))?;
+        let graph = if t.is_deterministic() {
+            None
+        } else {
+            Some(self.plan.output_graph(o))
+        };
+        Ok(montecarlo::estimate_confidence_impl(
+            t,
+            self.m,
+            graph.as_deref(),
+            o,
+            samples,
+            rng,
+        ))
+    }
+
+    /// All evidences of `o`, most probable first (bit-identical to
+    /// [`crate::evidence::enumerate_evidences`]).
+    pub fn evidences(&self, o: &[SymbolId]) -> Result<Evidences, EngineError> {
+        let t = &self.plan.t;
+        check_inputs(t, self.m, Some(o))?;
+        Ok(evidence::enumerate_evidences_impl(
+            t,
+            self.m,
+            &self.plan.output_graph(o),
+            o.len(),
+        ))
+    }
+
+    /// The `k` most probable evidences of `o`.
+    pub fn top_evidences(&self, o: &[SymbolId], k: usize) -> Result<Vec<Evidence>, EngineError> {
+        Ok(self.evidences(o)?.take(k).collect())
+    }
+
+    /// Theorem 4.1 lexicographic enumeration (bit-identical to
+    /// [`crate::enumerate::enumerate_unranked`]); per-prefix graphs come
+    /// from the plan's memo cache.
+    pub fn unranked(&self) -> Result<UnrankedAnswers<'_>, EngineError> {
+        Ok(enumerate_unranked_with(
+            &self.plan.t,
+            self.m,
+            Arc::clone(&self.steps),
+            PrefixGraphSource::Plan(Arc::clone(&self.plan)),
+        ))
+    }
+
+    /// Theorem 4.3 ranked enumeration (bit-identical to
+    /// [`crate::enumerate::enumerate_by_emax`]); constraint products come
+    /// from the plan's memo cache and the Viterbi probes share this bind's
+    /// CSR.
+    pub fn ranked(&self) -> Result<EmaxEnumeration<'static>, EngineError> {
+        Ok(enumerate_by_emax_planned(
+            Arc::clone(&self.plan),
+            Arc::clone(&self.steps),
+        ))
+    }
+
+    /// The top-k answers by `E_max`, each with its exact confidence
+    /// (bit-identical to [`crate::evaluate::Evaluation::top_k_scored`]).
+    pub fn top_k_scored(&self, k: usize) -> Result<Vec<ScoredAnswer>, EngineError> {
+        let mut out = Vec::with_capacity(k);
+        for r in self.ranked()?.take(k) {
+            let conf = self.confidence(&r.output)?;
+            out.push(ScoredAnswer {
+                emax: r.score(),
+                confidence: conf,
+                output: r.output,
+            });
+        }
+        Ok(out)
+    }
+
+    /// The top-k answers by `E_max` without confidences.
+    pub fn top_k(&self, k: usize) -> Result<Vec<RankedAnswer>, EngineError> {
+        Ok(self.ranked()?.take(k).collect())
+    }
+}
+
+/// EXPLAIN output: the selected route and what compiling it cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanExplain {
+    /// The selected Table 2 route.
+    pub kind: PlanKind,
+    /// `|Q_A|`.
+    pub n_states: usize,
+    /// `|Σ_A|`.
+    pub n_input_symbols: usize,
+    /// `|Δ_ω|`.
+    pub n_output_symbols: usize,
+    /// Distinct interned emissions (including ε).
+    pub n_emissions: usize,
+    /// Whether the underlying automaton is deterministic.
+    pub deterministic: bool,
+    /// `Some(k)` when every emission has length exactly `k`.
+    pub uniform_k: Option<usize>,
+    /// Whether the machine is Mealy (1-uniform).
+    pub mealy: bool,
+    /// Whether the machine is selective (`F_A ≠ Q_A`).
+    pub selective: bool,
+    /// Edges in the precompiled `(node, state)` step graph.
+    pub state_graph_edges: usize,
+    /// Approximate bytes of eagerly precompiled machine-side artifacts.
+    pub precompiled_bytes: usize,
+    /// Output-keyed step graphs currently memoized.
+    pub cached_output_graphs: usize,
+    /// Prefix-keyed step graphs currently memoized.
+    pub cached_prefix_graphs: usize,
+    /// Lawler–Murty constraint products currently memoized.
+    pub cached_constraint_products: usize,
+    /// Total plan-cache hits so far.
+    pub cache_hits: u64,
+    /// Total plan-cache misses (= compilations) so far.
+    pub cache_misses: u64,
+}
+
+impl fmt::Display for PlanExplain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "plan: {}  [{}]", self.kind, self.kind.table2_row())?;
+        writeln!(
+            f,
+            "machine: {} states, {} input symbols, {} output symbols, {} emissions",
+            self.n_states, self.n_input_symbols, self.n_output_symbols, self.n_emissions
+        )?;
+        writeln!(
+            f,
+            "class: deterministic={} uniform_k={} mealy={} selective={}",
+            self.deterministic,
+            match self.uniform_k {
+                Some(k) => k.to_string(),
+                None => "-".to_string(),
+            },
+            self.mealy,
+            self.selective
+        )?;
+        writeln!(
+            f,
+            "precompiled: state graph {} edges (~{} bytes)",
+            self.state_graph_edges, self.precompiled_bytes
+        )?;
+        write!(
+            f,
+            "caches: {} output graphs, {} prefix graphs, {} constraint products ({} hits / {} misses)",
+            self.cached_output_graphs,
+            self.cached_prefix_graphs,
+            self.cached_constraint_products,
+            self.cache_hits,
+            self.cache_misses
+        )
+    }
+}
+
+/// The prepared form of a Boolean event query (an NFA over the sequence
+/// alphabet): the compile/bind surface for [`crate::streaming`] and the
+/// acceptance passes.
+///
+/// The only machine-side artifact worth caching here is the validated NFA
+/// itself — the subset determinization is rebuilt per evaluation *on
+/// purpose* (see the module docs: sharing it would reorder reductions and
+/// break bit-reproducibility).
+pub struct PreparedEventQuery {
+    nfa: Nfa,
+}
+
+impl PreparedEventQuery {
+    /// Wraps a query NFA.
+    pub fn new(nfa: Nfa) -> Self {
+        Self { nfa }
+    }
+
+    /// The query automaton.
+    pub fn nfa(&self) -> &Nfa {
+        &self.nfa
+    }
+
+    /// The query's structural fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        self.nfa.fingerprint()
+    }
+
+    /// `Pr(S ∈ L(A))` (bit-identical to
+    /// [`crate::confidence::acceptance_probability`]).
+    pub fn acceptance(&self, m: &MarkovSequence) -> Result<f64, EngineError> {
+        confidence::acceptance_probability(&self.nfa, m)
+    }
+
+    /// The per-prefix probability series (bit-identical to
+    /// [`crate::confidence::prefix_acceptance_probabilities`]).
+    pub fn series(&self, m: &MarkovSequence) -> Result<Vec<f64>, EngineError> {
+        confidence::prefix_acceptance_probabilities(&self.nfa, m)
+    }
+
+    /// Starts a fresh streaming monitor over this query.
+    pub fn monitor(&self, initial: &[f64]) -> Result<EventMonitor, EngineError> {
+        EventMonitor::start(self.nfa.clone(), initial)
+    }
+
+    /// Replays a stored sequence through a fresh monitor (bit-identical to
+    /// [`crate::streaming::EventMonitor::replay`]).
+    pub fn replay(&self, m: &MarkovSequence) -> Result<Vec<f64>, EngineError> {
+        EventMonitor::replay(self.nfa.clone(), m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{random_transducer, RandomTransducerSpec, TransducerClass};
+    use rand::{rngs::StdRng, SeedableRng};
+    use transmark_automata::Alphabet;
+    use transmark_markov::generate::{random_markov_sequence, RandomChainSpec};
+    use transmark_markov::MarkovSequenceBuilder;
+
+    fn sym(i: u32) -> SymbolId {
+        SymbolId(i)
+    }
+
+    fn identity() -> Transducer {
+        let alphabet = Alphabet::of_chars("ab");
+        let mut b = Transducer::builder(alphabet.clone(), alphabet);
+        let q = b.add_state(true);
+        for s in 0..2u32 {
+            b.add_transition(q, sym(s), q, &[sym(s)]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn chain() -> MarkovSequence {
+        let alphabet = Alphabet::of_chars("ab");
+        MarkovSequenceBuilder::new(alphabet, 3)
+            .uniform_all()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn kind_classification_matches_table2() {
+        assert_eq!(
+            PlanKind::for_transducer(&identity()),
+            PlanKind::DeterministicUniform { k: 1 }
+        );
+        let mut rng = StdRng::seed_from_u64(5);
+        let general = random_transducer(
+            &RandomTransducerSpec {
+                n_states: 3,
+                n_input_symbols: 2,
+                n_output_symbols: 2,
+                class: TransducerClass::General,
+                branching: 1.7,
+            },
+            &mut rng,
+        );
+        if !general.is_deterministic() && general.uniform_emission().is_none() {
+            assert_eq!(PlanKind::for_transducer(&general), PlanKind::General);
+        }
+    }
+
+    #[test]
+    fn bound_results_match_free_functions_bitwise() {
+        let t = identity();
+        let m = chain();
+        let plan = prepare(&t);
+        let bound = plan.bind(&m).unwrap();
+        let o = [sym(0), sym(1), sym(0)];
+        let free = crate::confidence::confidence(&t, &m, &o).unwrap();
+        let planned = bound.confidence(&o).unwrap();
+        assert_eq!(free.to_bits(), planned.to_bits());
+        // Repeated calls reuse the cached artifacts and stay identical.
+        assert_eq!(bound.confidence(&o).unwrap().to_bits(), planned.to_bits());
+        assert_eq!(
+            bound.is_answer(&o).unwrap(),
+            crate::confidence::is_answer(&t, &m, &o).unwrap()
+        );
+        assert_eq!(
+            bound.top().unwrap(),
+            crate::emax::top_by_emax(&t, &m).unwrap()
+        );
+    }
+
+    #[test]
+    fn explain_reports_route_and_cache_traffic() {
+        let t = identity();
+        let m = chain();
+        let plan = prepare(&t);
+        let e0 = plan.explain();
+        assert_eq!(e0.kind, PlanKind::DeterministicUniform { k: 1 });
+        assert!(e0.deterministic);
+        assert_eq!(e0.uniform_k, Some(1));
+        assert!(e0.state_graph_edges > 0);
+        assert_eq!(e0.cache_hits + e0.cache_misses, 0);
+
+        let bound = plan.bind(&m).unwrap();
+        let o = [sym(0), sym(0), sym(0)];
+        // is_answer uses the output-graph cache: first call misses…
+        bound.is_answer(&o).unwrap();
+        let e1 = plan.explain();
+        assert_eq!(e1.cache_misses, 1);
+        assert_eq!(e1.cached_output_graphs, 1);
+        // …second call hits.
+        bound.is_answer(&o).unwrap();
+        let e2 = plan.explain();
+        assert_eq!(e2.cache_hits, 1);
+        // Display renders without panicking and names the route.
+        let text = format!("{e2}");
+        assert!(text.contains("deterministic-uniform"));
+        assert!(text.contains("Thm 4.6"));
+    }
+
+    #[test]
+    fn bind_rejects_alphabet_mismatch() {
+        let t = identity();
+        let m3 = MarkovSequenceBuilder::new(Alphabet::of_chars("abc"), 2)
+            .uniform_all()
+            .build()
+            .unwrap();
+        assert!(prepare(&t).bind(&m3).is_err());
+    }
+
+    #[test]
+    fn output_graph_cache_evicts_at_capacity() {
+        let t = identity();
+        let plan = prepare(&t);
+        for len in 0..(GRAPH_CACHE_CAP + 5) {
+            let o = vec![sym(0); len];
+            let _ = plan.output_graph(&o);
+        }
+        let e = plan.explain();
+        assert_eq!(e.cached_output_graphs, GRAPH_CACHE_CAP);
+        assert_eq!(e.cache_misses as usize, GRAPH_CACHE_CAP + 5);
+    }
+
+    #[test]
+    fn prepared_event_query_matches_direct_calls() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let m = random_markov_sequence(
+            &RandomChainSpec {
+                len: 6,
+                n_symbols: 2,
+                zero_prob: 0.2,
+            },
+            &mut rng,
+        );
+        let nfa = identity().underlying_nfa();
+        let q = PreparedEventQuery::new(nfa.clone());
+        let a = q.acceptance(&m).unwrap();
+        let b = crate::confidence::acceptance_probability(&nfa, &m).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
+        let s1 = q.series(&m).unwrap();
+        let s2 = q.replay(&m).unwrap();
+        assert_eq!(s1.len(), s2.len());
+    }
+}

@@ -150,6 +150,53 @@ impl Transducer {
         })
     }
 
+    /// A structural fingerprint of this transducer: a deterministic,
+    /// platform-independent 64-bit hash of the alphabet sizes, initial
+    /// state, accepting set, transition table, and interned emissions.
+    ///
+    /// This is the plan-cache key in `transmark-store`. Like any 64-bit
+    /// hash it can collide; pair it with [`Transducer::same_structure`]
+    /// when collisions must be distinguished.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = transmark_automata::Fingerprinter::new();
+        fp.write_bytes(b"transducer");
+        fp.write_usize(self.n_input_symbols());
+        fp.write_usize(self.n_output_symbols());
+        fp.write_usize(self.n_states());
+        fp.write_u32(self.initial.0);
+        for &acc in &self.accepting {
+            fp.write_bool(acc);
+        }
+        fp.write_usize(self.emissions.len());
+        for em in &self.emissions {
+            fp.write_usize(em.len());
+            for &d in em.iter() {
+                fp.write_u32(d.0);
+            }
+        }
+        for edges in &self.delta {
+            fp.write_usize(edges.len());
+            for e in edges {
+                fp.write_u32(e.target.0);
+                fp.write_u32(e.emission.0);
+            }
+        }
+        fp.finish()
+    }
+
+    /// Exact structural equality: same alphabet sizes, initial state,
+    /// accepting set, transition table, and emission interning. Two
+    /// machines that are `same_structure` produce bit-identical results on
+    /// every pass, so a cached plan for one is valid for the other.
+    pub fn same_structure(&self, other: &Transducer) -> bool {
+        self.n_input_symbols() == other.n_input_symbols()
+            && self.n_output_symbols() == other.n_output_symbols()
+            && self.initial == other.initial
+            && self.accepting == other.accepting
+            && self.delta == other.delta
+            && self.emissions == other.emissions
+    }
+
     // ---- Classification (§3.1.1) ----------------------------------------
 
     /// Whether the underlying automaton is a (complete) DFA.

@@ -1,0 +1,228 @@
+//! Bit-identity of the prepared-query planner: for every [`PlanKind`]
+//! the plan path (compile once, bind per sequence, execute over cached
+//! artifacts) must return *exactly* the bits the legacy free functions
+//! return — same float accumulation order, not merely close values —
+//! and one compiled plan must be safe to bind from several threads.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use std::sync::Arc;
+
+use transmark_core::confidence::{confidence, is_answer};
+use transmark_core::emax::{emax_of_output, top_by_emax};
+use transmark_core::enumerate::{enumerate_by_emax, enumerate_unranked};
+use transmark_core::evidence::top_k_evidences;
+use transmark_core::generate::{random_transducer, RandomTransducerSpec, TransducerClass};
+use transmark_core::plan::{prepare, PlanKind, PreparedQuery};
+use transmark_core::transducer::Transducer;
+use transmark_markov::generate::{random_markov_sequence, RandomChainSpec};
+use transmark_markov::MarkovSequence;
+
+fn arb_class() -> impl Strategy<Value = TransducerClass> {
+    prop_oneof![
+        Just(TransducerClass::General),
+        Just(TransducerClass::Deterministic),
+        Just(TransducerClass::Mealy),
+        Just(TransducerClass::Uniform(1)),
+        Just(TransducerClass::Uniform(2)),
+        Just(TransducerClass::Projector),
+    ]
+}
+
+fn instance(class: TransducerClass, seed: u64, n: usize) -> (Transducer, MarkovSequence) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = random_markov_sequence(
+        &RandomChainSpec {
+            len: n,
+            n_symbols: 2,
+            zero_prob: 0.3,
+        },
+        &mut rng,
+    );
+    let t = random_transducer(
+        &RandomTransducerSpec {
+            n_states: 3,
+            n_input_symbols: 2,
+            n_output_symbols: 2,
+            class,
+            branching: 1.5,
+        },
+        &mut rng,
+    );
+    (t, m)
+}
+
+/// Every evaluation mode through `plan`, compared bitwise against the
+/// legacy free functions on the same `(t, m)`.
+fn assert_plan_matches_legacy(plan: &Arc<PreparedQuery>, t: &Transducer, m: &MarkovSequence) {
+    let bound = plan.bind(m).expect("bind accepts a matching sequence");
+
+    // Unranked enumeration: same answers in the same order.
+    let legacy_unranked: Vec<_> = enumerate_unranked(t, m).unwrap().collect();
+    let plan_unranked: Vec<_> = bound.unranked().unwrap().collect();
+    assert_eq!(legacy_unranked, plan_unranked);
+
+    // Ranked enumeration: same outputs, bit-identical scores.
+    let legacy_ranked: Vec<_> = enumerate_by_emax(t, m).unwrap().collect();
+    let plan_ranked: Vec<_> = bound.ranked().unwrap().collect();
+    assert_eq!(legacy_ranked.len(), plan_ranked.len());
+    for (a, b) in legacy_ranked.iter().zip(plan_ranked.iter()) {
+        assert_eq!(a.output, b.output);
+        assert_eq!(a.log_score.to_bits(), b.log_score.to_bits());
+    }
+
+    // The top answer with its witness world.
+    assert_eq!(top_by_emax(t, m).unwrap(), bound.top().unwrap());
+
+    // Confidence (the Table 2 dispatch), E_max, membership, and top
+    // evidences of every answer.
+    for o in &legacy_unranked {
+        let c_legacy = confidence(t, m, o).unwrap();
+        let c_plan = bound.confidence(o).unwrap();
+        assert_eq!(
+            c_legacy.to_bits(),
+            c_plan.to_bits(),
+            "confidence of {o:?} under {}: {c_legacy} vs {c_plan}",
+            plan.kind()
+        );
+        let e_legacy = emax_of_output(t, m, o).unwrap();
+        let e_plan = bound.emax_of_output(o).unwrap();
+        assert_eq!(e_legacy.to_bits(), e_plan.to_bits());
+        assert!(bound.is_answer(o).unwrap());
+        let ev_legacy = top_k_evidences(t, m, o, 3).unwrap();
+        let ev_plan = bound.top_evidences(o, 3).unwrap();
+        assert_eq!(ev_legacy.len(), ev_plan.len());
+        for (a, b) in ev_legacy.iter().zip(ev_plan.iter()) {
+            assert_eq!(a.world, b.world);
+            assert_eq!(a.log_prob.to_bits(), b.log_prob.to_bits());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Random machines of every class — so every `PlanKind` route —
+    /// against random chains.
+    #[test]
+    fn prepared_path_is_bit_identical(class in arb_class(), seed in any::<u64>(), n in 1usize..5) {
+        let (t, m) = instance(class, seed, n);
+        let plan = prepare(&t);
+        // The classifier is consistent with the machine's own predicates.
+        match plan.kind() {
+            PlanKind::DeterministicUniform { k } => {
+                prop_assert!(t.is_deterministic());
+                prop_assert_eq!(t.uniform_emission(), Some(k));
+            }
+            PlanKind::Deterministic => {
+                prop_assert!(t.is_deterministic());
+                prop_assert_eq!(t.uniform_emission(), None);
+            }
+            PlanKind::UniformNfa { k } => {
+                prop_assert!(!t.is_deterministic());
+                prop_assert_eq!(t.uniform_emission(), Some(k));
+            }
+            PlanKind::General => {
+                prop_assert!(!t.is_deterministic());
+                prop_assert_eq!(t.uniform_emission(), None);
+            }
+            other => prop_assert!(false, "transducer plan classified as {}", other),
+        }
+        assert_plan_matches_legacy(&plan, &t, &m);
+    }
+
+    /// One plan, many sequences: binding must not leak per-sequence
+    /// state between executions.
+    #[test]
+    fn one_plan_many_binds(class in arb_class(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = random_transducer(
+            &RandomTransducerSpec {
+                n_states: 2,
+                n_input_symbols: 2,
+                n_output_symbols: 2,
+                class,
+                branching: 1.5,
+            },
+            &mut rng,
+        );
+        let plan = prepare(&t);
+        for n in 1..4 {
+            let m = random_markov_sequence(
+                &RandomChainSpec { len: n, n_symbols: 2, zero_prob: 0.3 },
+                &mut rng,
+            );
+            assert_plan_matches_legacy(&plan, &t, &m);
+        }
+    }
+}
+
+/// The paper's running example (hospital, Figure 1/2): a selective
+/// deterministic machine through the planner, bit-for-bit.
+#[test]
+fn hospital_workload_is_bit_identical() {
+    let m = transmark_workloads::hospital::hospital_sequence();
+    let t = transmark_workloads::hospital::room_tracker();
+    let plan = prepare(&t);
+    assert!(matches!(
+        plan.kind(),
+        PlanKind::Deterministic | PlanKind::DeterministicUniform { .. }
+    ));
+    assert_plan_matches_legacy(&plan, &t, &m);
+}
+
+/// The synthetic RFID deployment: posterior sequences from a sampled
+/// sensor read, both tracker variants.
+#[test]
+fn rfid_workload_is_bit_identical() {
+    let dep = transmark_workloads::rfid::deployment(&transmark_workloads::rfid::RfidSpec::default());
+    let mut rng = StdRng::seed_from_u64(2010);
+    let (posterior, _) = dep.sample_posterior(5, &mut rng);
+    for lab_room in [None, Some(1)] {
+        let t = dep.room_tracker(lab_room);
+        let plan = prepare(&t);
+        assert_plan_matches_legacy(&plan, &t, &posterior);
+    }
+}
+
+/// One `Arc<PreparedQuery>` bound from two threads concurrently returns
+/// bit-identical results on both (and matches the legacy path).
+#[test]
+fn concurrent_binds_agree_bitwise() {
+    let (t, m, answers) = (424242..)
+        .map(|seed| {
+            let (t, m) = instance(TransducerClass::General, seed, 4);
+            let answers: Vec<_> = enumerate_unranked(&t, &m).unwrap().collect();
+            (t, m, answers)
+        })
+        .find(|(_, _, answers)| !answers.is_empty())
+        .expect("some seed yields a machine with answers");
+    let plan = prepare(&t);
+
+    type Results = Vec<(Vec<transmark_core::SymbolId>, u64, u64)>;
+    let run = |plan: &Arc<PreparedQuery>, m: &MarkovSequence| -> Results {
+        let bound = plan.bind(m).unwrap();
+        answers
+            .iter()
+            .map(|o| {
+                (
+                    o.clone(),
+                    bound.confidence(o).unwrap().to_bits(),
+                    bound.emax_of_output(o).unwrap().to_bits(),
+                )
+            })
+            .collect()
+    };
+
+    let (a, b) = std::thread::scope(|scope| {
+        let ha = scope.spawn(|| run(&plan, &m));
+        let hb = scope.spawn(|| run(&plan, &m));
+        (ha.join().unwrap(), hb.join().unwrap())
+    });
+    assert_eq!(a, b);
+    for (o, conf_bits, emax_bits) in a {
+        assert_eq!(confidence(&t, &m, &o).unwrap().to_bits(), conf_bits);
+        assert_eq!(emax_of_output(&t, &m, &o).unwrap().to_bits(), emax_bits);
+    }
+    assert!(is_answer(&t, &m, answers.first().unwrap()).unwrap());
+}

@@ -27,6 +27,20 @@
 //!   dynamic-state (subset construction) passes;
 //! * [`Neumaier`] — compensated summation for final reductions.
 //!
+//! # Machine side vs. data side
+//!
+//! The artifacts split cleanly by what they depend on, and the prepared
+//! query layer in `transmark-core` is built on that split:
+//!
+//! * **Machine-side** (sequence-independent): [`StepGraph`]s, emission
+//!   tables, subset seeds. Compiled once per *query*, immutable
+//!   afterwards, `Send + Sync`, and shared across binds and threads as
+//!   [`SharedStepGraph`] (`Arc<StepGraph>`).
+//! * **Data-side** (per-sequence): [`SparseSteps`] and [`Workspace`]s.
+//!   Built once per *bind* of a sequence; `SparseSteps` is immutable and
+//!   shareable as [`SharedSparseSteps`], while workspaces are mutable
+//!   scratch and stay thread-local.
+//!
 //! Migrated passes promise **bit-identical** results to their hand-rolled
 //! predecessors: same cell linearization, same visit order (node, then
 //! row, then Markov target, then edge insertion order), same zero skips,
@@ -46,7 +60,7 @@ pub mod workspace;
 pub use dp::{advance, advance_filtered, advance_string, advance_tracked, BackEdge};
 pub use numeric::Neumaier;
 pub use semiring::{Bool, MaxLog, Prob, Semiring};
-pub use step_graph::{MachineEdge, StepGraph, StepGraphBuilder};
-pub use steps::{SparseSteps, SparseStepsBuilder};
+pub use step_graph::{MachineEdge, SharedStepGraph, StepGraph, StepGraphBuilder};
+pub use steps::{SharedSparseSteps, SparseSteps, SparseStepsBuilder};
 pub use subset::SubsetLayer;
 pub use workspace::Workspace;

@@ -68,7 +68,32 @@ impl StepGraph {
     pub fn n_edges(&self) -> usize {
         self.edges.len()
     }
+
+    /// Approximate heap footprint in bytes (plan-introspection cost
+    /// reporting; excludes the struct header).
+    pub fn approx_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u32>()
+            + self.edges.len() * std::mem::size_of::<MachineEdge>()
+    }
+
+    /// Wraps the graph for cross-thread sharing. A [`StepGraph`] is a
+    /// machine-side artifact — it depends only on the query, never on a
+    /// Markov sequence — so a prepared query builds it once and every bind
+    /// (on any thread) reads the same copy.
+    pub fn into_shared(self) -> SharedStepGraph {
+        std::sync::Arc::new(self)
+    }
 }
+
+/// A machine-side step graph shared across binds and threads.
+pub type SharedStepGraph = std::sync::Arc<StepGraph>;
+
+// Machine-side artifacts must be shareable across threads; this fails to
+// compile if `StepGraph` ever grows a non-`Send`/`Sync` field.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<StepGraph>();
+};
 
 /// Accumulates edges into per-`(symbol, row)` buckets, then flattens.
 pub struct StepGraphBuilder {

@@ -67,7 +67,29 @@ impl SparseSteps {
         let hi = self.offsets[r + 1] as usize;
         &self.entries[lo..hi]
     }
+
+    /// Total number of stored nonzero transitions (diagnostics).
+    #[inline]
+    pub fn n_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Wraps the steps for sharing. `SparseSteps` is a *data-side*
+    /// artifact — it depends only on the Markov sequence — so a bound
+    /// query builds it once per sequence and every pass over that bind
+    /// reads the same copy.
+    pub fn into_shared(self) -> SharedSparseSteps {
+        std::sync::Arc::new(self)
+    }
 }
+
+/// A data-side CSR shared across the passes of one bind.
+pub type SharedSparseSteps = std::sync::Arc<SparseSteps>;
+
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SparseSteps>();
+};
 
 /// Row-by-row constructor for [`SparseSteps`]. Push rows in
 /// `(step, from)`-major order; each row's entries in ascending `to`.

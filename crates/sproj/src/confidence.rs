@@ -17,21 +17,20 @@
 //! only in `|Q_E|` exactly as Theorem 5.5 states (and Theorem 5.4 proves
 //! unavoidable: the problem is FP^#P-hard even with trivial `B` and `A`).
 
-use transmark_automata::{ops, Dfa, SymbolId};
+use transmark_automata::{ops, Dfa, Nfa, SymbolId};
 use transmark_core::confidence::acceptance_probability;
 use transmark_core::error::EngineError;
 use transmark_markov::MarkovSequence;
 
 use crate::projector::SProjector;
 
-/// **Theorem 5.5**: `Pr(S →[P]→ o)` for an s-projector `P = [B]A[E]`.
-///
-/// Polynomial in everything except `|Q_E|` (see module docs).
-pub fn sproj_confidence(
+/// Validates the `(projector, sequence, output)` triple exactly as
+/// [`sproj_confidence`] does.
+pub(crate) fn validate(
     p: &SProjector,
     m: &MarkovSequence,
     o: &[SymbolId],
-) -> Result<f64, EngineError> {
+) -> Result<(), EngineError> {
     if p.alphabet().len() != m.n_symbols() {
         return Err(EngineError::AlphabetMismatch {
             transducer: p.alphabet().len(),
@@ -47,12 +46,32 @@ pub fn sproj_confidence(
             });
         }
     }
+    Ok(())
+}
+
+/// The Theorem 5.5 concatenation NFA `B·o·E` — machine-side (depends only
+/// on the projector and the answer), so a prepared projector memoizes it
+/// per answer.
+pub(crate) fn concat_nfa_for(p: &SProjector, o: &[SymbolId]) -> Nfa {
+    let k = p.alphabet().len();
+    let word = Dfa::word(k, o).to_nfa();
+    let b_then_o = ops::concat_nfa(&p.prefix_dfa().to_nfa(), &word)
+        .expect("projector components share the alphabet");
+    ops::concat_nfa(&b_then_o, &p.suffix_dfa().to_nfa())
+        .expect("projector components share the alphabet")
+}
+
+/// **Theorem 5.5**: `Pr(S →[P]→ o)` for an s-projector `P = [B]A[E]`.
+///
+/// Polynomial in everything except `|Q_E|` (see module docs).
+pub fn sproj_confidence(
+    p: &SProjector,
+    m: &MarkovSequence,
+    o: &[SymbolId],
+) -> Result<f64, EngineError> {
+    validate(p, m, o)?;
     if !p.pattern_dfa().accepts(o) {
         return Ok(0.0);
     }
-    let k = p.alphabet().len();
-    let word = Dfa::word(k, o).to_nfa();
-    let b_then_o = ops::concat_nfa(&p.prefix_dfa().to_nfa(), &word)?;
-    let full = ops::concat_nfa(&b_then_o, &p.suffix_dfa().to_nfa())?;
-    acceptance_probability(&full, m)
+    acceptance_probability(&concat_nfa_for(p, o), m)
 }

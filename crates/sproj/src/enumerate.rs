@@ -28,6 +28,7 @@
 //!   many occurrences each output has.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use transmark_automata::ops;
 use transmark_core::constraints::PrefixConstraint;
@@ -36,7 +37,8 @@ use transmark_core::error::EngineError;
 use transmark_kbest::{LawlerMurty, PartitionSpace};
 use transmark_markov::MarkovSequence;
 
-use crate::indexed::enumerate_indexed;
+use crate::indexed::{enumerate_indexed, enumerate_indexed_with, IndexedEvaluator};
+use crate::plan::PreparedProjector;
 use crate::projector::SProjector;
 
 /// Enumerates the distinct outputs of `P` over `μ` in decreasing `I_max`
@@ -118,6 +120,41 @@ impl PartitionSpace for ImaxSpace<'_> {
     }
 }
 
+/// The prepared counterpart of [`ImaxSpace`]: constrained projectors come
+/// from the plan's constraint-product cache (shared across subspace probes
+/// and across binds), and every probe's Theorem 5.8 tables reuse the
+/// plan's precompiled B-DFA step graph. Probe results are bit-identical to
+/// [`ImaxSpace`]'s, so the emission order is too.
+struct PlanImaxSpace<'m> {
+    plan: Arc<PreparedProjector>,
+    m: &'m MarkovSequence,
+}
+
+impl PartitionSpace for PlanImaxSpace<'_> {
+    type Answer = Vec<transmark_automata::SymbolId>;
+    type Constraint = PrefixConstraint;
+
+    fn root(&self) -> PrefixConstraint {
+        PrefixConstraint::all()
+    }
+
+    fn best(&mut self, constraint: &PrefixConstraint) -> Option<(Self::Answer, f64)> {
+        let constrained = self.plan.constrained(constraint);
+        enumerate_indexed_with(&constrained, self.m, self.plan.bgraph())
+            .expect("alphabets validated at construction")
+            .next()
+            .map(|ia| (ia.output, ia.log_confidence))
+    }
+
+    fn split(
+        &mut self,
+        constraint: &PrefixConstraint,
+        answer: &Self::Answer,
+    ) -> Vec<PrefixConstraint> {
+        constraint.split_around(answer)
+    }
+}
+
 /// Lemma 5.10 with *polynomial delay*: enumerates the distinct outputs in
 /// decreasing `I_max` via Lawler–Murty over prefix constraints (see the
 /// module docs). Produces exactly the same sequence as
@@ -133,16 +170,21 @@ pub fn enumerate_by_imax_lawler<'a>(
         .map(|(output, log_score)| RankedAnswer { output, log_score }))
 }
 
-/// `I_max(o)` directly: the best occurrence confidence, via the
-/// Theorem 5.8 evaluator over all valid indices. `O(n·|o|)` after table
-/// construction.
-pub fn imax_of_output(
-    p: &SProjector,
-    m: &MarkovSequence,
-    o: &[transmark_automata::SymbolId],
-) -> Result<f64, EngineError> {
-    let ev = crate::indexed::IndexedEvaluator::new(p, m)?;
-    let n = m.len();
+/// [`enumerate_by_imax_lawler`] over a prepared projector: same sequence,
+/// but constraint products are served from the plan's cache. Inputs must
+/// already be validated (the bind did).
+pub(crate) fn enumerate_by_imax_lawler_planned<'m>(
+    plan: Arc<PreparedProjector>,
+    m: &'m MarkovSequence,
+) -> impl Iterator<Item = RankedAnswer> + 'm {
+    LawlerMurty::new(PlanImaxSpace { plan, m })
+        .map(|(output, log_score)| RankedAnswer { output, log_score })
+}
+
+/// `I_max(o)` over already-built Theorem 5.8 tables: the best occurrence
+/// confidence across all valid indices, `O(n·|o|)`.
+pub(crate) fn imax_of_output_from(ev: &IndexedEvaluator<'_>, o: &[transmark_automata::SymbolId]) -> f64 {
+    let n = ev.n();
     let hi = if o.is_empty() {
         n + 1
     } else {
@@ -152,5 +194,17 @@ pub fn imax_of_output(
     for i in 1..=hi {
         best = best.max(ev.confidence(o, i));
     }
-    Ok(best)
+    best
+}
+
+/// `I_max(o)` directly: the best occurrence confidence, via the
+/// Theorem 5.8 evaluator over all valid indices. `O(n·|o|)` after table
+/// construction.
+pub fn imax_of_output(
+    p: &SProjector,
+    m: &MarkovSequence,
+    o: &[transmark_automata::SymbolId],
+) -> Result<f64, EngineError> {
+    let ev = crate::indexed::IndexedEvaluator::new(p, m)?;
+    Ok(imax_of_output_from(&ev, o))
 }

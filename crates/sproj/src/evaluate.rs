@@ -4,32 +4,69 @@
 //! once (building the Theorem 5.8 tables) and exposes §5's evaluation
 //! modes as methods, mirroring [`transmark_core::evaluate::Evaluation`]
 //! for plain transducers.
+//!
+//! Since the prepared-query refactor this facade is a bind of a
+//! [`PreparedProjector`]: construction compiles (or adopts) the plan,
+//! builds the per-sequence Theorem 5.8 tables over the plan's precompiled
+//! B-graph, and every method executes over those shared artifacts —
+//! bit-identical to the legacy free functions, but without re-deriving
+//! machine-side work per call.
+
+use std::collections::HashSet;
+use std::sync::Arc;
 
 use transmark_automata::SymbolId;
 use transmark_core::enumerate::RankedAnswer;
 use transmark_core::error::EngineError;
 use transmark_markov::MarkovSequence;
 
-use crate::confidence::sproj_confidence;
-use crate::enumerate::{enumerate_by_imax, enumerate_by_imax_lawler, imax_of_output};
-use crate::indexed::{enumerate_indexed, IndexedAnswer, IndexedEnumeration, IndexedEvaluator};
+use crate::enumerate::{enumerate_by_imax_lawler_planned, imax_of_output_from};
+use crate::indexed::{
+    enumerate_indexed_from, IndexedAnswer, IndexedEnumeration, IndexedEvaluator,
+};
+use crate::plan::{PreparedProjector, SprojExplain};
 use crate::projector::SProjector;
 
-/// A validated projector/data pair with evaluation methods.
+/// A validated projector/data pair with evaluation methods — a compiled
+/// plan bound to one sequence.
 pub struct SprojEvaluation<'a> {
-    p: &'a SProjector,
     m: &'a MarkovSequence,
+    plan: Arc<PreparedProjector>,
     tables: IndexedEvaluator<'a>,
 }
 
 impl<'a> SprojEvaluation<'a> {
-    /// Validates alphabets and precomputes the Theorem 5.8 tables.
+    /// Validates alphabets, compiles a fresh plan, and precomputes the
+    /// Theorem 5.8 tables.
     pub fn new(p: &'a SProjector, m: &'a MarkovSequence) -> Result<Self, EngineError> {
+        let plan = Arc::new(PreparedProjector::new(p));
+        let tables = IndexedEvaluator::with_graph(p, m, plan.bgraph())?;
+        Ok(Self { m, plan, tables })
+    }
+
+    /// Binds an already-compiled plan to a sequence, skipping machine-side
+    /// recompilation (only the per-sequence Theorem 5.8 tables are built).
+    pub fn with_plan(
+        plan: &'a Arc<PreparedProjector>,
+        m: &'a MarkovSequence,
+    ) -> Result<Self, EngineError> {
+        let tables = IndexedEvaluator::with_graph(plan.projector(), m, plan.bgraph())?;
         Ok(Self {
-            tables: IndexedEvaluator::new(p, m)?,
-            p,
             m,
+            plan: Arc::clone(plan),
+            tables,
         })
+    }
+
+    /// The compiled plan behind this evaluation.
+    pub fn plan(&self) -> &Arc<PreparedProjector> {
+        &self.plan
+    }
+
+    /// EXPLAIN-style introspection: routes, machine shape, precompile
+    /// cost, and plan-cache traffic so far.
+    pub fn explain(&self) -> SprojExplain {
+        self.plan.explain()
     }
 
     /// Exact confidence of the indexed answer `(o, i)` — Theorem 5.8,
@@ -40,18 +77,20 @@ impl<'a> SprojEvaluation<'a> {
 
     /// `I_max(o)`: the best occurrence confidence.
     pub fn imax(&self, o: &[SymbolId]) -> Result<f64, EngineError> {
-        imax_of_output(self.p, self.m, o)
+        Ok(imax_of_output_from(&self.tables, o))
     }
 
     /// Exact (plain) confidence `Pr(S →[P]→ o)` — Theorem 5.5
-    /// (exponential only in `|Q_E|`).
+    /// (exponential only in `|Q_E|`; the concatenation NFA comes from the
+    /// plan's memo cache).
     pub fn confidence(&self, o: &[SymbolId]) -> Result<f64, EngineError> {
-        sproj_confidence(self.p, self.m, o)
+        self.plan.confidence(self.m, o)
     }
 
-    /// All indexed answers in exact decreasing confidence — Theorem 5.7.
+    /// All indexed answers in exact decreasing confidence — Theorem 5.7,
+    /// derived from this bind's tables.
     pub fn occurrences(&self) -> Result<IndexedEnumeration, EngineError> {
-        enumerate_indexed(self.p, self.m)
+        Ok(enumerate_indexed_from(&self.tables))
     }
 
     /// The top-k occurrences.
@@ -62,23 +101,34 @@ impl<'a> SprojEvaluation<'a> {
     /// Distinct output strings in decreasing `I_max` — Theorem 5.2
     /// (the dedup implementation; incremental polynomial time).
     pub fn strings(&self) -> Result<impl Iterator<Item = RankedAnswer> + 'a, EngineError> {
-        enumerate_by_imax(self.p, self.m)
+        let inner = enumerate_indexed_from(&self.tables);
+        let mut seen: HashSet<Vec<SymbolId>> = HashSet::new();
+        Ok(inner.filter_map(move |ia| {
+            seen.insert(ia.output.clone()).then_some(RankedAnswer {
+                output: ia.output,
+                log_score: ia.log_confidence,
+            })
+        }))
     }
 
     /// Distinct output strings in decreasing `I_max` with guaranteed
-    /// polynomial delay — Lemma 5.10's Lawler variant.
+    /// polynomial delay — Lemma 5.10's Lawler variant, over the plan's
+    /// constraint-product cache.
     pub fn strings_poly_delay(
         &self,
     ) -> Result<impl Iterator<Item = RankedAnswer> + 'a, EngineError> {
-        enumerate_by_imax_lawler(self.p, self.m)
+        Ok(enumerate_by_imax_lawler_planned(
+            Arc::clone(&self.plan),
+            self.m,
+        ))
     }
 
     /// The top-k distinct strings with their exact Theorem 5.5
     /// confidences attached (the recommended user-facing mode).
     pub fn top_k_scored(&self, k: usize) -> Result<Vec<(Vec<SymbolId>, f64, f64)>, EngineError> {
         let mut out = Vec::with_capacity(k);
-        for r in enumerate_by_imax(self.p, self.m)?.take(k) {
-            let conf = sproj_confidence(self.p, self.m, &r.output)?;
+        for r in self.strings()?.take(k) {
+            let conf = self.confidence(&r.output)?;
             let imax = r.score();
             out.push((r.output, imax, conf));
         }

@@ -30,8 +30,10 @@ use transmark_markov::MarkovSequence;
 use crate::projector::SProjector;
 
 /// Precompiles a DFA's transition function into a kernel step graph:
-/// rows are DFA states, one edge per `(symbol, state)`.
-fn dfa_step_graph(d: &Dfa, n_symbols: usize) -> StepGraph {
+/// rows are DFA states, one edge per `(symbol, state)`. Machine-side —
+/// a [`crate::plan::PreparedProjector`] compiles it once and shares it
+/// across binds.
+pub(crate) fn dfa_step_graph(d: &Dfa, n_symbols: usize) -> StepGraph {
     let nq = d.n_states();
     let mut b = StepGraph::builder(n_symbols, nq);
     for sym in 0..n_symbols {
@@ -86,6 +88,19 @@ pub struct IndexedEvaluator<'a> {
 impl<'a> IndexedEvaluator<'a> {
     /// Builds the tables: `O(n·|Σ|²·(|Q_B| + |Q_E|))`.
     pub fn new(p: &'a SProjector, m: &'a MarkovSequence) -> Result<Self, EngineError> {
+        let bgraph = dfa_step_graph(p.prefix_dfa(), p.alphabet().len());
+        Self::with_graph(p, m, &bgraph)
+    }
+
+    /// [`IndexedEvaluator::new`] over a precompiled B-DFA step graph
+    /// (which must be `dfa_step_graph(p.prefix_dfa(), |Σ|)`). The graph is
+    /// only read during construction; the prepared-projector path shares
+    /// one graph across binds.
+    pub(crate) fn with_graph(
+        p: &'a SProjector,
+        m: &'a MarkovSequence,
+        bgraph: &StepGraph,
+    ) -> Result<Self, EngineError> {
         if p.alphabet().len() != m.n_symbols() {
             return Err(EngineError::AlphabetMismatch {
                 transducer: p.alphabet().len(),
@@ -101,7 +116,6 @@ impl<'a> IndexedEvaluator<'a> {
         // Forward over (node, B-state): a kernel sum-product pass over the
         // B-DFA's step graph. Cells are fwd[x*nb + q].
         let steps = m.sparse_steps();
-        let bgraph = dfa_step_graph(b, k);
         let mut ws: Workspace<f64> = Workspace::new();
         ws.reset(k * nb, 0.0);
         for &(node, px) in steps.initial() {
@@ -127,7 +141,7 @@ impl<'a> IndexedEvaluator<'a> {
         for step in 0..n - 1 {
             ws.clear_next(0.0);
             let (cur, next) = ws.buffers();
-            advance::<Prob>(&steps, step, &bgraph, cur, next);
+            advance::<Prob>(&steps, step, bgraph, cur, next);
             ws.swap();
             prefix_b.push(collect_prefix(ws.cur()));
         }
@@ -349,6 +363,15 @@ pub fn enumerate_indexed(
     m: &MarkovSequence,
 ) -> Result<IndexedEnumeration, EngineError> {
     let ev = IndexedEvaluator::new(p, m)?;
+    Ok(enumerate_indexed_from(&ev))
+}
+
+/// [`enumerate_indexed`] over precomputed Theorem 5.8 tables — the
+/// prepared path builds the tables once per bind and derives every
+/// enumeration from them. The returned iterator owns its DAG and borrows
+/// nothing.
+pub(crate) fn enumerate_indexed_from(ev: &IndexedEvaluator<'_>) -> IndexedEnumeration {
+    let (p, m) = (ev.p, ev.m);
     let n = m.len();
     let k = m.n_symbols();
     let a: &Dfa = p.pattern_dfa();
@@ -430,10 +453,22 @@ pub fn enumerate_indexed(
         }
     }
 
-    Ok(IndexedEnumeration {
+    IndexedEnumeration {
         paths: KBestPaths::new(dag, 0, 1),
         kinds,
-    })
+    }
+}
+
+/// [`enumerate_indexed`] over a precompiled B-DFA step graph (see
+/// [`IndexedEvaluator::with_graph`]) — used by the prepared Lawler–Murty
+/// probes, whose constrained projectors all share the original `B`.
+pub(crate) fn enumerate_indexed_with(
+    p: &SProjector,
+    m: &MarkovSequence,
+    bgraph: &StepGraph,
+) -> Result<IndexedEnumeration, EngineError> {
+    let ev = IndexedEvaluator::with_graph(p, m, bgraph)?;
+    Ok(enumerate_indexed_from(&ev))
 }
 
 /// Top-k indexed answers by confidence (stop Theorem 5.7 after `k`).

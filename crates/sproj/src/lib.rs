@@ -30,6 +30,7 @@ pub mod confidence;
 pub mod enumerate;
 pub mod evaluate;
 pub mod indexed;
+pub mod plan;
 pub mod projector;
 pub mod textio;
 
@@ -37,4 +38,5 @@ pub use confidence::sproj_confidence;
 pub use enumerate::{enumerate_by_imax, enumerate_by_imax_lawler, top_k_by_imax};
 pub use evaluate::SprojEvaluation;
 pub use indexed::{enumerate_indexed, IndexedAnswer, IndexedEvaluator};
+pub use plan::{PreparedProjector, SprojExplain};
 pub use projector::SProjector;

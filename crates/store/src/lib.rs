@@ -18,17 +18,24 @@
 //! * **cross-stream conjunctions** under the store's independence
 //!   assumption (streams are separate objects, e.g. different carts) —
 //!   [`SequenceStore::joint_event_probability`].
+//!
+//! Transducer queries compile through the plan layer: the store keeps an
+//! LRU [`PlanCache`] keyed by the machine's structural fingerprint, so a
+//! query fleet-evaluated across many streams (or re-issued later) reuses
+//! one shared [`PreparedQuery`] — including across the worker threads of
+//! [`SequenceStore::top_k_parallel`].
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use transmark_automata::{Alphabet, Nfa};
+use transmark_automata::{Alphabet, Nfa, SymbolId};
 use transmark_core::confidence::{acceptance_probability, prefix_acceptance_probabilities};
 use transmark_core::error::EngineError;
 use transmark_core::evaluate::{Evaluation, ScoredAnswer};
+use transmark_core::plan::PreparedQuery;
 use transmark_core::transducer::Transducer;
 use transmark_markov::MarkovSequence;
-use transmark_sproj::{enumerate_by_imax, SProjector};
+use transmark_sproj::{PreparedProjector, SProjector, SprojEvaluation};
 
 /// Errors of the store layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,24 +79,163 @@ impl From<EngineError> for StoreError {
     }
 }
 
+/// Default number of prepared plans a store retains ([`PlanCache`]).
+pub const DEFAULT_PLAN_CACHE_CAP: usize = 16;
+
+/// A point-in-time snapshot of [`PlanCache`] accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Plans currently cached.
+    pub len: usize,
+    /// Maximum number of plans retained before LRU eviction.
+    pub capacity: usize,
+    /// Lookups served by an already-compiled plan.
+    pub hits: u64,
+    /// Lookups that had to compile a fresh plan.
+    pub misses: u64,
+}
+
+struct PlanCacheEntry {
+    key: u64,
+    plan: Arc<PreparedQuery>,
+    last_used: u64,
+}
+
+struct PlanCacheInner {
+    entries: Vec<PlanCacheEntry>,
+    hits: u64,
+    misses: u64,
+    tick: u64,
+}
+
+/// An LRU cache of compiled transducer plans, keyed by the machine's
+/// structural fingerprint ([`Transducer::fingerprint`]).
+///
+/// The fingerprint is a 64-bit hash, so distinct machines can in
+/// principle share a key; a lookup only counts as a hit after the
+/// cached machine passes full structural equality
+/// ([`Transducer::same_structure`]) against the query. Colliding
+/// machines therefore coexist in the cache under the same key rather
+/// than poisoning each other's results. At capacity the
+/// least-recently-used plan is evicted.
+///
+/// All methods take `&self`; the cache is internally synchronized and
+/// safe to consult from the fleet-evaluation worker threads.
+pub struct PlanCache {
+    cap: usize,
+    inner: Mutex<PlanCacheInner>,
+}
+
+impl PlanCache {
+    /// Creates a cache retaining at most `cap` plans (minimum 1).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap: cap.max(1),
+            inner: Mutex::new(PlanCacheInner {
+                entries: Vec::new(),
+                hits: 0,
+                misses: 0,
+                tick: 0,
+            }),
+        }
+    }
+
+    /// Returns the cached plan for `t`, compiling and inserting one on a
+    /// miss. The returned `Arc` is shared: repeated calls with
+    /// structurally identical machines get the same allocation.
+    pub fn get_or_prepare(&self, t: &Transducer) -> Arc<PreparedQuery> {
+        self.get_or_prepare_keyed(t.fingerprint(), t)
+    }
+
+    /// [`PlanCache::get_or_prepare`] with a caller-supplied key, exposed
+    /// so collision handling is testable: structurally different
+    /// machines forced onto one key still resolve to different plans.
+    pub fn get_or_prepare_keyed(&self, key: u64, t: &Transducer) -> Arc<PreparedQuery> {
+        let mut inner = self.inner.lock().expect("plan cache lock is not poisoned");
+        inner.tick += 1;
+        let now = inner.tick;
+        if let Some(e) = inner
+            .entries
+            .iter_mut()
+            .find(|e| e.key == key && e.plan.transducer().same_structure(t))
+        {
+            e.last_used = now;
+            let plan = Arc::clone(&e.plan);
+            inner.hits += 1;
+            return plan;
+        }
+        inner.misses += 1;
+        let plan = transmark_core::plan::prepare(t);
+        if inner.entries.len() >= self.cap {
+            let lru = inner
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("cache at capacity is non-empty");
+            inner.entries.swap_remove(lru);
+        }
+        inner.entries.push(PlanCacheEntry {
+            key,
+            plan: Arc::clone(&plan),
+            last_used: now,
+        });
+        plan
+    }
+
+    /// Current accounting: size, capacity, hits, misses.
+    pub fn stats(&self) -> PlanCacheStats {
+        let inner = self.inner.lock().expect("plan cache lock is not poisoned");
+        PlanCacheStats {
+            len: inner.entries.len(),
+            capacity: self.cap,
+            hits: inner.hits,
+            misses: inner.misses,
+        }
+    }
+
+    /// Drops every cached plan (accounting is kept).
+    pub fn clear(&self) {
+        self.inner
+            .lock()
+            .expect("plan cache lock is not poisoned")
+            .entries
+            .clear();
+    }
+}
+
 /// A named collection of Markov sequences over one shared alphabet.
 pub struct SequenceStore {
     alphabet: Arc<Alphabet>,
     streams: BTreeMap<String, MarkovSequence>,
+    plans: PlanCache,
 }
 
 impl SequenceStore {
     /// Creates an empty store over `alphabet`.
     pub fn new(alphabet: impl Into<Arc<Alphabet>>) -> Self {
+        Self::with_plan_capacity(alphabet, DEFAULT_PLAN_CACHE_CAP)
+    }
+
+    /// Creates an empty store whose plan cache retains at most `cap`
+    /// compiled queries.
+    pub fn with_plan_capacity(alphabet: impl Into<Arc<Alphabet>>, cap: usize) -> Self {
         Self {
             alphabet: alphabet.into(),
             streams: BTreeMap::new(),
+            plans: PlanCache::new(cap),
         }
     }
 
     /// The shared node alphabet.
     pub fn alphabet(&self) -> &Alphabet {
         &self.alphabet
+    }
+
+    /// The store's cache of compiled transducer plans.
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plans
     }
 
     /// Number of streams.
@@ -272,15 +418,18 @@ impl SequenceStore {
         self.par_map_streams(n_threads, |_, m| Ok(acceptance_probability(query, m)?))
     }
 
-    /// Parallel [`SequenceStore::top_k`].
+    /// Parallel [`SequenceStore::top_k`]. All workers bind the same
+    /// cached `Arc<PreparedQuery>`; the machine is compiled at most once
+    /// for the whole fleet.
     pub fn top_k_parallel(
         &self,
         query: &Transducer,
         k: usize,
         n_threads: usize,
     ) -> Result<BTreeMap<String, Vec<ScoredAnswer>>, StoreError> {
+        let plan = self.plans.get_or_prepare(query);
         self.par_map_streams(n_threads, |_, m| {
-            let ev = Evaluation::new(query, m)?;
+            let ev = Evaluation::with_plan(&plan, m)?;
             Ok(ev.top_k_scored(k)?)
         })
     }
@@ -333,30 +482,63 @@ impl SequenceStore {
     // ---- Transducer and s-projector queries ------------------------------
 
     /// Top-k transducer answers (by `E_max`, with exact confidences) for
-    /// every stream.
+    /// every stream. The query compiles once through the store's
+    /// [`PlanCache`] and the shared plan is bound per stream.
     pub fn top_k(
         &self,
         query: &Transducer,
         k: usize,
     ) -> Result<BTreeMap<String, Vec<ScoredAnswer>>, StoreError> {
+        let plan = self.plans.get_or_prepare(query);
         self.streams
             .iter()
             .map(|(n, m)| {
-                let ev = Evaluation::new(query, m)?;
+                let ev = Evaluation::with_plan(&plan, m)?;
                 Ok((n.clone(), ev.top_k_scored(k)?))
             })
             .collect()
     }
 
+    /// Batch confidence: `Pr(stream →[query]→ o)` for every stream,
+    /// through one shared plan from the [`PlanCache`].
+    pub fn confidence_all(
+        &self,
+        query: &Transducer,
+        o: &[SymbolId],
+    ) -> Result<BTreeMap<String, f64>, StoreError> {
+        let plan = self.plans.get_or_prepare(query);
+        self.streams
+            .iter()
+            .map(|(n, m)| Ok((n.clone(), plan.bind(m)?.confidence(o)?)))
+            .collect()
+    }
+
+    /// Parallel [`SequenceStore::confidence_all`].
+    pub fn confidence_all_parallel(
+        &self,
+        query: &Transducer,
+        o: &[SymbolId],
+        n_threads: usize,
+    ) -> Result<BTreeMap<String, f64>, StoreError> {
+        let plan = self.plans.get_or_prepare(query);
+        self.par_map_streams(n_threads, |_, m| Ok(plan.bind(m)?.confidence(o)?))
+    }
+
     /// Top-k distinct s-projector extractions (by `I_max`) per stream.
+    /// The projector compiles to a [`PreparedProjector`] once; each
+    /// stream binds the shared plan.
     pub fn extract_top_k(
         &self,
         query: &SProjector,
         k: usize,
     ) -> Result<BTreeMap<String, Vec<transmark_core::enumerate::RankedAnswer>>, StoreError> {
+        let plan = Arc::new(PreparedProjector::new(query));
         self.streams
             .iter()
-            .map(|(n, m)| Ok((n.clone(), enumerate_by_imax(query, m)?.take(k).collect())))
+            .map(|(n, m)| {
+                let ev = SprojEvaluation::with_plan(&plan, m)?;
+                Ok((n.clone(), ev.strings()?.take(k).collect()))
+            })
             .collect()
     }
 }
@@ -670,6 +852,161 @@ mod parallel_tests {
             .event_probability_parallel(&has_b(), 4)
             .unwrap()
             .is_empty());
+    }
+}
+
+#[cfg(test)]
+mod plan_cache_tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use transmark_markov::generate::{random_markov_sequence, RandomChainSpec};
+
+    fn store_with_streams(k: usize) -> SequenceStore {
+        let alphabet = Alphabet::of_chars("ab");
+        let mut store = SequenceStore::new(alphabet);
+        let mut rng = StdRng::seed_from_u64(41);
+        for i in 0..k {
+            let m = random_markov_sequence(
+                &RandomChainSpec {
+                    len: 5,
+                    n_symbols: 2,
+                    zero_prob: 0.2,
+                },
+                &mut rng,
+            );
+            store.insert(format!("s{i:03}"), m).unwrap();
+        }
+        store
+    }
+
+    /// Identity transducer over the two-symbol alphabet.
+    fn identity(alphabet: &Arc<Alphabet>) -> Transducer {
+        let mut b = Transducer::builder(Arc::clone(alphabet), Arc::clone(alphabet));
+        let q = b.add_state(true);
+        for s in 0..2u32 {
+            b.add_transition(q, SymbolId(s), q, &[SymbolId(s)]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    /// Swap transducer (a→b, b→a): structurally distinct from identity.
+    fn swap(alphabet: &Arc<Alphabet>) -> Transducer {
+        let mut b = Transducer::builder(Arc::clone(alphabet), Arc::clone(alphabet));
+        let q = b.add_state(true);
+        for s in 0..2u32 {
+            b.add_transition(q, SymbolId(s), q, &[SymbolId(1 - s)]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let store = store_with_streams(3);
+        let alphabet = Arc::clone(&store.alphabet);
+        let t = identity(&alphabet);
+        assert_eq!(store.plan_cache().stats().misses, 0);
+        store.top_k(&t, 2).unwrap();
+        let s1 = store.plan_cache().stats();
+        assert_eq!((s1.len, s1.hits, s1.misses), (1, 0, 1));
+        // Re-issuing the same query (even via a fresh, structurally
+        // identical machine) hits.
+        store.top_k(&identity(&alphabet), 2).unwrap();
+        let s2 = store.plan_cache().stats();
+        assert_eq!((s2.len, s2.hits, s2.misses), (1, 1, 1));
+        // A different machine misses and coexists.
+        store.top_k(&swap(&alphabet), 2).unwrap();
+        let s3 = store.plan_cache().stats();
+        assert_eq!((s3.len, s3.hits, s3.misses), (2, 1, 2));
+    }
+
+    #[test]
+    fn forced_key_collisions_resolve_by_structure() {
+        let alphabet = Arc::new(Alphabet::of_chars("ab"));
+        let cache = PlanCache::new(8);
+        let (t1, t2) = (identity(&alphabet), swap(&alphabet));
+        assert!(!t1.same_structure(&t2));
+        // Same 64-bit key, different machines: both get (and keep) their
+        // own plan.
+        let p1 = cache.get_or_prepare_keyed(42, &t1);
+        let p2 = cache.get_or_prepare_keyed(42, &t2);
+        assert!(!Arc::ptr_eq(&p1, &p2));
+        assert!(p1.transducer().same_structure(&t1));
+        assert!(p2.transducer().same_structure(&t2));
+        // Lookups under the colliding key route to the structurally
+        // matching entry.
+        assert!(Arc::ptr_eq(&cache.get_or_prepare_keyed(42, &t1), &p1));
+        assert!(Arc::ptr_eq(&cache.get_or_prepare_keyed(42, &t2), &p2));
+        let s = cache.stats();
+        assert_eq!((s.len, s.hits, s.misses), (2, 2, 2));
+    }
+
+    #[test]
+    fn eviction_at_capacity_is_lru() {
+        let alphabet = Arc::new(Alphabet::of_chars("ab"));
+        let cache = PlanCache::new(2);
+        let (t1, t2) = (identity(&alphabet), swap(&alphabet));
+        // A third structurally distinct machine: two states.
+        let t3 = {
+            let mut b = Transducer::builder(Arc::clone(&alphabet), Arc::clone(&alphabet));
+            let q0 = b.add_state(false);
+            let q1 = b.add_state(true);
+            for s in 0..2u32 {
+                b.add_transition(q0, SymbolId(s), q1, &[SymbolId(s)]).unwrap();
+                b.add_transition(q1, SymbolId(s), q1, &[SymbolId(s)]).unwrap();
+            }
+            b.build().unwrap()
+        };
+        let p1 = cache.get_or_prepare(&t1);
+        cache.get_or_prepare(&t2);
+        // Touch t1 so t2 becomes least recently used, then overflow.
+        assert!(Arc::ptr_eq(&cache.get_or_prepare(&t1), &p1));
+        cache.get_or_prepare(&t3);
+        assert_eq!(cache.stats().len, 2);
+        // t1 survived (hit), t2 was evicted (fresh miss recompiles).
+        assert!(Arc::ptr_eq(&cache.get_or_prepare(&t1), &p1));
+        let before = cache.stats().misses;
+        cache.get_or_prepare(&t2);
+        assert_eq!(cache.stats().misses, before + 1);
+    }
+
+    #[test]
+    fn fleet_evaluation_shares_one_plan() {
+        let store = store_with_streams(17);
+        let alphabet = Arc::clone(&store.alphabet);
+        let t = identity(&alphabet);
+        let seq = store.top_k(&t, 3).unwrap();
+        let par = store.top_k_parallel(&t, 3, 4).unwrap();
+        // One compile total across both fleet passes; results bitwise
+        // identical (same plan artifacts, same accumulation order).
+        let s = store.plan_cache().stats();
+        assert_eq!((s.len, s.misses), (1, 1));
+        assert!(s.hits >= 1);
+        assert_eq!(seq.len(), par.len());
+        for (name, answers) in &seq {
+            let pars = &par[name];
+            assert_eq!(answers.len(), pars.len(), "stream {name}");
+            for (a, b) in answers.iter().zip(pars.iter()) {
+                assert_eq!(a.output, b.output);
+                assert_eq!(a.confidence.to_bits(), b.confidence.to_bits());
+                assert_eq!(a.emax.to_bits(), b.emax.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_confidence_matches_per_stream_evaluation() {
+        let store = store_with_streams(8);
+        let alphabet = Arc::clone(&store.alphabet);
+        let t = identity(&alphabet);
+        let o = [SymbolId(0), SymbolId(1)];
+        let batch = store.confidence_all(&t, &o).unwrap();
+        let batch_par = store.confidence_all_parallel(&t, &o, 3).unwrap();
+        assert_eq!(batch, batch_par);
+        for (name, c) in &batch {
+            let m = store.get(name).unwrap();
+            let want = transmark_core::confidence(&t, m, &o).unwrap();
+            assert_eq!(c.to_bits(), want.to_bits(), "stream {name}");
+        }
     }
 }
 

@@ -8,15 +8,22 @@
 //! tmk show <sequence.tms>
 //! tmk map <sequence.tms>
 //! tmk sample <sequence.tms> [--count N] [--seed S]
-//! tmk top <sequence.tms> <query.tmt> [--k N]
-//! tmk enumerate <sequence.tms> <query.tmt> [--limit N]
-//! tmk confidence <sequence.tms> <query.tmt> <output-symbol>...
+//! tmk top <sequence.tms> <query.tmt> [--k N] [--explain]
+//! tmk enumerate <sequence.tms> <query.tmt> [--limit N] [--explain]
+//! tmk confidence <sequence.tms> <query.tmt> [--explain] <output-symbol>...
 //! tmk evidences <sequence.tms> <query.tmt> [--k N] <output-symbol>...
-//! tmk extract <sequence.tms> <query.tmp> [--k N]
-//! tmk occurrences <sequence.tms> <query.tmp> [--k N]
+//! tmk batch <query.tmt> <sequence.tms>... [--k N] [--explain]
+//! tmk extract <sequence.tms> <query.tmp> [--k N] [--explain]
+//! tmk occurrences <sequence.tms> <query.tmp> [--k N] [--explain]
 //! tmk posterior <model.tmh> --out <file.tms> <observation>...
 //! tmk export-example <directory>
 //! ```
+//!
+//! Transducer and s-projector commands compile the query into a
+//! prepared plan first; `--explain` prints the chosen plan (its Table 2
+//! route, machine shape, and precompile cost) before the results.
+//! `batch` compiles the query once and binds the one shared plan to
+//! every sequence file in turn.
 //!
 //! Sequences use the `markov-sequence v1` format
 //! ([`transmark_markov::textio`]); queries use `transducer v1`
@@ -25,11 +32,11 @@
 use std::fmt::Write as _;
 use std::path::Path;
 
-use transmark_core::confidence::confidence;
-use transmark_core::enumerate::{enumerate_unranked, top_k_by_emax};
+use transmark_core::evaluate::Evaluation;
 use transmark_core::evidence::top_k_evidences;
 use transmark_core::transducer::Transducer;
 use transmark_markov::MarkovSequence;
+use transmark_sproj::SprojEvaluation;
 
 /// A CLI failure: message plus suggested exit code.
 #[derive(Debug)]
@@ -74,10 +81,16 @@ USAGE:
   tmk confidence <sequence.tms> <query.tmt> <sym>...    confidence of one output
   tmk evidences <sequence.tms> <query.tmt> [--k N] <sym>...
                                                         most likely worlds behind an output
+  tmk batch <query.tmt> <seq.tms>... [--k N]            one query, many sequences, one shared plan
   tmk extract <sequence.tms> <query.tmp> [--k N]        s-projector: distinct strings by I_max
   tmk occurrences <sequence.tms> <query.tmp> [--k N]    s-projector: (string, position) by confidence
   tmk posterior <model.tmh> --out <f.tms> <obs>...      condition an HMM, write the posterior
   tmk export-example <dir>                              write the paper's running example
+
+OPTIONS:
+  --explain   (top, enumerate, confidence, batch, extract, occurrences)
+              print the compiled query plan — its Table 2 route, machine
+              shape, and precompile cost — before the results
 
 FILES:
   .tms — markov-sequence v1 (see transmark_markov::textio)
@@ -97,6 +110,17 @@ fn take_opt(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, CliErr
         Ok(Some(value))
     } else {
         Ok(None)
+    }
+}
+
+/// Removes a boolean `--flag` from the argument list, reporting whether
+/// it was present.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        args.remove(pos);
+        true
+    } else {
+        false
     }
 }
 
@@ -201,21 +225,25 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 .map(|v| parse_usize(&v, "--k"))
                 .transpose()?
                 .unwrap_or(10);
+            let explain = take_flag(&mut args, "--explain");
             let [seq_path, query_path] = positional::<2>(args)?;
             let m = load_sequence(&seq_path)?;
             let t = load_transducer(&query_path)?;
-            let answers = top_k_by_emax(&t, &m, k).map_err(run_err)?;
+            let ev = Evaluation::new(&t, &m).map_err(run_err)?;
+            if explain {
+                let _ = writeln!(out, "{}", ev.explain());
+            }
+            let answers = ev.top_k_scored(k).map_err(run_err)?;
             if answers.is_empty() {
                 let _ = writeln!(out, "(no answers)");
             }
             for a in answers {
-                let conf = confidence(&t, &m, &a.output).map_err(run_err)?;
                 let _ = writeln!(
                     out,
                     "{:<30} E_max = {:.6}  confidence = {:.6}",
                     render(&t, &a.output),
-                    a.score(),
-                    conf
+                    a.emax,
+                    a.confidence
                 );
             }
         }
@@ -224,14 +252,20 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 .map(|v| parse_usize(&v, "--limit"))
                 .transpose()?
                 .unwrap_or(usize::MAX);
+            let explain = take_flag(&mut args, "--explain");
             let [seq_path, query_path] = positional::<2>(args)?;
             let m = load_sequence(&seq_path)?;
             let t = load_transducer(&query_path)?;
-            for o in enumerate_unranked(&t, &m).map_err(run_err)?.take(limit) {
+            let ev = Evaluation::new(&t, &m).map_err(run_err)?;
+            if explain {
+                let _ = writeln!(out, "{}", ev.explain());
+            }
+            for o in ev.unranked().map_err(run_err)?.take(limit) {
                 let _ = writeln!(out, "{}", render(&t, &o));
             }
         }
         "confidence" => {
+            let explain = take_flag(&mut args, "--explain");
             if args.len() < 2 {
                 return Err(usage_err("confidence needs <sequence> <query> <symbols…>"));
             }
@@ -240,8 +274,47 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let m = load_sequence(&seq_path)?;
             let t = load_transducer(&query_path)?;
             let o = parse_output(&t, &args)?;
-            let c = confidence(&t, &m, &o).map_err(run_err)?;
+            let ev = Evaluation::new(&t, &m).map_err(run_err)?;
+            if explain {
+                let _ = writeln!(out, "{}", ev.explain());
+            }
+            let c = ev.confidence(&o).map_err(run_err)?;
             let _ = writeln!(out, "{c}");
+        }
+        "batch" => {
+            let k = take_opt(&mut args, "--k")?
+                .map(|v| parse_usize(&v, "--k"))
+                .transpose()?
+                .unwrap_or(10);
+            let explain = take_flag(&mut args, "--explain");
+            if args.len() < 2 {
+                return Err(usage_err("batch needs <query.tmt> <sequence.tms>…"));
+            }
+            let query_path = args.remove(0);
+            let t = load_transducer(&query_path)?;
+            // Compile once; every sequence file binds the same plan.
+            let plan = transmark_core::prepare(&t);
+            if explain {
+                let _ = writeln!(out, "{}", plan.explain());
+            }
+            for seq_path in &args {
+                let m = load_sequence(seq_path)?;
+                let ev = Evaluation::with_plan(&plan, &m).map_err(run_err)?;
+                let _ = writeln!(out, "== {seq_path}");
+                let answers = ev.top_k_scored(k).map_err(run_err)?;
+                if answers.is_empty() {
+                    let _ = writeln!(out, "(no answers)");
+                }
+                for a in answers {
+                    let _ = writeln!(
+                        out,
+                        "{:<30} E_max = {:.6}  confidence = {:.6}",
+                        render(&t, &a.output),
+                        a.emax,
+                        a.confidence
+                    );
+                }
+            }
         }
         "evidences" => {
             let k = take_opt(&mut args, "--k")?
@@ -270,21 +343,22 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 .map(|v| parse_usize(&v, "--k"))
                 .transpose()?
                 .unwrap_or(10);
+            let explain = take_flag(&mut args, "--explain");
             let [seq_path, query_path] = positional::<2>(args)?;
             let m = load_sequence(&seq_path)?;
             let p = load_sprojector(&query_path)?;
-            for r in transmark_sproj::enumerate_by_imax(&p, &m)
-                .map_err(run_err)?
-                .take(k)
-            {
+            let ev = SprojEvaluation::new(&p, &m).map_err(run_err)?;
+            if explain {
+                let _ = writeln!(out, "{}", ev.explain());
+            }
+            for r in ev.strings().map_err(run_err)?.take(k) {
                 let text = m.alphabet().render(&r.output, "");
                 let rendered = if text.is_empty() {
                     "ε".to_string()
                 } else {
                     text
                 };
-                let exact =
-                    transmark_sproj::sproj_confidence(&p, &m, &r.output).map_err(run_err)?;
+                let exact = ev.confidence(&r.output).map_err(run_err)?;
                 let _ = writeln!(
                     out,
                     "{rendered:<24} I_max = {:.6}  confidence = {exact:.6}",
@@ -297,13 +371,15 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 .map(|v| parse_usize(&v, "--k"))
                 .transpose()?
                 .unwrap_or(10);
+            let explain = take_flag(&mut args, "--explain");
             let [seq_path, query_path] = positional::<2>(args)?;
             let m = load_sequence(&seq_path)?;
             let p = load_sprojector(&query_path)?;
-            for ia in transmark_sproj::enumerate_indexed(&p, &m)
-                .map_err(run_err)?
-                .take(k)
-            {
+            let ev = SprojEvaluation::new(&p, &m).map_err(run_err)?;
+            if explain {
+                let _ = writeln!(out, "{}", ev.explain());
+            }
+            for ia in ev.occurrences().map_err(run_err)?.take(k) {
                 let text = m.alphabet().render(&ia.output, "");
                 let rendered = if text.is_empty() {
                     "ε".to_string()

@@ -116,6 +116,43 @@ fn export_then_query_round_trip() {
 }
 
 #[test]
+fn explain_and_batch_commands() {
+    let dir = scratch("explain");
+    run(&args(&["export-example", dir.to_str().unwrap()])).expect("export");
+    let seq = dir.join("hospital.tms");
+    let query = dir.join("room_tracker.tmt");
+    let (seq, query) = (seq.to_str().unwrap(), query.to_str().unwrap());
+
+    // --explain prepends the plan; results are unchanged.
+    let plain = run(&args(&["top", seq, query, "--k", "2"])).expect("top");
+    let explained = run(&args(&["top", seq, query, "--k", "2", "--explain"])).expect("explain");
+    assert!(explained.contains("plan:"), "{explained}");
+    assert!(explained.contains("Thm"), "{explained}");
+    assert!(explained.ends_with(&plain), "{explained}");
+
+    let out = run(&args(&["confidence", seq, query, "--explain", "1", "2"])).expect("confidence");
+    assert!(out.contains("plan:"), "{out}");
+    let value: f64 = out.lines().last().unwrap().trim().parse().expect("a number");
+    assert!((value - 0.4038).abs() < 1e-9);
+
+    // batch: one plan, several sequence files, sections per file.
+    let seq2 = dir.join("hospital2.tms");
+    std::fs::copy(seq, &seq2).expect("copy sequence");
+    let seq2 = seq2.to_str().unwrap();
+    let out = run(&args(&["batch", query, seq, seq2, "--k", "1", "--explain"])).expect("batch");
+    assert!(out.contains("plan:"), "{out}");
+    assert!(out.contains(&format!("== {seq}")), "{out}");
+    assert!(out.contains(&format!("== {seq2}")), "{out}");
+    // Identical sequences get identical sections.
+    let lines: Vec<&str> = out.lines().collect();
+    let first = lines.iter().position(|l| l.starts_with("== ")).unwrap();
+    assert_eq!(lines[first + 1], lines[first + 3], "{out}");
+    assert!(lines[first + 1].contains("0.403800"), "{out}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn usage_errors_are_reported() {
     let e = run(&[]).unwrap_err();
     assert_eq!(e.exit_code, 2);
