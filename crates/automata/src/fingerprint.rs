@@ -141,12 +141,18 @@ mod tests {
 
     #[test]
     fn identical_structures_agree() {
-        assert_eq!(two_state_nfa(true).fingerprint(), two_state_nfa(true).fingerprint());
+        assert_eq!(
+            two_state_nfa(true).fingerprint(),
+            two_state_nfa(true).fingerprint()
+        );
     }
 
     #[test]
     fn accepting_flip_changes_fingerprint() {
-        assert_ne!(two_state_nfa(true).fingerprint(), two_state_nfa(false).fingerprint());
+        assert_ne!(
+            two_state_nfa(true).fingerprint(),
+            two_state_nfa(false).fingerprint()
+        );
     }
 
     #[test]

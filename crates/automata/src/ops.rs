@@ -24,34 +24,39 @@ use crate::nfa::{Nfa, StateId};
 // Determinization
 // ---------------------------------------------------------------------------
 
-/// On-the-fly subset construction over an [`Nfa`].
+/// The NFA-free state of an on-the-fly subset construction: interned
+/// subsets, their dense ids, and the cached transition table.
 ///
-/// Determinized states are interned lazily: [`Determinizer::step`] computes
-/// (and caches) the successor of a subset-state under a symbol. Subset
-/// states are identified by dense `usize` ids; id `0` is the initial subset
-/// `{q0}`.
-pub struct Determinizer<'a> {
-    nfa: &'a Nfa,
+/// [`Determinizer`] wraps this with a borrowed NFA for the common case; a
+/// consumer that *owns* its NFA (e.g. a long-lived streaming monitor)
+/// holds a `DetCore` beside the automaton and passes `&Nfa` per call —
+/// avoiding the self-referential borrow a `Determinizer<'a>` field would
+/// force. Both produce identical subset ids: `{q0}` is id `0` and new
+/// subsets are interned densely in discovery order, so reductions that
+/// order by id are bit-reproducible across either form.
+pub struct DetCore {
     accepting: BitSet,
     subsets: Vec<BitSet>,
     ids: HashMap<BitSet, usize>,
     /// Cached transitions: `trans[id * n_symbols + sym]`, `usize::MAX` = not
     /// yet computed.
     trans: Vec<usize>,
+    n_symbols: usize,
 }
 
-impl<'a> Determinizer<'a> {
-    /// Starts determinizing `nfa`.
-    pub fn new(nfa: &'a Nfa) -> Self {
+impl DetCore {
+    /// Starts a subset construction for `nfa`. Every later call must pass
+    /// the same automaton.
+    pub fn new(nfa: &Nfa) -> Self {
         let init = BitSet::singleton(nfa.n_states().max(1), nfa.initial().index());
         let mut ids = HashMap::new();
         ids.insert(init.clone(), 0);
         Self {
             accepting: nfa.accepting_set(),
-            nfa,
             subsets: vec![init],
             ids,
             trans: vec![usize::MAX; nfa.n_symbols()],
+            n_symbols: nfa.n_symbols(),
         }
     }
 
@@ -81,27 +86,79 @@ impl<'a> Determinizer<'a> {
         self.subsets[id].is_empty()
     }
 
-    /// The successor of subset-state `id` under `symbol`.
-    pub fn step(&mut self, id: usize, symbol: SymbolId) -> usize {
-        let slot = id * self.nfa.n_symbols() + symbol.index();
+    /// The successor of subset-state `id` under `symbol`. `nfa` must be
+    /// the automaton this core was created from.
+    pub fn step(&mut self, nfa: &Nfa, id: usize, symbol: SymbolId) -> usize {
+        let slot = id * self.n_symbols + symbol.index();
         let cached = self.trans[slot];
         if cached != usize::MAX {
             return cached;
         }
-        let next = self.nfa.step_set(&self.subsets[id], symbol);
+        let next = nfa.step_set(&self.subsets[id], symbol);
         let next_id = match self.ids.get(&next) {
             Some(&i) => i,
             None => {
                 let i = self.subsets.len();
                 self.ids.insert(next.clone(), i);
                 self.subsets.push(next);
-                self.trans
-                    .extend((0..self.nfa.n_symbols()).map(|_| usize::MAX));
+                self.trans.extend((0..self.n_symbols).map(|_| usize::MAX));
                 i
             }
         };
         self.trans[slot] = next_id;
         next_id
+    }
+}
+
+/// On-the-fly subset construction over an [`Nfa`].
+///
+/// Determinized states are interned lazily: [`Determinizer::step`] computes
+/// (and caches) the successor of a subset-state under a symbol. Subset
+/// states are identified by dense `usize` ids; id `0` is the initial subset
+/// `{q0}`. A thin borrow-carrying wrapper around [`DetCore`].
+pub struct Determinizer<'a> {
+    nfa: &'a Nfa,
+    core: DetCore,
+}
+
+impl<'a> Determinizer<'a> {
+    /// Starts determinizing `nfa`.
+    pub fn new(nfa: &'a Nfa) -> Self {
+        Self {
+            core: DetCore::new(nfa),
+            nfa,
+        }
+    }
+
+    /// The id of the initial subset `{q0}`.
+    pub fn initial(&self) -> usize {
+        self.core.initial()
+    }
+
+    /// Number of subset states materialized so far.
+    pub fn n_materialized(&self) -> usize {
+        self.core.n_materialized()
+    }
+
+    /// The subset of NFA states behind a determinized state.
+    pub fn subset(&self, id: usize) -> &BitSet {
+        self.core.subset(id)
+    }
+
+    /// Whether the determinized state is accepting (its subset contains an
+    /// accepting NFA state).
+    pub fn is_accepting(&self, id: usize) -> bool {
+        self.core.is_accepting(id)
+    }
+
+    /// Whether the determinized state is the dead (empty) subset.
+    pub fn is_dead(&self, id: usize) -> bool {
+        self.core.is_dead(id)
+    }
+
+    /// The successor of subset-state `id` under `symbol`.
+    pub fn step(&mut self, id: usize, symbol: SymbolId) -> usize {
+        self.core.step(self.nfa, id, symbol)
     }
 }
 
@@ -488,6 +545,27 @@ mod tests {
             }
             assert_eq!(det.is_accepting(id), d.accepts(&s), "mismatch on {s:?}");
         }
+    }
+
+    /// A `DetCore` driven directly must intern the exact same subset ids,
+    /// in the same discovery order, as the borrowing `Determinizer`.
+    #[test]
+    fn det_core_ids_match_determinizer() {
+        let n = ends_ab();
+        let mut wrapper = Determinizer::new(&n);
+        let mut core = DetCore::new(&n);
+        for s in all_strings(2, 5) {
+            let mut a = wrapper.initial();
+            let mut b = core.initial();
+            for &c in &s {
+                a = wrapper.step(a, c);
+                b = core.step(&n, b, c);
+                assert_eq!(a, b, "subset id diverged on {s:?}");
+            }
+            assert_eq!(wrapper.is_accepting(a), core.is_accepting(b));
+            assert_eq!(wrapper.is_dead(a), core.is_dead(b));
+        }
+        assert_eq!(wrapper.n_materialized(), core.n_materialized());
     }
 
     #[test]

@@ -45,7 +45,7 @@ fn forward_pass<S: Semiring>(
     for step in 0..steps.n_steps() {
         ws.clear_next(S::zero());
         let (cur, next) = ws.buffers();
-        advance::<S>(steps, step, graph, cur, next);
+        advance::<S, _>(&steps.at(step), graph, cur, next);
         ws.swap();
     }
     black_box(ws.cur());
@@ -116,5 +116,11 @@ fn bench_sparsity(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_precompile, bench_prepared_split, bench_semirings, bench_sparsity);
+criterion_group!(
+    benches,
+    bench_precompile,
+    bench_prepared_split,
+    bench_semirings,
+    bench_sparsity
+);
 criterion_main!(benches);

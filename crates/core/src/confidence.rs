@@ -28,9 +28,11 @@
 //! accumulation at the final reduction; per-cell accumulation is plain
 //! `f64` (additions of nonnegative numbers — no cancellation).
 
-use transmark_automata::{ops::Determinizer, BitSet, Nfa, StateId, SymbolId};
-use transmark_kernel::{advance, advance_filtered, Bool, Prob, StepGraph, SubsetLayer, Workspace};
-use transmark_markov::MarkovSequence;
+use transmark_automata::{ops::DetCore, BitSet, Nfa, StateId, SymbolId};
+use transmark_kernel::{
+    advance, advance_filtered, Bool, LayerCsr, Prob, StepGraph, SubsetLayer, Workspace,
+};
+use transmark_markov::{MarkovSequence, StepSource};
 
 use crate::error::EngineError;
 use crate::kernelize::{emission_id_for, output_step_graph, state_step_graph};
@@ -41,6 +43,15 @@ use crate::transducer::Transducer;
 // precompiled artifacts. The free functions build the artifacts exactly as
 // they always did; `crate::plan`'s bound queries pass cached ones. Both
 // routes execute the identical loop, so outputs agree bit for bit.
+//
+// Every forward-only pass additionally has a `*_source` form that pulls
+// its layers from a [`StepSource`] instead of a materialized sequence.
+// The per-layer arithmetic is shared (the in-memory form feeds the same
+// helpers its contiguous `transition_matrix` slices; the flat-layer DPs
+// compact each pulled matrix through the kernel's [`LayerCsr`], which
+// reproduces a materialized CSR's rows exactly), so streamed results are
+// bit-identical to in-memory ones while holding only O(|Σ|²) of sequence
+// data at a time.
 
 /// Validates that the transducer and sequence share an input alphabet and
 /// that `o` is over the output alphabet.
@@ -65,6 +76,45 @@ pub(crate) fn check_inputs(
                 });
             }
         }
+    }
+    Ok(())
+}
+
+/// The [`check_inputs`] counterpart for streamed passes: validates the
+/// output symbols and that the source's node alphabet matches the
+/// machine's input alphabet, and that the source's step cursor has not
+/// already been advanced (every streamed pass is single left-to-right).
+pub(crate) fn check_source_inputs<S: StepSource>(
+    t: &Transducer,
+    src: &S,
+    o: Option<&[SymbolId]>,
+) -> Result<(), EngineError> {
+    if t.n_input_symbols() != src.alphabet().len() {
+        return Err(EngineError::AlphabetMismatch {
+            transducer: t.n_input_symbols(),
+            sequence: src.alphabet().len(),
+        });
+    }
+    if let Some(o) = o {
+        for &d in o {
+            if d.index() >= t.n_output_symbols() {
+                return Err(EngineError::InvalidSymbol {
+                    symbol: d.index(),
+                    n_symbols: t.n_output_symbols(),
+                    alphabet: "output",
+                });
+            }
+        }
+    }
+    check_source_fresh(src)
+}
+
+/// Errors unless the source's cursor is at step 0.
+pub(crate) fn check_source_fresh<S: StepSource>(src: &S) -> Result<(), EngineError> {
+    if src.position() != 0 {
+        return Err(EngineError::SourceConsumed {
+            position: src.position(),
+        });
     }
     Ok(())
 }
@@ -145,7 +195,7 @@ pub(crate) fn confidence_deterministic_impl(
     for i in 0..n - 1 {
         ws.clear_next(0.0);
         let (cur, next) = ws.buffers();
-        advance::<Prob>(steps, i, graph, cur, next);
+        advance::<Prob, _>(&steps.at(i), graph, cur, next);
         ws.swap();
     }
 
@@ -160,6 +210,51 @@ pub(crate) fn confidence_deterministic_impl(
         }
     }
     total.total()
+}
+
+/// [`confidence_deterministic_impl`] over a streamed source: each pulled
+/// dense layer is compacted into a [`LayerCsr`] (identical rows to the
+/// materialized CSR) and advanced immediately, so memory stays
+/// O(|Σ|·rows) regardless of `n`.
+pub(crate) fn confidence_deterministic_source_impl<S: StepSource>(
+    t: &Transducer,
+    src: &mut S,
+    graph: &StepGraph,
+    ws: &mut Workspace<f64>,
+    o_len: usize,
+) -> Result<f64, EngineError> {
+    let n_nodes = src.alphabet().len();
+    let nq = t.n_states();
+    let width = o_len + 1;
+    let nr = graph.n_rows();
+
+    ws.reset(n_nodes * nr, 0.0);
+    let init_row = (t.initial().index() * width) as u32;
+    for (node, &p) in src.initial().iter().enumerate() {
+        if p > 0.0 {
+            for e in graph.edges(node as u32, init_row) {
+                ws.cur_mut()[node * nr + e.to as usize] += p;
+            }
+        }
+    }
+    let mut csr = LayerCsr::new();
+    while let Some(matrix) = src.next_step()? {
+        csr.load_dense(n_nodes, matrix);
+        ws.clear_next(0.0);
+        let (cur, next) = ws.buffers();
+        advance::<Prob, _>(&csr, graph, cur, next);
+        ws.swap();
+    }
+    let cur = ws.cur();
+    let mut total = transmark_kernel::Neumaier::new();
+    for node in 0..n_nodes {
+        for q in 0..nq {
+            if t.is_accepting(StateId(q as u32)) {
+                total.add(cur[node * nr + q * width + o_len]);
+            }
+        }
+    }
+    Ok(total.total())
 }
 
 /// k-uniform fast path of Theorem 4.6: the output position is forced to
@@ -197,7 +292,7 @@ pub(crate) fn confidence_deterministic_uniform_impl(
         let expected = emission_id(&o[k * (i + 1)..k * (i + 2)]);
         ws.clear_next(0.0);
         let (cur, next) = ws.buffers();
-        advance_filtered::<Prob>(steps, i, graph, expected, cur, next);
+        advance_filtered::<Prob, _>(&steps.at(i), graph, expected, cur, next);
         ws.swap();
     }
     let cur = ws.cur();
@@ -210,6 +305,57 @@ pub(crate) fn confidence_deterministic_uniform_impl(
         }
     }
     total.total()
+}
+
+/// [`confidence_deterministic_uniform_impl`] over a streamed source.
+pub(crate) fn confidence_deterministic_uniform_source_impl<S: StepSource>(
+    t: &Transducer,
+    src: &mut S,
+    graph: &StepGraph,
+    ws: &mut Workspace<f64>,
+    o: &[SymbolId],
+    k: usize,
+    emission_id: &mut dyn FnMut(&[SymbolId]) -> u32,
+) -> Result<f64, EngineError> {
+    let n = src.len();
+    if o.len() != k * n {
+        return Ok(0.0);
+    }
+    let n_nodes = src.alphabet().len();
+    let nq = t.n_states();
+
+    ws.reset(n_nodes * nq, 0.0);
+    let seed_id = emission_id(&o[..k]);
+    for (node, &p) in src.initial().iter().enumerate() {
+        if p > 0.0 {
+            for e in graph.edges(node as u32, t.initial().0) {
+                if e.payload == seed_id {
+                    ws.cur_mut()[node * nq + e.to as usize] += p;
+                }
+            }
+        }
+    }
+    let mut csr = LayerCsr::new();
+    let mut i = 0usize;
+    while let Some(matrix) = src.next_step()? {
+        let expected = emission_id(&o[k * (i + 1)..k * (i + 2)]);
+        i += 1;
+        csr.load_dense(n_nodes, matrix);
+        ws.clear_next(0.0);
+        let (cur, next) = ws.buffers();
+        advance_filtered::<Prob, _>(&csr, graph, expected, cur, next);
+        ws.swap();
+    }
+    let cur = ws.cur();
+    let mut total = transmark_kernel::Neumaier::new();
+    for node in 0..n_nodes {
+        for q in 0..nq {
+            if t.is_accepting(StateId(q as u32)) {
+                total.add(cur[node * nq + q]);
+            }
+        }
+    }
+    Ok(total.total())
 }
 
 // ---------------------------------------------------------------------------
@@ -248,6 +394,71 @@ pub fn confidence_uniform_nfa(
     ))
 }
 
+/// Seeds the Thm 4.8 layer from a dense initial distribution: one
+/// reachable-state set per positive-probability node, gated by the seed
+/// emission id.
+fn uniform_nfa_seed(
+    t: &Transducer,
+    graph: &StepGraph,
+    initial: &[f64],
+    seed_id: u32,
+) -> SubsetLayer<(u32, BitSet)> {
+    let nq = t.n_states();
+    let mut layer: SubsetLayer<(u32, BitSet)> = SubsetLayer::new();
+    for (node, &p) in initial.iter().enumerate() {
+        if p == 0.0 {
+            continue;
+        }
+        let mut set = BitSet::new(nq.max(1));
+        for e in graph.edges(node as u32, t.initial().0) {
+            if e.payload == seed_id {
+                set.insert(e.to as usize);
+            }
+        }
+        if !set.is_empty() {
+            layer.add((node as u32, set), p);
+        }
+    }
+    layer
+}
+
+/// Advances the Thm 4.8 layer by one dense row-major `|Σ|²` matrix, gated
+/// by the step's expected emission id. Scanning the dense row and skipping
+/// zeros visits exactly the pairs `transitions_from` used to yield, in the
+/// same ascending order, so the fold is bit-identical to the historical
+/// sequence-walking loop.
+fn uniform_nfa_step(
+    t: &Transducer,
+    graph: &StepGraph,
+    layer: SubsetLayer<(u32, BitSet)>,
+    matrix: &[f64],
+    n_sym: usize,
+    expected: u32,
+) -> SubsetLayer<(u32, BitSet)> {
+    let nq = t.n_states();
+    let mut next: SubsetLayer<(u32, BitSet)> = SubsetLayer::with_capacity(layer.len());
+    for ((node, set), p) in layer.sorted() {
+        let row = &matrix[node as usize * n_sym..(node as usize + 1) * n_sym];
+        for (to, &pt) in row.iter().enumerate() {
+            if pt <= 0.0 {
+                continue;
+            }
+            let mut set2 = BitSet::new(nq.max(1));
+            for q in set.iter() {
+                for e in graph.edges(to as u32, q as u32) {
+                    if e.payload == expected {
+                        set2.insert(e.to as usize);
+                    }
+                }
+            }
+            if !set2.is_empty() {
+                next.add((to as u32, set2), p * pt);
+            }
+        }
+    }
+    next
+}
+
 /// The Thm 4.8 subset DP over precompiled artifacts. `graph` must be
 /// `state_step_graph(t)` and `accepting` the accepting-state bitset.
 pub(crate) fn confidence_uniform_nfa_impl(
@@ -263,46 +474,38 @@ pub(crate) fn confidence_uniform_nfa_impl(
     if o.len() != k * n {
         return 0.0;
     }
-    let nq = t.n_states();
-    // layer: (node, reachable-set) → probability mass.
-    let mut layer: SubsetLayer<(u32, BitSet)> = SubsetLayer::new();
-    let seed_id = emission_id(&o[..k]);
-    for node in 0..m.n_symbols() {
-        let p = m.initial_prob(SymbolId(node as u32));
-        if p == 0.0 {
-            continue;
-        }
-        let mut set = BitSet::new(nq.max(1));
-        for e in graph.edges(node as u32, t.initial().0) {
-            if e.payload == seed_id {
-                set.insert(e.to as usize);
-            }
-        }
-        if !set.is_empty() {
-            layer.add((node as u32, set), p);
-        }
-    }
+    let n_sym = m.n_symbols();
+    let mut layer = uniform_nfa_seed(t, graph, m.initial_dist(), emission_id(&o[..k]));
     for i in 0..n - 1 {
         let expected = emission_id(&o[k * (i + 1)..k * (i + 2)]);
-        let mut next: SubsetLayer<(u32, BitSet)> = SubsetLayer::with_capacity(layer.len());
-        for ((node, set), p) in layer.sorted() {
-            for (to, pt) in m.transitions_from(i, SymbolId(node)) {
-                let mut set2 = BitSet::new(nq.max(1));
-                for q in set.iter() {
-                    for e in graph.edges(to.0, q as u32) {
-                        if e.payload == expected {
-                            set2.insert(e.to as usize);
-                        }
-                    }
-                }
-                if !set2.is_empty() {
-                    next.add((to.0, set2), p * pt);
-                }
-            }
-        }
-        layer = next;
+        layer = uniform_nfa_step(t, graph, layer, m.transition_matrix(i), n_sym, expected);
     }
     layer.reduce(|(_, set)| set.intersects(accepting))
+}
+
+/// [`confidence_uniform_nfa_impl`] over a streamed source.
+pub(crate) fn confidence_uniform_nfa_source_impl<S: StepSource>(
+    t: &Transducer,
+    src: &mut S,
+    graph: &StepGraph,
+    accepting: &BitSet,
+    o: &[SymbolId],
+    k: usize,
+    emission_id: &mut dyn FnMut(&[SymbolId]) -> u32,
+) -> Result<f64, EngineError> {
+    let n = src.len();
+    if o.len() != k * n {
+        return Ok(0.0);
+    }
+    let n_sym = src.alphabet().len();
+    let mut layer = uniform_nfa_seed(t, graph, src.initial(), emission_id(&o[..k]));
+    let mut i = 0usize;
+    while let Some(matrix) = src.next_step()? {
+        let expected = emission_id(&o[k * (i + 1)..k * (i + 2)]);
+        i += 1;
+        layer = uniform_nfa_step(t, graph, layer, matrix, n_sym, expected);
+    }
+    Ok(layer.reduce(|(_, set)| set.intersects(accepting)))
 }
 
 // ---------------------------------------------------------------------------
@@ -328,6 +531,60 @@ pub fn confidence_general(
     Ok(confidence_general_impl(t, m, &graph, o.len()))
 }
 
+/// Seeds the general configuration layer from a dense initial
+/// distribution. `cap` is the configuration-bit capacity `|Q|·(|o|+1)`.
+fn general_seed(
+    graph: &StepGraph,
+    initial: &[f64],
+    init_row: u32,
+    cap: usize,
+) -> SubsetLayer<(u32, BitSet)> {
+    let mut layer: SubsetLayer<(u32, BitSet)> = SubsetLayer::new();
+    for (node, &p) in initial.iter().enumerate() {
+        if p == 0.0 {
+            continue;
+        }
+        let mut set = BitSet::new(cap);
+        for e in graph.edges(node as u32, init_row) {
+            set.insert(e.to as usize);
+        }
+        if !set.is_empty() {
+            layer.add((node as u32, set), p);
+        }
+    }
+    layer
+}
+
+/// Advances the general configuration layer by one dense row-major
+/// `|Σ|²` matrix (same zero-skipping walk as [`uniform_nfa_step`]).
+fn general_step(
+    graph: &StepGraph,
+    layer: SubsetLayer<(u32, BitSet)>,
+    matrix: &[f64],
+    n_sym: usize,
+    cap: usize,
+) -> SubsetLayer<(u32, BitSet)> {
+    let mut next: SubsetLayer<(u32, BitSet)> = SubsetLayer::with_capacity(layer.len());
+    for ((node, set), p) in layer.sorted() {
+        let row = &matrix[node as usize * n_sym..(node as usize + 1) * n_sym];
+        for (to, &pt) in row.iter().enumerate() {
+            if pt <= 0.0 {
+                continue;
+            }
+            let mut set2 = BitSet::new(cap);
+            for bit in set.iter() {
+                for e in graph.edges(to as u32, bit as u32) {
+                    set2.insert(e.to as usize);
+                }
+            }
+            if !set2.is_empty() {
+                next.add((to as u32, set2), p * pt);
+            }
+        }
+    }
+    next
+}
+
 /// The general exact configuration-set DP over precompiled artifacts.
 /// `graph` must be `output_step_graph(t, o)` for an `o` of length `o_len`.
 pub(crate) fn confidence_general_impl(
@@ -341,42 +598,38 @@ pub(crate) fn confidence_general_impl(
     let width = o_len + 1;
     // Configuration bits ARE the output-graph rows: bit = q * width + j.
     let cap = (nq * width).max(1);
+    let n_sym = m.n_symbols();
 
-    let mut layer: SubsetLayer<(u32, BitSet)> = SubsetLayer::new();
     let init_row = (t.initial().index() * width) as u32;
-    for node in 0..m.n_symbols() {
-        let p = m.initial_prob(SymbolId(node as u32));
-        if p == 0.0 {
-            continue;
-        }
-        let mut set = BitSet::new(cap);
-        for e in graph.edges(node as u32, init_row) {
-            set.insert(e.to as usize);
-        }
-        if !set.is_empty() {
-            layer.add((node as u32, set), p);
-        }
-    }
+    let mut layer = general_seed(graph, m.initial_dist(), init_row, cap);
     for i in 0..n - 1 {
-        let mut next: SubsetLayer<(u32, BitSet)> = SubsetLayer::with_capacity(layer.len());
-        for ((node, set), p) in layer.sorted() {
-            for (to, pt) in m.transitions_from(i, SymbolId(node)) {
-                let mut set2 = BitSet::new(cap);
-                for bit in set.iter() {
-                    for e in graph.edges(to.0, bit as u32) {
-                        set2.insert(e.to as usize);
-                    }
-                }
-                if !set2.is_empty() {
-                    next.add((to.0, set2), p * pt);
-                }
-            }
-        }
-        layer = next;
+        layer = general_step(graph, layer, m.transition_matrix(i), n_sym, cap);
     }
     layer.reduce(|(_, set)| {
         (0..nq).any(|q| t.is_accepting(StateId(q as u32)) && set.contains(q * width + o_len))
     })
+}
+
+/// [`confidence_general_impl`] over a streamed source.
+pub(crate) fn confidence_general_source_impl<S: StepSource>(
+    t: &Transducer,
+    src: &mut S,
+    graph: &StepGraph,
+    o_len: usize,
+) -> Result<f64, EngineError> {
+    let nq = t.n_states();
+    let width = o_len + 1;
+    let cap = (nq * width).max(1);
+    let n_sym = src.alphabet().len();
+
+    let init_row = (t.initial().index() * width) as u32;
+    let mut layer = general_seed(graph, src.initial(), init_row, cap);
+    while let Some(matrix) = src.next_step()? {
+        layer = general_step(graph, layer, matrix, n_sym, cap);
+    }
+    Ok(layer.reduce(|(_, set)| {
+        (0..nq).any(|q| t.is_accepting(StateId(q as u32)) && set.contains(q * width + o_len))
+    }))
 }
 
 /// `Pr(S →[A^ω]→ o)` with automatic algorithm selection:
@@ -415,6 +668,39 @@ pub fn confidence(t: &Transducer, m: &MarkovSequence, o: &[SymbolId]) -> Result<
         confidence_uniform_nfa(t, m, o)
     } else {
         confidence_general(t, m, o)
+    }
+}
+
+/// [`confidence`] over a streamed source: the same Table 2 dispatch, with
+/// every route running layer-at-a-time off the pulled matrices. One
+/// forward pass; bit-identical to the in-memory result.
+pub fn confidence_source<S: StepSource>(
+    t: &Transducer,
+    src: &mut S,
+    o: &[SymbolId],
+) -> Result<f64, EngineError> {
+    check_source_inputs(t, src, Some(o))?;
+    if t.is_deterministic() {
+        if let Some(k) = t.uniform_emission() {
+            let graph = state_step_graph(t);
+            let mut ws: Workspace<f64> = Workspace::new();
+            confidence_deterministic_uniform_source_impl(t, src, &graph, &mut ws, o, k, &mut |s| {
+                emission_id_for(t, s)
+            })
+        } else {
+            let graph = output_step_graph(t, o);
+            let mut ws: Workspace<f64> = Workspace::new();
+            confidence_deterministic_source_impl(t, src, &graph, &mut ws, o.len())
+        }
+    } else if let Some(k) = t.uniform_emission() {
+        let graph = state_step_graph(t);
+        let accepting = accepting_bitset(t);
+        confidence_uniform_nfa_source_impl(t, src, &graph, &accepting, o, k, &mut |s| {
+            emission_id_for(t, s)
+        })
+    } else {
+        let graph = output_step_graph(t, o);
+        confidence_general_source_impl(t, src, &graph, o.len())
     }
 }
 
@@ -462,7 +748,7 @@ pub(crate) fn is_answer_impl(
     for i in 0..n - 1 {
         ws.clear_next(false);
         let (cur, next) = ws.buffers();
-        advance::<Bool>(steps, i, graph, cur, next);
+        advance::<Bool, _>(&steps.at(i), graph, cur, next);
         ws.swap();
     }
     let cur = ws.cur();
@@ -474,6 +760,47 @@ pub(crate) fn is_answer_impl(
         }
     }
     false
+}
+
+/// [`is_answer_impl`] over a streamed source.
+pub(crate) fn is_answer_source_impl<S: StepSource>(
+    t: &Transducer,
+    src: &mut S,
+    graph: &StepGraph,
+    ws: &mut Workspace<bool>,
+    o_len: usize,
+) -> Result<bool, EngineError> {
+    let n_nodes = src.alphabet().len();
+    let nq = t.n_states();
+    let width = o_len + 1;
+    let nr = graph.n_rows();
+
+    ws.reset(n_nodes * nr, false);
+    let init_row = (t.initial().index() * width) as u32;
+    for (node, &p) in src.initial().iter().enumerate() {
+        if p > 0.0 {
+            for e in graph.edges(node as u32, init_row) {
+                ws.cur_mut()[node * nr + e.to as usize] = true;
+            }
+        }
+    }
+    let mut csr = LayerCsr::new();
+    while let Some(matrix) = src.next_step()? {
+        csr.load_dense(n_nodes, matrix);
+        ws.clear_next(false);
+        let (cur, next) = ws.buffers();
+        advance::<Bool, _>(&csr, graph, cur, next);
+        ws.swap();
+    }
+    let cur = ws.cur();
+    for node in 0..n_nodes {
+        for q in 0..nq {
+            if t.is_accepting(StateId(q as u32)) && cur[node * nr + q * width + o_len] {
+                return Ok(true);
+            }
+        }
+    }
+    Ok(false)
 }
 
 /// Whether the query has any answer at all: `Pr(S ∈ L(A)) > 0`.
@@ -507,7 +834,7 @@ pub(crate) fn answer_exists_impl(
     for i in 0..n - 1 {
         ws.clear_next(false);
         let (cur, next) = ws.buffers();
-        advance::<Bool>(steps, i, graph, cur, next);
+        advance::<Bool, _>(&steps.at(i), graph, cur, next);
         ws.swap();
     }
     let cur = ws.cur();
@@ -521,48 +848,152 @@ pub(crate) fn answer_exists_impl(
     false
 }
 
+/// [`answer_exists_impl`] over a streamed source.
+pub(crate) fn answer_exists_source_impl<S: StepSource>(
+    t: &Transducer,
+    src: &mut S,
+    graph: &StepGraph,
+    ws: &mut Workspace<bool>,
+) -> Result<bool, EngineError> {
+    let n_nodes = src.alphabet().len();
+    let nq = t.n_states();
+
+    ws.reset(n_nodes * nq, false);
+    for (node, &p) in src.initial().iter().enumerate() {
+        if p > 0.0 {
+            for e in graph.edges(node as u32, t.initial().0) {
+                ws.cur_mut()[node * nq + e.to as usize] = true;
+            }
+        }
+    }
+    let mut csr = LayerCsr::new();
+    while let Some(matrix) = src.next_step()? {
+        csr.load_dense(n_nodes, matrix);
+        ws.clear_next(false);
+        let (cur, next) = ws.buffers();
+        advance::<Bool, _>(&csr, graph, cur, next);
+        ws.swap();
+    }
+    let cur = ws.cur();
+    for node in 0..n_nodes {
+        for q in 0..nq {
+            if cur[node * nq + q] && t.is_accepting(StateId(q as u32)) {
+                return Ok(true);
+            }
+        }
+    }
+    Ok(false)
+}
+
 // ---------------------------------------------------------------------------
 // Acceptance probability
 // ---------------------------------------------------------------------------
+
+/// The single acceptance-DP engine behind [`acceptance_probability`], the
+/// prefix series, and the streaming [`crate::streaming::EventMonitor`]:
+/// a distribution over `(determinized subset, current node)` advanced one
+/// dense row-major `|Σ|²` matrix at a time.
+///
+/// The determinization is a fresh [`DetCore`] per fold — subset ids are
+/// interned in discovery order and the reduction orders by id, so sharing
+/// one across evaluations would perturb float accumulation order (see
+/// `crate::plan`'s module docs). The dead (empty) subset can never accept
+/// again, so its mass is dropped eagerly; memory is bounded by reachable
+/// subsets × `|Σ|`, independent of how many steps are folded in.
+pub(crate) struct AcceptanceFold {
+    det: DetCore,
+    layer: SubsetLayer<(usize, u32)>,
+    n_sym: usize,
+}
+
+impl AcceptanceFold {
+    /// Seeds the fold from `μ₀→` (dense, length `|Σ|`). The caller has
+    /// already checked `initial.len() == nfa.n_symbols()`.
+    pub(crate) fn start(nfa: &Nfa, initial: &[f64]) -> Self {
+        let mut det = DetCore::new(nfa);
+        let mut layer: SubsetLayer<(usize, u32)> = SubsetLayer::new();
+        for (node, &p) in initial.iter().enumerate() {
+            if p == 0.0 {
+                continue;
+            }
+            let d = det.step(nfa, det.initial(), SymbolId(node as u32));
+            if !det.is_dead(d) {
+                layer.add((d, node as u32), p);
+            }
+        }
+        AcceptanceFold {
+            det,
+            layer,
+            n_sym: initial.len(),
+        }
+    }
+
+    /// Folds in one dense row-major `|Σ|²` transition matrix. `nfa` must
+    /// be the automaton this fold was started with. The dense scan skips
+    /// zeros in ascending target order — the exact pairs (and order) the
+    /// historical `transitions_from` walk yielded.
+    pub(crate) fn step(&mut self, nfa: &Nfa, matrix: &[f64]) {
+        let k = self.n_sym;
+        debug_assert_eq!(matrix.len(), k * k, "step matrix must be |Σ|²");
+        let mut next: SubsetLayer<(usize, u32)> = SubsetLayer::with_capacity(self.layer.len());
+        for ((d, node), p) in self.layer.sorted() {
+            let row = &matrix[node as usize * k..(node as usize + 1) * k];
+            for (to, &pt) in row.iter().enumerate() {
+                if pt <= 0.0 {
+                    continue;
+                }
+                let d2 = self.det.step(nfa, d, SymbolId(to as u32));
+                if !self.det.is_dead(d2) {
+                    next.add((d2, to as u32), p * pt);
+                }
+            }
+        }
+        self.layer = next;
+    }
+
+    /// The current `Pr(S[1..t] ∈ L(A))`. Reduces in ascending key order,
+    /// so the result is independent of HashMap iteration order.
+    pub(crate) fn probability(&self) -> f64 {
+        self.layer.reduce(|&(d, _)| self.det.is_accepting(d))
+    }
+}
+
+fn check_nfa_alphabet(nfa: &Nfa, n_symbols: usize) -> Result<(), EngineError> {
+    if nfa.n_symbols() != n_symbols {
+        return Err(EngineError::AlphabetMismatch {
+            transducer: nfa.n_symbols(),
+            sequence: n_symbols,
+        });
+    }
+    Ok(())
+}
 
 /// `Pr(S ∈ L(A))` for an NFA over `Σ_μ`, by on-the-fly determinization:
 /// the DP state is `(node, determinized subset)`, so only subsets actually
 /// reachable while scanning `μ` are materialized (this gives Theorem 5.5
 /// its `4^{|Q_E|}`-only blow-up downstream).
 pub fn acceptance_probability(nfa: &Nfa, m: &MarkovSequence) -> Result<f64, EngineError> {
-    if nfa.n_symbols() != m.n_symbols() {
-        return Err(EngineError::AlphabetMismatch {
-            transducer: nfa.n_symbols(),
-            sequence: m.n_symbols(),
-        });
+    check_nfa_alphabet(nfa, m.n_symbols())?;
+    let mut fold = AcceptanceFold::start(nfa, m.initial_dist());
+    for i in 0..m.len() - 1 {
+        fold.step(nfa, m.transition_matrix(i));
     }
-    let mut det = Determinizer::new(nfa);
-    let n = m.len();
-    // layer: (det-state, node) → probability.
-    let mut layer: SubsetLayer<(usize, u32)> = SubsetLayer::new();
-    for node in 0..m.n_symbols() {
-        let p = m.initial_prob(SymbolId(node as u32));
-        if p == 0.0 {
-            continue;
-        }
-        let d = det.step(det.initial(), SymbolId(node as u32));
-        if !det.is_dead(d) {
-            layer.add((d, node as u32), p);
-        }
+    Ok(fold.probability())
+}
+
+/// [`acceptance_probability`] over a streamed source — one forward pass,
+/// O(reachable subsets × |Σ|) memory, bit-identical to the in-memory form.
+pub fn acceptance_probability_source<S: StepSource>(
+    nfa: &Nfa,
+    src: &mut S,
+) -> Result<f64, EngineError> {
+    check_nfa_alphabet(nfa, src.alphabet().len())?;
+    check_source_fresh(src)?;
+    let mut fold = AcceptanceFold::start(nfa, src.initial());
+    while let Some(matrix) = src.next_step()? {
+        fold.step(nfa, matrix);
     }
-    for i in 0..n - 1 {
-        let mut next: SubsetLayer<(usize, u32)> = SubsetLayer::with_capacity(layer.len());
-        for ((d, node), p) in layer.sorted() {
-            for (to, pt) in m.transitions_from(i, SymbolId(node)) {
-                let d2 = det.step(d, to);
-                if !det.is_dead(d2) {
-                    next.add((d2, to.0), p * pt);
-                }
-            }
-        }
-        layer = next;
-    }
-    Ok(layer.reduce(|&(d, _)| det.is_accepting(d)))
+    Ok(fold.probability())
 }
 
 /// The Lahar-style streaming Boolean query: for every position `i`,
@@ -575,41 +1006,31 @@ pub fn prefix_acceptance_probabilities(
     nfa: &Nfa,
     m: &MarkovSequence,
 ) -> Result<Vec<f64>, EngineError> {
-    if nfa.n_symbols() != m.n_symbols() {
-        return Err(EngineError::AlphabetMismatch {
-            transducer: nfa.n_symbols(),
-            sequence: m.n_symbols(),
-        });
+    check_nfa_alphabet(nfa, m.n_symbols())?;
+    let mut fold = AcceptanceFold::start(nfa, m.initial_dist());
+    let mut out = Vec::with_capacity(m.len());
+    out.push(fold.probability());
+    for i in 0..m.len() - 1 {
+        fold.step(nfa, m.transition_matrix(i));
+        out.push(fold.probability());
     }
-    let mut det = Determinizer::new(nfa);
-    let n = m.len();
-    let mut out = Vec::with_capacity(n);
-    let mut layer: SubsetLayer<(usize, u32)> = SubsetLayer::new();
-    for node in 0..m.n_symbols() {
-        let p = m.initial_prob(SymbolId(node as u32));
-        if p == 0.0 {
-            continue;
-        }
-        let d = det.step(det.initial(), SymbolId(node as u32));
-        // The dead (empty) subset can never accept again, so it is safe to
-        // drop its mass even though we report per-prefix probabilities.
-        if !det.is_dead(d) {
-            layer.add((d, node as u32), p);
-        }
-    }
-    out.push(layer.reduce(|&(d, _)| det.is_accepting(d)));
-    for i in 0..n - 1 {
-        let mut next: SubsetLayer<(usize, u32)> = SubsetLayer::with_capacity(layer.len());
-        for ((d, node), p) in layer.sorted() {
-            for (to, pt) in m.transitions_from(i, SymbolId(node)) {
-                let d2 = det.step(d, to);
-                if !det.is_dead(d2) {
-                    next.add((d2, to.0), p * pt);
-                }
-            }
-        }
-        layer = next;
-        out.push(layer.reduce(|&(d, _)| det.is_accepting(d)));
+    Ok(out)
+}
+
+/// [`prefix_acceptance_probabilities`] over a streamed source. The output
+/// vector is the only O(n) state.
+pub fn prefix_acceptance_probabilities_source<S: StepSource>(
+    nfa: &Nfa,
+    src: &mut S,
+) -> Result<Vec<f64>, EngineError> {
+    check_nfa_alphabet(nfa, src.alphabet().len())?;
+    check_source_fresh(src)?;
+    let mut fold = AcceptanceFold::start(nfa, src.initial());
+    let mut out = Vec::with_capacity(src.len());
+    out.push(fold.probability());
+    while let Some(matrix) = src.next_step()? {
+        fold.step(nfa, matrix);
+        out.push(fold.probability());
     }
     Ok(out)
 }

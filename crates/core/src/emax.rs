@@ -17,8 +17,8 @@
 //! Lawler–Murty instantiation does.
 
 use transmark_automata::{StateId, SymbolId};
-use transmark_kernel::{advance, advance_tracked, BackEdge, MaxLog, Workspace};
-use transmark_markov::MarkovSequence;
+use transmark_kernel::{advance, advance_tracked, BackEdge, LayerCsr, MaxLog, Workspace};
+use transmark_markov::{MarkovSequence, StepSource};
 
 use crate::confidence::check_inputs;
 use crate::error::EngineError;
@@ -96,7 +96,7 @@ pub(crate) fn top_by_emax_impl(
     for i in 0..n - 1 {
         let mut next = vec![f64::NEG_INFINITY; sz];
         let mut back = vec![BackEdge::NONE; sz];
-        advance_tracked(steps, i, graph, &score, &mut next, &mut back);
+        advance_tracked(&steps.at(i), graph, &score, &mut next, &mut back);
         score = next;
         backs.push(back);
     }
@@ -187,7 +187,7 @@ pub(crate) fn emax_of_output_impl(
     for i in 0..n - 1 {
         ws.clear_next(f64::NEG_INFINITY);
         let (cur, next) = ws.buffers();
-        advance::<MaxLog>(steps, i, graph, cur, next);
+        advance::<MaxLog, _>(&steps.at(i), graph, cur, next);
         ws.swap();
     }
     let cur = ws.cur();
@@ -200,6 +200,65 @@ pub(crate) fn emax_of_output_impl(
         }
     }
     best
+}
+
+/// `ln E_max(o)` over a streamed source — a forward-only max-product pass
+/// (no traceback is needed for the *score*, unlike [`top_by_emax`], whose
+/// back-pointers are inherently O(n)). Each pulled layer is compacted via
+/// [`LayerCsr`], so the result is bit-identical to [`emax_of_output`].
+pub fn emax_of_output_source<S: StepSource>(
+    t: &Transducer,
+    src: &mut S,
+    o: &[SymbolId],
+) -> Result<f64, EngineError> {
+    crate::confidence::check_source_inputs(t, src, Some(o))?;
+    let graph = output_step_graph(t, o);
+    let mut ws: Workspace<f64> = Workspace::new();
+    emax_of_output_source_impl(t, src, &graph, &mut ws, o.len())
+}
+
+/// The streamed max-product positional DP over precompiled artifacts.
+pub(crate) fn emax_of_output_source_impl<S: StepSource>(
+    t: &Transducer,
+    src: &mut S,
+    graph: &transmark_kernel::StepGraph,
+    ws: &mut Workspace<f64>,
+    o_len: usize,
+) -> Result<f64, EngineError> {
+    let n_nodes = src.alphabet().len();
+    let nq = t.n_states();
+    let width = o_len + 1;
+    let nr = graph.n_rows();
+
+    ws.reset(n_nodes * nr, f64::NEG_INFINITY);
+    let init_row = (t.initial().index() * width) as u32;
+    for (node, &p) in src.initial().iter().enumerate() {
+        if p > 0.0 {
+            let lp = p.ln();
+            for e in graph.edges(node as u32, init_row) {
+                let cell = &mut ws.cur_mut()[node * nr + e.to as usize];
+                *cell = cell.max(lp);
+            }
+        }
+    }
+    let mut csr = LayerCsr::new();
+    while let Some(matrix) = src.next_step()? {
+        csr.load_dense(n_nodes, matrix);
+        ws.clear_next(f64::NEG_INFINITY);
+        let (cur, next) = ws.buffers();
+        advance::<MaxLog, _>(&csr, graph, cur, next);
+        ws.swap();
+    }
+    let cur = ws.cur();
+    let mut best = f64::NEG_INFINITY;
+    for node in 0..n_nodes {
+        for q in 0..nq {
+            if t.is_accepting(StateId(q as u32)) {
+                best = best.max(cur[node * nr + q * width + o_len]);
+            }
+        }
+    }
+    Ok(best)
 }
 
 #[cfg(test)]

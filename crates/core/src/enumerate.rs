@@ -171,7 +171,7 @@ impl UnrankedAnswers<'_> {
         for i in 0..self.n - 1 {
             self.ws.clear_next(false);
             let (cur, next) = self.ws.buffers();
-            advance::<Bool>(&self.steps, i, &graph, cur, next);
+            advance::<Bool, _>(&self.steps.at(i), &graph, cur, next);
             self.ws.swap();
         }
         let cur = self.ws.cur();

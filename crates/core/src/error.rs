@@ -52,6 +52,15 @@ pub enum EngineError {
     Automata(AutomataError),
     /// An underlying Markov-sequence error.
     Markov(MarkovError),
+    /// Pulling from a streamed step source failed (I/O, parse, or
+    /// validation; the message carries the source's own diagnostic).
+    Source(String),
+    /// A single-pass streamed evaluation was started on a source whose
+    /// cursor is not at step 0 — rewind it (or bind a fresh source) first.
+    SourceConsumed {
+        /// The cursor position the source was found at.
+        position: usize,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -80,6 +89,11 @@ impl fmt::Display for EngineError {
             EngineError::EmptyTransducer => write!(f, "the transducer has no states"),
             EngineError::Automata(e) => write!(f, "{e}"),
             EngineError::Markov(e) => write!(f, "{e}"),
+            EngineError::Source(m) => write!(f, "step source error: {m}"),
+            EngineError::SourceConsumed { position } => write!(
+                f,
+                "step source already consumed ({position} steps pulled); rewind it before another pass"
+            ),
         }
     }
 }
@@ -103,5 +117,13 @@ impl From<AutomataError> for EngineError {
 impl From<MarkovError> for EngineError {
     fn from(e: MarkovError) -> Self {
         EngineError::Markov(e)
+    }
+}
+
+// `SourceError` owns an `io::Error`, which is neither `Clone` nor
+// `PartialEq`, so it is carried as its rendered message.
+impl From<transmark_markov::SourceError> for EngineError {
+    fn from(e: transmark_markov::SourceError) -> Self {
+        EngineError::Source(e.to_string())
     }
 }

@@ -53,10 +53,11 @@ pub use certified::{
 };
 pub use compose::compose;
 pub use confidence::{
-    acceptance_probability, confidence, confidence_deterministic, confidence_general,
-    confidence_uniform_nfa, is_answer,
+    acceptance_probability, acceptance_probability_source, confidence, confidence_deterministic,
+    confidence_general, confidence_source, confidence_uniform_nfa, is_answer,
+    prefix_acceptance_probabilities, prefix_acceptance_probabilities_source,
 };
-pub use emax::{emax_of_output, top_by_emax, EmaxResult};
+pub use emax::{emax_of_output, emax_of_output_source, top_by_emax, EmaxResult};
 pub use enumerate::{
     enumerate_by_emax, enumerate_unranked, top_k_by_emax, RankedAnswer, UnrankedAnswers,
 };
@@ -65,6 +66,7 @@ pub use evaluate::{ConfidenceCost, Evaluation, ScoredAnswer};
 pub use evidence::{enumerate_evidences, top_k_evidences, Evidence, Evidences};
 pub use plan::{
     prepare, BoundQuery, BoundedCache, PlanExplain, PlanKind, PreparedEventQuery, PreparedQuery,
+    SourceBoundQuery,
 };
 pub use streaming::EventMonitor;
 pub use transducer::{Transducer, TransducerBuilder};

@@ -8,12 +8,12 @@
 //! worlds from `μ` and testing membership (a polynomial reachability DP
 //! per sample) gives an unbiased estimate with `O(1/√N)` standard error.
 
-use rand::Rng;
+use rand::{Rng, RngExt as _};
 use transmark_automata::{StateId, SymbolId};
 use transmark_kernel::{advance_string, Bool, StepGraph, Workspace};
-use transmark_markov::MarkovSequence;
+use transmark_markov::{MarkovSequence, StepSource};
 
-use crate::confidence::check_inputs;
+use crate::confidence::{check_inputs, check_source_inputs};
 use crate::error::EngineError;
 use crate::kernelize::output_step_graph;
 use crate::transducer::Transducer;
@@ -116,6 +116,97 @@ pub(crate) fn estimate_confidence_impl<R: Rng + ?Sized>(
         std_error: (p * (1.0 - p) / samples as f64).sqrt(),
         samples,
     }
+}
+
+/// One categorical draw from a dense probability row: the same
+/// walk-and-subtract selection `MarkovSequence::sample` performs (zero
+/// entries absorb none of the uniform draw; rounding past the end falls
+/// back to the last positive entry). Consumes exactly one `rng.random()`.
+fn draw_row<R: Rng + ?Sized>(row: &[f64], rng: &mut R) -> usize {
+    let mut u: f64 = rng.random();
+    let mut last = None;
+    for (to, &p) in row.iter().enumerate() {
+        if p > 0.0 {
+            last = Some(to);
+            if u < p {
+                return to;
+            }
+            u -= p;
+        }
+    }
+    last.expect("distribution has positive mass")
+}
+
+/// [`estimate_confidence`] over a streamed source: all `samples` worlds
+/// advance together, one pulled layer at a time, with an online Boolean
+/// membership DP per world — memory is `O(samples · |Q| · |o|)`,
+/// independent of `n`.
+///
+/// The estimator is the same unbiased mean-of-indicators, but the RNG
+/// draw order is necessarily *sample-major per layer* (world `j`'s `i`-th
+/// symbol is drawn after every world's `i−1`-th), whereas
+/// [`estimate_confidence`] draws each world to completion before the
+/// next. For a given seed the two therefore produce different (equally
+/// valid) estimates; this function itself is deterministic given the
+/// seed, and bit-identical across in-memory, text, and binary sources.
+pub fn estimate_confidence_source<S: StepSource, R: Rng + ?Sized>(
+    t: &Transducer,
+    src: &mut S,
+    o: &[SymbolId],
+    samples: usize,
+    rng: &mut R,
+) -> Result<McEstimate, EngineError> {
+    check_source_inputs(t, src, Some(o))?;
+    assert!(samples > 0, "at least one sample is required");
+    let graph = output_step_graph(t, o);
+    let k = src.alphabet().len();
+    let nq = t.n_states();
+    let width = o.len() + 1;
+    let sz = nq * width;
+
+    // World j's current node, and its membership-DP layer (the same
+    // Boolean (state, output position) reachability `transduces_to` runs,
+    // folded online instead of over a stored string).
+    let mut cur_sym: Vec<usize> = Vec::with_capacity(samples);
+    let mut states = vec![false; samples * sz];
+    let mut next_buf = vec![false; sz];
+    let mut seed_buf = vec![false; sz];
+    for j in 0..samples {
+        let first = draw_row(src.initial(), rng);
+        cur_sym.push(first);
+        seed_buf.fill(false);
+        seed_buf[t.initial().index() * width] = true;
+        next_buf.fill(false);
+        advance_string::<Bool>(&graph, first as u32, &seed_buf, &mut next_buf);
+        states[j * sz..(j + 1) * sz].copy_from_slice(&next_buf);
+    }
+    while let Some(matrix) = src.next_step()? {
+        for j in 0..samples {
+            let from = cur_sym[j];
+            let to = draw_row(&matrix[from * k..(from + 1) * k], rng);
+            cur_sym[j] = to;
+            next_buf.fill(false);
+            advance_string::<Bool>(
+                &graph,
+                to as u32,
+                &states[j * sz..(j + 1) * sz],
+                &mut next_buf,
+            );
+            states[j * sz..(j + 1) * sz].copy_from_slice(&next_buf);
+        }
+    }
+    let mut hits = 0usize;
+    for j in 0..samples {
+        let st = &states[j * sz..(j + 1) * sz];
+        let hit = (0..nq).any(|q| t.is_accepting(StateId(q as u32)) && st[q * width + o.len()]);
+        hits += usize::from(hit);
+    }
+    let p = hits as f64 / samples as f64;
+    Ok(McEstimate {
+        estimate: p,
+        std_error: (p * (1.0 - p) / samples as f64).sqrt(),
+        samples,
+    })
 }
 
 #[cfg(test)]

@@ -41,7 +41,7 @@ use std::sync::{Arc, Mutex};
 use rand::Rng;
 use transmark_automata::{BitSet, Nfa, SymbolId};
 use transmark_kernel::{SharedSparseSteps, SharedStepGraph, StepGraph, Workspace};
-use transmark_markov::MarkovSequence;
+use transmark_markov::{MarkovSequence, StepSource};
 
 use crate::confidence::{self, check_inputs};
 use crate::constraints::{constrain, PrefixConstraint};
@@ -323,7 +323,10 @@ impl PreparedQuery {
 
     /// The memoized constraint product for a Lawler–Murty subspace.
     pub(crate) fn constrained(&self, c: &PrefixConstraint) -> Arc<ConstrainedMachine> {
-        let mut cache = self.constraint_products.lock().expect("plan cache poisoned");
+        let mut cache = self
+            .constraint_products
+            .lock()
+            .expect("plan cache poisoned");
         cache.get_or_insert_with(c, || {
             let ct = constrain(&self.t, &c.to_dfa(self.t.n_output_symbols()))
                 .expect("constraint DFA is over the output alphabet by construction");
@@ -344,7 +347,10 @@ impl PreparedQuery {
             (c.len(), c.hits(), c.misses())
         };
         let (cp_len, cp_hits, cp_misses) = {
-            let c = self.constraint_products.lock().expect("plan cache poisoned");
+            let c = self
+                .constraint_products
+                .lock()
+                .expect("plan cache poisoned");
             (c.len(), c.hits(), c.misses())
         };
         PlanExplain {
@@ -382,6 +388,34 @@ impl PreparedQuery {
             steps: m.sparse_steps().into_shared(),
             ws_f: std::cell::RefCell::new(Workspace::new()),
             ws_b: std::cell::RefCell::new(Workspace::new()),
+        })
+    }
+
+    /// Binds a streamed [`StepSource`]: the data side is never
+    /// materialized, so only the forward-only passes are available — each
+    /// one a single left-to-right scan holding O(|Σ|²) of sequence data
+    /// (plus the pass's own layer). Results are bit-identical to the same
+    /// pass on [`PreparedQuery::bind`] of the materialized sequence.
+    ///
+    /// Each evaluation consumes the source; rewind it (a
+    /// [`SourceBoundQuery::rewind`] exists when `S` is rewindable) before
+    /// the next pass, or the pass reports
+    /// [`EngineError::SourceConsumed`].
+    pub fn bind_source<S: StepSource>(
+        self: &Arc<Self>,
+        src: S,
+    ) -> Result<SourceBoundQuery<S>, EngineError> {
+        if self.t.n_input_symbols() != src.alphabet().len() {
+            return Err(EngineError::AlphabetMismatch {
+                transducer: self.t.n_input_symbols(),
+                sequence: src.alphabet().len(),
+            });
+        }
+        Ok(SourceBoundQuery {
+            plan: Arc::clone(self),
+            src,
+            ws_f: Workspace::new(),
+            ws_b: Workspace::new(),
         })
     }
 }
@@ -427,15 +461,17 @@ impl<'m> BoundQuery<'m> {
         let t = &self.plan.t;
         check_inputs(t, self.m, Some(o))?;
         Ok(match self.plan.kind {
-            PlanKind::DeterministicUniform { k } => confidence::confidence_deterministic_uniform_impl(
-                t,
-                &self.steps,
-                self.plan.state_graph(),
-                &mut self.ws_f.borrow_mut(),
-                o,
-                k,
-                &mut |slice| self.plan.emission_id(slice),
-            ),
+            PlanKind::DeterministicUniform { k } => {
+                confidence::confidence_deterministic_uniform_impl(
+                    t,
+                    &self.steps,
+                    self.plan.state_graph(),
+                    &mut self.ws_f.borrow_mut(),
+                    o,
+                    k,
+                    &mut |slice| self.plan.emission_id(slice),
+                )
+            }
             PlanKind::Deterministic => confidence::confidence_deterministic_impl(
                 t,
                 &self.steps,
@@ -594,6 +630,146 @@ impl<'m> BoundQuery<'m> {
     }
 }
 
+/// One plan bound to a streamed [`StepSource`]: the forward-only subset
+/// of [`BoundQuery`], executing layer-at-a-time off the source. Memory is
+/// O(|Σ|² + pass state) regardless of the stream length; results are
+/// bit-identical to the materialized path (pinned by the streaming parity
+/// suite).
+///
+/// Every method is a full left-to-right scan, so each consumes the
+/// source. For rewindable sources, [`SourceBoundQuery::rewind`] restarts
+/// the cursor between passes.
+pub struct SourceBoundQuery<S: StepSource> {
+    plan: Arc<PreparedQuery>,
+    src: S,
+    ws_f: Workspace<f64>,
+    ws_b: Workspace<bool>,
+}
+
+impl<S: StepSource> SourceBoundQuery<S> {
+    /// The plan this bind executes.
+    pub fn plan(&self) -> &Arc<PreparedQuery> {
+        &self.plan
+    }
+
+    /// The bound source.
+    pub fn source(&self) -> &S {
+        &self.src
+    }
+
+    /// Releases the source (e.g. to rewind it externally).
+    pub fn into_source(self) -> S {
+        self.src
+    }
+
+    /// `Pr(S →[A^ω]→ o)` along the plan's Table 2 route, streamed
+    /// (bit-identical to [`BoundQuery::confidence`]).
+    pub fn confidence(&mut self, o: &[SymbolId]) -> Result<f64, EngineError> {
+        let plan = Arc::clone(&self.plan);
+        let t = &plan.t;
+        confidence::check_source_inputs(t, &self.src, Some(o))?;
+        match plan.kind {
+            PlanKind::DeterministicUniform { k } => {
+                confidence::confidence_deterministic_uniform_source_impl(
+                    t,
+                    &mut self.src,
+                    plan.state_graph(),
+                    &mut self.ws_f,
+                    o,
+                    k,
+                    &mut |slice| plan.emission_id(slice),
+                )
+            }
+            PlanKind::Deterministic => confidence::confidence_deterministic_source_impl(
+                t,
+                &mut self.src,
+                &plan.output_graph(o),
+                &mut self.ws_f,
+                o.len(),
+            ),
+            PlanKind::UniformNfa { k } => confidence::confidence_uniform_nfa_source_impl(
+                t,
+                &mut self.src,
+                plan.state_graph(),
+                plan.accepting(),
+                o,
+                k,
+                &mut |slice| plan.emission_id(slice),
+            ),
+            PlanKind::General | PlanKind::Sproj | PlanKind::SprojIndexed => {
+                confidence::confidence_general_source_impl(
+                    t,
+                    &mut self.src,
+                    &plan.output_graph(o),
+                    o.len(),
+                )
+            }
+        }
+    }
+
+    /// Whether `o` is an answer, streamed (bit-identical to
+    /// [`BoundQuery::is_answer`]).
+    pub fn is_answer(&mut self, o: &[SymbolId]) -> Result<bool, EngineError> {
+        let plan = Arc::clone(&self.plan);
+        confidence::check_source_inputs(&plan.t, &self.src, Some(o))?;
+        confidence::is_answer_source_impl(
+            &plan.t,
+            &mut self.src,
+            &plan.output_graph(o),
+            &mut self.ws_b,
+            o.len(),
+        )
+    }
+
+    /// Whether the query has any answer, streamed (bit-identical to
+    /// [`BoundQuery::answer_exists`]).
+    pub fn answer_exists(&mut self) -> Result<bool, EngineError> {
+        let plan = Arc::clone(&self.plan);
+        confidence::check_source_fresh(&self.src)?;
+        confidence::answer_exists_source_impl(
+            &plan.t,
+            &mut self.src,
+            plan.state_graph(),
+            &mut self.ws_b,
+        )
+    }
+
+    /// `ln E_max(o)`, streamed (bit-identical to
+    /// [`BoundQuery::emax_of_output`]).
+    pub fn emax_of_output(&mut self, o: &[SymbolId]) -> Result<f64, EngineError> {
+        let plan = Arc::clone(&self.plan);
+        confidence::check_source_inputs(&plan.t, &self.src, Some(o))?;
+        emax::emax_of_output_source_impl(
+            &plan.t,
+            &mut self.src,
+            &plan.output_graph(o),
+            &mut self.ws_f,
+            o.len(),
+        )
+    }
+
+    /// Streamed Monte-Carlo confidence estimate: all samples advance one
+    /// layer per pulled step (see
+    /// [`crate::montecarlo::estimate_confidence_source`] for how its draw
+    /// order relates to the in-memory estimator's).
+    pub fn estimate_confidence<R: Rng + ?Sized>(
+        &mut self,
+        o: &[SymbolId],
+        samples: usize,
+        rng: &mut R,
+    ) -> Result<McEstimate, EngineError> {
+        montecarlo::estimate_confidence_source(&self.plan.t, &mut self.src, o, samples, rng)
+    }
+}
+
+impl<S: transmark_markov::RewindableStepSource> SourceBoundQuery<S> {
+    /// Restarts the source's step cursor so another pass can run.
+    pub fn rewind(&mut self) -> Result<(), EngineError> {
+        self.src.rewind()?;
+        Ok(())
+    }
+}
+
 /// EXPLAIN output: the selected route and what compiling it cost.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PlanExplain {
@@ -716,6 +892,18 @@ impl PreparedEventQuery {
     /// [`crate::streaming::EventMonitor::replay`]).
     pub fn replay(&self, m: &MarkovSequence) -> Result<Vec<f64>, EngineError> {
         EventMonitor::replay(self.nfa.clone(), m)
+    }
+
+    /// `Pr(S ∈ L(A))` over a streamed source (bit-identical to
+    /// [`PreparedEventQuery::acceptance`] of the materialized sequence).
+    pub fn acceptance_source<S: StepSource>(&self, src: &mut S) -> Result<f64, EngineError> {
+        confidence::acceptance_probability_source(&self.nfa, src)
+    }
+
+    /// The per-prefix probability series over a streamed source
+    /// (bit-identical to [`PreparedEventQuery::series`]).
+    pub fn series_source<S: StepSource>(&self, src: &mut S) -> Result<Vec<f64>, EngineError> {
+        confidence::prefix_acceptance_probabilities_source(&self.nfa, src)
     }
 }
 

@@ -5,18 +5,26 @@
 //! The per-prefix acceptance DP of
 //! [`crate::confidence::prefix_acceptance_probabilities`] needs only the
 //! *current* layer, so it runs online: an [`EventMonitor`] holds the
-//! distribution over (determinized query state × current node) — a kernel
-//! [`SubsetLayer`] — and folds in one transition matrix at a time,
+//! shared acceptance fold — a distribution over (determinized query state
+//! × current node) — and folds in one transition matrix at a time,
 //! emitting the updated probability that the stream-so-far satisfies the
 //! query. Memory is independent of the stream length (bounded by
 //! reachable subsets × `|Σ|`).
+//!
+//! The monitor is a thin adapter: the per-step arithmetic lives in
+//! `confidence::AcceptanceFold` (the same engine the batch and
+//! [`StepSource`]-driven acceptance passes run on), and the subset
+//! construction is the shared `transmark-automata` [`DetCore`] — subset
+//! ids are interned in discovery order exactly as the batch passes intern
+//! them, so a monitor fed a stored sequence's matrices reproduces
+//! `prefix_acceptance_probabilities` bit for bit.
+//!
+//! [`DetCore`]: transmark_automata::ops::DetCore
 
-use std::collections::HashMap;
+use transmark_automata::Nfa;
+use transmark_markov::{MarkovSequence, StepSource};
 
-use transmark_automata::{Nfa, SymbolId};
-use transmark_kernel::SubsetLayer;
-use transmark_markov::MarkovSequence;
-
+use crate::confidence::AcceptanceFold;
 use crate::error::EngineError;
 
 /// An online monitor for `Pr(S[1..t] ∈ L(A))` over a Markov stream whose
@@ -27,62 +35,9 @@ use crate::error::EngineError;
 /// [`EventMonitor::advance`] (one row-major `|Σ|²` matrix per step).
 pub struct EventMonitor {
     nfa: Nfa,
-    /// Index into the lazily-grown determinization; rebuilt per monitor.
-    det: OwnedDeterminizer,
-    /// Mass per (determinized state, current node). Dead subsets are
-    /// dropped (they can never accept again).
-    layer: SubsetLayer<(usize, u32)>,
+    fold: AcceptanceFold,
     n_symbols: usize,
     steps: usize,
-}
-
-/// A `Determinizer` that owns its NFA (the library version borrows).
-struct OwnedDeterminizer {
-    /// Interned subsets → id, via the borrowed determinizer recreated on
-    /// demand would lose the cache; instead store transitions explicitly.
-    subset_accepting: Vec<bool>,
-    subset_dead: Vec<bool>,
-    trans: HashMap<(usize, u32), usize>,
-    subsets: Vec<transmark_automata::BitSet>,
-    ids: HashMap<transmark_automata::BitSet, usize>,
-}
-
-impl OwnedDeterminizer {
-    fn new(nfa: &Nfa) -> Self {
-        let init =
-            transmark_automata::BitSet::singleton(nfa.n_states().max(1), nfa.initial().index());
-        let mut ids = HashMap::new();
-        ids.insert(init.clone(), 0);
-        let accepting = nfa.accepting_set();
-        Self {
-            subset_accepting: vec![init.intersects(&accepting)],
-            subset_dead: vec![init.is_empty()],
-            trans: HashMap::new(),
-            subsets: vec![init],
-            ids,
-        }
-    }
-
-    fn step(&mut self, nfa: &Nfa, id: usize, sym: SymbolId) -> usize {
-        if let Some(&to) = self.trans.get(&(id, sym.0)) {
-            return to;
-        }
-        let next = nfa.step_set(&self.subsets[id], sym);
-        let to = match self.ids.get(&next) {
-            Some(&i) => i,
-            None => {
-                let i = self.subsets.len();
-                let accepting = nfa.accepting_set();
-                self.subset_accepting.push(next.intersects(&accepting));
-                self.subset_dead.push(next.is_empty());
-                self.ids.insert(next.clone(), i);
-                self.subsets.push(next);
-                i
-            }
-        };
-        self.trans.insert((id, sym.0), to);
-        to
-    }
 }
 
 impl EventMonitor {
@@ -95,22 +50,11 @@ impl EventMonitor {
                 sequence: initial.len(),
             });
         }
-        let mut det = OwnedDeterminizer::new(&nfa);
-        let mut layer = SubsetLayer::new();
-        for (node, &p) in initial.iter().enumerate() {
-            if p == 0.0 {
-                continue;
-            }
-            let d = det.step(&nfa, 0, SymbolId(node as u32));
-            if !det.subset_dead[d] {
-                layer.add((d, node as u32), p);
-            }
-        }
+        let fold = AcceptanceFold::start(&nfa, initial);
         Ok(Self {
             n_symbols: initial.len(),
             nfa,
-            det,
-            layer,
+            fold,
             steps: 1,
         })
     }
@@ -127,9 +71,7 @@ impl EventMonitor {
 
     /// The current `Pr(S[1..t] ∈ L(A))`.
     pub fn probability(&self) -> f64 {
-        // The layer reduces in ascending key order, so the result is
-        // bit-for-bit independent of HashMap iteration order.
-        self.layer.reduce(|&(d, _)| self.det.subset_accepting[d])
+        self.fold.probability()
     }
 
     /// Folds in the next transition matrix (row-major `|Σ|²`) and returns
@@ -142,22 +84,24 @@ impl EventMonitor {
                 sequence: matrix.len(),
             });
         }
-        let mut next: SubsetLayer<(usize, u32)> = SubsetLayer::with_capacity(self.layer.len());
-        for ((d, node), p) in self.layer.sorted() {
-            let row = &matrix[node as usize * k..(node as usize + 1) * k];
-            for (to, &pt) in row.iter().enumerate() {
-                if pt == 0.0 {
-                    continue;
-                }
-                let d2 = self.det.step(&self.nfa, d, SymbolId(to as u32));
-                if !self.det.subset_dead[d2] {
-                    next.add((d2, to as u32), p * pt);
-                }
-            }
-        }
-        self.layer = next;
+        self.fold.step(&self.nfa, matrix);
         self.steps += 1;
         Ok(self.probability())
+    }
+
+    /// Drains a [`StepSource`] through the monitor, returning the full
+    /// probability series (one entry per position, equal to
+    /// [`crate::confidence::prefix_acceptance_probabilities`] over the
+    /// materialized sequence).
+    pub fn run_source<S: StepSource>(nfa: Nfa, src: &mut S) -> Result<Vec<f64>, EngineError> {
+        crate::confidence::check_source_fresh(src)?;
+        let mut monitor = EventMonitor::start(nfa, src.initial())?;
+        let mut out = Vec::with_capacity(src.len());
+        out.push(monitor.probability());
+        while let Some(matrix) = src.next_step()? {
+            out.push(monitor.advance(matrix)?);
+        }
+        Ok(out)
     }
 
     /// Convenience: replays a stored sequence through the monitor,
@@ -167,14 +111,8 @@ impl EventMonitor {
         let mut monitor = EventMonitor::start(nfa, m.initial_dist())?;
         let mut out = Vec::with_capacity(m.len());
         out.push(monitor.probability());
-        let k = m.n_symbols();
-        let mut matrix = vec![0.0; k * k];
         for i in 0..m.len() - 1 {
-            for from in 0..k {
-                matrix[from * k..(from + 1) * k]
-                    .copy_from_slice(m.transition_row(i, SymbolId(from as u32)));
-            }
-            out.push(monitor.advance(&matrix)?);
+            out.push(monitor.advance(m.transition_matrix(i))?);
         }
         Ok(out)
     }
@@ -185,8 +123,8 @@ mod tests {
     use super::*;
     use crate::confidence::prefix_acceptance_probabilities;
     use rand::{rngs::StdRng, SeedableRng};
+    use transmark_automata::SymbolId;
     use transmark_markov::generate::{random_markov_sequence, RandomChainSpec};
-    use transmark_markov::numeric::approx_eq;
 
     /// NFA over 3 symbols: has seen symbol 2.
     fn has_two() -> Nfa {
@@ -216,7 +154,30 @@ mod tests {
             let streamed = EventMonitor::replay(has_two(), &m).unwrap();
             assert_eq!(batch.len(), streamed.len());
             for (b, s) in batch.iter().zip(streamed.iter()) {
-                assert!(approx_eq(*b, *s, 1e-12, 1e-10), "{b} vs {s}");
+                // The monitor shares the batch pass's fold, so the series
+                // agree bit for bit, not just approximately.
+                assert_eq!(b.to_bits(), s.to_bits(), "{b} vs {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_source_matches_batch_series() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..5 {
+            let m = random_markov_sequence(
+                &RandomChainSpec {
+                    len: 7,
+                    n_symbols: 3,
+                    zero_prob: 0.3,
+                },
+                &mut rng,
+            );
+            let batch = prefix_acceptance_probabilities(&has_two(), &m).unwrap();
+            let streamed = EventMonitor::run_source(has_two(), &mut m.step_source()).unwrap();
+            assert_eq!(batch.len(), streamed.len());
+            for (b, s) in batch.iter().zip(streamed.iter()) {
+                assert_eq!(b.to_bits(), s.to_bits(), "{b} vs {s}");
             }
         }
     }
@@ -245,5 +206,26 @@ mod tests {
         assert!(EventMonitor::start(has_two(), &[1.0]).is_err());
         let mut m = EventMonitor::start(has_two(), &[1.0, 0.0, 0.0]).unwrap();
         assert!(m.advance(&[1.0, 0.0]).is_err());
+    }
+
+    /// Uniform chains make every reachable subset appear; the approx check
+    /// in the old suite is strengthened to bitwise here because the
+    /// monitor and the batch pass now share one fold implementation.
+    #[test]
+    fn monitor_probability_is_bit_reproducible() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let m = random_markov_sequence(
+            &RandomChainSpec {
+                len: 9,
+                n_symbols: 3,
+                zero_prob: 0.4,
+            },
+            &mut rng,
+        );
+        let a = EventMonitor::replay(has_two(), &m).unwrap();
+        let b = EventMonitor::replay(has_two(), &m).unwrap();
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 }

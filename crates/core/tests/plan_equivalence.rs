@@ -175,7 +175,8 @@ fn hospital_workload_is_bit_identical() {
 /// sensor read, both tracker variants.
 #[test]
 fn rfid_workload_is_bit_identical() {
-    let dep = transmark_workloads::rfid::deployment(&transmark_workloads::rfid::RfidSpec::default());
+    let dep =
+        transmark_workloads::rfid::deployment(&transmark_workloads::rfid::RfidSpec::default());
     let mut rng = StdRng::seed_from_u64(2010);
     let (posterior, _) = dep.sample_posterior(5, &mut rng);
     for lab_room in [None, Some(1)] {

@@ -14,14 +14,14 @@
 
 use crate::semiring::Semiring;
 use crate::step_graph::StepGraph;
-use crate::steps::SparseSteps;
+use crate::steps::StepRows;
 
 /// Advances one layer: `next[(to, e.to)] ⊕= cur[(node, row)] ⊗ p` for every
-/// nonzero transition `node →p to` at `step` and every machine edge `e`
-/// enabled by reading `to` from `row`. `next` must be zero-filled.
-pub fn advance<S: Semiring>(
-    steps: &SparseSteps,
-    step: usize,
+/// nonzero transition `node →p to` in `steps` (one step's rows — see
+/// [`StepRows`]) and every machine edge `e` enabled by reading `to` from
+/// `row`. `next` must be zero-filled.
+pub fn advance<S: Semiring, R: StepRows>(
+    steps: &R,
     graph: &StepGraph,
     cur: &[S::Elem],
     next: &mut [S::Elem],
@@ -34,7 +34,7 @@ pub fn advance<S: Semiring>(
             if S::is_zero(v) {
                 continue;
             }
-            for &(to, p) in steps.row(step, node) {
+            for &(to, p) in steps.row(node) {
                 let w = S::mul(v, S::from_prob(p));
                 let to_base = to as usize * nr;
                 for e in graph.edges(to, row as u32) {
@@ -49,9 +49,8 @@ pub fn advance<S: Semiring>(
 /// `expected` — the k-uniform fast path, where the payload is the interned
 /// emission id and `expected` is the id of the output k-gram this step
 /// must emit (`u32::MAX`, never a valid id, when the gram is not interned).
-pub fn advance_filtered<S: Semiring>(
-    steps: &SparseSteps,
-    step: usize,
+pub fn advance_filtered<S: Semiring, R: StepRows>(
+    steps: &R,
     graph: &StepGraph,
     expected: u32,
     cur: &[S::Elem],
@@ -65,7 +64,7 @@ pub fn advance_filtered<S: Semiring>(
             if S::is_zero(v) {
                 continue;
             }
-            for &(to, p) in steps.row(step, node) {
+            for &(to, p) in steps.row(node) {
                 let w = S::mul(v, S::from_prob(p));
                 let to_base = to as usize * nr;
                 for e in graph.edges(to, row as u32) {
@@ -98,9 +97,8 @@ impl BackEdge {
 /// predecessor — the tie-breaking the traceback-based passes relied on.
 /// `next` must be filled with `-∞` and `back` may hold arbitrary entries
 /// (a cell's entry is meaningful only if its score is finite).
-pub fn advance_tracked(
-    steps: &SparseSteps,
-    step: usize,
+pub fn advance_tracked<R: StepRows>(
+    steps: &R,
     graph: &StepGraph,
     cur: &[f64],
     next: &mut [f64],
@@ -114,7 +112,7 @@ pub fn advance_tracked(
             if v == f64::NEG_INFINITY {
                 continue;
             }
-            for &(to, p) in steps.row(step, node) {
+            for &(to, p) in steps.row(node) {
                 let cand = v + p.ln();
                 let to_base = to as usize * nr;
                 for e in graph.edges(to, row as u32) {
@@ -156,6 +154,7 @@ pub fn advance_string<S: Semiring>(
 mod tests {
     use super::*;
     use crate::semiring::{Bool, MaxLog, Prob};
+    use crate::steps::SparseSteps;
 
     /// 2 nodes, machine = 1 row (identity over states), chain:
     /// initial [0.6, 0.4], one step [[0.5, 0.5], [1.0, 0.0]].
@@ -183,7 +182,7 @@ mod tests {
             cur[node as usize] += p;
         }
         let mut next = vec![0.0; 2];
-        advance::<Prob>(&steps, 0, &graph, &cur, &mut next);
+        advance::<Prob, _>(&steps.at(0), &graph, &cur, &mut next);
         // P(X2 = a) = 0.6·0.5 + 0.4·1.0, P(X2 = b) = 0.6·0.5.
         assert_eq!(next, vec![0.6 * 0.5 + 0.4, 0.6 * 0.5]);
     }
@@ -199,8 +198,8 @@ mod tests {
         }
         let mut np = vec![0.0; 2];
         let mut nb = vec![false; 2];
-        advance::<Prob>(&steps, 0, &graph, &curp, &mut np);
-        advance::<Bool>(&steps, 0, &graph, &curb, &mut nb);
+        advance::<Prob, _>(&steps.at(0), &graph, &curp, &mut np);
+        advance::<Bool, _>(&steps.at(0), &graph, &curb, &mut nb);
         for (p, b) in np.iter().zip(nb.iter()) {
             assert_eq!(*p > 0.0, *b);
         }
@@ -215,7 +214,7 @@ mod tests {
         }
         let mut next = vec![f64::NEG_INFINITY; 2];
         let mut back = vec![BackEdge::NONE; 2];
-        advance_tracked(&steps, 0, &graph, &cur, &mut next, &mut back);
+        advance_tracked(&steps.at(0), &graph, &cur, &mut next, &mut back);
         // Best path into node 0: max(0.6·0.5, 0.4·1.0) = 0.4 via node 1.
         assert!((next[0] - (0.4f64).ln()).abs() < 1e-12);
         assert_eq!(back[0].prev, 1);
@@ -234,10 +233,10 @@ mod tests {
             cur[node as usize] = p.ln();
         }
         let mut a = vec![f64::NEG_INFINITY; 2];
-        advance::<MaxLog>(&steps, 0, &graph, &cur, &mut a);
+        advance::<MaxLog, _>(&steps.at(0), &graph, &cur, &mut a);
         let mut b = vec![f64::NEG_INFINITY; 2];
         let mut back = vec![BackEdge::NONE; 2];
-        advance_tracked(&steps, 0, &graph, &cur, &mut b, &mut back);
+        advance_tracked(&steps.at(0), &graph, &cur, &mut b, &mut back);
         assert_eq!(a, b);
     }
 
@@ -246,12 +245,12 @@ mod tests {
         let (steps, graph) = tiny();
         let cur = vec![1.0, 1.0];
         let mut next = vec![0.0; 2];
-        advance_filtered::<Prob>(&steps, 0, &graph, 11, &cur, &mut next);
+        advance_filtered::<Prob, _>(&steps.at(0), &graph, 11, &cur, &mut next);
         // Only the payload-11 edge (symbol 1, i.e. into node 1) survives.
         assert_eq!(next[0], 0.0);
         assert!(next[1] > 0.0);
         let mut none = vec![0.0; 2];
-        advance_filtered::<Prob>(&steps, 0, &graph, u32::MAX, &cur, &mut none);
+        advance_filtered::<Prob, _>(&steps.at(0), &graph, u32::MAX, &cur, &mut none);
         assert_eq!(none, vec![0.0, 0.0]);
     }
 

@@ -15,7 +15,10 @@
 //!   driver compiles to straight-line `f64`/`bool` code with no dynamic
 //!   dispatch;
 //! * [`SparseSteps`] — the Markov side, flattened once into CSR with zero
-//!   transitions dropped at build time;
+//!   transitions dropped at build time; the [`StepRows`] trait abstracts
+//!   one step's rows so the same drivers also run against a [`LayerCsr`]
+//!   rebuilt per layer from a pulled dense matrix (the streaming data
+//!   plane: O(|Σ|²) data-side memory regardless of sequence length);
 //! * [`StepGraph`] — the machine side, the product transitions
 //!   precompiled once per query into CSR buckets keyed by
 //!   `(input symbol, machine row)`;
@@ -61,6 +64,6 @@ pub use dp::{advance, advance_filtered, advance_string, advance_tracked, BackEdg
 pub use numeric::Neumaier;
 pub use semiring::{Bool, MaxLog, Prob, Semiring};
 pub use step_graph::{MachineEdge, SharedStepGraph, StepGraph, StepGraphBuilder};
-pub use steps::{SharedSparseSteps, SparseSteps, SparseStepsBuilder};
+pub use steps::{LayerCsr, SharedSparseSteps, SparseSteps, SparseStepsBuilder, StepRows, StepView};
 pub use subset::SubsetLayer;
 pub use workspace::Workspace;

@@ -15,6 +15,98 @@
 //! the kernel has no dependency on `transmark-markov`, so the markov crate
 //! provides the conversion.
 
+/// One step's worth of transition rows — the minimal data-side view a
+/// layer advance consumes.
+///
+/// The drivers in [`crate::dp`] are generic over this trait so the same
+/// monomorphized loop runs against a fully materialized CSR
+/// ([`SparseSteps::at`]) or a single-layer CSR rebuilt per step from a
+/// pulled dense matrix ([`LayerCsr`]). Implementations must present each
+/// row's nonzero `(to, p)` entries in ascending `to` with exact zeros
+/// omitted — the invariant the bit-reproducibility contract rests on.
+pub trait StepRows {
+    /// Number of distinct node symbols `|Σ|`.
+    fn n_nodes(&self) -> usize;
+    /// The nonzero transitions out of `from`, ascending `to`.
+    fn row(&self, from: usize) -> &[(u32, f64)];
+}
+
+/// Borrowed view of one step of a [`SparseSteps`] CSR.
+#[derive(Debug, Clone, Copy)]
+pub struct StepView<'a> {
+    steps: &'a SparseSteps,
+    step: usize,
+}
+
+impl StepRows for StepView<'_> {
+    #[inline]
+    fn n_nodes(&self) -> usize {
+        self.steps.n_nodes
+    }
+
+    #[inline]
+    fn row(&self, from: usize) -> &[(u32, f64)] {
+        self.steps.row(self.step, from)
+    }
+}
+
+/// A reusable single-step CSR, rebuilt in place from one dense row-major
+/// `|Σ|×|Σ|` matrix at a time.
+///
+/// This is the streaming counterpart of [`SparseSteps`]: a pulled step
+/// layer is compacted into exactly the row content (ascending `to`, zeros
+/// dropped) that [`SparseSteps::at`] would present for the same matrix,
+/// so a DP driven layer-by-layer through a `LayerCsr` accumulates floats
+/// in the same sequence — bit for bit — as the materialized path. Both
+/// buffers are reused across [`LayerCsr::load_dense`] calls, so a
+/// forward pass holds O(|Σ|²) data-side state regardless of sequence
+/// length.
+#[derive(Debug, Clone, Default)]
+pub struct LayerCsr {
+    n_nodes: usize,
+    offsets: Vec<u32>,
+    entries: Vec<(u32, f64)>,
+}
+
+impl LayerCsr {
+    pub fn new() -> Self {
+        LayerCsr::default()
+    }
+
+    /// Rebuilds the CSR from a dense row-major `k×k` matrix
+    /// (`matrix[from * k + to]`). Panics if `matrix.len() != k * k`.
+    pub fn load_dense(&mut self, k: usize, matrix: &[f64]) {
+        assert_eq!(matrix.len(), k * k, "dense layer must be k×k");
+        self.n_nodes = k;
+        self.offsets.clear();
+        self.entries.clear();
+        self.offsets.push(0);
+        for from in 0..k {
+            let row = &matrix[from * k..(from + 1) * k];
+            for (to, &p) in row.iter().enumerate() {
+                if p != 0.0 {
+                    self.entries.push((to as u32, p));
+                }
+            }
+            self.offsets.push(self.entries.len() as u32);
+        }
+    }
+}
+
+impl StepRows for LayerCsr {
+    #[inline]
+    fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    #[inline]
+    fn row(&self, from: usize) -> &[(u32, f64)] {
+        let lo = self.offsets[from] as usize;
+        let hi = self.offsets[from + 1] as usize;
+        &self.entries[lo..hi]
+    }
+}
+
 /// CSR layout of an inhomogeneous Markov sequence's nonzero transitions.
 #[derive(Debug, Clone)]
 pub struct SparseSteps {
@@ -66,6 +158,13 @@ impl SparseSteps {
         let lo = self.offsets[r] as usize;
         let hi = self.offsets[r + 1] as usize;
         &self.entries[lo..hi]
+    }
+
+    /// Borrowed [`StepRows`] view of one step, for the generic drivers.
+    #[inline]
+    pub fn at(&self, step: usize) -> StepView<'_> {
+        debug_assert!(step < self.n_steps, "step out of range");
+        StepView { steps: self, step }
     }
 
     /// Total number of stored nonzero transitions (diagnostics).
@@ -180,5 +279,36 @@ mod tests {
     fn unfinished_rows_are_rejected() {
         let b = SparseSteps::builder(2, 1);
         let _ = b.build();
+    }
+
+    #[test]
+    fn layer_csr_matches_step_view() {
+        // The same matrices as `rows_are_sparse_and_ordered`, loaded one
+        // dense layer at a time, must present identical rows.
+        let mut b = SparseSteps::builder(2, 2);
+        b.push_initial(0, 0.9);
+        b.push_initial(1, 0.1);
+        let layers = [vec![0.5, 0.5, 0.0, 1.0], vec![1.0, 0.0, 0.25, 0.75]];
+        for m in &layers {
+            for from in 0..2 {
+                for to in 0..2 {
+                    let p = m[from * 2 + to];
+                    if p != 0.0 {
+                        b.push_transition(to as u32, p);
+                    }
+                }
+                b.finish_row();
+            }
+        }
+        let s = b.build();
+        let mut csr = LayerCsr::new();
+        for (step, m) in layers.iter().enumerate() {
+            csr.load_dense(2, m);
+            let view = s.at(step);
+            assert_eq!(csr.n_nodes(), view.n_nodes());
+            for from in 0..2 {
+                assert_eq!(csr.row(from), view.row(from));
+            }
+        }
     }
 }

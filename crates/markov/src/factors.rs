@@ -124,8 +124,8 @@ pub fn chain_from_factors(
         *v /= z0;
     }
 
-    // Row-normalized transition matrices.
-    let mut transitions = Vec::with_capacity(n_minus_1);
+    // Row-normalized transition matrices, appended to one flat buffer.
+    let mut transitions = Vec::with_capacity(n_minus_1 * k * k);
     for i in 0..n_minus_1 {
         let next = &betas[i + 1];
         let mut m = vec![0.0; k * k];
@@ -150,7 +150,7 @@ pub fn chain_from_factors(
                 row[s] = 1.0;
             }
         }
-        transitions.push(m);
+        transitions.extend_from_slice(&m);
     }
 
     Ok(from_validated_parts(alphabet, initial, transitions))

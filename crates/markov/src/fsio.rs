@@ -1,0 +1,145 @@
+//! Path-based step sources: one opener for both on-disk formats.
+//!
+//! The data plane has two file formats — `.tms` text ([`crate::textio`])
+//! and `.tmsb` binary ([`crate::binio`]) — each with its own streaming
+//! reader. Consumers that take a *path* (the store's fleet helpers, the
+//! `tmk` CLI) dispatch on the extension here, getting back one
+//! [`FileStepSource`] that streams either format layer-at-a-time with
+//! O(|Σ|²) memory.
+
+use std::fs::File;
+use std::io::BufReader;
+use std::path::Path;
+use std::sync::Arc;
+
+use transmark_automata::Alphabet;
+
+use crate::binio::TmsbReader;
+use crate::sequence::MarkovSequence;
+use crate::source::{SourceError, StepSource};
+use crate::textio::TmsTextSource;
+
+/// Whether `path` names the binary `.tmsb` format (by extension,
+/// case-insensitive); anything else is treated as `.tms` text.
+pub fn is_binary_path(path: &Path) -> bool {
+    path.extension()
+        .map(|e| e.eq_ignore_ascii_case("tmsb"))
+        .unwrap_or(false)
+}
+
+/// A forward-only [`StepSource`] over an on-disk sequence in either
+/// format, chosen by [`is_binary_path`]. Both arms stream one layer per
+/// pull; neither materializes the sequence.
+pub enum FileStepSource {
+    /// `.tms` — chunked text reader.
+    Text(TmsTextSource<BufReader<File>>),
+    /// `.tmsb` — fixed-stride binary reader.
+    Binary(TmsbReader<BufReader<File>>),
+}
+
+/// Opens `path` as a streaming step source, dispatching on the extension.
+pub fn open_step_source(path: &Path) -> Result<FileStepSource, SourceError> {
+    let file = File::open(path)?;
+    let reader = BufReader::new(file);
+    if is_binary_path(path) {
+        Ok(FileStepSource::Binary(TmsbReader::new(reader)?))
+    } else {
+        Ok(FileStepSource::Text(TmsTextSource::new(reader)?))
+    }
+}
+
+/// Reads and fully materializes a sequence from `path` (either format),
+/// validating every distribution on the way in.
+pub fn read_sequence_path(path: &Path) -> Result<MarkovSequence, SourceError> {
+    let mut src = open_step_source(path)?;
+    crate::source::materialize(&mut src)
+}
+
+impl StepSource for FileStepSource {
+    fn alphabet(&self) -> &Arc<Alphabet> {
+        match self {
+            FileStepSource::Text(s) => s.alphabet(),
+            FileStepSource::Binary(s) => s.alphabet(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            FileStepSource::Text(s) => s.len(),
+            FileStepSource::Binary(s) => s.len(),
+        }
+    }
+
+    fn initial(&self) -> &[f64] {
+        match self {
+            FileStepSource::Text(s) => s.initial(),
+            FileStepSource::Binary(s) => s.initial(),
+        }
+    }
+
+    fn position(&self) -> usize {
+        match self {
+            FileStepSource::Text(s) => s.position(),
+            FileStepSource::Binary(s) => s.position(),
+        }
+    }
+
+    fn next_step(&mut self) -> Result<Option<&[f64]>, SourceError> {
+        match self {
+            FileStepSource::Text(s) => s.next_step(),
+            FileStepSource::Binary(s) => s.next_step(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{random_markov_sequence, RandomChainSpec};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn both_formats_stream_identically() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let m = random_markov_sequence(
+            &RandomChainSpec {
+                len: 5,
+                n_symbols: 3,
+                zero_prob: 0.3,
+            },
+            &mut rng,
+        );
+        let dir = std::env::temp_dir().join(format!("transmark-fsio-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let text_path = dir.join("m.tms");
+        let bin_path = dir.join("m.tmsb");
+        std::fs::write(&text_path, crate::textio::to_text(&m)).unwrap();
+        std::fs::write(&bin_path, crate::binio::to_tmsb_bytes(&m)).unwrap();
+
+        assert!(!is_binary_path(&text_path));
+        assert!(is_binary_path(&bin_path));
+        for path in [&text_path, &bin_path] {
+            let back = read_sequence_path(path).unwrap();
+            assert_eq!(back.len(), m.len());
+            assert_eq!(back.initial_dist(), m.initial_dist());
+            assert_eq!(back.transitions_flat(), m.transitions_flat());
+
+            let mut src = open_step_source(path).unwrap();
+            assert_eq!(src.len(), m.len());
+            assert_eq!(src.initial(), m.initial_dist());
+            for i in 0..m.len() - 1 {
+                assert_eq!(src.next_step().unwrap().unwrap(), m.transition_matrix(i));
+            }
+            assert!(src.next_step().unwrap().is_none());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_errors_cleanly() {
+        assert!(matches!(
+            open_step_source(Path::new("/nonexistent/x.tms")),
+            Err(SourceError::Io(_))
+        ));
+    }
+}

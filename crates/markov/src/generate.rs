@@ -51,15 +51,12 @@ pub fn random_markov_sequence<R: Rng + ?Sized>(
     ));
     let k = spec.n_symbols;
     let initial = random_row(k, spec.zero_prob, rng);
-    let transitions = (0..spec.len - 1)
-        .map(|_| {
-            let mut m = Vec::with_capacity(k * k);
-            for _ in 0..k {
-                m.extend(random_row(k, spec.zero_prob, rng));
-            }
-            m
-        })
-        .collect();
+    let mut transitions = Vec::with_capacity((spec.len - 1) * k * k);
+    for _ in 0..spec.len - 1 {
+        for _ in 0..k {
+            transitions.extend(random_row(k, spec.zero_prob, rng));
+        }
+    }
     from_validated_parts(alphabet, initial, transitions)
 }
 

@@ -185,7 +185,7 @@ impl KOrderMarkovSequence {
         let window_alphabet = Arc::new(Alphabet::from_names(names));
 
         let initial = self.initial_joint.clone();
-        let mut matrices = Vec::with_capacity(self.n - self.k);
+        let mut matrices = Vec::with_capacity((self.n - self.k) * n_ctx * n_ctx);
         for t in &self.transitions {
             let mut m = vec![0.0; n_ctx * n_ctx];
             for ctx in 0..n_ctx {
@@ -206,7 +206,7 @@ impl KOrderMarkovSequence {
                     m[ctx * n_ctx + ctx] = 1.0;
                 }
             }
-            matrices.push(m);
+            matrices.extend_from_slice(&m);
         }
         let chain = from_validated_parts(Arc::clone(&window_alphabet), initial, matrices);
         (

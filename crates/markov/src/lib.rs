@@ -28,13 +28,19 @@
 //!   chains, e.g. linear-chain CRFs, → `MarkovSequence`).
 //! * [`korder`] — k-order Markov sequences and their reduction to
 //!   first-order ones over a window alphabet (footnote 3).
+//! * [`source`] — the streaming data plane: the [`StepSource`] pull
+//!   contract plus the in-memory cursor; [`textio`] adds a chunked text
+//!   reader, [`binio`] the zero-copy binary `.tmsb` format, and [`fsio`]
+//!   the path-based opener dispatching between the two.
 //! * [`support`] — exhaustive enumeration of the nonzero-probability
 //!   strings, used as the brute-force oracle throughout the test suite.
 //! * [`numeric`] — compensated summation and comparison helpers shared by
 //!   the dynamic programs downstream.
 
+pub mod binio;
 pub mod error;
 pub mod factors;
+pub mod fsio;
 pub mod generate;
 pub mod hmm;
 pub mod hmm_textio;
@@ -43,12 +49,15 @@ pub mod korder;
 pub mod numeric;
 pub mod seqops;
 pub mod sequence;
+pub mod source;
 pub mod support;
 pub mod textio;
 
 pub use error::MarkovError;
+pub use fsio::FileStepSource;
 pub use hmm::Hmm;
 pub use korder::KOrderMarkovSequence;
 pub use sequence::{MarkovSequence, MarkovSequenceBuilder};
+pub use source::{RewindableStepSource, SequenceSource, SourceError, StepSource};
 
 pub use transmark_automata::{Alphabet, SymbolId};

@@ -33,16 +33,9 @@ pub fn window(m: &MarkovSequence, start: usize, len: usize) -> Result<MarkovSequ
         });
     }
     let initial = m.marginals()[start].clone();
-    let transitions: Vec<Vec<f64>> = (start..start + len - 1)
-        .map(|i| {
-            let k = m.n_symbols();
-            let mut t = Vec::with_capacity(k * k);
-            for from in 0..k {
-                t.extend_from_slice(m.transition_row(i, SymbolId(from as u32)));
-            }
-            t
-        })
-        .collect();
+    // The window's matrices are a contiguous slice of the flat buffer.
+    let kk = m.n_symbols() * m.n_symbols();
+    let transitions = m.transitions_flat()[start * kk..(start + len - 1) * kk].to_vec();
     Ok(from_validated_parts(m.alphabet_arc(), initial, transitions))
 }
 
@@ -194,7 +187,7 @@ pub fn reverse(m: &MarkovSequence) -> MarkovSequence {
     let n = m.len();
     let marg = m.marginals();
     let initial = marg[n - 1].clone();
-    let mut transitions = Vec::with_capacity(n.saturating_sub(1));
+    let mut transitions = Vec::with_capacity(n.saturating_sub(1) * k * k);
     // Reversed step j couples reversed positions j → j+1, i.e. original
     // positions n-1-j → n-2-j.
     for j in 0..n - 1 {
@@ -223,7 +216,7 @@ pub fn reverse(m: &MarkovSequence) -> MarkovSequence {
                 row[from] = 1.0;
             }
         }
-        transitions.push(t);
+        transitions.extend_from_slice(&t);
     }
     from_validated_parts(Arc::clone(&m.alphabet_arc()), initial, transitions)
 }

@@ -25,8 +25,10 @@ pub struct MarkovSequence {
     alphabet: Arc<Alphabet>,
     n: usize,
     initial: Vec<f64>,
-    /// `n - 1` row-major `|Σ|×|Σ|` matrices.
-    transitions: Vec<Vec<f64>>,
+    /// The `n - 1` row-major `|Σ|×|Σ|` matrices, back to back in one
+    /// contiguous buffer with stride `|Σ|²` (SoA layout). Step `i`'s
+    /// matrix is `transitions[i·|Σ|² .. (i+1)·|Σ|²]`.
+    transitions: Vec<f64>,
 }
 
 impl fmt::Debug for MarkovSequence {
@@ -62,6 +64,12 @@ impl MarkovSequence {
         Arc::clone(&self.alphabet)
     }
 
+    /// A borrow of the shared alphabet handle (no refcount traffic).
+    #[inline]
+    pub fn alphabet_ref(&self) -> &Arc<Alphabet> {
+        &self.alphabet
+    }
+
     /// Alphabet size `|Σ_μ|`.
     #[inline]
     pub fn n_symbols(&self) -> usize {
@@ -85,14 +93,31 @@ impl MarkovSequence {
     /// `0 ≤ i < n-1`).
     #[inline]
     pub fn transition_prob(&self, i: usize, from: SymbolId, to: SymbolId) -> f64 {
-        self.transitions[i][from.index() * self.alphabet.len() + to.index()]
+        let k = self.alphabet.len();
+        self.transitions[i * k * k + from.index() * k + to.index()]
     }
 
     /// The row `μ_{i+1→}(from, ·)` as a slice.
     #[inline]
     pub fn transition_row(&self, i: usize, from: SymbolId) -> &[f64] {
         let k = self.alphabet.len();
-        &self.transitions[i][from.index() * k..(from.index() + 1) * k]
+        let base = i * k * k + from.index() * k;
+        &self.transitions[base..base + k]
+    }
+
+    /// The whole step-`i` matrix as a row-major `|Σ|²` slice.
+    #[inline]
+    pub fn transition_matrix(&self, i: usize) -> &[f64] {
+        let kk = self.alphabet.len() * self.alphabet.len();
+        &self.transitions[i * kk..(i + 1) * kk]
+    }
+
+    /// All `n−1` transition matrices, back to back (stride `|Σ|²`) — the
+    /// contiguous buffer backing the sequence. Binary writers and the
+    /// window slicer read this directly.
+    #[inline]
+    pub fn transitions_flat(&self) -> &[f64] {
+        &self.transitions
     }
 
     /// The nonzero entries of the row `μ_{i+1→}(from, ·)`, in ascending
@@ -127,7 +152,7 @@ impl MarkovSequence {
                 b.push_initial(s as u32, p);
             }
         }
-        for m in &self.transitions {
+        for m in self.transitions.chunks_exact(k * k) {
             for from in 0..k {
                 for (to, &p) in m[from * k..(from + 1) * k].iter().enumerate() {
                     if p > 0.0 {
@@ -138,6 +163,13 @@ impl MarkovSequence {
             }
         }
         b.build()
+    }
+
+    /// A rewindable [`crate::source::StepSource`] cursor over this
+    /// in-memory sequence — the reference implementation the streamed
+    /// readers are pinned bit-identical against.
+    pub fn step_source(&self) -> crate::source::SequenceSource<'_> {
+        crate::source::SequenceSource::new(self)
     }
 
     /// Eq. (1): the probability `p(s)` of a full string `s ∈ Σⁿ`.
@@ -233,7 +265,7 @@ impl MarkovSequence {
                 if score[from] == f64::NEG_INFINITY {
                     continue;
                 }
-                let row = &self.transitions[i][from * k..(from + 1) * k];
+                let row = self.transition_row(i, SymbolId(from as u32));
                 for (to, &p) in row.iter().enumerate() {
                     if p > 0.0 {
                         let cand = score[from] + p.ln();
@@ -292,8 +324,8 @@ impl MarkovSequence {
         // The glued chain ignores `other`'s initial distribution: positions
         // after the glue step follow `glue` then `other`'s transitions.
         let mut transitions = self.transitions.clone();
-        transitions.push(glue.to_vec());
-        transitions.extend(other.transitions.iter().cloned());
+        transitions.extend_from_slice(glue);
+        transitions.extend_from_slice(&other.transitions);
         Ok(MarkovSequence {
             alphabet: Arc::clone(&self.alphabet),
             n: self.n + other.n,
@@ -318,7 +350,11 @@ fn sample_index<R: Rng + ?Sized>(dist: &[f64], rng: &mut R) -> usize {
         .expect("distribution has positive mass")
 }
 
-fn validate_vector(v: &[f64], what: &'static str, position: usize) -> Result<(), MarkovError> {
+pub(crate) fn validate_vector(
+    v: &[f64],
+    what: &'static str,
+    position: usize,
+) -> Result<(), MarkovError> {
     let mut sum = KahanSum::new();
     for &p in v {
         if !p.is_finite() || p < 0.0 {
@@ -342,7 +378,7 @@ fn validate_vector(v: &[f64], what: &'static str, position: usize) -> Result<(),
     Ok(())
 }
 
-fn validate_matrix(
+pub(crate) fn validate_matrix(
     m: &[f64],
     k: usize,
     what: &'static str,
@@ -404,7 +440,8 @@ pub struct MarkovSequenceBuilder {
     alphabet: Arc<Alphabet>,
     n: usize,
     initial: Vec<f64>,
-    transitions: Vec<Vec<f64>>,
+    /// Flat stride-`|Σ|²` buffer, same layout as the built sequence.
+    transitions: Vec<f64>,
 }
 
 impl MarkovSequenceBuilder {
@@ -415,7 +452,7 @@ impl MarkovSequenceBuilder {
         Self {
             n,
             initial: vec![0.0; k],
-            transitions: vec![vec![0.0; k * k]; n.saturating_sub(1)],
+            transitions: vec![0.0; n.saturating_sub(1) * k * k],
             alphabet,
         }
     }
@@ -435,13 +472,14 @@ impl MarkovSequenceBuilder {
     /// Sets `μ_{i+1→}(from, to) = p` (0-based step `i`, `0 ≤ i < n-1`).
     pub fn transition(mut self, i: usize, from: SymbolId, to: SymbolId, p: f64) -> Self {
         let k = self.alphabet.len();
-        self.transitions[i][from.index() * k + to.index()] = p;
+        self.transitions[i * k * k + from.index() * k + to.index()] = p;
         self
     }
 
     /// Replaces the whole step-`i` matrix (row-major `|Σ|²`).
     pub fn transition_matrix(mut self, i: usize, matrix: &[f64]) -> Self {
-        self.transitions[i].copy_from_slice(matrix);
+        let kk = self.alphabet.len() * self.alphabet.len();
+        self.transitions[i * kk..(i + 1) * kk].copy_from_slice(matrix);
         self
     }
 
@@ -449,8 +487,9 @@ impl MarkovSequenceBuilder {
     pub fn uniform_row(mut self, i: usize, from: SymbolId) -> Self {
         let k = self.alphabet.len();
         let p = 1.0 / k as f64;
+        let base = i * k * k + from.index() * k;
         for to in 0..k {
-            self.transitions[i][from.index() * k + to] = p;
+            self.transitions[base + to] = p;
         }
         self
     }
@@ -463,10 +502,8 @@ impl MarkovSequenceBuilder {
         let k = self.alphabet.len();
         let p = 1.0 / k as f64;
         self.initial = vec![p; k];
-        for m in &mut self.transitions {
-            for v in m.iter_mut() {
-                *v = p;
-            }
+        for v in self.transitions.iter_mut() {
+            *v = p;
         }
         self
     }
@@ -477,12 +514,12 @@ impl MarkovSequenceBuilder {
     /// all-zero row into a deterministic self-loop.
     pub fn fill_dead_rows_self_loop(mut self) -> Self {
         let k = self.alphabet.len();
-        for m in &mut self.transitions {
-            for from in 0..k {
-                let row = &mut m[from * k..(from + 1) * k];
-                if row.iter().all(|&p| p == 0.0) {
-                    row[from] = 1.0;
-                }
+        if k == 0 {
+            return self;
+        }
+        for (r, row) in self.transitions.chunks_exact_mut(k).enumerate() {
+            if row.iter().all(|&p| p == 0.0) {
+                row[r % k] = 1.0;
             }
         }
         self
@@ -495,7 +532,7 @@ impl MarkovSequenceBuilder {
         }
         validate_vector(&self.initial, "initial", 0)?;
         let k = self.alphabet.len();
-        for (i, m) in self.transitions.iter().enumerate() {
+        for (i, m) in self.transitions.chunks_exact(k * k).enumerate() {
             validate_matrix(m, k, "transition", i)?;
         }
         Ok(MarkovSequence {
@@ -508,13 +545,22 @@ impl MarkovSequenceBuilder {
 }
 
 /// Internal constructor used by the translation front-ends (`hmm`,
-/// `factors`), which produce already-validated rows.
+/// `factors`) and the binary reader, which produce already-validated rows.
+/// `transitions` is the flat stride-`|Σ|²` buffer; `n` is derived from its
+/// length.
 pub(crate) fn from_validated_parts(
     alphabet: Arc<Alphabet>,
     initial: Vec<f64>,
-    transitions: Vec<Vec<f64>>,
+    transitions: Vec<f64>,
 ) -> MarkovSequence {
-    let n = transitions.len() + 1;
+    let kk = alphabet.len() * alphabet.len();
+    debug_assert!(kk > 0, "alphabet must be nonempty");
+    debug_assert_eq!(
+        transitions.len() % kk,
+        0,
+        "flat buffer must be whole matrices"
+    );
+    let n = transitions.len() / kk + 1;
     MarkovSequence {
         alphabet,
         n,

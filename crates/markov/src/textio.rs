@@ -198,6 +198,210 @@ pub fn from_text(text: &str) -> Result<MarkovSequence, TextIoError> {
     Ok(b.build()?)
 }
 
+/// A chunked, incremental reader of the v1 text format: a
+/// [`StepSource`](crate::source::StepSource) that parses one `step` block
+/// at a time from any [`BufRead`], holding O(|Σ|²) state regardless of
+/// sequence length. Feeding it the output of [`to_text`] yields exactly
+/// the matrices [`from_text`] would materialize (same `f64::from_str`
+/// parses), so streamed evaluation is bit-identical to the in-memory
+/// path.
+///
+/// Forward-only: text readers (files, pipes, stdin) are consumed as they
+/// are parsed. Use the binary format ([`crate::binio`]) when a
+/// rewindable source is needed.
+pub struct TmsTextSource<R> {
+    reader: R,
+    line_no: usize,
+    /// Reused raw-line buffer.
+    line: String,
+    alphabet: Arc<Alphabet>,
+    n: usize,
+    initial: Vec<f64>,
+    pos: usize,
+    /// Reused `|Σ|²` matrix buffer.
+    buf: Vec<f64>,
+    trailing_checked: bool,
+}
+
+use std::io::BufRead;
+
+use crate::sequence::{validate_matrix, validate_vector};
+use crate::source::{SourceError, StepSource};
+
+fn serr(line: usize, message: impl Into<String>) -> SourceError {
+    SourceError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+impl<R: BufRead> TmsTextSource<R> {
+    /// Parses the header (magic line, alphabet, length, initial
+    /// distribution), leaving the reader positioned before the first
+    /// `step` block.
+    pub fn new(reader: R) -> Result<Self, SourceError> {
+        let mut src = TmsTextSource {
+            reader,
+            line_no: 0,
+            line: String::new(),
+            alphabet: Arc::new(Alphabet::from_names(std::iter::empty::<&str>())),
+            n: 0,
+            initial: Vec::new(),
+            pos: 0,
+            buf: Vec::new(),
+            trailing_checked: false,
+        };
+
+        let ln = src
+            .read_meaningful()?
+            .ok_or_else(|| serr(0, "empty input"))?;
+        let header = src.line.trim();
+        if header != "markov-sequence v1" {
+            return Err(serr(
+                ln,
+                format!("expected \"markov-sequence v1\", found {header:?}"),
+            ));
+        }
+
+        let ln = src
+            .read_meaningful()?
+            .ok_or_else(|| serr(0, "missing alphabet line"))?;
+        {
+            let mut parts = src.line.split_whitespace();
+            if parts.next() != Some("alphabet") {
+                return Err(serr(ln, "expected \"alphabet <names…>\""));
+            }
+            let names: Vec<&str> = parts.collect();
+            if names.is_empty() {
+                return Err(serr(ln, "alphabet must have at least one symbol"));
+            }
+            let alphabet = Arc::new(Alphabet::from_names(names.iter().copied()));
+            if alphabet.len() != names.len() {
+                return Err(serr(ln, "duplicate symbol names in alphabet"));
+            }
+            src.alphabet = alphabet;
+        }
+        let k = src.alphabet.len();
+
+        let ln = src
+            .read_meaningful()?
+            .ok_or_else(|| serr(0, "missing length line"))?;
+        src.n = src
+            .line
+            .trim()
+            .strip_prefix("length")
+            .map(str::trim)
+            .ok_or_else(|| serr(ln, "expected \"length <n>\""))?
+            .parse()
+            .map_err(|e| serr(ln, format!("bad length: {e}")))?;
+        if src.n == 0 {
+            return Err(SourceError::Model(MarkovError::EmptySequence));
+        }
+
+        let ln = src
+            .read_meaningful()?
+            .ok_or_else(|| serr(0, "missing initial line"))?;
+        let body = src
+            .line
+            .trim()
+            .strip_prefix("initial")
+            .ok_or_else(|| serr(ln, "expected \"initial <p…>\""))?
+            .to_string();
+        src.initial = parse_floats(ln, &body, k, "initial distribution")?;
+        validate_vector(&src.initial, "initial", 0)?;
+
+        src.buf.reserve(k * k);
+        Ok(src)
+    }
+
+    /// Reads the next nonempty, non-comment line into `self.line`,
+    /// returning its 1-based number; `None` at end of input.
+    fn read_meaningful(&mut self) -> Result<Option<usize>, SourceError> {
+        loop {
+            self.line.clear();
+            let read = self.reader.read_line(&mut self.line)?;
+            if read == 0 {
+                return Ok(None);
+            }
+            self.line_no += 1;
+            let t = self.line.trim();
+            if !t.is_empty() && !t.starts_with('#') {
+                return Ok(Some(self.line_no));
+            }
+        }
+    }
+}
+
+fn parse_floats(ln: usize, body: &str, k: usize, what: &str) -> Result<Vec<f64>, SourceError> {
+    let vals: Result<Vec<f64>, _> = body.split_whitespace().map(str::parse).collect();
+    let vals = vals.map_err(|e| serr(ln, format!("bad number in {what}: {e}")))?;
+    if vals.len() != k {
+        return Err(serr(
+            ln,
+            format!("{what} has {} entries, expected {k}", vals.len()),
+        ));
+    }
+    Ok(vals)
+}
+
+impl<R: BufRead> StepSource for TmsTextSource<R> {
+    fn alphabet(&self) -> &Arc<Alphabet> {
+        &self.alphabet
+    }
+
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn initial(&self) -> &[f64] {
+        &self.initial
+    }
+
+    fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn next_step(&mut self) -> Result<Option<&[f64]>, SourceError> {
+        if self.pos + 1 >= self.n {
+            if !self.trailing_checked {
+                self.trailing_checked = true;
+                if let Some(ln) = self.read_meaningful()? {
+                    return Err(serr(
+                        ln,
+                        format!("unexpected trailing content: {:?}", self.line.trim()),
+                    ));
+                }
+            }
+            return Ok(None);
+        }
+        let step = self.pos;
+        let k = self.alphabet.len();
+
+        let ln = self
+            .read_meaningful()?
+            .ok_or_else(|| serr(0, format!("missing \"step {step}\" header")))?;
+        if self.line.trim() != format!("step {step}") {
+            return Err(serr(
+                ln,
+                format!("expected \"step {step}\", found {:?}", self.line.trim()),
+            ));
+        }
+
+        self.buf.clear();
+        for row in 0..k {
+            let ln = self
+                .read_meaningful()?
+                .ok_or_else(|| serr(0, format!("missing row {row} of step {step}")))?;
+            let body = self.line.trim().to_string();
+            let vals = parse_floats(ln, &body, k, &format!("step {step} row {row}"))?;
+            self.buf.extend_from_slice(&vals);
+        }
+        validate_matrix(&self.buf, k, "transition", step)?;
+        self.pos += 1;
+        Ok(Some(&self.buf))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,6 +490,56 @@ mod tests {
         let text =
             "markov-sequence v1\nalphabet a b\nlength 2\ninitial 0.6 0.3\nstep 0\n1 0\n0 1\n";
         assert!(matches!(from_text(text), Err(TextIoError::Model(_))));
+    }
+
+    #[test]
+    fn streamed_text_source_matches_in_memory_bitwise() {
+        let mut rng = StdRng::seed_from_u64(123);
+        for len in [1usize, 2, 6] {
+            let m = random_markov_sequence(
+                &RandomChainSpec {
+                    len,
+                    n_symbols: 3,
+                    zero_prob: 0.4,
+                },
+                &mut rng,
+            );
+            let text = to_text(&m);
+            let parsed = from_text(&text).unwrap();
+            let mut src = TmsTextSource::new(text.as_bytes()).unwrap();
+            assert_eq!(src.len(), parsed.len());
+            assert_eq!(src.initial(), parsed.initial_dist());
+            for i in 0..len - 1 {
+                let layer = src.next_step().unwrap().expect("layer").to_vec();
+                assert_eq!(layer, parsed.transition_matrix(i));
+            }
+            assert!(src.next_step().unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn streamed_text_source_rejects_what_from_text_rejects() {
+        let bad = [
+            "nope",
+            "markov-sequence v1\nalphabet",
+            "markov-sequence v1\nalphabet a a\nlength 1\ninitial 1",
+            "markov-sequence v1\nalphabet a b\nlen 2",
+            "markov-sequence v1\nalphabet a b\nlength 2\ninitial 1 0\nstep 1\n1 0\n0 1",
+            "markov-sequence v1\nalphabet a b\nlength 2\ninitial 1 0\nstep 0\n1 0 0\n0 1",
+            "markov-sequence v1\nalphabet a b\nlength 2\ninitial 0.6 0.3\nstep 0\n1 0\n0 1",
+        ];
+        for text in bad {
+            let drained = TmsTextSource::new(text.as_bytes()).and_then(|mut s| {
+                while s.next_step()?.is_some() {}
+                Ok(())
+            });
+            assert!(drained.is_err(), "accepted {text:?}");
+            assert!(from_text(text).is_err());
+        }
+        // Trailing junk is caught at end of stream.
+        let trailing = "markov-sequence v1\nalphabet a b\nlength 1\ninitial 1 0\ntrailing junk";
+        let mut s = TmsTextSource::new(trailing.as_bytes()).unwrap();
+        assert!(s.next_step().is_err());
     }
 
     #[test]

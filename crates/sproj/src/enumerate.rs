@@ -183,7 +183,10 @@ pub(crate) fn enumerate_by_imax_lawler_planned<'m>(
 
 /// `I_max(o)` over already-built Theorem 5.8 tables: the best occurrence
 /// confidence across all valid indices, `O(n·|o|)`.
-pub(crate) fn imax_of_output_from(ev: &IndexedEvaluator<'_>, o: &[transmark_automata::SymbolId]) -> f64 {
+pub(crate) fn imax_of_output_from(
+    ev: &IndexedEvaluator<'_>,
+    o: &[transmark_automata::SymbolId],
+) -> f64 {
     let n = ev.n();
     let hi = if o.is_empty() {
         n + 1

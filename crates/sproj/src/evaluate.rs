@@ -21,9 +21,7 @@ use transmark_core::error::EngineError;
 use transmark_markov::MarkovSequence;
 
 use crate::enumerate::{enumerate_by_imax_lawler_planned, imax_of_output_from};
-use crate::indexed::{
-    enumerate_indexed_from, IndexedAnswer, IndexedEnumeration, IndexedEvaluator,
-};
+use crate::indexed::{enumerate_indexed_from, IndexedAnswer, IndexedEnumeration, IndexedEvaluator};
 use crate::plan::{PreparedProjector, SprojExplain};
 use crate::projector::SProjector;
 

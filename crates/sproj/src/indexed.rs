@@ -141,7 +141,7 @@ impl<'a> IndexedEvaluator<'a> {
         for step in 0..n - 1 {
             ws.clear_next(0.0);
             let (cur, next) = ws.buffers();
-            advance::<Prob>(&steps, step, bgraph, cur, next);
+            advance::<Prob, _>(&steps.at(step), bgraph, cur, next);
             ws.swap();
             prefix_b.push(collect_prefix(ws.cur()));
         }

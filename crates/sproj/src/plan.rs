@@ -126,7 +126,10 @@ impl PreparedProjector {
     /// The memoized Lemma 5.10 constraint product: the projector whose
     /// pattern is `pattern ∩ constraint`.
     pub(crate) fn constrained(&self, c: &PrefixConstraint) -> Arc<SProjector> {
-        let mut cache = self.constraint_products.lock().expect("plan cache poisoned");
+        let mut cache = self
+            .constraint_products
+            .lock()
+            .expect("plan cache poisoned");
         cache.get_or_insert_with(c, || {
             let pattern = ops::product(
                 self.p.pattern_dfa(),
@@ -170,7 +173,10 @@ impl PreparedProjector {
             (c.len(), c.hits(), c.misses())
         };
         let (cp_len, cp_hits, cp_misses) = {
-            let c = self.constraint_products.lock().expect("plan cache poisoned");
+            let c = self
+                .constraint_products
+                .lock()
+                .expect("plan cache poisoned");
             (c.len(), c.hits(), c.misses())
         };
         SprojExplain {
@@ -300,7 +306,10 @@ mod tests {
         let planned = plan.confidence(&m, &o).unwrap();
         assert_eq!(free.to_bits(), planned.to_bits());
         // Second call hits the concat-NFA cache and stays identical.
-        assert_eq!(plan.confidence(&m, &o).unwrap().to_bits(), planned.to_bits());
+        assert_eq!(
+            plan.confidence(&m, &o).unwrap().to_bits(),
+            planned.to_bits()
+        );
         let e = plan.explain();
         assert_eq!(e.cached_concat_nfas, 1);
         assert_eq!(e.cache_hits, 1);

@@ -29,7 +29,9 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 use transmark_automata::{Alphabet, Nfa, SymbolId};
-use transmark_core::confidence::{acceptance_probability, prefix_acceptance_probabilities};
+use transmark_core::confidence::{
+    acceptance_probability, acceptance_probability_source, prefix_acceptance_probabilities,
+};
 use transmark_core::error::EngineError;
 use transmark_core::evaluate::{Evaluation, ScoredAnswer};
 use transmark_core::plan::PreparedQuery;
@@ -372,8 +374,9 @@ impl SequenceStore {
 
     /// Maps `f` over all streams on `n_threads` OS threads (queries are
     /// read-only and independent per stream, so fleet evaluation is
-    /// embarrassingly parallel). Results come back in name order; the
-    /// first error wins.
+    /// embarrassingly parallel). `n_threads == 0` means one worker per
+    /// available core ([`resolve_threads`]). Results come back in name
+    /// order; the first error wins.
     pub fn par_map_streams<T, F>(
         &self,
         n_threads: usize,
@@ -383,7 +386,7 @@ impl SequenceStore {
         T: Send,
         F: Fn(&str, &MarkovSequence) -> Result<T, StoreError> + Sync,
     {
-        let n_threads = n_threads.max(1);
+        let n_threads = resolve_threads(n_threads);
         let streams: Vec<(&String, &MarkovSequence)> = self.streams.iter().collect();
         if streams.is_empty() {
             return Ok(BTreeMap::new());
@@ -440,6 +443,18 @@ impl SequenceStore {
     /// `markov-sequence v1` text format, plus a `store.manifest` listing
     /// them. Stream names must be valid file stems (no path separators).
     pub fn save_dir(&self, dir: &std::path::Path) -> Result<(), StoreError> {
+        self.save_dir_with(dir, false)
+    }
+
+    /// [`SequenceStore::save_dir`] in the zero-copy binary `.tmsb` format
+    /// ([`transmark_markov::binio`]) — the layout [`SequenceStore::load_dir`]
+    /// and the streaming fleet helpers ([`event_probability_files`],
+    /// [`confidence_files`]) consume without a text parse.
+    pub fn save_dir_binary(&self, dir: &std::path::Path) -> Result<(), StoreError> {
+        self.save_dir_with(dir, true)
+    }
+
+    fn save_dir_with(&self, dir: &std::path::Path, binary: bool) -> Result<(), StoreError> {
         std::fs::create_dir_all(dir).map_err(|e| StoreError::Io(e.to_string()))?;
         let mut manifest = String::new();
         for (name, m) in &self.streams {
@@ -448,8 +463,13 @@ impl SequenceStore {
                     "stream name {name:?} is not a file stem"
                 )));
             }
-            let path = dir.join(format!("{name}.tms"));
-            std::fs::write(&path, transmark_markov::textio::to_text(m))
+            let (ext, bytes) = if binary {
+                ("tmsb", transmark_markov::binio::to_tmsb_bytes(m))
+            } else {
+                ("tms", transmark_markov::textio::to_text(m).into_bytes())
+            };
+            let path = dir.join(format!("{name}.{ext}"));
+            std::fs::write(&path, bytes)
                 .map_err(|e| StoreError::Io(format!("{}: {e}", path.display())))?;
             manifest.push_str(name);
             manifest.push('\n');
@@ -459,19 +479,23 @@ impl SequenceStore {
         Ok(())
     }
 
-    /// Loads a store previously written by [`SequenceStore::save_dir`].
-    /// The alphabet is taken from the first stream; all streams must
-    /// agree on it.
+    /// Loads a store previously written by [`SequenceStore::save_dir`] or
+    /// [`SequenceStore::save_dir_binary`]: each manifest entry resolves to
+    /// `<name>.tms` or, failing that, `<name>.tmsb`. The alphabet is taken
+    /// from the first stream; all streams must agree on it.
     pub fn load_dir(dir: &std::path::Path) -> Result<SequenceStore, StoreError> {
         let manifest = std::fs::read_to_string(dir.join("store.manifest"))
             .map_err(|e| StoreError::Io(format!("{}: {e}", dir.display())))?;
         let names: Vec<&str> = manifest.lines().filter(|l| !l.is_empty()).collect();
         let mut store: Option<SequenceStore> = None;
         for name in names {
-            let path = dir.join(format!("{name}.tms"));
-            let text = std::fs::read_to_string(&path)
-                .map_err(|e| StoreError::Io(format!("{}: {e}", path.display())))?;
-            let m = transmark_markov::textio::from_text(&text)
+            let text_path = dir.join(format!("{name}.tms"));
+            let path = if text_path.exists() {
+                text_path
+            } else {
+                dir.join(format!("{name}.tmsb"))
+            };
+            let m = transmark_markov::fsio::read_sequence_path(&path)
                 .map_err(|e| StoreError::Io(format!("{}: {e}", path.display())))?;
             let s = store.get_or_insert_with(|| SequenceStore::new(m.alphabet_arc()));
             s.insert(name, m)?;
@@ -541,6 +565,99 @@ impl SequenceStore {
             })
             .collect()
     }
+}
+
+// ---- Streaming file fleets ------------------------------------------------
+//
+// The fleet helpers below run forward-only queries directly over `.tms` /
+// `.tmsb` files: every worker opens its file as a streaming
+// [`StepSource`](transmark_markov::StepSource) and folds it layer at a
+// time, so per-worker memory is O(|Σ|² + reachable subsets) regardless of
+// sequence length — no stream is ever materialized. Results are
+// bit-identical to loading the file and running the in-memory pass.
+
+/// Resolves a requested worker count: `0` means "one worker per available
+/// core" ([`std::thread::available_parallelism`]); anything else is taken
+/// literally.
+pub fn resolve_threads(n_threads: usize) -> usize {
+    if n_threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        n_threads
+    }
+}
+
+/// Maps `f` over sequence-file paths on `n_threads` OS threads
+/// (`0` = auto, see [`resolve_threads`]). Results are keyed by the path's
+/// display string, in sorted order; the first error wins.
+pub fn par_map_paths<T, F>(
+    paths: &[std::path::PathBuf],
+    n_threads: usize,
+    f: F,
+) -> Result<BTreeMap<String, T>, StoreError>
+where
+    T: Send,
+    F: Fn(&std::path::Path) -> Result<T, StoreError> + Sync,
+{
+    let n_threads = resolve_threads(n_threads);
+    if paths.is_empty() {
+        return Ok(BTreeMap::new());
+    }
+    let chunk = paths.len().div_ceil(n_threads).max(1);
+    let results = std::thread::scope(|scope| {
+        let handles: Vec<_> = paths
+            .chunks(chunk)
+            .map(|part| {
+                let f = &f;
+                scope.spawn(move || {
+                    part.iter()
+                        .map(|path| Ok((path.display().to_string(), f(path)?)))
+                        .collect::<Result<Vec<(String, T)>, StoreError>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread does not panic"))
+            .collect::<Result<Vec<_>, StoreError>>()
+    })?;
+    Ok(results.into_iter().flatten().collect())
+}
+
+fn open_source(path: &std::path::Path) -> Result<transmark_markov::FileStepSource, StoreError> {
+    transmark_markov::fsio::open_step_source(path)
+        .map_err(|e| StoreError::Io(format!("{}: {e}", path.display())))
+}
+
+/// `Pr(stream ∈ L(query))` for every sequence file, streamed — the
+/// on-disk counterpart of [`SequenceStore::event_probability_parallel`].
+pub fn event_probability_files(
+    query: &Nfa,
+    paths: &[std::path::PathBuf],
+    n_threads: usize,
+) -> Result<BTreeMap<String, f64>, StoreError> {
+    par_map_paths(paths, n_threads, |path| {
+        let mut src = open_source(path)?;
+        Ok(acceptance_probability_source(query, &mut src)?)
+    })
+}
+
+/// `Pr(stream →[query]→ o)` for every sequence file, streamed through one
+/// shared compiled plan — the on-disk counterpart of
+/// [`SequenceStore::confidence_all_parallel`].
+pub fn confidence_files(
+    query: &Transducer,
+    o: &[SymbolId],
+    paths: &[std::path::PathBuf],
+    n_threads: usize,
+) -> Result<BTreeMap<String, f64>, StoreError> {
+    let plan = transmark_core::plan::prepare(query);
+    par_map_paths(paths, n_threads, |path| {
+        let src = open_source(path)?;
+        Ok(plan.bind_source(src)?.confidence(o)?)
+    })
 }
 
 #[cfg(test)]
@@ -742,6 +859,36 @@ mod persistence_tests {
     }
 
     #[test]
+    fn binary_save_and_load_round_trip() {
+        let alphabet = Alphabet::of_chars("ab");
+        let mut store = SequenceStore::new(alphabet);
+        let mut rng = StdRng::seed_from_u64(123);
+        for name in ["alpha", "beta"] {
+            let m = random_markov_sequence(
+                &RandomChainSpec {
+                    len: 5,
+                    n_symbols: 2,
+                    zero_prob: 0.2,
+                },
+                &mut rng,
+            );
+            store.insert(name, m).unwrap();
+        }
+        let dir = std::env::temp_dir().join(format!("transmark-store-bin-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        store.save_dir_binary(&dir).unwrap();
+        assert!(dir.join("alpha.tmsb").exists());
+        assert!(!dir.join("alpha.tms").exists());
+        let loaded = SequenceStore::load_dir(&dir).unwrap();
+        for name in ["alpha", "beta"] {
+            let (a, b) = (store.get(name).unwrap(), loaded.get(name).unwrap());
+            assert_eq!(a.initial_dist(), b.initial_dist());
+            assert_eq!(a.transitions_flat(), b.transitions_flat());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn bad_stream_names_are_rejected() {
         let alphabet = Alphabet::of_chars("a");
         let mut store = SequenceStore::new(alphabet.clone());
@@ -894,7 +1041,8 @@ mod plan_cache_tests {
         let mut b = Transducer::builder(Arc::clone(alphabet), Arc::clone(alphabet));
         let q = b.add_state(true);
         for s in 0..2u32 {
-            b.add_transition(q, SymbolId(s), q, &[SymbolId(1 - s)]).unwrap();
+            b.add_transition(q, SymbolId(s), q, &[SymbolId(1 - s)])
+                .unwrap();
         }
         b.build().unwrap()
     }
@@ -951,8 +1099,10 @@ mod plan_cache_tests {
             let q0 = b.add_state(false);
             let q1 = b.add_state(true);
             for s in 0..2u32 {
-                b.add_transition(q0, SymbolId(s), q1, &[SymbolId(s)]).unwrap();
-                b.add_transition(q1, SymbolId(s), q1, &[SymbolId(s)]).unwrap();
+                b.add_transition(q0, SymbolId(s), q1, &[SymbolId(s)])
+                    .unwrap();
+                b.add_transition(q1, SymbolId(s), q1, &[SymbolId(s)])
+                    .unwrap();
             }
             b.build().unwrap()
         };
@@ -1007,6 +1157,114 @@ mod plan_cache_tests {
             let want = transmark_core::confidence(&t, m, &o).unwrap();
             assert_eq!(c.to_bits(), want.to_bits(), "stream {name}");
         }
+    }
+}
+
+#[cfg(test)]
+mod file_fleet_tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use transmark_markov::generate::{random_markov_sequence, RandomChainSpec};
+
+    fn store_with_streams(k: usize) -> SequenceStore {
+        let alphabet = Alphabet::of_chars("ab");
+        let mut store = SequenceStore::new(alphabet);
+        let mut rng = StdRng::seed_from_u64(55);
+        for i in 0..k {
+            let m = random_markov_sequence(
+                &RandomChainSpec {
+                    len: 6,
+                    n_symbols: 2,
+                    zero_prob: 0.2,
+                },
+                &mut rng,
+            );
+            store.insert(format!("s{i}"), m).unwrap();
+        }
+        store
+    }
+
+    fn has_b() -> Nfa {
+        let mut nfa = Nfa::new(2);
+        let q0 = nfa.add_state(false);
+        let acc = nfa.add_state(true);
+        nfa.add_transition(q0, SymbolId(0), q0);
+        nfa.add_transition(q0, SymbolId(1), acc);
+        nfa.add_transition(acc, SymbolId(0), acc);
+        nfa.add_transition(acc, SymbolId(1), acc);
+        nfa
+    }
+
+    #[test]
+    fn resolve_threads_zero_means_all_cores() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+        // And the fleet path accepts 0 end to end.
+        let store = store_with_streams(3);
+        let seq = store.event_probability(&has_b()).unwrap();
+        let auto = store.event_probability_parallel(&has_b(), 0).unwrap();
+        assert_eq!(seq, auto);
+    }
+
+    /// Mixed-format file fleet, streamed: bitwise equal to the in-memory
+    /// passes, for both the Boolean and the transducer query.
+    #[test]
+    fn streamed_file_fleet_matches_in_memory_bitwise() {
+        let store = store_with_streams(5);
+        let dir =
+            std::env::temp_dir().join(format!("transmark-store-fleet-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Alternate text and binary files across the fleet.
+        let mut paths = Vec::new();
+        for (i, name) in store.names().enumerate() {
+            let m = store.get(name).unwrap();
+            let path = if i % 2 == 0 {
+                let p = dir.join(format!("{name}.tms"));
+                std::fs::write(&p, transmark_markov::textio::to_text(m)).unwrap();
+                p
+            } else {
+                let p = dir.join(format!("{name}.tmsb"));
+                std::fs::write(&p, transmark_markov::binio::to_tmsb_bytes(m)).unwrap();
+                p
+            };
+            paths.push(path);
+        }
+
+        let q = has_b();
+        let streamed = event_probability_files(&q, &paths, 2).unwrap();
+        for (name, path) in store.names().zip(paths.iter()) {
+            let want = acceptance_probability(&q, store.get(name).unwrap()).unwrap();
+            let got = streamed[&path.display().to_string()];
+            assert_eq!(got.to_bits(), want.to_bits(), "stream {name}");
+        }
+
+        // Identity transducer; confidence of output "a b".
+        let alphabet = Arc::new(store.alphabet().clone());
+        let mut b = Transducer::builder(Arc::clone(&alphabet), Arc::clone(&alphabet));
+        let st = b.add_state(true);
+        for s in 0..2u32 {
+            b.add_transition(st, SymbolId(s), st, &[SymbolId(s)])
+                .unwrap();
+        }
+        let t = b.build().unwrap();
+        let o = [SymbolId(0), SymbolId(1)];
+        let streamed = confidence_files(&t, &o, &paths, 0).unwrap();
+        for (name, path) in store.names().zip(paths.iter()) {
+            let want = transmark_core::confidence(&t, store.get(name).unwrap(), &o).unwrap();
+            let got = streamed[&path.display().to_string()];
+            assert_eq!(got.to_bits(), want.to_bits(), "stream {name}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_fails_cleanly() {
+        let paths = vec![std::path::PathBuf::from("/nonexistent/x.tms")];
+        assert!(matches!(
+            event_probability_files(&has_b(), &paths, 1),
+            Err(StoreError::Io(_))
+        ));
     }
 }
 

@@ -12,7 +12,9 @@
 //! tmk enumerate <sequence.tms> <query.tmt> [--limit N] [--explain]
 //! tmk confidence <sequence.tms> <query.tmt> [--explain] <output-symbol>...
 //! tmk evidences <sequence.tms> <query.tmt> [--k N] <output-symbol>...
-//! tmk batch <query.tmt> <sequence.tms>... [--k N] [--explain]
+//! tmk batch <query.tmt> <sequence>... [--k N] [--threads N] [--confidence SYMS] [--explain]
+//! tmk stream <query.tmt> [steps.tms|steps.tmsb|-]
+//! tmk convert <in.tms|in.tmsb> <out.tms|out.tmsb>
 //! tmk extract <sequence.tms> <query.tmp> [--k N] [--explain]
 //! tmk occurrences <sequence.tms> <query.tmp> [--k N] [--explain]
 //! tmk posterior <model.tmh> --out <file.tms> <observation>...
@@ -25,8 +27,14 @@
 //! `batch` compiles the query once and binds the one shared plan to
 //! every sequence file in turn.
 //!
-//! Sequences use the `markov-sequence v1` format
-//! ([`transmark_markov::textio`]); queries use `transducer v1`
+//! Sequences are accepted in either on-disk format, chosen by extension:
+//! `.tms` text ([`transmark_markov::textio`]) or `.tmsb` zero-copy binary
+//! ([`transmark_markov::binio`]); `tmk convert` maps between them.
+//! Forward-only commands (`stream`, `batch --confidence`) fold the file
+//! as a [`transmark_markov::StepSource`], one `|Σ|²` layer at a time, so
+//! they never materialize the sequence — `tmk stream` also reads step
+//! records from stdin (`-`), printing the running acceptance probability
+//! after each folded layer. Queries use `transducer v1`
 //! ([`transmark_core::textio`]).
 
 use std::fmt::Write as _;
@@ -81,22 +89,33 @@ USAGE:
   tmk confidence <sequence.tms> <query.tmt> <sym>...    confidence of one output
   tmk evidences <sequence.tms> <query.tmt> [--k N] <sym>...
                                                         most likely worlds behind an output
-  tmk batch <query.tmt> <seq.tms>... [--k N]            one query, many sequences, one shared plan
+  tmk batch <query.tmt> <seq>... [--k N]                one query, many sequences, one shared plan
+  tmk stream <query.tmt> [steps|-]                      fold steps from file or stdin, printing the
+                                                        running acceptance probability
+  tmk convert <in> <out>                                convert .tms <-> .tmsb (validated round trip)
   tmk extract <sequence.tms> <query.tmp> [--k N]        s-projector: distinct strings by I_max
   tmk occurrences <sequence.tms> <query.tmp> [--k N]    s-projector: (string, position) by confidence
   tmk posterior <model.tmh> --out <f.tms> <obs>...      condition an HMM, write the posterior
   tmk export-example <dir>                              write the paper's running example
 
 OPTIONS:
-  --explain   (top, enumerate, confidence, batch, extract, occurrences)
-              print the compiled query plan — its Table 2 route, machine
-              shape, and precompile cost — before the results
+  --explain            (top, enumerate, confidence, batch, extract, occurrences)
+                       print the compiled query plan — its Table 2 route, machine
+                       shape, and precompile cost — before the results
+  --threads N          (batch) evaluate the fleet on N OS threads; 0 = one per
+                       available core (default 1)
+  --confidence SYMS    (batch) instead of top-k, stream the confidence of the
+                       comma-separated output SYMS over each file without
+                       materializing it
 
 FILES:
-  .tms — markov-sequence v1 (see transmark_markov::textio)
-  .tmt — transducer v1      (see transmark_core::textio)
-  .tmp — sprojector v1      (see transmark_sproj::textio)
-  .tmh — hmm v1             (see transmark_markov::hmm_textio)";
+  .tms  — markov-sequence v1, text   (see transmark_markov::textio)
+  .tmsb — markov-sequence v1, binary (zero-copy; see transmark_markov::binio)
+  .tmt  — transducer v1              (see transmark_core::textio)
+  .tmp  — sprojector v1              (see transmark_sproj::textio)
+  .tmh  — hmm v1                     (see transmark_markov::hmm_textio)
+
+Sequence arguments accept either format, dispatched on the extension.";
 
 /// Parses `--flag value` style options out of an argument list, returning
 /// the remaining positional arguments.
@@ -130,9 +149,10 @@ fn parse_usize(s: &str, what: &str) -> Result<usize, CliError> {
 }
 
 fn load_sequence(path: &str) -> Result<MarkovSequence, CliError> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| run_err(format!("cannot read {path}: {e}")))?;
-    transmark_markov::textio::from_text(&text).map_err(|e| run_err(format!("{path}: {e}")))
+    transmark_markov::fsio::read_sequence_path(Path::new(path)).map_err(|e| match e {
+        transmark_markov::SourceError::Io(e) => run_err(format!("cannot read {path}: {e}")),
+        e => run_err(format!("{path}: {e}")),
+    })
 }
 
 fn load_sprojector(path: &str) -> Result<transmark_sproj::SProjector, CliError> {
@@ -286,9 +306,14 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 .map(|v| parse_usize(&v, "--k"))
                 .transpose()?
                 .unwrap_or(10);
+            let threads = take_opt(&mut args, "--threads")?
+                .map(|v| parse_usize(&v, "--threads"))
+                .transpose()?
+                .unwrap_or(1);
+            let conf_syms = take_opt(&mut args, "--confidence")?;
             let explain = take_flag(&mut args, "--explain");
             if args.len() < 2 {
-                return Err(usage_err("batch needs <query.tmt> <sequence.tms>…"));
+                return Err(usage_err("batch needs <query.tmt> <sequence>…"));
             }
             let query_path = args.remove(0);
             let t = load_transducer(&query_path)?;
@@ -297,24 +322,159 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             if explain {
                 let _ = writeln!(out, "{}", plan.explain());
             }
-            for seq_path in &args {
-                let m = load_sequence(seq_path)?;
-                let ev = Evaluation::with_plan(&plan, &m).map_err(run_err)?;
-                let _ = writeln!(out, "== {seq_path}");
-                let answers = ev.top_k_scored(k).map_err(run_err)?;
-                if answers.is_empty() {
-                    let _ = writeln!(out, "(no answers)");
+            let paths: Vec<std::path::PathBuf> =
+                args.iter().map(std::path::PathBuf::from).collect();
+            match conf_syms {
+                // Forward-only fleet: stream each file through the shared
+                // plan, one layer at a time — nothing is materialized.
+                Some(syms) => {
+                    let names: Vec<String> = syms
+                        .split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(String::from)
+                        .collect();
+                    let o = parse_output(&t, &names)?;
+                    let results = transmark_store::par_map_paths(&paths, threads, |path| {
+                        let src = transmark_markov::fsio::open_step_source(path).map_err(|e| {
+                            transmark_store::StoreError::Io(format!("{}: {e}", path.display()))
+                        })?;
+                        Ok(plan.bind_source(src)?.confidence(&o)?)
+                    })
+                    .map_err(run_err)?;
+                    for seq_path in &args {
+                        let _ = writeln!(out, "{seq_path}  {}", results[seq_path.as_str()]);
+                    }
                 }
-                for a in answers {
-                    let _ = writeln!(
-                        out,
-                        "{:<30} E_max = {:.6}  confidence = {:.6}",
-                        render(&t, &a.output),
-                        a.emax,
-                        a.confidence
-                    );
+                // Ranked answers need random access (backward sweeps), so
+                // each worker materializes its own file.
+                None => {
+                    let results = transmark_store::par_map_paths(&paths, threads, |path| {
+                        let m = transmark_markov::fsio::read_sequence_path(path).map_err(|e| {
+                            transmark_store::StoreError::Io(format!("{}: {e}", path.display()))
+                        })?;
+                        let ev = Evaluation::with_plan(&plan, &m)?;
+                        Ok(ev.top_k_scored(k)?)
+                    })
+                    .map_err(run_err)?;
+                    for seq_path in &args {
+                        let _ = writeln!(out, "== {seq_path}");
+                        let answers = &results[seq_path.as_str()];
+                        if answers.is_empty() {
+                            let _ = writeln!(out, "(no answers)");
+                        }
+                        for a in answers {
+                            let _ = writeln!(
+                                out,
+                                "{:<30} E_max = {:.6}  confidence = {:.6}",
+                                render(&t, &a.output),
+                                a.emax,
+                                a.confidence
+                            );
+                        }
+                    }
                 }
             }
+        }
+        "stream" => {
+            if args.is_empty() || args.len() > 2 {
+                return Err(usage_err(
+                    "stream needs <query.tmt> [steps.tms|steps.tmsb|-]",
+                ));
+            }
+            let query_path = args.remove(0);
+            let t = load_transducer(&query_path)?;
+            // The running Boolean event query: Pr(S[1..t] ∈ L(A)) for the
+            // query's underlying input automaton, folded one layer at a
+            // time (memory independent of stream length).
+            let nfa = t.underlying_nfa();
+            let series = match args.first().map(String::as_str) {
+                Some(path) if path != "-" => {
+                    let mut src = transmark_markov::fsio::open_step_source(Path::new(path))
+                        .map_err(|e| run_err(format!("{path}: {e}")))?;
+                    transmark_core::prefix_acceptance_probabilities_source(&nfa, &mut src)
+                        .map_err(run_err)?
+                }
+                _ => {
+                    let stdin = std::io::stdin();
+                    let mut src = transmark_markov::textio::TmsTextSource::new(stdin.lock())
+                        .map_err(|e| run_err(format!("stdin: {e}")))?;
+                    transmark_core::prefix_acceptance_probabilities_source(&nfa, &mut src)
+                        .map_err(run_err)?
+                }
+            };
+            for (i, p) in series.iter().enumerate() {
+                let _ = writeln!(out, "t={:<6} {p}", i + 1);
+            }
+        }
+        "convert" => {
+            use transmark_markov::fsio::{is_binary_path, open_step_source};
+            use transmark_markov::StepSource as _;
+            let [in_path, out_path] = positional::<2>(args)?;
+            let (src_bin, dst_bin) = (
+                is_binary_path(Path::new(&in_path)),
+                is_binary_path(Path::new(&out_path)),
+            );
+            if src_bin == dst_bin {
+                return Err(usage_err(
+                    "convert maps between formats: one path must end in .tms, the other in .tmsb",
+                ));
+            }
+            if dst_bin {
+                // tms → tmsb streams layer-at-a-time; nothing materializes.
+                let mut src = open_step_source(Path::new(&in_path))
+                    .map_err(|e| run_err(format!("{in_path}: {e}")))?;
+                let file = std::fs::File::create(&out_path)
+                    .map_err(|e| run_err(format!("create {out_path}: {e}")))?;
+                let mut w = std::io::BufWriter::new(file);
+                transmark_markov::binio::write_tmsb(&mut w, &mut src)
+                    .map_err(|e| run_err(format!("{out_path}: {e}")))?;
+                std::io::Write::flush(&mut w).map_err(|e| run_err(format!("{out_path}: {e}")))?;
+            } else {
+                // tmsb → tms: the text writer needs the whole model.
+                let m = load_sequence(&in_path)?;
+                std::fs::write(&out_path, transmark_markov::textio::to_text(&m))
+                    .map_err(|e| run_err(format!("write {out_path}: {e}")))?;
+            }
+            // Round-trip validation: both files must stream identical
+            // alphabets, initials, and layers (two O(|Σ|²) cursors).
+            let mut a = open_step_source(Path::new(&in_path))
+                .map_err(|e| run_err(format!("{in_path}: {e}")))?;
+            let mut b = open_step_source(Path::new(&out_path))
+                .map_err(|e| run_err(format!("{out_path}: {e}")))?;
+            let names_match = a.alphabet().len() == b.alphabet().len()
+                && a.alphabet()
+                    .iter()
+                    .zip(b.alphabet().iter())
+                    .all(|((_, x), (_, y))| x == y);
+            if !names_match || a.len() != b.len() || a.initial() != b.initial() {
+                return Err(run_err(format!(
+                    "round-trip mismatch between {in_path} and {out_path}"
+                )));
+            }
+            loop {
+                let step = a.position();
+                let la = a
+                    .next_step()
+                    .map_err(|e| run_err(format!("{in_path}: {e}")))?;
+                let lb = b
+                    .next_step()
+                    .map_err(|e| run_err(format!("{out_path}: {e}")))?;
+                match (la, lb) {
+                    (None, None) => break,
+                    (Some(x), Some(y)) if x == y => continue,
+                    _ => {
+                        return Err(run_err(format!(
+                            "round-trip mismatch at step {step} between {in_path} and {out_path}"
+                        )))
+                    }
+                }
+            }
+            let _ = writeln!(
+                out,
+                "wrote {out_path} ({} positions, {} symbols, round trip verified)",
+                b.len(),
+                b.alphabet().len()
+            );
         }
         "evidences" => {
             let k = take_opt(&mut args, "--k")?

@@ -132,7 +132,13 @@ fn explain_and_batch_commands() {
 
     let out = run(&args(&["confidence", seq, query, "--explain", "1", "2"])).expect("confidence");
     assert!(out.contains("plan:"), "{out}");
-    let value: f64 = out.lines().last().unwrap().trim().parse().expect("a number");
+    let value: f64 = out
+        .lines()
+        .last()
+        .unwrap()
+        .trim()
+        .parse()
+        .expect("a number");
     assert!((value - 0.4038).abs() < 1e-9);
 
     // batch: one plan, several sequence files, sections per file.
@@ -295,5 +301,148 @@ fn posterior_command_conditions_an_hmm() {
     // Unknown observations are rejected.
     let e = run(&args(&["posterior", model.to_str().unwrap(), "snow"])).unwrap_err();
     assert!(e.message.contains("unknown observation"), "{}", e.message);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn convert_and_binary_inputs_round_trip() {
+    let dir = scratch("convert");
+    run(&args(&["export-example", dir.to_str().unwrap()])).expect("export");
+    let seq = dir.join("hospital.tms");
+    let query = dir.join("room_tracker.tmt");
+    let bin = dir.join("hospital.tmsb");
+
+    // tms → tmsb streams and self-verifies.
+    let out = run(&args(&[
+        "convert",
+        seq.to_str().unwrap(),
+        bin.to_str().unwrap(),
+    ]))
+    .expect("convert to binary");
+    assert!(out.contains("round trip verified"), "{out}");
+    assert!(out.contains("5 positions"), "{out}");
+
+    // tmsb → tms converts back.
+    let back = dir.join("back.tms");
+    run(&args(&[
+        "convert",
+        bin.to_str().unwrap(),
+        back.to_str().unwrap(),
+    ]))
+    .expect("convert to text");
+
+    // Same-format conversion is a usage error.
+    let e = run(&args(&[
+        "convert",
+        seq.to_str().unwrap(),
+        back.to_str().unwrap(),
+    ]))
+    .unwrap_err();
+    assert_eq!(e.exit_code, 2);
+
+    // Every sequence-taking command accepts the .tmsb directly, with
+    // results identical to the text file.
+    let shown = run(&args(&["show", bin.to_str().unwrap()])).expect("show tmsb");
+    assert!(shown.contains("length 5"), "{shown}");
+    let c_text = run(&args(&[
+        "confidence",
+        seq.to_str().unwrap(),
+        query.to_str().unwrap(),
+        "1",
+        "2",
+    ]))
+    .expect("confidence tms");
+    let c_bin = run(&args(&[
+        "confidence",
+        bin.to_str().unwrap(),
+        query.to_str().unwrap(),
+        "1",
+        "2",
+    ]))
+    .expect("confidence tmsb");
+    assert_eq!(c_text, c_bin);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stream_and_streaming_batch_commands() {
+    let dir = scratch("streamcli");
+    run(&args(&["export-example", dir.to_str().unwrap()])).expect("export");
+    let seq = dir.join("hospital.tms");
+    let query = dir.join("room_tracker.tmt");
+    let bin = dir.join("hospital.tmsb");
+    run(&args(&[
+        "convert",
+        seq.to_str().unwrap(),
+        bin.to_str().unwrap(),
+    ]))
+    .expect("convert");
+
+    // stream: one running-probability line per position, identical for
+    // both on-disk formats.
+    let text_series = run(&args(&[
+        "stream",
+        query.to_str().unwrap(),
+        seq.to_str().unwrap(),
+    ]))
+    .expect("stream tms");
+    let bin_series = run(&args(&[
+        "stream",
+        query.to_str().unwrap(),
+        bin.to_str().unwrap(),
+    ]))
+    .expect("stream tmsb");
+    assert_eq!(text_series, bin_series);
+    let lines: Vec<&str> = text_series.lines().collect();
+    assert_eq!(lines.len(), 5, "{text_series}");
+    assert!(lines[0].starts_with("t=1"), "{text_series}");
+    assert!(lines[4].starts_with("t=5"), "{text_series}");
+
+    // batch --confidence folds each file without materializing it; the
+    // hospital example's confidence of "1 2" is 0.4038.
+    let out = run(&args(&[
+        "batch",
+        query.to_str().unwrap(),
+        seq.to_str().unwrap(),
+        bin.to_str().unwrap(),
+        "--confidence",
+        "1,2",
+        "--threads",
+        "0",
+    ]))
+    .expect("batch confidence");
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 2, "{out}");
+    for line in &lines {
+        let value: f64 = line.split_whitespace().last().unwrap().parse().unwrap();
+        assert!((value - 0.4038).abs() < 1e-9, "{line}");
+    }
+
+    // Ranked batch over mixed formats with a thread fleet matches the
+    // sequential run.
+    let par = run(&args(&[
+        "batch",
+        query.to_str().unwrap(),
+        seq.to_str().unwrap(),
+        bin.to_str().unwrap(),
+        "--k",
+        "1",
+        "--threads",
+        "2",
+    ]))
+    .expect("batch parallel");
+    let sequential = run(&args(&[
+        "batch",
+        query.to_str().unwrap(),
+        seq.to_str().unwrap(),
+        bin.to_str().unwrap(),
+        "--k",
+        "1",
+    ]))
+    .expect("batch sequential");
+    assert_eq!(par, sequential);
+    assert!(par.contains("0.403800"), "{par}");
+
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -53,9 +53,9 @@ fn run_and_check(
         let mut prob2 = vec![0.0f64; n_cells];
         let mut logp2 = vec![f64::NEG_INFINITY; n_cells];
         let mut reach2 = vec![false; n_cells];
-        advance::<Prob>(steps, step, graph, &prob, &mut prob2);
-        advance::<MaxLog>(steps, step, graph, &logp, &mut logp2);
-        advance::<Bool>(steps, step, graph, &reach, &mut reach2);
+        advance::<Prob, _>(&steps.at(step), graph, &prob, &mut prob2);
+        advance::<MaxLog, _>(&steps.at(step), graph, &logp, &mut logp2);
+        advance::<Bool, _>(&steps.at(step), graph, &reach, &mut reach2);
         prob = prob2;
         logp = logp2;
         reach = reach2;
