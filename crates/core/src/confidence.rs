@@ -30,7 +30,8 @@
 
 use transmark_automata::{ops::DetCore, BitSet, Nfa, StateId, SymbolId};
 use transmark_kernel::{
-    advance, advance_filtered, Bool, LayerCsr, Prob, StepGraph, SubsetLayer, Workspace,
+    advance, advance_filtered, count_layers, Bool, LayerCsr, Prob, StepGraph, SubsetLayer,
+    Workspace,
 };
 use transmark_markov::{MarkovSequence, StepSource};
 
@@ -198,6 +199,7 @@ pub(crate) fn confidence_deterministic_impl(
         advance::<Prob, _>(&steps.at(i), graph, cur, next);
         ws.swap();
     }
+    count_layers((n - 1) as u64);
 
     // Accepting states with the full output emitted.
     let cur = ws.cur();
@@ -238,13 +240,16 @@ pub(crate) fn confidence_deterministic_source_impl<S: StepSource>(
         }
     }
     let mut csr = LayerCsr::new();
+    let mut layers = 0u64;
     while let Some(matrix) = src.next_step()? {
         csr.load_dense(n_nodes, matrix);
         ws.clear_next(0.0);
         let (cur, next) = ws.buffers();
         advance::<Prob, _>(&csr, graph, cur, next);
         ws.swap();
+        layers += 1;
     }
+    count_layers(layers);
     let cur = ws.cur();
     let mut total = transmark_kernel::Neumaier::new();
     for node in 0..n_nodes {
@@ -295,6 +300,7 @@ pub(crate) fn confidence_deterministic_uniform_impl(
         advance_filtered::<Prob, _>(&steps.at(i), graph, expected, cur, next);
         ws.swap();
     }
+    count_layers((n - 1) as u64);
     let cur = ws.cur();
     let mut total = transmark_kernel::Neumaier::new();
     for node in 0..n_nodes {
@@ -346,6 +352,7 @@ pub(crate) fn confidence_deterministic_uniform_source_impl<S: StepSource>(
         advance_filtered::<Prob, _>(&csr, graph, expected, cur, next);
         ws.swap();
     }
+    count_layers(i as u64);
     let cur = ws.cur();
     let mut total = transmark_kernel::Neumaier::new();
     for node in 0..n_nodes {
@@ -661,47 +668,28 @@ pub(crate) fn confidence_general_source_impl<S: StepSource>(
 /// assert!((conf - 0.3).abs() < 1e-12);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
+///
+/// Legacy convenience: compiles a one-shot plan and routes through the
+/// prepared API ([`crate::plan::prepare`] → bind → execute), so the
+/// Table 2 dispatch and the DP are exactly
+/// [`BoundQuery::confidence`](crate::plan::BoundQuery::confidence) —
+/// prefer the prepared flow when issuing several queries.
 pub fn confidence(t: &Transducer, m: &MarkovSequence, o: &[SymbolId]) -> Result<f64, EngineError> {
-    if t.is_deterministic() {
-        confidence_deterministic(t, m, o)
-    } else if t.uniform_emission().is_some() {
-        confidence_uniform_nfa(t, m, o)
-    } else {
-        confidence_general(t, m, o)
-    }
+    crate::plan::prepare(t).bind(m)?.confidence(o)
 }
 
 /// [`confidence`] over a streamed source: the same Table 2 dispatch, with
 /// every route running layer-at-a-time off the pulled matrices. One
 /// forward pass; bit-identical to the in-memory result.
+///
+/// Legacy convenience routing through the prepared API
+/// ([`SourceBoundQuery::confidence`](crate::plan::SourceBoundQuery::confidence)).
 pub fn confidence_source<S: StepSource>(
     t: &Transducer,
     src: &mut S,
     o: &[SymbolId],
 ) -> Result<f64, EngineError> {
-    check_source_inputs(t, src, Some(o))?;
-    if t.is_deterministic() {
-        if let Some(k) = t.uniform_emission() {
-            let graph = state_step_graph(t);
-            let mut ws: Workspace<f64> = Workspace::new();
-            confidence_deterministic_uniform_source_impl(t, src, &graph, &mut ws, o, k, &mut |s| {
-                emission_id_for(t, s)
-            })
-        } else {
-            let graph = output_step_graph(t, o);
-            let mut ws: Workspace<f64> = Workspace::new();
-            confidence_deterministic_source_impl(t, src, &graph, &mut ws, o.len())
-        }
-    } else if let Some(k) = t.uniform_emission() {
-        let graph = state_step_graph(t);
-        let accepting = accepting_bitset(t);
-        confidence_uniform_nfa_source_impl(t, src, &graph, &accepting, o, k, &mut |s| {
-            emission_id_for(t, s)
-        })
-    } else {
-        let graph = output_step_graph(t, o);
-        confidence_general_source_impl(t, src, &graph, o.len())
-    }
+    crate::plan::prepare(t).bind_source(src)?.confidence(o)
 }
 
 // ---------------------------------------------------------------------------
@@ -715,12 +703,11 @@ pub fn confidence_source<S: StepSource>(
 /// `(node, state, output position)` — the same step graph as
 /// [`confidence_deterministic`] driven in the [`Bool`] semiring:
 /// `O(n·|Σ|²·|Q|·|o|)`.
+///
+/// Legacy convenience routing through the prepared API
+/// ([`BoundQuery::is_answer`](crate::plan::BoundQuery::is_answer)).
 pub fn is_answer(t: &Transducer, m: &MarkovSequence, o: &[SymbolId]) -> Result<bool, EngineError> {
-    check_inputs(t, m, Some(o))?;
-    let steps = m.sparse_steps();
-    let graph = output_step_graph(t, o);
-    let mut ws: Workspace<bool> = Workspace::new();
-    Ok(is_answer_impl(t, &steps, &graph, &mut ws, o.len()))
+    crate::plan::prepare(t).bind(m)?.is_answer(o)
 }
 
 /// Boolean reachability over the positional graph. `graph` must be
@@ -751,6 +738,7 @@ pub(crate) fn is_answer_impl(
         advance::<Bool, _>(&steps.at(i), graph, cur, next);
         ws.swap();
     }
+    count_layers((n - 1) as u64);
     let cur = ws.cur();
     for node in 0..n_nodes {
         for q in 0..nq {
@@ -785,13 +773,16 @@ pub(crate) fn is_answer_source_impl<S: StepSource>(
         }
     }
     let mut csr = LayerCsr::new();
+    let mut layers = 0u64;
     while let Some(matrix) = src.next_step()? {
         csr.load_dense(n_nodes, matrix);
         ws.clear_next(false);
         let (cur, next) = ws.buffers();
         advance::<Bool, _>(&csr, graph, cur, next);
         ws.swap();
+        layers += 1;
     }
+    count_layers(layers);
     let cur = ws.cur();
     for node in 0..n_nodes {
         for q in 0..nq {
@@ -805,12 +796,11 @@ pub(crate) fn is_answer_source_impl<S: StepSource>(
 
 /// Whether the query has any answer at all: `Pr(S ∈ L(A)) > 0`.
 /// Boolean reachability over `(node, state)` — `O(n·|Σ|²·|Q|·b)`.
+///
+/// Legacy convenience routing through the prepared API
+/// ([`BoundQuery::answer_exists`](crate::plan::BoundQuery::answer_exists)).
 pub fn answer_exists(t: &Transducer, m: &MarkovSequence) -> Result<bool, EngineError> {
-    check_inputs(t, m, None)?;
-    let steps = m.sparse_steps();
-    let graph = state_step_graph(t);
-    let mut ws: Workspace<bool> = Workspace::new();
-    Ok(answer_exists_impl(t, &steps, &graph, &mut ws))
+    crate::plan::prepare(t).bind(m)?.answer_exists()
 }
 
 /// Boolean reachability over the state graph. `graph` must be
@@ -837,6 +827,7 @@ pub(crate) fn answer_exists_impl(
         advance::<Bool, _>(&steps.at(i), graph, cur, next);
         ws.swap();
     }
+    count_layers((n - 1) as u64);
     let cur = ws.cur();
     for node in 0..n_nodes {
         for q in 0..nq {
@@ -867,13 +858,16 @@ pub(crate) fn answer_exists_source_impl<S: StepSource>(
         }
     }
     let mut csr = LayerCsr::new();
+    let mut layers = 0u64;
     while let Some(matrix) = src.next_step()? {
         csr.load_dense(n_nodes, matrix);
         ws.clear_next(false);
         let (cur, next) = ws.buffers();
         advance::<Bool, _>(&csr, graph, cur, next);
         ws.swap();
+        layers += 1;
     }
+    count_layers(layers);
     let cur = ws.cur();
     for node in 0..n_nodes {
         for q in 0..nq {

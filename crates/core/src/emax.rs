@@ -17,12 +17,12 @@
 //! Lawler–Murty instantiation does.
 
 use transmark_automata::{StateId, SymbolId};
-use transmark_kernel::{advance, advance_tracked, BackEdge, LayerCsr, MaxLog, Workspace};
+use transmark_kernel::{
+    advance, advance_tracked, count_layers, BackEdge, LayerCsr, MaxLog, Workspace,
+};
 use transmark_markov::{MarkovSequence, StepSource};
 
-use crate::confidence::check_inputs;
 use crate::error::EngineError;
-use crate::kernelize::{output_step_graph, state_step_graph};
 use crate::transducer::Transducer;
 
 /// Result of an `E_max` optimization.
@@ -54,11 +54,11 @@ impl EmaxResult {
 ///
 /// Returns `None` when the (possibly constrained) query has no answer.
 /// `O(n·|Σ|²·|Q|·b)` time, `O(n·|Σ|·|Q|)` space for the back-pointers.
+///
+/// Legacy convenience routing through the prepared API
+/// ([`BoundQuery::top`](crate::plan::BoundQuery::top)).
 pub fn top_by_emax(t: &Transducer, m: &MarkovSequence) -> Result<Option<EmaxResult>, EngineError> {
-    check_inputs(t, m, None)?;
-    let steps = m.sparse_steps();
-    let graph = state_step_graph(t);
-    Ok(top_by_emax_impl(t, &steps, &graph))
+    crate::plan::prepare(t).bind(m)?.top()
 }
 
 /// The tracked Viterbi pass over precompiled artifacts. `graph` must be
@@ -100,6 +100,7 @@ pub(crate) fn top_by_emax_impl(
         score = next;
         backs.push(back);
     }
+    count_layers((n - 1) as u64);
 
     // Best accepting cell in the last layer.
     let mut best_cell = None;
@@ -148,16 +149,15 @@ pub(crate) fn top_by_emax_impl(
 /// [`MaxLog`] semiring over the same output step graph as
 /// [`crate::confidence::confidence_deterministic`]:
 /// `O(|o|·n·|Σ|²·|Q|·b)`.
+///
+/// Legacy convenience routing through the prepared API
+/// ([`BoundQuery::emax_of_output`](crate::plan::BoundQuery::emax_of_output)).
 pub fn emax_of_output(
     t: &Transducer,
     m: &MarkovSequence,
     o: &[SymbolId],
 ) -> Result<f64, EngineError> {
-    check_inputs(t, m, Some(o))?;
-    let steps = m.sparse_steps();
-    let graph = output_step_graph(t, o);
-    let mut ws: Workspace<f64> = Workspace::new();
-    Ok(emax_of_output_impl(t, &steps, &graph, &mut ws, o.len()))
+    crate::plan::prepare(t).bind(m)?.emax_of_output(o)
 }
 
 /// The max-product positional DP over precompiled artifacts. `graph` must
@@ -190,6 +190,7 @@ pub(crate) fn emax_of_output_impl(
         advance::<MaxLog, _>(&steps.at(i), graph, cur, next);
         ws.swap();
     }
+    count_layers((n - 1) as u64);
     let cur = ws.cur();
     let mut best = f64::NEG_INFINITY;
     for node in 0..n_nodes {
@@ -206,15 +207,15 @@ pub(crate) fn emax_of_output_impl(
 /// (no traceback is needed for the *score*, unlike [`top_by_emax`], whose
 /// back-pointers are inherently O(n)). Each pulled layer is compacted via
 /// [`LayerCsr`], so the result is bit-identical to [`emax_of_output`].
+///
+/// Legacy convenience routing through the prepared API
+/// ([`SourceBoundQuery::emax_of_output`](crate::plan::SourceBoundQuery::emax_of_output)).
 pub fn emax_of_output_source<S: StepSource>(
     t: &Transducer,
     src: &mut S,
     o: &[SymbolId],
 ) -> Result<f64, EngineError> {
-    crate::confidence::check_source_inputs(t, src, Some(o))?;
-    let graph = output_step_graph(t, o);
-    let mut ws: Workspace<f64> = Workspace::new();
-    emax_of_output_source_impl(t, src, &graph, &mut ws, o.len())
+    crate::plan::prepare(t).bind_source(src)?.emax_of_output(o)
 }
 
 /// The streamed max-product positional DP over precompiled artifacts.
@@ -242,13 +243,16 @@ pub(crate) fn emax_of_output_source_impl<S: StepSource>(
         }
     }
     let mut csr = LayerCsr::new();
+    let mut layers = 0u64;
     while let Some(matrix) = src.next_step()? {
         csr.load_dense(n_nodes, matrix);
         ws.clear_next(f64::NEG_INFINITY);
         let (cur, next) = ws.buffers();
         advance::<MaxLog, _>(&csr, graph, cur, next);
         ws.swap();
+        layers += 1;
     }
+    count_layers(layers);
     let cur = ws.cur();
     let mut best = f64::NEG_INFINITY;
     for node in 0..n_nodes {

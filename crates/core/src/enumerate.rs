@@ -27,13 +27,12 @@ use std::sync::Arc;
 
 use transmark_automata::{StateId, SymbolId};
 use transmark_kbest::{LawlerMurty, PartitionSpace};
-use transmark_kernel::{advance, Bool, SharedSparseSteps, StepGraph, Workspace};
+use transmark_kernel::{advance, count_layers, Bool, SharedSparseSteps, Workspace};
 use transmark_markov::MarkovSequence;
 
-use crate::constraints::{constrain, PrefixConstraint};
-use crate::emax::{top_by_emax, top_by_emax_impl};
+use crate::constraints::PrefixConstraint;
+use crate::emax::top_by_emax_impl;
 use crate::error::EngineError;
-use crate::kernelize::prefix_step_graph;
 use crate::plan::PreparedQuery;
 use crate::transducer::Transducer;
 
@@ -48,9 +47,9 @@ pub struct UnrankedAnswers<'a> {
     /// The Markov side of every per-trie-node DP, flattened once (or
     /// shared with the bind that spawned this enumeration).
     steps: SharedSparseSteps,
-    /// Where per-trie-node prefix step graphs come from: built fresh
-    /// (legacy path) or memoized in a prepared plan.
-    graphs: PrefixGraphSource,
+    /// The plan serving per-trie-node prefix step graphs from its
+    /// bounded memo cache.
+    graphs: Arc<PreparedQuery>,
     /// Layer buffers reused across every visited trie node.
     ws: Workspace<bool>,
     n: usize,
@@ -73,28 +72,12 @@ struct Frame {
     exact: bool,
 }
 
-/// Where [`UnrankedAnswers::query_prefix`] gets its per-trie-node step
-/// graph: compiled fresh every visit (the legacy free-function path) or
-/// served from a [`PreparedQuery`]'s memo cache. Both produce
-/// identical-content graphs, so the DP — and the enumeration order — is
-/// bit-for-bit the same.
-pub(crate) enum PrefixGraphSource {
-    /// Compile `prefix_step_graph` on every trie-node visit.
-    Fresh,
-    /// Serve graphs from the plan's bounded memo cache.
-    Plan(Arc<PreparedQuery>),
-}
-
-impl PrefixGraphSource {
-    fn graph(&self, t: &Transducer, prefix: &[SymbolId]) -> Arc<StepGraph> {
-        match self {
-            PrefixGraphSource::Fresh => Arc::new(prefix_step_graph(t, prefix)),
-            PrefixGraphSource::Plan(p) => p.prefix_graph(prefix),
-        }
-    }
-}
-
 /// Starts the Theorem 4.1 enumeration. Fails fast on alphabet mismatch.
+///
+/// Legacy convenience: compiles a one-shot [`PreparedQuery`] internally,
+/// so the enumeration is the same code path as
+/// [`BoundQuery::unranked`](crate::plan::BoundQuery::unranked) — prefer
+/// the prepared flow when enumerating over several sequences.
 pub fn enumerate_unranked<'a>(
     t: &'a Transducer,
     m: &'a MarkovSequence,
@@ -104,7 +87,7 @@ pub fn enumerate_unranked<'a>(
         t,
         m,
         m.sparse_steps().into_shared(),
-        PrefixGraphSource::Fresh,
+        crate::plan::prepare(t),
     ))
 }
 
@@ -115,7 +98,7 @@ pub(crate) fn enumerate_unranked_with<'a>(
     t: &'a Transducer,
     m: &MarkovSequence,
     steps: SharedSparseSteps,
-    graphs: PrefixGraphSource,
+    graphs: Arc<PreparedQuery>,
 ) -> UnrankedAnswers<'a> {
     let mut it = UnrankedAnswers {
         t,
@@ -158,7 +141,7 @@ impl UnrankedAnswers<'_> {
         let nq = t.n_states();
         let l = self.prefix.len();
         let width = l + 2;
-        let graph = self.graphs.graph(t, &self.prefix);
+        let graph = self.graphs.prefix_graph(&self.prefix);
         let nr = graph.n_rows();
         let n_nodes = self.steps.n_nodes();
         self.ws.reset(n_nodes * nr, false);
@@ -174,6 +157,7 @@ impl UnrankedAnswers<'_> {
             advance::<Bool, _>(&self.steps.at(i), &graph, cur, next);
             self.ws.swap();
         }
+        count_layers((self.n - 1) as u64);
         let cur = self.ws.cur();
         let (mut any, mut exact) = (false, false);
         for node in 0..n_nodes {
@@ -254,43 +238,11 @@ impl RankedAnswer {
     }
 }
 
-/// The [`PartitionSpace`] behind Theorem 4.3.
-struct EmaxSpace<'a> {
-    t: &'a Transducer,
-    m: &'a MarkovSequence,
-}
-
-impl PartitionSpace for EmaxSpace<'_> {
-    type Answer = Vec<SymbolId>;
-    type Constraint = PrefixConstraint;
-
-    fn root(&self) -> PrefixConstraint {
-        PrefixConstraint::all()
-    }
-
-    fn best(&mut self, constraint: &PrefixConstraint) -> Option<(Vec<SymbolId>, f64)> {
-        let ct = constrain(self.t, &constraint.to_dfa(self.t.n_output_symbols()))
-            .expect("alphabets validated at construction");
-        top_by_emax(&ct, self.m)
-            .expect("alphabets validated at construction")
-            .map(|r| (r.output, r.log_prob))
-    }
-
-    fn split(
-        &mut self,
-        constraint: &PrefixConstraint,
-        answer: &Vec<SymbolId>,
-    ) -> Vec<PrefixConstraint> {
-        constraint.split_around(answer)
-    }
-}
-
-/// The [`PartitionSpace`] of the prepared path: same Lawler–Murty
-/// framework, but the constraint-product machines come from the plan's
-/// memo cache (shared across subspace probes *and* across binds) and the
-/// Viterbi probes share the bind's CSR instead of re-flattening the
-/// sequence per subspace. Probe results are bit-identical to
-/// [`EmaxSpace`]'s, so the emission order is too.
+/// The [`PartitionSpace`] behind Theorem 4.3: the Lawler–Murty framework
+/// with the constraint-product machines served from the plan's memo cache
+/// (shared across subspace probes *and* across binds) and the Viterbi
+/// probes running over a shared CSR instead of re-flattening the sequence
+/// per subspace.
 struct PlanEmaxSpace {
     plan: Arc<PreparedQuery>,
     steps: SharedSparseSteps,
@@ -318,26 +270,21 @@ impl PartitionSpace for PlanEmaxSpace {
     }
 }
 
-enum EmaxInner<'a> {
-    Legacy(LawlerMurty<EmaxSpace<'a>>),
-    Plan(LawlerMurty<PlanEmaxSpace>),
-}
-
 /// The Theorem 4.3 enumeration, as a concrete iterator exposing its
 /// frontier size (the space that, as the paper notes, "can grow
 /// proportionally to the number of printed answers" — measured by the
-/// experiment harness).
+/// experiment harness). The lifetime ties a legacy
+/// [`enumerate_by_emax`] call to its borrowed inputs; the prepared path
+/// owns its artifacts and is `'static`.
 pub struct EmaxEnumeration<'a> {
-    inner: EmaxInner<'a>,
+    inner: LawlerMurty<PlanEmaxSpace>,
+    _borrow: std::marker::PhantomData<&'a MarkovSequence>,
 }
 
 impl EmaxEnumeration<'_> {
     /// Number of pending subspaces in the Lawler–Murty frontier.
     pub fn frontier_len(&self) -> usize {
-        match &self.inner {
-            EmaxInner::Legacy(lm) => lm.frontier_len(),
-            EmaxInner::Plan(lm) => lm.frontier_len(),
-        }
+        self.inner.frontier_len()
     }
 }
 
@@ -345,26 +292,30 @@ impl Iterator for EmaxEnumeration<'_> {
     type Item = RankedAnswer;
 
     fn next(&mut self) -> Option<RankedAnswer> {
-        match &mut self.inner {
-            EmaxInner::Legacy(lm) => lm.next(),
-            EmaxInner::Plan(lm) => lm.next(),
-        }
-        .map(|(output, log_score)| RankedAnswer { output, log_score })
+        self.inner
+            .next()
+            .map(|(output, log_score)| RankedAnswer { output, log_score })
     }
 }
 
 /// Enumerates `A^ω(μ)` in decreasing `E_max` with polynomial delay
 /// (Theorem 4.3). Yields [`RankedAnswer`]s whose `log_score` is
 /// `ln E_max(output)`.
+///
+/// Legacy convenience: compiles a one-shot [`PreparedQuery`] internally,
+/// so it is the same code path as
+/// [`BoundQuery::ranked`](crate::plan::BoundQuery::ranked) — prefer the
+/// prepared flow when enumerating over several sequences.
 pub fn enumerate_by_emax<'a>(
     t: &'a Transducer,
     m: &'a MarkovSequence,
 ) -> Result<EmaxEnumeration<'a>, EngineError> {
     // Validate alphabets once up front.
     crate::confidence::check_inputs(t, m, None)?;
-    Ok(EmaxEnumeration {
-        inner: EmaxInner::Legacy(LawlerMurty::new(EmaxSpace { t, m })),
-    })
+    Ok(enumerate_by_emax_planned(
+        crate::plan::prepare(t),
+        m.sparse_steps().into_shared(),
+    ))
 }
 
 /// The Theorem 4.3 enumeration over a prepared plan and a shared CSR.
@@ -374,7 +325,8 @@ pub(crate) fn enumerate_by_emax_planned(
     steps: SharedSparseSteps,
 ) -> EmaxEnumeration<'static> {
     EmaxEnumeration {
-        inner: EmaxInner::Plan(LawlerMurty::new(PlanEmaxSpace { plan, steps })),
+        inner: LawlerMurty::new(PlanEmaxSpace { plan, steps }),
+        _borrow: std::marker::PhantomData,
     }
 }
 

@@ -61,7 +61,17 @@ pub enum EngineError {
         /// The cursor position the source was found at.
         position: usize,
     },
+    /// A store-layer failure (unknown stream, persistence I/O, …) folded
+    /// into the engine error so facade entry points return one type. The
+    /// `From<StoreError>` impl lives in `transmark-store` (orphan rule);
+    /// the message carries the store's own diagnostic.
+    Store(String),
 }
+
+/// The one error type of the public facade: every `transmark` entry point
+/// returns `Result<_, TmkError>`. Automata, Markov, source, and store
+/// errors all convert into it via `From`, so `?` composes across layers.
+pub type TmkError = EngineError;
 
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -94,6 +104,7 @@ impl fmt::Display for EngineError {
                 f,
                 "step source already consumed ({position} steps pulled); rewind it before another pass"
             ),
+            EngineError::Store(m) => write!(f, "store error: {m}"),
         }
     }
 }

@@ -21,9 +21,7 @@ use transmark_automata::SymbolId;
 use transmark_markov::MarkovSequence;
 
 use crate::emax::EmaxResult;
-use crate::enumerate::{
-    enumerate_by_emax_planned, enumerate_unranked_with, PrefixGraphSource, RankedAnswer,
-};
+use crate::enumerate::{enumerate_by_emax_planned, enumerate_unranked_with, RankedAnswer};
 use crate::error::EngineError;
 use crate::plan::{prepare, BoundQuery, PlanExplain, PreparedQuery};
 use crate::transducer::Transducer;
@@ -125,7 +123,7 @@ impl<'a> Evaluation<'a> {
             self.t,
             self.m,
             Arc::clone(self.bound.steps_shared()),
-            PrefixGraphSource::Plan(Arc::clone(self.bound.plan())),
+            Arc::clone(self.bound.plan()),
         ))
     }
 

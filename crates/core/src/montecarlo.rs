@@ -10,10 +10,10 @@
 
 use rand::{Rng, RngExt as _};
 use transmark_automata::{StateId, SymbolId};
-use transmark_kernel::{advance_string, Bool, StepGraph, Workspace};
+use transmark_kernel::{advance_string, count_layers, Bool, StepGraph, Workspace};
 use transmark_markov::{MarkovSequence, StepSource};
 
-use crate::confidence::{check_inputs, check_source_inputs};
+use crate::confidence::check_source_inputs;
 use crate::error::EngineError;
 use crate::kernelize::output_step_graph;
 use crate::transducer::Transducer;
@@ -58,11 +58,16 @@ pub(crate) fn transduces_to_with(
         advance_string::<Bool>(graph, sym.0, cur, next);
         ws.swap();
     }
+    count_layers(s.len() as u64);
     let cur = ws.cur();
     (0..nq).any(|q| t.is_accepting(StateId(q as u32)) && cur[q * width + o_len])
 }
 
 /// Estimates `Pr(S →[A^ω]→ o)` from `samples` independent worlds.
+///
+/// Legacy convenience routing through the prepared API
+/// ([`BoundQuery::estimate_confidence`](crate::plan::BoundQuery::estimate_confidence));
+/// the draw sequence for a given `rng` state is identical.
 pub fn estimate_confidence<R: Rng + ?Sized>(
     t: &Transducer,
     m: &MarkovSequence,
@@ -70,22 +75,9 @@ pub fn estimate_confidence<R: Rng + ?Sized>(
     samples: usize,
     rng: &mut R,
 ) -> Result<McEstimate, EngineError> {
-    check_inputs(t, m, Some(o))?;
-    // Deterministic machines admit a cheaper membership test; otherwise
-    // precompile the membership DP's step graph once for all samples.
-    let graph = if t.is_deterministic() {
-        None
-    } else {
-        Some(output_step_graph(t, o))
-    };
-    Ok(estimate_confidence_impl(
-        t,
-        m,
-        graph.as_ref(),
-        o,
-        samples,
-        rng,
-    ))
+    crate::plan::prepare(t)
+        .bind(m)?
+        .estimate_confidence(o, samples, rng)
 }
 
 /// The sampling loop over an optionally precompiled membership graph.
@@ -180,6 +172,7 @@ pub fn estimate_confidence_source<S: StepSource, R: Rng + ?Sized>(
         advance_string::<Bool>(&graph, first as u32, &seed_buf, &mut next_buf);
         states[j * sz..(j + 1) * sz].copy_from_slice(&next_buf);
     }
+    count_layers(samples as u64);
     while let Some(matrix) = src.next_step()? {
         for j in 0..samples {
             let from = cur_sym[j];
@@ -194,6 +187,7 @@ pub fn estimate_confidence_source<S: StepSource, R: Rng + ?Sized>(
             );
             states[j * sz..(j + 1) * sz].copy_from_slice(&next_buf);
         }
+        count_layers(samples as u64);
     }
     let mut hits = 0usize;
     for j in 0..samples {

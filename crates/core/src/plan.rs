@@ -47,8 +47,8 @@ use crate::confidence::{self, check_inputs};
 use crate::constraints::{constrain, PrefixConstraint};
 use crate::emax::{self, EmaxResult};
 use crate::enumerate::{
-    enumerate_by_emax_planned, enumerate_unranked_with, EmaxEnumeration, PrefixGraphSource,
-    RankedAnswer, UnrankedAnswers,
+    enumerate_by_emax_planned, enumerate_unranked_with, EmaxEnumeration, RankedAnswer,
+    UnrankedAnswers,
 };
 use crate::error::EngineError;
 use crate::evaluate::{ConfidenceCost, ScoredAnswer};
@@ -112,6 +112,19 @@ impl PlanKind {
             PlanKind::General => "general NFA configuration DP (Prop 4.7 / Thm 4.9)",
             PlanKind::Sproj => "s-projector via L(B)·o·L(E) (Thm 5.5)",
             PlanKind::SprojIndexed => "indexed s-projector tables (Thm 5.7 / 5.8)",
+        }
+    }
+
+    /// A short static identifier for this route, used to compose
+    /// per-kind metric names (`planner.bind_ns.<label>`, …).
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlanKind::DeterministicUniform { .. } => "deterministic-uniform",
+            PlanKind::Deterministic => "deterministic",
+            PlanKind::UniformNfa { .. } => "uniform-nfa",
+            PlanKind::General => "general",
+            PlanKind::Sproj => "sproj",
+            PlanKind::SprojIndexed => "sproj-indexed",
         }
     }
 
@@ -189,6 +202,7 @@ impl<K: Eq + std::hash::Hash + Clone, V> BoundedCache<K, V> {
     pub fn get_or_insert_with(&mut self, key: &K, build: impl FnOnce() -> V) -> Arc<V> {
         if let Some(v) = self.map.get(key) {
             self.hits += 1;
+            transmark_obs::counter!("planner.cache.hits").inc();
             let v = Arc::clone(v);
             if let Some(pos) = self.order.iter().position(|k| k == key) {
                 self.order.remove(pos);
@@ -197,9 +211,11 @@ impl<K: Eq + std::hash::Hash + Clone, V> BoundedCache<K, V> {
             return v;
         }
         self.misses += 1;
+        transmark_obs::counter!("planner.cache.misses").inc();
         if self.map.len() >= self.cap {
             if let Some(old) = self.order.pop_front() {
                 self.map.remove(&old);
+                transmark_obs::counter!("planner.cache.evictions").inc();
             }
         }
         let v = Arc::new(build());
@@ -234,6 +250,59 @@ pub struct PreparedQuery {
     output_graphs: Mutex<BoundedCache<Vec<SymbolId>, StepGraph>>,
     prefix_graphs: Mutex<BoundedCache<Vec<SymbolId>, StepGraph>>,
     constraint_products: Mutex<BoundedCache<PrefixConstraint, ConstrainedMachine>>,
+    /// Per-kind phase histograms, resolved once at compile time so the
+    /// bind/execute paths record through a plain `Arc` (no registry
+    /// lookup on the hot path).
+    bind_ns: Arc<transmark_obs::Histogram>,
+    execute_ns: Arc<transmark_obs::Histogram>,
+}
+
+thread_local! {
+    /// Execute-phase reentrancy depth: composite passes (`top_k_scored`
+    /// calls `confidence` per answer) must count as ONE execute.
+    static EXEC_DEPTH: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+/// Times one top-level execute: records the plan's `execute_ns`
+/// histogram and the `"execute"` span only at depth 0, so nested
+/// execute-phase methods neither double-count nor produce
+/// `execute/execute` span paths.
+struct ExecGuard {
+    hist: Option<Arc<transmark_obs::Histogram>>,
+    timer: transmark_obs::Timer,
+    _span: Option<transmark_obs::SpanGuard>,
+}
+
+impl ExecGuard {
+    fn enter(plan: &PreparedQuery) -> ExecGuard {
+        let depth = EXEC_DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v + 1);
+            v
+        });
+        if depth == 0 {
+            ExecGuard {
+                hist: Some(Arc::clone(&plan.execute_ns)),
+                timer: transmark_obs::Timer::start(),
+                _span: Some(transmark_obs::span::enter("execute")),
+            }
+        } else {
+            ExecGuard {
+                hist: None,
+                timer: transmark_obs::Timer::start(),
+                _span: None,
+            }
+        }
+    }
+}
+
+impl Drop for ExecGuard {
+    fn drop(&mut self) {
+        EXEC_DEPTH.with(|d| d.set(d.get() - 1));
+        if let Some(h) = &self.hist {
+            h.record(self.timer.elapsed_ns());
+        }
+    }
 }
 
 /// How many output-keyed graphs each prepared query memoizes. Answers a
@@ -258,6 +327,8 @@ impl PreparedQuery {
 
     /// Like [`PreparedQuery::new`] but takes ownership.
     pub fn from_owned(t: Transducer) -> Self {
+        let _span = transmark_obs::span::enter("prepare");
+        let timer = transmark_obs::Timer::start();
         let kind = PlanKind::for_transducer(&t);
         let state_graph = state_step_graph(&t).into_shared();
         let accepting = confidence::accepting_bitset(&t);
@@ -266,7 +337,8 @@ impl PreparedQuery {
             let em: Box<[SymbolId]> = t.emission(crate::transducer::EmissionId(id as u32)).into();
             emission_index.entry(em).or_insert(id as u32);
         }
-        Self {
+        let obs = transmark_obs::registry();
+        let plan = Self {
             t,
             kind,
             state_graph,
@@ -275,7 +347,11 @@ impl PreparedQuery {
             output_graphs: Mutex::new(BoundedCache::new(GRAPH_CACHE_CAP)),
             prefix_graphs: Mutex::new(BoundedCache::new(GRAPH_CACHE_CAP)),
             constraint_products: Mutex::new(BoundedCache::new(CONSTRAINT_CACHE_CAP)),
-        }
+            bind_ns: obs.histogram_dyn(&format!("planner.bind_ns.{}", kind.label())),
+            execute_ns: obs.histogram_dyn(&format!("planner.execute_ns.{}", kind.label())),
+        };
+        timer.observe(&obs.histogram_dyn(&format!("planner.prepare_ns.{}", kind.label())));
+        plan
     }
 
     /// The selected Table 2 route.
@@ -381,14 +457,18 @@ impl PreparedQuery {
         self: &Arc<Self>,
         m: &'m MarkovSequence,
     ) -> Result<BoundQuery<'m>, EngineError> {
+        let _span = transmark_obs::span::enter("bind");
+        let timer = transmark_obs::Timer::start();
         check_inputs(&self.t, m, None)?;
-        Ok(BoundQuery {
+        let bound = BoundQuery {
             plan: Arc::clone(self),
             m,
             steps: m.sparse_steps().into_shared(),
             ws_f: std::cell::RefCell::new(Workspace::new()),
             ws_b: std::cell::RefCell::new(Workspace::new()),
-        })
+        };
+        timer.observe(&self.bind_ns);
+        Ok(bound)
     }
 
     /// Binds a streamed [`StepSource`]: the data side is never
@@ -405,12 +485,15 @@ impl PreparedQuery {
         self: &Arc<Self>,
         src: S,
     ) -> Result<SourceBoundQuery<S>, EngineError> {
+        let _span = transmark_obs::span::enter("bind");
+        let timer = transmark_obs::Timer::start();
         if self.t.n_input_symbols() != src.alphabet().len() {
             return Err(EngineError::AlphabetMismatch {
                 transducer: self.t.n_input_symbols(),
                 sequence: src.alphabet().len(),
             });
         }
+        timer.observe(&self.bind_ns);
         Ok(SourceBoundQuery {
             plan: Arc::clone(self),
             src,
@@ -458,6 +541,7 @@ impl<'m> BoundQuery<'m> {
     /// `Pr(S →[A^ω]→ o)` along the plan's Table 2 route (bit-identical to
     /// [`crate::confidence::confidence`]).
     pub fn confidence(&self, o: &[SymbolId]) -> Result<f64, EngineError> {
+        let _exec = ExecGuard::enter(&self.plan);
         let t = &self.plan.t;
         check_inputs(t, self.m, Some(o))?;
         Ok(match self.plan.kind {
@@ -497,6 +581,7 @@ impl<'m> BoundQuery<'m> {
     /// Whether `o` is an answer (bit-identical to
     /// [`crate::confidence::is_answer`]).
     pub fn is_answer(&self, o: &[SymbolId]) -> Result<bool, EngineError> {
+        let _exec = ExecGuard::enter(&self.plan);
         let t = &self.plan.t;
         check_inputs(t, self.m, Some(o))?;
         Ok(confidence::is_answer_impl(
@@ -511,6 +596,7 @@ impl<'m> BoundQuery<'m> {
     /// Whether the query has any answer (bit-identical to
     /// [`crate::confidence::answer_exists`]).
     pub fn answer_exists(&self) -> Result<bool, EngineError> {
+        let _exec = ExecGuard::enter(&self.plan);
         Ok(confidence::answer_exists_impl(
             &self.plan.t,
             &self.steps,
@@ -522,6 +608,7 @@ impl<'m> BoundQuery<'m> {
     /// The top answer by `E_max` (bit-identical to
     /// [`crate::emax::top_by_emax`]).
     pub fn top(&self) -> Result<Option<EmaxResult>, EngineError> {
+        let _exec = ExecGuard::enter(&self.plan);
         Ok(emax::top_by_emax_impl(
             &self.plan.t,
             &self.steps,
@@ -531,6 +618,7 @@ impl<'m> BoundQuery<'m> {
 
     /// `ln E_max(o)` (bit-identical to [`crate::emax::emax_of_output`]).
     pub fn emax_of_output(&self, o: &[SymbolId]) -> Result<f64, EngineError> {
+        let _exec = ExecGuard::enter(&self.plan);
         let t = &self.plan.t;
         check_inputs(t, self.m, Some(o))?;
         Ok(emax::emax_of_output_impl(
@@ -551,6 +639,7 @@ impl<'m> BoundQuery<'m> {
         samples: usize,
         rng: &mut R,
     ) -> Result<McEstimate, EngineError> {
+        let _exec = ExecGuard::enter(&self.plan);
         let t = &self.plan.t;
         check_inputs(t, self.m, Some(o))?;
         let graph = if t.is_deterministic() {
@@ -571,6 +660,7 @@ impl<'m> BoundQuery<'m> {
     /// All evidences of `o`, most probable first (bit-identical to
     /// [`crate::evidence::enumerate_evidences`]).
     pub fn evidences(&self, o: &[SymbolId]) -> Result<Evidences, EngineError> {
+        let _exec = ExecGuard::enter(&self.plan);
         let t = &self.plan.t;
         check_inputs(t, self.m, Some(o))?;
         Ok(evidence::enumerate_evidences_impl(
@@ -594,7 +684,7 @@ impl<'m> BoundQuery<'m> {
             &self.plan.t,
             self.m,
             Arc::clone(&self.steps),
-            PrefixGraphSource::Plan(Arc::clone(&self.plan)),
+            Arc::clone(&self.plan),
         ))
     }
 
@@ -612,6 +702,7 @@ impl<'m> BoundQuery<'m> {
     /// The top-k answers by `E_max`, each with its exact confidence
     /// (bit-identical to [`crate::evaluate::Evaluation::top_k_scored`]).
     pub fn top_k_scored(&self, k: usize) -> Result<Vec<ScoredAnswer>, EngineError> {
+        let _exec = ExecGuard::enter(&self.plan);
         let mut out = Vec::with_capacity(k);
         for r in self.ranked()?.take(k) {
             let conf = self.confidence(&r.output)?;
@@ -626,6 +717,7 @@ impl<'m> BoundQuery<'m> {
 
     /// The top-k answers by `E_max` without confidences.
     pub fn top_k(&self, k: usize) -> Result<Vec<RankedAnswer>, EngineError> {
+        let _exec = ExecGuard::enter(&self.plan);
         Ok(self.ranked()?.take(k).collect())
     }
 }
@@ -666,6 +758,7 @@ impl<S: StepSource> SourceBoundQuery<S> {
     /// (bit-identical to [`BoundQuery::confidence`]).
     pub fn confidence(&mut self, o: &[SymbolId]) -> Result<f64, EngineError> {
         let plan = Arc::clone(&self.plan);
+        let _exec = ExecGuard::enter(&plan);
         let t = &plan.t;
         confidence::check_source_inputs(t, &self.src, Some(o))?;
         match plan.kind {
@@ -711,6 +804,7 @@ impl<S: StepSource> SourceBoundQuery<S> {
     /// [`BoundQuery::is_answer`]).
     pub fn is_answer(&mut self, o: &[SymbolId]) -> Result<bool, EngineError> {
         let plan = Arc::clone(&self.plan);
+        let _exec = ExecGuard::enter(&plan);
         confidence::check_source_inputs(&plan.t, &self.src, Some(o))?;
         confidence::is_answer_source_impl(
             &plan.t,
@@ -725,6 +819,7 @@ impl<S: StepSource> SourceBoundQuery<S> {
     /// [`BoundQuery::answer_exists`]).
     pub fn answer_exists(&mut self) -> Result<bool, EngineError> {
         let plan = Arc::clone(&self.plan);
+        let _exec = ExecGuard::enter(&plan);
         confidence::check_source_fresh(&self.src)?;
         confidence::answer_exists_source_impl(
             &plan.t,
@@ -738,6 +833,7 @@ impl<S: StepSource> SourceBoundQuery<S> {
     /// [`BoundQuery::emax_of_output`]).
     pub fn emax_of_output(&mut self, o: &[SymbolId]) -> Result<f64, EngineError> {
         let plan = Arc::clone(&self.plan);
+        let _exec = ExecGuard::enter(&plan);
         confidence::check_source_inputs(&plan.t, &self.src, Some(o))?;
         emax::emax_of_output_source_impl(
             &plan.t,
@@ -758,7 +854,9 @@ impl<S: StepSource> SourceBoundQuery<S> {
         samples: usize,
         rng: &mut R,
     ) -> Result<McEstimate, EngineError> {
-        montecarlo::estimate_confidence_source(&self.plan.t, &mut self.src, o, samples, rng)
+        let plan = Arc::clone(&self.plan);
+        let _exec = ExecGuard::enter(&plan);
+        montecarlo::estimate_confidence_source(&plan.t, &mut self.src, o, samples, rng)
     }
 }
 

@@ -92,8 +92,9 @@ impl EventMonitor {
     /// Drains a [`StepSource`] through the monitor, returning the full
     /// probability series (one entry per position, equal to
     /// [`crate::confidence::prefix_acceptance_probabilities`] over the
-    /// materialized sequence).
-    pub fn run_source<S: StepSource>(nfa: Nfa, src: &mut S) -> Result<Vec<f64>, EngineError> {
+    /// materialized sequence). Named `*_source` like every other streamed
+    /// variant of a batch pass.
+    pub fn series_source<S: StepSource>(nfa: Nfa, src: &mut S) -> Result<Vec<f64>, EngineError> {
         crate::confidence::check_source_fresh(src)?;
         let mut monitor = EventMonitor::start(nfa, src.initial())?;
         let mut out = Vec::with_capacity(src.len());
@@ -162,7 +163,7 @@ mod tests {
     }
 
     #[test]
-    fn run_source_matches_batch_series() {
+    fn series_source_matches_batch_series() {
         let mut rng = StdRng::seed_from_u64(13);
         for _ in 0..5 {
             let m = random_markov_sequence(
@@ -174,7 +175,7 @@ mod tests {
                 &mut rng,
             );
             let batch = prefix_acceptance_probabilities(&has_two(), &m).unwrap();
-            let streamed = EventMonitor::run_source(has_two(), &mut m.step_source()).unwrap();
+            let streamed = EventMonitor::series_source(has_two(), &mut m.step_source()).unwrap();
             assert_eq!(batch.len(), streamed.len());
             for (b, s) in batch.iter().zip(streamed.iter()) {
                 assert_eq!(b.to_bits(), s.to_bits(), "{b} vs {s}");

@@ -1,0 +1,185 @@
+//! Observability-layer guarantees: instrumentation must not change any
+//! computed number, the planner-cache counters must account for every
+//! lookup exactly (including under concurrent binds of one shared plan),
+//! snapshots must survive a JSON round trip, and phase spans must nest
+//! and close correctly.
+
+use std::sync::Mutex;
+
+use rand::{rngs::StdRng, SeedableRng};
+use transmark_automata::{Alphabet, SymbolId};
+use transmark_core::evaluate::Evaluation;
+use transmark_core::plan::prepare;
+use transmark_core::transducer::Transducer;
+use transmark_markov::{MarkovSequence, MarkovSequenceBuilder};
+
+/// Metric counters are process-global, so every test in this binary
+/// serializes on one lock: a parallel test's traffic would otherwise
+/// leak into another's snapshot window.
+static GLOBAL_METRICS: Mutex<()> = Mutex::new(());
+
+fn sym(i: u32) -> SymbolId {
+    SymbolId(i)
+}
+
+/// Nondeterministic suffix-copier over {a,b}: exercises the planner's
+/// per-output compiled-graph cache on every confidence call.
+fn suffix_guesser() -> Transducer {
+    let a = Alphabet::of_chars("ab");
+    let mut b = Transducer::builder(a.clone(), a);
+    let skip = b.add_state(true);
+    let copy = b.add_state(true);
+    b.set_initial(skip);
+    for s in 0..2u32 {
+        b.add_transition(skip, sym(s), skip, &[]).unwrap();
+        b.add_transition(skip, sym(s), copy, &[sym(s)]).unwrap();
+        b.add_transition(copy, sym(s), copy, &[sym(s)]).unwrap();
+    }
+    b.build().unwrap()
+}
+
+fn uniform_chain(n: usize) -> MarkovSequence {
+    MarkovSequenceBuilder::new(Alphabet::of_chars("ab"), n)
+        .uniform_all()
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn instrumentation_is_bit_neutral() {
+    let _g = GLOBAL_METRICS.lock().unwrap_or_else(|e| e.into_inner());
+    let t = transmark_workloads::hospital::room_tracker();
+    let m = transmark_workloads::hospital::hospital_sequence();
+
+    // Two fully instrumented runs and the Evaluation facade agree
+    // bit-for-bit on every score.
+    let a = prepare(&t).bind(&m).unwrap().top_k_scored(8).unwrap();
+    let b = prepare(&t).bind(&m).unwrap().top_k_scored(8).unwrap();
+    assert_eq!(a.len(), b.len());
+    assert!(!a.is_empty());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.output, y.output);
+        assert_eq!(x.emax.to_bits(), y.emax.to_bits());
+        assert_eq!(x.confidence.to_bits(), y.confidence.to_bits());
+    }
+    let ev = Evaluation::new(&t, &m).unwrap();
+    for x in &a {
+        assert_eq!(
+            ev.confidence(&x.output).unwrap().to_bits(),
+            x.confidence.to_bits()
+        );
+    }
+
+    // Monte-Carlo sampling: timers and counters must not perturb the RNG
+    // draw sequence — same seed, bit-identical estimate.
+    let t2 = suffix_guesser();
+    let m2 = uniform_chain(4);
+    let o = vec![sym(0)];
+    let mut r1 = StdRng::seed_from_u64(42);
+    let mut r2 = StdRng::seed_from_u64(42);
+    let e1 = transmark_core::montecarlo::estimate_confidence(&t2, &m2, &o, 2_000, &mut r1).unwrap();
+    let e2 = transmark_core::montecarlo::estimate_confidence(&t2, &m2, &o, 2_000, &mut r2).unwrap();
+    assert_eq!(e1.estimate.to_bits(), e2.estimate.to_bits());
+    assert_eq!(e1.std_error.to_bits(), e2.std_error.to_bits());
+}
+
+#[test]
+fn planner_cache_accounting_is_exact_under_concurrent_binds() {
+    let _g = GLOBAL_METRICS.lock().unwrap_or_else(|e| e.into_inner());
+    if !transmark_obs::enabled() {
+        return;
+    }
+    let t = suffix_guesser();
+    let m = uniform_chain(3);
+    let o = vec![sym(0)];
+    let plan = prepare(&t);
+
+    // Warm round: one bind + one confidence on a fresh plan. Whatever it
+    // compiles is a miss; the total lookup count (hits + misses) is the
+    // per-round cost we check the concurrent rounds against.
+    let base = transmark_obs::registry().snapshot();
+    let bound = plan.bind(&m).unwrap();
+    let warm = bound.confidence(&o).unwrap();
+    let d = transmark_obs::registry().snapshot().diff(&base);
+    let (warm_hits, warm_misses) = (
+        d.counter("planner.cache.hits"),
+        d.counter("planner.cache.misses"),
+    );
+    assert!(warm_misses > 0, "a fresh plan must compile something");
+    let per_round = warm_hits + warm_misses;
+
+    // Two threads re-bind the same shared plan and repeat the identical
+    // round. Every lookup must be a hit — the cache mutex makes the
+    // compile-on-miss atomic, so concurrency can neither double-compile
+    // (extra misses) nor lose a lookup (hits + misses must be exact).
+    let base = transmark_obs::registry().snapshot();
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            s.spawn(|| {
+                let b = plan.bind(&m).unwrap();
+                let c = b.confidence(&o).unwrap();
+                assert_eq!(c.to_bits(), warm.to_bits());
+            });
+        }
+    });
+    let d = transmark_obs::registry().snapshot().diff(&base);
+    assert_eq!(d.counter("planner.cache.misses"), 0);
+    assert_eq!(d.counter("planner.cache.hits"), 2 * per_round);
+}
+
+#[test]
+fn snapshot_survives_json_round_trip() {
+    let _g = GLOBAL_METRICS.lock().unwrap_or_else(|e| e.into_inner());
+    // Generate counter, histogram, and span traffic first.
+    let t = transmark_workloads::hospital::room_tracker();
+    let m = transmark_workloads::hospital::hospital_sequence();
+    let top = prepare(&t).bind(&m).unwrap().top_k_scored(1).unwrap();
+    assert!(!top.is_empty());
+
+    let s = transmark_obs::registry().snapshot();
+    let back = transmark_obs::Snapshot::from_json(&s.to_json()).unwrap();
+    assert_eq!(s, back);
+    // A snapshot diffed against itself reports nothing.
+    assert!(s.diff(&s).is_empty());
+    if transmark_obs::enabled() {
+        assert!(s.counter("kernel.advance.layers") > 0);
+        assert_eq!(
+            back.counter("kernel.advance.layers"),
+            s.counter("kernel.advance.layers")
+        );
+    }
+}
+
+#[test]
+fn spans_nest_and_close_across_prepare_bind_execute() {
+    let _g = GLOBAL_METRICS.lock().unwrap_or_else(|e| e.into_inner());
+    if !transmark_obs::enabled() {
+        return;
+    }
+    let base = transmark_obs::registry().snapshot();
+
+    // Manual nesting: the aggregation key is the "/"-joined stack path.
+    {
+        let _outer = transmark_obs::span::enter("obs_test_outer");
+        let _inner = transmark_obs::span::enter("obs_test_inner");
+        assert_eq!(transmark_obs::span::current_depth(), 2);
+    }
+    assert_eq!(transmark_obs::span::current_depth(), 0);
+
+    // Engine phases open and close one span each, leaving the stack
+    // balanced even across an executed query.
+    let t = transmark_workloads::hospital::room_tracker();
+    let m = transmark_workloads::hospital::hospital_sequence();
+    let bound = prepare(&t).bind(&m).unwrap();
+    let top = bound.top_k_scored(1).unwrap();
+    assert!(!top.is_empty());
+    let _ = bound.confidence(&top[0].output).unwrap();
+    assert_eq!(transmark_obs::span::current_depth(), 0);
+
+    let d = transmark_obs::registry().snapshot().diff(&base);
+    assert_eq!(d.span("obs_test_outer").unwrap().count, 1);
+    assert_eq!(d.span("obs_test_outer/obs_test_inner").unwrap().count, 1);
+    assert!(d.span("prepare").map_or(0, |s| s.count) >= 1);
+    assert!(d.span("bind").map_or(0, |s| s.count) >= 1);
+    assert!(d.span("execute").map_or(0, |s| s.count) >= 1);
+}

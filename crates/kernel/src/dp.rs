@@ -16,6 +16,17 @@ use crate::semiring::Semiring;
 use crate::step_graph::StepGraph;
 use crate::steps::StepRows;
 
+/// Folds `n` layer advances into the `kernel.advance.layers` counter.
+///
+/// The advance drivers themselves do not count: a per-layer atomic is
+/// measurable against a degenerate layer (small machine, small
+/// alphabet), so each DP pass reports its whole sweep with one call —
+/// the overhead guard in `scripts/check.sh` holds the line.
+#[inline]
+pub fn count_layers(n: u64) {
+    transmark_obs::counter!("kernel.advance.layers").add(n);
+}
+
 /// Advances one layer: `next[(to, e.to)] ⊕= cur[(node, row)] ⊗ p` for every
 /// nonzero transition `node →p to` in `steps` (one step's rows — see
 /// [`StepRows`]) and every machine edge `e` enabled by reading `to` from

@@ -60,7 +60,7 @@ pub mod steps;
 pub mod subset;
 pub mod workspace;
 
-pub use dp::{advance, advance_filtered, advance_string, advance_tracked, BackEdge};
+pub use dp::{advance, advance_filtered, advance_string, advance_tracked, count_layers, BackEdge};
 pub use numeric::Neumaier;
 pub use semiring::{Bool, MaxLog, Prob, Semiring};
 pub use step_graph::{MachineEdge, SharedStepGraph, StepGraph, StepGraphBuilder};

@@ -234,6 +234,8 @@ impl SparseStepsBuilder {
             self.steps.n_steps * self.steps.n_nodes + 1,
             "every (step, from) row must be finished exactly once"
         );
+        transmark_obs::counter!("kernel.csr.builds").inc();
+        transmark_obs::histogram!("kernel.csr.entries").record(self.steps.entries.len() as u64);
         self.steps
     }
 }

@@ -23,6 +23,11 @@ impl<E: Copy> Workspace<E> {
     /// Sizes both buffers to `cells` and fills them with `zero`. Keeps
     /// capacity across calls.
     pub fn reset(&mut self, cells: usize, zero: E) {
+        if cells > self.cur.capacity() || cells > self.next.capacity() {
+            transmark_obs::counter!("kernel.workspace.realloc").inc();
+        } else {
+            transmark_obs::counter!("kernel.workspace.reuse").inc();
+        }
         self.cur.clear();
         self.cur.resize(cells, zero);
         self.next.clear();

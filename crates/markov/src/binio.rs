@@ -252,6 +252,7 @@ impl<R: Read> StepSource for TmsbReader<R> {
             return Ok(None);
         }
         let step = self.pos;
+        let t = transmark_obs::Timer::start();
         self.reader.read_exact(&mut self.raw).map_err(|e| {
             if e.kind() == std::io::ErrorKind::UnexpectedEof {
                 ferr(format!("layer {step} truncated"))
@@ -262,12 +263,15 @@ impl<R: Read> StepSource for TmsbReader<R> {
         decode_f64s(&self.raw, &mut self.buf);
         validate_matrix(&self.buf, self.alphabet.len(), "transition", step)?;
         self.pos += 1;
+        t.observe(transmark_obs::histogram!("dataplane.tmsb.decode_ns"));
+        crate::obs::record_step(self.buf.len());
         Ok(Some(&self.buf))
     }
 }
 
 impl<R: Read + Seek> RewindableStepSource for TmsbReader<R> {
     fn rewind(&mut self) -> Result<(), SourceError> {
+        transmark_obs::counter!("dataplane.rewinds").inc();
         self.reader.seek(SeekFrom::Start(self.layers_start))?;
         self.pos = 0;
         Ok(())
@@ -388,6 +392,7 @@ impl StepSource for TmsbSlice<'_> {
         let stride = 8 * self.k * self.k;
         let bytes = &self.layers[step * stride..(step + 1) * stride];
         self.pos += 1;
+        crate::obs::record_step(self.k * self.k);
         if let Some(view) = cast_f64s(bytes) {
             validate_matrix(view, self.k, "transition", step)?;
             Ok(Some(view))
@@ -401,6 +406,7 @@ impl StepSource for TmsbSlice<'_> {
 
 impl RewindableStepSource for TmsbSlice<'_> {
     fn rewind(&mut self) -> Result<(), SourceError> {
+        transmark_obs::counter!("dataplane.rewinds").inc();
         self.pos = 0;
         Ok(())
     }

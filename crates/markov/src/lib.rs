@@ -47,6 +47,7 @@ pub mod hmm_textio;
 pub mod info;
 pub mod korder;
 pub mod numeric;
+pub(crate) mod obs;
 pub mod seqops;
 pub mod sequence;
 pub mod source;

@@ -1,0 +1,16 @@
+//! Data-plane metric helpers shared by the step sources.
+//!
+//! Every [`crate::source::StepSource`] pull funnels through
+//! [`record_step`] so `dataplane.steps` / `dataplane.bytes` mean the same
+//! thing regardless of which source served the layer. Decode timing is
+//! recorded only where real decoding happens (`.tms` parsing, `.tmsb`
+//! read+decode); the zero-copy in-memory and slice paths count steps and
+//! bytes but skip the clock — two relaxed atomic adds is their entire
+//! instrumentation cost.
+
+/// Records one pulled step layer of `entries` f64 cells.
+#[inline]
+pub(crate) fn record_step(entries: usize) {
+    transmark_obs::counter!("dataplane.steps").inc();
+    transmark_obs::counter!("dataplane.bytes").add(8 * entries as u64);
+}

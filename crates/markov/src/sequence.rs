@@ -144,6 +144,7 @@ impl MarkovSequence {
     /// scanned dense rows (skipping zeros inline) accumulate in the exact
     /// same sequence.
     pub fn sparse_steps(&self) -> transmark_kernel::SparseSteps {
+        let t = transmark_obs::Timer::start();
         let k = self.alphabet.len();
         let mut b = transmark_kernel::SparseSteps::builder(k, self.n - 1);
         b.reserve((self.n - 1) * k * k);
@@ -162,7 +163,9 @@ impl MarkovSequence {
                 b.finish_row();
             }
         }
-        b.build()
+        let steps = b.build();
+        t.observe(transmark_obs::histogram!("kernel.csr.build_ns"));
+        steps
     }
 
     /// A rewindable [`crate::source::StepSource`] cursor over this

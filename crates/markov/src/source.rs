@@ -213,12 +213,15 @@ impl StepSource for SequenceSource<'_> {
         }
         let i = self.pos;
         self.pos += 1;
-        Ok(Some(self.m.transition_matrix(i)))
+        let m = self.m.transition_matrix(i);
+        crate::obs::record_step(m.len());
+        Ok(Some(m))
     }
 }
 
 impl RewindableStepSource for SequenceSource<'_> {
     fn rewind(&mut self) -> Result<(), SourceError> {
+        transmark_obs::counter!("dataplane.rewinds").inc();
         self.pos = 0;
         Ok(())
     }

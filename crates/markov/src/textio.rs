@@ -376,6 +376,7 @@ impl<R: BufRead> StepSource for TmsTextSource<R> {
         }
         let step = self.pos;
         let k = self.alphabet.len();
+        let t = transmark_obs::Timer::start();
 
         let ln = self
             .read_meaningful()?
@@ -398,6 +399,8 @@ impl<R: BufRead> StepSource for TmsTextSource<R> {
         }
         validate_matrix(&self.buf, k, "transition", step)?;
         self.pos += 1;
+        t.observe(transmark_obs::histogram!("dataplane.tms.decode_ns"));
+        crate::obs::record_step(self.buf.len());
         Ok(Some(&self.buf))
     }
 }

@@ -1,0 +1,140 @@
+//! # transmark-obs — dependency-free observability
+//!
+//! Always-compiled, near-zero-cost instrumentation for the transmark
+//! engine: atomic [`Counter`]s, monotonic [`Gauge`]s, log₂-bucketed
+//! [`Histogram`]s, and a lightweight [`span!`] API for nested phase
+//! timings — all aggregated in a process-global [`Registry`] whose
+//! [`Snapshot`]s render to text and JSON (and parse back) without serde.
+//!
+//! ## Recording
+//!
+//! The `counter!`/`gauge!`/`histogram!` macros plant a `static`
+//! instrument at the call site and register it on first touch, so the
+//! steady-state cost of a recording is one relaxed atomic op:
+//!
+//! ```
+//! use transmark_obs::{counter, histogram, span, Timer};
+//!
+//! counter!("dataplane.steps").inc();
+//! let t = Timer::start();
+//! // ... decode a layer ...
+//! histogram!("dataplane.tms.decode_ns").record(t.elapsed_ns());
+//!
+//! // A span times a whole phase; nested spans aggregate under
+//! // "/"-joined paths ("prepare", "bind/csr", ...).
+//! {
+//!     span!("bind");
+//!     // ... bind work ...
+//! }
+//! ```
+//!
+//! ## Reading
+//!
+//! ```
+//! use transmark_obs::registry;
+//!
+//! let before = registry().snapshot();
+//! // ... run a query ...
+//! let after = registry().snapshot();
+//! let report = after.diff(&before);   // only what this query did
+//! println!("{}", report.to_text());
+//! let json = report.to_json();        // round-trips via Snapshot::from_json
+//! # let _ = json;
+//! ```
+//!
+//! ## Turning it off
+//!
+//! Building with the `obs-off` feature compiles every recording to an
+//! empty body and every timer read to `0`; the API keeps its shape so
+//! call sites are identical either way. `scripts/check.sh` uses this to
+//! assert the instrumented hot paths stay within the overhead budget.
+//!
+//! ## Bit-reproducibility
+//!
+//! Nothing in this crate touches query data: instruments observe counts
+//! and clocks only, so instrumented passes are bit-identical to
+//! uninstrumented ones by construction (asserted end-to-end in
+//! `crates/core/tests/observability.rs`).
+
+pub mod json;
+pub mod metrics;
+pub mod registry;
+pub mod snapshot;
+pub mod span;
+
+pub use metrics::{Counter, Gauge, Histogram, Timer};
+pub use registry::{registry, Registry};
+pub use snapshot::{fmt_ns, HistogramSnapshot, Snapshot, SpanSnapshot};
+pub use span::SpanGuard;
+
+/// True when the crate was built with the `obs-off` feature (recording
+/// compiled out). Lets tests and the overhead harness report which mode
+/// they measured.
+pub const fn enabled() -> bool {
+    cfg!(not(feature = "obs-off"))
+}
+
+/// A call-site counter: plants a `static` [`Counter`], registers it
+/// under `$name` on first touch, and evaluates to `&'static Counter`.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static __OBS_C: $crate::Counter = $crate::Counter::new();
+        static __OBS_REG: ::std::sync::Once = ::std::sync::Once::new();
+        __OBS_REG.call_once(|| $crate::registry().register_counter($name, &__OBS_C));
+        &__OBS_C
+    }};
+}
+
+/// A call-site monotonic gauge; see [`counter!`].
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static __OBS_G: $crate::Gauge = $crate::Gauge::new();
+        static __OBS_REG: ::std::sync::Once = ::std::sync::Once::new();
+        __OBS_REG.call_once(|| $crate::registry().register_gauge($name, &__OBS_G));
+        &__OBS_G
+    }};
+}
+
+/// A call-site histogram; see [`counter!`].
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static __OBS_H: $crate::Histogram = $crate::Histogram::new();
+        static __OBS_REG: ::std::sync::Once = ::std::sync::Once::new();
+        __OBS_REG.call_once(|| $crate::registry().register_histogram($name, &__OBS_H));
+        &__OBS_H
+    }};
+}
+
+/// Opens a span that closes with the enclosing scope. The name must be
+/// `&'static str`; nested spans aggregate under "/"-joined paths.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        let __obs_span_guard = $crate::span::enter($name);
+        let _ = &__obs_span_guard;
+    };
+}
+
+#[cfg(all(test, not(feature = "obs-off")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macros_record_through_the_registry() {
+        counter!("test.lib.counter").add(7);
+        gauge!("test.lib.gauge").set(3);
+        histogram!("test.lib.hist").record(100);
+        {
+            span!("test.lib.span");
+            counter!("test.lib.counter").inc();
+        }
+        let snap = registry().snapshot();
+        assert_eq!(snap.counter("test.lib.counter"), 8);
+        assert_eq!(snap.gauge("test.lib.gauge"), 3);
+        assert_eq!(snap.histogram("test.lib.hist").unwrap().count, 1);
+        assert!(snap.span("test.lib.span").unwrap().count >= 1);
+    }
+}

@@ -1,0 +1,277 @@
+//! The three primitive instruments: counters, monotonic gauges, and
+//! log-bucketed histograms.
+//!
+//! All three are const-constructible so the `counter!`/`gauge!`/
+//! `histogram!` macros can park one in a `static` at the call site, and
+//! all updates are relaxed atomics — a recording is one `fetch_add` (or
+//! `fetch_max`), never a lock. Relaxed ordering is deliberate: metrics
+//! are diagnostics, not synchronization, and a snapshot taken while
+//! recorders run is allowed to be a torn-across-instruments view (each
+//! individual value is still atomically read).
+//!
+//! With the `obs-off` feature every mutating method compiles to an empty
+//! body, so the instrumented call sites cost nothing beyond the (dead)
+//! argument computation the optimizer removes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of histogram buckets: one per power of two of `u64`, plus the
+/// zero bucket. Bucket `0` holds exactly the value `0`; bucket `i ≥ 1`
+/// holds values in `[2^(i-1), 2^i)`.
+pub const N_BUCKETS: usize = 64;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub const fn new() -> Counter {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(not(feature = "obs-off"))]
+        self.value.fetch_add(n, Ordering::Relaxed);
+        #[cfg(feature = "obs-off")]
+        let _ = n;
+    }
+
+    /// Current count.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A monotonic high-water mark: `set` only ever raises the stored value.
+///
+/// Used for quantities where the interesting number is the peak (worker
+/// count, largest alphabet seen), so concurrent setters need no
+/// read-modify-write loop beyond `fetch_max`.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    pub const fn new() -> Gauge {
+        Gauge {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Raises the gauge to `v` if `v` is larger than the current value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        #[cfg(not(feature = "obs-off"))]
+        self.value.fetch_max(v, Ordering::Relaxed);
+        #[cfg(feature = "obs-off")]
+        let _ = v;
+    }
+
+    /// Current high-water mark.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A log₂-bucketed histogram of `u64` samples (durations in ns, sizes in
+/// bytes or entries).
+///
+/// Power-of-two buckets trade resolution for a fixed footprint: 64
+/// atomics cover the entire `u64` range with ≤ 2× relative error, which
+/// is plenty for "where did the time go" questions, and recording is two
+/// `fetch_add`s plus a `fetch_max` with no allocation.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; N_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    pub const fn new() -> Histogram {
+        // Inline-const so the non-Copy atomic can seed the array.
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            buckets: [ZERO; N_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index a value lands in: `0` for `0`, else
+    /// `floor(log2(v)) + 1`, clamped into range.
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            ((64 - v.leading_zeros()) as usize).min(N_BUCKETS - 1)
+        }
+    }
+
+    /// The smallest value that lands in bucket `i`.
+    #[inline]
+    pub fn bucket_lower_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        #[cfg(not(feature = "obs-off"))]
+        {
+            self.buckets[Histogram::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(v, Ordering::Relaxed);
+            self.max.fetch_max(v, Ordering::Relaxed);
+        }
+        #[cfg(feature = "obs-off")]
+        let _ = v;
+    }
+
+    /// Number of recorded samples.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples (wraps on overflow; ~584 years of ns).
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample.
+    #[inline]
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The nonzero buckets as `(lower_bound, count)`, ascending.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n != 0 {
+                out.push((Histogram::bucket_lower_bound(i), n));
+            }
+        }
+        out
+    }
+}
+
+/// A wall-clock stopwatch whose reads collapse to `0` under `obs-off`,
+/// so `histogram.record(timer.elapsed_ns())` is free when compiled out.
+#[derive(Debug, Clone, Copy)]
+pub struct Timer {
+    #[cfg(not(feature = "obs-off"))]
+    start: std::time::Instant,
+}
+
+impl Timer {
+    /// Starts the clock (a no-op under `obs-off`).
+    #[inline]
+    pub fn start() -> Timer {
+        Timer {
+            #[cfg(not(feature = "obs-off"))]
+            start: std::time::Instant::now(),
+        }
+    }
+
+    /// Nanoseconds since `start`, saturated into `u64`.
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        #[cfg(not(feature = "obs-off"))]
+        {
+            let ns = self.start.elapsed().as_nanos();
+            if ns > u64::MAX as u128 {
+                u64::MAX
+            } else {
+                ns as u64
+            }
+        }
+        #[cfg(feature = "obs-off")]
+        0
+    }
+
+    /// Records the elapsed time into `h` and returns it.
+    #[inline]
+    pub fn observe(&self, h: &Histogram) -> u64 {
+        let ns = self.elapsed_ns();
+        h.record(ns);
+        ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), N_BUCKETS - 1);
+        for i in 0..N_BUCKETS {
+            let lo = Histogram::bucket_lower_bound(i);
+            assert_eq!(Histogram::bucket_index(lo), i, "lower bound of bucket {i}");
+        }
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn histogram_records() {
+        let h = Histogram::new();
+        for v in [0, 1, 1, 5, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1007);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.buckets(), vec![(0, 1), (1, 2), (4, 1), (512, 1)]);
+    }
+
+    #[cfg(feature = "obs-off")]
+    #[test]
+    fn obs_off_is_inert() {
+        let c = Counter::new();
+        c.inc();
+        let g = Gauge::new();
+        g.set(9);
+        let h = Histogram::new();
+        h.record(7);
+        assert_eq!((c.get(), g.get(), h.count()), (0, 0, 0));
+        assert_eq!(Timer::start().elapsed_ns(), 0);
+    }
+}

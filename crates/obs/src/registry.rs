@@ -1,0 +1,210 @@
+//! The process-global instrument registry.
+//!
+//! Instruments live in `static`s at their call sites (planted by the
+//! `counter!`/`gauge!`/`histogram!` macros) and register themselves here
+//! on first touch; dynamically named instruments (`counter_dyn` etc.,
+//! used for per-`PlanKind` phase timings whose names are composed at
+//! runtime) live in the registry itself behind `Arc`s. Registration is
+//! a one-time mutex hit per call site — recording never touches the
+//! registry.
+//!
+//! If two call sites register the same name, both handles are kept and
+//! their values are summed at snapshot time, so a metric name means "the
+//! total across everywhere it is recorded".
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use crate::snapshot::{HistogramSnapshot, Snapshot};
+use crate::span;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A handle that is either a `static` at a call site or registry-owned.
+enum Slot<T: 'static> {
+    Static(&'static T),
+    Owned(Arc<T>),
+}
+
+impl<T> Slot<T> {
+    fn get(&self) -> &T {
+        match self {
+            Slot::Static(t) => t,
+            Slot::Owned(t) => t,
+        }
+    }
+}
+
+struct Table<T: 'static> {
+    slots: Mutex<BTreeMap<String, Vec<Slot<T>>>>,
+}
+
+impl<T: Default> Table<T> {
+    fn new() -> Table<T> {
+        Table {
+            slots: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Vec<Slot<T>>>> {
+        self.slots.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn register(&self, name: &str, handle: &'static T) {
+        self.lock()
+            .entry(name.to_string())
+            .or_default()
+            .push(Slot::Static(handle));
+    }
+
+    fn owned(&self, name: &str) -> Arc<T> {
+        let mut slots = self.lock();
+        let entry = slots.entry(name.to_string()).or_default();
+        for slot in entry.iter() {
+            if let Slot::Owned(arc) = slot {
+                return Arc::clone(arc);
+            }
+        }
+        let arc = Arc::new(T::default());
+        entry.push(Slot::Owned(Arc::clone(&arc)));
+        arc
+    }
+
+    fn fold<A>(
+        &self,
+        mut f: impl FnMut(&str, &T) -> A,
+        mut merge: impl FnMut(A, A) -> A,
+    ) -> BTreeMap<String, A> {
+        let slots = self.lock();
+        let mut out = BTreeMap::new();
+        for (name, handles) in slots.iter() {
+            let mut acc: Option<A> = None;
+            for h in handles {
+                let v = f(name, h.get());
+                acc = Some(match acc {
+                    None => v,
+                    Some(a) => merge(a, v),
+                });
+            }
+            if let Some(a) = acc {
+                out.insert(name.clone(), a);
+            }
+        }
+        out
+    }
+}
+
+/// The registry: every instrument the process has touched.
+pub struct Registry {
+    counters: Table<Counter>,
+    gauges: Table<Gauge>,
+    histograms: Table<Histogram>,
+}
+
+impl Registry {
+    fn new() -> Registry {
+        Registry {
+            counters: Table::new(),
+            gauges: Table::new(),
+            histograms: Table::new(),
+        }
+    }
+
+    /// Registers a call-site `static` counter (used by `counter!`).
+    pub fn register_counter(&self, name: &str, c: &'static Counter) {
+        self.counters.register(name, c);
+    }
+
+    /// Registers a call-site `static` gauge (used by `gauge!`).
+    pub fn register_gauge(&self, name: &str, g: &'static Gauge) {
+        self.gauges.register(name, g);
+    }
+
+    /// Registers a call-site `static` histogram (used by `histogram!`).
+    pub fn register_histogram(&self, name: &str, h: &'static Histogram) {
+        self.histograms.register(name, h);
+    }
+
+    /// A registry-owned counter under a runtime-composed name. Resolve
+    /// once and keep the `Arc` — each call takes the registry lock.
+    pub fn counter_dyn(&self, name: &str) -> Arc<Counter> {
+        self.counters.owned(name)
+    }
+
+    /// A registry-owned gauge under a runtime-composed name.
+    pub fn gauge_dyn(&self, name: &str) -> Arc<Gauge> {
+        self.gauges.owned(name)
+    }
+
+    /// A registry-owned histogram under a runtime-composed name.
+    pub fn histogram_dyn(&self, name: &str) -> Arc<Histogram> {
+        self.histograms.owned(name)
+    }
+
+    /// Copies every instrument (and the span aggregates) into an
+    /// immutable [`Snapshot`]. Zero-valued instruments are omitted so a
+    /// snapshot reflects what actually happened.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot {
+            counters: self.counters.fold(|_, c| c.get(), u64::saturating_add),
+            gauges: self.gauges.fold(|_, g| g.get(), u64::max),
+            histograms: self.histograms.fold(
+                |_, h| HistogramSnapshot {
+                    count: h.count(),
+                    sum: h.sum(),
+                    max: h.max(),
+                    buckets: h.buckets(),
+                },
+                merge_hist,
+            ),
+            spans: span::collect(),
+        };
+        snap.counters.retain(|_, v| *v != 0);
+        snap.gauges.retain(|_, v| *v != 0);
+        snap.histograms.retain(|_, h| h.count != 0);
+        snap
+    }
+}
+
+fn merge_hist(a: HistogramSnapshot, b: HistogramSnapshot) -> HistogramSnapshot {
+    let mut buckets: BTreeMap<u64, u64> = a.buckets.into_iter().collect();
+    for (lo, n) in b.buckets {
+        *buckets.entry(lo).or_insert(0) += n;
+    }
+    HistogramSnapshot {
+        count: a.count + b.count,
+        sum: a.sum.saturating_add(b.sum),
+        max: a.max.max(b.max),
+        buckets: buckets.into_iter().collect(),
+    }
+}
+
+/// The process-global registry.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+#[cfg(all(test, not(feature = "obs-off")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dyn_handles_are_shared_and_snapshot() {
+        let c = registry().counter_dyn("test.registry.dyn_counter");
+        let c2 = registry().counter_dyn("test.registry.dyn_counter");
+        c.add(2);
+        c2.inc();
+        let snap = registry().snapshot();
+        assert_eq!(snap.counter("test.registry.dyn_counter"), 3);
+    }
+
+    #[test]
+    fn same_name_statics_sum() {
+        static A: Counter = Counter::new();
+        static B: Counter = Counter::new();
+        registry().register_counter("test.registry.twice", &A);
+        registry().register_counter("test.registry.twice", &B);
+        A.add(1);
+        B.add(2);
+        assert_eq!(registry().snapshot().counter("test.registry.twice"), 3);
+    }
+}

@@ -1,0 +1,439 @@
+//! Point-in-time copies of the registry, with diffing and text/JSON
+//! rendering.
+
+use crate::json::{self, JsonError, Value};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A histogram's state at snapshot time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+    /// Nonzero buckets as `(lower_bound, count)`, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A span path's aggregate at snapshot time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    pub count: u64,
+    pub total_ns: u64,
+    pub max_ns: u64,
+}
+
+/// An immutable copy of every registered instrument (plus the span
+/// aggregates), taken by [`crate::registry::Registry::snapshot`].
+///
+/// Snapshots subtract ([`Snapshot::diff`]) so "what happened during this
+/// call" is `after.diff(&before)` even though the underlying registry is
+/// process-global and monotonic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, u64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    pub spans: BTreeMap<String, SpanSnapshot>,
+}
+
+impl Snapshot {
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.spans.is_empty()
+    }
+
+    /// A counter's value, 0 if absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A gauge's value, 0 if absent.
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// A histogram's aggregate, if it recorded anything.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// A span path's aggregate, if it was entered.
+    pub fn span(&self, path: &str) -> Option<&SpanSnapshot> {
+        self.spans.get(path)
+    }
+
+    /// What happened between `baseline` and `self`.
+    ///
+    /// Counters, histogram counts/sums/buckets, and span aggregates
+    /// subtract; entries whose delta is zero are dropped. Gauges are
+    /// high-water marks, which do not subtract — the diff keeps the
+    /// current value and drops gauges that did not move. A histogram's
+    /// `max` over the window cannot be recovered from two cumulative
+    /// copies, so the diff conservatively reports the overall `max`
+    /// (an upper bound on the window's max); likewise for span `max_ns`.
+    pub fn diff(&self, baseline: &Snapshot) -> Snapshot {
+        let mut out = Snapshot::default();
+        for (name, &v) in &self.counters {
+            let d = v.saturating_sub(baseline.counter(name));
+            if d != 0 {
+                out.counters.insert(name.clone(), d);
+            }
+        }
+        for (name, &v) in &self.gauges {
+            if baseline.gauges.get(name) != Some(&v) {
+                out.gauges.insert(name.clone(), v);
+            }
+        }
+        for (name, h) in &self.histograms {
+            let base = baseline.histograms.get(name);
+            let count = h.count.saturating_sub(base.map_or(0, |b| b.count));
+            if count == 0 {
+                continue;
+            }
+            let sum = h.sum.saturating_sub(base.map_or(0, |b| b.sum));
+            let mut buckets = Vec::new();
+            for &(lo, n) in &h.buckets {
+                let base_n = base
+                    .and_then(|b| b.buckets.iter().find(|&&(blo, _)| blo == lo))
+                    .map_or(0, |&(_, n)| n);
+                let d = n.saturating_sub(base_n);
+                if d != 0 {
+                    buckets.push((lo, d));
+                }
+            }
+            out.histograms.insert(
+                name.clone(),
+                HistogramSnapshot {
+                    count,
+                    sum,
+                    max: h.max,
+                    buckets,
+                },
+            );
+        }
+        for (path, s) in &self.spans {
+            let base = baseline.spans.get(path);
+            let count = s.count.saturating_sub(base.map_or(0, |b| b.count));
+            if count == 0 {
+                continue;
+            }
+            out.spans.insert(
+                path.clone(),
+                SpanSnapshot {
+                    count,
+                    total_ns: s.total_ns.saturating_sub(base.map_or(0, |b| b.total_ns)),
+                    max_ns: s.max_ns,
+                },
+            );
+        }
+        out
+    }
+
+    /// Renders a human-readable report. Histogram and span values whose
+    /// names contain an `_ns` segment — a trailing `_ns` or a labelled
+    /// family like `planner.bind_ns.<kind>` — print as durations.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        if self.is_empty() {
+            return "(no metrics recorded)\n".to_string();
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name:<44} {v}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges (high-water):\n");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "  {name:<44} {v}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms (count / mean / max):\n");
+            for (name, h) in &self.histograms {
+                let (mean, max) = if name.ends_with("_ns") || name.contains("_ns.") {
+                    (fmt_ns(h.mean() as u64), fmt_ns(h.max))
+                } else {
+                    (format!("{:.1}", h.mean()), h.max.to_string())
+                };
+                let _ = writeln!(out, "  {name:<44} {} / {mean} / {max}", h.count);
+            }
+        }
+        if !self.spans.is_empty() {
+            out.push_str("spans (count / total / max):\n");
+            for (path, s) in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "  {path:<44} {} / {} / {}",
+                    s.count,
+                    fmt_ns(s.total_ns),
+                    fmt_ns(s.max_ns)
+                );
+            }
+        }
+        out
+    }
+
+    /// Serializes to compact JSON with deterministic key order.
+    pub fn to_json(&self) -> String {
+        let mut root = BTreeMap::new();
+        root.insert(
+            "counters".to_string(),
+            Value::Object(
+                self.counters
+                    .iter()
+                    .map(|(k, &v)| (k.clone(), Value::Int(v)))
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "gauges".to_string(),
+            Value::Object(
+                self.gauges
+                    .iter()
+                    .map(|(k, &v)| (k.clone(), Value::Int(v)))
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "histograms".to_string(),
+            Value::Object(
+                self.histograms
+                    .iter()
+                    .map(|(k, h)| {
+                        let mut o = BTreeMap::new();
+                        o.insert("count".to_string(), Value::Int(h.count));
+                        o.insert("sum".to_string(), Value::Int(h.sum));
+                        o.insert("max".to_string(), Value::Int(h.max));
+                        o.insert(
+                            "buckets".to_string(),
+                            Value::Array(
+                                h.buckets
+                                    .iter()
+                                    .map(|&(lo, n)| {
+                                        Value::Array(vec![Value::Int(lo), Value::Int(n)])
+                                    })
+                                    .collect(),
+                            ),
+                        );
+                        (k.clone(), Value::Object(o))
+                    })
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "spans".to_string(),
+            Value::Object(
+                self.spans
+                    .iter()
+                    .map(|(k, s)| {
+                        let mut o = BTreeMap::new();
+                        o.insert("count".to_string(), Value::Int(s.count));
+                        o.insert("total_ns".to_string(), Value::Int(s.total_ns));
+                        o.insert("max_ns".to_string(), Value::Int(s.max_ns));
+                        (k.clone(), Value::Object(o))
+                    })
+                    .collect(),
+            ),
+        );
+        Value::Object(root).to_json()
+    }
+
+    /// Parses a snapshot previously produced by [`Snapshot::to_json`].
+    pub fn from_json(text: &str) -> Result<Snapshot, JsonError> {
+        let bad = |message: &str| JsonError {
+            offset: 0,
+            message: message.to_string(),
+        };
+        let root = json::parse(text)?;
+        let root = root
+            .as_object()
+            .ok_or_else(|| bad("snapshot root must be an object"))?;
+        let mut snap = Snapshot::default();
+        if let Some(counters) = root.get("counters") {
+            let counters = counters
+                .as_object()
+                .ok_or_else(|| bad("\"counters\" must be an object"))?;
+            for (k, v) in counters {
+                let v = v
+                    .as_int()
+                    .ok_or_else(|| bad("counter values must be integers"))?;
+                snap.counters.insert(k.clone(), v);
+            }
+        }
+        if let Some(gauges) = root.get("gauges") {
+            let gauges = gauges
+                .as_object()
+                .ok_or_else(|| bad("\"gauges\" must be an object"))?;
+            for (k, v) in gauges {
+                let v = v
+                    .as_int()
+                    .ok_or_else(|| bad("gauge values must be integers"))?;
+                snap.gauges.insert(k.clone(), v);
+            }
+        }
+        if let Some(hists) = root.get("histograms") {
+            let hists = hists
+                .as_object()
+                .ok_or_else(|| bad("\"histograms\" must be an object"))?;
+            for (k, v) in hists {
+                let o = v
+                    .as_object()
+                    .ok_or_else(|| bad("histogram entries must be objects"))?;
+                let field = |name: &str| {
+                    o.get(name)
+                        .and_then(Value::as_int)
+                        .ok_or_else(|| bad("histogram fields must be integers"))
+                };
+                let mut buckets = Vec::new();
+                if let Some(raw) = o.get("buckets") {
+                    for pair in raw
+                        .as_array()
+                        .ok_or_else(|| bad("\"buckets\" must be an array"))?
+                    {
+                        let pair = pair
+                            .as_array()
+                            .ok_or_else(|| bad("bucket entries must be [lower, count]"))?;
+                        match pair {
+                            [lo, n] => buckets.push((
+                                lo.as_int()
+                                    .ok_or_else(|| bad("bucket bounds must be integers"))?,
+                                n.as_int()
+                                    .ok_or_else(|| bad("bucket counts must be integers"))?,
+                            )),
+                            _ => return Err(bad("bucket entries must be [lower, count]")),
+                        }
+                    }
+                }
+                snap.histograms.insert(
+                    k.clone(),
+                    HistogramSnapshot {
+                        count: field("count")?,
+                        sum: field("sum")?,
+                        max: field("max")?,
+                        buckets,
+                    },
+                );
+            }
+        }
+        if let Some(spans) = root.get("spans") {
+            let spans = spans
+                .as_object()
+                .ok_or_else(|| bad("\"spans\" must be an object"))?;
+            for (k, v) in spans {
+                let o = v
+                    .as_object()
+                    .ok_or_else(|| bad("span entries must be objects"))?;
+                let field = |name: &str| {
+                    o.get(name)
+                        .and_then(Value::as_int)
+                        .ok_or_else(|| bad("span fields must be integers"))
+                };
+                snap.spans.insert(
+                    k.clone(),
+                    SpanSnapshot {
+                        count: field("count")?,
+                        total_ns: field("total_ns")?,
+                        max_ns: field("max_ns")?,
+                    },
+                );
+            }
+        }
+        Ok(snap)
+    }
+}
+
+/// Formats nanoseconds as a short human duration.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        let mut s = Snapshot::default();
+        s.counters.insert("a.hits".into(), 3);
+        s.gauges.insert("workers".into(), 8);
+        s.histograms.insert(
+            "bind_ns".into(),
+            HistogramSnapshot {
+                count: 2,
+                sum: 3000,
+                max: 2000,
+                buckets: vec![(1024, 2)],
+            },
+        );
+        s.spans.insert(
+            "prepare/bind".into(),
+            SpanSnapshot {
+                count: 2,
+                total_ns: 3000,
+                max_ns: 2000,
+            },
+        );
+        s
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let s = sample();
+        assert_eq!(Snapshot::from_json(&s.to_json()).unwrap(), s);
+        let empty = Snapshot::default();
+        assert_eq!(Snapshot::from_json(&empty.to_json()).unwrap(), empty);
+    }
+
+    #[test]
+    fn diff_subtracts_and_drops_zeros() {
+        let before = sample();
+        let mut after = sample();
+        *after.counters.get_mut("a.hits").unwrap() = 5;
+        let h = after.histograms.get_mut("bind_ns").unwrap();
+        h.count = 3;
+        h.sum = 4500;
+        h.buckets = vec![(1024, 3)];
+        let d = after.diff(&before);
+        assert_eq!(d.counter("a.hits"), 2);
+        assert!(d.gauges.is_empty(), "unchanged gauges drop out");
+        let hd = d.histogram("bind_ns").unwrap();
+        assert_eq!((hd.count, hd.sum), (1, 1500));
+        assert_eq!(hd.buckets, vec![(1024, 1)]);
+        assert!(d.span("prepare/bind").is_none(), "unchanged spans drop out");
+        assert!(after.diff(&after).is_empty());
+    }
+
+    #[test]
+    fn text_renders_durations() {
+        let text = sample().to_text();
+        assert!(text.contains("a.hits"));
+        assert!(
+            text.contains("µs"),
+            "ns-suffixed histograms use durations: {text}"
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! Lightweight phase spans: named, nested wall-clock scopes aggregated
+//! process-wide.
+//!
+//! `span!("bind")` opens a scope that closes when the enclosing block
+//! does. Each thread keeps a stack of active span names; a span's
+//! aggregation key is the "/"-joined path of that stack (`"prepare"`,
+//! `"bind/csr"`, …), so nesting is visible in the snapshot without any
+//! per-event storage. On close, the elapsed time folds into a global
+//! `path → {count, total_ns, max_ns}` map behind one mutex — spans are
+//! for coarse phases (prepare / bind / execute), not per-layer work, so
+//! the lock is touched a handful of times per query.
+//!
+//! There is no external `tracing` dependency: the container is offline,
+//! and this is the whole feature we need from one.
+
+use crate::snapshot::SpanSnapshot;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+static AGGREGATE: Mutex<Option<BTreeMap<String, SpanSnapshot>>> = Mutex::new(None);
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Opens a span; the returned guard closes it on drop. Prefer the
+/// [`span!`](crate::span!) macro, which ties the guard to the enclosing
+/// scope without naming it.
+#[inline]
+pub fn enter(name: &'static str) -> SpanGuard {
+    #[cfg(not(feature = "obs-off"))]
+    {
+        let path = STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            s.push(name);
+            s.join("/")
+        });
+        SpanGuard {
+            path: Some(path),
+            start: std::time::Instant::now(),
+        }
+    }
+    #[cfg(feature = "obs-off")]
+    {
+        let _ = name;
+        SpanGuard { _priv: () }
+    }
+}
+
+/// Closes its span when dropped.
+#[must_use = "a span closes when its guard drops; an unbound guard closes immediately"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    #[cfg(not(feature = "obs-off"))]
+    path: Option<String>,
+    #[cfg(not(feature = "obs-off"))]
+    start: std::time::Instant,
+    #[cfg(feature = "obs-off")]
+    _priv: (),
+}
+
+#[cfg(not(feature = "obs-off"))]
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let ns = {
+            let e = self.start.elapsed().as_nanos();
+            if e > u64::MAX as u128 {
+                u64::MAX
+            } else {
+                e as u64
+            }
+        };
+        STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+        let path = match self.path.take() {
+            Some(p) => p,
+            None => return,
+        };
+        let mut agg = AGGREGATE.lock().unwrap_or_else(|e| e.into_inner());
+        let stat = agg
+            .get_or_insert_with(BTreeMap::new)
+            .entry(path)
+            .or_default();
+        stat.count += 1;
+        stat.total_ns = stat.total_ns.saturating_add(ns);
+        stat.max_ns = stat.max_ns.max(ns);
+    }
+}
+
+/// A copy of the global span aggregates, keyed by "/"-joined path.
+pub fn collect() -> BTreeMap<String, SpanSnapshot> {
+    AGGREGATE
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone()
+        .unwrap_or_default()
+}
+
+/// The depth of the current thread's span stack (for tests).
+pub fn current_depth() -> usize {
+    STACK.with(|s| s.borrow().len())
+}
+
+#[cfg(all(test, not(feature = "obs-off")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paths_nest_per_thread() {
+        {
+            let _outer = enter("outer_span_test");
+            assert_eq!(current_depth(), 1);
+            {
+                let _inner = enter("inner");
+                assert_eq!(current_depth(), 2);
+            }
+            assert_eq!(current_depth(), 1);
+        }
+        assert_eq!(current_depth(), 0);
+        let agg = collect();
+        assert!(agg["outer_span_test"].count >= 1);
+        assert!(agg["outer_span_test/inner"].count >= 1);
+    }
+}

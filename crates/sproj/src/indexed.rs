@@ -23,7 +23,7 @@
 use transmark_automata::{Dfa, StateId, SymbolId};
 use transmark_core::error::EngineError;
 use transmark_kbest::{Dag, KBestPaths};
-use transmark_kernel::{advance, Prob, StepGraph, Workspace};
+use transmark_kernel::{advance, count_layers, Prob, StepGraph, Workspace};
 use transmark_markov::numeric::KahanSum;
 use transmark_markov::MarkovSequence;
 
@@ -145,6 +145,7 @@ impl<'a> IndexedEvaluator<'a> {
             ws.swap();
             prefix_b.push(collect_prefix(ws.cur()));
         }
+        count_layers((n - 1) as u64);
 
         // Backward over (E-state, conditioning node). g[l-2][qE*k + y].
         // Base case l = n+1: acceptance indicator, no node dependence.

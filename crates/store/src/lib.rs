@@ -81,6 +81,19 @@ impl From<EngineError> for StoreError {
     }
 }
 
+// The reverse direction lives here too (the orphan rule requires the
+// local type): a store failure folds into the facade's single error
+// type. An engine error that merely round-tripped through the store
+// unwraps back to itself rather than being stringified.
+impl From<StoreError> for EngineError {
+    fn from(e: StoreError) -> Self {
+        match e {
+            StoreError::Engine(inner) => inner,
+            other => EngineError::Store(other.to_string()),
+        }
+    }
+}
+
 /// Default number of prepared plans a store retains ([`PlanCache`]).
 pub const DEFAULT_PLAN_CACHE_CAP: usize = 16;
 
@@ -164,9 +177,11 @@ impl PlanCache {
             e.last_used = now;
             let plan = Arc::clone(&e.plan);
             inner.hits += 1;
+            transmark_obs::counter!("store.plan_cache.hits").inc();
             return plan;
         }
         inner.misses += 1;
+        transmark_obs::counter!("store.plan_cache.misses").inc();
         let plan = transmark_core::plan::prepare(t);
         if inner.entries.len() >= self.cap {
             let lru = inner
@@ -392,14 +407,17 @@ impl SequenceStore {
             return Ok(BTreeMap::new());
         }
         let chunk = streams.len().div_ceil(n_threads).max(1);
+        let run = FleetRun::begin(streams.len().div_ceil(chunk));
         let results = std::thread::scope(|scope| {
             let handles: Vec<_> = streams
                 .chunks(chunk)
                 .map(|part| {
                     let f = &f;
+                    let run = &run;
                     scope.spawn(move || {
+                        let mut w = run.worker();
                         part.iter()
-                            .map(|(name, m)| Ok(((*name).clone(), f(name, m)?)))
+                            .map(|(name, m)| Ok(((*name).clone(), w.task(|| f(name, m))?)))
                             .collect::<Result<Vec<(String, T)>, StoreError>>()
                     })
                 })
@@ -408,8 +426,9 @@ impl SequenceStore {
                 .into_iter()
                 .map(|h| h.join().expect("worker thread does not panic"))
                 .collect::<Result<Vec<_>, StoreError>>()
-        })?;
-        Ok(results.into_iter().flatten().collect())
+        });
+        run.finish();
+        Ok(results?.into_iter().flatten().collect())
     }
 
     /// Parallel [`SequenceStore::event_probability`].
@@ -589,6 +608,76 @@ pub fn resolve_threads(n_threads: usize) -> usize {
     }
 }
 
+/// Per-run accounting for one fleet evaluation (`store.fleet.*`).
+///
+/// Created once per `par_map_*` call; each worker thread takes a
+/// [`FleetWorker`] and routes its tasks through it, so the registry sees
+/// per-task latency, per-worker task counts, queue wait (fleet start →
+/// worker's first task), and the run's wall vs summed-CPU time — the
+/// ratio of the latter two is the realized parallel speedup.
+struct FleetRun {
+    start: transmark_obs::Timer,
+    cpu_ns: std::sync::atomic::AtomicU64,
+}
+
+impl FleetRun {
+    fn begin(workers: usize) -> FleetRun {
+        transmark_obs::counter!("store.fleet.runs").inc();
+        transmark_obs::gauge!("store.fleet.workers").set(workers as u64);
+        FleetRun {
+            start: transmark_obs::Timer::start(),
+            cpu_ns: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    fn worker(&self) -> FleetWorker<'_> {
+        FleetWorker {
+            run: self,
+            tasks: 0,
+            cpu_ns: 0,
+        }
+    }
+
+    fn finish(self) {
+        transmark_obs::histogram!("store.fleet.wall_ns").record(self.start.elapsed_ns());
+        transmark_obs::histogram!("store.fleet.cpu_ns")
+            .record(self.cpu_ns.load(std::sync::atomic::Ordering::Relaxed));
+    }
+}
+
+/// One worker thread's view of a [`FleetRun`]; folds its totals into the
+/// run (and the global registry) on drop, so early error returns still
+/// account for the tasks that did run.
+struct FleetWorker<'a> {
+    run: &'a FleetRun,
+    tasks: u64,
+    cpu_ns: u64,
+}
+
+impl FleetWorker<'_> {
+    fn task<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        if self.tasks == 0 {
+            transmark_obs::histogram!("store.fleet.queue_wait_ns")
+                .record(self.run.start.elapsed_ns());
+        }
+        let t = transmark_obs::Timer::start();
+        let out = f();
+        self.cpu_ns += t.observe(transmark_obs::histogram!("store.fleet.task_ns"));
+        self.tasks += 1;
+        out
+    }
+}
+
+impl Drop for FleetWorker<'_> {
+    fn drop(&mut self) {
+        transmark_obs::counter!("store.fleet.tasks").add(self.tasks);
+        transmark_obs::histogram!("store.fleet.tasks_per_worker").record(self.tasks);
+        self.run
+            .cpu_ns
+            .fetch_add(self.cpu_ns, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
 /// Maps `f` over sequence-file paths on `n_threads` OS threads
 /// (`0` = auto, see [`resolve_threads`]). Results are keyed by the path's
 /// display string, in sorted order; the first error wins.
@@ -606,14 +695,17 @@ where
         return Ok(BTreeMap::new());
     }
     let chunk = paths.len().div_ceil(n_threads).max(1);
+    let run = FleetRun::begin(paths.len().div_ceil(chunk));
     let results = std::thread::scope(|scope| {
         let handles: Vec<_> = paths
             .chunks(chunk)
             .map(|part| {
                 let f = &f;
+                let run = &run;
                 scope.spawn(move || {
+                    let mut w = run.worker();
                     part.iter()
-                        .map(|path| Ok((path.display().to_string(), f(path)?)))
+                        .map(|path| Ok((path.display().to_string(), w.task(|| f(path))?)))
                         .collect::<Result<Vec<(String, T)>, StoreError>>()
                 })
             })
@@ -622,8 +714,9 @@ where
             .into_iter()
             .map(|h| h.join().expect("worker thread does not panic"))
             .collect::<Result<Vec<_>, StoreError>>()
-    })?;
-    Ok(results.into_iter().flatten().collect())
+    });
+    run.finish();
+    Ok(results?.into_iter().flatten().collect())
 }
 
 fn open_source(path: &std::path::Path) -> Result<transmark_markov::FileStepSource, StoreError> {

@@ -1,0 +1,62 @@
+//! Metrics-overhead micro-benchmark, driven by `scripts/check.sh`.
+//!
+//! Prints one line, `ns_per_iter <N>`: the minimum over several
+//! repetitions of the per-call cost of a fixed confidence workload. The
+//! check script builds this example twice — default features and
+//! `--features obs-off` — and fails if the instrumented build is more
+//! than ~5% slower, which keeps every counter/histogram/span on the hot
+//! paths honest about its cost.
+//!
+//! Min-of-N is the standard trick for a noisy shared machine: the
+//! minimum is the run least disturbed by scheduling, so it estimates the
+//! true cost floor of each configuration.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use transmark_automata::Alphabet;
+use transmark_core::transducer::Transducer;
+use transmark_markov::MarkovSequenceBuilder;
+
+const REPS: usize = 7;
+const ITERS: usize = 300;
+
+fn main() {
+    // A workload where the DP dominates and the per-layer
+    // instrumentation is amortized: identity transducer over a 256-step
+    // uniform chain on an 8-symbol alphabet (so each layer moves |Σ|² =
+    // 64 transitions — a degenerate 2-symbol layer would mis-measure the
+    // fixed per-layer counter cost as a large relative overhead no real
+    // query sees), scoring the most likely world.
+    let alphabet = Alphabet::of_chars("abcdefgh");
+    let m = MarkovSequenceBuilder::new(alphabet.clone(), 256)
+        .uniform_all()
+        .build()
+        .expect("uniform chain builds");
+    let mut b = Transducer::builder(alphabet.clone(), alphabet);
+    let q = b.add_state(true);
+    for s in 0..8u32 {
+        let s = transmark_automata::SymbolId(s);
+        b.add_transition(q, s, q, &[s])
+            .expect("identity transition");
+    }
+    let t = b.build().expect("identity transducer builds");
+    let (o, _) = m.most_likely_string();
+
+    let plan = transmark_core::prepare(&t);
+    let bound = plan.bind(&m).expect("alphabets match");
+    // Warm-up: fault in caches and pages before timing.
+    for _ in 0..10 {
+        black_box(bound.confidence(black_box(&o)).expect("valid output"));
+    }
+
+    let mut best = u128::MAX;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(bound.confidence(black_box(&o)).expect("valid output"));
+        }
+        best = best.min(start.elapsed().as_nanos() / ITERS as u128);
+    }
+    println!("ns_per_iter {best}");
+}

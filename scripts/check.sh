@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# The full pre-submit gate: formatting, lints, release build, tests.
+# The full pre-submit gate: formatting, lints, release build, tests
+# (default and obs-off features), and the metrics-overhead guard.
 # Run from anywhere inside the repository.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -13,7 +14,41 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q"
-cargo test -q
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+# The obs-off feature only exists on the crates that carry
+# instrumentation, so it cannot be toggled workspace-wide; the root
+# package forwards it through every instrumented crate.
+echo "==> cargo test -q --features obs-off (root + core observability)"
+cargo test -q --features obs-off
+cargo test -q -p transmark-core --features obs-off
+
+echo "==> metrics overhead guard (examples/obs_overhead)"
+# Build both configurations first (the second build overwrites the
+# example path, so the instrumented binary is copied aside), then run
+# them interleaved and compare minima: back-to-back build-then-run
+# measurements are contaminated by the build's own machine load, which
+# dwarfs the ~2% effect this guard polices.
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+cargo build -q --release --example obs_overhead
+cp target/release/examples/obs_overhead "$tmpdir/obs_on"
+cargo build -q --release --example obs_overhead --features obs-off
+cp target/release/examples/obs_overhead "$tmpdir/obs_off"
+on=""
+off=""
+for _ in 1 2 3; do
+  r=$("$tmpdir/obs_on" | awk '{print $2}')
+  if [ -z "$on" ] || [ "$r" -lt "$on" ]; then on=$r; fi
+  r=$("$tmpdir/obs_off" | awk '{print $2}')
+  if [ -z "$off" ] || [ "$r" -lt "$off" ]; then off=$r; fi
+done
+echo "    instrumented ${on} ns/iter vs obs-off ${off} ns/iter (min of 3 interleaved)"
+awk -v on="$on" -v off="$off" 'BEGIN {
+  ratio = on / off
+  printf "    ratio %.3f (budget 1.05)\n", ratio
+  if (ratio > 1.05) { print "metrics overhead exceeds the ~5% budget"; exit 1 }
+}'
 
 echo "All checks passed."

@@ -8,24 +8,31 @@
 //! tmk show <sequence.tms>
 //! tmk map <sequence.tms>
 //! tmk sample <sequence.tms> [--count N] [--seed S]
-//! tmk top <sequence.tms> <query.tmt> [--k N] [--explain]
-//! tmk enumerate <sequence.tms> <query.tmt> [--limit N] [--explain]
-//! tmk confidence <sequence.tms> <query.tmt> [--explain] <output-symbol>...
+//! tmk top <sequence.tms> <query.tmt> [--k N]
+//! tmk enumerate <sequence.tms> <query.tmt> [--limit N]
+//! tmk confidence <sequence.tms> <query.tmt> <output-symbol>...
 //! tmk evidences <sequence.tms> <query.tmt> [--k N] <output-symbol>...
-//! tmk batch <query.tmt> <sequence>... [--k N] [--threads N] [--confidence SYMS] [--explain]
+//! tmk batch <query.tmt> <sequence>... [--k N] [--confidence SYMS]
 //! tmk stream <query.tmt> [steps.tms|steps.tmsb|-]
 //! tmk convert <in.tms|in.tmsb> <out.tms|out.tmsb>
-//! tmk extract <sequence.tms> <query.tmp> [--k N] [--explain]
-//! tmk occurrences <sequence.tms> <query.tmp> [--k N] [--explain]
+//! tmk extract <sequence.tms> <query.tmp> [--k N]
+//! tmk occurrences <sequence.tms> <query.tmp> [--k N]
 //! tmk posterior <model.tmh> --out <file.tms> <observation>...
 //! tmk export-example <directory>
 //! ```
 //!
+//! Every subcommand additionally accepts the shared options parsed once
+//! into [`CommonOpts`]: `--explain` (print the compiled plan — its
+//! Table 2 route, machine shape, and precompile cost — before the
+//! results), `--threads N` (fleet parallelism for `batch`), and
+//! `--metrics[=json]` (append an observability report covering exactly
+//! this invocation: plan kind, cache hit rates, per-phase timings,
+//! kernel and data-plane counters, and fleet statistics — see
+//! [`transmark_obs`]).
+//!
 //! Transducer and s-projector commands compile the query into a
-//! prepared plan first; `--explain` prints the chosen plan (its Table 2
-//! route, machine shape, and precompile cost) before the results.
-//! `batch` compiles the query once and binds the one shared plan to
-//! every sequence file in turn.
+//! prepared plan first. `batch` compiles the query once and binds the
+//! one shared plan to every sequence file in turn.
 //!
 //! Sequences are accepted in either on-disk format, chosen by extension:
 //! `.tms` text ([`transmark_markov::textio`]) or `.tmsb` zero-copy binary
@@ -44,6 +51,7 @@ use transmark_core::evaluate::Evaluation;
 use transmark_core::evidence::top_k_evidences;
 use transmark_core::transducer::Transducer;
 use transmark_markov::MarkovSequence;
+use transmark_obs::{fmt_ns, Snapshot};
 use transmark_sproj::SprojEvaluation;
 
 /// A CLI failure: message plus suggested exit code.
@@ -62,6 +70,40 @@ impl std::fmt::Display for CliError {
 }
 
 impl std::error::Error for CliError {}
+
+// Engine-layer failures carry their own context (the unified
+// `TmkError` Display), so they convert straight into runtime CLI errors
+// and `?` works throughout the command arms; file operations keep
+// explicit `map_err` wrappers to attach the offending path.
+impl From<transmark_core::error::EngineError> for CliError {
+    fn from(e: transmark_core::error::EngineError) -> Self {
+        run_err(e)
+    }
+}
+
+impl From<transmark_store::StoreError> for CliError {
+    fn from(e: transmark_store::StoreError) -> Self {
+        run_err(e)
+    }
+}
+
+impl From<transmark_markov::SourceError> for CliError {
+    fn from(e: transmark_markov::SourceError) -> Self {
+        run_err(e)
+    }
+}
+
+impl From<transmark_markov::MarkovError> for CliError {
+    fn from(e: transmark_markov::MarkovError) -> Self {
+        run_err(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        run_err(e)
+    }
+}
 
 fn usage_err(message: impl Into<String>) -> CliError {
     CliError {
@@ -98,12 +140,17 @@ USAGE:
   tmk posterior <model.tmh> --out <f.tms> <obs>...      condition an HMM, write the posterior
   tmk export-example <dir>                              write the paper's running example
 
-OPTIONS:
-  --explain            (top, enumerate, confidence, batch, extract, occurrences)
-                       print the compiled query plan — its Table 2 route, machine
+COMMON OPTIONS (accepted by every command):
+  --explain            print the compiled query plan — its Table 2 route, machine
                        shape, and precompile cost — before the results
   --threads N          (batch) evaluate the fleet on N OS threads; 0 = one per
                        available core (default 1)
+  --metrics[=json]     append a metrics report for this invocation: plan kind,
+                       cache hit rates, per-phase timings, kernel/data-plane
+                       counters, and fleet statistics; =json emits the raw
+                       snapshot diff instead
+
+OPTIONS:
   --confidence SYMS    (batch) instead of top-k, stream the confidence of the
                        comma-separated output SYMS over each file without
                        materializing it
@@ -140,6 +187,55 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
         true
     } else {
         false
+    }
+}
+
+/// How `--metrics` renders its report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// Human-readable summary plus the full snapshot.
+    Text,
+    /// The raw snapshot diff as compact JSON.
+    Json,
+}
+
+/// Options shared by every `tmk` subcommand, parsed once up front.
+#[derive(Debug, Clone, Copy)]
+pub struct CommonOpts {
+    /// `--threads N` — fleet parallelism (`batch`); 0 = one per core.
+    pub threads: usize,
+    /// `--explain` — print the compiled plan before the results.
+    pub explain: bool,
+    /// `--metrics[=json]` — append an observability report.
+    pub metrics: Option<MetricsFormat>,
+}
+
+impl CommonOpts {
+    /// Strips the shared options out of `args`, leaving the
+    /// command-specific arguments behind.
+    fn take(args: &mut Vec<String>) -> Result<CommonOpts, CliError> {
+        let threads = take_opt(args, "--threads")?
+            .map(|v| parse_usize(&v, "--threads"))
+            .transpose()?
+            .unwrap_or(1);
+        let explain = take_flag(args, "--explain");
+        let metrics = if take_flag(args, "--metrics=json") {
+            Some(MetricsFormat::Json)
+        } else if take_flag(args, "--metrics=text") || take_flag(args, "--metrics") {
+            Some(MetricsFormat::Text)
+        } else if let Some(pos) = args.iter().position(|a| a.starts_with("--metrics=")) {
+            return Err(usage_err(format!(
+                "bad --metrics format {:?} (expected text or json)",
+                &args[pos]["--metrics=".len()..]
+            )));
+        } else {
+            None
+        };
+        Ok(CommonOpts {
+            threads,
+            explain,
+            metrics,
+        })
     }
 }
 
@@ -189,6 +285,144 @@ fn render(t: &Transducer, o: &[transmark_automata::SymbolId]) -> String {
     }
 }
 
+/// Renders the `--metrics` text report from a snapshot diff: a structured
+/// summary (plan kinds and phase timings, cache hit rates, kernel and
+/// data-plane traffic, fleet statistics) followed by the full snapshot.
+fn metrics_report(s: &Snapshot) -> String {
+    if !transmark_obs::enabled() {
+        return "== metrics ==\n(metrics disabled: built with feature obs-off)\n".to_string();
+    }
+    let mut out = String::from("== metrics ==\n");
+
+    // Plan kinds are recovered from the per-kind phase histograms the
+    // planner records (`planner.<phase>_ns.<kind>`).
+    const PHASES: [(&str, &str); 3] = [
+        ("prepare", "planner.prepare_ns."),
+        ("bind", "planner.bind_ns."),
+        ("execute", "planner.execute_ns."),
+    ];
+    let mut kinds: Vec<&str> = Vec::new();
+    for name in s.histograms.keys() {
+        for (_, prefix) in PHASES {
+            if let Some(kind) = name.strip_prefix(prefix) {
+                if !kinds.contains(&kind) {
+                    kinds.push(kind);
+                }
+            }
+        }
+    }
+    if !kinds.is_empty() {
+        let _ = writeln!(out, "plan kind(s): {}", kinds.join(", "));
+        out.push_str("phases (count / total / mean):\n");
+        for kind in &kinds {
+            for (phase, prefix) in PHASES {
+                if let Some(h) = s.histogram(&format!("{prefix}{kind}")) {
+                    let _ = writeln!(
+                        out,
+                        "  {:<34} {} / {} / {}",
+                        format!("{kind} {phase}"),
+                        h.count,
+                        fmt_ns(h.sum),
+                        fmt_ns(h.mean() as u64)
+                    );
+                }
+            }
+        }
+    }
+
+    for (label, hits_name, misses_name, evictions_name) in [
+        (
+            "planner cache",
+            "planner.cache.hits",
+            "planner.cache.misses",
+            Some("planner.cache.evictions"),
+        ),
+        (
+            "store plan cache",
+            "store.plan_cache.hits",
+            "store.plan_cache.misses",
+            None,
+        ),
+    ] {
+        let (hits, misses) = (s.counter(hits_name), s.counter(misses_name));
+        if hits + misses > 0 {
+            let rate = 100.0 * hits as f64 / (hits + misses) as f64;
+            let evictions = evictions_name
+                .map(|n| format!(", {} evictions", s.counter(n)))
+                .unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "{label}: {hits} hits / {misses} misses ({rate:.1}% hit rate{evictions})"
+            );
+        }
+    }
+
+    let layers = s.counter("kernel.advance.layers");
+    let csr = s.counter("kernel.csr.builds");
+    if layers + csr > 0 {
+        let csr_ns = s.histogram("kernel.csr.build_ns").map_or(0, |h| h.sum);
+        let _ = writeln!(
+            out,
+            "kernel: {layers} layers advanced, {csr} CSR builds ({}), workspace {} reuse / {} realloc",
+            fmt_ns(csr_ns),
+            s.counter("kernel.workspace.reuse"),
+            s.counter("kernel.workspace.realloc"),
+        );
+    }
+
+    let steps = s.counter("dataplane.steps");
+    if steps > 0 {
+        let mut decode = String::new();
+        for format in ["tms", "tmsb"] {
+            if let Some(h) = s.histogram(&format!("dataplane.{format}.decode_ns")) {
+                let _ = write!(decode, ", decode {format} {}x {}", h.count, fmt_ns(h.sum));
+            }
+        }
+        let _ = writeln!(
+            out,
+            "data plane: {steps} steps, {} bytes, {} rewinds{decode}",
+            s.counter("dataplane.bytes"),
+            s.counter("dataplane.rewinds"),
+        );
+    }
+
+    if s.counter("store.fleet.runs") > 0 {
+        let tasks = s.counter("store.fleet.tasks");
+        let per_worker = s
+            .histogram("store.fleet.tasks_per_worker")
+            .map_or(0.0, |h| h.mean());
+        let task_mean = s
+            .histogram("store.fleet.task_ns")
+            .map_or(0, |h| h.mean() as u64);
+        let wait = s
+            .histogram("store.fleet.queue_wait_ns")
+            .map_or(0, |h| h.mean() as u64);
+        let wall = s.histogram("store.fleet.wall_ns").map_or(0, |h| h.sum);
+        let cpu = s.histogram("store.fleet.cpu_ns").map_or(0, |h| h.sum);
+        let _ = writeln!(
+            out,
+            "fleet: {} runs, {} workers, {tasks} tasks ({per_worker:.1}/worker), task mean {}, queue wait mean {}",
+            s.counter("store.fleet.runs"),
+            s.gauge("store.fleet.workers"),
+            fmt_ns(task_mean),
+            fmt_ns(wait),
+        );
+        if wall > 0 {
+            let _ = writeln!(
+                out,
+                "fleet time: wall {}, cpu {}, speedup {:.2}x",
+                fmt_ns(wall),
+                fmt_ns(cpu),
+                cpu as f64 / wall as f64
+            );
+        }
+    }
+
+    out.push_str("-- full snapshot --\n");
+    out.push_str(&s.to_text());
+    out
+}
+
 /// Runs a CLI invocation (excluding the program name) and returns its
 /// stdout text.
 pub fn run(args: &[String]) -> Result<String, CliError> {
@@ -197,6 +431,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         return Err(usage_err("missing command"));
     }
     let command = args.remove(0);
+    let opts = CommonOpts::take(&mut args)?;
+    // The metrics window covers exactly this invocation: diff against the
+    // process-global registry state captured before dispatch.
+    let baseline = transmark_obs::registry().snapshot();
     let mut out = String::new();
     match command.as_str() {
         "show" => {
@@ -245,15 +483,14 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 .map(|v| parse_usize(&v, "--k"))
                 .transpose()?
                 .unwrap_or(10);
-            let explain = take_flag(&mut args, "--explain");
             let [seq_path, query_path] = positional::<2>(args)?;
             let m = load_sequence(&seq_path)?;
             let t = load_transducer(&query_path)?;
-            let ev = Evaluation::new(&t, &m).map_err(run_err)?;
-            if explain {
+            let ev = Evaluation::new(&t, &m)?;
+            if opts.explain {
                 let _ = writeln!(out, "{}", ev.explain());
             }
-            let answers = ev.top_k_scored(k).map_err(run_err)?;
+            let answers = ev.top_k_scored(k)?;
             if answers.is_empty() {
                 let _ = writeln!(out, "(no answers)");
             }
@@ -272,20 +509,18 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 .map(|v| parse_usize(&v, "--limit"))
                 .transpose()?
                 .unwrap_or(usize::MAX);
-            let explain = take_flag(&mut args, "--explain");
             let [seq_path, query_path] = positional::<2>(args)?;
             let m = load_sequence(&seq_path)?;
             let t = load_transducer(&query_path)?;
-            let ev = Evaluation::new(&t, &m).map_err(run_err)?;
-            if explain {
+            let ev = Evaluation::new(&t, &m)?;
+            if opts.explain {
                 let _ = writeln!(out, "{}", ev.explain());
             }
-            for o in ev.unranked().map_err(run_err)?.take(limit) {
+            for o in ev.unranked()?.take(limit) {
                 let _ = writeln!(out, "{}", render(&t, &o));
             }
         }
         "confidence" => {
-            let explain = take_flag(&mut args, "--explain");
             if args.len() < 2 {
                 return Err(usage_err("confidence needs <sequence> <query> <symbols…>"));
             }
@@ -294,11 +529,11 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let m = load_sequence(&seq_path)?;
             let t = load_transducer(&query_path)?;
             let o = parse_output(&t, &args)?;
-            let ev = Evaluation::new(&t, &m).map_err(run_err)?;
-            if explain {
+            let ev = Evaluation::new(&t, &m)?;
+            if opts.explain {
                 let _ = writeln!(out, "{}", ev.explain());
             }
-            let c = ev.confidence(&o).map_err(run_err)?;
+            let c = ev.confidence(&o)?;
             let _ = writeln!(out, "{c}");
         }
         "batch" => {
@@ -306,12 +541,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 .map(|v| parse_usize(&v, "--k"))
                 .transpose()?
                 .unwrap_or(10);
-            let threads = take_opt(&mut args, "--threads")?
-                .map(|v| parse_usize(&v, "--threads"))
-                .transpose()?
-                .unwrap_or(1);
             let conf_syms = take_opt(&mut args, "--confidence")?;
-            let explain = take_flag(&mut args, "--explain");
             if args.len() < 2 {
                 return Err(usage_err("batch needs <query.tmt> <sequence>…"));
             }
@@ -319,7 +549,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let t = load_transducer(&query_path)?;
             // Compile once; every sequence file binds the same plan.
             let plan = transmark_core::prepare(&t);
-            if explain {
+            if opts.explain {
                 let _ = writeln!(out, "{}", plan.explain());
             }
             let paths: Vec<std::path::PathBuf> =
@@ -334,31 +564,34 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                         .map(String::from)
                         .collect();
                     let o = parse_output(&t, &names)?;
-                    let results = transmark_store::par_map_paths(&paths, threads, |path| {
+                    let results = transmark_store::par_map_paths(&paths, opts.threads, |path| {
                         let src = transmark_markov::fsio::open_step_source(path).map_err(|e| {
                             transmark_store::StoreError::Io(format!("{}: {e}", path.display()))
                         })?;
                         Ok(plan.bind_source(src)?.confidence(&o)?)
-                    })
-                    .map_err(run_err)?;
+                    })?;
                     for seq_path in &args {
-                        let _ = writeln!(out, "{seq_path}  {}", results[seq_path.as_str()]);
+                        let c = results.get(seq_path.as_str()).ok_or_else(|| {
+                            run_err(format!("no result for {seq_path} (duplicate argument?)"))
+                        })?;
+                        let _ = writeln!(out, "{seq_path}  {c}");
                     }
                 }
                 // Ranked answers need random access (backward sweeps), so
                 // each worker materializes its own file.
                 None => {
-                    let results = transmark_store::par_map_paths(&paths, threads, |path| {
+                    let results = transmark_store::par_map_paths(&paths, opts.threads, |path| {
                         let m = transmark_markov::fsio::read_sequence_path(path).map_err(|e| {
                             transmark_store::StoreError::Io(format!("{}: {e}", path.display()))
                         })?;
                         let ev = Evaluation::with_plan(&plan, &m)?;
                         Ok(ev.top_k_scored(k)?)
-                    })
-                    .map_err(run_err)?;
+                    })?;
                     for seq_path in &args {
                         let _ = writeln!(out, "== {seq_path}");
-                        let answers = &results[seq_path.as_str()];
+                        let answers = results.get(seq_path.as_str()).ok_or_else(|| {
+                            run_err(format!("no result for {seq_path} (duplicate argument?)"))
+                        })?;
                         if answers.is_empty() {
                             let _ = writeln!(out, "(no answers)");
                         }
@@ -391,15 +624,13 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 Some(path) if path != "-" => {
                     let mut src = transmark_markov::fsio::open_step_source(Path::new(path))
                         .map_err(|e| run_err(format!("{path}: {e}")))?;
-                    transmark_core::prefix_acceptance_probabilities_source(&nfa, &mut src)
-                        .map_err(run_err)?
+                    transmark_core::prefix_acceptance_probabilities_source(&nfa, &mut src)?
                 }
                 _ => {
                     let stdin = std::io::stdin();
                     let mut src = transmark_markov::textio::TmsTextSource::new(stdin.lock())
                         .map_err(|e| run_err(format!("stdin: {e}")))?;
-                    transmark_core::prefix_acceptance_probabilities_source(&nfa, &mut src)
-                        .map_err(run_err)?
+                    transmark_core::prefix_acceptance_probabilities_source(&nfa, &mut src)?
                 }
             };
             for (i, p) in series.iter().enumerate() {
@@ -489,7 +720,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let m = load_sequence(&seq_path)?;
             let t = load_transducer(&query_path)?;
             let o = parse_output(&t, &args)?;
-            for e in top_k_evidences(&t, &m, &o, k).map_err(run_err)? {
+            for e in top_k_evidences(&t, &m, &o, k)? {
                 let _ = writeln!(
                     out,
                     "{}  (p = {:.6})",
@@ -503,22 +734,21 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 .map(|v| parse_usize(&v, "--k"))
                 .transpose()?
                 .unwrap_or(10);
-            let explain = take_flag(&mut args, "--explain");
             let [seq_path, query_path] = positional::<2>(args)?;
             let m = load_sequence(&seq_path)?;
             let p = load_sprojector(&query_path)?;
-            let ev = SprojEvaluation::new(&p, &m).map_err(run_err)?;
-            if explain {
+            let ev = SprojEvaluation::new(&p, &m)?;
+            if opts.explain {
                 let _ = writeln!(out, "{}", ev.explain());
             }
-            for r in ev.strings().map_err(run_err)?.take(k) {
+            for r in ev.strings()?.take(k) {
                 let text = m.alphabet().render(&r.output, "");
                 let rendered = if text.is_empty() {
                     "ε".to_string()
                 } else {
                     text
                 };
-                let exact = ev.confidence(&r.output).map_err(run_err)?;
+                let exact = ev.confidence(&r.output)?;
                 let _ = writeln!(
                     out,
                     "{rendered:<24} I_max = {:.6}  confidence = {exact:.6}",
@@ -531,15 +761,14 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 .map(|v| parse_usize(&v, "--k"))
                 .transpose()?
                 .unwrap_or(10);
-            let explain = take_flag(&mut args, "--explain");
             let [seq_path, query_path] = positional::<2>(args)?;
             let m = load_sequence(&seq_path)?;
             let p = load_sprojector(&query_path)?;
-            let ev = SprojEvaluation::new(&p, &m).map_err(run_err)?;
-            if explain {
+            let ev = SprojEvaluation::new(&p, &m)?;
+            if opts.explain {
                 let _ = writeln!(out, "{}", ev.explain());
             }
-            for ia in ev.occurrences().map_err(run_err)?.take(k) {
+            for ia in ev.occurrences()?.take(k) {
                 let text = m.alphabet().render(&ia.output, "");
                 let rendered = if text.is_empty() {
                     "ε".to_string()
@@ -572,7 +801,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                         .ok_or_else(|| run_err(format!("unknown observation {n:?}")))
                 })
                 .collect::<Result<_, _>>()?;
-            let posterior = hmm.posterior(&obs).map_err(run_err)?;
+            let posterior = hmm.posterior(&obs)?;
             let rendered = transmark_markov::textio::to_text(&posterior);
             match out_path {
                 Some(path) => {
@@ -609,6 +838,16 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let _ = writeln!(out, "{USAGE}");
         }
         other => return Err(usage_err(format!("unknown command {other:?}"))),
+    }
+    if let Some(format) = opts.metrics {
+        let diff = transmark_obs::registry().snapshot().diff(&baseline);
+        match format {
+            MetricsFormat::Json => {
+                out.push_str(&diff.to_json());
+                out.push('\n');
+            }
+            MetricsFormat::Text => out.push_str(&metrics_report(&diff)),
+        }
     }
     Ok(out)
 }

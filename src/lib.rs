@@ -76,17 +76,30 @@
 //! `transmark-workloads` (paper examples, synthetic scenarios, gadgets).
 
 pub mod cli;
+pub mod facade;
+
+pub use facade::Engine;
 
 pub use transmark_automata as automata;
 pub use transmark_core as engine;
 pub use transmark_kbest as kbest;
 pub use transmark_markov as markov;
+pub use transmark_obs as obs;
 pub use transmark_sproj as sproj;
 pub use transmark_store as store;
 pub use transmark_workloads as workloads;
 
 /// The most common imports in one place.
+///
+/// The blessed query path is the prepared-plan flow surfaced by the
+/// [`Engine`](crate::Engine) facade: `Engine::new()` →
+/// [`prepare`](crate::Engine::prepare) → `bind`/`bind_source` → execute,
+/// with [`metrics`](crate::Engine::metrics) for the observability
+/// snapshot. The free functions (`confidence`, `top_k_by_emax`, …) remain
+/// as one-shot conveniences; they route through the same plans
+/// internally.
 pub mod prelude {
+    pub use crate::facade::Engine;
     pub use transmark_automata::{Alphabet, Dfa, Nfa, SymbolId};
     pub use transmark_core::certified::{
         certified_top_by_confidence, certified_top_k_by_confidence, CertifiedTop, CertifiedTopK,
@@ -100,16 +113,25 @@ pub mod prelude {
     pub use transmark_core::enumerate::{
         enumerate_by_emax, enumerate_unranked, top_k_by_emax, RankedAnswer,
     };
-    pub use transmark_core::error::EngineError;
+    pub use transmark_core::error::{EngineError, TmkError};
     pub use transmark_core::evaluate::{ConfidenceCost, Evaluation, ScoredAnswer};
     pub use transmark_core::evidence::{enumerate_evidences, top_k_evidences};
+    pub use transmark_core::plan::{
+        prepare, BoundQuery, PlanExplain, PlanKind, PreparedEventQuery, PreparedQuery,
+        SourceBoundQuery,
+    };
     pub use transmark_core::streaming::EventMonitor;
     pub use transmark_core::transducer::{Transducer, TransducerBuilder};
     pub use transmark_markov::info::{entropy, kl_divergence, perplexity};
     pub use transmark_markov::seqops::{condition, evidence_probability, window, Evidence};
-    pub use transmark_markov::{Hmm, MarkovSequence, MarkovSequenceBuilder};
+    pub use transmark_markov::{
+        FileStepSource, Hmm, MarkovSequence, MarkovSequenceBuilder, RewindableStepSource,
+        SequenceSource, StepSource,
+    };
+    pub use transmark_obs::Snapshot;
     pub use transmark_sproj::{
         enumerate_by_imax, enumerate_by_imax_lawler, enumerate_indexed, sproj_confidence,
         top_k_by_imax, IndexedAnswer, IndexedEvaluator, SProjector, SprojEvaluation,
     };
+    pub use transmark_store::{PlanCache, SequenceStore};
 }

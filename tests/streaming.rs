@@ -131,7 +131,7 @@ fn assert_boolean_passes_stream_identically(nfa: &transmark_core::Nfa, m: &Marko
     }
     // The monitor is the same fold again, fed matrix by matrix.
     for (kind, mut src) in sources(m) {
-        let got = EventMonitor::run_source(nfa.clone(), &mut src).unwrap();
+        let got = EventMonitor::series_source(nfa.clone(), &mut src).unwrap();
         for (i, (g, w)) in got.iter().zip(want_series.iter()).enumerate() {
             assert_eq!(g.to_bits(), w.to_bits(), "monitor[{i}] over {kind}");
         }
