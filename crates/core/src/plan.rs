@@ -203,6 +203,7 @@ impl<K: Eq + std::hash::Hash + Clone, V> BoundedCache<K, V> {
         if let Some(v) = self.map.get(key) {
             self.hits += 1;
             transmark_obs::counter!("planner.cache.hits").inc();
+            transmark_obs::profile::instant("planner.cache.hit");
             let v = Arc::clone(v);
             if let Some(pos) = self.order.iter().position(|k| k == key) {
                 self.order.remove(pos);
@@ -212,6 +213,7 @@ impl<K: Eq + std::hash::Hash + Clone, V> BoundedCache<K, V> {
         }
         self.misses += 1;
         transmark_obs::counter!("planner.cache.misses").inc();
+        transmark_obs::profile::instant("planner.cache.miss");
         if self.map.len() >= self.cap {
             if let Some(old) = self.order.pop_front() {
                 self.map.remove(&old);
@@ -330,6 +332,8 @@ impl PreparedQuery {
         let _span = transmark_obs::span::enter("prepare");
         let timer = transmark_obs::Timer::start();
         let kind = PlanKind::for_transducer(&t);
+        // The route decision, visible as a point event on the timeline.
+        transmark_obs::profile::instant_detail("planner.plan", kind.label());
         let state_graph = state_step_graph(&t).into_shared();
         let accepting = confidence::accepting_bitset(&t);
         let mut emission_index = HashMap::with_capacity(t.n_emissions());

@@ -183,3 +183,177 @@ fn spans_nest_and_close_across_prepare_bind_execute() {
     assert!(d.span("bind").map_or(0, |s| s.count) >= 1);
     assert!(d.span("execute").map_or(0, |s| s.count) >= 1);
 }
+
+/// Nondeterministic relabeler with uniform (length-1) emission: routes
+/// through the uniform-NFA plan class. Two accepting states keep the
+/// (from, symbol, to, emission) tuples distinct.
+fn ambiguous_relabeler() -> Transducer {
+    let a = Alphabet::of_chars("ab");
+    let mut b = Transducer::builder(a.clone(), a);
+    let keep = b.add_state(true);
+    let flip = b.add_state(true);
+    for q in [keep, flip] {
+        for s in 0..2u32 {
+            b.add_transition(q, sym(s), keep, &[sym(s)]).unwrap();
+            b.add_transition(q, sym(s), flip, &[sym(1 - s)]).unwrap();
+        }
+    }
+    b.build().unwrap()
+}
+
+fn identity_ab() -> Transducer {
+    let a = Alphabet::of_chars("ab");
+    let mut b = Transducer::builder(a.clone(), a);
+    let q = b.add_state(true);
+    for s in 0..2u32 {
+        b.add_transition(q, sym(s), q, &[sym(s)]).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// Two concurrent queries under separate recorder scopes must produce
+/// disjoint profiles — each thread's spans, plan-kind instants, and
+/// layer progress land only in its own recorder — while the process
+/// registry still accounts for the union.
+#[test]
+fn recorder_scopes_isolate_concurrent_queries() {
+    let _g = GLOBAL_METRICS.lock().unwrap_or_else(|e| e.into_inner());
+    if !transmark_obs::enabled() {
+        return;
+    }
+    // Pick thread A's output before the baseline snapshot: this main
+    // thread has no scope installed, so the enumeration records into
+    // neither profile, and its registry traffic predates `base`.
+    let hospital_t = transmark_workloads::hospital::room_tracker();
+    let hospital_m = transmark_workloads::hospital::hospital_sequence();
+    let hospital_o = prepare(&hospital_t)
+        .bind(&hospital_m)
+        .unwrap()
+        .top_k_scored(1)
+        .unwrap()[0]
+        .output
+        .clone();
+    let base = transmark_obs::registry().snapshot();
+
+    let rec_a = std::sync::Arc::new(transmark_obs::Recorder::new());
+    let rec_b = std::sync::Arc::new(transmark_obs::Recorder::new());
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            rec_a.scope(|| {
+                // Deterministic plan, executed three times.
+                let bound = prepare(&hospital_t).bind(&hospital_m).unwrap();
+                for _ in 0..3 {
+                    bound.confidence(&hospital_o).unwrap();
+                }
+            });
+        });
+        s.spawn(|| {
+            rec_b.scope(|| {
+                // Deterministic-uniform plan (the other layered-DP
+                // route), executed once.
+                let t = identity_ab();
+                let m = uniform_chain(4);
+                let bound = prepare(&t).bind(&m).unwrap();
+                bound.confidence(&[sym(0); 4]).unwrap();
+            });
+        });
+    });
+    let pa = rec_a.finish();
+    let pb = rec_b.finish();
+
+    // Phase counts reflect each scope's own executions, nothing more.
+    assert_eq!(pa.phases["execute"].count, 3);
+    assert_eq!(pb.phases["execute"].count, 1);
+
+    // Plan-kind instants stay with the scope that prepared the plan.
+    assert_eq!(pa.instants["planner.plan/deterministic"], 1);
+    assert!(!pa
+        .instants
+        .contains_key("planner.plan/deterministic-uniform"));
+    assert_eq!(pb.instants["planner.plan/deterministic-uniform"], 1);
+    assert!(!pb.instants.contains_key("planner.plan/deterministic"));
+
+    // Layer progress splits exactly: no event is double-counted or
+    // dropped, and the global registry saw precisely the union.
+    assert!(pa.layers > 0);
+    assert!(pb.layers > 0);
+    let d = transmark_obs::registry().snapshot().diff(&base);
+    assert_eq!(d.counter("kernel.advance.layers"), pa.layers + pb.layers);
+}
+
+/// An active recorder must not change any computed number: confidences
+/// across every transducer plan class, streamed `.tmsb` folds, and
+/// seeded Monte-Carlo estimates are all bit-identical to unprofiled
+/// runs.
+#[test]
+fn profiled_execution_is_bit_neutral() {
+    let _g = GLOBAL_METRICS.lock().unwrap_or_else(|e| e.into_inner());
+
+    // (label, transducer, sequence, output) covering all four
+    // `PlanKind::for_transducer` routes.
+    let hospital_t = transmark_workloads::hospital::room_tracker();
+    let hospital_m = transmark_workloads::hospital::hospital_sequence();
+    let hospital_o = prepare(&hospital_t)
+        .bind(&hospital_m)
+        .unwrap()
+        .top_k_scored(1)
+        .unwrap()[0]
+        .output
+        .clone();
+    let cases: Vec<(&str, Transducer, MarkovSequence, Vec<SymbolId>)> = vec![
+        (
+            "deterministic-uniform",
+            identity_ab(),
+            uniform_chain(4),
+            vec![sym(0); 4],
+        ),
+        ("deterministic", hospital_t, hospital_m, hospital_o),
+        (
+            "uniform-nfa",
+            ambiguous_relabeler(),
+            uniform_chain(4),
+            vec![sym(0); 4],
+        ),
+        ("general", suffix_guesser(), uniform_chain(4), vec![sym(0)]),
+    ];
+
+    for (label, t, m, o) in &cases {
+        let plain = prepare(t).bind(m).unwrap().confidence(o).unwrap();
+        let rec = std::sync::Arc::new(transmark_obs::Recorder::new());
+        let profiled = rec.scope(|| prepare(t).bind(m).unwrap().confidence(o).unwrap());
+        assert_eq!(
+            plain.to_bits(),
+            profiled.to_bits(),
+            "profiling changed the {label} confidence"
+        );
+
+        // The streamed data plane: fold the same query from `.tmsb`
+        // bytes, profiled and not.
+        let tmsb = transmark_markov::binio::to_tmsb_bytes(m);
+        let stream = |bytes: &[u8]| {
+            let src = transmark_markov::binio::TmsbSlice::new(bytes).unwrap();
+            prepare(t).bind_source(src).unwrap().confidence(o).unwrap()
+        };
+        let plain_stream = stream(&tmsb);
+        let profiled_stream = rec.scope(|| stream(&tmsb));
+        assert_eq!(
+            plain_stream.to_bits(),
+            profiled_stream.to_bits(),
+            "profiling changed the streamed {label} confidence"
+        );
+    }
+
+    // Seeded Monte Carlo: recording must not perturb the draw sequence.
+    let t = suffix_guesser();
+    let m = uniform_chain(4);
+    let o = vec![sym(0)];
+    let mut r1 = StdRng::seed_from_u64(7);
+    let e1 = transmark_core::montecarlo::estimate_confidence(&t, &m, &o, 1_000, &mut r1).unwrap();
+    let rec = std::sync::Arc::new(transmark_obs::Recorder::new());
+    let e2 = rec.scope(|| {
+        let mut r2 = StdRng::seed_from_u64(7);
+        transmark_core::montecarlo::estimate_confidence(&t, &m, &o, 1_000, &mut r2).unwrap()
+    });
+    assert_eq!(e1.estimate.to_bits(), e2.estimate.to_bits());
+    assert_eq!(e1.std_error.to_bits(), e2.std_error.to_bits());
+}

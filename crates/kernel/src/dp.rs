@@ -16,15 +16,20 @@ use crate::semiring::Semiring;
 use crate::step_graph::StepGraph;
 use crate::steps::StepRows;
 
-/// Folds `n` layer advances into the `kernel.advance.layers` counter.
+/// Folds `n` layer advances into the `kernel.advance.layers` counter
+/// and, when a profiler [`Recorder`](transmark_obs::Recorder) scope is
+/// active on this thread, emits a layer-progress timeline sample.
 ///
 /// The advance drivers themselves do not count: a per-layer atomic is
 /// measurable against a degenerate layer (small machine, small
 /// alphabet), so each DP pass reports its whole sweep with one call —
-/// the overhead guard in `scripts/check.sh` holds the line.
+/// the overhead guard in `scripts/check.sh` holds the line. The
+/// progress hook shares that batching, and its inactive fast path is a
+/// single relaxed load.
 #[inline]
 pub fn count_layers(n: u64) {
     transmark_obs::counter!("kernel.advance.layers").add(n);
+    transmark_obs::profile::progress(n);
 }
 
 /// Advances one layer: `next[(to, e.to)] ⊕= cur[(node, row)] ⊗ p` for every

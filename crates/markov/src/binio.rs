@@ -271,7 +271,7 @@ impl<R: Read> StepSource for TmsbReader<R> {
 
 impl<R: Read + Seek> RewindableStepSource for TmsbReader<R> {
     fn rewind(&mut self) -> Result<(), SourceError> {
-        transmark_obs::counter!("dataplane.rewinds").inc();
+        crate::obs::record_rewind();
         self.reader.seek(SeekFrom::Start(self.layers_start))?;
         self.pos = 0;
         Ok(())
@@ -406,7 +406,7 @@ impl StepSource for TmsbSlice<'_> {
 
 impl RewindableStepSource for TmsbSlice<'_> {
     fn rewind(&mut self) -> Result<(), SourceError> {
-        transmark_obs::counter!("dataplane.rewinds").inc();
+        crate::obs::record_rewind();
         self.pos = 0;
         Ok(())
     }

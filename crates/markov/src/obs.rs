@@ -8,9 +8,21 @@
 //! bytes but skip the clock — two relaxed atomic adds is their entire
 //! instrumentation cost.
 
-/// Records one pulled step layer of `entries` f64 cells.
+/// Records one pulled step layer of `entries` f64 cells. Also feeds the
+/// query-scoped profiler's byte throughput when a recorder is active
+/// (inactive cost: one relaxed load).
 #[inline]
 pub(crate) fn record_step(entries: usize) {
+    let bytes = 8 * entries as u64;
     transmark_obs::counter!("dataplane.steps").inc();
-    transmark_obs::counter!("dataplane.bytes").add(8 * entries as u64);
+    transmark_obs::counter!("dataplane.bytes").add(bytes);
+    transmark_obs::profile::bytes(bytes);
+}
+
+/// Records one source rewind: a counter bump plus a timeline instant so
+/// re-reads are visible in per-query traces.
+#[inline]
+pub(crate) fn record_rewind() {
+    transmark_obs::counter!("dataplane.rewinds").inc();
+    transmark_obs::profile::instant("dataplane.rewind");
 }

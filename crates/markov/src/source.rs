@@ -221,7 +221,7 @@ impl StepSource for SequenceSource<'_> {
 
 impl RewindableStepSource for SequenceSource<'_> {
     fn rewind(&mut self) -> Result<(), SourceError> {
-        transmark_obs::counter!("dataplane.rewinds").inc();
+        crate::obs::record_rewind();
         self.pos = 0;
         Ok(())
     }

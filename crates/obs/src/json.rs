@@ -16,6 +16,9 @@ use std::fmt;
 pub enum Value {
     /// A non-negative integer (all metric payloads are `u64`).
     Int(u64),
+    /// A non-negative decimal (Chrome-trace timestamps are fractional
+    /// microseconds); never produced for metric payloads.
+    Float(f64),
     Str(String),
     Array(Vec<Value>),
     /// Ordered so serialization is deterministic.
@@ -26,6 +29,15 @@ impl Value {
     pub fn as_int(&self) -> Option<u64> {
         match self {
             Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: integers widen losslessly for small values.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(n) => Some(*n as f64),
+            Value::Float(f) => Some(*f),
             _ => None,
         }
     }
@@ -50,6 +62,17 @@ impl Value {
             Value::Int(n) => {
                 use fmt::Write;
                 let _ = write!(out, "{n}");
+            }
+            Value::Float(f) => {
+                use fmt::Write;
+                // `{}` on f64 is shortest-round-trip; force a decimal
+                // point so the value re-parses as a Float.
+                let text = format!("{f}");
+                if text.contains('.') {
+                    let _ = write!(out, "{text}");
+                } else {
+                    let _ = write!(out, "{text}.0");
+                }
             }
             Value::Str(s) => write_json_string(s, out),
             Value::Array(items) => {
@@ -233,6 +256,21 @@ impl<'a> Parser<'a> {
         while matches!(self.peek(), Some(b'0'..=b'9')) {
             self.pos += 1;
         }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(self.err("expected digits after decimal point"));
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+            return text
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| self.err("number out of range"));
+        }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
         text.parse::<u64>()
             .map(Value::Int)
@@ -319,6 +357,19 @@ mod tests {
         assert!(parse("{\"a\":1} extra").is_err());
         assert!(parse("-3").is_err());
         assert!(parse("\"\\q\"").is_err());
+        assert!(parse("1.").is_err());
+        assert!(parse(".5").is_err());
+    }
+
+    #[test]
+    fn floats_round_trip() {
+        let v = parse("[0.5,1234.375,2.0]").unwrap();
+        let items = v.as_array().unwrap();
+        assert_eq!(items[0].as_f64(), Some(0.5));
+        assert_eq!(items[1].as_f64(), Some(1234.375));
+        assert_eq!(items[2].as_f64(), Some(2.0));
+        assert_eq!(parse(&v.to_json()).unwrap(), v);
+        assert_eq!(Value::Int(7).as_f64(), Some(7.0));
     }
 
     #[test]

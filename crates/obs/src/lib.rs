@@ -42,6 +42,28 @@
 //! # let _ = json;
 //! ```
 //!
+//! ## Profiling a single query
+//!
+//! Aggregates answer "how much, overall"; a [`Recorder`] answers "where
+//! did *this* query's time go". Install one around the work (fleet code
+//! propagates it to workers as per-worker lanes), then export the
+//! merged [`ExecutionProfile`] as a Chrome trace or folded stacks:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use transmark_obs::Recorder;
+//!
+//! let rec = Arc::new(Recorder::new());
+//! rec.scope(|| {
+//!     let _phase = transmark_obs::span::enter("execute");
+//!     // ... run the query ...
+//! });
+//! let profile = rec.finish();
+//! let trace_json = transmark_obs::trace::chrome_trace(&profile); // chrome://tracing
+//! let flame = transmark_obs::trace::folded(&profile);            // flamegraph.pl
+//! # let _ = (trace_json, flame);
+//! ```
+//!
 //! ## Turning it off
 //!
 //! Building with the `obs-off` feature compiles every recording to an
@@ -58,11 +80,14 @@
 
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod registry;
 pub mod snapshot;
 pub mod span;
+pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, Timer};
+pub use profile::{ExecutionProfile, Recorder, RecorderScope};
 pub use registry::{registry, Registry};
 pub use snapshot::{fmt_ns, HistogramSnapshot, Snapshot, SpanSnapshot};
 pub use span::SpanGuard;

@@ -178,10 +178,12 @@ impl PlanCache {
             let plan = Arc::clone(&e.plan);
             inner.hits += 1;
             transmark_obs::counter!("store.plan_cache.hits").inc();
+            transmark_obs::profile::instant("store.plan_cache.hit");
             return plan;
         }
         inner.misses += 1;
         transmark_obs::counter!("store.plan_cache.misses").inc();
+        transmark_obs::profile::instant("store.plan_cache.miss");
         let plan = transmark_core::plan::prepare(t);
         if inner.entries.len() >= self.cap {
             let lru = inner
@@ -408,13 +410,20 @@ impl SequenceStore {
         }
         let chunk = streams.len().div_ceil(n_threads).max(1);
         let run = FleetRun::begin(streams.len().div_ceil(chunk));
+        // Propagate the caller's profiler into the workers: each gets
+        // its own "worker-N" lane, so queue-wait vs. compute is visible
+        // per worker in the merged timeline.
+        let rec = transmark_obs::profile::current();
         let results = std::thread::scope(|scope| {
             let handles: Vec<_> = streams
                 .chunks(chunk)
-                .map(|part| {
+                .enumerate()
+                .map(|(wi, part)| {
                     let f = &f;
                     let run = &run;
+                    let rec = rec.clone();
                     scope.spawn(move || {
+                        let _lane = rec.as_ref().map(|r| r.install(format!("worker-{wi}")));
                         let mut w = run.worker();
                         part.iter()
                             .map(|(name, m)| Ok(((*name).clone(), w.task(|| f(name, m))?)))
@@ -660,6 +669,10 @@ impl FleetWorker<'_> {
             transmark_obs::histogram!("store.fleet.queue_wait_ns")
                 .record(self.run.start.elapsed_ns());
         }
+        // On a profiled run each task is a span on its worker's lane
+        // ("task", with bind/execute nesting under it), so the timeline
+        // shows where each worker's wall time went.
+        let _span = transmark_obs::span::enter("task");
         let t = transmark_obs::Timer::start();
         let out = f();
         self.cpu_ns += t.observe(transmark_obs::histogram!("store.fleet.task_ns"));
@@ -696,13 +709,18 @@ where
     }
     let chunk = paths.len().div_ceil(n_threads).max(1);
     let run = FleetRun::begin(paths.len().div_ceil(chunk));
+    // Per-worker profiler lanes, exactly as in `par_map_streams`.
+    let rec = transmark_obs::profile::current();
     let results = std::thread::scope(|scope| {
         let handles: Vec<_> = paths
             .chunks(chunk)
-            .map(|part| {
+            .enumerate()
+            .map(|(wi, part)| {
                 let f = &f;
                 let run = &run;
+                let rec = rec.clone();
                 scope.spawn(move || {
+                    let _lane = rec.as_ref().map(|r| r.install(format!("worker-{wi}")));
                     let mut w = run.worker();
                     part.iter()
                         .map(|path| Ok((path.display().to_string(), w.task(|| f(path))?)))

@@ -1,15 +1,24 @@
 //! Metrics-overhead micro-benchmark, driven by `scripts/check.sh`.
 //!
-//! Prints one line, `ns_per_iter <N>`: the minimum over several
-//! repetitions of the per-call cost of a fixed confidence workload. The
-//! check script builds this example twice — default features and
-//! `--features obs-off` — and fails if the instrumented build is more
-//! than ~5% slower, which keeps every counter/histogram/span on the hot
-//! paths honest about its cost.
+//! Prints two lines: `ns_per_iter <N>` — the minimum over several
+//! repetitions of the per-call cost of a fixed confidence workload —
+//! and `ns_per_iter_recorded <M>` — the same workload timed inside an
+//! active query-scoped [`Recorder`](transmark_obs::Recorder), so the
+//! timeline-event path (span begin/end, layer progress) is also priced.
+//! The check script builds this example twice — default features and
+//! `--features obs-off` — and fails if either instrumented figure is
+//! more than ~5% above the `obs-off` baseline, which keeps every
+//! counter/histogram/span/timeline event on the hot paths honest about
+//! its cost.
 //!
 //! Min-of-N is the standard trick for a noisy shared machine: the
 //! minimum is the run least disturbed by scheduling, so it estimates the
 //! true cost floor of each configuration.
+//!
+//! The example doubles as a regression guard for span-path interning:
+//! after warm-up, repeated traversals of the same span paths must not
+//! grow the interner (each `enter` resolves through a thread-local
+//! cache — no allocation, no global lock).
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -50,6 +59,11 @@ fn main() {
         black_box(bound.confidence(black_box(&o)).expect("valid output"));
     }
 
+    // The warm-up above interned every span path this workload touches;
+    // the timed runs below must not mint new ones (satellite of the
+    // interning fix: repeat `enter`s hit the thread-local cache).
+    let interned_after_warmup = transmark_obs::span::interned_paths();
+
     let mut best = u128::MAX;
     for _ in 0..REPS {
         let start = Instant::now();
@@ -59,4 +73,33 @@ fn main() {
         best = best.min(start.elapsed().as_nanos() / ITERS as u128);
     }
     println!("ns_per_iter {best}");
+
+    // Same workload, but with a query-scoped recorder active, so every
+    // span also appends timeline events. This is the figure the 5%
+    // guard compares against the obs-off baseline to price profiling.
+    let recorder = std::sync::Arc::new(transmark_obs::Recorder::new());
+    let mut best_recorded = u128::MAX;
+    for _ in 0..REPS {
+        let scope = recorder.install("main".to_string());
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(bound.confidence(black_box(&o)).expect("valid output"));
+        }
+        best_recorded = best_recorded.min(start.elapsed().as_nanos() / ITERS as u128);
+        drop(scope);
+    }
+    println!("ns_per_iter_recorded {best_recorded}");
+
+    if transmark_obs::enabled() {
+        let profile = recorder.finish();
+        assert!(
+            profile.phases.contains_key("execute"),
+            "recorded runs must capture the execute phase"
+        );
+        assert_eq!(
+            transmark_obs::span::interned_paths(),
+            interned_after_warmup,
+            "timed runs re-interned span paths: the thread-local id cache regressed"
+        );
+    }
 }

@@ -1,0 +1,431 @@
+//! `tmk bench`: the built-in perf micro-suite.
+//!
+//! Four fixed-seed workload cases (confidence, enumeration, streaming,
+//! fleet) over the generated hospital and RFID workloads, timed
+//! min-of-N. The minimum over repetitions is the run least disturbed by
+//! scheduling, so it estimates each case's true cost floor; the median
+//! is reported alongside as a noise indicator. Results serialize to a
+//! schema-stable JSON (`{"suite":"tmk-bench","schema":1,...}`) so the
+//! repo can commit `BENCH_<pr>.json` snapshots — the perf trajectory —
+//! and `scripts/check.sh --bench-diff old.json new.json` (which calls
+//! [`diff_report`] via `tmk bench --diff`) flags >15% regressions
+//! between any two snapshots.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::{rngs::StdRng, SeedableRng};
+use transmark_obs::json::{self, Value};
+use transmark_workloads::{hospital, rfid};
+
+use crate::cli::{run_err, usage_err, CliError};
+
+/// JSON schema version of the bench output; bump on shape changes.
+pub const SCHEMA: u64 = 1;
+
+/// Default measurement repetitions per case.
+pub const DEFAULT_RUNS: usize = 5;
+/// Default executions per measurement.
+pub const DEFAULT_ITERS: usize = 10;
+
+/// Regression threshold for [`diff_report`]: fraction of the baseline's
+/// min above which a case counts as regressed.
+pub const REGRESSION_THRESHOLD: f64 = 0.15;
+
+/// One timed case of the suite.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// Case name, `family/workload` (e.g. `"confidence/hospital"`).
+    pub name: String,
+    /// The RNG seed the workload was generated with (0 = deterministic).
+    pub seed: u64,
+    /// Measurement repetitions.
+    pub runs: u64,
+    /// Executions per measurement.
+    pub iters: u64,
+    /// Minimum per-execution nanoseconds across runs (the cost floor).
+    pub min_ns: u64,
+    /// Median per-execution nanoseconds across runs.
+    pub median_ns: u64,
+}
+
+/// Times `f` as `runs` measurements of `iters` calls each (after one
+/// warm-up call) and returns per-call `(min_ns, median_ns)`.
+fn time_case(runs: usize, iters: usize, mut f: impl FnMut()) -> (u64, u64) {
+    f();
+    let mut samples: Vec<u64> = (0..runs.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters.max(1) {
+                f();
+            }
+            (start.elapsed().as_nanos() / iters.max(1) as u128) as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    (samples[0], samples[samples.len() / 2])
+}
+
+/// Runs the whole suite. Each case fixes its workload seed, so two
+/// invocations measure the same computation.
+pub fn run_suite(runs: usize, iters: usize) -> Result<Vec<CaseResult>, CliError> {
+    let mut results = Vec::new();
+    let mut push = |name: &str, seed: u64, (min_ns, median_ns): (u64, u64)| {
+        results.push(CaseResult {
+            name: name.to_string(),
+            seed,
+            runs: runs as u64,
+            iters: iters as u64,
+            min_ns,
+            median_ns,
+        });
+    };
+
+    // confidence/hospital: the paper's running example — exact
+    // confidence of the Table 1 top answer under the room tracker.
+    let m = hospital::hospital_sequence();
+    let t = hospital::room_tracker();
+    let plan = transmark_core::prepare(&t);
+    let bound = plan.bind(&m).map_err(run_err)?;
+    let top = bound
+        .top_k_scored(1)
+        .map_err(run_err)?
+        .into_iter()
+        .next()
+        .ok_or_else(|| run_err("hospital workload has no answers"))?;
+    let o = top.output.clone();
+    push(
+        "confidence/hospital",
+        0,
+        time_case(runs, iters, || {
+            std::hint::black_box(bound.confidence(std::hint::black_box(&o)).expect("valid"));
+        }),
+    );
+
+    // enumerate/hospital: ranked top-k (Lawler–Murty enumeration).
+    push(
+        "enumerate/hospital",
+        0,
+        time_case(runs, iters, || {
+            std::hint::black_box(bound.top_k_scored(4).expect("valid"));
+        }),
+    );
+
+    // streaming/hospital: the same confidence, but folded from `.tmsb`
+    // bytes through a zero-copy slice source — measures the data plane.
+    let tmsb = transmark_markov::binio::to_tmsb_bytes(&m);
+    push(
+        "streaming/hospital",
+        0,
+        time_case(runs, iters, || {
+            let src = transmark_markov::binio::TmsbSlice::new(&tmsb).expect("valid tmsb");
+            let mut bound = plan.bind_source(src).expect("alphabets match");
+            std::hint::black_box(bound.confidence(std::hint::black_box(&o)).expect("valid"));
+        }),
+    );
+
+    // confidence/rfid: a posterior (conditioned HMM) sequence — dense,
+    // nonuniform layers, the General plan class.
+    const RFID_SEED: u64 = 42;
+    let dep = rfid::deployment(&rfid::RfidSpec::default());
+    let mut rng = StdRng::seed_from_u64(RFID_SEED);
+    let (posterior, _) = dep.sample_posterior(64, &mut rng);
+    let tracker = dep.room_tracker(None);
+    let rfid_plan = transmark_core::prepare(&tracker);
+    let rfid_bound = rfid_plan.bind(&posterior).map_err(run_err)?;
+    let rfid_top = rfid_bound
+        .top_k_scored(1)
+        .map_err(run_err)?
+        .into_iter()
+        .next()
+        .ok_or_else(|| run_err("rfid workload has no answers"))?;
+    let rfid_o = rfid_top.output.clone();
+    push(
+        "confidence/rfid",
+        RFID_SEED,
+        time_case(runs, iters, || {
+            std::hint::black_box(
+                rfid_bound
+                    .confidence(std::hint::black_box(&rfid_o))
+                    .expect("valid"),
+            );
+        }),
+    );
+
+    // fleet/rfid: 8 posterior streams, confidence across the store on 2
+    // workers — measures the parallel driver (spawn, chunking, merge).
+    let mut store = transmark_store::SequenceStore::new(Arc::clone(&dep.locations));
+    for i in 0..8 {
+        let (seq, _) = dep.sample_posterior(32, &mut rng);
+        store.insert(format!("cart-{i:02}"), seq).map_err(run_err)?;
+    }
+    push(
+        "fleet/rfid",
+        RFID_SEED,
+        time_case(runs, iters.div_ceil(4), || {
+            std::hint::black_box(
+                store
+                    .confidence_all_parallel(&tracker, &rfid_o, 2)
+                    .expect("valid"),
+            );
+        }),
+    );
+
+    Ok(results)
+}
+
+/// Serializes suite results to the schema-stable JSON document.
+pub fn to_json(results: &[CaseResult]) -> String {
+    let mut cases = std::collections::BTreeMap::new();
+    for r in results {
+        let mut case = std::collections::BTreeMap::new();
+        case.insert("seed".to_string(), Value::Int(r.seed));
+        case.insert("runs".to_string(), Value::Int(r.runs));
+        case.insert("iters".to_string(), Value::Int(r.iters));
+        case.insert("min_ns".to_string(), Value::Int(r.min_ns));
+        case.insert("median_ns".to_string(), Value::Int(r.median_ns));
+        cases.insert(r.name.clone(), Value::Object(case));
+    }
+    let mut doc = std::collections::BTreeMap::new();
+    doc.insert("suite".to_string(), Value::Str("tmk-bench".to_string()));
+    doc.insert("schema".to_string(), Value::Int(SCHEMA));
+    doc.insert("cases".to_string(), Value::Object(cases));
+    Value::Object(doc).to_json()
+}
+
+/// Parses a bench JSON document back into case results.
+pub fn from_json(text: &str) -> Result<Vec<CaseResult>, String> {
+    let v = json::parse(text).map_err(|e| e.to_string())?;
+    let doc = v.as_object().ok_or("bench document is not an object")?;
+    match doc.get("suite") {
+        Some(Value::Str(s)) if s == "tmk-bench" => {}
+        _ => return Err("not a tmk-bench document (missing suite name)".to_string()),
+    }
+    let schema = doc.get("schema").and_then(Value::as_int).unwrap_or(0);
+    if schema != SCHEMA {
+        return Err(format!(
+            "unsupported bench schema {schema} (expected {SCHEMA})"
+        ));
+    }
+    let cases = doc
+        .get("cases")
+        .and_then(Value::as_object)
+        .ok_or("missing cases object")?;
+    let mut out = Vec::new();
+    for (name, case) in cases {
+        let case = case
+            .as_object()
+            .ok_or_else(|| format!("case {name} is not an object"))?;
+        let field = |key: &str| {
+            case.get(key)
+                .and_then(Value::as_int)
+                .ok_or_else(|| format!("case {name} is missing integer {key}"))
+        };
+        out.push(CaseResult {
+            name: name.clone(),
+            seed: field("seed")?,
+            runs: field("runs")?,
+            iters: field("iters")?,
+            min_ns: field("min_ns")?,
+            median_ns: field("median_ns")?,
+        });
+    }
+    Ok(out)
+}
+
+/// Renders the human-readable results table.
+pub fn to_text(results: &[CaseResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<24} {:>12} {:>12}   (seed, {} runs x iters)",
+        "case",
+        "min",
+        "median",
+        results.first().map_or(0, |r| r.runs)
+    );
+    for r in results {
+        let _ = writeln!(
+            out,
+            "{:<24} {:>12} {:>12}   (seed {}, x{})",
+            r.name,
+            transmark_obs::fmt_ns(r.min_ns),
+            transmark_obs::fmt_ns(r.median_ns),
+            r.seed,
+            r.iters,
+        );
+    }
+    out
+}
+
+/// Compares two bench documents case-by-case on `min_ns`. Returns the
+/// report and whether any case regressed by more than
+/// [`REGRESSION_THRESHOLD`]. Cases present on only one side are noted
+/// but are not regressions.
+pub fn diff_report(base: &[CaseResult], new: &[CaseResult]) -> (String, bool) {
+    let mut out = String::new();
+    let mut regressed = false;
+    let base_by_name: std::collections::BTreeMap<&str, &CaseResult> =
+        base.iter().map(|r| (r.name.as_str(), r)).collect();
+    for r in new {
+        match base_by_name.get(r.name.as_str()) {
+            None => {
+                let _ = writeln!(out, "{:<24} new case (no baseline)", r.name);
+            }
+            Some(b) if b.min_ns == 0 => {
+                let _ = writeln!(out, "{:<24} baseline min is 0; skipped", r.name);
+            }
+            Some(b) => {
+                let delta = r.min_ns as f64 / b.min_ns as f64 - 1.0;
+                let verdict = if delta > REGRESSION_THRESHOLD {
+                    regressed = true;
+                    "REGRESSED"
+                } else if delta < -REGRESSION_THRESHOLD {
+                    "improved"
+                } else {
+                    "ok"
+                };
+                let _ = writeln!(
+                    out,
+                    "{:<24} {:>12} -> {:>12}  {:+7.1}%  {verdict}",
+                    r.name,
+                    transmark_obs::fmt_ns(b.min_ns),
+                    transmark_obs::fmt_ns(r.min_ns),
+                    100.0 * delta,
+                );
+            }
+        }
+    }
+    for b in base {
+        if !new.iter().any(|r| r.name == b.name) {
+            let _ = writeln!(out, "{:<24} case dropped from new run", b.name);
+        }
+    }
+    (out, regressed)
+}
+
+/// The `tmk bench` entry point; see the CLI usage text for flags.
+pub fn run_command(mut args: Vec<String>) -> Result<String, CliError> {
+    // --diff BASE NEW: pure comparison, no timing.
+    if let Some(pos) = args.iter().position(|a| a == "--diff") {
+        if pos + 2 >= args.len() {
+            return Err(usage_err("--diff needs two bench JSON paths"));
+        }
+        let new_path = args.remove(pos + 2);
+        let base_path = args.remove(pos + 1);
+        args.remove(pos);
+        if !args.is_empty() {
+            return Err(usage_err(format!(
+                "unexpected bench argument {:?}",
+                args[0]
+            )));
+        }
+        let load = |path: &str| -> Result<Vec<CaseResult>, CliError> {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| run_err(format!("cannot read {path}: {e}")))?;
+            from_json(&text).map_err(|e| run_err(format!("{path}: {e}")))
+        };
+        let base = load(&base_path)?;
+        let new = load(&new_path)?;
+        let (report, regressed) = diff_report(&base, &new);
+        if regressed {
+            return Err(run_err(format!(
+                "{report}bench regression: some case exceeded {:.0}% over {base_path}",
+                100.0 * REGRESSION_THRESHOLD
+            )));
+        }
+        return Ok(report);
+    }
+
+    let mut take_n = |flag: &str, default: usize| -> Result<usize, CliError> {
+        match args.iter().position(|a| a == flag) {
+            Some(pos) if pos + 1 < args.len() => {
+                let v = args.remove(pos + 1);
+                args.remove(pos);
+                v.parse()
+                    .map_err(|e| usage_err(format!("bad {flag} {v:?}: {e}")))
+            }
+            Some(_) => Err(usage_err(format!("{flag} requires a value"))),
+            None => Ok(default),
+        }
+    };
+    let runs = take_n("--runs", DEFAULT_RUNS)?;
+    let iters = take_n("--iters", DEFAULT_ITERS)?;
+    let json_path = match args.iter().position(|a| a == "--json") {
+        Some(pos) if pos + 1 < args.len() => {
+            let v = args.remove(pos + 1);
+            args.remove(pos);
+            Some(v)
+        }
+        Some(_) => return Err(usage_err("--json requires a file path")),
+        None => None,
+    };
+    if !args.is_empty() {
+        return Err(usage_err(format!(
+            "unexpected bench argument {:?}",
+            args[0]
+        )));
+    }
+
+    let results = run_suite(runs, iters)?;
+    let mut out = to_text(&results);
+    if let Some(path) = json_path {
+        std::fs::write(&path, to_json(&results))
+            .map_err(|e| run_err(format!("write {path}: {e}")))?;
+        let _ = writeln!(out, "wrote {path}");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case(name: &str, min_ns: u64) -> CaseResult {
+        CaseResult {
+            name: name.to_string(),
+            seed: 42,
+            runs: 5,
+            iters: 10,
+            min_ns,
+            median_ns: min_ns + 1,
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let results = vec![case("confidence/hospital", 1200), case("fleet/rfid", 90000)];
+        let text = to_json(&results);
+        let back = from_json(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        let hospital = back
+            .iter()
+            .find(|r| r.name == "confidence/hospital")
+            .unwrap();
+        assert_eq!(hospital.min_ns, 1200);
+        assert_eq!(hospital.median_ns, 1201);
+        assert_eq!(hospital.seed, 42);
+    }
+
+    #[test]
+    fn from_json_rejects_foreign_documents() {
+        assert!(from_json("{}").is_err());
+        assert!(from_json(r#"{"suite":"other","schema":1,"cases":{}}"#).is_err());
+        assert!(from_json(r#"{"suite":"tmk-bench","schema":99,"cases":{}}"#).is_err());
+        assert!(from_json("not json").is_err());
+    }
+
+    #[test]
+    fn diff_flags_large_regressions_only() {
+        let base = vec![case("a", 1000), case("b", 1000), case("gone", 5)];
+        let new = vec![case("a", 1100), case("b", 1200), case("fresh", 7)];
+        let (report, regressed) = diff_report(&base, &new);
+        assert!(regressed, "b regressed by 20% > 15%");
+        assert!(report.contains("REGRESSED"));
+        assert!(report.contains("new case"));
+        assert!(report.contains("dropped"));
+        let (_, ok) = diff_report(&base[..2], &[case("a", 1100), case("b", 1100)]);
+        assert!(!ok, "10% is within the threshold");
+    }
+}

@@ -19,16 +19,22 @@
 //! tmk occurrences <sequence.tms> <query.tmp> [--k N]
 //! tmk posterior <model.tmh> --out <file.tms> <observation>...
 //! tmk export-example <directory>
+//! tmk bench [--json FILE] [--runs N] [--iters N]
+//! tmk bench --diff <base.json> <new.json>
 //! ```
 //!
 //! Every subcommand additionally accepts the shared options parsed once
 //! into [`CommonOpts`]: `--explain` (print the compiled plan — its
 //! Table 2 route, machine shape, and precompile cost — before the
-//! results), `--threads N` (fleet parallelism for `batch`), and
+//! results), `--threads N` (fleet parallelism for `batch`),
 //! `--metrics[=json]` (append an observability report covering exactly
 //! this invocation: plan kind, cache hit rates, per-phase timings,
 //! kernel and data-plane counters, and fleet statistics — see
-//! [`transmark_obs`]).
+//! [`transmark_obs`]), and the query-scoped profiler flags
+//! `--profile[=FILE.json]` (timeline summary, or a Chrome `trace_event`
+//! file for `chrome://tracing`/Perfetto) and `--flame[=FILE.folded]`
+//! (folded stacks for `flamegraph.pl`/inferno) — see
+//! [`transmark_obs::profile`].
 //!
 //! Transducer and s-projector commands compile the query into a
 //! prepared plan first. `batch` compiles the query once and binds the
@@ -105,14 +111,14 @@ impl From<std::io::Error> for CliError {
     }
 }
 
-fn usage_err(message: impl Into<String>) -> CliError {
+pub(crate) fn usage_err(message: impl Into<String>) -> CliError {
     CliError {
         message: format!("{}\n\n{}", message.into(), USAGE),
         exit_code: 2,
     }
 }
 
-fn run_err(message: impl std::fmt::Display) -> CliError {
+pub(crate) fn run_err(message: impl std::fmt::Display) -> CliError {
     CliError {
         message: message.to_string(),
         exit_code: 1,
@@ -139,6 +145,11 @@ USAGE:
   tmk occurrences <sequence.tms> <query.tmp> [--k N]    s-projector: (string, position) by confidence
   tmk posterior <model.tmh> --out <f.tms> <obs>...      condition an HMM, write the posterior
   tmk export-example <dir>                              write the paper's running example
+  tmk bench [--json FILE] [--runs N] [--iters N]        built-in perf micro-suite (fixed seeds,
+                                                        min-of-N); --json writes the machine-
+                                                        readable snapshot
+  tmk bench --diff <base.json> <new.json>               compare two bench snapshots; exits
+                                                        non-zero on a >15% regression
 
 COMMON OPTIONS (accepted by every command):
   --explain            print the compiled query plan — its Table 2 route, machine
@@ -149,6 +160,11 @@ COMMON OPTIONS (accepted by every command):
                        cache hit rates, per-phase timings, kernel/data-plane
                        counters, and fleet statistics; =json emits the raw
                        snapshot diff instead
+  --profile[=FILE]     record a query-scoped timeline; bare flag appends the
+                       profile summary (phases, lanes, throughput), =FILE writes
+                       a Chrome trace_event JSON for chrome://tracing / Perfetto
+  --flame[=FILE]       folded stacks (lane;phase;... self_ns) for flamegraph.pl
+                       or inferno; bare flag appends them, =FILE writes the file
 
 OPTIONS:
   --confidence SYMS    (batch) instead of top-k, stream the confidence of the
@@ -200,7 +216,7 @@ pub enum MetricsFormat {
 }
 
 /// Options shared by every `tmk` subcommand, parsed once up front.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct CommonOpts {
     /// `--threads N` — fleet parallelism (`batch`); 0 = one per core.
     pub threads: usize,
@@ -208,6 +224,29 @@ pub struct CommonOpts {
     pub explain: bool,
     /// `--metrics[=json]` — append an observability report.
     pub metrics: Option<MetricsFormat>,
+    /// `--profile[=FILE]` — record a query-scoped timeline; bare flag
+    /// appends the profile summary, `=FILE` writes a Chrome trace.
+    pub profile: Option<Option<String>>,
+    /// `--flame[=FILE]` — folded stacks for flamegraph.pl/inferno; bare
+    /// flag appends them, `=FILE` writes them to a file.
+    pub flame: Option<Option<String>>,
+}
+
+/// Strips `--flag` (→ `Some(None)`) or `--flag=VALUE` (→
+/// `Some(Some(VALUE))`) out of `args`.
+fn take_flag_opt(args: &mut Vec<String>, flag: &str) -> Result<Option<Option<String>>, CliError> {
+    if take_flag(args, flag) {
+        return Ok(Some(None));
+    }
+    let prefix = format!("{flag}=");
+    if let Some(pos) = args.iter().position(|a| a.starts_with(&prefix)) {
+        let value = args.remove(pos)[prefix.len()..].to_string();
+        if value.is_empty() {
+            return Err(usage_err(format!("{flag}= needs a file path")));
+        }
+        return Ok(Some(Some(value)));
+    }
+    Ok(None)
 }
 
 impl CommonOpts {
@@ -231,10 +270,14 @@ impl CommonOpts {
         } else {
             None
         };
+        let profile = take_flag_opt(args, "--profile")?;
+        let flame = take_flag_opt(args, "--flame")?;
         Ok(CommonOpts {
             threads,
             explain,
             metrics,
+            profile,
+            flame,
         })
     }
 }
@@ -435,6 +478,15 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     // The metrics window covers exactly this invocation: diff against the
     // process-global registry state captured before dispatch.
     let baseline = transmark_obs::registry().snapshot();
+    // --profile / --flame: record a query-scoped timeline around the
+    // whole dispatch; fleet commands propagate the recorder into their
+    // workers, so each worker shows up as its own lane.
+    let recorder = if opts.profile.is_some() || opts.flame.is_some() {
+        Some(std::sync::Arc::new(transmark_obs::Recorder::new()))
+    } else {
+        None
+    };
+    let scope = recorder.as_ref().map(|r| r.install("main"));
     let mut out = String::new();
     match command.as_str() {
         "show" => {
@@ -834,10 +886,58 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 query_path.display()
             );
         }
+        "bench" => {
+            out.push_str(&crate::bench::run_command(args)?);
+        }
         "help" | "--help" | "-h" => {
             let _ = writeln!(out, "{USAGE}");
         }
         other => return Err(usage_err(format!("unknown command {other:?}"))),
+    }
+    drop(scope);
+    if let Some(rec) = recorder {
+        let profile = rec.finish();
+        if let Some(dest) = &opts.profile {
+            let trace = transmark_obs::trace::chrome_trace(&profile);
+            match dest {
+                Some(path) => {
+                    std::fs::write(path, trace)
+                        .map_err(|e| run_err(format!("write {path}: {e}")))?;
+                    let events: usize = profile.lanes.iter().map(|l| l.events.len()).sum();
+                    let _ = writeln!(
+                        out,
+                        "wrote {path} ({events} events, {} lanes)",
+                        profile.lanes.len()
+                    );
+                }
+                None => {
+                    out.push_str("== profile ==\n");
+                    if transmark_obs::enabled() {
+                        out.push_str(&profile.to_text());
+                    } else {
+                        out.push_str("(profiling disabled: built with feature obs-off)\n");
+                    }
+                }
+            }
+        }
+        if let Some(dest) = &opts.flame {
+            let flame = transmark_obs::trace::folded(&profile);
+            match dest {
+                Some(path) => {
+                    std::fs::write(path, &flame)
+                        .map_err(|e| run_err(format!("write {path}: {e}")))?;
+                    let _ = writeln!(out, "wrote {path} ({} stacks)", flame.lines().count());
+                }
+                None => {
+                    out.push_str("== flame ==\n");
+                    if transmark_obs::enabled() {
+                        out.push_str(&flame);
+                    } else {
+                        out.push_str("(profiling disabled: built with feature obs-off)\n");
+                    }
+                }
+            }
+        }
     }
     if let Some(format) = opts.metrics {
         let diff = transmark_obs::registry().snapshot().diff(&baseline);

@@ -47,7 +47,7 @@ use std::sync::Arc;
 
 use transmark_core::plan::{PreparedEventQuery, PreparedQuery};
 use transmark_core::transducer::Transducer;
-use transmark_obs::Snapshot;
+use transmark_obs::{ExecutionProfile, Recorder, Snapshot};
 use transmark_store::{PlanCache, PlanCacheStats, DEFAULT_PLAN_CACHE_CAP};
 
 /// The front door of the `transmark` engine: a plan cache plus a metrics
@@ -118,6 +118,27 @@ impl Engine {
     pub fn plan_stats(&self) -> PlanCacheStats {
         self.plans.stats()
     }
+
+    /// Runs `f` under a fresh query-scoped [`Recorder`] and returns its
+    /// result together with the merged [`ExecutionProfile`] — phase
+    /// breakdown, per-worker lanes (fleet ops propagate the recorder
+    /// into their workers automatically), and layer/byte throughput.
+    /// Export the profile with [`transmark_obs::trace::chrome_trace`],
+    /// [`transmark_obs::trace::folded`], or
+    /// [`ExecutionProfile::to_snapshot`]. Under `obs-off` the profile is
+    /// empty and `f` runs unobserved.
+    pub fn profiled<R>(&self, f: impl FnOnce() -> R) -> (R, ExecutionProfile) {
+        let rec = Arc::new(Recorder::new());
+        let out = self.profiled_with(&rec, f);
+        (out, rec.finish())
+    }
+
+    /// Like [`Engine::profiled`], but records into a caller-supplied
+    /// [`Recorder`] — use this to accumulate several executions into one
+    /// profile before calling [`Recorder::finish`] yourself.
+    pub fn profiled_with<R>(&self, recorder: &Arc<Recorder>, f: impl FnOnce() -> R) -> R {
+        recorder.scope(f)
+    }
 }
 
 impl Default for Engine {
@@ -170,6 +191,32 @@ mod tests {
         let via_facade = engine.prepare(&t).bind(&m).unwrap().confidence(&o).unwrap();
         let via_legacy = transmark_core::confidence(&t, &m, &o).unwrap();
         assert_eq!(via_facade.to_bits(), via_legacy.to_bits());
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn profiled_returns_phase_breakdown() {
+        // No GLOBAL_METRICS lock needed: the profile is query-scoped,
+        // so concurrent tests cannot bleed into it.
+        let m = MarkovSequenceBuilder::new(Alphabet::of_chars("ab"), 4)
+            .uniform_all()
+            .build()
+            .unwrap();
+        let t = identity();
+        let o = [SymbolId(0), SymbolId(1), SymbolId(0), SymbolId(1)];
+        let engine = Engine::new();
+        let (conf, profile) =
+            engine.profiled(|| engine.prepare(&t).bind(&m).unwrap().confidence(&o).unwrap());
+        assert!(conf > 0.0);
+        assert!(profile.phases.contains_key("prepare"));
+        assert!(profile.phases.contains_key("bind"));
+        assert!(profile.phases.contains_key("execute"));
+        assert_eq!(profile.instants["store.plan_cache.miss"], 1);
+        assert!(
+            profile.layers >= 1,
+            "kernel progress flows into the profile"
+        );
+        assert!(profile.wall_ns > 0);
     }
 
     #[cfg(not(feature = "obs-off"))]

@@ -75,6 +75,7 @@
 //! (the §3–§4 engine), `transmark-sproj` (the §5 engine) and
 //! `transmark-workloads` (paper examples, synthetic scenarios, gadgets).
 
+pub mod bench;
 pub mod cli;
 pub mod facade;
 
@@ -128,7 +129,7 @@ pub mod prelude {
         FileStepSource, Hmm, MarkovSequence, MarkovSequenceBuilder, RewindableStepSource,
         SequenceSource, StepSource,
     };
-    pub use transmark_obs::Snapshot;
+    pub use transmark_obs::{ExecutionProfile, Recorder, Snapshot};
     pub use transmark_sproj::{
         enumerate_by_imax, enumerate_by_imax_lawler, enumerate_indexed, sproj_confidence,
         top_k_by_imax, IndexedAnswer, IndexedEvaluator, SProjector, SprojEvaluation,
