@@ -30,8 +30,8 @@
 
 use transmark_automata::{ops::DetCore, BitSet, Nfa, StateId, SymbolId};
 use transmark_kernel::{
-    advance, advance_filtered, count_layers, Bool, LayerCsr, Prob, StepGraph, SubsetLayer,
-    Workspace,
+    advance, advance_filtered, count_layers, Bool, ExecSteps, LayerCsr, Prob, StepGraph,
+    SubsetLayer, Workspace,
 };
 use transmark_markov::{MarkovSequence, StepSource};
 
@@ -138,37 +138,32 @@ pub fn confidence_deterministic(
     if !t.is_deterministic() {
         return Err(EngineError::NotDeterministic);
     }
+    // Strategy choice applies to the legacy entry points too: a dense
+    // bind skips the CSR flatten entirely (the tiny-query fix — CSR
+    // construction dominated sub-microsecond evaluations), and dense and
+    // sparse advances are bit-identical, so this is invisible downstream.
     if let Some(k) = t.uniform_emission() {
-        let steps = m.sparse_steps();
         let graph = state_step_graph(t);
         let mut ws: Workspace<f64> = Workspace::new();
-        return Ok(confidence_deterministic_uniform_impl(
-            t,
-            &steps,
-            &graph,
-            &mut ws,
-            o,
-            k,
-            &mut |slice| emission_id_for(t, slice),
-        ));
+        return Ok(crate::plan::with_exec_steps(m, |steps| {
+            confidence_deterministic_uniform_impl(t, steps, &graph, &mut ws, o, k, &mut |slice| {
+                emission_id_for(t, slice)
+            })
+        }));
     }
-    let steps = m.sparse_steps();
     let graph = output_step_graph(t, o);
     let mut ws: Workspace<f64> = Workspace::new();
-    Ok(confidence_deterministic_impl(
-        t,
-        &steps,
-        &graph,
-        &mut ws,
-        o.len(),
-    ))
+    Ok(crate::plan::with_exec_steps(m, |steps| {
+        confidence_deterministic_impl(t, steps, &graph, &mut ws, o.len())
+    }))
 }
 
 /// The Thm 4.6 positional DP over precompiled artifacts. `graph` must be
-/// `output_step_graph(t, o)` and `steps` the sequence's CSR.
+/// `output_step_graph(t, o)` and `steps` the bound execution view of the
+/// sequence (sparse and dense advance bit-identically).
 pub(crate) fn confidence_deterministic_impl(
     t: &Transducer,
-    steps: &transmark_kernel::SparseSteps,
+    steps: ExecSteps<'_>,
     graph: &StepGraph,
     ws: &mut Workspace<f64>,
     o_len: usize,
@@ -196,7 +191,7 @@ pub(crate) fn confidence_deterministic_impl(
     for i in 0..n - 1 {
         ws.clear_next(0.0);
         let (cur, next) = ws.buffers();
-        advance::<Prob, _>(&steps.at(i), graph, cur, next);
+        steps.advance::<Prob>(i, graph, cur, next);
         ws.swap();
     }
     count_layers((n - 1) as u64);
@@ -270,7 +265,7 @@ pub(crate) fn confidence_deterministic_source_impl<S: StepSource>(
 /// injective, so any correct lookup yields identical gating.
 pub(crate) fn confidence_deterministic_uniform_impl(
     t: &Transducer,
-    steps: &transmark_kernel::SparseSteps,
+    steps: ExecSteps<'_>,
     graph: &StepGraph,
     ws: &mut Workspace<f64>,
     o: &[SymbolId],
@@ -297,7 +292,7 @@ pub(crate) fn confidence_deterministic_uniform_impl(
         let expected = emission_id(&o[k * (i + 1)..k * (i + 2)]);
         ws.clear_next(0.0);
         let (cur, next) = ws.buffers();
-        advance_filtered::<Prob, _>(&steps.at(i), graph, expected, cur, next);
+        steps.advance_filtered::<Prob>(i, graph, expected, cur, next);
         ws.swap();
     }
     count_layers((n - 1) as u64);
@@ -714,7 +709,7 @@ pub fn is_answer(t: &Transducer, m: &MarkovSequence, o: &[SymbolId]) -> Result<b
 /// `output_step_graph(t, o)` for an `o` of length `o_len`.
 pub(crate) fn is_answer_impl(
     t: &Transducer,
-    steps: &transmark_kernel::SparseSteps,
+    steps: ExecSteps<'_>,
     graph: &StepGraph,
     ws: &mut Workspace<bool>,
     o_len: usize,
@@ -735,7 +730,7 @@ pub(crate) fn is_answer_impl(
     for i in 0..n - 1 {
         ws.clear_next(false);
         let (cur, next) = ws.buffers();
-        advance::<Bool, _>(&steps.at(i), graph, cur, next);
+        steps.advance::<Bool>(i, graph, cur, next);
         ws.swap();
     }
     count_layers((n - 1) as u64);
@@ -807,7 +802,7 @@ pub fn answer_exists(t: &Transducer, m: &MarkovSequence) -> Result<bool, EngineE
 /// `state_step_graph(t)`.
 pub(crate) fn answer_exists_impl(
     t: &Transducer,
-    steps: &transmark_kernel::SparseSteps,
+    steps: ExecSteps<'_>,
     graph: &StepGraph,
     ws: &mut Workspace<bool>,
 ) -> bool {
@@ -824,7 +819,7 @@ pub(crate) fn answer_exists_impl(
     for i in 0..n - 1 {
         ws.clear_next(false);
         let (cur, next) = ws.buffers();
-        advance::<Bool, _>(&steps.at(i), graph, cur, next);
+        steps.advance::<Bool>(i, graph, cur, next);
         ws.swap();
     }
     count_layers((n - 1) as u64);
@@ -952,7 +947,7 @@ impl AcceptanceFold {
     }
 }
 
-fn check_nfa_alphabet(nfa: &Nfa, n_symbols: usize) -> Result<(), EngineError> {
+pub(crate) fn check_nfa_alphabet(nfa: &Nfa, n_symbols: usize) -> Result<(), EngineError> {
     if nfa.n_symbols() != n_symbols {
         return Err(EngineError::AlphabetMismatch {
             transducer: nfa.n_symbols(),

@@ -17,9 +17,7 @@
 //! Lawler–Murty instantiation does.
 
 use transmark_automata::{StateId, SymbolId};
-use transmark_kernel::{
-    advance, advance_tracked, count_layers, BackEdge, LayerCsr, MaxLog, Workspace,
-};
+use transmark_kernel::{advance, count_layers, BackEdge, ExecSteps, LayerCsr, MaxLog, Workspace};
 use transmark_markov::{MarkovSequence, StepSource};
 
 use crate::error::EngineError;
@@ -62,10 +60,11 @@ pub fn top_by_emax(t: &Transducer, m: &MarkovSequence) -> Result<Option<EmaxResu
 }
 
 /// The tracked Viterbi pass over precompiled artifacts. `graph` must be
-/// `state_step_graph(t)` and `steps` the sequence's CSR.
+/// `state_step_graph(t)` and `steps` the bound execution view of the
+/// sequence (sparse and dense advance bit-identically).
 pub(crate) fn top_by_emax_impl(
     t: &Transducer,
-    steps: &transmark_kernel::SparseSteps,
+    steps: ExecSteps<'_>,
     graph: &transmark_kernel::StepGraph,
 ) -> Option<EmaxResult> {
     let n = steps.n_steps() + 1;
@@ -96,7 +95,7 @@ pub(crate) fn top_by_emax_impl(
     for i in 0..n - 1 {
         let mut next = vec![f64::NEG_INFINITY; sz];
         let mut back = vec![BackEdge::NONE; sz];
-        advance_tracked(&steps.at(i), graph, &score, &mut next, &mut back);
+        steps.advance_tracked(i, graph, &score, &mut next, &mut back);
         score = next;
         backs.push(back);
     }
@@ -164,7 +163,7 @@ pub fn emax_of_output(
 /// be `output_step_graph(t, o)` for an `o` of length `o_len`.
 pub(crate) fn emax_of_output_impl(
     t: &Transducer,
-    steps: &transmark_kernel::SparseSteps,
+    steps: ExecSteps<'_>,
     graph: &transmark_kernel::StepGraph,
     ws: &mut Workspace<f64>,
     o_len: usize,
@@ -187,7 +186,7 @@ pub(crate) fn emax_of_output_impl(
     for i in 0..n - 1 {
         ws.clear_next(f64::NEG_INFINITY);
         let (cur, next) = ws.buffers();
-        advance::<MaxLog, _>(&steps.at(i), graph, cur, next);
+        steps.advance::<MaxLog>(i, graph, cur, next);
         ws.swap();
     }
     count_layers((n - 1) as u64);

@@ -258,7 +258,12 @@ impl PartitionSpace for PlanEmaxSpace {
 
     fn best(&mut self, constraint: &PrefixConstraint) -> Option<(Vec<SymbolId>, f64)> {
         let cm = self.plan.constrained(constraint);
-        top_by_emax_impl(&cm.t, &self.steps, &cm.graph).map(|r| (r.output, r.log_prob))
+        top_by_emax_impl(
+            &cm.t,
+            transmark_kernel::ExecSteps::Sparse(&self.steps),
+            &cm.graph,
+        )
+        .map(|r| (r.output, r.log_prob))
     }
 
     fn split(

@@ -61,6 +61,15 @@ pub enum EngineError {
         /// The cursor position the source was found at.
         position: usize,
     },
+    /// An explicitly requested execution strategy cannot run the query
+    /// shape it was asked to (e.g. the parallel-prefix scan outside
+    /// prefix-series evaluation).
+    UnsupportedStrategy {
+        /// The requested strategy's label.
+        strategy: &'static str,
+        /// What it was asked to execute.
+        query: &'static str,
+    },
     /// A store-layer failure (unknown stream, persistence I/O, …) folded
     /// into the engine error so facade entry points return one type. The
     /// `From<StoreError>` impl lives in `transmark-store` (orphan rule);
@@ -103,6 +112,10 @@ impl fmt::Display for EngineError {
             EngineError::SourceConsumed { position } => write!(
                 f,
                 "step source already consumed ({position} steps pulled); rewind it before another pass"
+            ),
+            EngineError::UnsupportedStrategy { strategy, query } => write!(
+                f,
+                "execution strategy {strategy:?} cannot run {query}"
             ),
             EngineError::Store(m) => write!(f, "store error: {m}"),
         }

@@ -23,7 +23,7 @@ use transmark_markov::MarkovSequence;
 use crate::emax::EmaxResult;
 use crate::enumerate::{enumerate_by_emax_planned, enumerate_unranked_with, RankedAnswer};
 use crate::error::EngineError;
-use crate::plan::{prepare, BoundQuery, PlanExplain, PreparedQuery};
+use crate::plan::{prepare, BoundQuery, PlanExplain, PreparedQuery, Strategy};
 use crate::transducer::Transducer;
 
 /// How expensive exact confidence computation is for a machine
@@ -65,6 +65,19 @@ impl<'a> Evaluation<'a> {
         Ok(Self { t, m, bound })
     }
 
+    /// [`Evaluation::new`] with the bind's execution strategy forced
+    /// (`None` = planner choice). [`Strategy::Scan`] is rejected here —
+    /// it only applies to prefix-series evaluation.
+    pub fn with_strategy(
+        t: &'a Transducer,
+        m: &'a MarkovSequence,
+        strategy: Option<Strategy>,
+    ) -> Result<Self, EngineError> {
+        let plan = prepare(t);
+        let bound = plan.bind_with_strategy(m, strategy)?;
+        Ok(Self { t, m, bound })
+    }
+
     /// Binds an already-compiled plan (from a plan cache or a previous
     /// evaluation) to a sequence, skipping recompilation. The plan's own
     /// transducer is the query.
@@ -72,7 +85,17 @@ impl<'a> Evaluation<'a> {
         plan: &'a Arc<PreparedQuery>,
         m: &'a MarkovSequence,
     ) -> Result<Self, EngineError> {
-        let bound = plan.bind(m)?;
+        Self::with_plan_strategy(plan, m, None)
+    }
+
+    /// [`Evaluation::with_plan`] with the bind's execution strategy
+    /// forced (`None` = planner choice).
+    pub fn with_plan_strategy(
+        plan: &'a Arc<PreparedQuery>,
+        m: &'a MarkovSequence,
+        strategy: Option<Strategy>,
+    ) -> Result<Self, EngineError> {
+        let bound = plan.bind_with_strategy(m, strategy)?;
         Ok(Self {
             t: plan.transducer(),
             m,
@@ -86,9 +109,15 @@ impl<'a> Evaluation<'a> {
     }
 
     /// EXPLAIN-style introspection: selected Table 2 route, machine shape,
-    /// precompile cost, and plan-cache traffic so far.
+    /// precompile cost, plan-cache traffic so far, and this bind's
+    /// execution strategy.
     pub fn explain(&self) -> PlanExplain {
-        self.bound.plan().explain()
+        self.bound.explain()
+    }
+
+    /// The execution strategy this evaluation's bind runs under.
+    pub fn strategy(&self) -> Strategy {
+        self.bound.strategy()
     }
 
     /// The Table 2 cost class of exact confidence for this machine.

@@ -44,6 +44,7 @@ pub mod generate;
 pub mod kernelize;
 pub mod montecarlo;
 pub mod plan;
+pub mod scan;
 pub mod streaming;
 pub mod textio;
 pub mod transducer;
@@ -65,9 +66,10 @@ pub use error::EngineError;
 pub use evaluate::{ConfidenceCost, Evaluation, ScoredAnswer};
 pub use evidence::{enumerate_evidences, top_k_evidences, Evidence, Evidences};
 pub use plan::{
-    prepare, BoundQuery, BoundedCache, PlanExplain, PlanKind, PreparedEventQuery, PreparedQuery,
-    SourceBoundQuery,
+    choose_strategy, prepare, BoundQuery, BoundedCache, PlanExplain, PlanKind, PreparedEventQuery,
+    PreparedQuery, SourceBoundQuery, Strategy,
 };
+pub use scan::prefix_acceptance_probabilities_scan;
 pub use streaming::EventMonitor;
 pub use transducer::{Transducer, TransducerBuilder};
 

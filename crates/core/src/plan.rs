@@ -36,11 +36,14 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use rand::Rng;
 use transmark_automata::{BitSet, Nfa, SymbolId};
-use transmark_kernel::{SharedSparseSteps, SharedStepGraph, StepGraph, Workspace};
+pub use transmark_kernel::Strategy;
+use transmark_kernel::{
+    DenseSteps, ExecSteps, SharedSparseSteps, SharedStepGraph, StepGraph, Workspace,
+};
 use transmark_markov::{MarkovSequence, StepSource};
 
 use crate::confidence::{self, check_inputs};
@@ -149,6 +152,67 @@ impl fmt::Display for PlanKind {
             PlanKind::General => write!(f, "general"),
             PlanKind::Sproj => write!(f, "sproj"),
             PlanKind::SprojIndexed => write!(f, "sproj-indexed"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution-strategy selection
+// ---------------------------------------------------------------------------
+
+/// Layer density at or above which the dense advance is selected: at half
+/// full, the dense loop touches at most 2× the CSR's entries but reads
+/// them straight out of the sequence's contiguous buffer (no indirection,
+/// no decode, SIMD multiply stage) — measured break-even sits below 0.5
+/// on every workload in `bench/`, so 0.5 is the conservative edge.
+const DENSE_DENSITY_THRESHOLD: f64 = 0.5;
+
+/// Total transition cells (`(n−1)·|Σ|²`) under which the bind is "tiny":
+/// CSR construction costs more than the whole evaluation, so the dense
+/// no-build path wins regardless of density.
+const TINY_QUERY_CELLS: usize = 4096;
+
+/// The planner's bind-time choice between the sparse CSR walk and the
+/// dense in-place advance for a materialized sequence, from the density
+/// tallied at sequence construction and the bind size. Never returns
+/// [`Strategy::Scan`] — the scan schedule applies only to prefix-series
+/// evaluation and is selected in [`PreparedEventQuery`].
+pub fn choose_strategy(m: &MarkovSequence) -> Strategy {
+    let k = m.n_symbols();
+    let cells = m.len().saturating_sub(1).saturating_mul(k * k);
+    if m.density() >= DENSE_DENSITY_THRESHOLD || cells <= TINY_QUERY_CELLS {
+        Strategy::Dense
+    } else {
+        Strategy::Sparse
+    }
+}
+
+/// Bumps the per-strategy planner counter and drops a profiler instant,
+/// so `--metrics` and traces show which inner loop ran.
+pub(crate) fn record_strategy(s: Strategy) {
+    match s {
+        Strategy::Sparse => transmark_obs::counter!("planner.strategy.sparse").inc(),
+        Strategy::Dense => transmark_obs::counter!("planner.strategy.dense").inc(),
+        Strategy::Scan => transmark_obs::counter!("planner.strategy.scan").inc(),
+    }
+    transmark_obs::profile::instant_detail("planner.strategy", s.label());
+}
+
+/// Runs `f` over the strategy-selected execution view of `m` — the shared
+/// entry point for the legacy free functions, which bind and evaluate in
+/// one call (the prepared path stores its choice in the [`BoundQuery`]).
+/// Under a dense choice no CSR is ever built.
+pub(crate) fn with_exec_steps<R>(m: &MarkovSequence, f: impl FnOnce(ExecSteps<'_>) -> R) -> R {
+    let chosen = choose_strategy(m);
+    record_strategy(chosen);
+    match chosen {
+        Strategy::Dense => {
+            let dense = m.dense_steps();
+            f(ExecSteps::Dense(&dense))
+        }
+        _ => {
+            let steps = m.sparse_steps();
+            f(ExecSteps::Sparse(&steps))
         }
     }
 }
@@ -450,6 +514,7 @@ impl PreparedQuery {
             cached_constraint_products: cp_len,
             cache_hits: og_hits + pg_hits + cp_hits,
             cache_misses: og_misses + pg_misses + cp_misses,
+            strategy: None,
         }
     }
 
@@ -461,13 +526,43 @@ impl PreparedQuery {
         self: &Arc<Self>,
         m: &'m MarkovSequence,
     ) -> Result<BoundQuery<'m>, EngineError> {
+        self.bind_with_strategy(m, None)
+    }
+
+    /// [`PreparedQuery::bind`] with the execution strategy forced (`None`
+    /// = planner choice via [`choose_strategy`]). Sparse and dense binds
+    /// produce bit-identical results; [`Strategy::Scan`] applies only to
+    /// prefix-series evaluation and is rejected here.
+    pub fn bind_with_strategy<'m>(
+        self: &Arc<Self>,
+        m: &'m MarkovSequence,
+        strategy: Option<Strategy>,
+    ) -> Result<BoundQuery<'m>, EngineError> {
         let _span = transmark_obs::span::enter("bind");
         let timer = transmark_obs::Timer::start();
         check_inputs(&self.t, m, None)?;
+        let chosen = match strategy {
+            None => choose_strategy(m),
+            Some(Strategy::Scan) => {
+                return Err(EngineError::UnsupportedStrategy {
+                    strategy: "scan",
+                    query: "bound transducer queries (scan schedules prefix-series evaluation)",
+                })
+            }
+            Some(s) => s,
+        };
+        record_strategy(chosen);
+        let steps = match chosen {
+            Strategy::Dense => BoundSteps::Dense {
+                dense: m.dense_steps(),
+                csr: OnceLock::new(),
+            },
+            _ => BoundSteps::Sparse(m.sparse_steps().into_shared()),
+        };
         let bound = BoundQuery {
             plan: Arc::clone(self),
             m,
-            steps: m.sparse_steps().into_shared(),
+            steps,
             ws_f: std::cell::RefCell::new(Workspace::new()),
             ws_b: std::cell::RefCell::new(Workspace::new()),
         };
@@ -514,14 +609,53 @@ const _: fn() = || {
     assert_send_sync::<PreparedQuery>();
 };
 
-/// One plan bound to one sequence: the data-side artifacts (CSR, layer
-/// workspaces) plus a handle on the shared machine side. Methods mirror
-/// the legacy free functions — same validation, same errors, bit-identical
-/// results — but reuse every precompiled artifact across calls.
+/// The bind's data-side step storage under its chosen execution strategy.
+/// A dense bind holds only a borrow of the sequence's contiguous buffer —
+/// no CSR is built unless an enumeration path, which shares `Arc`s of the
+/// CSR across iterator states, asks for one (then it is built once).
+enum BoundSteps<'m> {
+    /// The flattened CSR ([`Strategy::Sparse`]).
+    Sparse(SharedSparseSteps),
+    /// The in-place dense view ([`Strategy::Dense`]) with a lazily built
+    /// CSR for the `Arc`-consuming enumeration paths.
+    Dense {
+        dense: DenseSteps<'m>,
+        csr: OnceLock<SharedSparseSteps>,
+    },
+}
+
+impl BoundSteps<'_> {
+    fn strategy(&self) -> Strategy {
+        match self {
+            BoundSteps::Sparse(_) => Strategy::Sparse,
+            BoundSteps::Dense { .. } => Strategy::Dense,
+        }
+    }
+
+    fn exec(&self) -> ExecSteps<'_> {
+        match self {
+            BoundSteps::Sparse(s) => ExecSteps::Sparse(s),
+            BoundSteps::Dense { dense, .. } => ExecSteps::Dense(dense),
+        }
+    }
+
+    fn shared_csr(&self, m: &MarkovSequence) -> &SharedSparseSteps {
+        match self {
+            BoundSteps::Sparse(s) => s,
+            BoundSteps::Dense { csr, .. } => csr.get_or_init(|| m.sparse_steps().into_shared()),
+        }
+    }
+}
+
+/// One plan bound to one sequence: the data-side artifacts (strategy-
+/// chosen step storage, layer workspaces) plus a handle on the shared
+/// machine side. Methods mirror the legacy free functions — same
+/// validation, same errors, bit-identical results — but reuse every
+/// precompiled artifact across calls.
 pub struct BoundQuery<'m> {
     plan: Arc<PreparedQuery>,
     m: &'m MarkovSequence,
-    steps: SharedSparseSteps,
+    steps: BoundSteps<'m>,
     ws_f: std::cell::RefCell<Workspace<f64>>,
     ws_b: std::cell::RefCell<Workspace<bool>>,
 }
@@ -537,9 +671,22 @@ impl<'m> BoundQuery<'m> {
         self.m
     }
 
-    /// The bind's shared CSR (for facade iterators that outlive `&self`).
+    /// The execution strategy this bind runs its layer advances under.
+    pub fn strategy(&self) -> Strategy {
+        self.steps.strategy()
+    }
+
+    /// [`PreparedQuery::explain`] plus this bind's execution-strategy row.
+    pub fn explain(&self) -> PlanExplain {
+        let mut e = self.plan.explain();
+        e.strategy = Some(self.strategy());
+        e
+    }
+
+    /// The bind's shared CSR (for facade iterators that outlive `&self`),
+    /// built on first use under a dense bind.
     pub(crate) fn steps_shared(&self) -> &SharedSparseSteps {
-        &self.steps
+        self.steps.shared_csr(self.m)
     }
 
     /// `Pr(S →[A^ω]→ o)` along the plan's Table 2 route (bit-identical to
@@ -552,7 +699,7 @@ impl<'m> BoundQuery<'m> {
             PlanKind::DeterministicUniform { k } => {
                 confidence::confidence_deterministic_uniform_impl(
                     t,
-                    &self.steps,
+                    self.steps.exec(),
                     self.plan.state_graph(),
                     &mut self.ws_f.borrow_mut(),
                     o,
@@ -562,7 +709,7 @@ impl<'m> BoundQuery<'m> {
             }
             PlanKind::Deterministic => confidence::confidence_deterministic_impl(
                 t,
-                &self.steps,
+                self.steps.exec(),
                 &self.plan.output_graph(o),
                 &mut self.ws_f.borrow_mut(),
                 o.len(),
@@ -590,7 +737,7 @@ impl<'m> BoundQuery<'m> {
         check_inputs(t, self.m, Some(o))?;
         Ok(confidence::is_answer_impl(
             t,
-            &self.steps,
+            self.steps.exec(),
             &self.plan.output_graph(o),
             &mut self.ws_b.borrow_mut(),
             o.len(),
@@ -603,7 +750,7 @@ impl<'m> BoundQuery<'m> {
         let _exec = ExecGuard::enter(&self.plan);
         Ok(confidence::answer_exists_impl(
             &self.plan.t,
-            &self.steps,
+            self.steps.exec(),
             self.plan.state_graph(),
             &mut self.ws_b.borrow_mut(),
         ))
@@ -615,7 +762,7 @@ impl<'m> BoundQuery<'m> {
         let _exec = ExecGuard::enter(&self.plan);
         Ok(emax::top_by_emax_impl(
             &self.plan.t,
-            &self.steps,
+            self.steps.exec(),
             self.plan.state_graph(),
         ))
     }
@@ -627,7 +774,7 @@ impl<'m> BoundQuery<'m> {
         check_inputs(t, self.m, Some(o))?;
         Ok(emax::emax_of_output_impl(
             t,
-            &self.steps,
+            self.steps.exec(),
             &self.plan.output_graph(o),
             &mut self.ws_f.borrow_mut(),
             o.len(),
@@ -687,7 +834,7 @@ impl<'m> BoundQuery<'m> {
         Ok(enumerate_unranked_with(
             &self.plan.t,
             self.m,
-            Arc::clone(&self.steps),
+            Arc::clone(self.steps_shared()),
             Arc::clone(&self.plan),
         ))
     }
@@ -699,7 +846,7 @@ impl<'m> BoundQuery<'m> {
     pub fn ranked(&self) -> Result<EmaxEnumeration<'static>, EngineError> {
         Ok(enumerate_by_emax_planned(
             Arc::clone(&self.plan),
-            Arc::clone(&self.steps),
+            Arc::clone(self.steps_shared()),
         ))
     }
 
@@ -756,6 +903,19 @@ impl<S: StepSource> SourceBoundQuery<S> {
     /// Releases the source (e.g. to rewind it externally).
     pub fn into_source(self) -> S {
         self.src
+    }
+
+    /// Streamed binds always run sparse: each pulled layer is compacted
+    /// to CSR in place, never materialized whole.
+    pub fn strategy(&self) -> Strategy {
+        Strategy::Sparse
+    }
+
+    /// [`PreparedQuery::explain`] plus this bind's execution-strategy row.
+    pub fn explain(&self) -> PlanExplain {
+        let mut e = self.plan.explain();
+        e.strategy = Some(self.strategy());
+        e
     }
 
     /// `Pr(S →[A^ω]→ o)` along the plan's Table 2 route, streamed
@@ -907,11 +1067,17 @@ pub struct PlanExplain {
     pub cache_hits: u64,
     /// Total plan-cache misses (= compilations) so far.
     pub cache_misses: u64,
+    /// The execution strategy of the bind this explain came from —
+    /// `None` for an unbound plan (strategy is chosen per bind).
+    pub strategy: Option<Strategy>,
 }
 
 impl fmt::Display for PlanExplain {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "plan: {}  [{}]", self.kind, self.kind.table2_row())?;
+        if let Some(s) = self.strategy {
+            writeln!(f, "strategy: {s}")?;
+        }
         writeln!(
             f,
             "machine: {} states, {} input symbols, {} output symbols, {} emissions",
@@ -982,7 +1148,51 @@ impl PreparedEventQuery {
     /// The per-prefix probability series (bit-identical to
     /// [`crate::confidence::prefix_acceptance_probabilities`]).
     pub fn series(&self, m: &MarkovSequence) -> Result<Vec<f64>, EngineError> {
-        confidence::prefix_acceptance_probabilities(&self.nfa, m)
+        self.series_with(m, 1, None)
+    }
+
+    /// [`PreparedEventQuery::series`] with an execution strategy and a
+    /// worker budget.
+    ///
+    /// * `None` — planner choice: the parallel-prefix scan when the
+    ///   sequence is long, `n_threads ≥ 2`, and the query's lifted state
+    ///   space is small enough for composition to pay off; otherwise the
+    ///   sequential fold (bit-identical to [`PreparedEventQuery::series`]).
+    /// * `Some(Strategy::Sparse)` — force the sequential fold.
+    /// * `Some(Strategy::Scan)` — force the scan
+    ///   ([`crate::scan::prefix_acceptance_probabilities_scan`]); results
+    ///   agree with the fold within a relative `1e-12`, not bitwise.
+    /// * `Some(Strategy::Dense)` — rejected: dense kernels apply to bound
+    ///   transducer queries, not series evaluation.
+    pub fn series_with(
+        &self,
+        m: &MarkovSequence,
+        n_threads: usize,
+        strategy: Option<Strategy>,
+    ) -> Result<Vec<f64>, EngineError> {
+        match strategy {
+            Some(Strategy::Dense) => Err(EngineError::UnsupportedStrategy {
+                strategy: "dense",
+                query: "prefix-series evaluation (dense applies to bound transducer queries)",
+            }),
+            Some(Strategy::Sparse) => {
+                record_strategy(Strategy::Sparse);
+                confidence::prefix_acceptance_probabilities(&self.nfa, m)
+            }
+            Some(Strategy::Scan) => {
+                record_strategy(Strategy::Scan);
+                crate::scan::prefix_acceptance_probabilities_scan(&self.nfa, m, n_threads)
+            }
+            None => {
+                confidence::check_nfa_alphabet(&self.nfa, m.n_symbols())?;
+                if let Some(series) = crate::scan::try_auto_scan(&self.nfa, m, n_threads) {
+                    record_strategy(Strategy::Scan);
+                    return Ok(series);
+                }
+                record_strategy(Strategy::Sparse);
+                confidence::prefix_acceptance_probabilities(&self.nfa, m)
+            }
+        }
     }
 
     /// Starts a fresh streaming monitor over this query.

@@ -11,6 +11,28 @@
 //! Every driver is generic over [`Semiring`] and monomorphizes fully at
 //! each call site: no dynamic dispatch, no branching on semiring identity
 //! inside the loops.
+//!
+//! # Execution strategies and numerics
+//!
+//! The sequential drivers here and the dense drivers in [`crate::dense`]
+//! are **bit-identical** for all three semirings: a dense row visits
+//! targets in the same ascending order the CSR stores them, skips exactly
+//! the `p > 0` entries the CSR builder kept, and each lane product is the
+//! same single IEEE-754 multiply as the scalar path.
+//!
+//! The parallel-prefix **scan** strategy (the engine crate's prefix-series
+//! evaluator) is the one sanctioned exception to bit-identity. It
+//! composes per-step transfer operators associatively, which reorders the
+//! sum-product accumulation relative to the sequential fold — both
+//! because chunk boundaries split the fold and because the scan assigns
+//! determinized-subset ids by breadth-first discovery instead of the
+//! fold's data-dependent interning order. Reordering a correctly-rounded
+//! `f64` sum perturbs results by at most a few ULPs per term; the scan
+//! evaluator therefore asserts agreement with the sequential fold to a
+//! **relative tolerance of 1e-12** (orders of magnitude above observed
+//! drift, orders below any decision threshold). For a fixed input and
+//! worker count the scan result is itself deterministic — chunk shapes
+//! are a pure function of `(n, threads)`, never of scheduling.
 
 use crate::semiring::Semiring;
 use crate::step_graph::StepGraph;

@@ -26,6 +26,12 @@
 //!   invocations instead of reallocated;
 //! * the [`dp`] drivers — `advance`, `advance_filtered`,
 //!   `advance_tracked` (Viterbi back-pointers), `advance_string`;
+//! * the [`exec`] strategy layer — [`Strategy`] names how a bound
+//!   query's layers advance (sparse CSR, blocked dense, parallel-prefix
+//!   scan) and [`ExecSteps`] dispatches the drivers over either bound
+//!   storage; [`DenseSteps`] in [`dense`] is the no-CSR storage with the
+//!   SIMD multiply stage (AVX2 with a runtime-chosen scalar fallback —
+//!   see [`exec::simd_enabled`] / `TRANSMARK_FORCE_SCALAR`);
 //! * [`SubsetLayer`] — sorted-iteration `HashMap` layers for the
 //!   dynamic-state (subset construction) passes;
 //! * [`Neumaier`] — compensated summation for final reductions.
@@ -52,7 +58,9 @@
 //! The brute-force oracles and golden Table 1 assertions in the dependent
 //! crates pin this.
 
+pub mod dense;
 pub mod dp;
+pub mod exec;
 pub mod numeric;
 pub mod semiring;
 pub mod step_graph;
@@ -60,7 +68,11 @@ pub mod steps;
 pub mod subset;
 pub mod workspace;
 
+pub use dense::{
+    advance_dense, advance_dense_filtered, advance_dense_tracked, DenseLayer, DenseSteps,
+};
 pub use dp::{advance, advance_filtered, advance_string, advance_tracked, count_layers, BackEdge};
+pub use exec::{force_scalar, simd_enabled, ExecSteps, Strategy};
 pub use numeric::Neumaier;
 pub use semiring::{Bool, MaxLog, Prob, Semiring};
 pub use step_graph::{MachineEdge, SharedStepGraph, StepGraph, StepGraphBuilder};

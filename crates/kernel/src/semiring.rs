@@ -41,6 +41,25 @@ pub trait Semiring {
 
     /// Injects a transition probability into the semiring.
     fn from_prob(p: f64) -> Self::Elem;
+
+    /// Whether the dense drivers should stage a whole row of
+    /// `mul(v, from_prob(p))` products through [`Semiring::mul_row`]
+    /// before scattering along machine edges. Only [`Prob`] opts in —
+    /// its products form a contiguous `f64` lane multiply; `ln` and
+    /// `bool` gain nothing from staging.
+    const STAGED_ROW: bool = false;
+
+    /// Computes `out[i] = mul(v, from_prob(probs[i]))` for a whole dense
+    /// row. The default is the scalar loop; [`Prob`] overrides it with
+    /// the SIMD lane multiply in [`crate::dense`]. Either way each lane
+    /// is one IEEE-754 operation, so results are bit-identical to the
+    /// per-entry path.
+    #[inline]
+    fn mul_row(v: Self::Elem, probs: &[f64], out: &mut [Self::Elem]) {
+        for (o, &p) in out.iter_mut().zip(probs.iter()) {
+            *o = Self::mul(v, Self::from_prob(p));
+        }
+    }
 }
 
 /// Sum-product over raw `f64` probabilities.
@@ -77,6 +96,13 @@ impl Semiring for Prob {
     #[inline(always)]
     fn from_prob(p: f64) -> f64 {
         p
+    }
+
+    const STAGED_ROW: bool = true;
+
+    #[inline]
+    fn mul_row(v: f64, probs: &[f64], out: &mut [f64]) {
+        crate::dense::mul_row_f64(v, probs, out);
     }
 }
 

@@ -210,6 +210,7 @@ impl<R: Read> TmsbReader<R> {
         reader.read_exact(&mut names)?;
         let h = parse_header(&header, &names)?;
 
+        let stride = layer_stride(h.k)?;
         let mut raw = vec![0u8; 8 * h.k];
         reader.read_exact(&mut raw)?;
         let mut initial = Vec::with_capacity(h.k);
@@ -224,10 +225,19 @@ impl<R: Read> TmsbReader<R> {
             initial,
             pos: 0,
             layers_start,
-            raw: vec![0u8; 8 * h.k * h.k],
+            raw: vec![0u8; stride],
             buf: Vec::with_capacity(h.k * h.k),
         })
     }
+}
+
+/// `8·|Σ|²`, the byte span of one layer, with the multiplication checked
+/// so a hostile header cannot wrap the stride into a short buffer (and,
+/// downstream, a short `&[f64]` layer slice).
+fn layer_stride(k: usize) -> Result<usize, SourceError> {
+    k.checked_mul(k)
+        .and_then(|kk| kk.checked_mul(8))
+        .ok_or_else(|| ferr(format!("layer stride 8·{k}² overflows")))
 }
 
 impl<R: Read> StepSource for TmsbReader<R> {
@@ -253,13 +263,31 @@ impl<R: Read> StepSource for TmsbReader<R> {
         }
         let step = self.pos;
         let t = transmark_obs::Timer::start();
-        self.reader.read_exact(&mut self.raw).map_err(|e| {
-            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        // A manual fill loop instead of `read_exact`: on EOF it knows how
+        // many bytes arrived, which distinguishes a payload that ends at a
+        // layer boundary (clean truncation) from one that ends mid-layer —
+        // the header's |Σ| disagrees with the actual stride, reported as
+        // the typed [`SourceError::Stride`] rather than a short decode.
+        let mut filled = 0;
+        while filled < self.raw.len() {
+            match self.reader.read(&mut self.raw[filled..]) {
+                Ok(0) => break,
+                Ok(nread) => filled += nread,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(SourceError::Io(e)),
+            }
+        }
+        if filled < self.raw.len() {
+            return Err(if filled == 0 {
                 ferr(format!("layer {step} truncated"))
             } else {
-                SourceError::Io(e)
-            }
-        })?;
+                SourceError::Stride {
+                    step,
+                    expected: self.raw.len(),
+                    actual: filled,
+                }
+            });
+        }
         decode_f64s(&self.raw, &mut self.buf);
         validate_matrix(&self.buf, self.alphabet.len(), "transition", step)?;
         self.pos += 1;
@@ -331,8 +359,27 @@ impl<'a> TmsbSlice<'a> {
 
         let initial_start = HEADER_LEN + names_len;
         let layers_start = initial_start + 8 * h.k;
-        let expected_len = layers_start + 8 * h.k * h.k * (h.n - 1);
+        let stride = layer_stride(h.k)?;
+        let layers_len = stride
+            .checked_mul(h.n - 1)
+            .and_then(|l| l.checked_add(layers_start))
+            .ok_or_else(|| ferr(format!("layer payload for n = {} overflows", h.n)))?
+            - layers_start;
+        let expected_len = layers_start + layers_len;
         if data.len() != expected_len {
+            // A mismatch that is a whole number of layers is a clean
+            // truncation (or surplus); anything else means the payload's
+            // stride disagrees with the header's |Σ| — typed so callers
+            // can tell corruption from a short copy, and so no short
+            // `&[f64]` layer view is ever produced.
+            let actual_layers = data.len().saturating_sub(layers_start);
+            if !actual_layers.is_multiple_of(stride) {
+                return Err(SourceError::Stride {
+                    step: actual_layers / stride,
+                    expected: stride,
+                    actual: actual_layers % stride,
+                });
+            }
             return Err(ferr(format!(
                 "payload is {} bytes, expected {expected_len}",
                 data.len()
@@ -515,10 +562,35 @@ mod tests {
         bad[0] = b'X';
         assert!(matches!(TmsbSlice::new(&bad), Err(SourceError::Format(_))));
 
-        // Truncated payload.
+        // Payload cut at a layer boundary: clean truncation.
+        let stride = 8 * m.n_symbols() * m.n_symbols();
         assert!(matches!(
-            TmsbSlice::new(&bytes[..bytes.len() - 3]),
+            TmsbSlice::new(&bytes[..bytes.len() - stride]),
             Err(SourceError::Format(_))
+        ));
+
+        // Payload cut mid-layer: the stride no longer matches the
+        // header's |Σ| — typed stride error, never a short layer slice.
+        match TmsbSlice::new(&bytes[..bytes.len() - 3]) {
+            Err(SourceError::Stride {
+                step,
+                expected,
+                actual,
+            }) => {
+                assert_eq!(step, m.len() - 2);
+                assert_eq!(expected, stride);
+                assert_eq!(actual, stride - 3);
+            }
+            Err(other) => panic!("expected stride error, got {other:?}"),
+            Ok(_) => panic!("mid-layer cut accepted"),
+        }
+
+        // Surplus bytes that are not whole layers: also a stride error.
+        let mut padded = bytes.clone();
+        padded.extend_from_slice(&[0u8; 11]);
+        assert!(matches!(
+            TmsbSlice::new(&padded),
+            Err(SourceError::Stride { .. })
         ));
 
         // A layer row that no longer sums to 1.
@@ -541,26 +613,47 @@ mod tests {
         assert!(saw_model_error || m.len() == 1);
     }
 
+    /// Drains a reader until it errors (panics if it finishes cleanly).
+    fn drain_until_error<R: Read>(mut r: TmsbReader<R>) -> SourceError {
+        loop {
+            match r.next_step() {
+                Ok(Some(_)) => continue,
+                Ok(None) => panic!("malformed input streamed cleanly"),
+                Err(e) => return e,
+            }
+        }
+    }
+
     #[test]
     fn truncated_reader_errors_cleanly() {
         let m = chains().pop().expect("nonempty");
         let bytes = to_tmsb_bytes(&m);
-        let cut = &bytes[..bytes.len().saturating_sub(5)];
+        let stride = 8 * m.n_symbols() * m.n_symbols();
+
+        // Missing whole layers: clean truncation at a layer boundary.
+        let cut = &bytes[..bytes.len() - stride];
         match TmsbReader::new(std::io::Cursor::new(cut)) {
-            Ok(mut r) => {
-                let mut err = None;
-                loop {
-                    match r.next_step() {
-                        Ok(Some(_)) => continue,
-                        Ok(None) => break,
-                        Err(e) => {
-                            err = Some(e);
-                            break;
-                        }
-                    }
+            Ok(r) => assert!(matches!(drain_until_error(r), SourceError::Format(_))),
+            Err(e) => assert!(matches!(e, SourceError::Format(_) | SourceError::Io(_))),
+        }
+
+        // A partial final layer: the stream's stride disagrees with the
+        // header's |Σ| — the reader reports how many bytes it did see
+        // instead of decoding a short layer.
+        let cut = &bytes[..bytes.len() - 5];
+        match TmsbReader::new(std::io::Cursor::new(cut)) {
+            Ok(r) => match drain_until_error(r) {
+                SourceError::Stride {
+                    step,
+                    expected,
+                    actual,
+                } => {
+                    assert_eq!(step, m.len() - 2);
+                    assert_eq!(expected, stride);
+                    assert_eq!(actual, stride - 5);
                 }
-                assert!(matches!(err, Some(SourceError::Format(_))));
-            }
+                other => panic!("expected stride error, got {other:?}"),
+            },
             Err(e) => assert!(matches!(e, SourceError::Format(_) | SourceError::Io(_))),
         }
     }

@@ -29,6 +29,16 @@ pub struct MarkovSequence {
     /// contiguous buffer with stride `|Σ|²` (SoA layout). Step `i`'s
     /// matrix is `transitions[i·|Σ|² .. (i+1)·|Σ|²]`.
     transitions: Vec<f64>,
+    /// Count of strictly positive entries in `transitions`, tallied once
+    /// at construction (piggybacking the validation pass); the planner's
+    /// execution-strategy choice reads the derived [`Self::density`]
+    /// instead of rescanning `n·|Σ|²` floats per bind.
+    nnz: usize,
+}
+
+/// Strictly positive transition entries in a flat layer buffer.
+fn count_nnz(transitions: &[f64]) -> usize {
+    transitions.iter().filter(|&&p| p > 0.0).count()
 }
 
 impl fmt::Debug for MarkovSequence {
@@ -118,6 +128,34 @@ impl MarkovSequence {
     #[inline]
     pub fn transitions_flat(&self) -> &[f64] {
         &self.transitions
+    }
+
+    /// Count of strictly positive transition entries across all `n−1`
+    /// matrices, tallied once at construction.
+    #[inline]
+    pub fn transition_nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Fraction of transition entries that are strictly positive, in
+    /// `[0, 1]`. The planner's execution-strategy heuristic compares this
+    /// against its dense threshold at bind time. A length-1 sequence has
+    /// no transitions and reports `1.0` (trivially dense).
+    #[inline]
+    pub fn density(&self) -> f64 {
+        if self.transitions.is_empty() {
+            1.0
+        } else {
+            self.nnz as f64 / self.transitions.len() as f64
+        }
+    }
+
+    /// The dense execution view over this sequence's contiguous layer
+    /// buffer: no CSR build, just the nonzero initial entries plus a
+    /// borrow of [`MarkovSequence::transitions_flat`]. O(|Σ|) to
+    /// construct — the whole point of the dense strategy for tiny binds.
+    pub fn dense_steps(&self) -> transmark_kernel::DenseSteps<'_> {
+        transmark_kernel::DenseSteps::new(self.alphabet.len(), &self.initial, &self.transitions)
     }
 
     /// The nonzero entries of the row `μ_{i+1→}(from, ·)`, in ascending
@@ -329,11 +367,13 @@ impl MarkovSequence {
         let mut transitions = self.transitions.clone();
         transitions.extend_from_slice(glue);
         transitions.extend_from_slice(&other.transitions);
+        let nnz = self.nnz + count_nnz(glue) + other.nnz;
         Ok(MarkovSequence {
             alphabet: Arc::clone(&self.alphabet),
             n: self.n + other.n,
             initial: self.initial.clone(),
             transitions,
+            nnz,
         })
     }
 }
@@ -538,11 +578,13 @@ impl MarkovSequenceBuilder {
         for (i, m) in self.transitions.chunks_exact(k * k).enumerate() {
             validate_matrix(m, k, "transition", i)?;
         }
+        let nnz = count_nnz(&self.transitions);
         Ok(MarkovSequence {
             alphabet: self.alphabet,
             n: self.n,
             initial: self.initial,
             transitions: self.transitions,
+            nnz,
         })
     }
 }
@@ -564,11 +606,13 @@ pub(crate) fn from_validated_parts(
         "flat buffer must be whole matrices"
     );
     let n = transitions.len() / kk + 1;
+    let nnz = count_nnz(&transitions);
     MarkovSequence {
         alphabet,
         n,
         initial,
         transitions,
+        nnz,
     }
 }
 

@@ -58,6 +58,17 @@ pub enum SourceError {
     },
     /// Malformed binary layout (bad magic, truncation, size mismatch).
     Format(String),
+    /// A layer's byte run disagrees with the fixed `8·|Σ|²` stride the
+    /// header implies — a partial layer mid-payload rather than a clean
+    /// truncation at a layer boundary (which stays [`SourceError::Format`]).
+    Stride {
+        /// 0-based step at which the mismatch surfaced.
+        step: usize,
+        /// Bytes one layer must span (`8·|Σ|²`).
+        expected: usize,
+        /// Bytes actually present for that layer.
+        actual: usize,
+    },
     /// The data parsed but is not a valid Markov sequence.
     Model(MarkovError),
 }
@@ -68,6 +79,15 @@ impl fmt::Display for SourceError {
             SourceError::Io(e) => write!(f, "i/o error: {e}"),
             SourceError::Parse { line, message } => write!(f, "line {line}: {message}"),
             SourceError::Format(m) => write!(f, "invalid tmsb data: {m}"),
+            SourceError::Stride {
+                step,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "invalid tmsb data: layer {step} violates the fixed stride: \
+                 expected {expected} bytes, found {actual}"
+            ),
             SourceError::Model(e) => write!(f, "{e}"),
         }
     }

@@ -53,7 +53,13 @@ fn main() {
     let (o, _) = m.most_likely_string();
 
     let plan = transmark_core::prepare(&t);
-    let bound = plan.bind(&m).expect("alphabets match");
+    // Pin the sparse CSR walk: this guard prices the *instrumentation*,
+    // so the underlying workload must stay fixed even when the planner
+    // learns a faster strategy for it (a faster denominator would turn
+    // the same absolute counter cost into a budget-busting ratio).
+    let bound = plan
+        .bind_with_strategy(&m, Some(transmark_core::plan::Strategy::Sparse))
+        .expect("alphabets match");
     // Warm-up: fault in caches and pages before timing.
     for _ in 0..10 {
         black_box(bound.confidence(black_box(&o)).expect("valid output"));

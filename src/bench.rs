@@ -48,6 +48,9 @@ pub struct CaseResult {
     pub min_ns: u64,
     /// Median per-execution nanoseconds across runs.
     pub median_ns: u64,
+    /// The execution strategy the case ran under (`sparse`, `dense`,
+    /// `scan`); `None` in snapshots written before strategies existed.
+    pub strategy: Option<String>,
 }
 
 /// Times `f` as `runs` measurements of `iters` calls each (after one
@@ -71,7 +74,7 @@ fn time_case(runs: usize, iters: usize, mut f: impl FnMut()) -> (u64, u64) {
 /// invocations measure the same computation.
 pub fn run_suite(runs: usize, iters: usize) -> Result<Vec<CaseResult>, CliError> {
     let mut results = Vec::new();
-    let mut push = |name: &str, seed: u64, (min_ns, median_ns): (u64, u64)| {
+    let mut push = |name: &str, seed: u64, strategy: &str, (min_ns, median_ns): (u64, u64)| {
         results.push(CaseResult {
             name: name.to_string(),
             seed,
@@ -79,6 +82,7 @@ pub fn run_suite(runs: usize, iters: usize) -> Result<Vec<CaseResult>, CliError>
             iters: iters as u64,
             min_ns,
             median_ns,
+            strategy: (!strategy.is_empty()).then(|| strategy.to_string()),
         });
     };
 
@@ -98,6 +102,7 @@ pub fn run_suite(runs: usize, iters: usize) -> Result<Vec<CaseResult>, CliError>
     push(
         "confidence/hospital",
         0,
+        bound.strategy().label(),
         time_case(runs, iters, || {
             std::hint::black_box(bound.confidence(std::hint::black_box(&o)).expect("valid"));
         }),
@@ -107,6 +112,7 @@ pub fn run_suite(runs: usize, iters: usize) -> Result<Vec<CaseResult>, CliError>
     push(
         "enumerate/hospital",
         0,
+        bound.strategy().label(),
         time_case(runs, iters, || {
             std::hint::black_box(bound.top_k_scored(4).expect("valid"));
         }),
@@ -118,6 +124,7 @@ pub fn run_suite(runs: usize, iters: usize) -> Result<Vec<CaseResult>, CliError>
     push(
         "streaming/hospital",
         0,
+        "sparse",
         time_case(runs, iters, || {
             let src = transmark_markov::binio::TmsbSlice::new(&tmsb).expect("valid tmsb");
             let mut bound = plan.bind_source(src).expect("alphabets match");
@@ -144,6 +151,7 @@ pub fn run_suite(runs: usize, iters: usize) -> Result<Vec<CaseResult>, CliError>
     push(
         "confidence/rfid",
         RFID_SEED,
+        rfid_bound.strategy().label(),
         time_case(runs, iters, || {
             std::hint::black_box(
                 rfid_bound
@@ -163,10 +171,115 @@ pub fn run_suite(runs: usize, iters: usize) -> Result<Vec<CaseResult>, CliError>
     push(
         "fleet/rfid",
         RFID_SEED,
+        transmark_core::choose_strategy(&posterior).label(),
         time_case(runs, iters.div_ceil(4), || {
             std::hint::black_box(
                 store
                     .confidence_all_parallel(&tracker, &rfid_o, 2)
+                    .expect("valid"),
+            );
+        }),
+    );
+
+    // sweep/*: dense vs sparse one-shot evaluations (bind + confidence,
+    // what one `tmk confidence` invocation does) on fully dense layers
+    // across lengths 2^10..2^17 — an identity (Mealy) tracker over a
+    // 16-symbol zero-free chain. Both strategies run the same
+    // deterministic-uniform route; the bind is inside the timed region
+    // because that is where the strategies differ structurally: sparse
+    // flattens an O(n·|Σ|²) CSR, dense wraps the layer buffer in O(|Σ|).
+    const SWEEP_SEED: u64 = 7;
+    const SWEEP_SYMS: usize = 16;
+    for exp in [10u32, 11, 12, 13, 14, 15, 16, 17] {
+        let len = 1usize << exp;
+        let mut rng = StdRng::seed_from_u64(SWEEP_SEED);
+        let m = transmark_markov::generate::random_markov_sequence(
+            &transmark_markov::generate::RandomChainSpec {
+                len,
+                n_symbols: SWEEP_SYMS,
+                zero_prob: 0.0,
+            },
+            &mut rng,
+        );
+        let mut b = transmark_core::Transducer::builder(m.alphabet().clone(), m.alphabet().clone());
+        let q = b.add_state(true);
+        for s in 0..SWEEP_SYMS as u32 {
+            let sym = transmark_core::SymbolId(s);
+            b.add_transition(q, sym, q, &[sym]).map_err(run_err)?;
+        }
+        let ident = b.build().map_err(run_err)?;
+        let sweep_plan = transmark_core::prepare(&ident);
+        let (o, _) = m.most_likely_string();
+        // Longer sequences get fewer executions per measurement so the
+        // sweep stays a micro-suite, not a soak test.
+        let sweep_iters = iters.div_ceil((len >> 13).max(1));
+        for strategy in [
+            transmark_core::Strategy::Sparse,
+            transmark_core::Strategy::Dense,
+        ] {
+            push(
+                &format!("sweep_{}/2e{exp}", strategy.label()),
+                SWEEP_SEED,
+                strategy.label(),
+                time_case(runs, sweep_iters, || {
+                    let bound = sweep_plan
+                        .bind_with_strategy(&m, Some(strategy))
+                        .expect("valid bind");
+                    std::hint::black_box(
+                        bound.confidence(std::hint::black_box(&o)).expect("valid"),
+                    );
+                }),
+            );
+        }
+    }
+
+    // series/*: the prefix-acceptance series at length 2^17 — the
+    // sequential subset fold vs the parallel-prefix scan on 4 workers,
+    // over a 3-state pattern query ("contains s1 s2") with real subset
+    // growth.
+    const SERIES_SEED: u64 = 11;
+    let mut rng = StdRng::seed_from_u64(SERIES_SEED);
+    let long = transmark_markov::generate::random_markov_sequence(
+        &transmark_markov::generate::RandomChainSpec {
+            len: 1 << 17,
+            n_symbols: 2,
+            zero_prob: 0.0,
+        },
+        &mut rng,
+    );
+    let mut nfa = transmark_core::Nfa::new(2);
+    let q0 = nfa.add_state(false);
+    let q1 = nfa.add_state(false);
+    let q2 = nfa.add_state(true);
+    let (s0, s1) = (transmark_core::SymbolId(0), transmark_core::SymbolId(1));
+    nfa.add_transition(q0, s0, q0);
+    nfa.add_transition(q0, s1, q0);
+    nfa.add_transition(q0, s1, q1);
+    nfa.add_transition(q1, s0, q2);
+    nfa.add_transition(q2, s0, q2);
+    nfa.add_transition(q2, s1, q2);
+    let event = transmark_core::PreparedEventQuery::new(nfa);
+    let series_iters = iters.div_ceil(8);
+    push(
+        "series_fold/2e17",
+        SERIES_SEED,
+        "sparse",
+        time_case(runs, series_iters, || {
+            std::hint::black_box(
+                event
+                    .series_with(&long, 1, Some(transmark_core::Strategy::Sparse))
+                    .expect("valid"),
+            );
+        }),
+    );
+    push(
+        "series_scan4/2e17",
+        SERIES_SEED,
+        "scan",
+        time_case(runs, series_iters, || {
+            std::hint::black_box(
+                event
+                    .series_with(&long, 4, Some(transmark_core::Strategy::Scan))
                     .expect("valid"),
             );
         }),
@@ -185,6 +298,9 @@ pub fn to_json(results: &[CaseResult]) -> String {
         case.insert("iters".to_string(), Value::Int(r.iters));
         case.insert("min_ns".to_string(), Value::Int(r.min_ns));
         case.insert("median_ns".to_string(), Value::Int(r.median_ns));
+        if let Some(s) = &r.strategy {
+            case.insert("strategy".to_string(), Value::Str(s.clone()));
+        }
         cases.insert(r.name.clone(), Value::Object(case));
     }
     let mut doc = std::collections::BTreeMap::new();
@@ -222,6 +338,11 @@ pub fn from_json(text: &str) -> Result<Vec<CaseResult>, String> {
                 .and_then(Value::as_int)
                 .ok_or_else(|| format!("case {name} is missing integer {key}"))
         };
+        let strategy = match case.get("strategy") {
+            Some(Value::Str(s)) => Some(s.clone()),
+            // Pre-strategy snapshots simply lack the key.
+            _ => None,
+        };
         out.push(CaseResult {
             name: name.clone(),
             seed: field("seed")?,
@@ -229,6 +350,7 @@ pub fn from_json(text: &str) -> Result<Vec<CaseResult>, String> {
             iters: field("iters")?,
             min_ns: field("min_ns")?,
             median_ns: field("median_ns")?,
+            strategy,
         });
     }
     Ok(out)
@@ -239,19 +361,21 @@ pub fn to_text(results: &[CaseResult]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<24} {:>12} {:>12}   (seed, {} runs x iters)",
+        "{:<24} {:>12} {:>12}  {:<8} (seed, {} runs x iters)",
         "case",
         "min",
         "median",
+        "strategy",
         results.first().map_or(0, |r| r.runs)
     );
     for r in results {
         let _ = writeln!(
             out,
-            "{:<24} {:>12} {:>12}   (seed {}, x{})",
+            "{:<24} {:>12} {:>12}  {:<8} (seed {}, x{})",
             r.name,
             transmark_obs::fmt_ns(r.min_ns),
             transmark_obs::fmt_ns(r.median_ns),
+            r.strategy.as_deref().unwrap_or("-"),
             r.seed,
             r.iters,
         );
@@ -286,9 +410,16 @@ pub fn diff_report(base: &[CaseResult], new: &[CaseResult]) -> (String, bool) {
                 } else {
                     "ok"
                 };
+                // Flag strategy flips between snapshots: a time delta is
+                // only comparable when both sides ran the same kernel.
+                let strat = match (&b.strategy, &r.strategy) {
+                    (Some(old), Some(new)) if old != new => format!("  [{old} -> {new}]"),
+                    (_, Some(new)) => format!("  [{new}]"),
+                    _ => String::new(),
+                };
                 let _ = writeln!(
                     out,
-                    "{:<24} {:>12} -> {:>12}  {:+7.1}%  {verdict}",
+                    "{:<24} {:>12} -> {:>12}  {:+7.1}%  {verdict}{strat}",
                     r.name,
                     transmark_obs::fmt_ns(b.min_ns),
                     transmark_obs::fmt_ns(r.min_ns),
@@ -390,6 +521,7 @@ mod tests {
             iters: 10,
             min_ns,
             median_ns: min_ns + 1,
+            strategy: Some("sparse".to_string()),
         }
     }
 
@@ -406,6 +538,16 @@ mod tests {
         assert_eq!(hospital.min_ns, 1200);
         assert_eq!(hospital.median_ns, 1201);
         assert_eq!(hospital.seed, 42);
+        assert_eq!(hospital.strategy.as_deref(), Some("sparse"));
+    }
+
+    #[test]
+    fn from_json_tolerates_missing_strategy() {
+        // Snapshots written before the strategy layer have no key.
+        let text = r#"{"suite":"tmk-bench","schema":1,"cases":{"a":{"seed":1,"runs":5,"iters":10,"min_ns":100,"median_ns":110}}}"#;
+        let back = from_json(text).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].strategy, None);
     }
 
     #[test]

@@ -56,6 +56,7 @@ use std::path::Path;
 use transmark_core::evaluate::Evaluation;
 use transmark_core::evidence::top_k_evidences;
 use transmark_core::transducer::Transducer;
+use transmark_core::Strategy;
 use transmark_markov::MarkovSequence;
 use transmark_obs::{fmt_ns, Snapshot};
 use transmark_sproj::SprojEvaluation;
@@ -155,7 +156,12 @@ COMMON OPTIONS (accepted by every command):
   --explain            print the compiled query plan — its Table 2 route, machine
                        shape, and precompile cost — before the results
   --threads N          (batch) evaluate the fleet on N OS threads; 0 = one per
-                       available core (default 1)
+                       available core (default 1); also the worker count of
+                       the scan strategy (stream)
+  --strategy S         force the execution strategy: sparse (CSR layer walk),
+                       dense (blocked matrix rows, SIMD when available), or
+                       scan (parallel-prefix over the series; stream only).
+                       Default: planner choice from layer density and length
   --metrics[=json]     append a metrics report for this invocation: plan kind,
                        cache hit rates, per-phase timings, kernel/data-plane
                        counters, and fleet statistics; =json emits the raw
@@ -220,6 +226,9 @@ pub enum MetricsFormat {
 pub struct CommonOpts {
     /// `--threads N` — fleet parallelism (`batch`); 0 = one per core.
     pub threads: usize,
+    /// `--strategy sparse|dense|scan` — force the execution strategy
+    /// instead of the planner's density/length heuristic.
+    pub strategy: Option<Strategy>,
     /// `--explain` — print the compiled plan before the results.
     pub explain: bool,
     /// `--metrics[=json]` — append an observability report.
@@ -257,6 +266,9 @@ impl CommonOpts {
             .map(|v| parse_usize(&v, "--threads"))
             .transpose()?
             .unwrap_or(1);
+        let strategy = take_opt(args, "--strategy")?
+            .map(|v| v.parse::<Strategy>().map_err(usage_err))
+            .transpose()?;
         let explain = take_flag(args, "--explain");
         let metrics = if take_flag(args, "--metrics=json") {
             Some(MetricsFormat::Json)
@@ -274,6 +286,7 @@ impl CommonOpts {
         let flame = take_flag_opt(args, "--flame")?;
         Ok(CommonOpts {
             threads,
+            strategy,
             explain,
             metrics,
             profile,
@@ -373,6 +386,19 @@ fn metrics_report(s: &Snapshot) -> String {
         }
     }
 
+    // Execution strategies the planner picked (or was forced into) in
+    // this window.
+    let strategies: Vec<String> = ["sparse", "dense", "scan"]
+        .iter()
+        .filter_map(|name| {
+            let n = s.counter(&format!("planner.strategy.{name}"));
+            (n > 0).then(|| format!("{name} x{n}"))
+        })
+        .collect();
+    if !strategies.is_empty() {
+        let _ = writeln!(out, "strategies: {}", strategies.join(", "));
+    }
+
     for (label, hits_name, misses_name, evictions_name) in [
         (
             "planner cache",
@@ -402,11 +428,12 @@ fn metrics_report(s: &Snapshot) -> String {
 
     let layers = s.counter("kernel.advance.layers");
     let csr = s.counter("kernel.csr.builds");
-    if layers + csr > 0 {
+    let dense = s.counter("kernel.dense.binds");
+    if layers + csr + dense > 0 {
         let csr_ns = s.histogram("kernel.csr.build_ns").map_or(0, |h| h.sum);
         let _ = writeln!(
             out,
-            "kernel: {layers} layers advanced, {csr} CSR builds ({}), workspace {} reuse / {} realloc",
+            "kernel: {layers} layers advanced, {csr} CSR builds ({}), {dense} dense binds, workspace {} reuse / {} realloc",
             fmt_ns(csr_ns),
             s.counter("kernel.workspace.reuse"),
             s.counter("kernel.workspace.realloc"),
@@ -538,7 +565,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let [seq_path, query_path] = positional::<2>(args)?;
             let m = load_sequence(&seq_path)?;
             let t = load_transducer(&query_path)?;
-            let ev = Evaluation::new(&t, &m)?;
+            let ev = Evaluation::with_strategy(&t, &m, opts.strategy)?;
             if opts.explain {
                 let _ = writeln!(out, "{}", ev.explain());
             }
@@ -564,7 +591,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let [seq_path, query_path] = positional::<2>(args)?;
             let m = load_sequence(&seq_path)?;
             let t = load_transducer(&query_path)?;
-            let ev = Evaluation::new(&t, &m)?;
+            let ev = Evaluation::with_strategy(&t, &m, opts.strategy)?;
             if opts.explain {
                 let _ = writeln!(out, "{}", ev.explain());
             }
@@ -581,7 +608,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let m = load_sequence(&seq_path)?;
             let t = load_transducer(&query_path)?;
             let o = parse_output(&t, &args)?;
-            let ev = Evaluation::new(&t, &m)?;
+            let ev = Evaluation::with_strategy(&t, &m, opts.strategy)?;
             if opts.explain {
                 let _ = writeln!(out, "{}", ev.explain());
             }
@@ -610,6 +637,14 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 // Forward-only fleet: stream each file through the shared
                 // plan, one layer at a time — nothing is materialized.
                 Some(syms) => {
+                    if let Some(s) = opts.strategy {
+                        if s != Strategy::Sparse {
+                            return Err(run_err(format!(
+                                "--strategy {s} cannot run batch --confidence: streamed \
+                                 evaluation compacts each pulled layer (sparse only)"
+                            )));
+                        }
+                    }
                     let names: Vec<String> = syms
                         .split(',')
                         .filter(|s| !s.is_empty())
@@ -636,7 +671,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                         let m = transmark_markov::fsio::read_sequence_path(path).map_err(|e| {
                             transmark_store::StoreError::Io(format!("{}: {e}", path.display()))
                         })?;
-                        let ev = Evaluation::with_plan(&plan, &m)?;
+                        let ev = Evaluation::with_plan_strategy(&plan, &m, opts.strategy)?;
                         Ok(ev.top_k_scored(k)?)
                     })?;
                     for seq_path in &args {
@@ -669,11 +704,24 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let query_path = args.remove(0);
             let t = load_transducer(&query_path)?;
             // The running Boolean event query: Pr(S[1..t] ∈ L(A)) for the
-            // query's underlying input automaton, folded one layer at a
-            // time (memory independent of stream length).
+            // query's underlying input automaton. Default is the one-pass
+            // fold, one layer at a time (memory independent of stream
+            // length); `--strategy scan` materializes a file input and
+            // runs the parallel-prefix scan on `--threads` workers.
             let nfa = t.underlying_nfa();
-            let series = match args.first().map(String::as_str) {
-                Some(path) if path != "-" => {
+            let series = match (args.first().map(String::as_str), opts.strategy) {
+                (Some(path), Some(Strategy::Scan)) if path != "-" => {
+                    let m = load_sequence(path)?;
+                    let q = transmark_core::PreparedEventQuery::new(nfa);
+                    q.series_with(&m, opts.threads, Some(Strategy::Scan))?
+                }
+                (_, Some(s)) if s != Strategy::Sparse => {
+                    return Err(run_err(format!(
+                        "--strategy {s} cannot run stream from stdin: the scan needs a \
+                         materialized file input (and dense applies to transducer queries)"
+                    )));
+                }
+                (Some(path), _) if path != "-" => {
                     let mut src = transmark_markov::fsio::open_step_source(Path::new(path))
                         .map_err(|e| run_err(format!("{path}: {e}")))?;
                     transmark_core::prefix_acceptance_probabilities_source(&nfa, &mut src)?
