@@ -135,7 +135,14 @@ fn parse_header(header: &[u8; HEADER_LEN], names: &[u8]) -> Result<Header, Sourc
     }
     let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
     if version != VERSION {
-        return Err(ferr(format!("unsupported version {version}")));
+        // Typed, not a generic format error: a peer streaming a
+        // future-versioned file over the wire gets a negotiable
+        // "I speak up to VERSION" answer instead of a decode panic or
+        // garbage layers.
+        return Err(SourceError::Version {
+            found: version,
+            supported: VERSION,
+        });
     }
     let k = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes")) as usize;
     if k == 0 {
@@ -655,6 +662,120 @@ mod tests {
                 other => panic!("expected stride error, got {other:?}"),
             },
             Err(e) => assert!(matches!(e, SourceError::Format(_) | SourceError::Io(_))),
+        }
+    }
+
+    #[test]
+    fn future_version_is_a_typed_negotiable_error() {
+        let m = chains().pop().expect("nonempty");
+        let mut bytes = to_tmsb_bytes(&m);
+        // Stamp a future format version into the header.
+        bytes[4..8].copy_from_slice(&(VERSION + 1).to_le_bytes());
+        for result in [
+            TmsbSlice::new(&bytes).map(|_| ()),
+            TmsbReader::new(std::io::Cursor::new(&bytes)).map(|_| ()),
+            from_tmsb_bytes(&bytes).map(|_| ()),
+        ] {
+            match result {
+                Err(SourceError::Version { found, supported }) => {
+                    assert_eq!(found, VERSION + 1);
+                    assert_eq!(supported, VERSION);
+                }
+                Err(other) => panic!("expected typed version error, got {other:?}"),
+                Ok(()) => panic!("future version accepted"),
+            }
+        }
+        // Version 0 (pre-release garbage) is equally negotiable.
+        bytes[4..8].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            TmsbSlice::new(&bytes),
+            Err(SourceError::Version { found: 0, .. })
+        ));
+    }
+
+    /// A network-ish peer: serves its bytes in dribbles (1..=3 bytes per
+    /// `read`), optionally cutting the connection after `limit` bytes —
+    /// the shape a slow or dying TCP sender presents to `TmsbReader`.
+    struct SlowPeer<'a> {
+        bytes: &'a [u8],
+        at: usize,
+        limit: usize,
+        calls: usize,
+    }
+
+    impl<'a> SlowPeer<'a> {
+        fn new(bytes: &'a [u8], limit: usize) -> Self {
+            SlowPeer {
+                bytes,
+                at: 0,
+                limit,
+                calls: 0,
+            }
+        }
+    }
+
+    impl Read for SlowPeer<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.calls += 1;
+            let end = self.bytes.len().min(self.limit);
+            if self.at >= end {
+                return Ok(0);
+            }
+            // Deterministic 1/2/3-byte dribble, exercising every
+            // partial-fill path in the reader's layer loop.
+            let n = (self.calls % 3 + 1).min(end - self.at).min(buf.len());
+            buf[..n].copy_from_slice(&self.bytes[self.at..self.at + n]);
+            self.at += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn slow_peer_streams_bitwise_identically() {
+        for m in chains() {
+            let bytes = to_tmsb_bytes(&m);
+            let mut r =
+                TmsbReader::new(SlowPeer::new(&bytes, bytes.len())).expect("header assembles");
+            assert_eq!(r.initial(), m.initial_dist());
+            for i in 0..m.len() - 1 {
+                assert_eq!(
+                    r.next_step().unwrap().expect("layer"),
+                    m.transition_matrix(i)
+                );
+            }
+            assert!(r.next_step().unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn slow_peer_truncation_is_typed_at_every_cut() {
+        let m = chains().pop().expect("nonempty");
+        let bytes = to_tmsb_bytes(&m);
+        let stride = 8 * m.n_symbols() * m.n_symbols();
+        for cut in [
+            3usize,                      // inside the fixed header
+            HEADER_LEN.min(bytes.len()), // header only, no payload
+            bytes.len() - stride,        // clean layer-boundary truncation
+            bytes.len() - 5,             // mid-layer, mid-dribble
+        ] {
+            match TmsbReader::new(SlowPeer::new(&bytes, cut)) {
+                Ok(r) => {
+                    let e = drain_until_error(r);
+                    assert!(
+                        matches!(
+                            e,
+                            SourceError::Format(_)
+                                | SourceError::Stride { .. }
+                                | SourceError::Io(_)
+                        ),
+                        "cut at {cut}: unexpected error {e:?}"
+                    );
+                }
+                Err(e) => assert!(
+                    matches!(e, SourceError::Format(_) | SourceError::Io(_)),
+                    "cut at {cut}: unexpected header error {e:?}"
+                ),
+            }
         }
     }
 }

@@ -58,6 +58,17 @@ pub enum SourceError {
     },
     /// Malformed binary layout (bad magic, truncation, size mismatch).
     Format(String),
+    /// The header's format version is one this reader does not speak —
+    /// typed (rather than a generic [`SourceError::Format`]) so network
+    /// peers can negotiate: a server seeing a future version can answer
+    /// "speak version ≤ `supported`" instead of calling the frame
+    /// garbage.
+    Version {
+        /// The version the header declares.
+        found: u32,
+        /// The newest version this reader understands.
+        supported: u32,
+    },
     /// A layer's byte run disagrees with the fixed `8·|Σ|²` stride the
     /// header implies — a partial layer mid-payload rather than a clean
     /// truncation at a layer boundary (which stays [`SourceError::Format`]).
@@ -79,6 +90,10 @@ impl fmt::Display for SourceError {
             SourceError::Io(e) => write!(f, "i/o error: {e}"),
             SourceError::Parse { line, message } => write!(f, "line {line}: {message}"),
             SourceError::Format(m) => write!(f, "invalid tmsb data: {m}"),
+            SourceError::Version { found, supported } => write!(
+                f,
+                "unsupported tmsb version {found} (this reader speaks versions up to {supported})"
+            ),
             SourceError::Stride {
                 step,
                 expected,

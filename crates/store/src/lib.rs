@@ -25,8 +25,12 @@
 //! one shared [`PreparedQuery`] — including across the worker threads of
 //! [`SequenceStore::top_k_parallel`].
 
+pub mod pool;
+
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
+
+pub use pool::{resolve_threads, scoped_map, PoolError, WorkerPool};
 
 use transmark_automata::{Alphabet, Nfa, SymbolId};
 use transmark_core::confidence::{
@@ -108,6 +112,8 @@ pub struct PlanCacheStats {
     pub hits: u64,
     /// Lookups that had to compile a fresh plan.
     pub misses: u64,
+    /// Plans dropped to make room at capacity (LRU policy).
+    pub evictions: u64,
 }
 
 struct PlanCacheEntry {
@@ -120,6 +126,7 @@ struct PlanCacheInner {
     entries: Vec<PlanCacheEntry>,
     hits: u64,
     misses: u64,
+    evictions: u64,
     tick: u64,
 }
 
@@ -150,6 +157,7 @@ impl PlanCache {
                 entries: Vec::new(),
                 hits: 0,
                 misses: 0,
+                evictions: 0,
                 tick: 0,
             }),
         }
@@ -194,6 +202,8 @@ impl PlanCache {
                 .map(|(i, _)| i)
                 .expect("cache at capacity is non-empty");
             inner.entries.swap_remove(lru);
+            inner.evictions += 1;
+            transmark_obs::counter!("store.plan_cache.evictions").inc();
         }
         inner.entries.push(PlanCacheEntry {
             key,
@@ -203,7 +213,7 @@ impl PlanCache {
         plan
     }
 
-    /// Current accounting: size, capacity, hits, misses.
+    /// Current accounting: size, capacity, hits, misses, evictions.
     pub fn stats(&self) -> PlanCacheStats {
         let inner = self.inner.lock().expect("plan cache lock is not poisoned");
         PlanCacheStats {
@@ -211,6 +221,7 @@ impl PlanCache {
             capacity: self.cap,
             hits: inner.hits,
             misses: inner.misses,
+            evictions: inner.evictions,
         }
     }
 
@@ -425,41 +436,13 @@ impl SequenceStore {
         T: Send,
         F: Fn(&str, &MarkovSequence) -> Result<T, StoreError> + Sync,
     {
-        let n_threads = resolve_threads(n_threads);
         let streams: Vec<(&String, &MarkovSequence)> = self.streams.iter().collect();
-        if streams.is_empty() {
-            return Ok(BTreeMap::new());
-        }
-        let chunk = streams.len().div_ceil(n_threads).max(1);
-        let run = FleetRun::begin(streams.len().div_ceil(chunk));
-        // Propagate the caller's profiler into the workers: each gets
-        // its own "worker-N" lane, so queue-wait vs. compute is visible
-        // per worker in the merged timeline.
-        let rec = transmark_obs::profile::current();
-        let results = std::thread::scope(|scope| {
-            let handles: Vec<_> = streams
-                .chunks(chunk)
-                .enumerate()
-                .map(|(wi, part)| {
-                    let f = &f;
-                    let run = &run;
-                    let rec = rec.clone();
-                    scope.spawn(move || {
-                        let _lane = rec.as_ref().map(|r| r.install(format!("worker-{wi}")));
-                        let mut w = run.worker();
-                        part.iter()
-                            .map(|(name, m)| Ok(((*name).clone(), w.task(|| f(name, m))?)))
-                            .collect::<Result<Vec<(String, T)>, StoreError>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker thread does not panic"))
-                .collect::<Result<Vec<_>, StoreError>>()
-        });
-        run.finish();
-        Ok(results?.into_iter().flatten().collect())
+        let pairs = pool::scoped_map(
+            &streams,
+            n_threads,
+            |(name, m)| -> Result<(String, T), StoreError> { Ok(((*name).clone(), f(name, m)?)) },
+        )?;
+        Ok(pairs.into_iter().collect())
     }
 
     /// Parallel [`SequenceStore::event_probability`].
@@ -626,96 +609,10 @@ impl SequenceStore {
 // sequence length — no stream is ever materialized. Results are
 // bit-identical to loading the file and running the in-memory pass.
 
-/// Resolves a requested worker count: `0` means "one worker per available
-/// core" ([`std::thread::available_parallelism`]); anything else is taken
-/// literally.
-pub fn resolve_threads(n_threads: usize) -> usize {
-    if n_threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        n_threads
-    }
-}
-
-/// Per-run accounting for one fleet evaluation (`store.fleet.*`).
-///
-/// Created once per `par_map_*` call; each worker thread takes a
-/// [`FleetWorker`] and routes its tasks through it, so the registry sees
-/// per-task latency, per-worker task counts, queue wait (fleet start →
-/// worker's first task), and the run's wall vs summed-CPU time — the
-/// ratio of the latter two is the realized parallel speedup.
-struct FleetRun {
-    start: transmark_obs::Timer,
-    cpu_ns: std::sync::atomic::AtomicU64,
-}
-
-impl FleetRun {
-    fn begin(workers: usize) -> FleetRun {
-        transmark_obs::counter!("store.fleet.runs").inc();
-        transmark_obs::gauge!("store.fleet.workers").set(workers as u64);
-        FleetRun {
-            start: transmark_obs::Timer::start(),
-            cpu_ns: std::sync::atomic::AtomicU64::new(0),
-        }
-    }
-
-    fn worker(&self) -> FleetWorker<'_> {
-        FleetWorker {
-            run: self,
-            tasks: 0,
-            cpu_ns: 0,
-        }
-    }
-
-    fn finish(self) {
-        transmark_obs::histogram!("store.fleet.wall_ns").record(self.start.elapsed_ns());
-        transmark_obs::histogram!("store.fleet.cpu_ns")
-            .record(self.cpu_ns.load(std::sync::atomic::Ordering::Relaxed));
-    }
-}
-
-/// One worker thread's view of a [`FleetRun`]; folds its totals into the
-/// run (and the global registry) on drop, so early error returns still
-/// account for the tasks that did run.
-struct FleetWorker<'a> {
-    run: &'a FleetRun,
-    tasks: u64,
-    cpu_ns: u64,
-}
-
-impl FleetWorker<'_> {
-    fn task<T>(&mut self, f: impl FnOnce() -> T) -> T {
-        if self.tasks == 0 {
-            transmark_obs::histogram!("store.fleet.queue_wait_ns")
-                .record(self.run.start.elapsed_ns());
-        }
-        // On a profiled run each task is a span on its worker's lane
-        // ("task", with bind/execute nesting under it), so the timeline
-        // shows where each worker's wall time went.
-        let _span = transmark_obs::span::enter("task");
-        let t = transmark_obs::Timer::start();
-        let out = f();
-        self.cpu_ns += t.observe(transmark_obs::histogram!("store.fleet.task_ns"));
-        self.tasks += 1;
-        out
-    }
-}
-
-impl Drop for FleetWorker<'_> {
-    fn drop(&mut self) {
-        transmark_obs::counter!("store.fleet.tasks").add(self.tasks);
-        transmark_obs::histogram!("store.fleet.tasks_per_worker").record(self.tasks);
-        self.run
-            .cpu_ns
-            .fetch_add(self.cpu_ns, std::sync::atomic::Ordering::Relaxed);
-    }
-}
-
 /// Maps `f` over sequence-file paths on `n_threads` OS threads
 /// (`0` = auto, see [`resolve_threads`]). Results are keyed by the path's
-/// display string, in sorted order; the first error wins.
+/// display string, in sorted order; the first error wins. The fan-out
+/// body is the shared [`pool::scoped_map`].
 pub fn par_map_paths<T, F>(
     paths: &[std::path::PathBuf],
     n_threads: usize,
@@ -725,38 +622,12 @@ where
     T: Send,
     F: Fn(&std::path::Path) -> Result<T, StoreError> + Sync,
 {
-    let n_threads = resolve_threads(n_threads);
-    if paths.is_empty() {
-        return Ok(BTreeMap::new());
-    }
-    let chunk = paths.len().div_ceil(n_threads).max(1);
-    let run = FleetRun::begin(paths.len().div_ceil(chunk));
-    // Per-worker profiler lanes, exactly as in `par_map_streams`.
-    let rec = transmark_obs::profile::current();
-    let results = std::thread::scope(|scope| {
-        let handles: Vec<_> = paths
-            .chunks(chunk)
-            .enumerate()
-            .map(|(wi, part)| {
-                let f = &f;
-                let run = &run;
-                let rec = rec.clone();
-                scope.spawn(move || {
-                    let _lane = rec.as_ref().map(|r| r.install(format!("worker-{wi}")));
-                    let mut w = run.worker();
-                    part.iter()
-                        .map(|path| Ok((path.display().to_string(), w.task(|| f(path))?)))
-                        .collect::<Result<Vec<(String, T)>, StoreError>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread does not panic"))
-            .collect::<Result<Vec<_>, StoreError>>()
-    });
-    run.finish();
-    Ok(results?.into_iter().flatten().collect())
+    let pairs = pool::scoped_map(
+        paths,
+        n_threads,
+        |path| -> Result<(String, T), StoreError> { Ok((path.display().to_string(), f(path)?)) },
+    )?;
+    Ok(pairs.into_iter().collect())
 }
 
 fn open_source(path: &std::path::Path) -> Result<transmark_markov::FileStepSource, StoreError> {

@@ -6,8 +6,87 @@
 # Also: `scripts/check.sh --bench-diff BASE.json NEW.json` compares two
 # `tmk bench --json` snapshots and exits non-zero if any case regressed
 # by more than 15% — the perf-trajectory harness for stacked PRs.
+#
+# Also: `scripts/check.sh --serve-smoke` runs only the `tmk serve`
+# end-to-end smoke test (daemon on an ephemeral port, client query,
+# streamed .tmsb session, HTTP metrics scrape, graceful shutdown).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# End-to-end smoke of the service layer against a release binary.
+serve_smoke() {
+  echo "==> tmk serve smoke test (ephemeral port, client + stream + metrics + shutdown)"
+  local dir tmk addr pid got want
+  tmk=target/release/tmk
+  dir=$(mktemp -d)
+  pid=""
+  # Clean up the scratch dir and any still-running daemon on every exit
+  # path, including mid-test assertion failures.
+  trap 'kill "$pid" 2>/dev/null || true; rm -rf "$dir"' RETURN
+  "$tmk" export-example "$dir" >/dev/null
+  "$tmk" convert "$dir/hospital.tms" "$dir/hospital.tmsb" >/dev/null
+
+  "$tmk" serve 127.0.0.1:0 >"$dir/serve.log" 2>&1 &
+  pid=$!
+  addr=""
+  for _ in $(seq 1 100); do
+    addr=$(awk '/^tmk serve listening on /{print $5; exit}' "$dir/serve.log" 2>/dev/null || true)
+    [ -n "$addr" ] && break
+    sleep 0.1
+  done
+  if [ -z "$addr" ]; then
+    echo "serve smoke: server never printed its address" >&2
+    cat "$dir/serve.log" >&2 || true
+    return 1
+  fi
+  echo "    serving on $addr"
+
+  # A self-contained query: the paper's top answer with its confidence.
+  got=$("$tmk" client "$addr" top "$dir/room_tracker.tmt" "$dir/hospital.tms" --k 1)
+  case "$got" in
+    *"confidence = 0.403800"*) ;;
+    *) echo "serve smoke: top query failed: $got" >&2; return 1 ;;
+  esac
+  # The same confidence over a chunked stream session, bit-identical to
+  # the in-process answer.
+  got=$("$tmk" client "$addr" stream "$dir/room_tracker.tmt" "$dir/hospital.tmsb" 1 2 --chunk 16)
+  want=$("$tmk" confidence "$dir/hospital.tms" "$dir/room_tracker.tmt" 1 2)
+  if [ "$got" != "$want" ]; then
+    echo "serve smoke: streamed confidence $got != local $want" >&2
+    return 1
+  fi
+  # Metrics over tmkp and over plain HTTP on the same port.
+  got=$("$tmk" client "$addr" metrics)
+  case "$got" in
+    *"serve.queries"*) ;;
+    *) echo "serve smoke: tmkp metrics scrape failed" >&2; return 1 ;;
+  esac
+  exec 3<>"/dev/tcp/${addr%:*}/${addr##*:}"
+  printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3
+  got=$(cat <&3)
+  exec 3>&-
+  case "$got" in
+    *"serve.connections"*) ;;
+    *) echo "serve smoke: HTTP metrics scrape failed" >&2; return 1 ;;
+  esac
+
+  # Graceful shutdown: the client gets an ack and the daemon exits.
+  got=$("$tmk" client "$addr" shutdown)
+  case "$got" in
+    *acknowledged*) ;;
+    *) echo "serve smoke: shutdown not acknowledged" >&2; return 1 ;;
+  esac
+  for _ in $(seq 1 100); do
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+  done
+  if kill -0 "$pid" 2>/dev/null; then
+    echo "serve smoke: server did not exit after shutdown" >&2
+    kill "$pid" 2>/dev/null || true
+    return 1
+  fi
+  echo "    serve smoke passed"
+}
 
 if [ "${1:-}" = "--bench-diff" ]; then
   if [ $# -ne 3 ]; then
@@ -16,6 +95,12 @@ if [ "${1:-}" = "--bench-diff" ]; then
   fi
   cargo build -q --release --bin tmk
   exec target/release/tmk bench --diff "$2" "$3"
+fi
+
+if [ "${1:-}" = "--serve-smoke" ]; then
+  cargo build -q --release --bin tmk
+  serve_smoke
+  exit $?
 fi
 
 echo "==> cargo fmt --check"
@@ -29,6 +114,8 @@ cargo build --release
 
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
+
+serve_smoke
 
 # The obs-off feature only exists on the crates that carry
 # instrumentation, so it cannot be toggled workspace-wide; the root

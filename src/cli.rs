@@ -151,6 +151,21 @@ USAGE:
                                                         readable snapshot
   tmk bench --diff <base.json> <new.json>               compare two bench snapshots; exits
                                                         non-zero on a >15% regression
+  tmk serve [ADDR] [--workers N] [--queue N] [--tenant-quota N] [--plan-cache N]
+                                                        run the persistent query service: tmkp
+                                                        protocol plus HTTP GET /metrics[.json] on
+                                                        the same port; ADDR defaults to 127.0.0.1:0
+                                                        (the resolved address is printed on start)
+  tmk client <addr> confidence <query.tmt> <seq> <sym>...
+                                                        remote confidence of one output
+  tmk client <addr> top <query.tmt> <seq> [--k N]       remote ranked answers + confidence
+  tmk client <addr> series <query.tmt> <seq>            remote prefix acceptance series
+  tmk client <addr> stream <query.tmt> <seq> [<sym>...] [--chunk BYTES]
+                                                        stream the sequence to the server in
+                                                        chunked frames (stop-and-wait); with
+                                                        symbols = confidence, without = series
+  tmk client <addr> metrics [--json]                    scrape the server's live metrics snapshot
+  tmk client <addr> shutdown                            ask the server to shut down gracefully
 
 COMMON OPTIONS (accepted by every command):
   --explain            print the compiled query plan — its Table 2 route, machine
@@ -338,6 +353,53 @@ fn render(t: &Transducer, o: &[transmark_automata::SymbolId]) -> String {
         "ε".to_string()
     } else {
         t.render_output(o, " ")
+    }
+}
+
+fn read_file_text(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|e| run_err(format!("cannot read {path}: {e}")))
+}
+
+/// Reads a sequence argument for `tmk client`: `.tmsb` bytes travel
+/// verbatim (the server sees exactly what a local reader would), `.tms`
+/// travels as text.
+fn read_sequence_payload(path: &str) -> Result<(Vec<u8>, bool), CliError> {
+    let bytes = std::fs::read(path).map_err(|e| run_err(format!("cannot read {path}: {e}")))?;
+    Ok((bytes, path.ends_with(".tmsb")))
+}
+
+fn sequence_payload(
+    bytes: &[u8],
+    binary: bool,
+) -> Result<crate::serve::client::Sequence<'_>, CliError> {
+    if binary {
+        Ok(crate::serve::client::Sequence::Binary(bytes))
+    } else {
+        std::str::from_utf8(bytes)
+            .map(crate::serve::client::Sequence::Text)
+            .map_err(|e| run_err(format!("sequence is not valid UTF-8 text: {e}")))
+    }
+}
+
+/// Loads a sequence argument as `.tmsb` bytes for a streamed session:
+/// `.tmsb` files verbatim, `.tms` files converted.
+fn read_tmsb_bytes(path: &str) -> Result<Vec<u8>, CliError> {
+    if path.ends_with(".tmsb") {
+        std::fs::read(path).map_err(|e| run_err(format!("cannot read {path}: {e}")))
+    } else {
+        Ok(transmark_markov::binio::to_tmsb_bytes(&load_sequence(
+            path,
+        )?))
+    }
+}
+
+fn append_remote_profile(out: &mut String, profile: Option<String>) {
+    if let Some(p) = profile {
+        out.push_str("== server profile ==\n");
+        out.push_str(&p);
+        if !p.ends_with('\n') {
+            out.push('\n');
+        }
     }
 }
 
@@ -933,6 +995,161 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 seq_path.display(),
                 query_path.display()
             );
+        }
+        "serve" => {
+            let workers = take_opt(&mut args, "--workers")?
+                .map(|v| parse_usize(&v, "--workers"))
+                .transpose()?
+                .unwrap_or(0);
+            let queue_cap = take_opt(&mut args, "--queue")?
+                .map(|v| parse_usize(&v, "--queue"))
+                .transpose()?
+                .unwrap_or(64);
+            let tenant_quota = take_opt(&mut args, "--tenant-quota")?
+                .map(|v| parse_usize(&v, "--tenant-quota"))
+                .transpose()?
+                .unwrap_or(4);
+            let plan_capacity = take_opt(&mut args, "--plan-cache")?
+                .map(|v| parse_usize(&v, "--plan-cache"))
+                .transpose()?
+                .unwrap_or(transmark_store::DEFAULT_PLAN_CACHE_CAP);
+            let addr = match args.len() {
+                0 => "127.0.0.1:0".to_string(),
+                1 => args.remove(0),
+                _ => return Err(usage_err("serve takes at most one address")),
+            };
+            let server = crate::serve::Server::start(crate::serve::ServeConfig {
+                addr,
+                threads: workers,
+                queue_cap,
+                tenant_quota,
+                plan_capacity,
+            })
+            .map_err(|e| run_err(format!("cannot start server: {e}")))?;
+            // Printed (and flushed) before blocking: supervisors and the
+            // CI smoke test discover the resolved ephemeral port here.
+            println!("tmk serve listening on {}", server.local_addr());
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+            server.wait();
+            let _ = writeln!(out, "tmk serve stopped");
+        }
+        "client" => {
+            use crate::serve::client::Client;
+            let tenant = take_opt(&mut args, "--tenant")?.unwrap_or_else(|| "cli".to_string());
+            if args.len() < 2 {
+                return Err(usage_err(
+                    "client needs <addr> <confidence|top|series|stream|metrics|shutdown> …",
+                ));
+            }
+            let addr = args.remove(0);
+            let sub = args.remove(0);
+            let profile = matches!(opts.profile, Some(None));
+            let wire = |e: crate::serve::protocol::WireError| run_err(e);
+            let mut client = Client::connect(&addr, &tenant).map_err(wire)?;
+            match sub.as_str() {
+                "confidence" => {
+                    if args.len() < 2 {
+                        return Err(usage_err(
+                            "client confidence needs <query.tmt> <seq> <sym>…",
+                        ));
+                    }
+                    let query_text = read_file_text(&args.remove(0))?;
+                    let (seq_bytes, binary) = read_sequence_payload(&args.remove(0))?;
+                    let seq = sequence_payload(&seq_bytes, binary)?;
+                    let resp = client
+                        .confidence(&query_text, &seq, &args.join(" "), profile)
+                        .map_err(wire)?;
+                    let _ = writeln!(out, "{}", resp.value);
+                    append_remote_profile(&mut out, resp.profile);
+                }
+                "top" => {
+                    let k = take_opt(&mut args, "--k")?
+                        .map(|v| parse_usize(&v, "--k"))
+                        .transpose()?
+                        .unwrap_or(10);
+                    let [query_path, seq_path] = positional::<2>(args)?;
+                    let query_text = read_file_text(&query_path)?;
+                    // Parse the query locally too, to render symbol names.
+                    let t = transmark_core::textio::from_text(&query_text)
+                        .map_err(|e| run_err(format!("{query_path}: {e}")))?;
+                    let (seq_bytes, binary) = read_sequence_payload(&seq_path)?;
+                    let seq = sequence_payload(&seq_bytes, binary)?;
+                    let resp = client
+                        .top_k(&query_text, &seq, k as u32, profile)
+                        .map_err(wire)?;
+                    if resp.value.is_empty() {
+                        let _ = writeln!(out, "(no answers)");
+                    }
+                    for a in &resp.value {
+                        let o: Vec<transmark_automata::SymbolId> = a
+                            .output
+                            .iter()
+                            .map(|&s| transmark_automata::SymbolId(s))
+                            .collect();
+                        let _ = writeln!(
+                            out,
+                            "{:<30} E_max = {:.6}  confidence = {:.6}",
+                            render(&t, &o),
+                            a.emax,
+                            a.confidence
+                        );
+                    }
+                    append_remote_profile(&mut out, resp.profile);
+                }
+                "series" => {
+                    let [query_path, seq_path] = positional::<2>(args)?;
+                    let query_text = read_file_text(&query_path)?;
+                    let (seq_bytes, binary) = read_sequence_payload(&seq_path)?;
+                    let seq = sequence_payload(&seq_bytes, binary)?;
+                    let resp = client.series(&query_text, &seq, profile).map_err(wire)?;
+                    for (i, p) in resp.value.iter().enumerate() {
+                        let _ = writeln!(out, "t={:<4} {p}", i + 1);
+                    }
+                    append_remote_profile(&mut out, resp.profile);
+                }
+                "stream" => {
+                    let chunk = take_opt(&mut args, "--chunk")?
+                        .map(|v| parse_usize(&v, "--chunk"))
+                        .transpose()?
+                        .unwrap_or(4096);
+                    if args.len() < 2 {
+                        return Err(usage_err(
+                            "client stream needs <query.tmt> <seq> [<sym>…] [--chunk BYTES]",
+                        ));
+                    }
+                    let query_text = read_file_text(&args.remove(0))?;
+                    let tmsb = read_tmsb_bytes(&args.remove(0))?;
+                    if args.is_empty() {
+                        let resp = client
+                            .stream_series(&query_text, &tmsb, chunk)
+                            .map_err(wire)?;
+                        for (i, p) in resp.value.iter().enumerate() {
+                            let _ = writeln!(out, "t={:<4} {p}", i + 1);
+                        }
+                    } else {
+                        let resp = client
+                            .stream_confidence(&query_text, &args.join(" "), &tmsb, chunk)
+                            .map_err(wire)?;
+                        let _ = writeln!(out, "{}", resp.value);
+                    }
+                }
+                "metrics" => {
+                    let json = take_flag(&mut args, "--json");
+                    if !args.is_empty() {
+                        return Err(usage_err("client metrics takes only --json"));
+                    }
+                    out.push_str(&client.metrics(json).map_err(wire)?);
+                }
+                "shutdown" => {
+                    if !args.is_empty() {
+                        return Err(usage_err("client shutdown takes no arguments"));
+                    }
+                    client.shutdown().map_err(wire)?;
+                    let _ = writeln!(out, "server acknowledged shutdown");
+                }
+                other => return Err(usage_err(format!("unknown client subcommand {other:?}"))),
+            }
         }
         "bench" => {
             out.push_str(&crate::bench::run_command(args)?);

@@ -78,6 +78,20 @@ impl Engine {
         }
     }
 
+    /// The process-lifetime engine: one shared instance, created on first
+    /// use with the default plan capacity, living until process exit.
+    ///
+    /// This is the service-mode entry point — every connection of a
+    /// long-running process (`tmk serve`, embedded daemons) prepares
+    /// through the same LRU [`PlanCache`], so a query fleet arriving over
+    /// hours keeps hitting plans compiled once. Its metrics baseline is
+    /// the moment of first use; prefer a dedicated [`Engine::new`] when
+    /// an isolated observation window matters more than plan reuse.
+    pub fn process() -> &'static Engine {
+        static PROCESS: std::sync::OnceLock<Engine> = std::sync::OnceLock::new();
+        PROCESS.get_or_init(Engine::new)
+    }
+
     /// Compiles `t` into a [`PreparedQuery`] (Table 2 plan selection,
     /// machine-side artifacts), served from the engine's LRU cache when a
     /// structurally identical machine was prepared before. Compilation

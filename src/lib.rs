@@ -78,6 +78,7 @@
 pub mod bench;
 pub mod cli;
 pub mod facade;
+pub mod serve;
 
 pub use facade::Engine;
 

@@ -1,0 +1,353 @@
+//! A blocking `tmkp` client for [`tmk serve`](super): the counterpart
+//! the CLI's `tmk client` subcommand and the serve test/bench suites
+//! drive. One [`Client`] is one connection; queries are issued
+//! sequentially on it. Results arrive as little-endian bit patterns, so
+//! a decoded confidence is bit-identical to the in-process engine path.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+
+use super::protocol::{
+    parse_error, read_frame, write_frame, Cursor, Frame, PayloadBuilder, WireError,
+    KIND_CONFIDENCE, KIND_SERIES, KIND_TOP_K, OP_ERROR, OP_HELLO, OP_HELLO_OK, OP_METRICS,
+    OP_QUERY, OP_RESULT, OP_SHUTDOWN, OP_SHUTDOWN_OK, OP_STREAM_ACK, OP_STREAM_BEGIN,
+    OP_STREAM_DATA, OP_STREAM_END, RESULT_CONFIDENCE, RESULT_SERIES, RESULT_TEXT, RESULT_TOP_K,
+    WIRE_MAGIC, WIRE_VERSION,
+};
+
+/// A sequence payload for self-contained queries: `.tms` text or
+/// `.tmsb` bytes.
+#[derive(Debug, Clone, Copy)]
+pub enum Sequence<'a> {
+    /// `markov-sequence v1` text (`.tms`).
+    Text(&'a str),
+    /// Binary `.tmsb` bytes.
+    Binary(&'a [u8]),
+}
+
+/// One answer of a served top-k query. Symbol ids index the query's
+/// output alphabet; scores are the engine's exact values, bit-for-bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireAnswer {
+    /// The output string as symbol ids of the query's output alphabet.
+    pub output: Vec<u32>,
+    /// `E_max(output)`.
+    pub emax: f64,
+    /// Exact confidence.
+    pub confidence: f64,
+}
+
+/// A decoded query result plus the optional per-query profile text.
+#[derive(Debug, Clone)]
+pub struct Response<T> {
+    /// The decoded result value.
+    pub value: T,
+    /// The server-side profile ([`Engine::profiled`](crate::Engine::profiled)
+    /// rendering), when the query asked for one.
+    pub profile: Option<String>,
+}
+
+/// A connected `tmkp` client (HELLO already exchanged).
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` and performs the HELLO handshake under
+    /// `tenant` (empty = `"anonymous"`).
+    pub fn connect(addr: &str, tenant: &str) -> Result<Client, WireError> {
+        let stream = TcpStream::connect(addr)?;
+        // The stream session is stop-and-wait: Nagle + delayed ACK would
+        // add a round-trip stall per chunk.
+        let _ = stream.set_nodelay(true);
+        let writer = stream.try_clone()?;
+        let mut client = Client {
+            reader: BufReader::new(stream),
+            writer,
+        };
+        let hello = PayloadBuilder::new()
+            .raw(&WIRE_MAGIC)
+            .u32(WIRE_VERSION)
+            .string(tenant)
+            .build();
+        write_frame(&mut client.writer, OP_HELLO, &hello)?;
+        let frame = client.read_reply()?;
+        if frame.op != OP_HELLO_OK {
+            return Err(WireError::Malformed(format!(
+                "expected HELLO_OK, got opcode {:#04x}",
+                frame.op
+            )));
+        }
+        Ok(client)
+    }
+
+    /// Reads one frame, converting [`OP_ERROR`] into
+    /// [`WireError::Remote`] and clean close into an error (a reply was
+    /// expected).
+    fn read_reply(&mut self) -> Result<Frame, WireError> {
+        match read_frame(&mut self.reader)? {
+            Some(f) if f.op == OP_ERROR => {
+                let (code, message) = parse_error(&f.payload);
+                Err(WireError::Remote { code, message })
+            }
+            Some(f) => Ok(f),
+            None => Err(WireError::Malformed(
+                "server closed before replying".to_string(),
+            )),
+        }
+    }
+
+    fn query_payload(
+        kind: u8,
+        profile: bool,
+        k: u32,
+        query: &str,
+        output: &str,
+        seq: &Sequence<'_>,
+    ) -> Vec<u8> {
+        let b = PayloadBuilder::new()
+            .u8(kind)
+            .u8(if profile { 1 } else { 0 })
+            .u32(k)
+            .string(query)
+            .string(output);
+        match seq {
+            Sequence::Text(text) => b.u8(0).bytes(text.as_bytes()),
+            Sequence::Binary(bytes) => b.u8(1).bytes(bytes),
+        }
+        .build()
+    }
+
+    /// Issues one self-contained query and returns the raw RESULT
+    /// payload (result kind + body + profile).
+    fn query(&mut self, payload: &[u8]) -> Result<Vec<u8>, WireError> {
+        write_frame(&mut self.writer, OP_QUERY, payload)?;
+        let frame = self.read_reply()?;
+        if frame.op != OP_RESULT {
+            return Err(WireError::Malformed(format!(
+                "expected RESULT, got opcode {:#04x}",
+                frame.op
+            )));
+        }
+        Ok(frame.payload)
+    }
+
+    /// `Pr(sequence →[query]→ output)` — exact confidence of one output
+    /// string (space-separated symbol names).
+    pub fn confidence(
+        &mut self,
+        query: &str,
+        seq: &Sequence<'_>,
+        output: &str,
+        profile: bool,
+    ) -> Result<Response<f64>, WireError> {
+        let payload = Self::query_payload(KIND_CONFIDENCE, profile, 0, query, output, seq);
+        let result = self.query(&payload)?;
+        decode_result(&result, RESULT_CONFIDENCE, |c| c.f64("confidence"))
+    }
+
+    /// Top-k answers by `E_max` with exact confidences.
+    pub fn top_k(
+        &mut self,
+        query: &str,
+        seq: &Sequence<'_>,
+        k: u32,
+        profile: bool,
+    ) -> Result<Response<Vec<WireAnswer>>, WireError> {
+        let payload = Self::query_payload(KIND_TOP_K, profile, k, query, "", seq);
+        let result = self.query(&payload)?;
+        decode_result(&result, RESULT_TOP_K, decode_answers)
+    }
+
+    /// The prefix acceptance series of the query's underlying NFA.
+    pub fn series(
+        &mut self,
+        query: &str,
+        seq: &Sequence<'_>,
+        profile: bool,
+    ) -> Result<Response<Vec<f64>>, WireError> {
+        let payload = Self::query_payload(KIND_SERIES, profile, 0, query, "", seq);
+        let result = self.query(&payload)?;
+        decode_result(&result, RESULT_SERIES, decode_series)
+    }
+
+    /// Streams `.tmsb` bytes in `chunk`-sized DATA frames under
+    /// stop-and-wait acks and returns the confidence of `output`. The
+    /// server runs the same forward-only
+    /// [`SourceBoundQuery`](transmark_core::plan::SourceBoundQuery) pass
+    /// a local `.tmsb` file would get.
+    pub fn stream_confidence(
+        &mut self,
+        query: &str,
+        output: &str,
+        tmsb: &[u8],
+        chunk: usize,
+    ) -> Result<Response<f64>, WireError> {
+        let result = self.stream(KIND_CONFIDENCE, query, output, tmsb, chunk)?;
+        decode_result(&result, RESULT_CONFIDENCE, |c| c.f64("confidence"))
+    }
+
+    /// Streamed counterpart of [`Client::series`].
+    pub fn stream_series(
+        &mut self,
+        query: &str,
+        tmsb: &[u8],
+        chunk: usize,
+    ) -> Result<Response<Vec<f64>>, WireError> {
+        let result = self.stream(KIND_SERIES, query, "", tmsb, chunk)?;
+        decode_result(&result, RESULT_SERIES, decode_series)
+    }
+
+    /// Runs one streamed session: BEGIN, then one DATA chunk per ACK,
+    /// then END, then the RESULT. At most one unacknowledged chunk is
+    /// ever in flight.
+    fn stream(
+        &mut self,
+        kind: u8,
+        query: &str,
+        output: &str,
+        tmsb: &[u8],
+        chunk: usize,
+    ) -> Result<Vec<u8>, WireError> {
+        let chunk = chunk.max(1);
+        let begin = PayloadBuilder::new()
+            .u8(kind)
+            .u8(0)
+            .string(query)
+            .string(output)
+            .build();
+        write_frame(&mut self.writer, OP_STREAM_BEGIN, &begin)?;
+        let mut sent = 0usize;
+        let mut end_sent = false;
+        loop {
+            let frame = match read_frame(&mut self.reader)? {
+                Some(f) => f,
+                None => {
+                    return Err(WireError::Malformed(
+                        "server closed mid-session".to_string(),
+                    ))
+                }
+            };
+            match frame.op {
+                OP_STREAM_ACK => {
+                    if sent < tmsb.len() {
+                        let n = chunk.min(tmsb.len() - sent);
+                        write_frame(&mut self.writer, OP_STREAM_DATA, &tmsb[sent..sent + n])?;
+                        sent += n;
+                    } else if !end_sent {
+                        write_frame(&mut self.writer, OP_STREAM_END, &[])?;
+                        end_sent = true;
+                    } else {
+                        return Err(WireError::Malformed("ack after stream end".to_string()));
+                    }
+                }
+                OP_RESULT => return Ok(frame.payload),
+                OP_ERROR => {
+                    let (code, message) = parse_error(&frame.payload);
+                    // The server drains to STREAM_END before continuing;
+                    // close our half of the session if still open.
+                    if !end_sent {
+                        let _ = write_frame(&mut self.writer, OP_STREAM_END, &[]);
+                    }
+                    return Err(WireError::Remote { code, message });
+                }
+                other => {
+                    return Err(WireError::Malformed(format!(
+                        "unexpected opcode {other:#04x} during stream session"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Fetches the server's metrics snapshot (diffed against its start
+    /// baseline) as text or JSON.
+    pub fn metrics(&mut self, json: bool) -> Result<String, WireError> {
+        let payload = [if json { 1u8 } else { 0u8 }];
+        write_frame(&mut self.writer, OP_METRICS, &payload)?;
+        let frame = self.read_reply()?;
+        if frame.op != OP_RESULT {
+            return Err(WireError::Malformed(format!(
+                "expected RESULT, got opcode {:#04x}",
+                frame.op
+            )));
+        }
+        let mut c = Cursor::new(&frame.payload);
+        let kind = c.u8("result kind")?;
+        if kind != RESULT_TEXT {
+            return Err(WireError::Malformed(format!(
+                "expected text result, got kind {kind}"
+            )));
+        }
+        Ok(String::from_utf8_lossy(&frame.payload[1..]).into_owned())
+    }
+
+    /// Asks the server to shut down gracefully; returns once it acks.
+    pub fn shutdown(&mut self) -> Result<(), WireError> {
+        write_frame(&mut self.writer, OP_SHUTDOWN, &[])?;
+        let frame = self.read_reply()?;
+        if frame.op != OP_SHUTDOWN_OK {
+            return Err(WireError::Malformed(format!(
+                "expected SHUTDOWN_OK, got opcode {:#04x}",
+                frame.op
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Decodes a RESULT payload: checks the result kind, decodes the body
+/// with `f`, and splits off the trailing profile text.
+fn decode_result<T>(
+    payload: &[u8],
+    expected_kind: u8,
+    f: impl FnOnce(&mut Cursor<'_>) -> Result<T, WireError>,
+) -> Result<Response<T>, WireError> {
+    let mut c = Cursor::new(payload);
+    let kind = c.u8("result kind")?;
+    if kind != expected_kind {
+        return Err(WireError::Malformed(format!(
+            "expected result kind {expected_kind}, got {kind}"
+        )));
+    }
+    let value = f(&mut c)?;
+    let profile = c.string("profile")?;
+    Ok(Response {
+        value,
+        profile: if profile.is_empty() {
+            None
+        } else {
+            Some(profile)
+        },
+    })
+}
+
+fn decode_answers(c: &mut Cursor<'_>) -> Result<Vec<WireAnswer>, WireError> {
+    let count = c.u32("answer count")? as usize;
+    let mut answers = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        let len = c.u32("output length")? as usize;
+        let mut output = Vec::with_capacity(len.min(1 << 16));
+        for _ in 0..len {
+            output.push(c.u32("output symbol")?);
+        }
+        let emax = c.f64("emax")?;
+        let confidence = c.f64("confidence")?;
+        answers.push(WireAnswer {
+            output,
+            emax,
+            confidence,
+        });
+    }
+    Ok(answers)
+}
+
+fn decode_series(c: &mut Cursor<'_>) -> Result<Vec<f64>, WireError> {
+    let count = c.u64("series length")? as usize;
+    let mut series = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        series.push(c.f64("series value")?);
+    }
+    Ok(series)
+}

@@ -1,0 +1,861 @@
+//! `tmk serve`: the engine as a persistent query service.
+//!
+//! One process, process-lifetime resources, many connections. The
+//! ownership ladder (see DESIGN.md "Service layer"):
+//!
+//! * **process** — the [`Engine`] (and its LRU
+//!   [`PlanCache`](transmark_store::PlanCache)), the
+//!   [`WorkerPool`](transmark_store::WorkerPool) draining connections,
+//!   the obs registry, and the metrics baseline;
+//! * **per connection** — one pool worker running the frame loop, the
+//!   tenant identity from HELLO, stream buffers;
+//! * **per query** — bound plans, layer buffers, the optional
+//!   query-scoped profiler [`Recorder`](transmark_obs::Recorder).
+//!
+//! The wire format is the length-prefixed `tmkp` protocol
+//! ([`protocol`]); a connection whose first bytes are `GET ` is served
+//! as a plain HTTP/1.0 metrics scrape instead (`/metrics`,
+//! `/metrics.json`). Admission control is the pool's bounded queue
+//! (typed [`ERR_SATURATED`](protocol::ERR_SATURATED) at the door);
+//! per-tenant fairness is an in-flight quota keyed by the HELLO tenant
+//! name. Streamed `.tmsb` sessions feed the existing
+//! [`SourceBoundQuery`](transmark_core::plan::SourceBoundQuery) path
+//! chunk by chunk with stop-and-wait backpressure — server memory stays
+//! O(|Σ|² + one chunk) no matter how long the sequence is.
+
+pub mod client;
+pub mod protocol;
+
+use std::collections::HashMap;
+use std::io::{BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use transmark_automata::SymbolId;
+use transmark_core::evaluate::Evaluation;
+use transmark_core::transducer::Transducer;
+use transmark_markov::binio::TmsbReader;
+use transmark_markov::{MarkovSequence, SourceError};
+use transmark_store::{PoolError, WorkerPool};
+
+use crate::facade::Engine;
+use protocol::{
+    read_frame, read_frame_after_len, write_error, write_frame, Cursor, Frame, PayloadBuilder,
+    WireError, ERR_BAD_FRAME, ERR_QUERY, ERR_QUOTA, ERR_SATURATED, ERR_STATE, ERR_VERSION,
+    KIND_CONFIDENCE, KIND_SERIES, KIND_TOP_K, OP_HELLO, OP_HELLO_OK, OP_METRICS, OP_QUERY,
+    OP_RESULT, OP_SHUTDOWN, OP_SHUTDOWN_OK, OP_STREAM_ACK, OP_STREAM_BEGIN, OP_STREAM_DATA,
+    OP_STREAM_END, RESULT_CONFIDENCE, RESULT_SERIES, RESULT_TEXT, RESULT_TOP_K, WIRE_MAGIC,
+    WIRE_VERSION,
+};
+
+/// Configuration for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Pool worker threads (`0` = one per core).
+    pub threads: usize,
+    /// Bounded backlog of accepted-but-unhandled connections; beyond it
+    /// new connections are refused with a typed saturation error.
+    pub queue_cap: usize,
+    /// Max concurrent in-flight queries per tenant (HELLO name).
+    pub tenant_quota: usize,
+    /// Plan-cache capacity of the server's process-lifetime [`Engine`].
+    pub plan_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 0,
+            queue_cap: 64,
+            tenant_quota: 4,
+            plan_capacity: transmark_store::DEFAULT_PLAN_CACHE_CAP,
+        }
+    }
+}
+
+struct Shared {
+    engine: Arc<Engine>,
+    addr: SocketAddr,
+    stop: AtomicBool,
+    tenant_quota: usize,
+    tenants: Mutex<HashMap<String, usize>>,
+    /// Read-half clones of live connections, closed on shutdown so
+    /// handlers blocked in `read` unblock and drain.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
+}
+
+impl Shared {
+    /// Latches the stop flag, unblocks every parked connection read, and
+    /// wakes the accept loop. Responses in flight still flush: only the
+    /// read half of each connection is shut down.
+    fn trigger_stop(&self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for (_, s) in self
+            .conns
+            .lock()
+            .expect("conn registry lock is not poisoned")
+            .drain()
+        {
+            let _ = s.shutdown(Shutdown::Read);
+        }
+        // A throwaway connection unblocks `TcpListener::accept`.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running `tmk serve` instance: accept loop + worker pool + shared
+/// process-lifetime [`Engine`].
+pub struct Server {
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    pool: Option<Arc<WorkerPool>>,
+}
+
+impl Server {
+    /// Binds `config.addr`, spawns the accept loop, and returns. The
+    /// server runs until [`Server::shutdown`] or a client sends
+    /// [`OP_SHUTDOWN`].
+    pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let engine = Arc::new(Engine::with_plan_capacity(config.plan_capacity));
+        let shared = Arc::new(Shared {
+            engine,
+            addr,
+            stop: AtomicBool::new(false),
+            tenant_quota: config.tenant_quota.max(1),
+            tenants: Mutex::new(HashMap::new()),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+        });
+        let pool = Arc::new(WorkerPool::new(config.threads, config.queue_cap));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let pool = Arc::clone(&pool);
+            std::thread::Builder::new()
+                .name("tmk-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared, &pool))?
+        };
+        Ok(Server {
+            shared,
+            accept: Some(accept),
+            pool: Some(pool),
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The server's process-lifetime engine (plan cache + metrics
+    /// baseline), shared with every connection.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.shared.engine
+    }
+
+    /// Blocks until some client requests shutdown ([`OP_SHUTDOWN`]), then
+    /// drains workers and returns.
+    pub fn wait(mut self) {
+        self.finish();
+    }
+
+    /// Initiates a graceful shutdown (stop accepting, unblock parked
+    /// reads, drain in-flight work, join every thread) and blocks until
+    /// it completes.
+    pub fn shutdown(mut self) {
+        self.shared.trigger_stop();
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        if let Some(h) = self.accept.take() {
+            h.join().expect("accept loop does not panic");
+        }
+        // The accept thread has dropped its pool handle; dropping ours
+        // drains the queue and joins the workers.
+        if let Some(pool) = self.pool.take() {
+            drop(pool);
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shared.trigger_stop();
+        self.finish();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, pool: &Arc<WorkerPool>) {
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        transmark_obs::counter!("serve.connections").inc();
+        // Acks and small result frames must not sit in Nagle's buffer:
+        // the stream session is stop-and-wait, so every stall is a full
+        // round trip added to each chunk.
+        let _ = stream.set_nodelay(true);
+        // A clone for the shutdown path (close parked reads) and one for
+        // rejecting at the door if the pool is saturated.
+        let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            shared
+                .conns
+                .lock()
+                .expect("conn registry lock is not poisoned")
+                .insert(conn_id, clone);
+        }
+        let reject_handle = stream.try_clone();
+        let job_shared = Arc::clone(shared);
+        let submitted = pool.try_execute(move || handle_connection(stream, &job_shared, conn_id));
+        match submitted {
+            Ok(()) => {}
+            Err(PoolError::Saturated) => {
+                transmark_obs::counter!("serve.rejected.admission").inc();
+                if let Ok(mut s) = reject_handle {
+                    let _ =
+                        write_error(&mut s, ERR_SATURATED, "server is at capacity, retry later");
+                }
+                deregister(shared, conn_id);
+            }
+            Err(PoolError::ShuttingDown) => {
+                deregister(shared, conn_id);
+                break;
+            }
+        }
+    }
+}
+
+fn deregister(shared: &Shared, conn_id: u64) {
+    shared
+        .conns
+        .lock()
+        .expect("conn registry lock is not poisoned")
+        .remove(&conn_id);
+}
+
+/// Holds one in-flight slot of a tenant's quota; releases it on drop.
+struct TenantSlot<'a> {
+    shared: &'a Shared,
+    tenant: String,
+}
+
+fn admit<'a>(shared: &'a Shared, tenant: &str) -> Result<TenantSlot<'a>, ()> {
+    let mut tenants = shared
+        .tenants
+        .lock()
+        .expect("tenant table lock is not poisoned");
+    let n = tenants.entry(tenant.to_string()).or_insert(0);
+    if *n >= shared.tenant_quota {
+        transmark_obs::counter!("serve.rejected.quota").inc();
+        return Err(());
+    }
+    *n += 1;
+    Ok(TenantSlot {
+        shared,
+        tenant: tenant.to_string(),
+    })
+}
+
+impl Drop for TenantSlot<'_> {
+    fn drop(&mut self) {
+        let mut tenants = self
+            .shared
+            .tenants
+            .lock()
+            .expect("tenant table lock is not poisoned");
+        if let Some(n) = tenants.get_mut(&self.tenant) {
+            *n -= 1;
+            if *n == 0 {
+                tenants.remove(&self.tenant);
+            }
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, conn_id: u64) {
+    run_connection(stream, shared);
+    deregister(shared, conn_id);
+}
+
+fn run_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+
+    // Sniff the first four bytes: an HTTP scrape ("GET ") or a frame's
+    // length prefix.
+    let mut first4 = [0u8; 4];
+    if read_fully(&mut reader, &mut first4).is_err() {
+        return;
+    }
+    if first4 == *b"GET " {
+        serve_http(&mut reader, &mut writer, shared);
+        return;
+    }
+
+    // Frame mode: HELLO first.
+    let tenant = match hello(&mut reader, &mut writer, first4) {
+        Some(t) => t,
+        None => return,
+    };
+
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(Some(f)) => f,
+            Ok(None) => return,
+            Err(WireError::Malformed(m)) => {
+                let _ = write_error(&mut writer, ERR_BAD_FRAME, &m);
+                return;
+            }
+            Err(_) => return,
+        };
+        let t = transmark_obs::Timer::start();
+        let keep_going = match frame.op {
+            OP_QUERY => handle_query(&mut writer, shared, &tenant, &frame.payload),
+            OP_STREAM_BEGIN => {
+                handle_stream(&mut reader, &mut writer, shared, &tenant, &frame.payload)
+            }
+            OP_METRICS => handle_metrics(&mut writer, shared, &frame.payload),
+            OP_SHUTDOWN => {
+                let _ = write_frame(&mut writer, OP_SHUTDOWN_OK, &[]);
+                shared.trigger_stop();
+                false
+            }
+            other => {
+                let _ = write_error(
+                    &mut writer,
+                    ERR_STATE,
+                    &format!("unexpected opcode {other:#04x}"),
+                );
+                false
+            }
+        };
+        t.observe(transmark_obs::histogram!("serve.request_ns"));
+        if !keep_going || shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// Validates the HELLO frame; returns the tenant name, or `None` after
+/// writing the appropriate error.
+fn hello(reader: &mut impl Read, writer: &mut impl Write, len_prefix: [u8; 4]) -> Option<String> {
+    let frame = match read_frame_after_len(reader, len_prefix) {
+        Ok(Some(f)) => f,
+        _ => return None,
+    };
+    if frame.op != OP_HELLO {
+        let _ = write_error(writer, ERR_STATE, "first frame must be HELLO");
+        return None;
+    }
+    if frame.payload.len() < 4 || frame.payload[..4] != WIRE_MAGIC {
+        let _ = write_error(writer, ERR_BAD_FRAME, "bad magic (not a tmkp peer)");
+        return None;
+    }
+    let mut c = Cursor::new(&frame.payload[4..]);
+    let decoded = c
+        .u32("protocol version")
+        .and_then(|version| Ok((version, c.string("tenant")?)));
+    let (version, tenant) = match decoded {
+        Ok(d) => d,
+        Err(e) => {
+            let _ = write_error(writer, ERR_BAD_FRAME, &e.to_string());
+            return None;
+        }
+    };
+    if version != WIRE_VERSION {
+        // Version negotiation: name the version we do speak.
+        let _ = write_error(
+            writer,
+            ERR_VERSION,
+            &format!(
+                "unsupported tmkp version {version}; this server speaks version {WIRE_VERSION}"
+            ),
+        );
+        return None;
+    }
+    let tenant = if tenant.is_empty() {
+        "anonymous".to_string()
+    } else {
+        tenant
+    };
+    let ok = PayloadBuilder::new().u32(WIRE_VERSION).build();
+    if write_frame(writer, OP_HELLO_OK, &ok).is_err() {
+        return None;
+    }
+    Some(tenant)
+}
+
+fn handle_query(writer: &mut impl Write, shared: &Shared, tenant: &str, payload: &[u8]) -> bool {
+    let _slot = match admit(shared, tenant) {
+        Ok(s) => s,
+        Err(()) => {
+            return write_error(
+                writer,
+                ERR_QUOTA,
+                &format!("tenant {tenant:?} is at its in-flight quota"),
+            )
+            .is_ok();
+        }
+    };
+    transmark_obs::counter!("serve.queries").inc();
+    match execute_query(&shared.engine, payload) {
+        Ok(result) => write_frame(writer, OP_RESULT, &result).is_ok(),
+        Err((code, message)) => write_error(writer, code, &message).is_ok(),
+    }
+}
+
+/// Decodes and runs one self-contained query, returning the RESULT
+/// payload. All arithmetic rides the same prepare → bind → execute path
+/// as the in-process facade, so results are bit-identical to it.
+fn execute_query(engine: &Engine, payload: &[u8]) -> Result<Vec<u8>, (u16, String)> {
+    let mut c = Cursor::new(payload);
+    let kind = c.u8("kind").map_err(bad_frame)?;
+    let flags = c.u8("flags").map_err(bad_frame)?;
+    let k = c.u32("k").map_err(bad_frame)?;
+    let query_text = c.string("query").map_err(bad_frame)?;
+    let output_text = c.string("output").map_err(bad_frame)?;
+    let seq_format = c.u8("sequence format").map_err(bad_frame)?;
+    let seq_bytes = c.bytes("sequence").map_err(bad_frame)?;
+
+    let t = transmark_core::textio::from_text(&query_text)
+        .map_err(|e| (ERR_QUERY, format!("query parse: {e}")))?;
+    let m = decode_sequence(seq_format, seq_bytes)?;
+
+    let with_profile = flags & 1 != 0;
+    let run = || -> Result<(u8, PayloadBuilder), (u16, String)> {
+        match kind {
+            KIND_CONFIDENCE => {
+                let o = parse_output(&t, &output_text)?;
+                let plan = engine.prepare(&t);
+                let v = plan
+                    .bind(&m)
+                    .and_then(|b| b.confidence(&o))
+                    .map_err(query_err)?;
+                Ok((RESULT_CONFIDENCE, PayloadBuilder::new().f64(v)))
+            }
+            KIND_TOP_K => {
+                let plan = engine.prepare(&t);
+                let answers = Evaluation::with_plan(&plan, &m)
+                    .and_then(|ev| ev.top_k_scored(k as usize))
+                    .map_err(query_err)?;
+                let mut b = PayloadBuilder::new().u32(answers.len() as u32);
+                for a in &answers {
+                    b = b.u32(a.output.len() as u32);
+                    for s in &a.output {
+                        b = b.u32(s.0);
+                    }
+                    b = b.f64(a.emax).f64(a.confidence);
+                }
+                Ok((RESULT_TOP_K, b))
+            }
+            KIND_SERIES => {
+                let event = engine.prepare_event(&t.underlying_nfa());
+                let series = event.series(&m).map_err(query_err)?;
+                let mut b = PayloadBuilder::new().u64(series.len() as u64);
+                for v in &series {
+                    b = b.f64(*v);
+                }
+                Ok((RESULT_SERIES, b))
+            }
+            other => Err((ERR_BAD_FRAME, format!("unknown query kind {other}"))),
+        }
+    };
+
+    finish_result(engine, with_profile, run)
+}
+
+/// Runs `run` (optionally under a query-scoped profiler) and assembles
+/// the RESULT payload: result kind, body, length-prefixed profile text.
+fn finish_result(
+    engine: &Engine,
+    with_profile: bool,
+    run: impl FnOnce() -> Result<(u8, PayloadBuilder), (u16, String)>,
+) -> Result<Vec<u8>, (u16, String)> {
+    let (outcome, profile_text) = if with_profile {
+        let (outcome, profile) = engine.profiled(run);
+        (outcome, profile.to_text())
+    } else {
+        (run(), String::new())
+    };
+    let (result_kind, body) = outcome?;
+    Ok(PayloadBuilder::new()
+        .u8(result_kind)
+        .raw(&body.build())
+        .string(&profile_text)
+        .build())
+}
+
+fn bad_frame(e: WireError) -> (u16, String) {
+    (ERR_BAD_FRAME, e.to_string())
+}
+
+fn query_err(e: transmark_core::error::EngineError) -> (u16, String) {
+    (ERR_QUERY, e.to_string())
+}
+
+fn source_err(e: &SourceError) -> (u16, String) {
+    match e {
+        SourceError::Version { found, supported } => (
+            ERR_VERSION,
+            format!(
+                "unsupported tmsb version {found}; this server speaks versions up to {supported}"
+            ),
+        ),
+        other => (ERR_QUERY, other.to_string()),
+    }
+}
+
+fn decode_sequence(format: u8, bytes: &[u8]) -> Result<MarkovSequence, (u16, String)> {
+    match format {
+        0 => {
+            let text = std::str::from_utf8(bytes)
+                .map_err(|_| (ERR_BAD_FRAME, "sequence text is not UTF-8".to_string()))?;
+            transmark_markov::textio::from_text(text)
+                .map_err(|e| (ERR_QUERY, format!("sequence parse: {e}")))
+        }
+        1 => transmark_markov::binio::from_tmsb_bytes(bytes).map_err(|e| source_err(&e)),
+        other => Err((ERR_BAD_FRAME, format!("unknown sequence format {other}"))),
+    }
+}
+
+fn parse_output(t: &Transducer, output_text: &str) -> Result<Vec<SymbolId>, (u16, String)> {
+    output_text
+        .split_whitespace()
+        .map(|name| {
+            t.output_alphabet().get(name).ok_or_else(|| {
+                (
+                    ERR_QUERY,
+                    format!("output symbol {name:?} is not in the query's output alphabet"),
+                )
+            })
+        })
+        .collect()
+}
+
+// ---- Streamed `.tmsb` sessions --------------------------------------------
+
+/// Presents the STREAM_DATA frames of one session as a contiguous byte
+/// stream (`impl Read`) for [`TmsbReader`], acknowledging each chunk
+/// only after the evaluation has fully consumed it: at most one
+/// unacknowledged chunk exists, so the sender is throttled to the
+/// query's own pace (stop-and-wait backpressure).
+struct FrameByteStream<'a, R: Read, W: Write> {
+    reader: &'a mut R,
+    writer: &'a mut W,
+    buf: Vec<u8>,
+    at: usize,
+    consumed: u64,
+    ended: bool,
+    /// Set when the wire itself failed (vs. the evaluation); the session
+    /// cannot be drained afterwards.
+    broken: bool,
+}
+
+impl<'a, R: Read, W: Write> FrameByteStream<'a, R, W> {
+    fn new(reader: &'a mut R, writer: &'a mut W) -> Self {
+        FrameByteStream {
+            reader,
+            writer,
+            buf: Vec::new(),
+            at: 0,
+            consumed: 0,
+            ended: false,
+            broken: false,
+        }
+    }
+
+    /// Acks the consumed prefix and pulls the next DATA frame.
+    fn refill(&mut self) -> std::io::Result<()> {
+        let ack = PayloadBuilder::new().u64(self.consumed).build();
+        write_frame(self.writer, OP_STREAM_ACK, &ack).map_err(|e| {
+            self.broken = true;
+            wire_to_io(e)
+        })?;
+        match read_frame(self.reader) {
+            Ok(Some(Frame {
+                op: OP_STREAM_DATA,
+                payload,
+            })) => {
+                self.buf = payload;
+                self.at = 0;
+                Ok(())
+            }
+            Ok(Some(Frame {
+                op: OP_STREAM_END, ..
+            })) => {
+                self.ended = true;
+                Ok(())
+            }
+            Ok(Some(f)) => {
+                self.broken = true;
+                Err(std::io::Error::other(format!(
+                    "unexpected opcode {:#04x} inside a stream session",
+                    f.op
+                )))
+            }
+            Ok(None) => {
+                self.broken = true;
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "peer closed mid-stream",
+                ))
+            }
+            Err(e) => {
+                self.broken = true;
+                Err(wire_to_io(e))
+            }
+        }
+    }
+
+    /// After the evaluation, runs the ack loop to the session's
+    /// STREAM_END so the connection is frame-aligned again. Surplus
+    /// chunks are acknowledged and discarded.
+    fn drain(mut self) -> bool {
+        if self.broken {
+            return false;
+        }
+        while !self.ended {
+            self.at = self.buf.len();
+            if self.refill().is_err() {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+fn wire_to_io(e: WireError) -> std::io::Error {
+    match e {
+        WireError::Io(e) => e,
+        other => std::io::Error::other(other.to_string()),
+    }
+}
+
+impl<R: Read, W: Write> Read for FrameByteStream<'_, R, W> {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        while self.at == self.buf.len() {
+            if self.ended {
+                return Ok(0);
+            }
+            self.refill()?;
+        }
+        let n = out.len().min(self.buf.len() - self.at);
+        out[..n].copy_from_slice(&self.buf[self.at..self.at + n]);
+        self.at += n;
+        self.consumed += n as u64;
+        Ok(n)
+    }
+}
+
+fn handle_stream<R: Read, W: Write>(
+    reader: &mut R,
+    writer: &mut W,
+    shared: &Shared,
+    tenant: &str,
+    payload: &[u8],
+) -> bool {
+    let _slot = match admit(shared, tenant) {
+        Ok(s) => s,
+        Err(()) => {
+            // The client has not sent any DATA yet (it waits for the
+            // first ack), so the error frame arrives in its place and
+            // the session never starts.
+            let ok = write_error(
+                writer,
+                ERR_QUOTA,
+                &format!("tenant {tenant:?} is at its in-flight quota"),
+            )
+            .is_ok();
+            return ok && drain_until_end(reader);
+        }
+    };
+    transmark_obs::counter!("serve.stream_sessions").inc();
+
+    let mut c = Cursor::new(payload);
+    let parsed = (|| -> Result<(u8, bool, Transducer, String), (u16, String)> {
+        let kind = c.u8("kind").map_err(bad_frame)?;
+        let flags = c.u8("flags").map_err(bad_frame)?;
+        let query_text = c.string("query").map_err(bad_frame)?;
+        let output_text = c.string("output").map_err(bad_frame)?;
+        let t = transmark_core::textio::from_text(&query_text)
+            .map_err(|e| (ERR_QUERY, format!("query parse: {e}")))?;
+        Ok((kind, flags & 1 != 0, t, output_text))
+    })();
+    let (kind, with_profile, t, output_text) = match parsed {
+        Ok(p) => p,
+        Err((code, message)) => {
+            let ok = write_error(writer, code, &message).is_ok();
+            return ok && drain_until_end(reader);
+        }
+    };
+
+    let engine = &shared.engine;
+    let mut src = FrameByteStream::new(reader, writer);
+    let outcome = run_stream_query(engine, kind, with_profile, &t, &output_text, &mut src);
+    let aligned = src.drain();
+    match outcome {
+        Ok(result) => aligned && write_frame(writer, OP_RESULT, &result).is_ok(),
+        Err((code, message)) => write_error(writer, code, &message).is_ok() && aligned,
+    }
+}
+
+/// Runs one streamed query over the session's byte stream. The header
+/// parse happens inside [`TmsbReader::new`], so `.tmsb` version
+/// negotiation and stride/truncation typing all come from the binio
+/// layer — the wire adds nothing to decode semantics.
+fn run_stream_query<R: Read, W: Write>(
+    engine: &Engine,
+    kind: u8,
+    with_profile: bool,
+    t: &Transducer,
+    output_text: &str,
+    src: &mut FrameByteStream<'_, R, W>,
+) -> Result<Vec<u8>, (u16, String)> {
+    let run = |src: &mut FrameByteStream<'_, R, W>| -> Result<(u8, PayloadBuilder), (u16, String)> {
+        let tmsb = TmsbReader::new(&mut *src).map_err(|e| source_err(&e))?;
+        match kind {
+            KIND_CONFIDENCE => {
+                let o = parse_output(t, output_text)?;
+                let plan = engine.prepare(t);
+                let v = plan
+                    .bind_source(tmsb)
+                    .and_then(|mut b| b.confidence(&o))
+                    .map_err(query_err)?;
+                Ok((RESULT_CONFIDENCE, PayloadBuilder::new().f64(v)))
+            }
+            KIND_SERIES => {
+                let event = engine.prepare_event(&t.underlying_nfa());
+                let mut tmsb = tmsb;
+                let series = event.series_source(&mut tmsb).map_err(query_err)?;
+                let mut b = PayloadBuilder::new().u64(series.len() as u64);
+                for v in &series {
+                    b = b.f64(*v);
+                }
+                Ok((RESULT_SERIES, b))
+            }
+            other => Err((
+                ERR_BAD_FRAME,
+                format!("query kind {other} cannot run over a stream session"),
+            )),
+        }
+    };
+
+    if with_profile {
+        let (outcome, profile) = engine.profiled(|| run(src));
+        let (result_kind, body) = outcome?;
+        Ok(PayloadBuilder::new()
+            .u8(result_kind)
+            .raw(&body.build())
+            .string(&profile.to_text())
+            .build())
+    } else {
+        let (result_kind, body) = run(src)?;
+        Ok(PayloadBuilder::new()
+            .u8(result_kind)
+            .raw(&body.build())
+            .string("")
+            .build())
+    }
+}
+
+/// Consumes session frames up to STREAM_END after an error was sent in
+/// place of an ack; under stop-and-wait the client sends at most its
+/// closing STREAM_END, so this terminates immediately.
+fn drain_until_end(reader: &mut impl Read) -> bool {
+    loop {
+        match read_frame(reader) {
+            Ok(Some(Frame {
+                op: OP_STREAM_END, ..
+            })) => return true,
+            Ok(Some(Frame {
+                op: OP_STREAM_DATA, ..
+            })) => continue,
+            _ => return false,
+        }
+    }
+}
+
+fn handle_metrics(writer: &mut impl Write, shared: &Shared, payload: &[u8]) -> bool {
+    let json = payload.first().copied().unwrap_or(0) == 1;
+    let snap = shared.engine.metrics();
+    let text = if json { snap.to_json() } else { snap.to_text() };
+    let result = PayloadBuilder::new()
+        .u8(RESULT_TEXT)
+        .raw(text.as_bytes())
+        .build();
+    write_frame(writer, OP_RESULT, &result).is_ok()
+}
+
+// ---- HTTP metrics scrape ---------------------------------------------------
+
+/// Serves one `GET /metrics[.json]` scrape in minimal HTTP/1.0. The
+/// `"GET "` prefix has already been consumed by the sniffer.
+fn serve_http(reader: &mut impl Read, writer: &mut impl Write, shared: &Shared) {
+    // Read the request head (bounded), extract the path.
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") && head.len() < 8192 {
+        match reader.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => head.push(byte[0]),
+            Err(_) => return,
+        }
+    }
+    let line = String::from_utf8_lossy(&head);
+    let path = line.split_whitespace().next().unwrap_or("/").to_string();
+    let (status, content_type, body) = match path.as_str() {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; charset=utf-8",
+            shared.engine.metrics().to_text(),
+        ),
+        "/metrics.json" => (
+            "200 OK",
+            "application/json",
+            shared.engine.metrics().to_json(),
+        ),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found; try /metrics or /metrics.json\n".to_string(),
+        ),
+    };
+    let _ = write!(
+        writer,
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = writer.flush();
+}
+
+/// Fills `buf` or reports failure (clean close included — the sniffer
+/// needs all four bytes to do anything useful).
+fn read_fully(reader: &mut impl Read, buf: &mut [u8]) -> Result<(), ()> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => return Err(()),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return Err(()),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,448 @@
+//! The `tmkp` wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every frame is `[u32 LE payload length][u8 opcode][payload]`. The
+//! first client frame must be [`OP_HELLO`] carrying the `"TMKP"` magic,
+//! the protocol version, and a tenant name; the server answers
+//! [`OP_HELLO_OK`] (or a typed [`OP_ERROR`] with [`ERR_VERSION`] naming
+//! the newest version it speaks — version negotiation, not garbage).
+//!
+//! Results are binary, not decimal text: confidences, series, and
+//! `E_max` scores travel as little-endian IEEE-754 bit patterns, so a
+//! served answer is **bit-identical** to the in-process engine path —
+//! the property the serve test suite pins per [`PlanKind`]
+//! (transmark_core::plan::PlanKind).
+//!
+//! Streamed sessions ([`OP_STREAM_BEGIN`] → [`OP_STREAM_DATA`]* →
+//! [`OP_STREAM_END`]) carry a raw `.tmsb` byte stream, chunked however
+//! the client likes; the server acknowledges each chunk
+//! ([`OP_STREAM_ACK`]) only after the evaluation has fully consumed it
+//! (stop-and-wait backpressure: at most one unacknowledged chunk is in
+//! flight, so a slow query propagates to a slow sender instead of an
+//! unbounded server buffer). See `PROTOCOL.md` for the normative spec.
+
+use std::io::{Read, Write};
+
+/// Leading bytes of the [`OP_HELLO`] payload.
+pub const WIRE_MAGIC: [u8; 4] = *b"TMKP";
+/// The protocol version this build speaks.
+pub const WIRE_VERSION: u32 = 1;
+/// Hard ceiling on a single frame's payload (64 MiB); larger
+/// length-prefixes are treated as garbage, not allocation requests.
+pub const MAX_FRAME: usize = 64 << 20;
+
+// ---- Opcodes: client → server ---------------------------------------------
+
+/// First frame on every connection: magic + version + tenant name.
+pub const OP_HELLO: u8 = 0x01;
+/// One self-contained query: kind, query text, output, sequence payload.
+pub const OP_QUERY: u8 = 0x02;
+/// Opens a streamed `.tmsb` session: kind, query text, output.
+pub const OP_STREAM_BEGIN: u8 = 0x03;
+/// One chunk of the streamed `.tmsb` byte stream (any chunking).
+pub const OP_STREAM_DATA: u8 = 0x04;
+/// Ends the streamed byte stream; the result frame follows.
+pub const OP_STREAM_END: u8 = 0x05;
+/// Requests a metrics snapshot (payload: 0 = text, 1 = JSON).
+pub const OP_METRICS: u8 = 0x06;
+/// Asks the server to shut down gracefully (acked, then drained).
+pub const OP_SHUTDOWN: u8 = 0x07;
+
+// ---- Opcodes: server → client ---------------------------------------------
+
+/// Accepts the HELLO; payload: the server's protocol version.
+pub const OP_HELLO_OK: u8 = 0x81;
+/// A query result (see the `RESULT_*` kinds).
+pub const OP_RESULT: u8 = 0x82;
+/// Acknowledges one fully-consumed stream chunk; payload: u64 LE total
+/// bytes consumed so far.
+pub const OP_STREAM_ACK: u8 = 0x83;
+/// Acknowledges a shutdown request.
+pub const OP_SHUTDOWN_OK: u8 = 0x84;
+/// A typed failure: u16 LE error code + UTF-8 message.
+pub const OP_ERROR: u8 = 0xFF;
+
+// ---- Query kinds -----------------------------------------------------------
+
+/// `Pr(stream →[query]→ o)` — exact confidence of one output string.
+pub const KIND_CONFIDENCE: u8 = 1;
+/// Top-k answers by `E_max` with exact confidences.
+pub const KIND_TOP_K: u8 = 2;
+/// Prefix acceptance series of the query's underlying NFA.
+pub const KIND_SERIES: u8 = 3;
+
+// ---- Result kinds ----------------------------------------------------------
+
+/// Payload: f64 LE bit pattern.
+pub const RESULT_CONFIDENCE: u8 = 1;
+/// Payload: u32 count, then per answer u32 len + len×u32 symbol ids +
+/// f64 `E_max` + f64 confidence (all LE bit patterns).
+pub const RESULT_TOP_K: u8 = 2;
+/// Payload: u64 count + count×f64 LE bit patterns.
+pub const RESULT_SERIES: u8 = 3;
+/// Payload: UTF-8 text (metrics snapshots).
+pub const RESULT_TEXT: u8 = 4;
+
+// ---- Error codes -----------------------------------------------------------
+
+/// Malformed frame or payload.
+pub const ERR_BAD_FRAME: u16 = 1;
+/// The peer speaks a protocol (or `.tmsb`) version this server does not;
+/// the message names the newest supported version.
+pub const ERR_VERSION: u16 = 2;
+/// Admission control: the worker pool's bounded queue is full.
+pub const ERR_SATURATED: u16 = 3;
+/// The tenant named in HELLO is at its in-flight quota.
+pub const ERR_QUOTA: u16 = 4;
+/// The query itself failed (parse, alphabet mismatch, evaluation).
+pub const ERR_QUERY: u16 = 5;
+/// A frame arrived that this connection state does not allow.
+pub const ERR_STATE: u16 = 6;
+/// The server is shutting down.
+pub const ERR_SHUTDOWN: u16 = 7;
+
+/// One decoded frame: opcode plus owned payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The frame's opcode (`OP_*`).
+    pub op: u8,
+    /// The frame's payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Errors of the wire layer itself (not query failures — those travel
+/// as [`OP_ERROR`] frames).
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying socket failed or closed mid-frame.
+    Io(std::io::Error),
+    /// The peer sent bytes that are not a well-formed frame.
+    Malformed(String),
+    /// The peer reported a typed failure ([`OP_ERROR`]).
+    Remote {
+        /// The `ERR_*` code.
+        code: u16,
+        /// The human-readable message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+            WireError::Malformed(m) => write!(f, "malformed frame: {m}"),
+            WireError::Remote { code, message } => {
+                write!(f, "server error {code}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Writes one frame and flushes it.
+pub fn write_frame(w: &mut impl Write, op: u8, payload: &[u8]) -> Result<(), WireError> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| WireError::Malformed("payload exceeds u32 length".into()))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&[op])?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame. `Ok(None)` means the peer closed cleanly *between*
+/// frames; closing mid-frame is an error.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, WireError> {
+    let mut len_buf = [0u8; 4];
+    match read_exact_or_eof(r, &mut len_buf)? {
+        Eof::Clean => return Ok(None),
+        Eof::Data => {}
+    }
+    read_frame_after_len(r, len_buf)
+}
+
+/// Finishes reading a frame whose 4-byte length prefix was already
+/// consumed (the server peeks those bytes to sniff HTTP scrapes).
+pub fn read_frame_after_len(
+    r: &mut impl Read,
+    len_buf: [u8; 4],
+) -> Result<Option<Frame>, WireError> {
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(WireError::Malformed(format!(
+            "frame length {len} exceeds the {MAX_FRAME}-byte ceiling"
+        )));
+    }
+    let mut op = [0u8; 1];
+    r.read_exact(&mut op).map_err(|e| truncated("opcode", e))?;
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)
+        .map_err(|e| truncated("payload", e))?;
+    Ok(Some(Frame { op: op[0], payload }))
+}
+
+enum Eof {
+    Clean,
+    Data,
+}
+
+/// Fills `buf` completely, distinguishing "no bytes at all" (a clean
+/// close between frames) from a mid-prefix cut.
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<Eof, WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(Eof::Clean),
+            Ok(0) => {
+                return Err(WireError::Malformed(format!(
+                    "peer closed {filled} bytes into a frame's length prefix"
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(Eof::Data)
+}
+
+fn truncated(what: &str, e: std::io::Error) -> WireError {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        WireError::Malformed(format!("peer closed mid-frame (reading {what})"))
+    } else {
+        WireError::Io(e)
+    }
+}
+
+/// Sends a typed [`OP_ERROR`] frame.
+pub fn write_error(w: &mut impl Write, code: u16, message: &str) -> Result<(), WireError> {
+    let mut payload = Vec::with_capacity(2 + message.len());
+    payload.extend_from_slice(&code.to_le_bytes());
+    payload.extend_from_slice(message.as_bytes());
+    write_frame(w, OP_ERROR, &payload)
+}
+
+/// Parses an [`OP_ERROR`] payload into its code and message.
+pub fn parse_error(payload: &[u8]) -> (u16, String) {
+    if payload.len() < 2 {
+        return (ERR_BAD_FRAME, "truncated error frame".to_string());
+    }
+    let code = u16::from_le_bytes([payload[0], payload[1]]);
+    let message = String::from_utf8_lossy(&payload[2..]).into_owned();
+    (code, message)
+}
+
+// ---- Payload cursor --------------------------------------------------------
+
+/// A little-endian decode cursor over one frame's payload. Every getter
+/// fails loudly on truncation instead of wrapping or zero-filling.
+pub struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Starts decoding at the front of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, at: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], WireError> {
+        if self.at + n > self.bytes.len() {
+            return Err(WireError::Malformed(format!(
+                "payload truncated reading {what}"
+            )));
+        }
+        let s = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    /// One byte.
+    pub fn u8(&mut self, what: &str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// A little-endian u16.
+    pub fn u16(&mut self, what: &str) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(
+            self.take(2, what)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    /// A little-endian u32.
+    pub fn u32(&mut self, what: &str) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// A little-endian u64.
+    pub fn u64(&mut self, what: &str) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// A little-endian f64 bit pattern (bit-exact, no decimal detour).
+    pub fn f64(&mut self, what: &str) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// A u32-length-prefixed byte run.
+    pub fn bytes(&mut self, what: &str) -> Result<&'a [u8], WireError> {
+        let len = self.u32(what)? as usize;
+        self.take(len, what)
+    }
+
+    /// A u32-length-prefixed UTF-8 string.
+    pub fn string(&mut self, what: &str) -> Result<String, WireError> {
+        let b = self.bytes(what)?;
+        String::from_utf8(b.to_vec())
+            .map_err(|_| WireError::Malformed(format!("{what} is not valid UTF-8")))
+    }
+
+    /// True when every payload byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.at == self.bytes.len()
+    }
+}
+
+/// A payload builder mirroring [`Cursor`]'s encodings.
+#[derive(Default)]
+pub struct PayloadBuilder {
+    bytes: Vec<u8>,
+}
+
+impl PayloadBuilder {
+    /// An empty payload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one byte.
+    pub fn u8(mut self, v: u8) -> Self {
+        self.bytes.push(v);
+        self
+    }
+
+    /// Appends a little-endian u16.
+    pub fn u16(mut self, v: u16) -> Self {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a little-endian u32.
+    pub fn u32(mut self, v: u32) -> Self {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a little-endian u64.
+    pub fn u64(mut self, v: u64) -> Self {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends an f64 as its little-endian bit pattern.
+    pub fn f64(mut self, v: f64) -> Self {
+        self.bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        self
+    }
+
+    /// Appends a u32-length-prefixed byte run.
+    pub fn bytes(mut self, v: &[u8]) -> Self {
+        self = self.u32(v.len() as u32);
+        self.bytes.extend_from_slice(v);
+        self
+    }
+
+    /// Appends a u32-length-prefixed UTF-8 string.
+    pub fn string(self, v: &str) -> Self {
+        self.bytes(v.as_bytes())
+    }
+
+    /// Appends raw bytes with no length prefix.
+    pub fn raw(mut self, v: &[u8]) -> Self {
+        self.bytes.extend_from_slice(v);
+        self
+    }
+
+    /// The finished payload.
+    pub fn build(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, OP_QUERY, b"hello").unwrap();
+        write_frame(&mut wire, OP_STREAM_END, b"").unwrap();
+        let mut r = std::io::Cursor::new(&wire);
+        let f1 = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(
+            (f1.op, f1.payload.as_slice()),
+            (OP_QUERY, b"hello".as_slice())
+        );
+        let f2 = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!((f2.op, f2.payload.len()), (OP_STREAM_END, 0));
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn mid_frame_close_is_malformed_not_clean() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, OP_QUERY, b"payload").unwrap();
+        // Cut inside the payload.
+        let cut = &wire[..wire.len() - 3];
+        let mut r = std::io::Cursor::new(cut);
+        assert!(matches!(read_frame(&mut r), Err(WireError::Malformed(_))));
+        // Cut inside the length prefix.
+        let mut r = std::io::Cursor::new(&wire[..2]);
+        assert!(matches!(read_frame(&mut r), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocating() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        wire.push(OP_QUERY);
+        let mut r = std::io::Cursor::new(&wire);
+        assert!(matches!(read_frame(&mut r), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn cursor_and_builder_are_inverses() {
+        let payload = PayloadBuilder::new()
+            .u8(7)
+            .u16(300)
+            .u32(70_000)
+            .u64(1 << 40)
+            .f64(0.1 + 0.2)
+            .string("tenant")
+            .bytes(&[1, 2, 3])
+            .build();
+        let mut c = Cursor::new(&payload);
+        assert_eq!(c.u8("a").unwrap(), 7);
+        assert_eq!(c.u16("b").unwrap(), 300);
+        assert_eq!(c.u32("c").unwrap(), 70_000);
+        assert_eq!(c.u64("d").unwrap(), 1 << 40);
+        assert_eq!(c.f64("e").unwrap().to_bits(), (0.1f64 + 0.2).to_bits());
+        assert_eq!(c.string("f").unwrap(), "tenant");
+        assert_eq!(c.bytes("g").unwrap(), &[1, 2, 3]);
+        assert!(c.is_exhausted());
+        assert!(c.u8("past the end").is_err());
+    }
+}

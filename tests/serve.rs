@@ -1,0 +1,430 @@
+//! Loopback integration tests for `tmk serve`: results served over the
+//! `tmkp` protocol must be **bit-identical** to the in-process
+//! [`Engine`](transmark::Engine) path for every `PlanKind` — including
+//! streamed `.tmsb` sessions fed chunk by chunk — and the wire must
+//! answer version mismatches, quota exhaustion, and malformed traffic
+//! with typed errors instead of hangs or garbage.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::OnceLock;
+
+use transmark::engine::evaluate::Evaluation;
+use transmark::engine::generate::{random_transducer, RandomTransducerSpec, TransducerClass};
+use transmark::engine::transducer::Transducer;
+use transmark::markov::binio::{to_tmsb_bytes, TmsbReader};
+use transmark::markov::generate::{random_markov_sequence, RandomChainSpec};
+use transmark::markov::MarkovSequence;
+use transmark::serve::client::{Client, Sequence};
+use transmark::serve::protocol::{
+    read_frame, write_frame, PayloadBuilder, WireError, ERR_BAD_FRAME, ERR_QUOTA, ERR_VERSION,
+    OP_ERROR, OP_HELLO, OP_HELLO_OK, OP_RESULT, OP_STREAM_ACK, OP_STREAM_BEGIN, OP_STREAM_DATA,
+    OP_STREAM_END, WIRE_MAGIC, WIRE_VERSION,
+};
+use transmark::serve::{ServeConfig, Server};
+use transmark::Engine;
+
+/// One server shared by every test in this binary (tests that need
+/// special quotas or a private lifetime start their own). Never shut
+/// down: it lives until process exit, like a real service.
+fn shared_server() -> &'static Server {
+    static SERVER: OnceLock<Server> = OnceLock::new();
+    SERVER.get_or_init(|| {
+        Server::start(ServeConfig {
+            threads: 4,
+            ..ServeConfig::default()
+        })
+        .expect("bind an ephemeral loopback port")
+    })
+}
+
+fn addr() -> String {
+    shared_server().local_addr().to_string()
+}
+
+fn instance(class: TransducerClass, seed: u64, n: usize) -> (Transducer, MarkovSequence) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = random_markov_sequence(
+        &RandomChainSpec {
+            len: n,
+            n_symbols: 2,
+            zero_prob: 0.3,
+        },
+        &mut rng,
+    );
+    let t = random_transducer(
+        &RandomTransducerSpec {
+            n_states: 3,
+            n_input_symbols: 2,
+            n_output_symbols: 2,
+            class,
+            branching: 1.5,
+        },
+        &mut rng,
+    );
+    (t, m)
+}
+
+fn arb_class() -> impl Strategy<Value = TransducerClass> {
+    prop_oneof![
+        Just(TransducerClass::General),
+        Just(TransducerClass::Deterministic),
+        Just(TransducerClass::Mealy),
+        Just(TransducerClass::Uniform(1)),
+        Just(TransducerClass::Uniform(2)),
+        Just(TransducerClass::Projector),
+    ]
+}
+
+/// Renders an output (symbol ids) as the space-separated names the wire
+/// protocol uses.
+fn output_names(t: &Transducer, o: &[transmark::automata::SymbolId]) -> String {
+    o.iter()
+        .map(|&s| t.output_alphabet().name(s).to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Every transducer class — so every `PlanKind` route — served over
+    /// loopback in both sequence formats, compared bitwise against a
+    /// local in-process engine, including a chunked stream session.
+    #[test]
+    fn served_results_are_bit_identical(class in arb_class(), seed in any::<u64>(), n in 1usize..5) {
+        let (t, m) = instance(class, seed, n);
+        let query_text = transmark::engine::textio::to_text(&t);
+        let seq_text = transmark::markov::textio::to_text(&m);
+        let tmsb = to_tmsb_bytes(&m);
+
+        let local = Engine::new();
+        let plan = local.prepare(&t);
+        let answers = Evaluation::with_plan(&plan, &m)
+            .and_then(|ev| ev.top_k_scored(5))
+            .expect("local top-k");
+
+        let mut client = Client::connect(&addr(), "prop").expect("connect");
+
+        // Top-k: same answers in the same order, scores bit-for-bit,
+        // from both the text and the binary sequence encoding.
+        for seq in [Sequence::Text(&seq_text), Sequence::Binary(&tmsb)] {
+            let served = client.top_k(&query_text, &seq, 5, false).expect("served top-k");
+            prop_assert_eq!(served.value.len(), answers.len());
+            for (w, a) in served.value.iter().zip(answers.iter()) {
+                let ids: Vec<u32> = a.output.iter().map(|s| s.0).collect();
+                prop_assert_eq!(&w.output, &ids);
+                prop_assert_eq!(w.emax.to_bits(), a.emax.to_bits());
+                prop_assert_eq!(w.confidence.to_bits(), a.confidence.to_bits());
+            }
+        }
+
+        // Confidence of each answer, by name, bit-for-bit.
+        let bound = plan.bind(&m).expect("local bind");
+        for a in &answers {
+            let names = output_names(&t, &a.output);
+            let c_local = bound.confidence(&a.output).expect("local confidence");
+            let served = client
+                .confidence(&query_text, &Sequence::Binary(&tmsb), &names, false)
+                .expect("served confidence");
+            prop_assert_eq!(served.value.to_bits(), c_local.to_bits());
+        }
+
+        // The prefix acceptance series.
+        let event = local.prepare_event(&t.underlying_nfa());
+        let series_local = event.series(&m).expect("local series");
+        let served = client
+            .series(&query_text, &Sequence::Text(&seq_text), false)
+            .expect("served series");
+        prop_assert_eq!(served.value.len(), series_local.len());
+        for (a, b) in served.value.iter().zip(series_local.iter()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        // Streamed sessions: tiny chunks force many DATA/ACK rounds; the
+        // reference is the local source-bound path over the same bytes.
+        for chunk in [1usize, 13, tmsb.len().max(1)] {
+            let mut local_src = TmsbReader::new(&tmsb[..]).expect("local reader");
+            let series_src = event.series_source(&mut local_src).expect("local source series");
+            let served = client
+                .stream_series(&query_text, &tmsb, chunk)
+                .expect("served stream series");
+            prop_assert_eq!(served.value.len(), series_src.len());
+            for (a, b) in served.value.iter().zip(series_src.iter()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        if let Some(a) = answers.first() {
+            let names = output_names(&t, &a.output);
+            let c_local = plan
+                .bind_source(TmsbReader::new(&tmsb[..]).expect("local reader"))
+                .and_then(|mut b| b.confidence(&a.output))
+                .expect("local source confidence");
+            let served = client
+                .stream_confidence(&query_text, &names, &tmsb, 7)
+                .expect("served stream confidence");
+            prop_assert_eq!(served.value.to_bits(), c_local.to_bits());
+        }
+    }
+}
+
+/// The same query text from two fresh connections hits the server's
+/// process-lifetime plan cache the second time.
+#[test]
+fn plan_cache_is_shared_across_connections() {
+    let server = shared_server();
+    let (t, m) = instance(TransducerClass::Deterministic, 0xCAFE, 3);
+    let query_text = transmark::engine::textio::to_text(&t);
+    let seq_text = transmark::markov::textio::to_text(&m);
+
+    let before = server.engine().plan_stats();
+    for _ in 0..2 {
+        let mut client = Client::connect(&addr(), "cache").expect("connect");
+        client
+            .top_k(&query_text, &Sequence::Text(&seq_text), 3, false)
+            .expect("served top-k");
+    }
+    let after = server.engine().plan_stats();
+    assert!(
+        after.hits > before.hits,
+        "second connection should hit the shared plan cache: {before:?} -> {after:?}"
+    );
+}
+
+/// A HELLO with an unknown protocol version gets a typed ERR_VERSION
+/// naming the spoken version — not a hang, not a close.
+#[test]
+fn tmkp_version_mismatch_is_typed() {
+    let mut s = TcpStream::connect(addr()).expect("connect");
+    let hello = PayloadBuilder::new()
+        .raw(&WIRE_MAGIC)
+        .u32(WIRE_VERSION + 41)
+        .string("time-traveller")
+        .build();
+    write_frame(&mut s, OP_HELLO, &hello).expect("send hello");
+    let frame = read_frame(&mut s)
+        .expect("read reply")
+        .expect("a reply frame");
+    assert_eq!(frame.op, OP_ERROR);
+    let (code, message) = transmark::serve::protocol::parse_error(&frame.payload);
+    assert_eq!(code, ERR_VERSION);
+    assert!(
+        message.contains(&WIRE_VERSION.to_string()),
+        "the error should name the supported version: {message}"
+    );
+}
+
+/// Garbage magic is a typed bad-frame error.
+#[test]
+fn bad_magic_is_rejected() {
+    let mut s = TcpStream::connect(addr()).expect("connect");
+    let hello = PayloadBuilder::new()
+        .raw(b"NOPE")
+        .u32(WIRE_VERSION)
+        .string("")
+        .build();
+    write_frame(&mut s, OP_HELLO, &hello).expect("send hello");
+    let frame = read_frame(&mut s)
+        .expect("read reply")
+        .expect("a reply frame");
+    assert_eq!(frame.op, OP_ERROR);
+    let (code, _) = transmark::serve::protocol::parse_error(&frame.payload);
+    assert_eq!(code, ERR_BAD_FRAME);
+}
+
+/// A `.tmsb` payload stamped with a future format version is refused
+/// with ERR_VERSION — through the self-contained query path and through
+/// a stream session — and the connection stays usable afterwards.
+#[test]
+fn tmsb_version_mismatch_over_the_wire() {
+    let (t, m) = instance(TransducerClass::Mealy, 7, 3);
+    let query_text = transmark::engine::textio::to_text(&t);
+    let mut tmsb = to_tmsb_bytes(&m);
+    tmsb[4..8].copy_from_slice(&99u32.to_le_bytes());
+
+    let mut client = Client::connect(&addr(), "future").expect("connect");
+    match client.series(&query_text, &Sequence::Binary(&tmsb), false) {
+        Err(WireError::Remote { code, message }) => {
+            assert_eq!(code, ERR_VERSION);
+            assert!(message.contains("99"), "{message}");
+        }
+        other => panic!("expected a remote version error, got {other:?}"),
+    }
+    match client.stream_series(&query_text, &tmsb, 5) {
+        Err(WireError::Remote { code, .. }) => assert_eq!(code, ERR_VERSION),
+        other => panic!("expected a remote version error, got {other:?}"),
+    }
+
+    // The error left the connection frame-aligned: a good query works.
+    let good = to_tmsb_bytes(&m);
+    client
+        .series(&query_text, &Sequence::Binary(&good), false)
+        .expect("connection still usable after typed errors");
+}
+
+/// A peer that dies mid-frame neither wedges the server nor poisons
+/// later connections.
+#[test]
+fn partial_frames_do_not_wedge_the_server() {
+    // Half a length prefix, then gone.
+    let mut s = TcpStream::connect(addr()).expect("connect");
+    s.write_all(&[0x10, 0x00]).expect("write partial prefix");
+    drop(s);
+
+    // A length prefix promising more than the peer ever sends.
+    let mut s = TcpStream::connect(addr()).expect("connect");
+    s.write_all(&20u32.to_le_bytes()).expect("write prefix");
+    s.write_all(&[OP_HELLO, 1, 2, 3])
+        .expect("write partial body");
+    drop(s);
+
+    // The server is still answering.
+    let (t, m) = instance(TransducerClass::General, 21, 2);
+    let mut client = Client::connect(&addr(), "after").expect("connect");
+    client
+        .series(
+            &transmark::engine::textio::to_text(&t),
+            &Sequence::Text(&transmark::markov::textio::to_text(&m)),
+            false,
+        )
+        .expect("query after partial-frame peers");
+}
+
+/// With a quota of one in-flight query per tenant, a second query from
+/// the same tenant is refused with ERR_QUOTA while a different tenant
+/// still gets through.
+#[test]
+fn tenant_quota_is_enforced() {
+    let server = Server::start(ServeConfig {
+        threads: 3,
+        tenant_quota: 1,
+        ..ServeConfig::default()
+    })
+    .expect("start quota server");
+    let addr = server.local_addr().to_string();
+
+    let (t, m) = instance(TransducerClass::Deterministic, 11, 3);
+    let query_text = transmark::engine::textio::to_text(&t);
+    let seq_text = transmark::markov::textio::to_text(&m);
+    let tmsb = to_tmsb_bytes(&m);
+
+    // Session A (tenant "shared") opens a stream and stalls after the
+    // first ack: its quota slot stays held while it dawdles.
+    let mut a = TcpStream::connect(&addr).expect("connect A");
+    let hello = PayloadBuilder::new()
+        .raw(&WIRE_MAGIC)
+        .u32(WIRE_VERSION)
+        .string("shared")
+        .build();
+    write_frame(&mut a, OP_HELLO, &hello).expect("hello A");
+    let frame = read_frame(&mut a).expect("hello reply").expect("frame");
+    assert_eq!(frame.op, OP_HELLO_OK);
+    let begin = PayloadBuilder::new()
+        .u8(3) // KIND_SERIES
+        .u8(0)
+        .string(&query_text)
+        .string("")
+        .build();
+    write_frame(&mut a, OP_STREAM_BEGIN, &begin).expect("begin A");
+    let frame = read_frame(&mut a).expect("first ack").expect("frame");
+    assert_eq!(frame.op, OP_STREAM_ACK);
+
+    // Tenant "shared" is now at its quota; tenant "other" is not.
+    let mut b = Client::connect(&addr, "shared").expect("connect B");
+    match b.series(&query_text, &Sequence::Text(&seq_text), false) {
+        Err(WireError::Remote { code, .. }) => assert_eq!(code, ERR_QUOTA),
+        other => panic!("expected a quota error, got {other:?}"),
+    }
+    let mut c = Client::connect(&addr, "other").expect("connect C");
+    c.series(&query_text, &Sequence::Text(&seq_text), false)
+        .expect("other tenant is under quota");
+
+    // Session A completes: data, end, result — and releases the slot.
+    write_frame(&mut a, OP_STREAM_DATA, &tmsb).expect("data A");
+    loop {
+        let frame = read_frame(&mut a).expect("session A reply").expect("frame");
+        match frame.op {
+            OP_STREAM_ACK => write_frame(&mut a, OP_STREAM_END, &[]).expect("end A"),
+            OP_RESULT => break,
+            other => panic!("unexpected opcode {other:#04x} in session A"),
+        }
+    }
+    drop(a);
+    let mut b2 = Client::connect(&addr, "shared").expect("reconnect B");
+    b2.series(&query_text, &Sequence::Text(&seq_text), false)
+        .expect("slot released after session A finished");
+
+    server.shutdown();
+}
+
+/// Metrics are served over both transports: tmkp OP_METRICS (text and
+/// JSON) and a plain HTTP/1.0 GET on the same port.
+#[test]
+fn metrics_over_tmkp_and_http() {
+    let (t, m) = instance(TransducerClass::General, 5, 2);
+    let mut client = Client::connect(&addr(), "metrics").expect("connect");
+    client
+        .series(
+            &transmark::engine::textio::to_text(&t),
+            &Sequence::Text(&transmark::markov::textio::to_text(&m)),
+            false,
+        )
+        .expect("seed one query");
+
+    // The transport works regardless of instrumentation; the counter
+    // names only appear when the obs layer is compiled in (not obs-off).
+    let instrumented = transmark::obs::enabled();
+    let text = client.metrics(false).expect("metrics text");
+    let json = client.metrics(true).expect("metrics json");
+    if instrumented {
+        assert!(text.contains("serve.queries"), "{text}");
+        assert!(json.trim_start().starts_with('{'), "{json}");
+        assert!(json.contains("serve.queries"), "{json}");
+    }
+
+    let http = |path: &str| -> String {
+        let mut s = TcpStream::connect(addr()).expect("connect http");
+        write!(s, "GET {path} HTTP/1.0\r\n\r\n").expect("send request");
+        s.flush().expect("flush");
+        let mut out = String::new();
+        s.read_to_string(&mut out).expect("read response");
+        out
+    };
+    let scrape = http("/metrics");
+    assert!(scrape.starts_with("HTTP/1.0 200 OK"), "{scrape}");
+    if instrumented {
+        assert!(scrape.contains("serve.connections"), "{scrape}");
+    }
+    let scrape = http("/metrics.json");
+    assert!(scrape.contains("application/json"), "{scrape}");
+    let scrape = http("/nope");
+    assert!(scrape.starts_with("HTTP/1.0 404"), "{scrape}");
+}
+
+/// OP_SHUTDOWN acks, then the whole server — accept loop and workers —
+/// drains and joins.
+#[test]
+fn graceful_shutdown_via_client() {
+    let server = Server::start(ServeConfig {
+        threads: 2,
+        ..ServeConfig::default()
+    })
+    .expect("start private server");
+    let addr = server.local_addr().to_string();
+
+    let (t, m) = instance(TransducerClass::Uniform(1), 3, 2);
+    let mut client = Client::connect(&addr, "bye").expect("connect");
+    client
+        .series(
+            &transmark::engine::textio::to_text(&t),
+            &Sequence::Text(&transmark::markov::textio::to_text(&m)),
+            false,
+        )
+        .expect("one query before shutdown");
+    client.shutdown().expect("shutdown acked");
+
+    // Joins the accept loop and drains the pool; must not hang.
+    server.wait();
+}
