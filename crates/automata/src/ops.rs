@@ -108,6 +108,26 @@ impl DetCore {
         self.trans[slot] = next_id;
         next_id
     }
+
+    /// Interns `subset` exactly as [`DetCore::step`] would on first
+    /// discovery, returning its dense id (existing subsets return their
+    /// original id). Checkpoint resume uses this to replay a fold's
+    /// discovery order: re-interning the serialized subsets in id order
+    /// rebuilds identical ids, so reductions that order by id stay
+    /// bit-reproducible across suspend/resume. The transition cache is
+    /// left cold — it refills deterministically on demand.
+    pub fn intern(&mut self, subset: BitSet) -> usize {
+        match self.ids.get(&subset) {
+            Some(&i) => i,
+            None => {
+                let i = self.subsets.len();
+                self.ids.insert(subset.clone(), i);
+                self.subsets.push(subset);
+                self.trans.extend((0..self.n_symbols).map(|_| usize::MAX));
+                i
+            }
+        }
+    }
 }
 
 /// On-the-fly subset construction over an [`Nfa`].

@@ -30,8 +30,7 @@
 
 use transmark_automata::{ops::DetCore, BitSet, Nfa, StateId, SymbolId};
 use transmark_kernel::{
-    advance, advance_filtered, count_layers, Bool, ExecSteps, LayerCsr, Prob, StepGraph,
-    SubsetLayer, Workspace,
+    advance, count_layers, Bool, ExecSteps, LayerCsr, Prob, StepGraph, SubsetLayer, Workspace,
 };
 use transmark_markov::{MarkovSequence, StepSource};
 
@@ -209,53 +208,9 @@ pub(crate) fn confidence_deterministic_impl(
     total.total()
 }
 
-/// [`confidence_deterministic_impl`] over a streamed source: each pulled
-/// dense layer is compacted into a [`LayerCsr`] (identical rows to the
-/// materialized CSR) and advanced immediately, so memory stays
-/// O(|Σ|·rows) regardless of `n`.
-pub(crate) fn confidence_deterministic_source_impl<S: StepSource>(
-    t: &Transducer,
-    src: &mut S,
-    graph: &StepGraph,
-    ws: &mut Workspace<f64>,
-    o_len: usize,
-) -> Result<f64, EngineError> {
-    let n_nodes = src.alphabet().len();
-    let nq = t.n_states();
-    let width = o_len + 1;
-    let nr = graph.n_rows();
-
-    ws.reset(n_nodes * nr, 0.0);
-    let init_row = (t.initial().index() * width) as u32;
-    for (node, &p) in src.initial().iter().enumerate() {
-        if p > 0.0 {
-            for e in graph.edges(node as u32, init_row) {
-                ws.cur_mut()[node * nr + e.to as usize] += p;
-            }
-        }
-    }
-    let mut csr = LayerCsr::new();
-    let mut layers = 0u64;
-    while let Some(matrix) = src.next_step()? {
-        csr.load_dense(n_nodes, matrix);
-        ws.clear_next(0.0);
-        let (cur, next) = ws.buffers();
-        advance::<Prob, _>(&csr, graph, cur, next);
-        ws.swap();
-        layers += 1;
-    }
-    count_layers(layers);
-    let cur = ws.cur();
-    let mut total = transmark_kernel::Neumaier::new();
-    for node in 0..n_nodes {
-        for q in 0..nq {
-            if t.is_accepting(StateId(q as u32)) {
-                total.add(cur[node * nr + q * width + o_len]);
-            }
-        }
-    }
-    Ok(total.total())
-}
+// The streamed (`StepSource`) form of this pass lives in
+// `crate::incremental::ConfidenceSession` — the seed/step/finish state
+// machine that `SourceBoundQuery::confidence` drives and checkpoints.
 
 /// k-uniform fast path of Theorem 4.6: the output position is forced to
 /// `k·i`, so the DP is over (node, state) only; edges are gated per step
@@ -308,57 +263,7 @@ pub(crate) fn confidence_deterministic_uniform_impl(
     total.total()
 }
 
-/// [`confidence_deterministic_uniform_impl`] over a streamed source.
-pub(crate) fn confidence_deterministic_uniform_source_impl<S: StepSource>(
-    t: &Transducer,
-    src: &mut S,
-    graph: &StepGraph,
-    ws: &mut Workspace<f64>,
-    o: &[SymbolId],
-    k: usize,
-    emission_id: &mut dyn FnMut(&[SymbolId]) -> u32,
-) -> Result<f64, EngineError> {
-    let n = src.len();
-    if o.len() != k * n {
-        return Ok(0.0);
-    }
-    let n_nodes = src.alphabet().len();
-    let nq = t.n_states();
-
-    ws.reset(n_nodes * nq, 0.0);
-    let seed_id = emission_id(&o[..k]);
-    for (node, &p) in src.initial().iter().enumerate() {
-        if p > 0.0 {
-            for e in graph.edges(node as u32, t.initial().0) {
-                if e.payload == seed_id {
-                    ws.cur_mut()[node * nq + e.to as usize] += p;
-                }
-            }
-        }
-    }
-    let mut csr = LayerCsr::new();
-    let mut i = 0usize;
-    while let Some(matrix) = src.next_step()? {
-        let expected = emission_id(&o[k * (i + 1)..k * (i + 2)]);
-        i += 1;
-        csr.load_dense(n_nodes, matrix);
-        ws.clear_next(0.0);
-        let (cur, next) = ws.buffers();
-        advance_filtered::<Prob, _>(&csr, graph, expected, cur, next);
-        ws.swap();
-    }
-    count_layers(i as u64);
-    let cur = ws.cur();
-    let mut total = transmark_kernel::Neumaier::new();
-    for node in 0..n_nodes {
-        for q in 0..nq {
-            if t.is_accepting(StateId(q as u32)) {
-                total.add(cur[node * nq + q]);
-            }
-        }
-    }
-    Ok(total.total())
-}
+// (Streamed form: `crate::incremental::ConfidenceSession`.)
 
 // ---------------------------------------------------------------------------
 // Theorem 4.8 — nondeterministic, uniform emission
@@ -399,7 +304,7 @@ pub fn confidence_uniform_nfa(
 /// Seeds the Thm 4.8 layer from a dense initial distribution: one
 /// reachable-state set per positive-probability node, gated by the seed
 /// emission id.
-fn uniform_nfa_seed(
+pub(crate) fn uniform_nfa_seed(
     t: &Transducer,
     graph: &StepGraph,
     initial: &[f64],
@@ -429,7 +334,7 @@ fn uniform_nfa_seed(
 /// zeros visits exactly the pairs `transitions_from` used to yield, in the
 /// same ascending order, so the fold is bit-identical to the historical
 /// sequence-walking loop.
-fn uniform_nfa_step(
+pub(crate) fn uniform_nfa_step(
     t: &Transducer,
     graph: &StepGraph,
     layer: SubsetLayer<(u32, BitSet)>,
@@ -485,30 +390,7 @@ pub(crate) fn confidence_uniform_nfa_impl(
     layer.reduce(|(_, set)| set.intersects(accepting))
 }
 
-/// [`confidence_uniform_nfa_impl`] over a streamed source.
-pub(crate) fn confidence_uniform_nfa_source_impl<S: StepSource>(
-    t: &Transducer,
-    src: &mut S,
-    graph: &StepGraph,
-    accepting: &BitSet,
-    o: &[SymbolId],
-    k: usize,
-    emission_id: &mut dyn FnMut(&[SymbolId]) -> u32,
-) -> Result<f64, EngineError> {
-    let n = src.len();
-    if o.len() != k * n {
-        return Ok(0.0);
-    }
-    let n_sym = src.alphabet().len();
-    let mut layer = uniform_nfa_seed(t, graph, src.initial(), emission_id(&o[..k]));
-    let mut i = 0usize;
-    while let Some(matrix) = src.next_step()? {
-        let expected = emission_id(&o[k * (i + 1)..k * (i + 2)]);
-        i += 1;
-        layer = uniform_nfa_step(t, graph, layer, matrix, n_sym, expected);
-    }
-    Ok(layer.reduce(|(_, set)| set.intersects(accepting)))
-}
+// (Streamed form: `crate::incremental::ConfidenceSession`.)
 
 // ---------------------------------------------------------------------------
 // General exact algorithm (exponential worst case)
@@ -535,7 +417,7 @@ pub fn confidence_general(
 
 /// Seeds the general configuration layer from a dense initial
 /// distribution. `cap` is the configuration-bit capacity `|Q|·(|o|+1)`.
-fn general_seed(
+pub(crate) fn general_seed(
     graph: &StepGraph,
     initial: &[f64],
     init_row: u32,
@@ -559,7 +441,7 @@ fn general_seed(
 
 /// Advances the general configuration layer by one dense row-major
 /// `|Σ|²` matrix (same zero-skipping walk as [`uniform_nfa_step`]).
-fn general_step(
+pub(crate) fn general_step(
     graph: &StepGraph,
     layer: SubsetLayer<(u32, BitSet)>,
     matrix: &[f64],
@@ -612,27 +494,7 @@ pub(crate) fn confidence_general_impl(
     })
 }
 
-/// [`confidence_general_impl`] over a streamed source.
-pub(crate) fn confidence_general_source_impl<S: StepSource>(
-    t: &Transducer,
-    src: &mut S,
-    graph: &StepGraph,
-    o_len: usize,
-) -> Result<f64, EngineError> {
-    let nq = t.n_states();
-    let width = o_len + 1;
-    let cap = (nq * width).max(1);
-    let n_sym = src.alphabet().len();
-
-    let init_row = (t.initial().index() * width) as u32;
-    let mut layer = general_seed(graph, src.initial(), init_row, cap);
-    while let Some(matrix) = src.next_step()? {
-        layer = general_step(graph, layer, matrix, n_sym, cap);
-    }
-    Ok(layer.reduce(|(_, set)| {
-        (0..nq).any(|q| t.is_accepting(StateId(q as u32)) && set.contains(q * width + o_len))
-    }))
-}
+// (Streamed form: `crate::incremental::ConfidenceSession`.)
 
 /// `Pr(S →[A^ω]→ o)` with automatic algorithm selection:
 /// deterministic → Thm 4.6 (uniform fast path included);
@@ -944,6 +806,93 @@ impl AcceptanceFold {
     /// so the result is independent of HashMap iteration order.
     pub(crate) fn probability(&self) -> f64 {
         self.layer.reduce(|&(d, _)| self.det.is_accepting(d))
+    }
+
+    /// Serializes the fold's exact state: every materialized subset in id
+    /// (discovery) order plus the layer's `(subset id, node) → p` entries.
+    /// Restoring re-interns the subsets in the same order, so ids — and
+    /// therefore every id-ordered reduction downstream — are reproduced
+    /// bit for bit. The transition cache is deliberately not saved: it
+    /// refills deterministically on demand.
+    pub(crate) fn save(&self, w: &mut crate::incremental::ByteWriter) {
+        w.put_u32(self.n_sym as u32);
+        w.put_u64(self.det.n_materialized() as u64);
+        for id in 0..self.det.n_materialized() {
+            let set = self.det.subset(id);
+            w.put_u32(set.capacity() as u32);
+            let bits: Vec<usize> = set.iter().collect();
+            w.put_u32(bits.len() as u32);
+            for b in bits {
+                w.put_u32(b as u32);
+            }
+        }
+        let entries = self.layer.sorted();
+        w.put_u64(entries.len() as u64);
+        for ((d, node), p) in entries {
+            w.put_u64(d as u64);
+            w.put_u32(node);
+            w.put_f64(p);
+        }
+    }
+
+    /// Rebuilds a fold from [`AcceptanceFold::save`] output. `nfa` must be
+    /// the automaton the fold was started with; a subset that does not
+    /// re-intern to its original id means the blob belongs to a different
+    /// query (or is corrupt).
+    pub(crate) fn restore(
+        nfa: &Nfa,
+        r: &mut crate::incremental::ByteReader<'_>,
+    ) -> Result<Self, EngineError> {
+        let n_sym = r.get_u32()? as usize;
+        if n_sym != nfa.n_symbols() {
+            return Err(EngineError::BadCheckpoint(format!(
+                "fold alphabet {} does not match query alphabet {}",
+                n_sym,
+                nfa.n_symbols()
+            )));
+        }
+        let mut det = DetCore::new(nfa);
+        let n_subsets = r.get_u64()? as usize;
+        if n_subsets == 0 {
+            return Err(EngineError::BadCheckpoint(
+                "fold has no materialized subsets".into(),
+            ));
+        }
+        for id in 0..n_subsets {
+            let cap = r.get_u32()? as usize;
+            let len = r.get_u32()? as usize;
+            let mut bits = Vec::with_capacity(len);
+            for _ in 0..len {
+                let b = r.get_u32()? as usize;
+                if b >= cap {
+                    return Err(EngineError::BadCheckpoint(format!(
+                        "subset bit {b} out of capacity {cap}"
+                    )));
+                }
+                bits.push(b);
+            }
+            let set = BitSet::from_iter_with_capacity(cap.max(1), bits);
+            let got = det.intern(set);
+            if got != id {
+                return Err(EngineError::BadCheckpoint(format!(
+                    "subset {id} re-interned as {got}; checkpoint does not match this query"
+                )));
+            }
+        }
+        let mut layer: SubsetLayer<(usize, u32)> = SubsetLayer::new();
+        let n_entries = r.get_u64()? as usize;
+        for _ in 0..n_entries {
+            let d = r.get_u64()? as usize;
+            let node = r.get_u32()?;
+            let p = r.get_f64()?;
+            if d >= n_subsets || node as usize >= n_sym {
+                return Err(EngineError::BadCheckpoint(format!(
+                    "layer entry ({d}, {node}) out of range"
+                )));
+            }
+            layer.add((d, node), p);
+        }
+        Ok(AcceptanceFold { det, layer, n_sym })
     }
 }
 

@@ -75,6 +75,11 @@ pub enum EngineError {
     /// `From<StoreError>` impl lives in `transmark-store` (orphan rule);
     /// the message carries the store's own diagnostic.
     Store(String),
+    /// A serialized [`crate::incremental::StreamCheckpoint`] blob could
+    /// not be decoded or does not belong to the query it was resumed
+    /// against (truncated, corrupted, wrong version, or fingerprint
+    /// mismatch).
+    BadCheckpoint(String),
 }
 
 /// The one error type of the public facade: every `transmark` entry point
@@ -118,6 +123,7 @@ impl fmt::Display for EngineError {
                 "execution strategy {strategy:?} cannot run {query}"
             ),
             EngineError::Store(m) => write!(f, "store error: {m}"),
+            EngineError::BadCheckpoint(m) => write!(f, "bad checkpoint: {m}"),
         }
     }
 }

@@ -27,6 +27,7 @@
 //! | [`enumerate`] | Thm 4.1 (unranked, poly delay + poly space) and Thm 4.3 (decreasing `E_max`, poly delay) |
 //! | [`montecarlo`] | additive-error confidence estimation by sampling |
 //! | [`plan`] | Table 2 as an explicit planner — compile a [`plan::PreparedQuery`] once, bind it per sequence, execute every pass over cached machine-side artifacts |
+//! | [`incremental`] | §6 streaming as first-class state — checkpointable [`incremental::EventSession`]/[`incremental::ConfidenceSession`] machines and the [`incremental::SlidingWindowQuery`] (operator-composition window eviction, no rewind) |
 //! | [`kernelize`] | bridges to the shared `transmark-kernel` DP substrate (semirings, CSR step graphs, workspaces) |
 //! | [`brute`] | brute-force oracles used by tests and the experiment harness |
 
@@ -41,6 +42,7 @@ pub mod error;
 pub mod evaluate;
 pub mod evidence;
 pub mod generate;
+pub mod incremental;
 pub mod kernelize;
 pub mod montecarlo;
 pub mod plan;
@@ -65,6 +67,10 @@ pub use enumerate::{
 pub use error::EngineError;
 pub use evaluate::{ConfidenceCost, Evaluation, ScoredAnswer};
 pub use evidence::{enumerate_evidences, top_k_evidences, Evidence, Evidences};
+pub use incremental::{
+    CheckpointKind, ConfidenceSession, EventSession, SlidingWindowQuery, StreamCheckpoint,
+    WindowSession,
+};
 pub use plan::{
     choose_strategy, prepare, BoundQuery, BoundedCache, PlanExplain, PlanKind, PreparedEventQuery,
     PreparedQuery, SourceBoundQuery, Strategy,

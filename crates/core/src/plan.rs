@@ -920,48 +920,21 @@ impl<S: StepSource> SourceBoundQuery<S> {
 
     /// `Pr(S →[A^ω]→ o)` along the plan's Table 2 route, streamed
     /// (bit-identical to [`BoundQuery::confidence`]).
+    ///
+    /// Implemented by driving a [`crate::incremental::ConfidenceSession`]
+    /// — the same seed/step/finish machine checkpoint/resume runs on —
+    /// so one code path serves both the one-shot pass and suspendable
+    /// sessions. The session's per-layer arithmetic is the historical
+    /// streamed pass's, so results stay bit-identical.
     pub fn confidence(&mut self, o: &[SymbolId]) -> Result<f64, EngineError> {
         let plan = Arc::clone(&self.plan);
         let _exec = ExecGuard::enter(&plan);
-        let t = &plan.t;
-        confidence::check_source_inputs(t, &self.src, Some(o))?;
-        match plan.kind {
-            PlanKind::DeterministicUniform { k } => {
-                confidence::confidence_deterministic_uniform_source_impl(
-                    t,
-                    &mut self.src,
-                    plan.state_graph(),
-                    &mut self.ws_f,
-                    o,
-                    k,
-                    &mut |slice| plan.emission_id(slice),
-                )
-            }
-            PlanKind::Deterministic => confidence::confidence_deterministic_source_impl(
-                t,
-                &mut self.src,
-                &plan.output_graph(o),
-                &mut self.ws_f,
-                o.len(),
-            ),
-            PlanKind::UniformNfa { k } => confidence::confidence_uniform_nfa_source_impl(
-                t,
-                &mut self.src,
-                plan.state_graph(),
-                plan.accepting(),
-                o,
-                k,
-                &mut |slice| plan.emission_id(slice),
-            ),
-            PlanKind::General | PlanKind::Sproj | PlanKind::SprojIndexed => {
-                confidence::confidence_general_source_impl(
-                    t,
-                    &mut self.src,
-                    &plan.output_graph(o),
-                    o.len(),
-                )
-            }
+        confidence::check_source_inputs(&plan.t, &self.src, Some(o))?;
+        let mut sess = plan.begin_confidence(self.src.initial(), o)?;
+        while let Some(matrix) = self.src.next_step()? {
+            sess.step(matrix)?;
         }
+        Ok(sess.finish())
     }
 
     /// Whether `o` is an answer, streamed (bit-identical to

@@ -24,7 +24,7 @@
 //! only decide *how* a scan runs (chunked vs. flat sequential replay).
 
 use transmark_automata::{ops::DetCore, Nfa, SymbolId};
-use transmark_kernel::Neumaier;
+use transmark_kernel::{Neumaier, Prob, StepOperator};
 use transmark_markov::MarkovSequence;
 
 use crate::confidence::check_nfa_alphabet;
@@ -138,6 +138,53 @@ impl ScanDfa {
                 }
             }
         }
+    }
+
+    /// Lifts one dense `|Σ|²` matrix into the scan state space as an
+    /// `m × m` [`StepOperator`]: cell `(d·k+node, d2·k+to) = pt` for every
+    /// positive transition `node→to`, where `d2 = step[d·k+to]` and dead
+    /// subsets are dropped on both sides. Applying the operator to a
+    /// lifted vector visits exactly the products [`ScanDfa::apply_step`]
+    /// would, so a single-step operator application is bit-identical to
+    /// `apply_step` up to the accumulation-order tolerance the scan path
+    /// already documents.
+    pub(crate) fn lift_operator(&self, matrix: &[f64]) -> StepOperator<Prob> {
+        let k = self.k;
+        debug_assert_eq!(matrix.len(), k * k, "step matrix must be |Σ|²");
+        let md = self.m_dim();
+        let mut cells = vec![0.0; md * md];
+        for d in 0..self.n_subsets() {
+            if self.dead[d] {
+                continue;
+            }
+            let base = d * k;
+            let trow = &self.step[base..base + k];
+            for node in 0..k {
+                let row = &matrix[node * k..node * k + k];
+                for (to, (&pt, &d2)) in row.iter().zip(trow).enumerate() {
+                    if pt <= 0.0 || self.dead[d2] {
+                        continue;
+                    }
+                    cells[(base + node) * md + d2 * k + to] = pt;
+                }
+            }
+        }
+        StepOperator::from_cells(md, cells)
+    }
+
+    /// Lifts `μ₀→` for external callers (the sliding-window machinery).
+    pub(crate) fn lift_initial(&self, initial: &[f64]) -> Vec<f64> {
+        self.initial_vector(initial)
+    }
+
+    /// [`ScanDfa::apply_step`] for external callers.
+    pub(crate) fn step_vector(&self, matrix: &[f64], cur: &[f64], next: &mut [f64]) {
+        self.apply_step(matrix, cur, next);
+    }
+
+    /// [`ScanDfa::probability`] for external callers.
+    pub(crate) fn probability_of(&self, v: &[f64]) -> f64 {
+        self.probability(v)
     }
 
     /// `Pr(prefix ∈ L(A))` of a lifted vector: Neumaier over accepting

@@ -11,21 +11,24 @@
 //! query. Memory is independent of the stream length (bounded by
 //! reachable subsets × `|Σ|`).
 //!
-//! The monitor is a thin adapter: the per-step arithmetic lives in
-//! `confidence::AcceptanceFold` (the same engine the batch and
-//! [`StepSource`]-driven acceptance passes run on), and the subset
-//! construction is the shared `transmark-automata` [`DetCore`] — subset
+//! The monitor is a thin adapter over the incremental state machine: the
+//! session state (and the per-step arithmetic) lives in
+//! [`crate::incremental::EventSession`] — which itself runs
+//! `confidence::AcceptanceFold`, the same engine the batch and
+//! [`StepSource`]-driven acceptance passes run on — and the subset
+//! construction is the shared `transmark-automata` [`DetCore`]. Subset
 //! ids are interned in discovery order exactly as the batch passes intern
 //! them, so a monitor fed a stored sequence's matrices reproduces
-//! `prefix_acceptance_probabilities` bit for bit.
+//! `prefix_acceptance_probabilities` bit for bit, and a monitor
+//! suspended with [`EventMonitor::checkpoint`] resumes bit-identically.
 //!
 //! [`DetCore`]: transmark_automata::ops::DetCore
 
 use transmark_automata::Nfa;
 use transmark_markov::{MarkovSequence, StepSource};
 
-use crate::confidence::AcceptanceFold;
 use crate::error::EngineError;
+use crate::incremental::EventSession;
 
 /// An online monitor for `Pr(S[1..t] ∈ L(A))` over a Markov stream whose
 /// transition matrices arrive one step at a time.
@@ -34,34 +37,21 @@ use crate::error::EngineError;
 /// [`EventMonitor::start`] (initial distribution) and
 /// [`EventMonitor::advance`] (one row-major `|Σ|²` matrix per step).
 pub struct EventMonitor {
-    nfa: Nfa,
-    fold: AcceptanceFold,
-    n_symbols: usize,
-    steps: usize,
+    sess: EventSession,
 }
 
 impl EventMonitor {
     /// Starts monitoring: `initial` is the stream's `μ₀→` distribution
     /// over `|Σ|` nodes (must match the query's alphabet size).
     pub fn start(nfa: Nfa, initial: &[f64]) -> Result<Self, EngineError> {
-        if nfa.n_symbols() != initial.len() {
-            return Err(EngineError::AlphabetMismatch {
-                transducer: nfa.n_symbols(),
-                sequence: initial.len(),
-            });
-        }
-        let fold = AcceptanceFold::start(&nfa, initial);
         Ok(Self {
-            n_symbols: initial.len(),
-            nfa,
-            fold,
-            steps: 1,
+            sess: EventSession::start(nfa, initial)?,
         })
     }
 
     /// Number of stream positions consumed so far (`≥ 1`).
     pub fn len(&self) -> usize {
-        self.steps
+        self.sess.positions()
     }
 
     /// Always false (a monitor starts with one position consumed).
@@ -71,22 +61,27 @@ impl EventMonitor {
 
     /// The current `Pr(S[1..t] ∈ L(A))`.
     pub fn probability(&self) -> f64 {
-        self.fold.probability()
+        self.sess.probability()
     }
 
     /// Folds in the next transition matrix (row-major `|Σ|²`) and returns
     /// the updated probability.
     pub fn advance(&mut self, matrix: &[f64]) -> Result<f64, EngineError> {
-        let k = self.n_symbols;
-        if matrix.len() != k * k {
-            return Err(EngineError::AlphabetMismatch {
-                transducer: k * k,
-                sequence: matrix.len(),
-            });
-        }
-        self.fold.step(&self.nfa, matrix);
-        self.steps += 1;
-        Ok(self.probability())
+        self.sess.advance(matrix)
+    }
+
+    /// Suspends the monitor to a versioned checkpoint blob (see
+    /// [`EventSession::checkpoint`]).
+    pub fn checkpoint(&self) -> Vec<u8> {
+        self.sess.checkpoint()
+    }
+
+    /// Restores a monitor suspended by [`EventMonitor::checkpoint`];
+    /// continues bit-identically to the uninterrupted run.
+    pub fn resume(nfa: Nfa, blob: &[u8]) -> Result<Self, EngineError> {
+        Ok(Self {
+            sess: EventSession::resume(nfa, blob)?,
+        })
     }
 
     /// Drains a [`StepSource`] through the monitor, returning the full

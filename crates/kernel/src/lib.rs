@@ -32,6 +32,10 @@
 //!   storage; [`DenseSteps`] in [`dense`] is the no-CSR storage with the
 //!   SIMD multiply stage (AVX2 with a runtime-chosen scalar fallback —
 //!   see [`exec::simd_enabled`] / `TRANSMARK_FORCE_SCALAR`);
+//! * [`incremental`] — dense semiring [`StepOperator`]s with
+//!   compose/apply plus the two-stack [`SlidingProduct`], the
+//!   window-eviction primitive behind sliding-window queries (amortized
+//!   one composition per tick, no source rewind);
 //! * [`SubsetLayer`] — sorted-iteration `HashMap` layers for the
 //!   dynamic-state (subset construction) passes;
 //! * [`Neumaier`] — compensated summation for final reductions.
@@ -61,6 +65,7 @@
 pub mod dense;
 pub mod dp;
 pub mod exec;
+pub mod incremental;
 pub mod numeric;
 pub mod semiring;
 pub mod step_graph;
@@ -73,6 +78,7 @@ pub use dense::{
 };
 pub use dp::{advance, advance_filtered, advance_string, advance_tracked, count_layers, BackEdge};
 pub use exec::{force_scalar, simd_enabled, ExecSteps, Strategy};
+pub use incremental::{SlidingProduct, StepOperator};
 pub use numeric::Neumaier;
 pub use semiring::{Bool, MaxLog, Prob, Semiring};
 pub use step_graph::{MachineEdge, SharedStepGraph, StepGraph, StepGraphBuilder};

@@ -313,6 +313,201 @@ impl<R: Read + Seek> RewindableStepSource for TmsbReader<R> {
     }
 }
 
+/// The `.tmsb` prelude — everything before the layer payload — parsed
+/// without consuming any layers.
+///
+/// This is the resume-oriented split of [`TmsbReader::new`]: a session
+/// that checkpoints after `p` layers records only `p`; the peer that
+/// resumes it re-reads the prelude, seeks (or slices) to
+/// [`TmsbPrelude::layer_offset`]`(p)`, and feeds the remaining layers
+/// through a [`RawLayerReader`].
+pub struct TmsbPrelude {
+    alphabet: Arc<Alphabet>,
+    n: usize,
+    initial: Vec<f64>,
+    layers_start: u64,
+}
+
+impl TmsbPrelude {
+    /// The sequence alphabet.
+    pub fn alphabet(&self) -> &Arc<Alphabet> {
+        &self.alphabet
+    }
+
+    /// Sequence length `n` (number of positions; layers are `n − 1`).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false (`n ≥ 1` is validated on parse).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The validated initial distribution (`|Σ|` entries).
+    pub fn initial(&self) -> &[f64] {
+        &self.initial
+    }
+
+    /// Byte offset of the first layer in the file.
+    pub fn layers_start(&self) -> u64 {
+        self.layers_start
+    }
+
+    /// Byte offset of layer `step` (0-based): where a resumed session
+    /// that has already consumed `step` layers continues reading.
+    pub fn layer_offset(&self, step: u64) -> u64 {
+        let k = self.alphabet.len() as u64;
+        self.layers_start + step * 8 * k * k
+    }
+}
+
+/// Reads and validates the `.tmsb` prelude (header, names, initial)
+/// from `reader`, leaving it positioned at the first layer.
+pub fn read_prelude<R: Read>(reader: &mut R) -> Result<TmsbPrelude, SourceError> {
+    let mut header = [0u8; HEADER_LEN];
+    reader.read_exact(&mut header).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            ferr("truncated header")
+        } else {
+            SourceError::Io(e)
+        }
+    })?;
+    let names_len = u64::from_le_bytes(header[24..32].try_into().expect("8 bytes")) as usize;
+    if !names_len.is_multiple_of(8) {
+        return Err(ferr("names block length must be a multiple of 8"));
+    }
+    let mut names = vec![0u8; names_len];
+    reader.read_exact(&mut names)?;
+    let h = parse_header(&header, &names)?;
+    layer_stride(h.k)?;
+
+    let mut raw = vec![0u8; 8 * h.k];
+    reader.read_exact(&mut raw)?;
+    let mut initial = Vec::with_capacity(h.k);
+    decode_f64s(&raw, &mut initial);
+    validate_vector(&initial, "initial", 0)?;
+
+    Ok(TmsbPrelude {
+        alphabet: h.alphabet,
+        n: h.n,
+        initial,
+        layers_start: (HEADER_LEN + names_len + 8 * h.k) as u64,
+    })
+}
+
+/// A layer puller with *persisted fill state*, for byte streams that can
+/// be interrupted mid-layer and retried.
+///
+/// [`TmsbReader`] owns its reader and treats any I/O error as fatal. A
+/// serving loop multiplexing control frames into a data stream instead
+/// surfaces an out-of-band request as a marker `io::Error` from `read` —
+/// possibly in the middle of a layer. `RawLayerReader` keeps the bytes
+/// already filled across that error, so the caller can service the
+/// request (e.g. emit a checkpoint) and call
+/// [`RawLayerReader::next_layer`] again; the retried call resumes the
+/// fill exactly where it stopped and the decoded stream stays
+/// bit-identical to an uninterrupted one.
+pub struct RawLayerReader {
+    k: usize,
+    n: usize,
+    pos: usize,
+    raw: Vec<u8>,
+    filled: usize,
+    buf: Vec<f64>,
+}
+
+impl RawLayerReader {
+    /// A reader positioned at layer 0 of `prelude`'s stream.
+    pub fn new(prelude: &TmsbPrelude) -> Result<Self, SourceError> {
+        Self::resume(prelude, 0)
+    }
+
+    /// A reader positioned at layer `consumed` — the continuation point
+    /// of a session that checkpointed after consuming that many layers.
+    /// The byte stream it is fed must start at
+    /// [`TmsbPrelude::layer_offset`]`(consumed)`.
+    pub fn resume(prelude: &TmsbPrelude, consumed: u64) -> Result<Self, SourceError> {
+        Self::from_dims(prelude.alphabet.len(), prelude.n, consumed)
+    }
+
+    /// [`RawLayerReader::resume`] from recorded dimensions alone — for a
+    /// resuming peer that checkpointed `(|Σ|, n, consumed)` and receives
+    /// the byte stream already sliced past the prelude.
+    pub fn from_dims(k: usize, n: usize, consumed: u64) -> Result<Self, SourceError> {
+        let stride = layer_stride(k)?;
+        if k == 0 {
+            return Err(ferr("alphabet size must be ≥ 1"));
+        }
+        if n == 0 || consumed as usize > n - 1 {
+            return Err(ferr(format!(
+                "cannot resume at layer {consumed}: stream has {}",
+                n.saturating_sub(1)
+            )));
+        }
+        Ok(RawLayerReader {
+            k,
+            n,
+            pos: consumed as usize,
+            raw: vec![0u8; stride],
+            filled: 0,
+            buf: Vec::with_capacity(k * k),
+        })
+    }
+
+    /// Layers fully consumed so far (counting any resume offset).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Whether an interrupted fill is pending — the last
+    /// [`RawLayerReader::next_layer`] stopped mid-layer on an I/O error
+    /// and must be retried before the state is at a layer boundary.
+    pub fn mid_layer(&self) -> bool {
+        self.filled != 0
+    }
+
+    /// Pulls the next validated layer from `reader`, or `None` when all
+    /// `n − 1` layers have been consumed.
+    ///
+    /// On a non-[`Interrupted`] I/O error the partial fill is kept; a
+    /// subsequent call with a reader that continues the same byte stream
+    /// completes the layer. [`Interrupted`]: std::io::ErrorKind::Interrupted
+    pub fn next_layer<R: Read>(&mut self, reader: &mut R) -> Result<Option<&[f64]>, SourceError> {
+        if self.pos + 1 >= self.n {
+            return Ok(None);
+        }
+        let step = self.pos;
+        let t = transmark_obs::Timer::start();
+        while self.filled < self.raw.len() {
+            match reader.read(&mut self.raw[self.filled..]) {
+                Ok(0) => break,
+                Ok(nread) => self.filled += nread,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(SourceError::Io(e)),
+            }
+        }
+        if self.filled < self.raw.len() {
+            return Err(if self.filled == 0 {
+                ferr(format!("layer {step} truncated"))
+            } else {
+                SourceError::Stride {
+                    step,
+                    expected: self.raw.len(),
+                    actual: self.filled,
+                }
+            });
+        }
+        self.filled = 0;
+        decode_f64s(&self.raw, &mut self.buf);
+        validate_matrix(&self.buf, self.k, "transition", step)?;
+        self.pos += 1;
+        t.observe(transmark_obs::histogram!("dataplane.tmsb.decode_ns"));
+        crate::obs::record_step(self.buf.len());
+        Ok(Some(&self.buf))
+    }
+}
+
 /// Zero-copy `.tmsb` view over a byte slice (e.g. a memory map).
 ///
 /// When the slice is 8-aligned and the host is little-endian, each layer
@@ -691,6 +886,122 @@ mod tests {
             TmsbSlice::new(&bytes),
             Err(SourceError::Version { found: 0, .. })
         ));
+    }
+
+    #[test]
+    fn prelude_and_raw_layers_match_reader() {
+        for m in chains() {
+            let bytes = to_tmsb_bytes(&m);
+            let mut cursor = std::io::Cursor::new(&bytes);
+            let prelude = read_prelude(&mut cursor).expect("prelude");
+            assert_eq!(prelude.len(), m.len());
+            assert_eq!(prelude.initial(), m.initial_dist());
+            assert_eq!(prelude.alphabet().len(), m.n_symbols());
+            assert_eq!(cursor.position(), prelude.layers_start());
+
+            let mut raw = RawLayerReader::new(&prelude).unwrap();
+            for i in 0..m.len() - 1 {
+                assert_eq!(raw.position(), i);
+                let layer = raw.next_layer(&mut cursor).unwrap().expect("layer");
+                assert_eq!(layer, m.transition_matrix(i));
+            }
+            assert!(raw.next_layer(&mut cursor).unwrap().is_none());
+            assert!(!raw.mid_layer());
+        }
+    }
+
+    #[test]
+    fn resume_slices_at_layer_offset() {
+        let m = chains().pop().expect("nonempty");
+        let bytes = to_tmsb_bytes(&m);
+        let prelude = read_prelude(&mut std::io::Cursor::new(&bytes)).unwrap();
+        for consumed in 0..m.len() as u64 {
+            if consumed as usize > m.len() - 1 {
+                break;
+            }
+            let mut raw = RawLayerReader::resume(&prelude, consumed).unwrap();
+            let mut tail = std::io::Cursor::new(&bytes[prelude.layer_offset(consumed) as usize..]);
+            for i in consumed as usize..m.len() - 1 {
+                let layer = raw.next_layer(&mut tail).unwrap().expect("layer");
+                assert_eq!(layer, m.transition_matrix(i), "resume {consumed} layer {i}");
+            }
+            assert!(raw.next_layer(&mut tail).unwrap().is_none());
+        }
+        // Resuming past the last layer is a typed error, not a panic.
+        assert!(RawLayerReader::resume(&prelude, m.len() as u64).is_err());
+    }
+
+    /// A reader that yields a marker error after serving `until` bytes,
+    /// then continues — the shape a serving loop's control-frame
+    /// interruption presents to [`RawLayerReader`].
+    struct InterruptOnce<'a> {
+        bytes: &'a [u8],
+        at: usize,
+        until: usize,
+        fired: bool,
+    }
+
+    impl Read for InterruptOnce<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if !self.fired && self.at >= self.until {
+                self.fired = true;
+                return Err(std::io::Error::other("checkpoint requested"));
+            }
+            let cap = if self.fired {
+                self.bytes.len()
+            } else {
+                self.until
+            };
+            let n = (cap - self.at).min(buf.len()).min(2);
+            if n == 0 {
+                return Ok(0);
+            }
+            buf[..n].copy_from_slice(&self.bytes[self.at..self.at + n]);
+            self.at += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn interrupted_fill_is_retryable_mid_layer() {
+        let m = chains().pop().expect("nonempty");
+        if m.len() < 2 {
+            return;
+        }
+        let bytes = to_tmsb_bytes(&m);
+        let prelude = read_prelude(&mut std::io::Cursor::new(&bytes)).unwrap();
+        let payload = &bytes[prelude.layers_start() as usize..];
+        // Interrupt at every byte offset inside the first layer.
+        let stride = 8 * m.n_symbols() * m.n_symbols();
+        for cut in [0usize, 1, 3, stride - 1, stride, stride + 5] {
+            if cut > payload.len() {
+                break;
+            }
+            let mut r = InterruptOnce {
+                bytes: payload,
+                at: 0,
+                until: cut,
+                fired: false,
+            };
+            let mut raw = RawLayerReader::new(&prelude).unwrap();
+            let mut layers = Vec::new();
+            loop {
+                match raw.next_layer(&mut r) {
+                    Ok(Some(layer)) => layers.push(layer.to_vec()),
+                    Ok(None) => break,
+                    Err(SourceError::Io(_)) => {
+                        // The marker error: state is preserved; retry.
+                        assert_eq!(raw.position(), layers.len());
+                        continue;
+                    }
+                    Err(other) => panic!("cut {cut}: unexpected error {other}"),
+                }
+            }
+            assert_eq!(layers.len(), m.len() - 1, "cut {cut}");
+            for (i, layer) in layers.iter().enumerate() {
+                assert_eq!(layer.as_slice(), m.transition_matrix(i), "cut {cut}");
+            }
+        }
     }
 
     /// A network-ish peer: serves its bytes in dribbles (1..=3 bytes per

@@ -25,11 +25,13 @@
 //! one shared [`PreparedQuery`] — including across the worker threads of
 //! [`SequenceStore::top_k_parallel`].
 
+pub mod monitor;
 pub mod pool;
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
+pub use monitor::{Monitor, MonitorConfig, StreamReport, DEFAULT_TICK_BATCH};
 pub use pool::{resolve_threads, scoped_map, PoolError, WorkerPool};
 
 use transmark_automata::{Alphabet, Nfa, SymbolId};

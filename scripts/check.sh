@@ -10,6 +10,10 @@
 # Also: `scripts/check.sh --serve-smoke` runs only the `tmk serve`
 # end-to-end smoke test (daemon on an ephemeral port, client query,
 # streamed .tmsb session, HTTP metrics scrape, graceful shutdown).
+#
+# Also: `scripts/check.sh --monitor-smoke` runs only the incremental
+# smoke test (8-stream `tmk monitor` bit-compared to solo runs,
+# mid-stream checkpoint/resume, window-slide ≥5x speedup floor).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -88,6 +92,71 @@ serve_smoke() {
   echo "    serve smoke passed"
 }
 
+# End-to-end smoke of the incremental layer: a multiplexed monitor over
+# many streams bit-compared to solo runs, a mid-stream checkpoint
+# resumed bit-identically, and the window-slide vs recompute speedup
+# floor from the bench suite.
+monitor_smoke() {
+  echo "==> tmk monitor smoke (8 streams, checkpoint mid-stream, resume, bit-compare)"
+  local dir tmk solo want got full resumed i
+  tmk=target/release/tmk
+  dir=$(mktemp -d)
+  trap 'rm -rf "$dir"' RETURN
+  "$tmk" export-example "$dir" >/dev/null
+  # 8 streams of the example sequence, mixed on-disk formats.
+  local streams=()
+  for i in 1 2 3 4; do
+    cp "$dir/hospital.tms" "$dir/s$i.tms"
+    streams+=("$dir/s$i.tms")
+  done
+  for i in 5 6 7 8; do
+    "$tmk" convert "$dir/hospital.tms" "$dir/s$i.tmsb" >/dev/null
+    streams+=("$dir/s$i.tmsb")
+  done
+
+  # The multiplexed per-stream series (3 workers) must be byte-identical
+  # to running each stream alone.
+  solo=$("$tmk" stream "$dir/room_tracker.tmt" "$dir/hospital.tms")
+  want=""
+  for i in "${streams[@]}"; do
+    want+="== $i"$'\n'"$solo"$'\n'
+  done
+  got=$("$tmk" monitor "$dir/room_tracker.tmt" "${streams[@]}" --series --threads 3)
+  if [ "$got" != "${want%$'\n'}" ]; then
+    echo "monitor smoke: multiplexed series differs from solo streams" >&2
+    diff <(printf '%s' "${want%$'\n'}") <(printf '%s' "$got") >&2 || true
+    return 1
+  fi
+
+  # Checkpoint one stream mid-flight, resume, and bit-compare the tail
+  # against the uninterrupted run.
+  full=$solo
+  "$tmk" stream "$dir/room_tracker.tmt" "$dir/s1.tms" \
+    --checkpoint-at 2 --checkpoint-out "$dir/mid.ckpt" >/dev/null
+  resumed=$("$tmk" stream "$dir/room_tracker.tmt" "$dir/s1.tms" --resume "$dir/mid.ckpt")
+  if [ "$(echo "$resumed" | tail -n 2)" != "$(echo "$full" | tail -n 2)" ]; then
+    echo "monitor smoke: resumed stream tail differs from uninterrupted run" >&2
+    printf 'full:\n%s\nresumed:\n%s\n' "$full" "$resumed" >&2
+    return 1
+  fi
+
+  # The O(k²) window slide must hold its ≥5× per-tick floor over the
+  # from-scratch recompute (window_recompute samples 1 tick in 128, so
+  # per-tick costs are min_ns/256 vs min_ns/32768).
+  "$tmk" bench --runs 2 --iters 3 --json "$dir/bench.json" >/dev/null
+  jq -e '
+    (.cases["window_recompute/2e15"].min_ns / 256) as $rec
+    | (.cases["window_slide/2e15"].min_ns / 32768) as $slide
+    | ($rec / $slide) as $speedup
+    | if $speedup >= 5 then
+        "    window slide \($speedup | floor)x faster per tick than recompute"
+      else
+        error("window slide only \($speedup)x faster than recompute (floor: 5x)")
+      end' -r "$dir/bench.json"
+
+  echo "    monitor smoke passed"
+}
+
 if [ "${1:-}" = "--bench-diff" ]; then
   if [ $# -ne 3 ]; then
     echo "usage: scripts/check.sh --bench-diff BASE.json NEW.json" >&2
@@ -100,6 +169,12 @@ fi
 if [ "${1:-}" = "--serve-smoke" ]; then
   cargo build -q --release --bin tmk
   serve_smoke
+  exit $?
+fi
+
+if [ "${1:-}" = "--monitor-smoke" ]; then
+  cargo build -q --release --bin tmk
+  monitor_smoke
   exit $?
 fi
 
@@ -116,6 +191,7 @@ echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
 serve_smoke
+monitor_smoke
 
 # The obs-off feature only exists on the crates that carry
 # instrumentation, so it cannot be toggled workspace-wide; the root

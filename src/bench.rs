@@ -266,6 +266,7 @@ pub fn run_suite(runs: usize, iters: usize) -> Result<Vec<CaseResult>, CliError>
     nfa.add_transition(q1, s0, q2);
     nfa.add_transition(q2, s0, q2);
     nfa.add_transition(q2, s1, q2);
+    let pattern = nfa.clone();
     let event = transmark_core::PreparedEventQuery::new(nfa);
     let series_iters = iters.div_ceil(8);
     push(
@@ -290,6 +291,89 @@ pub fn run_suite(runs: usize, iters: usize) -> Result<Vec<CaseResult>, CliError>
                     .series_with(&long, 4, Some(transmark_core::Strategy::Scan))
                     .expect("valid"),
             );
+        }),
+    );
+
+    // window_slide vs window_recompute at 2^15 ticks, window 256: the
+    // incremental sliding window pays amortized one operator composition
+    // per tick; the recompute case prices the old scheme (re-fold the
+    // whole 256-step window from its start marginal) on a 1-in-128 tick
+    // sample so the micro-suite stays micro. Per-tick speedup =
+    // (recompute_min/256) / (slide_min/32768) — held ≥ 5× by the
+    // monitor smoke in scripts/check.sh.
+    const WINDOW_SEED: u64 = 17;
+    const WINDOW_LEN: usize = 1 << 15;
+    const WINDOW_W: usize = 256;
+    const WINDOW_STRIDE: usize = 128;
+    let mut rng = StdRng::seed_from_u64(WINDOW_SEED);
+    let wchain = transmark_markov::generate::random_markov_sequence(
+        &transmark_markov::generate::RandomChainSpec {
+            len: WINDOW_LEN,
+            n_symbols: 2,
+            zero_prob: 0.0,
+        },
+        &mut rng,
+    );
+    let wq = transmark_core::incremental::SlidingWindowQuery::new(pattern.clone(), WINDOW_W)
+        .map_err(run_err)?;
+    let window_iters = iters.div_ceil(8);
+    push(
+        "window_slide/2e15",
+        WINDOW_SEED,
+        "window",
+        time_case(runs, window_iters, || {
+            std::hint::black_box(wq.series(&wchain).expect("valid"));
+        }),
+    );
+    let wmarginals = wchain.marginals();
+    push(
+        "window_recompute/2e15",
+        WINDOW_SEED,
+        "window",
+        time_case(runs, window_iters, || {
+            for p in (0..WINDOW_LEN).step_by(WINDOW_STRIDE) {
+                let start = (p + 1).saturating_sub(WINDOW_W);
+                let in_window: Vec<&[f64]> =
+                    (start..p).map(|i| wchain.transition_matrix(i)).collect();
+                std::hint::black_box(wq.recompute(&wmarginals[start], &in_window));
+            }
+        }),
+    );
+
+    // monitor/16x4096: 16 streams of 4096 positions multiplexed over one
+    // query on 4 workers — prices the monitor's scheduling layer
+    // (round-robin lanes, tick batching, report backfill).
+    const MONITOR_SEED: u64 = 19;
+    let mut rng = StdRng::seed_from_u64(MONITOR_SEED);
+    let monitor_seqs: Vec<(String, transmark_markov::MarkovSequence)> = (0..16)
+        .map(|i| {
+            let m = transmark_markov::generate::random_markov_sequence(
+                &transmark_markov::generate::RandomChainSpec {
+                    len: 4096,
+                    n_symbols: 2,
+                    zero_prob: 0.0,
+                },
+                &mut rng,
+            );
+            (format!("lane-{i:02}"), m)
+        })
+        .collect();
+    let monitor_refs: Vec<(String, &transmark_markov::MarkovSequence)> =
+        monitor_seqs.iter().map(|(n, m)| (n.clone(), m)).collect();
+    let monitor = transmark_store::Monitor::new(
+        pattern.clone(),
+        transmark_store::MonitorConfig {
+            window: None,
+            threads: 4,
+            batch: 0,
+        },
+    );
+    push(
+        "monitor/16x4096",
+        MONITOR_SEED,
+        "sparse",
+        time_case(runs, window_iters, || {
+            std::hint::black_box(monitor.run_sequences(&monitor_refs).expect("valid"));
         }),
     );
 

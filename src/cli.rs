@@ -13,7 +13,8 @@
 //! tmk confidence <sequence.tms> <query.tmt> <output-symbol>...
 //! tmk evidences <sequence.tms> <query.tmt> [--k N] <output-symbol>...
 //! tmk batch <query.tmt> <sequence>... [--k N] [--confidence SYMS]
-//! tmk stream <query.tmt> [steps.tms|steps.tmsb|-]
+//! tmk stream <query.tmt> [steps.tms|steps.tmsb|-] [--window W] [--resume F]
+//! tmk monitor <query.tmt> <stream>... [--window W] [--batch N] [--series]
 //! tmk convert <in.tms|in.tmsb> <out.tms|out.tmsb>
 //! tmk extract <sequence.tms> <query.tmp> [--k N]
 //! tmk occurrences <sequence.tms> <query.tmp> [--k N]
@@ -141,6 +142,16 @@ USAGE:
   tmk batch <query.tmt> <seq>... [--k N]                one query, many sequences, one shared plan
   tmk stream <query.tmt> [steps|-]                      fold steps from file or stdin, printing the
                                                         running acceptance probability
+        [--window W]                                    sliding window of width W: Pr over the last
+                                                        W symbols only (O(k^2) per slide)
+        [--checkpoint-at N --checkpoint-out F]          suspend after folding N steps, session
+                                                        state to F
+        [--resume F]                                    continue a suspended session from F
+                                                        (bit-identical to an uninterrupted run)
+  tmk monitor <query.tmt> <stream>... [--window W] [--batch N] [--series]
+                                                        multiplex many streams over one query on a
+                                                        --threads worker pool; per-stream final
+                                                        probability (or full series with --series)
   tmk convert <in> <out>                                convert .tms <-> .tmsb (validated round trip)
   tmk extract <sequence.tms> <query.tmp> [--k N]        s-projector: distinct strings by I_max
   tmk occurrences <sequence.tms> <query.tmp> [--k N]    s-projector: (string, position) by confidence
@@ -160,10 +171,15 @@ USAGE:
                                                         remote confidence of one output
   tmk client <addr> top <query.tmt> <seq> [--k N]       remote ranked answers + confidence
   tmk client <addr> series <query.tmt> <seq>            remote prefix acceptance series
-  tmk client <addr> stream <query.tmt> <seq> [<sym>...] [--chunk BYTES]
+  tmk client <addr> stream <query.tmt> <seq> [<sym>...] [--chunk BYTES] [--window W]
                                                         stream the sequence to the server in
                                                         chunked frames (stop-and-wait); with
-                                                        symbols = confidence, without = series
+                                                        symbols = confidence, without = series,
+                                                        --window W = sliding-window series
+        [--resume FILE [--checkpoint-every N]]          persist server checkpoints to FILE every N
+                                                        chunks (default 8) and, if FILE holds one,
+                                                        continue the suspended session from it —
+                                                        rerun the same command after a disconnect
   tmk client <addr> metrics [--json]                    scrape the server's live metrics snapshot
   tmk client <addr> shutdown                            ask the server to shut down gracefully
 
@@ -393,6 +409,110 @@ fn read_tmsb_bytes(path: &str) -> Result<Vec<u8>, CliError> {
     }
 }
 
+/// The incremental `tmk stream` path: a checkpointable session folding
+/// one layer at a time — plain acceptance ([`EventSession`]) or a
+/// sliding window ([`WindowSession`]) — with suspend (`--checkpoint-at`/
+/// `--checkpoint-out`) and resume (`--resume`) at any step boundary.
+/// The checkpoint file holds the core session's versioned blob verbatim.
+fn run_incremental_stream<S: transmark_markov::StepSource>(
+    out: &mut String,
+    nfa: transmark_automata::Nfa,
+    src: &mut S,
+    window: Option<usize>,
+    checkpoint_at: Option<u64>,
+    checkpoint_out: Option<&str>,
+    resume_blob: Option<&[u8]>,
+) -> Result<(), CliError> {
+    use transmark_core::incremental::{EventSession, SlidingWindowQuery, WindowSession};
+
+    enum Sess<'q> {
+        Event(EventSession),
+        Window(WindowSession<'q>),
+    }
+    impl Sess<'_> {
+        fn probability(&self) -> f64 {
+            match self {
+                Sess::Event(s) => s.probability(),
+                Sess::Window(s) => s.probability(),
+            }
+        }
+        fn position(&self) -> u64 {
+            match self {
+                Sess::Event(s) => s.position(),
+                Sess::Window(s) => s.position(),
+            }
+        }
+        fn advance(&mut self, m: &[f64]) -> Result<f64, transmark_core::error::EngineError> {
+            match self {
+                Sess::Event(s) => s.advance(m),
+                Sess::Window(s) => s.advance(m),
+            }
+        }
+        fn checkpoint(&self) -> Vec<u8> {
+            match self {
+                Sess::Event(s) => s.checkpoint(),
+                Sess::Window(s) => s.checkpoint(),
+            }
+        }
+    }
+
+    let wq_storage;
+    let mut sess = match window {
+        Some(w) => {
+            wq_storage = SlidingWindowQuery::new(nfa, w)?;
+            match resume_blob {
+                Some(b) => Sess::Window(wq_storage.resume(b)?),
+                None => Sess::Window(wq_storage.start(src.initial())?),
+            }
+        }
+        None => match resume_blob {
+            Some(b) => Sess::Event(EventSession::resume(nfa, b)?),
+            None => Sess::Event(EventSession::start(nfa, src.initial())?),
+        },
+    };
+
+    match resume_blob {
+        Some(_) => {
+            // Skip the source forward to the suspension point; the state
+            // itself comes from the checkpoint, not from replaying.
+            let _ = writeln!(out, "resumed at t={}", sess.position() + 1);
+            for _ in 0..sess.position() {
+                if src.next_step()?.is_none() {
+                    return Err(run_err(format!(
+                        "checkpoint is at position {} but the stream is shorter",
+                        sess.position()
+                    )));
+                }
+            }
+        }
+        None => {
+            let _ = writeln!(out, "t={:<6} {}", 1, sess.probability());
+        }
+    }
+
+    loop {
+        if let (Some(at), Some(path)) = (checkpoint_at, checkpoint_out) {
+            if sess.position() >= at {
+                std::fs::write(path, sess.checkpoint())
+                    .map_err(|e| run_err(format!("write {path}: {e}")))?;
+                let _ = writeln!(
+                    out,
+                    "checkpoint written to {path} at t={}",
+                    sess.position() + 1
+                );
+                return Ok(());
+            }
+        }
+        match src.next_step()? {
+            Some(m) => {
+                let p = sess.advance(m)?;
+                let _ = writeln!(out, "t={:<6} {p}", sess.position() + 1);
+            }
+            None => return Ok(()),
+        }
+    }
+}
+
 fn append_remote_profile(out: &mut String, profile: Option<String>) {
     if let Some(p) = profile {
         out.push_str("== server profile ==\n");
@@ -512,9 +632,31 @@ fn metrics_report(s: &Snapshot) -> String {
         }
         let _ = writeln!(
             out,
-            "data plane: {steps} steps, {} bytes, {} rewinds{decode}",
+            "data plane: {steps} steps, {} bytes, {} rewinds ({} avoided){decode}",
             s.counter("dataplane.bytes"),
             s.counter("dataplane.rewinds"),
+            s.counter("dataplane.rewinds_avoided"),
+        );
+    }
+
+    let (saves, resumes) = (
+        s.counter("checkpoint.saves"),
+        s.counter("checkpoint.resumes"),
+    );
+    if saves + resumes > 0 {
+        let _ = writeln!(out, "checkpoints: {saves} saved, {resumes} resumed");
+    }
+
+    if s.counter("store.monitor.runs") > 0 {
+        let wall = s.histogram("store.monitor.wall_ns").map_or(0, |h| h.sum);
+        let _ = writeln!(
+            out,
+            "monitor: {} runs, {} workers, {} streams, {} ticks, wall {}",
+            s.counter("store.monitor.runs"),
+            s.gauge("store.monitor.workers"),
+            s.counter("store.monitor.streams"),
+            s.counter("store.monitor.ticks"),
+            fmt_ns(wall),
         );
     }
 
@@ -758,6 +900,20 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             }
         }
         "stream" => {
+            let window = take_opt(&mut args, "--window")?
+                .map(|v| parse_usize(&v, "--window"))
+                .transpose()?;
+            let checkpoint_at = take_opt(&mut args, "--checkpoint-at")?
+                .map(|v| parse_usize(&v, "--checkpoint-at"))
+                .transpose()?
+                .map(|v| v as u64);
+            let checkpoint_out = take_opt(&mut args, "--checkpoint-out")?;
+            let resume_path = take_opt(&mut args, "--resume")?;
+            if checkpoint_at.is_some() != checkpoint_out.is_some() {
+                return Err(usage_err(
+                    "--checkpoint-at and --checkpoint-out go together",
+                ));
+            }
             if args.is_empty() || args.len() > 2 {
                 return Err(usage_err(
                     "stream needs <query.tmt> [steps.tms|steps.tmsb|-]",
@@ -771,32 +927,127 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             // length); `--strategy scan` materializes a file input and
             // runs the parallel-prefix scan on `--threads` workers.
             let nfa = t.underlying_nfa();
-            let series = match (args.first().map(String::as_str), opts.strategy) {
-                (Some(path), Some(Strategy::Scan)) if path != "-" => {
-                    let m = load_sequence(path)?;
-                    let q = transmark_core::PreparedEventQuery::new(nfa);
-                    q.series_with(&m, opts.threads, Some(Strategy::Scan))?
+            if window.is_some() || checkpoint_at.is_some() || resume_path.is_some() {
+                // Incremental session path: checkpointable, resumable,
+                // optionally windowed. Strictly one layer at a time, so
+                // only the sparse fold applies.
+                if let Some(s) = opts.strategy {
+                    if s != Strategy::Sparse {
+                        return Err(run_err(format!(
+                            "--strategy {s} cannot run the incremental stream path \
+                             (checkpoints and windows fold one layer at a time)"
+                        )));
+                    }
                 }
-                (_, Some(s)) if s != Strategy::Sparse => {
-                    return Err(run_err(format!(
-                        "--strategy {s} cannot run stream from stdin: the scan needs a \
+                let resume_blob = resume_path
+                    .as_deref()
+                    .map(std::fs::read)
+                    .transpose()
+                    .map_err(|e| run_err(format!("read checkpoint: {e}")))?;
+                match args.first().map(String::as_str) {
+                    Some(path) if path != "-" => {
+                        let mut src = transmark_markov::fsio::open_step_source(Path::new(path))
+                            .map_err(|e| run_err(format!("{path}: {e}")))?;
+                        run_incremental_stream(
+                            &mut out,
+                            nfa,
+                            &mut src,
+                            window,
+                            checkpoint_at,
+                            checkpoint_out.as_deref(),
+                            resume_blob.as_deref(),
+                        )?;
+                    }
+                    _ => {
+                        let stdin = std::io::stdin();
+                        let mut src = transmark_markov::textio::TmsTextSource::new(stdin.lock())
+                            .map_err(|e| run_err(format!("stdin: {e}")))?;
+                        run_incremental_stream(
+                            &mut out,
+                            nfa,
+                            &mut src,
+                            window,
+                            checkpoint_at,
+                            checkpoint_out.as_deref(),
+                            resume_blob.as_deref(),
+                        )?;
+                    }
+                }
+            } else {
+                let series = match (args.first().map(String::as_str), opts.strategy) {
+                    (Some(path), Some(Strategy::Scan)) if path != "-" => {
+                        let m = load_sequence(path)?;
+                        let q = transmark_core::PreparedEventQuery::new(nfa);
+                        q.series_with(&m, opts.threads, Some(Strategy::Scan))?
+                    }
+                    (_, Some(s)) if s != Strategy::Sparse => {
+                        return Err(run_err(format!(
+                            "--strategy {s} cannot run stream from stdin: the scan needs a \
                          materialized file input (and dense applies to transducer queries)"
-                    )));
+                        )));
+                    }
+                    (Some(path), _) if path != "-" => {
+                        let mut src = transmark_markov::fsio::open_step_source(Path::new(path))
+                            .map_err(|e| run_err(format!("{path}: {e}")))?;
+                        transmark_core::prefix_acceptance_probabilities_source(&nfa, &mut src)?
+                    }
+                    _ => {
+                        let stdin = std::io::stdin();
+                        let mut src = transmark_markov::textio::TmsTextSource::new(stdin.lock())
+                            .map_err(|e| run_err(format!("stdin: {e}")))?;
+                        transmark_core::prefix_acceptance_probabilities_source(&nfa, &mut src)?
+                    }
+                };
+                for (i, p) in series.iter().enumerate() {
+                    let _ = writeln!(out, "t={:<6} {p}", i + 1);
                 }
-                (Some(path), _) if path != "-" => {
-                    let mut src = transmark_markov::fsio::open_step_source(Path::new(path))
-                        .map_err(|e| run_err(format!("{path}: {e}")))?;
-                    transmark_core::prefix_acceptance_probabilities_source(&nfa, &mut src)?
+            }
+        }
+        "monitor" => {
+            use transmark_store::{Monitor, MonitorConfig, DEFAULT_TICK_BATCH};
+            let window = take_opt(&mut args, "--window")?
+                .map(|v| parse_usize(&v, "--window"))
+                .transpose()?;
+            let batch = take_opt(&mut args, "--batch")?
+                .map(|v| parse_usize(&v, "--batch"))
+                .transpose()?
+                .unwrap_or(DEFAULT_TICK_BATCH);
+            let series = take_flag(&mut args, "--series");
+            if args.len() < 2 {
+                return Err(usage_err(
+                    "monitor needs <query.tmt> <stream>… [--window W] [--batch N] [--series]",
+                ));
+            }
+            let query_path = args.remove(0);
+            let t = load_transducer(&query_path)?;
+            // One query, many independent streams, one worker pool: each
+            // stream is an incremental session advanced in tick batches,
+            // so memory stays O(streams · k) regardless of stream length.
+            let monitor = Monitor::new(
+                t.underlying_nfa(),
+                MonitorConfig {
+                    window,
+                    threads: opts.threads,
+                    batch,
+                },
+            );
+            let paths: Vec<std::path::PathBuf> =
+                args.iter().map(std::path::PathBuf::from).collect();
+            let reports = monitor.run_paths(&paths)?;
+            for r in &reports {
+                let _ = writeln!(out, "== {}", r.name);
+                if series {
+                    for (i, p) in r.series.iter().enumerate() {
+                        let _ = writeln!(out, "t={:<6} {p}", i + 1);
+                    }
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "p = {}  ({} positions)",
+                        r.final_probability(),
+                        r.positions
+                    );
                 }
-                _ => {
-                    let stdin = std::io::stdin();
-                    let mut src = transmark_markov::textio::TmsTextSource::new(stdin.lock())
-                        .map_err(|e| run_err(format!("stdin: {e}")))?;
-                    transmark_core::prefix_acceptance_probabilities_source(&nfa, &mut src)?
-                }
-            };
-            for (i, p) in series.iter().enumerate() {
-                let _ = writeln!(out, "t={:<6} {p}", i + 1);
             }
         }
         "convert" => {
@@ -1109,29 +1360,100 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     append_remote_profile(&mut out, resp.profile);
                 }
                 "stream" => {
+                    use crate::serve::client::{StreamCheckpoint, StreamOptions};
                     let chunk = take_opt(&mut args, "--chunk")?
                         .map(|v| parse_usize(&v, "--chunk"))
                         .transpose()?
                         .unwrap_or(4096);
+                    let window = take_opt(&mut args, "--window")?
+                        .map(|v| parse_usize(&v, "--window"))
+                        .transpose()?;
+                    let every = take_opt(&mut args, "--checkpoint-every")?
+                        .map(|v| parse_usize(&v, "--checkpoint-every"))
+                        .transpose()?;
+                    let state_path = take_opt(&mut args, "--resume")?;
+                    if every.is_some() && state_path.is_none() {
+                        return Err(usage_err(
+                            "--checkpoint-every needs --resume FILE to persist the checkpoints",
+                        ));
+                    }
                     if args.len() < 2 {
                         return Err(usage_err(
-                            "client stream needs <query.tmt> <seq> [<sym>…] [--chunk BYTES]",
+                            "client stream needs <query.tmt> <seq> [<sym>…] [--chunk BYTES] \
+                             [--window W] [--resume FILE [--checkpoint-every N]]",
                         ));
                     }
                     let query_text = read_file_text(&args.remove(0))?;
                     let tmsb = read_tmsb_bytes(&args.remove(0))?;
-                    if args.is_empty() {
+                    if window.is_some() && !args.is_empty() {
+                        return Err(usage_err(
+                            "--window streams the window series; it takes no output symbols",
+                        ));
+                    }
+                    // `--resume FILE` makes the session durable: checkpoints
+                    // taken every `--checkpoint-every` chunks (default 8) are
+                    // persisted to FILE as the stream runs, and if FILE
+                    // already holds one (a previous run died mid-stream) the
+                    // session continues from it instead of starting over.
+                    let resume_ck = match state_path.as_deref() {
+                        Some(p) if Path::new(p).exists() => {
+                            let bytes =
+                                std::fs::read(p).map_err(|e| run_err(format!("read {p}: {e}")))?;
+                            let ck = StreamCheckpoint::from_bytes(&bytes).map_err(wire)?;
+                            let _ = writeln!(out, "resuming from position {}", ck.position);
+                            Some(ck)
+                        }
+                        _ => None,
+                    };
+                    let mut save_err: Option<String> = None;
+                    let save_path = state_path.clone();
+                    let mut on_ck = |ck: &StreamCheckpoint| {
+                        if let Some(p) = &save_path {
+                            if let Err(e) = std::fs::write(p, ck.to_bytes()) {
+                                save_err = Some(format!("write {p}: {e}"));
+                            }
+                        }
+                    };
+                    let stream_opts = StreamOptions {
+                        checkpoint_every: state_path.as_ref().map(|_| every.unwrap_or(8)),
+                        on_checkpoint: state_path
+                            .as_ref()
+                            .map(|_| &mut on_ck as &mut dyn FnMut(&StreamCheckpoint)),
+                        resume: resume_ck.as_ref(),
+                    };
+                    if let Some(w) = window {
                         let resp = client
-                            .stream_series(&query_text, &tmsb, chunk)
+                            .stream_window(&query_text, &tmsb, w as u32, chunk, stream_opts)
+                            .map_err(wire)?;
+                        for (i, p) in resp.value.iter().enumerate() {
+                            let _ = writeln!(out, "t={:<4} {p}", i + 1);
+                        }
+                    } else if args.is_empty() {
+                        let resp = client
+                            .stream_series_with(&query_text, &tmsb, chunk, stream_opts)
                             .map_err(wire)?;
                         for (i, p) in resp.value.iter().enumerate() {
                             let _ = writeln!(out, "t={:<4} {p}", i + 1);
                         }
                     } else {
                         let resp = client
-                            .stream_confidence(&query_text, &args.join(" "), &tmsb, chunk)
+                            .stream_confidence_with(
+                                &query_text,
+                                &args.join(" "),
+                                &tmsb,
+                                chunk,
+                                stream_opts,
+                            )
                             .map_err(wire)?;
                         let _ = writeln!(out, "{}", resp.value);
+                    }
+                    if let Some(e) = save_err {
+                        return Err(run_err(e));
+                    }
+                    // The stream completed: a leftover checkpoint would make
+                    // the next run resume past the end, so clear it.
+                    if let Some(p) = &state_path {
+                        let _ = std::fs::remove_file(p);
                     }
                 }
                 "metrics" => {

@@ -7,12 +7,14 @@
 use std::io::BufReader;
 use std::net::TcpStream;
 
+use transmark_markov::binio::read_prelude;
+
 use super::protocol::{
-    parse_error, read_frame, write_frame, Cursor, Frame, PayloadBuilder, WireError,
-    KIND_CONFIDENCE, KIND_SERIES, KIND_TOP_K, OP_ERROR, OP_HELLO, OP_HELLO_OK, OP_METRICS,
-    OP_QUERY, OP_RESULT, OP_SHUTDOWN, OP_SHUTDOWN_OK, OP_STREAM_ACK, OP_STREAM_BEGIN,
-    OP_STREAM_DATA, OP_STREAM_END, RESULT_CONFIDENCE, RESULT_SERIES, RESULT_TEXT, RESULT_TOP_K,
-    WIRE_MAGIC, WIRE_VERSION,
+    parse_error, read_frame, write_frame, Cursor, Frame, PayloadBuilder, WireError, FLAG_RESUME,
+    KIND_CONFIDENCE, KIND_SERIES, KIND_TOP_K, KIND_WINDOW, OP_CHECKPOINT, OP_ERROR, OP_HELLO,
+    OP_HELLO_OK, OP_METRICS, OP_QUERY, OP_RESULT, OP_SHUTDOWN, OP_SHUTDOWN_OK, OP_STREAM_ACK,
+    OP_STREAM_BEGIN, OP_STREAM_CHECKPOINT, OP_STREAM_DATA, OP_STREAM_END, RESULT_CONFIDENCE,
+    RESULT_SERIES, RESULT_TEXT, RESULT_TOP_K, WIRE_MAGIC, WIRE_VERSION,
 };
 
 /// A sequence payload for self-contained queries: `.tms` text or
@@ -35,6 +37,69 @@ pub struct WireAnswer {
     pub emax: f64,
     /// Exact confidence.
     pub confidence: f64,
+}
+
+/// A suspended streamed session as handed back by the server: the number
+/// of complete layers it had consumed plus an opaque state blob. Persist
+/// it (e.g. with [`StreamCheckpoint::to_bytes`]) and a later session —
+/// even on a fresh connection after a disconnect — can continue from it
+/// bit-identically via [`StreamOptions::resume`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamCheckpoint {
+    /// Complete `.tmsb` layers the server had consumed.
+    pub position: u64,
+    /// The server's opaque session state. Empty means the server had
+    /// made no progress yet: resuming it is starting over.
+    pub blob: Vec<u8>,
+}
+
+impl StreamCheckpoint {
+    /// No server progress: resuming this streams from scratch.
+    pub fn is_empty(&self) -> bool {
+        self.blob.is_empty()
+    }
+
+    /// Serializes for a checkpoint file: 8-byte LE position, then the
+    /// opaque blob.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.blob.len());
+        out.extend_from_slice(&self.position.to_le_bytes());
+        out.extend_from_slice(&self.blob);
+        out
+    }
+
+    /// Inverse of [`StreamCheckpoint::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<StreamCheckpoint, WireError> {
+        if bytes.len() < 8 {
+            return Err(WireError::Malformed(format!(
+                "checkpoint file holds {} bytes; even an empty checkpoint has 8",
+                bytes.len()
+            )));
+        }
+        let position = u64::from_le_bytes(bytes[..8].try_into().expect("8-byte slice"));
+        Ok(StreamCheckpoint {
+            position,
+            blob: bytes[8..].to_vec(),
+        })
+    }
+}
+
+/// Checkpoint/resume behavior for a streamed session. The default is the
+/// plain fire-and-forget stream.
+#[derive(Default)]
+pub struct StreamOptions<'a> {
+    /// Ask the server for a checkpoint after every `n` DATA chunks
+    /// (`None` = never). Each arriving checkpoint is handed to
+    /// [`StreamOptions::on_checkpoint`].
+    pub checkpoint_every: Option<usize>,
+    /// Invoked with every checkpoint the server returns; persist the
+    /// latest one to survive disconnects.
+    pub on_checkpoint: Option<&'a mut dyn FnMut(&StreamCheckpoint)>,
+    /// Continue a suspended session instead of starting fresh. The local
+    /// `.tmsb` bytes must be the same ones the original session streamed:
+    /// the client slices them at the checkpoint's layer offset. An empty
+    /// checkpoint falls back to a fresh stream.
+    pub resume: Option<&'a StreamCheckpoint>,
 }
 
 /// A decoded query result plus the optional per-query profile text.
@@ -184,7 +249,19 @@ impl Client {
         tmsb: &[u8],
         chunk: usize,
     ) -> Result<Response<f64>, WireError> {
-        let result = self.stream(KIND_CONFIDENCE, query, output, tmsb, chunk)?;
+        self.stream_confidence_with(query, output, tmsb, chunk, StreamOptions::default())
+    }
+
+    /// [`Client::stream_confidence`] with checkpoint/resume control.
+    pub fn stream_confidence_with(
+        &mut self,
+        query: &str,
+        output: &str,
+        tmsb: &[u8],
+        chunk: usize,
+        opts: StreamOptions<'_>,
+    ) -> Result<Response<f64>, WireError> {
+        let result = self.stream(KIND_CONFIDENCE, query, output, 0, tmsb, chunk, opts)?;
         decode_result(&result, RESULT_CONFIDENCE, |c| c.f64("confidence"))
     }
 
@@ -195,31 +272,81 @@ impl Client {
         tmsb: &[u8],
         chunk: usize,
     ) -> Result<Response<Vec<f64>>, WireError> {
-        let result = self.stream(KIND_SERIES, query, "", tmsb, chunk)?;
+        self.stream_series_with(query, tmsb, chunk, StreamOptions::default())
+    }
+
+    /// [`Client::stream_series`] with checkpoint/resume control.
+    pub fn stream_series_with(
+        &mut self,
+        query: &str,
+        tmsb: &[u8],
+        chunk: usize,
+        opts: StreamOptions<'_>,
+    ) -> Result<Response<Vec<f64>>, WireError> {
+        let result = self.stream(KIND_SERIES, query, "", 0, tmsb, chunk, opts)?;
+        decode_result(&result, RESULT_SERIES, decode_series)
+    }
+
+    /// Streams a sliding-window acceptance query: the returned series
+    /// holds, per position, the probability the last `window` symbols
+    /// land in the query's language (the server evaluates it with O(k²)
+    /// eviction, never rewinding).
+    pub fn stream_window(
+        &mut self,
+        query: &str,
+        tmsb: &[u8],
+        window: u32,
+        chunk: usize,
+        opts: StreamOptions<'_>,
+    ) -> Result<Response<Vec<f64>>, WireError> {
+        let result = self.stream(KIND_WINDOW, query, "", window, tmsb, chunk, opts)?;
         decode_result(&result, RESULT_SERIES, decode_series)
     }
 
     /// Runs one streamed session: BEGIN, then one DATA chunk per ACK,
     /// then END, then the RESULT. At most one unacknowledged chunk is
-    /// ever in flight.
+    /// ever in flight. With [`StreamOptions::checkpoint_every`], every
+    /// n-th ack is answered with a checkpoint request instead of data;
+    /// the server replies with its suspended state (forwarded to
+    /// [`StreamOptions::on_checkpoint`]) and re-acks. With
+    /// [`StreamOptions::resume`], BEGIN carries the prior state and the
+    /// data restarts at the first unconsumed layer.
+    #[allow(clippy::too_many_arguments)]
     fn stream(
         &mut self,
         kind: u8,
         query: &str,
         output: &str,
+        window: u32,
         tmsb: &[u8],
         chunk: usize,
+        mut opts: StreamOptions<'_>,
     ) -> Result<Vec<u8>, WireError> {
         let chunk = chunk.max(1);
-        let begin = PayloadBuilder::new()
-            .u8(kind)
-            .u8(0)
-            .string(query)
-            .string(output)
-            .build();
-        write_frame(&mut self.writer, OP_STREAM_BEGIN, &begin)?;
-        let mut sent = 0usize;
+        let resume = opts.resume.filter(|ck| !ck.is_empty());
+        let mut b =
+            PayloadBuilder::new()
+                .u8(kind)
+                .u8(if resume.is_some() { FLAG_RESUME } else { 0 });
+        if kind == KIND_WINDOW {
+            b = b.u32(window);
+        }
+        b = b.string(query).string(output);
+        if let Some(ck) = resume {
+            b = b.bytes(&ck.blob);
+        }
+        write_frame(&mut self.writer, OP_STREAM_BEGIN, &b.build())?;
+
+        // On resume the server rebuilds its layer reader from the
+        // checkpoint, so the wire skips the prelude and every layer it
+        // already consumed.
+        let mut sent = match resume {
+            Some(ck) => layer_byte_offset(tmsb, ck.position)?,
+            None => 0,
+        };
         let mut end_sent = false;
+        let mut since_checkpoint = 0usize;
+        let mut awaiting_checkpoint = false;
         loop {
             let frame = match read_frame(&mut self.reader)? {
                 Some(f) => f,
@@ -231,16 +358,39 @@ impl Client {
             };
             match frame.op {
                 OP_STREAM_ACK => {
-                    if sent < tmsb.len() {
+                    let want_checkpoint = opts
+                        .checkpoint_every
+                        .is_some_and(|n| since_checkpoint >= n.max(1));
+                    if sent < tmsb.len() && want_checkpoint && !awaiting_checkpoint {
+                        write_frame(&mut self.writer, OP_STREAM_CHECKPOINT, &[])?;
+                        since_checkpoint = 0;
+                        awaiting_checkpoint = true;
+                    } else if sent < tmsb.len() {
                         let n = chunk.min(tmsb.len() - sent);
                         write_frame(&mut self.writer, OP_STREAM_DATA, &tmsb[sent..sent + n])?;
                         sent += n;
+                        since_checkpoint += 1;
                     } else if !end_sent {
                         write_frame(&mut self.writer, OP_STREAM_END, &[])?;
                         end_sent = true;
                     } else {
                         return Err(WireError::Malformed("ack after stream end".to_string()));
                     }
+                }
+                OP_CHECKPOINT => {
+                    if !awaiting_checkpoint {
+                        return Err(WireError::Malformed(
+                            "unsolicited checkpoint frame".to_string(),
+                        ));
+                    }
+                    awaiting_checkpoint = false;
+                    let mut c = Cursor::new(&frame.payload);
+                    let position = c.u64("checkpoint position")?;
+                    let blob = c.bytes("checkpoint blob")?.to_vec();
+                    if let Some(cb) = opts.on_checkpoint.as_mut() {
+                        cb(&StreamCheckpoint { position, blob });
+                    }
+                    // The server re-acks next; the loop continues.
                 }
                 OP_RESULT => return Ok(frame.payload),
                 OP_ERROR => {
@@ -295,6 +445,21 @@ impl Client {
         }
         Ok(())
     }
+}
+
+/// Translates a checkpoint's layer position into a byte offset of the
+/// local `.tmsb` bytes (prelude + `position` complete layers).
+fn layer_byte_offset(tmsb: &[u8], position: u64) -> Result<usize, WireError> {
+    let mut r = tmsb;
+    let prelude = read_prelude(&mut r)
+        .map_err(|e| WireError::Malformed(format!("local .tmsb bytes: {e}")))?;
+    let off = prelude.layer_offset(position);
+    if off > tmsb.len() as u64 {
+        return Err(WireError::Malformed(format!(
+            "checkpoint position {position} lies beyond the local .tmsb data"
+        )));
+    }
+    Ok(off as usize)
 }
 
 /// Decodes a RESULT payload: checks the result kind, decodes the body

@@ -18,10 +18,14 @@
 //! `/metrics.json`). Admission control is the pool's bounded queue
 //! (typed [`ERR_SATURATED`](protocol::ERR_SATURATED) at the door);
 //! per-tenant fairness is an in-flight quota keyed by the HELLO tenant
-//! name. Streamed `.tmsb` sessions feed the existing
-//! [`SourceBoundQuery`](transmark_core::plan::SourceBoundQuery) path
-//! chunk by chunk with stop-and-wait backpressure — server memory stays
-//! O(|Σ|² + one chunk) no matter how long the sequence is.
+//! name. Streamed `.tmsb` sessions drive an incremental core session
+//! ([`ConfidenceSession`], [`EventSession`],
+//! [`WindowSession`](transmark_core::incremental::WindowSession)) layer
+//! by layer with stop-and-wait backpressure — server memory stays
+//! O(|Σ|² + one chunk) no matter how long the sequence is — and the
+//! client can suspend any session to an opaque checkpoint blob
+//! ([`protocol::OP_STREAM_CHECKPOINT`]) and resume it later, even on a
+//! different connection ([`protocol::FLAG_RESUME`]).
 
 pub mod client;
 pub mod protocol;
@@ -33,18 +37,23 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use transmark_automata::SymbolId;
+use transmark_core::error::EngineError;
 use transmark_core::evaluate::Evaluation;
+use transmark_core::incremental::{
+    ConfidenceSession, EventSession, SlidingWindowQuery, WindowSession,
+};
 use transmark_core::transducer::Transducer;
-use transmark_markov::binio::TmsbReader;
+use transmark_markov::binio::{read_prelude, RawLayerReader};
 use transmark_markov::{MarkovSequence, SourceError};
 use transmark_store::{PoolError, WorkerPool};
 
 use crate::facade::Engine;
 use protocol::{
     read_frame, read_frame_after_len, write_error, write_frame, Cursor, Frame, PayloadBuilder,
-    WireError, ERR_BAD_FRAME, ERR_QUERY, ERR_QUOTA, ERR_SATURATED, ERR_STATE, ERR_VERSION,
-    KIND_CONFIDENCE, KIND_SERIES, KIND_TOP_K, OP_HELLO, OP_HELLO_OK, OP_METRICS, OP_QUERY,
-    OP_RESULT, OP_SHUTDOWN, OP_SHUTDOWN_OK, OP_STREAM_ACK, OP_STREAM_BEGIN, OP_STREAM_DATA,
+    WireError, ERR_BAD_CHECKPOINT, ERR_BAD_FRAME, ERR_QUERY, ERR_QUOTA, ERR_SATURATED, ERR_STATE,
+    ERR_VERSION, FLAG_PROFILE, FLAG_RESUME, KIND_CONFIDENCE, KIND_SERIES, KIND_TOP_K, KIND_WINDOW,
+    OP_CHECKPOINT, OP_HELLO, OP_HELLO_OK, OP_METRICS, OP_QUERY, OP_RESULT, OP_SHUTDOWN,
+    OP_SHUTDOWN_OK, OP_STREAM_ACK, OP_STREAM_BEGIN, OP_STREAM_CHECKPOINT, OP_STREAM_DATA,
     OP_STREAM_END, RESULT_CONFIDENCE, RESULT_SERIES, RESULT_TEXT, RESULT_TOP_K, WIRE_MAGIC,
     WIRE_VERSION,
 };
@@ -566,6 +575,14 @@ struct FrameByteStream<'a, R: Read, W: Write> {
     /// Set when the wire itself failed (vs. the evaluation); the session
     /// cannot be drained afterwards.
     broken: bool,
+    /// Once the query session exists, a checkpoint request surfaces to
+    /// the drive loop (as a marker I/O error + `pending_checkpoint`) so
+    /// it can serialize the session. Before that — mid-prelude — the
+    /// stream answers with an empty checkpoint itself.
+    allow_checkpoint: bool,
+    /// Set when the last read error was a checkpoint request, not a real
+    /// failure; the drive loop services it and retries the read.
+    pending_checkpoint: bool,
 }
 
 impl<'a, R: Read, W: Write> FrameByteStream<'a, R, W> {
@@ -578,49 +595,90 @@ impl<'a, R: Read, W: Write> FrameByteStream<'a, R, W> {
             consumed: 0,
             ended: false,
             broken: false,
+            allow_checkpoint: false,
+            pending_checkpoint: false,
+        }
+    }
+
+    /// Sends an [`OP_CHECKPOINT`] frame (position + opaque blob).
+    fn send_checkpoint(&mut self, position: u64, blob: &[u8]) -> bool {
+        let payload = PayloadBuilder::new().u64(position).bytes(blob).build();
+        match write_frame(self.writer, OP_CHECKPOINT, &payload) {
+            Ok(()) => {
+                transmark_obs::counter!("serve.stream_checkpoints").inc();
+                true
+            }
+            Err(_) => {
+                self.broken = true;
+                false
+            }
         }
     }
 
     /// Acks the consumed prefix and pulls the next DATA frame.
     fn refill(&mut self) -> std::io::Result<()> {
-        let ack = PayloadBuilder::new().u64(self.consumed).build();
-        write_frame(self.writer, OP_STREAM_ACK, &ack).map_err(|e| {
-            self.broken = true;
-            wire_to_io(e)
-        })?;
-        match read_frame(self.reader) {
-            Ok(Some(Frame {
-                op: OP_STREAM_DATA,
-                payload,
-            })) => {
-                self.buf = payload;
-                self.at = 0;
-                Ok(())
-            }
-            Ok(Some(Frame {
-                op: OP_STREAM_END, ..
-            })) => {
-                self.ended = true;
-                Ok(())
-            }
-            Ok(Some(f)) => {
+        loop {
+            let ack = PayloadBuilder::new().u64(self.consumed).build();
+            write_frame(self.writer, OP_STREAM_ACK, &ack).map_err(|e| {
                 self.broken = true;
-                Err(std::io::Error::other(format!(
-                    "unexpected opcode {:#04x} inside a stream session",
-                    f.op
-                )))
-            }
-            Ok(None) => {
-                self.broken = true;
-                Err(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "peer closed mid-stream",
-                ))
-            }
-            Err(e) => {
-                self.broken = true;
-                Err(wire_to_io(e))
-            }
+                wire_to_io(e)
+            })?;
+            return match read_frame(self.reader) {
+                Ok(Some(Frame {
+                    op: OP_STREAM_DATA,
+                    payload,
+                })) => {
+                    self.buf = payload;
+                    self.at = 0;
+                    Ok(())
+                }
+                Ok(Some(Frame {
+                    op: OP_STREAM_END, ..
+                })) => {
+                    self.ended = true;
+                    Ok(())
+                }
+                Ok(Some(Frame {
+                    op: OP_STREAM_CHECKPOINT,
+                    ..
+                })) => {
+                    if self.allow_checkpoint {
+                        // Surface to the drive loop, which owns the
+                        // session state; the partial layer fill persists
+                        // in the RawLayerReader, so the retried read
+                        // continues bit-identically.
+                        self.pending_checkpoint = true;
+                        return Err(std::io::Error::other("checkpoint requested"));
+                    }
+                    // Still inside the prelude — no session exists. An
+                    // empty blob at position 0 means "no progress yet":
+                    // resuming it is starting over.
+                    if !self.send_checkpoint(0, &[]) {
+                        return Err(std::io::Error::other(
+                            "connection failed while sending checkpoint",
+                        ));
+                    }
+                    continue;
+                }
+                Ok(Some(f)) => {
+                    self.broken = true;
+                    Err(std::io::Error::other(format!(
+                        "unexpected opcode {:#04x} inside a stream session",
+                        f.op
+                    )))
+                }
+                Ok(None) => {
+                    self.broken = true;
+                    Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "peer closed mid-stream",
+                    ))
+                }
+                Err(e) => {
+                    self.broken = true;
+                    Err(wire_to_io(e))
+                }
+            };
         }
     }
 
@@ -631,6 +689,9 @@ impl<'a, R: Read, W: Write> FrameByteStream<'a, R, W> {
         if self.broken {
             return false;
         }
+        // The session is over; a straggling checkpoint request gets the
+        // inline "no state" reply instead of breaking frame alignment.
+        self.allow_checkpoint = false;
         while !self.ended {
             self.at = self.buf.len();
             if self.refill().is_err() {
@@ -689,16 +750,34 @@ fn handle_stream<R: Read, W: Write>(
     transmark_obs::counter!("serve.stream_sessions").inc();
 
     let mut c = Cursor::new(payload);
-    let parsed = (|| -> Result<(u8, bool, Transducer, String), (u16, String)> {
+    type StreamHeader = (u8, bool, u32, Transducer, String, Option<Vec<u8>>);
+    let parsed = (|| -> Result<StreamHeader, (u16, String)> {
         let kind = c.u8("kind").map_err(bad_frame)?;
         let flags = c.u8("flags").map_err(bad_frame)?;
+        let window = if kind == KIND_WINDOW {
+            c.u32("window").map_err(bad_frame)?
+        } else {
+            0
+        };
         let query_text = c.string("query").map_err(bad_frame)?;
         let output_text = c.string("output").map_err(bad_frame)?;
+        let resume = if flags & FLAG_RESUME != 0 {
+            Some(c.bytes("resume checkpoint").map_err(bad_frame)?.to_vec())
+        } else {
+            None
+        };
         let t = transmark_core::textio::from_text(&query_text)
             .map_err(|e| (ERR_QUERY, format!("query parse: {e}")))?;
-        Ok((kind, flags & 1 != 0, t, output_text))
+        Ok((
+            kind,
+            flags & FLAG_PROFILE != 0,
+            window,
+            t,
+            output_text,
+            resume,
+        ))
     })();
-    let (kind, with_profile, t, output_text) = match parsed {
+    let (kind, with_profile, window, t, output_text, resume) = match parsed {
         Ok(p) => p,
         Err((code, message)) => {
             let ok = write_error(writer, code, &message).is_ok();
@@ -708,7 +787,16 @@ fn handle_stream<R: Read, W: Write>(
 
     let engine = &shared.engine;
     let mut src = FrameByteStream::new(reader, writer);
-    let outcome = run_stream_query(engine, kind, with_profile, &t, &output_text, &mut src);
+    let outcome = run_stream_query(
+        engine,
+        kind,
+        with_profile,
+        window,
+        &t,
+        &output_text,
+        resume.as_deref(),
+        &mut src,
+    );
     let aligned = src.drain();
     match outcome {
         Ok(result) => aligned && write_frame(writer, OP_RESULT, &result).is_ok(),
@@ -716,44 +804,271 @@ fn handle_stream<R: Read, W: Write>(
     }
 }
 
-/// Runs one streamed query over the session's byte stream. The header
-/// parse happens inside [`TmsbReader::new`], so `.tmsb` version
-/// negotiation and stride/truncation typing all come from the binio
-/// layer — the wire adds nothing to decode semantics.
+/// Maps session-resume failures onto the wire: malformed/mismatched
+/// checkpoints get their own code so clients can distinguish "start
+/// over" from "query is wrong".
+fn checkpoint_err(e: transmark_core::error::EngineError) -> (u16, String) {
+    match e {
+        EngineError::BadCheckpoint(_) => (ERR_BAD_CHECKPOINT, e.to_string()),
+        other => (ERR_QUERY, other.to_string()),
+    }
+}
+
+/// The server-side checkpoint envelope carried (opaquely, from the
+/// client's point of view) inside [`OP_CHECKPOINT`] / `FLAG_RESUME`
+/// blobs: enough to rebuild the layer reader (`k`, `n`), the progress
+/// already streamed back on resume-less kinds (`series`), and the core
+/// session's own versioned checkpoint (`core`).
+struct ServeCheckpoint {
+    k: usize,
+    n: usize,
+    position: u64,
+    series: Vec<f64>,
+    core: Vec<u8>,
+}
+
+fn encode_serve_checkpoint(
+    kind: u8,
+    k: usize,
+    n: usize,
+    position: u64,
+    series: &[f64],
+    core: &[u8],
+) -> Vec<u8> {
+    let mut b = PayloadBuilder::new()
+        .u8(kind)
+        .u32(k as u32)
+        .u64(n as u64)
+        .u64(position)
+        .u64(series.len() as u64);
+    for v in series {
+        b = b.f64(*v);
+    }
+    b.bytes(core).build()
+}
+
+fn parse_serve_checkpoint(kind: u8, blob: &[u8]) -> Result<ServeCheckpoint, (u16, String)> {
+    let bad = |m: String| (ERR_BAD_CHECKPOINT, format!("resume checkpoint: {m}"));
+    let mut c = Cursor::new(blob);
+    let ck = c.u8("kind").map_err(|e| bad(e.to_string()))?;
+    if ck != kind {
+        return Err(bad(format!(
+            "blob was taken from a kind-{ck} session, not kind {kind}"
+        )));
+    }
+    let k = c.u32("alphabet size").map_err(|e| bad(e.to_string()))? as usize;
+    let n = c.u64("sequence length").map_err(|e| bad(e.to_string()))?;
+    let n = usize::try_from(n).map_err(|_| bad(format!("implausible sequence length {n}")))?;
+    let position = c.u64("position").map_err(|e| bad(e.to_string()))?;
+    let series_len = c.u64("series length").map_err(|e| bad(e.to_string()))?;
+    // Plausibility before allocating: every recorded probability cost 8
+    // bytes of blob, and the series never outruns the stream position
+    // (it holds at most one entry per consumed layer plus position 0).
+    if series_len > blob.len() as u64 / 8 || series_len > position.saturating_add(1) {
+        return Err(bad(format!("implausible series length {series_len}")));
+    }
+    let mut series = Vec::with_capacity(series_len as usize);
+    for _ in 0..series_len {
+        series.push(c.f64("series entry").map_err(|e| bad(e.to_string()))?);
+    }
+    let core = c
+        .bytes("session state")
+        .map_err(|e| bad(e.to_string()))?
+        .to_vec();
+    if !c.is_exhausted() {
+        return Err(bad("trailing bytes after session state".to_string()));
+    }
+    Ok(ServeCheckpoint {
+        k,
+        n,
+        position,
+        series,
+        core,
+    })
+}
+
+/// One incremental session per streamed kind, so the layer-drive loop
+/// below is written once. `advance` returns the value (if any) to append
+/// to the result series.
+enum Sess<'q> {
+    Conf(ConfidenceSession),
+    Series(EventSession),
+    Window(WindowSession<'q>),
+}
+
+impl Sess<'_> {
+    fn advance(&mut self, matrix: &[f64]) -> Result<Option<f64>, EngineError> {
+        match self {
+            Sess::Conf(s) => s.step(matrix).map(|()| None),
+            Sess::Series(s) => s.advance(matrix).map(Some),
+            Sess::Window(s) => s.advance(matrix).map(Some),
+        }
+    }
+
+    fn checkpoint(&self) -> Vec<u8> {
+        match self {
+            Sess::Conf(s) => s.checkpoint(),
+            Sess::Series(s) => s.checkpoint(),
+            Sess::Window(s) => s.checkpoint(),
+        }
+    }
+
+    /// Series kinds report the position-0 probability before any layer
+    /// is consumed (matching `series`/`series_source` shape).
+    fn initial_probability(&self) -> Option<f64> {
+        match self {
+            Sess::Conf(_) => None,
+            Sess::Series(s) => Some(s.probability()),
+            Sess::Window(s) => Some(s.probability()),
+        }
+    }
+}
+
+/// Runs one streamed query over the session's byte stream as an
+/// incremental state machine: `.tmsb` prelude negotiation comes from
+/// [`read_prelude`]/[`RawLayerReader`], so version and stride/truncation
+/// typing still belong to the binio layer, while every decoded layer is
+/// fed to a core session (`ConfidenceSession` / `EventSession` /
+/// `WindowSession`). Between any two layers — including mid-layer, since
+/// the raw reader's partial fill survives the interrupting marker error —
+/// the client may swap a DATA frame for [`OP_STREAM_CHECKPOINT`] and get
+/// the suspended session back as an opaque blob; presenting that blob
+/// with `FLAG_RESUME` (and the remaining layers) continues bit-identically.
+#[allow(clippy::too_many_arguments)]
 fn run_stream_query<R: Read, W: Write>(
     engine: &Engine,
     kind: u8,
     with_profile: bool,
+    window: u32,
     t: &Transducer,
     output_text: &str,
+    resume: Option<&[u8]>,
     src: &mut FrameByteStream<'_, R, W>,
 ) -> Result<Vec<u8>, (u16, String)> {
     let run = |src: &mut FrameByteStream<'_, R, W>| -> Result<(u8, PayloadBuilder), (u16, String)> {
-        let tmsb = TmsbReader::new(&mut *src).map_err(|e| source_err(&e))?;
-        match kind {
-            KIND_CONFIDENCE => {
-                let o = parse_output(t, output_text)?;
-                let plan = engine.prepare(t);
-                let v = plan
-                    .bind_source(tmsb)
-                    .and_then(|mut b| b.confidence(&o))
-                    .map_err(query_err)?;
-                Ok((RESULT_CONFIDENCE, PayloadBuilder::new().f64(v)))
+        if !matches!(kind, KIND_CONFIDENCE | KIND_SERIES | KIND_WINDOW) {
+            return Err((
+                ERR_BAD_FRAME,
+                format!("query kind {kind} cannot run over a stream session"),
+            ));
+        }
+        // Machine-side compilation happens before the wire is touched.
+        let plan = (kind == KIND_CONFIDENCE).then(|| engine.prepare(t));
+        let o = match kind {
+            KIND_CONFIDENCE => parse_output(t, output_text)?,
+            _ => Vec::new(),
+        };
+        let wq_storage;
+        let wq = if kind == KIND_WINDOW {
+            wq_storage =
+                SlidingWindowQuery::new(t.underlying_nfa(), window as usize).map_err(query_err)?;
+            Some(&wq_storage)
+        } else {
+            None
+        };
+
+        let (mut sess, mut raw, mut series, dims) = match resume {
+            None => {
+                // Fresh session: the prelude arrives over the wire first.
+                // Checkpoint requests during this phase are answered by
+                // the stream itself (position 0 = "start over"), so the
+                // prelude's `read_exact`s never see an interruption.
+                let prelude = read_prelude(src).map_err(|e| source_err(&e))?;
+                let raw = RawLayerReader::new(&prelude).map_err(|e| source_err(&e))?;
+                let dims = (prelude.alphabet().len(), prelude.len());
+                let sess = match kind {
+                    KIND_CONFIDENCE => Sess::Conf(
+                        plan.as_ref()
+                            .expect("plan prepared for confidence kind")
+                            .begin_confidence(prelude.initial(), &o)
+                            .map_err(query_err)?,
+                    ),
+                    KIND_SERIES => Sess::Series(
+                        EventSession::start(t.underlying_nfa(), prelude.initial())
+                            .map_err(query_err)?,
+                    ),
+                    _ => Sess::Window(
+                        wq.expect("window query built for window kind")
+                            .start(prelude.initial())
+                            .map_err(query_err)?,
+                    ),
+                };
+                let mut series = Vec::new();
+                series.extend(sess.initial_probability());
+                (sess, raw, series, dims)
             }
-            KIND_SERIES => {
-                let event = engine.prepare_event(&t.underlying_nfa());
-                let mut tmsb = tmsb;
-                let series = event.series_source(&mut tmsb).map_err(query_err)?;
+            Some(blob) => {
+                // Resumed session: the client slices its data past the
+                // prelude, so the layer reader is rebuilt from the dims
+                // recorded in the envelope rather than re-read.
+                let env = parse_serve_checkpoint(kind, blob)?;
+                let sess = match kind {
+                    KIND_CONFIDENCE => Sess::Conf(
+                        plan.as_ref()
+                            .expect("plan prepared for confidence kind")
+                            .resume_confidence(&o, &env.core)
+                            .map_err(checkpoint_err)?,
+                    ),
+                    KIND_SERIES => Sess::Series(
+                        EventSession::resume(t.underlying_nfa(), &env.core)
+                            .map_err(checkpoint_err)?,
+                    ),
+                    _ => Sess::Window(
+                        wq.expect("window query built for window kind")
+                            .resume(&env.core)
+                            .map_err(checkpoint_err)?,
+                    ),
+                };
+                let raw = RawLayerReader::from_dims(env.k, env.n, env.position)
+                    .map_err(|e| (ERR_BAD_CHECKPOINT, format!("resume checkpoint: {e}")))?;
+                transmark_obs::counter!("serve.stream_resumes").inc();
+                (sess, raw, env.series, (env.k, env.n))
+            }
+        };
+        src.allow_checkpoint = true;
+
+        loop {
+            match raw.next_layer(src) {
+                Ok(Some(matrix)) => {
+                    if let Some(p) = sess.advance(matrix).map_err(query_err)? {
+                        series.push(p);
+                    }
+                }
+                Ok(None) => break,
+                Err(SourceError::Io(_)) if src.pending_checkpoint => {
+                    // The client swapped a DATA frame for a checkpoint
+                    // request. The raw reader holds any partial layer
+                    // fill, so after replying we simply retry the read.
+                    src.pending_checkpoint = false;
+                    let position = raw.position() as u64;
+                    let blob = encode_serve_checkpoint(
+                        kind,
+                        dims.0,
+                        dims.1,
+                        position,
+                        &series,
+                        &sess.checkpoint(),
+                    );
+                    if !src.send_checkpoint(position, &blob) {
+                        return Err((
+                            ERR_QUERY,
+                            "connection failed while sending checkpoint".to_string(),
+                        ));
+                    }
+                }
+                Err(e) => return Err(source_err(&e)),
+            }
+        }
+
+        match sess {
+            Sess::Conf(s) => Ok((RESULT_CONFIDENCE, PayloadBuilder::new().f64(s.finish()))),
+            Sess::Series(_) | Sess::Window(_) => {
                 let mut b = PayloadBuilder::new().u64(series.len() as u64);
                 for v in &series {
                     b = b.f64(*v);
                 }
                 Ok((RESULT_SERIES, b))
             }
-            other => Err((
-                ERR_BAD_FRAME,
-                format!("query kind {other} cannot run over a stream session"),
-            )),
         }
     };
 

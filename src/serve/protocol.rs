@@ -46,6 +46,11 @@ pub const OP_STREAM_END: u8 = 0x05;
 pub const OP_METRICS: u8 = 0x06;
 /// Asks the server to shut down gracefully (acked, then drained).
 pub const OP_SHUTDOWN: u8 = 0x07;
+/// Inside a stream session, sent in place of a DATA frame (after an
+/// ACK): asks the server to suspend the session to a checkpoint blob.
+/// The server answers [`OP_CHECKPOINT`], then re-acks; the session
+/// continues. Empty payload.
+pub const OP_STREAM_CHECKPOINT: u8 = 0x08;
 
 // ---- Opcodes: server → client ---------------------------------------------
 
@@ -58,8 +63,23 @@ pub const OP_RESULT: u8 = 0x82;
 pub const OP_STREAM_ACK: u8 = 0x83;
 /// Acknowledges a shutdown request.
 pub const OP_SHUTDOWN_OK: u8 = 0x84;
+/// Answers [`OP_STREAM_CHECKPOINT`]: u64 LE layers consumed, then a
+/// u32-length-prefixed opaque checkpoint blob. Present the blob to a
+/// fresh session via [`FLAG_RESUME`] to continue where it left off.
+pub const OP_CHECKPOINT: u8 = 0x85;
 /// A typed failure: u16 LE error code + UTF-8 message.
 pub const OP_ERROR: u8 = 0xFF;
+
+// ---- Flags (second byte of QUERY / STREAM_BEGIN payloads) ------------------
+
+/// Run the query under a query-scoped profiler; the RESULT carries the
+/// rendered profile text.
+pub const FLAG_PROFILE: u8 = 0x1;
+/// STREAM_BEGIN only: the payload carries a checkpoint blob
+/// ([`OP_CHECKPOINT`]) after the output string; the session resumes from
+/// it, and DATA frames must start at the blob's recorded layer offset
+/// (past the `.tmsb` prelude).
+pub const FLAG_RESUME: u8 = 0x2;
 
 // ---- Query kinds -----------------------------------------------------------
 
@@ -69,6 +89,11 @@ pub const KIND_CONFIDENCE: u8 = 1;
 pub const KIND_TOP_K: u8 = 2;
 /// Prefix acceptance series of the query's underlying NFA.
 pub const KIND_SERIES: u8 = 3;
+/// Sliding-window series of the query's underlying NFA: the
+/// STREAM_BEGIN payload gains a u32 window length after the flags byte,
+/// and the RESULT is a series frame of per-position window
+/// probabilities.
+pub const KIND_WINDOW: u8 = 4;
 
 // ---- Result kinds ----------------------------------------------------------
 
@@ -99,6 +124,9 @@ pub const ERR_QUERY: u16 = 5;
 pub const ERR_STATE: u16 = 6;
 /// The server is shutting down.
 pub const ERR_SHUTDOWN: u16 = 7;
+/// A [`FLAG_RESUME`] checkpoint blob could not be decoded or belongs to
+/// a different query.
+pub const ERR_BAD_CHECKPOINT: u16 = 8;
 
 /// One decoded frame: opcode plus owned payload bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -446,3 +446,197 @@ fn stream_and_streaming_batch_commands() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn stream_checkpoint_resume_and_window() {
+    let dir = scratch("streamckpt");
+    run(&args(&["export-example", dir.to_str().unwrap()])).expect("export");
+    let seq = dir.join("hospital.tms");
+    let query = dir.join("room_tracker.tmt");
+    let ck = dir.join("state.ckpt");
+
+    // The uninterrupted run is the oracle.
+    let full = run(&args(&[
+        "stream",
+        query.to_str().unwrap(),
+        seq.to_str().unwrap(),
+    ]))
+    .expect("stream full");
+    let full_lines: Vec<&str> = full.lines().collect();
+    assert_eq!(full_lines.len(), 5, "{full}");
+
+    // Suspend after 2 folded steps, then resume: the tail of the resumed
+    // run must be byte-identical to the tail of the uninterrupted one.
+    let first = run(&args(&[
+        "stream",
+        query.to_str().unwrap(),
+        seq.to_str().unwrap(),
+        "--checkpoint-at",
+        "2",
+        "--checkpoint-out",
+        ck.to_str().unwrap(),
+    ]))
+    .expect("stream suspend");
+    assert!(first.contains("checkpoint written"), "{first}");
+    assert!(first.lines().take(3).eq(full_lines.iter().take(3).copied()));
+    assert!(ck.exists());
+
+    let resumed = run(&args(&[
+        "stream",
+        query.to_str().unwrap(),
+        seq.to_str().unwrap(),
+        "--resume",
+        ck.to_str().unwrap(),
+    ]))
+    .expect("stream resume");
+    let resumed_lines: Vec<&str> = resumed.lines().collect();
+    assert!(resumed_lines[0].starts_with("resumed at t=3"), "{resumed}");
+    assert_eq!(&resumed_lines[1..], &full_lines[3..], "{resumed}");
+
+    // --window 1 at t is the marginal acceptance of position t alone;
+    // just pin shape and that it differs from the full fold.
+    let windowed = run(&args(&[
+        "stream",
+        query.to_str().unwrap(),
+        seq.to_str().unwrap(),
+        "--window",
+        "2",
+    ]))
+    .expect("stream window");
+    assert_eq!(windowed.lines().count(), 5, "{windowed}");
+    assert_ne!(windowed, full);
+
+    // Windowed sessions checkpoint and resume bit-identically too.
+    let wck = dir.join("window.ckpt");
+    run(&args(&[
+        "stream",
+        query.to_str().unwrap(),
+        seq.to_str().unwrap(),
+        "--window",
+        "2",
+        "--checkpoint-at",
+        "3",
+        "--checkpoint-out",
+        wck.to_str().unwrap(),
+    ]))
+    .expect("window suspend");
+    let wresumed = run(&args(&[
+        "stream",
+        query.to_str().unwrap(),
+        seq.to_str().unwrap(),
+        "--window",
+        "2",
+        "--resume",
+        wck.to_str().unwrap(),
+    ]))
+    .expect("window resume");
+    let wlines: Vec<&str> = windowed.lines().collect();
+    assert_eq!(
+        wresumed.lines().skip(1).collect::<Vec<_>>(),
+        &wlines[4..],
+        "{wresumed}"
+    );
+
+    // Flag validation: --checkpoint-at without --checkpoint-out is a
+    // usage error, mismatched strategy is a runtime error.
+    assert!(run(&args(&[
+        "stream",
+        query.to_str().unwrap(),
+        seq.to_str().unwrap(),
+        "--checkpoint-at",
+        "1",
+    ]))
+    .is_err());
+    assert!(run(&args(&[
+        "stream",
+        query.to_str().unwrap(),
+        seq.to_str().unwrap(),
+        "--window",
+        "2",
+        "--strategy",
+        "scan",
+    ]))
+    .is_err());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn monitor_multiplexes_streams() {
+    let dir = scratch("monitorcli");
+    run(&args(&["export-example", dir.to_str().unwrap()])).expect("export");
+    let seq = dir.join("hospital.tms");
+    let query = dir.join("room_tracker.tmt");
+    let bin = dir.join("hospital.tmsb");
+    run(&args(&[
+        "convert",
+        seq.to_str().unwrap(),
+        bin.to_str().unwrap(),
+    ]))
+    .expect("convert");
+
+    // The monitor's per-stream series (mixed on-disk formats, 2 workers)
+    // is byte-identical to `tmk stream` on each file alone.
+    let solo = run(&args(&[
+        "stream",
+        query.to_str().unwrap(),
+        seq.to_str().unwrap(),
+    ]))
+    .expect("stream");
+    let out = run(&args(&[
+        "monitor",
+        query.to_str().unwrap(),
+        seq.to_str().unwrap(),
+        bin.to_str().unwrap(),
+        "--series",
+        "--threads",
+        "2",
+    ]))
+    .expect("monitor series");
+    let expected = format!("== {}\n{solo}== {}\n{solo}", seq.display(), bin.display());
+    assert_eq!(out, expected);
+
+    // Default (final-probability) report: one `==` header and one
+    // summary line per stream, in input order.
+    let out = run(&args(&[
+        "monitor",
+        query.to_str().unwrap(),
+        bin.to_str().unwrap(),
+        seq.to_str().unwrap(),
+    ]))
+    .expect("monitor final");
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 4, "{out}");
+    assert!(
+        lines[0].starts_with(&format!("== {}", bin.display())),
+        "{out}"
+    );
+    assert!(lines[1].contains("(5 positions)"), "{out}");
+    let last_solo = solo.lines().last().unwrap();
+    let p = last_solo.split_whitespace().last().unwrap();
+    assert!(lines[1].contains(p), "{out}");
+
+    // Windowed monitoring matches `tmk stream --window` per stream.
+    let solo_w = run(&args(&[
+        "stream",
+        query.to_str().unwrap(),
+        seq.to_str().unwrap(),
+        "--window",
+        "3",
+    ]))
+    .expect("stream window");
+    let out = run(&args(&[
+        "monitor",
+        query.to_str().unwrap(),
+        seq.to_str().unwrap(),
+        "--window",
+        "3",
+        "--series",
+        "--batch",
+        "2",
+    ]))
+    .expect("monitor window");
+    assert_eq!(out, format!("== {}\n{solo_w}", seq.display()));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

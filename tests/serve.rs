@@ -17,11 +17,12 @@ use transmark::engine::transducer::Transducer;
 use transmark::markov::binio::{to_tmsb_bytes, TmsbReader};
 use transmark::markov::generate::{random_markov_sequence, RandomChainSpec};
 use transmark::markov::MarkovSequence;
-use transmark::serve::client::{Client, Sequence};
+use transmark::serve::client::{Client, Sequence, StreamCheckpoint, StreamOptions};
 use transmark::serve::protocol::{
-    read_frame, write_frame, PayloadBuilder, WireError, ERR_BAD_FRAME, ERR_QUOTA, ERR_VERSION,
-    OP_ERROR, OP_HELLO, OP_HELLO_OK, OP_RESULT, OP_STREAM_ACK, OP_STREAM_BEGIN, OP_STREAM_DATA,
-    OP_STREAM_END, WIRE_MAGIC, WIRE_VERSION,
+    read_frame, write_frame, PayloadBuilder, WireError, ERR_BAD_CHECKPOINT, ERR_BAD_FRAME,
+    ERR_QUOTA, ERR_VERSION, OP_CHECKPOINT, OP_ERROR, OP_HELLO, OP_HELLO_OK, OP_RESULT,
+    OP_STREAM_ACK, OP_STREAM_BEGIN, OP_STREAM_CHECKPOINT, OP_STREAM_DATA, OP_STREAM_END,
+    WIRE_MAGIC, WIRE_VERSION,
 };
 use transmark::serve::{ServeConfig, Server};
 use transmark::Engine;
@@ -168,6 +169,365 @@ proptest! {
             prop_assert_eq!(served.value.to_bits(), c_local.to_bits());
         }
     }
+}
+
+/// Checkpoints taken at every chunk boundary of a streamed session can
+/// each seed a fresh session (new connection, resliced data) whose final
+/// result is bit-identical to the uninterrupted run — for series,
+/// confidence, and sliding-window kinds.
+#[test]
+fn stream_checkpoints_resume_bit_identically() {
+    let (t, m) = instance(TransducerClass::Deterministic, 0xC0FFEE, 5);
+    let query_text = transmark::engine::textio::to_text(&t);
+    let tmsb = to_tmsb_bytes(&m);
+
+    let local = Engine::new();
+    let event = local.prepare_event(&t.underlying_nfa());
+    let mut local_src = TmsbReader::new(&tmsb[..]).expect("local reader");
+    let series_ref = event
+        .series_source(&mut local_src)
+        .expect("local source series");
+
+    // Tiny chunks + checkpoint-every-2 scatter checkpoints across the
+    // prelude (empty blob), layer boundaries, and mid-layer offsets.
+    let mut cks: Vec<StreamCheckpoint> = Vec::new();
+    let mut client = Client::connect(&addr(), "ckpt").expect("connect");
+    let mut grab = |ck: &StreamCheckpoint| cks.push(ck.clone());
+    let served = client
+        .stream_series_with(
+            &query_text,
+            &tmsb,
+            3,
+            StreamOptions {
+                checkpoint_every: Some(2),
+                on_checkpoint: Some(&mut grab),
+                resume: None,
+            },
+        )
+        .expect("checkpointed stream series");
+    assert_eq!(served.value.len(), series_ref.len());
+    for (a, b) in served.value.iter().zip(series_ref.iter()) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    assert!(
+        cks.iter().any(|ck| ck.position > 0),
+        "at least one checkpoint should capture real progress"
+    );
+    assert!(
+        cks.iter().any(|ck| ck.is_empty()),
+        "chunk=3 should catch the session still inside the prelude"
+    );
+
+    for ck in &cks {
+        let roundtrip = StreamCheckpoint::from_bytes(&ck.to_bytes()).expect("roundtrip");
+        assert_eq!(&roundtrip, ck);
+        let mut fresh = Client::connect(&addr(), "ckpt").expect("reconnect");
+        let resumed = fresh
+            .stream_series_with(
+                &query_text,
+                &tmsb,
+                7,
+                StreamOptions {
+                    resume: Some(ck),
+                    ..StreamOptions::default()
+                },
+            )
+            .expect("resumed stream series");
+        assert_eq!(resumed.value.len(), series_ref.len(), "at {}", ck.position);
+        for (a, b) in resumed.value.iter().zip(series_ref.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "resumed at {}", ck.position);
+        }
+    }
+
+    // Confidence: same drill against the local source-bound value.
+    let plan = local.prepare(&t);
+    let answers = Evaluation::with_plan(&plan, &m)
+        .and_then(|ev| ev.top_k_scored(1))
+        .expect("local top-k");
+    if let Some(a) = answers.first() {
+        let names = output_names(&t, &a.output);
+        let c_ref = plan
+            .bind_source(TmsbReader::new(&tmsb[..]).expect("local reader"))
+            .and_then(|mut b| b.confidence(&a.output))
+            .expect("local source confidence");
+        let mut cks: Vec<StreamCheckpoint> = Vec::new();
+        let mut grab = |ck: &StreamCheckpoint| cks.push(ck.clone());
+        let served = client
+            .stream_confidence_with(
+                &query_text,
+                &names,
+                &tmsb,
+                5,
+                StreamOptions {
+                    checkpoint_every: Some(1),
+                    on_checkpoint: Some(&mut grab),
+                    resume: None,
+                },
+            )
+            .expect("checkpointed stream confidence");
+        assert_eq!(served.value.to_bits(), c_ref.to_bits());
+        for ck in &cks {
+            let resumed = client
+                .stream_confidence_with(
+                    &query_text,
+                    &names,
+                    &tmsb,
+                    9,
+                    StreamOptions {
+                        resume: Some(ck),
+                        ..StreamOptions::default()
+                    },
+                )
+                .expect("resumed stream confidence");
+            assert_eq!(
+                resumed.value.to_bits(),
+                c_ref.to_bits(),
+                "resumed at {}",
+                ck.position
+            );
+        }
+    }
+}
+
+/// A streamed sliding-window session matches the local
+/// `SlidingWindowQuery` series bitwise, and its checkpoints resume
+/// bit-identically too.
+#[test]
+fn stream_window_matches_local_and_resumes() {
+    use transmark::engine::incremental::SlidingWindowQuery;
+
+    let (t, m) = instance(TransducerClass::Mealy, 0xBEEF, 6);
+    let query_text = transmark::engine::textio::to_text(&t);
+    let tmsb = to_tmsb_bytes(&m);
+
+    for window in [1u32, 2, 4] {
+        let wq = SlidingWindowQuery::new(t.underlying_nfa(), window as usize)
+            .expect("window query for a small machine");
+        let series_ref = wq.series(&m).expect("local window series");
+
+        let mut cks: Vec<StreamCheckpoint> = Vec::new();
+        let mut grab = |ck: &StreamCheckpoint| cks.push(ck.clone());
+        let mut client = Client::connect(&addr(), "window").expect("connect");
+        let served = client
+            .stream_window(
+                &query_text,
+                &tmsb,
+                window,
+                4,
+                StreamOptions {
+                    checkpoint_every: Some(3),
+                    on_checkpoint: Some(&mut grab),
+                    resume: None,
+                },
+            )
+            .expect("streamed window series");
+        assert_eq!(served.value.len(), series_ref.len());
+        for (a, b) in served.value.iter().zip(series_ref.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "window {window}");
+        }
+
+        for ck in &cks {
+            let resumed = client
+                .stream_window(
+                    &query_text,
+                    &tmsb,
+                    window,
+                    11,
+                    StreamOptions {
+                        resume: Some(ck),
+                        ..StreamOptions::default()
+                    },
+                )
+                .expect("resumed window series");
+            assert_eq!(resumed.value.len(), series_ref.len());
+            for (a, b) in resumed.value.iter().zip(series_ref.iter()) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "window {window} resumed at {}",
+                    ck.position
+                );
+            }
+        }
+    }
+}
+
+/// A session that dies mid-stream (after pocketing a checkpoint) can be
+/// continued on a brand-new connection — the disconnect costs nothing
+/// but the un-checkpointed suffix, which the resume re-sends.
+#[test]
+fn disconnected_stream_resumes_on_a_new_connection() {
+    let (t, m) = instance(TransducerClass::General, 0xDEAD, 5);
+    let query_text = transmark::engine::textio::to_text(&t);
+    let tmsb = to_tmsb_bytes(&m);
+
+    let local = Engine::new();
+    let event = local.prepare_event(&t.underlying_nfa());
+    let mut local_src = TmsbReader::new(&tmsb[..]).expect("local reader");
+    let series_ref = event
+        .series_source(&mut local_src)
+        .expect("local source series");
+
+    // Where does the second layer start? Everything before it plus a few
+    // bytes goes over the wire before the "crash".
+    let prelude = transmark::markov::binio::read_prelude(&mut &tmsb[..]).expect("local prelude");
+    let cut = (prelude.layer_offset(1) as usize + 5).min(tmsb.len());
+
+    // Raw session: HELLO, BEGIN, one DATA burst, checkpoint, vanish.
+    let mut s = TcpStream::connect(addr()).expect("connect");
+    let hello = PayloadBuilder::new()
+        .raw(&WIRE_MAGIC)
+        .u32(WIRE_VERSION)
+        .string("flaky")
+        .build();
+    write_frame(&mut s, OP_HELLO, &hello).expect("hello");
+    let frame = read_frame(&mut s).expect("hello reply").expect("frame");
+    assert_eq!(frame.op, OP_HELLO_OK);
+    let begin = PayloadBuilder::new()
+        .u8(3) // KIND_SERIES
+        .u8(0)
+        .string(&query_text)
+        .string("")
+        .build();
+    write_frame(&mut s, OP_STREAM_BEGIN, &begin).expect("begin");
+    let frame = read_frame(&mut s).expect("first ack").expect("frame");
+    assert_eq!(frame.op, OP_STREAM_ACK);
+    write_frame(&mut s, OP_STREAM_DATA, &tmsb[..cut]).expect("data");
+    let frame = read_frame(&mut s).expect("second ack").expect("frame");
+    assert_eq!(frame.op, OP_STREAM_ACK);
+    write_frame(&mut s, OP_STREAM_CHECKPOINT, &[]).expect("checkpoint request");
+    let frame = read_frame(&mut s).expect("checkpoint").expect("frame");
+    assert_eq!(frame.op, OP_CHECKPOINT);
+    let mut c = transmark::serve::protocol::Cursor::new(&frame.payload);
+    let position = c.u64("position").expect("position");
+    let blob = c.bytes("blob").expect("blob").to_vec();
+    assert_eq!(position, 1, "one full layer made it over before the cut");
+    assert!(!blob.is_empty());
+    drop(s); // the "disconnect": no END, no result
+
+    let ck = StreamCheckpoint { position, blob };
+    let mut fresh = Client::connect(&addr(), "flaky").expect("reconnect");
+    let resumed = fresh
+        .stream_series_with(
+            &query_text,
+            &tmsb,
+            6,
+            StreamOptions {
+                resume: Some(&ck),
+                ..StreamOptions::default()
+            },
+        )
+        .expect("resumed after disconnect");
+    assert_eq!(resumed.value.len(), series_ref.len());
+    for (a, b) in resumed.value.iter().zip(series_ref.iter()) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}
+
+/// Corrupted or mismatched resume blobs are refused with a typed
+/// ERR_BAD_CHECKPOINT — never a panic, never a wrong answer — and the
+/// connection stays usable.
+#[test]
+fn bad_resume_blobs_are_typed_errors() {
+    let (t, m) = instance(TransducerClass::Deterministic, 0xFACE, 4);
+    let query_text = transmark::engine::textio::to_text(&t);
+    let tmsb = to_tmsb_bytes(&m);
+
+    // Harvest one real mid-stream checkpoint to corrupt.
+    let mut cks: Vec<StreamCheckpoint> = Vec::new();
+    let mut grab = |ck: &StreamCheckpoint| {
+        if !ck.is_empty() {
+            cks.push(ck.clone());
+        }
+    };
+    let mut client = Client::connect(&addr(), "fuzz").expect("connect");
+    client
+        .stream_series_with(
+            &query_text,
+            &tmsb,
+            4,
+            StreamOptions {
+                checkpoint_every: Some(1),
+                on_checkpoint: Some(&mut grab),
+                resume: None,
+            },
+        )
+        .expect("seed stream");
+    let ck = cks.pop().expect("a non-empty checkpoint");
+
+    let expect_bad = |client: &mut Client, ck: &StreamCheckpoint| match client.stream_series_with(
+        &query_text,
+        &tmsb,
+        8,
+        StreamOptions {
+            resume: Some(ck),
+            ..StreamOptions::default()
+        },
+    ) {
+        Err(WireError::Remote { code, .. }) => assert_eq!(code, ERR_BAD_CHECKPOINT),
+        other => panic!("expected a checkpoint error, got {other:?}"),
+    };
+
+    // Truncations at every envelope region: always the typed
+    // checkpoint error.
+    for cut in [1usize, 5, 13, ck.blob.len().saturating_sub(3)] {
+        let mut bad = ck.clone();
+        bad.blob.truncate(cut.min(bad.blob.len()));
+        if bad.blob.is_empty() {
+            continue; // empty = legitimate "start over"
+        }
+        expect_bad(&mut client, &bad);
+    }
+    // Bit flips: corrupted dims may only surface once the resliced data
+    // collides with them (a stride/truncation error), so any typed
+    // remote error is acceptable — but never a hang, panic, or success.
+    for i in [0usize, 1, 9, 17] {
+        let mut bad = ck.clone();
+        if i < bad.blob.len() {
+            bad.blob[i] ^= 0xA5;
+            match client.stream_series_with(
+                &query_text,
+                &tmsb,
+                8,
+                StreamOptions {
+                    resume: Some(&bad),
+                    ..StreamOptions::default()
+                },
+            ) {
+                Err(WireError::Remote { .. }) => {}
+                other => panic!("expected a typed remote error for flip at {i}, got {other:?}"),
+            }
+        }
+    }
+
+    // A series checkpoint presented to a confidence session: the kind
+    // tag in the envelope catches it.
+    let local = Engine::new();
+    let plan = local.prepare(&t);
+    let answers = Evaluation::with_plan(&plan, &m)
+        .and_then(|ev| ev.top_k_scored(1))
+        .expect("local top-k");
+    if let Some(a) = answers.first() {
+        let names = output_names(&t, &a.output);
+        match client.stream_confidence_with(
+            &query_text,
+            &names,
+            &tmsb,
+            8,
+            StreamOptions {
+                resume: Some(&ck),
+                ..StreamOptions::default()
+            },
+        ) {
+            Err(WireError::Remote { code, .. }) => assert_eq!(code, ERR_BAD_CHECKPOINT),
+            other => panic!("expected a kind-mismatch checkpoint error, got {other:?}"),
+        }
+    }
+
+    // The typed errors left the connection frame-aligned.
+    client
+        .stream_series(&query_text, &tmsb, 16)
+        .expect("connection survives checkpoint fuzzing");
 }
 
 /// The same query text from two fresh connections hits the server's
