@@ -1,0 +1,310 @@
+//! Bounded-cardinality labeled instrument families.
+//!
+//! A *family* is a call-site `static` (planted by the labeled arms of
+//! [`counter!`](crate::counter!) / [`gauge!`](crate::gauge!) /
+//! [`histogram!`](crate::histogram!)) that fans one metric name out over
+//! a fixed set of label **keys** with runtime label **values**:
+//!
+//! ```
+//! use transmark_obs::counter;
+//!
+//! let tenant = "alice";
+//! counter!("serve.requests", tenant = tenant, kind = "confidence").inc();
+//! ```
+//!
+//! Each distinct value combination resolves to a registry-owned
+//! instrument under the rendered name `serve.requests{tenant=alice,kind=confidence}`
+//! (keys in declaration order), so labeled series are ordinary snapshot
+//! entries — `diff`, `to_text`, `to_json`, and the Prometheus renderer
+//! all work on them unchanged, and readers recover the dimensions with
+//! [`split_labels`].
+//!
+//! ## Cardinality bounding
+//!
+//! Labels are attacker-influenced (tenant names arrive over the wire),
+//! so every family caps its distinct label sets at
+//! [`DEFAULT_LABEL_CAP`]. Once the cap is reached, *new* combinations
+//! coalesce into a single overflow series whose every label value is
+//! [`OVERFLOW`] (`serve.requests{tenant=other,kind=other}`): the
+//! registry stays bounded no matter how many distinct tenants hit the
+//! service, and the overflow series makes the coalescing visible rather
+//! than silently dropping traffic.
+//!
+//! Resolution takes a per-family mutex and allocates the rendered name;
+//! that is a per-request cost, not a per-layer one — labeled families
+//! belong on service edges (requests, sessions), never in kernel loops.
+//! Under `obs-off`, [`Family::with`] hands back one shared inert
+//! instrument and touches neither the registry nor the family state.
+
+use crate::metrics::{Counter, Gauge, Histogram};
+#[cfg(not(feature = "obs-off"))]
+use std::collections::HashMap;
+#[cfg(not(feature = "obs-off"))]
+use std::sync::Mutex;
+use std::sync::{Arc, OnceLock};
+
+/// Default bound on distinct label-value combinations per family.
+pub const DEFAULT_LABEL_CAP: usize = 64;
+
+/// The label value every dimension takes on the coalesced overflow
+/// series once a family's cardinality cap is reached.
+pub const OVERFLOW: &str = "other";
+
+/// An instrument type a [`Family`] can fan out (counters, gauges,
+/// histograms); `resolve` obtains the shared registry-owned handle for
+/// one rendered series name.
+pub trait FamilyInstrument: Default + Send + Sync + 'static {
+    fn resolve(name: &str) -> Arc<Self>;
+}
+
+impl FamilyInstrument for Counter {
+    fn resolve(name: &str) -> Arc<Self> {
+        crate::registry().counter_dyn(name)
+    }
+}
+
+impl FamilyInstrument for Gauge {
+    fn resolve(name: &str) -> Arc<Self> {
+        crate::registry().gauge_dyn(name)
+    }
+}
+
+impl FamilyInstrument for Histogram {
+    fn resolve(name: &str) -> Arc<Self> {
+        crate::registry().histogram_dyn(name)
+    }
+}
+
+#[cfg(not(feature = "obs-off"))]
+struct FamilyState<T> {
+    /// Rendered full name → shared handle, one entry per distinct
+    /// label-value combination (the overflow series lives outside).
+    handles: HashMap<String, Arc<T>>,
+    overflow: Option<Arc<T>>,
+}
+
+/// One labeled metric: a base name, fixed label keys, and a bounded set
+/// of per-label-value instruments. Const-constructible so the macros can
+/// park one in a `static` at the call site.
+pub struct Family<T: FamilyInstrument> {
+    // The metadata fields only feed `with` on instrumented builds; the
+    // obs-off variant keeps them so `const fn` constructors are
+    // feature-independent.
+    #[cfg_attr(feature = "obs-off", allow(dead_code))]
+    name: &'static str,
+    #[cfg_attr(feature = "obs-off", allow(dead_code))]
+    keys: &'static [&'static str],
+    #[cfg_attr(feature = "obs-off", allow(dead_code))]
+    cap: usize,
+    #[cfg(not(feature = "obs-off"))]
+    state: OnceLock<Mutex<FamilyState<T>>>,
+    #[cfg(feature = "obs-off")]
+    noop: OnceLock<Arc<T>>,
+}
+
+/// A labeled counter family (see the [module docs](self)).
+pub type CounterFamily = Family<Counter>;
+/// A labeled gauge family.
+pub type GaugeFamily = Family<Gauge>;
+/// A labeled histogram family.
+pub type HistogramFamily = Family<Histogram>;
+
+impl<T: FamilyInstrument> Family<T> {
+    /// A family capped at [`DEFAULT_LABEL_CAP`] distinct label sets.
+    pub const fn new(name: &'static str, keys: &'static [&'static str]) -> Family<T> {
+        Family::with_cap(name, keys, DEFAULT_LABEL_CAP)
+    }
+
+    /// A family with an explicit cardinality cap (minimum 1).
+    pub const fn with_cap(
+        name: &'static str,
+        keys: &'static [&'static str],
+        cap: usize,
+    ) -> Family<T> {
+        Family {
+            name,
+            keys,
+            cap: if cap == 0 { 1 } else { cap },
+            #[cfg(not(feature = "obs-off"))]
+            state: OnceLock::new(),
+            #[cfg(feature = "obs-off")]
+            noop: OnceLock::new(),
+        }
+    }
+
+    /// The instrument for one label-value combination (`values` pairs up
+    /// positionally with the family's keys). Past the cardinality cap,
+    /// unseen combinations share the [`OVERFLOW`] series. Under
+    /// `obs-off` this returns a shared inert instrument without touching
+    /// the registry.
+    pub fn with(&self, values: &[&str]) -> Arc<T> {
+        #[cfg(not(feature = "obs-off"))]
+        {
+            assert_eq!(
+                values.len(),
+                self.keys.len(),
+                "label values must match the family's keys"
+            );
+            let state = self.state.get_or_init(|| {
+                Mutex::new(FamilyState {
+                    handles: HashMap::new(),
+                    overflow: None,
+                })
+            });
+            let full = render_name(self.name, self.keys, values);
+            let mut st = state.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(arc) = st.handles.get(&full) {
+                return Arc::clone(arc);
+            }
+            if st.handles.len() >= self.cap {
+                let (name, keys) = (self.name, self.keys);
+                let overflow = st.overflow.get_or_insert_with(|| {
+                    let vals: Vec<&str> = keys.iter().map(|_| OVERFLOW).collect();
+                    T::resolve(&render_name(name, keys, &vals))
+                });
+                return Arc::clone(overflow);
+            }
+            let arc = T::resolve(&full);
+            st.handles.insert(full, Arc::clone(&arc));
+            arc
+        }
+        #[cfg(feature = "obs-off")]
+        {
+            let _ = values;
+            Arc::clone(self.noop.get_or_init(|| Arc::new(T::default())))
+        }
+    }
+
+    /// Distinct label-value combinations resolved so far (excluding the
+    /// overflow series); always 0 under `obs-off`.
+    pub fn cardinality(&self) -> usize {
+        #[cfg(not(feature = "obs-off"))]
+        {
+            self.state.get().map_or(0, |s| {
+                s.lock().unwrap_or_else(|e| e.into_inner()).handles.len()
+            })
+        }
+        #[cfg(feature = "obs-off")]
+        0
+    }
+}
+
+/// Renders `name{k1=v1,k2=v2}`. Label values are sanitized so the
+/// rendered name stays parseable by [`split_labels`]: the grammar
+/// characters `{ } , = "` and whitespace become `_`.
+#[cfg(any(test, not(feature = "obs-off")))]
+fn render_name(name: &str, keys: &[&str], values: &[&str]) -> String {
+    let mut out = String::with_capacity(name.len() + 2 + 16 * keys.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in keys.iter().zip(values).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push('=');
+        for ch in v.chars() {
+            out.push(match ch {
+                '{' | '}' | ',' | '=' | '"' => '_',
+                c if c.is_whitespace() => '_',
+                c => c,
+            });
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Splits a snapshot entry name into its base metric name and label
+/// pairs: `"serve.requests{tenant=alice,kind=top_k}"` →
+/// `("serve.requests", [("tenant","alice"),("kind","top_k")])`. Names
+/// without a label suffix come back with an empty label list.
+pub fn split_labels(full: &str) -> (&str, Vec<(&str, &str)>) {
+    if let Some(open) = full.find('{') {
+        if let Some(inner) = full[open + 1..].strip_suffix('}') {
+            let base = &full[..open];
+            let mut labels = Vec::new();
+            for pair in inner.split(',') {
+                if let Some((k, v)) = pair.split_once('=') {
+                    labels.push((k, v));
+                }
+            }
+            return (base, labels);
+        }
+    }
+    (full, Vec::new())
+}
+
+/// The value of `key` among parsed label pairs, if present.
+pub fn label_value<'a>(labels: &[(&'a str, &'a str)], key: &str) -> Option<&'a str> {
+    labels.iter().find(|&&(k, _)| k == key).map(|&(_, v)| v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_labels_round_trips() {
+        let full = render_name("serve.requests", &["tenant", "kind"], &["alice", "top_k"]);
+        assert_eq!(full, "serve.requests{tenant=alice,kind=top_k}");
+        let (base, labels) = split_labels(&full);
+        assert_eq!(base, "serve.requests");
+        assert_eq!(labels, vec![("tenant", "alice"), ("kind", "top_k")]);
+        assert_eq!(label_value(&labels, "tenant"), Some("alice"));
+        assert_eq!(label_value(&labels, "nope"), None);
+        assert_eq!(split_labels("plain.name"), ("plain.name", vec![]));
+    }
+
+    #[test]
+    fn values_are_sanitized_into_the_grammar() {
+        let full = render_name("m", &["t"], &["a{b}=c,d \"e"]);
+        assert_eq!(full, "m{t=a_b__c_d__e}");
+        let (base, labels) = split_labels(&full);
+        assert_eq!((base, labels.len()), ("m", 1));
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn cardinality_cap_coalesces_into_other() {
+        static FAM: CounterFamily = CounterFamily::with_cap("test.labels.capped", &["tenant"], 3);
+        for t in ["a", "b", "c"] {
+            FAM.with(&[t]).inc();
+        }
+        assert_eq!(FAM.cardinality(), 3);
+        // Past the cap: new combinations share the overflow series...
+        FAM.with(&["d"]).add(2);
+        FAM.with(&["e"]).inc();
+        assert_eq!(FAM.cardinality(), 3, "cap holds");
+        // ...while already-admitted combinations keep their own series.
+        FAM.with(&["a"]).inc();
+        let snap = crate::registry().snapshot();
+        assert_eq!(snap.counter("test.labels.capped{tenant=a}"), 2);
+        assert_eq!(snap.counter("test.labels.capped{tenant=b}"), 1);
+        assert_eq!(snap.counter("test.labels.capped{tenant=other}"), 3);
+        assert_eq!(snap.counter("test.labels.capped{tenant=d}"), 0);
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn histogram_families_snapshot_like_plain_histograms() {
+        static FAM: HistogramFamily = HistogramFamily::new("test.labels.hist_ns", &["kind"]);
+        FAM.with(&["confidence"]).record(1000);
+        FAM.with(&["confidence"]).record(3000);
+        let snap = crate::registry().snapshot();
+        let h = snap
+            .histogram("test.labels.hist_ns{kind=confidence}")
+            .expect("labeled histogram snapshots");
+        assert_eq!((h.count, h.sum), (2, 4000));
+    }
+
+    #[cfg(feature = "obs-off")]
+    #[test]
+    fn obs_off_families_are_inert() {
+        static FAM: CounterFamily = CounterFamily::new("test.labels.off", &["tenant"]);
+        FAM.with(&["a"]).inc();
+        FAM.with(&["b"]).add(9);
+        assert_eq!(FAM.cardinality(), 0);
+        assert_eq!(FAM.with(&["a"]).get(), 0);
+    }
+}

@@ -79,6 +79,8 @@
 //! `crates/core/tests/observability.rs`).
 
 pub mod json;
+pub mod labels;
+pub mod log;
 pub mod metrics;
 pub mod profile;
 pub mod registry;
@@ -86,6 +88,7 @@ pub mod snapshot;
 pub mod span;
 pub mod trace;
 
+pub use labels::{CounterFamily, GaugeFamily, HistogramFamily};
 pub use metrics::{Counter, Gauge, Histogram, Timer};
 pub use profile::{ExecutionProfile, Recorder, RecorderScope};
 pub use registry::{registry, Registry};
@@ -101,6 +104,11 @@ pub const fn enabled() -> bool {
 
 /// A call-site counter: plants a `static` [`Counter`], registers it
 /// under `$name` on first touch, and evaluates to `&'static Counter`.
+///
+/// The labeled form (`counter!("serve.requests", tenant = t, kind = k)`)
+/// plants a bounded-cardinality [`labels::CounterFamily`] instead and
+/// evaluates to an `Arc<Counter>` for the given label values; see
+/// [`labels`] for the rendered-name grammar and the overflow rule.
 #[macro_export]
 macro_rules! counter {
     ($name:expr) => {{
@@ -109,9 +117,15 @@ macro_rules! counter {
         __OBS_REG.call_once(|| $crate::registry().register_counter($name, &__OBS_C));
         &__OBS_C
     }};
+    ($name:expr, $($key:ident = $val:expr),+ $(,)?) => {{
+        static __OBS_F: $crate::labels::CounterFamily =
+            $crate::labels::CounterFamily::new($name, &[$(stringify!($key)),+]);
+        __OBS_F.with(&[$(::std::convert::AsRef::<str>::as_ref(&$val)),+])
+    }};
 }
 
-/// A call-site monotonic gauge; see [`counter!`].
+/// A call-site monotonic gauge; see [`counter!`] (including the labeled
+/// family form).
 #[macro_export]
 macro_rules! gauge {
     ($name:expr) => {{
@@ -120,9 +134,15 @@ macro_rules! gauge {
         __OBS_REG.call_once(|| $crate::registry().register_gauge($name, &__OBS_G));
         &__OBS_G
     }};
+    ($name:expr, $($key:ident = $val:expr),+ $(,)?) => {{
+        static __OBS_F: $crate::labels::GaugeFamily =
+            $crate::labels::GaugeFamily::new($name, &[$(stringify!($key)),+]);
+        __OBS_F.with(&[$(::std::convert::AsRef::<str>::as_ref(&$val)),+])
+    }};
 }
 
-/// A call-site histogram; see [`counter!`].
+/// A call-site histogram; see [`counter!`] (including the labeled
+/// family form).
 #[macro_export]
 macro_rules! histogram {
     ($name:expr) => {{
@@ -130,6 +150,11 @@ macro_rules! histogram {
         static __OBS_REG: ::std::sync::Once = ::std::sync::Once::new();
         __OBS_REG.call_once(|| $crate::registry().register_histogram($name, &__OBS_H));
         &__OBS_H
+    }};
+    ($name:expr, $($key:ident = $val:expr),+ $(,)?) => {{
+        static __OBS_F: $crate::labels::HistogramFamily =
+            $crate::labels::HistogramFamily::new($name, &[$(stringify!($key)),+]);
+        __OBS_F.with(&[$(::std::convert::AsRef::<str>::as_ref(&$val)),+])
     }};
 }
 
@@ -146,6 +171,23 @@ macro_rules! span {
 #[cfg(all(test, not(feature = "obs-off")))]
 mod tests {
     use super::*;
+
+    #[test]
+    fn labeled_macro_arms_record_per_label_series() {
+        let tenant = String::from("acme");
+        counter!("test.lib.labeled", tenant = tenant, kind = "top_k").add(2);
+        counter!("test.lib.labeled", tenant = "zen", kind = "series").inc();
+        histogram!("test.lib.labeled_ns", tenant = tenant).record(4096);
+        let snap = registry().snapshot();
+        assert_eq!(snap.counter("test.lib.labeled{tenant=acme,kind=top_k}"), 2);
+        assert_eq!(snap.counter("test.lib.labeled{tenant=zen,kind=series}"), 1);
+        assert_eq!(
+            snap.histogram("test.lib.labeled_ns{tenant=acme}")
+                .unwrap()
+                .count,
+            1
+        );
+    }
 
     #[test]
     fn macros_record_through_the_registry() {

@@ -1,0 +1,244 @@
+//! A structured event log: a lock-light, process-global ring buffer of
+//! typed service records.
+//!
+//! Metrics answer "how much"; the event log answers "what happened,
+//! when, to whom" for the handful of service-level events worth keeping
+//! individually: request lifecycles, admission rejections, checkpoint
+//! resumes, plan-cache evictions, and slow queries. Producers call
+//! [`publish`] (one mutex hit on a buffer capped at [`RING_CAP`]
+//! records — old records are dropped, never blocked on); a single
+//! consumer (e.g. the `tmk serve --log` drain thread) calls [`drain`]
+//! and serializes each record with [`Record::to_json_line`].
+//!
+//! Timestamps are nanoseconds since the first record ([`epoch_ns`]), so
+//! a log is self-relative and needs no wall-clock agreement between
+//! readers. Under `obs-off`, [`publish`] compiles to an empty body and
+//! [`drain`] always returns nothing.
+
+#[cfg(not(feature = "obs-off"))]
+use std::collections::VecDeque;
+#[cfg(not(feature = "obs-off"))]
+use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(not(feature = "obs-off"))]
+use std::sync::{Mutex, OnceLock};
+
+/// Maximum records buffered between drains; the oldest record is
+/// dropped when a publish would exceed this.
+pub const RING_CAP: usize = 1024;
+
+/// What a [`Record`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// A request began executing (tenant + request kind in `detail`).
+    RequestStart,
+    /// A request finished; `dur_ns` is its wall time.
+    RequestFinish,
+    /// A request was rejected by the tenant quota.
+    RejectQuota,
+    /// A connection was shed because the worker pool queue was full.
+    RejectSaturated,
+    /// A streamed session resumed from a checkpoint.
+    CheckpointResume,
+    /// The plan cache evicted a compiled query to admit another.
+    PlanCacheEvict,
+    /// A request exceeded the slow-query threshold; `detail` carries
+    /// the plan explanation and phase timings.
+    SlowQuery,
+}
+
+impl RecordKind {
+    /// Stable snake_case tag used in the JSON rendering.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RecordKind::RequestStart => "request_start",
+            RecordKind::RequestFinish => "request_finish",
+            RecordKind::RejectQuota => "reject_quota",
+            RecordKind::RejectSaturated => "reject_saturated",
+            RecordKind::CheckpointResume => "checkpoint_resume",
+            RecordKind::PlanCacheEvict => "plan_cache_evict",
+            RecordKind::SlowQuery => "slow_query",
+        }
+    }
+}
+
+/// One logged event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Monotonic sequence number (gaps reveal ring overflow drops).
+    pub seq: u64,
+    /// Nanoseconds since the process log epoch (first record).
+    pub t_ns: u64,
+    pub kind: RecordKind,
+    /// Tenant the event belongs to ("" when not tenant-scoped).
+    pub tenant: String,
+    /// Free-form context: request kind, error text, plan explanation…
+    pub detail: String,
+    /// Duration for timed events (0 otherwise).
+    pub dur_ns: u64,
+}
+
+impl Record {
+    /// Renders one JSON-lines entry (single line, no trailing newline),
+    /// e.g. `{"seq":3,"t_ns":1200,"kind":"slow_query","tenant":"a","detail":"…","dur_ns":88}`.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(96 + self.detail.len());
+        out.push_str("{\"seq\":");
+        out.push_str(&self.seq.to_string());
+        out.push_str(",\"t_ns\":");
+        out.push_str(&self.t_ns.to_string());
+        out.push_str(",\"kind\":\"");
+        out.push_str(self.kind.as_str());
+        out.push_str("\",\"tenant\":");
+        crate::json::write_json_string(&self.tenant, &mut out);
+        out.push_str(",\"detail\":");
+        crate::json::write_json_string(&self.detail, &mut out);
+        out.push_str(",\"dur_ns\":");
+        out.push_str(&self.dur_ns.to_string());
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(not(feature = "obs-off"))]
+struct Ring {
+    records: Mutex<VecDeque<Record>>,
+    seq: AtomicU64,
+    epoch: std::time::Instant,
+}
+
+#[cfg(not(feature = "obs-off"))]
+fn ring() -> &'static Ring {
+    static RING: OnceLock<Ring> = OnceLock::new();
+    RING.get_or_init(|| Ring {
+        records: Mutex::new(VecDeque::with_capacity(64)),
+        seq: AtomicU64::new(0),
+        epoch: std::time::Instant::now(),
+    })
+}
+
+/// Nanoseconds since the log epoch (the first touch of the log); 0
+/// under `obs-off`.
+pub fn epoch_ns() -> u64 {
+    #[cfg(not(feature = "obs-off"))]
+    {
+        let ns = ring().epoch.elapsed().as_nanos();
+        if ns > u64::MAX as u128 {
+            u64::MAX
+        } else {
+            ns as u64
+        }
+    }
+    #[cfg(feature = "obs-off")]
+    0
+}
+
+/// Appends one record to the ring, dropping the oldest buffered record
+/// if the ring is full. A no-op under `obs-off`.
+pub fn publish(kind: RecordKind, tenant: &str, detail: &str, dur_ns: u64) {
+    #[cfg(not(feature = "obs-off"))]
+    {
+        let r = ring();
+        let rec = Record {
+            seq: r.seq.fetch_add(1, Ordering::Relaxed),
+            t_ns: epoch_ns(),
+            kind,
+            tenant: tenant.to_string(),
+            detail: detail.to_string(),
+            dur_ns,
+        };
+        let mut records = r.records.lock().unwrap_or_else(|e| e.into_inner());
+        if records.len() >= RING_CAP {
+            records.pop_front();
+        }
+        records.push_back(rec);
+    }
+    #[cfg(feature = "obs-off")]
+    {
+        let _ = (kind, tenant, detail, dur_ns);
+    }
+}
+
+/// Removes and returns every buffered record, oldest first. Always
+/// empty under `obs-off`.
+pub fn drain() -> Vec<Record> {
+    #[cfg(not(feature = "obs-off"))]
+    {
+        ring()
+            .records
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+            .collect()
+    }
+    #[cfg(feature = "obs-off")]
+    Vec::new()
+}
+
+/// Records currently buffered (0 under `obs-off`).
+pub fn len() -> usize {
+    #[cfg(not(feature = "obs-off"))]
+    {
+        ring()
+            .records
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+    #[cfg(feature = "obs-off")]
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_line_escapes_and_tags() {
+        let rec = Record {
+            seq: 7,
+            t_ns: 1200,
+            kind: RecordKind::SlowQuery,
+            tenant: "a\"b".into(),
+            detail: "plan: dense\nphases".into(),
+            dur_ns: 88,
+        };
+        let line = rec.to_json_line();
+        assert!(line.contains("\"kind\":\"slow_query\""));
+        assert!(line.contains("\"tenant\":\"a\\\"b\""));
+        assert!(line.contains("\\n"), "newlines are escaped: {line}");
+        assert!(!line.contains('\n'), "one line per record");
+        // The line is valid JSON for our own parser.
+        let v = crate::json::parse(&line).expect("record lines parse");
+        let o = v.as_object().unwrap();
+        assert_eq!(o["seq"].as_int(), Some(7));
+        assert_eq!(o["dur_ns"].as_int(), Some(88));
+    }
+
+    // Publish/drain tests run single-file here but the ring is
+    // process-global, so they tolerate records from concurrent tests by
+    // filtering on their own tenant tag.
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn publish_then_drain_preserves_order() {
+        publish(RecordKind::RequestStart, "log-test-a", "confidence", 0);
+        publish(RecordKind::RequestFinish, "log-test-a", "confidence", 42);
+        let mine: Vec<Record> = drain()
+            .into_iter()
+            .filter(|r| r.tenant == "log-test-a")
+            .collect();
+        assert_eq!(mine.len(), 2);
+        assert!(mine[0].seq < mine[1].seq);
+        assert_eq!(mine[0].kind, RecordKind::RequestStart);
+        assert_eq!(mine[1].dur_ns, 42);
+        assert!(mine[1].t_ns >= mine[0].t_ns);
+    }
+
+    #[cfg(feature = "obs-off")]
+    #[test]
+    fn obs_off_log_is_inert() {
+        publish(RecordKind::RequestStart, "t", "d", 1);
+        assert_eq!(len(), 0);
+        assert!(drain().is_empty());
+        assert_eq!(epoch_ns(), 0);
+    }
+}

@@ -86,6 +86,9 @@ pub struct Recorder {
     epoch: Instant,
     #[cfg(not(feature = "obs-off"))]
     lanes: Mutex<Vec<Lane>>,
+    /// Wire-propagated trace id (0 = none); see [`Recorder::set_trace`].
+    #[cfg(not(feature = "obs-off"))]
+    trace_id: std::sync::atomic::AtomicU64,
 }
 
 impl Default for Recorder {
@@ -120,7 +123,30 @@ impl Recorder {
             epoch: Instant::now(),
             #[cfg(not(feature = "obs-off"))]
             lanes: Mutex::new(Vec::new()),
+            #[cfg(not(feature = "obs-off"))]
+            trace_id: std::sync::atomic::AtomicU64::new(0),
         }
+    }
+
+    /// Tags this recorder (and the profile it will produce) with a
+    /// wire-propagated trace id, so a server-side capture can be
+    /// stitched to the client-side capture that requested it. `0` means
+    /// untraced; a no-op under `obs-off`.
+    pub fn set_trace(&self, trace_id: u64) {
+        #[cfg(not(feature = "obs-off"))]
+        self.trace_id.store(trace_id, Ordering::Relaxed);
+        #[cfg(feature = "obs-off")]
+        let _ = trace_id;
+    }
+
+    /// The trace id set via [`Recorder::set_trace`] (0 when untraced).
+    pub fn trace_id(&self) -> u64 {
+        #[cfg(not(feature = "obs-off"))]
+        {
+            self.trace_id.load(Ordering::Relaxed)
+        }
+        #[cfg(feature = "obs-off")]
+        0
     }
 
     /// Installs this recorder on the current thread under `label` until
@@ -157,7 +183,9 @@ impl Recorder {
         #[cfg(not(feature = "obs-off"))]
         {
             let lanes = self.lanes.lock().unwrap_or_else(|e| e.into_inner());
-            ExecutionProfile::build(elapsed_ns(self.epoch), &lanes)
+            let mut profile = ExecutionProfile::build(elapsed_ns(self.epoch), &lanes);
+            profile.trace_id = self.trace_id();
+            profile
         }
         #[cfg(feature = "obs-off")]
         ExecutionProfile::default()
@@ -205,6 +233,22 @@ fn elapsed_ns(epoch: Instant) -> u64 {
     } else {
         e as u64
     }
+}
+
+/// Nanoseconds since the innermost active recorder's epoch on this
+/// thread, or `None` when no scope is installed. Lets callers timestamp
+/// external milestones (e.g. "request sent") on the same clock the
+/// profile's events use.
+pub fn now_ns() -> Option<u64> {
+    #[cfg(not(feature = "obs-off"))]
+    {
+        if ANY_ACTIVE.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        ACTIVE.with(|a| a.borrow().last().map(|l| elapsed_ns(l.recorder.epoch)))
+    }
+    #[cfg(feature = "obs-off")]
+    None
 }
 
 /// The recorder installed innermost on this thread, if any. Fleet code
@@ -304,6 +348,8 @@ pub struct LaneProfile {
 /// [`trace::folded`](crate::trace::folded) (flamegraphs).
 #[derive(Debug, Clone, Default)]
 pub struct ExecutionProfile {
+    /// Wire-propagated trace id this capture belongs to (0 = untraced).
+    pub trace_id: u64,
     /// Wall-clock span of the recorder, epoch to `finish`.
     pub wall_ns: u64,
     /// One lane per recorder scope, merged by label, label-sorted.
@@ -400,6 +446,284 @@ impl ExecutionProfile {
             histograms: BTreeMap::new(),
             spans: self.phases.clone(),
         }
+    }
+
+    /// Serializes the full profile (lanes, events, phases, instants) to
+    /// compact JSON so it can cross the wire — `tmk serve` ships traced
+    /// captures back to the client this way. Round-trips via
+    /// [`ExecutionProfile::from_json`].
+    pub fn to_json(&self) -> String {
+        use crate::json::Value;
+        let kind_code = |k: EventKind| -> u64 {
+            match k {
+                EventKind::Begin => 0,
+                EventKind::End => 1,
+                EventKind::Instant => 2,
+                EventKind::Progress => 3,
+                EventKind::Bytes => 4,
+            }
+        };
+        let mut root = BTreeMap::new();
+        root.insert("trace_id".to_string(), Value::Int(self.trace_id));
+        root.insert("wall_ns".to_string(), Value::Int(self.wall_ns));
+        root.insert("layers".to_string(), Value::Int(self.layers));
+        root.insert("bytes".to_string(), Value::Int(self.bytes));
+        root.insert(
+            "lanes".to_string(),
+            Value::Array(
+                self.lanes
+                    .iter()
+                    .map(|lane| {
+                        let mut o = BTreeMap::new();
+                        o.insert("label".to_string(), Value::Str(lane.label.clone()));
+                        o.insert("busy_ns".to_string(), Value::Int(lane.busy_ns));
+                        o.insert(
+                            "events".to_string(),
+                            Value::Array(
+                                lane.events
+                                    .iter()
+                                    .map(|e| {
+                                        Value::Array(vec![
+                                            Value::Int(e.t_ns),
+                                            Value::Int(kind_code(e.kind)),
+                                            Value::Str(e.name.to_string()),
+                                            Value::Str(e.detail.to_string()),
+                                            Value::Int(e.value),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        );
+                        Value::Object(o)
+                    })
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "phases".to_string(),
+            Value::Object(
+                self.phases
+                    .iter()
+                    .map(|(k, s)| {
+                        let mut o = BTreeMap::new();
+                        o.insert("count".to_string(), Value::Int(s.count));
+                        o.insert("total_ns".to_string(), Value::Int(s.total_ns));
+                        o.insert("max_ns".to_string(), Value::Int(s.max_ns));
+                        (k.clone(), Value::Object(o))
+                    })
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "instants".to_string(),
+            Value::Object(
+                self.instants
+                    .iter()
+                    .map(|(k, &n)| (k.clone(), Value::Int(n)))
+                    .collect(),
+            ),
+        );
+        Value::Object(root).to_json()
+    }
+
+    /// Parses a profile produced by [`ExecutionProfile::to_json`].
+    ///
+    /// Event names and details in the timeline are `&'static str` (so
+    /// recording never allocates); deserialized names are interned by
+    /// leaking, deduplicated within the call. That bounds the leak at
+    /// one copy of each distinct name per parsed profile — fine for the
+    /// intended consumer (a short-lived `tmk client --profile` stitching
+    /// one server capture per request), not for a long-lived loop.
+    pub fn from_json(text: &str) -> Result<ExecutionProfile, crate::json::JsonError> {
+        use crate::json::Value;
+        let bad = |message: &str| crate::json::JsonError {
+            offset: 0,
+            message: message.to_string(),
+        };
+        let mut interned: BTreeMap<String, &'static str> = BTreeMap::new();
+        let mut intern = |s: &str| -> &'static str {
+            if s.is_empty() {
+                return "";
+            }
+            if let Some(&known) = interned.get(s) {
+                return known;
+            }
+            let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+            interned.insert(s.to_string(), leaked);
+            leaked
+        };
+        let root = crate::json::parse(text)?;
+        let root = root
+            .as_object()
+            .ok_or_else(|| bad("profile root must be an object"))?;
+        let int = |name: &str| -> u64 { root.get(name).and_then(Value::as_int).unwrap_or(0) };
+        let mut profile = ExecutionProfile {
+            trace_id: int("trace_id"),
+            wall_ns: int("wall_ns"),
+            layers: int("layers"),
+            bytes: int("bytes"),
+            ..ExecutionProfile::default()
+        };
+        if let Some(lanes) = root.get("lanes") {
+            for lane in lanes
+                .as_array()
+                .ok_or_else(|| bad("\"lanes\" must be an array"))?
+            {
+                let o = lane
+                    .as_object()
+                    .ok_or_else(|| bad("lane entries must be objects"))?;
+                let mut out = LaneProfile {
+                    label: match o.get("label") {
+                        Some(Value::Str(s)) => s.clone(),
+                        _ => return Err(bad("lane \"label\" must be a string")),
+                    },
+                    busy_ns: o.get("busy_ns").and_then(Value::as_int).unwrap_or(0),
+                    events: Vec::new(),
+                };
+                if let Some(events) = o.get("events") {
+                    for e in events
+                        .as_array()
+                        .ok_or_else(|| bad("\"events\" must be an array"))?
+                    {
+                        let parts = e
+                            .as_array()
+                            .ok_or_else(|| bad("event entries must be arrays"))?;
+                        let [t_ns, kind, name, detail, value] = parts else {
+                            return Err(bad("events must be [t_ns, kind, name, detail, value]"));
+                        };
+                        let kind = match kind.as_int() {
+                            Some(0) => EventKind::Begin,
+                            Some(1) => EventKind::End,
+                            Some(2) => EventKind::Instant,
+                            Some(3) => EventKind::Progress,
+                            Some(4) => EventKind::Bytes,
+                            _ => return Err(bad("unknown event kind code")),
+                        };
+                        let (Value::Str(name), Value::Str(detail)) = (name, detail) else {
+                            return Err(bad("event name/detail must be strings"));
+                        };
+                        out.events.push(TimelineEvent {
+                            t_ns: t_ns.as_int().ok_or_else(|| bad("event t_ns"))?,
+                            kind,
+                            name: intern(name),
+                            detail: intern(detail),
+                            value: value.as_int().ok_or_else(|| bad("event value"))?,
+                        });
+                    }
+                }
+                profile.lanes.push(out);
+            }
+        }
+        if let Some(phases) = root.get("phases") {
+            let phases = phases
+                .as_object()
+                .ok_or_else(|| bad("\"phases\" must be an object"))?;
+            for (k, v) in phases {
+                let o = v
+                    .as_object()
+                    .ok_or_else(|| bad("phase entries must be objects"))?;
+                let field = |name: &str| o.get(name).and_then(Value::as_int).unwrap_or(0);
+                profile.phases.insert(
+                    k.clone(),
+                    SpanSnapshot {
+                        count: field("count"),
+                        total_ns: field("total_ns"),
+                        max_ns: field("max_ns"),
+                    },
+                );
+            }
+        }
+        if let Some(instants) = root.get("instants") {
+            let instants = instants
+                .as_object()
+                .ok_or_else(|| bad("\"instants\" must be an object"))?;
+            for (k, v) in instants {
+                profile
+                    .instants
+                    .insert(k.clone(), v.as_int().ok_or_else(|| bad("instant counts"))?);
+            }
+        }
+        Ok(profile)
+    }
+
+    /// Grafts a remote capture (e.g. a server-side profile shipped back
+    /// over `tmkp`) into this one: remote lanes are appended with their
+    /// labels prefixed by `prefix`, their event clocks shifted by
+    /// `offset_ns` (the local timestamp at which the remote work was
+    /// requested), and phases/instants merged under prefixed keys. The
+    /// merged wall clock extends to cover the remote window; a zero
+    /// local trace id adopts the remote one.
+    pub fn merge_remote(&mut self, remote: &ExecutionProfile, offset_ns: u64, prefix: &str) {
+        for lane in &remote.lanes {
+            let mut events = lane.events.clone();
+            for e in &mut events {
+                e.t_ns = e.t_ns.saturating_add(offset_ns);
+            }
+            self.lanes.push(LaneProfile {
+                label: format!("{prefix}{}", lane.label),
+                events,
+                busy_ns: lane.busy_ns,
+            });
+        }
+        for (path, s) in &remote.phases {
+            let stat = self.phases.entry(format!("{prefix}{path}")).or_default();
+            stat.count += s.count;
+            stat.total_ns = stat.total_ns.saturating_add(s.total_ns);
+            stat.max_ns = stat.max_ns.max(s.max_ns);
+        }
+        for (name, n) in &remote.instants {
+            *self.instants.entry(format!("{prefix}{name}")).or_insert(0) += n;
+        }
+        self.layers += remote.layers;
+        self.bytes += remote.bytes;
+        self.wall_ns = self.wall_ns.max(offset_ns.saturating_add(remote.wall_ns));
+        if self.trace_id == 0 {
+            self.trace_id = remote.trace_id;
+        }
+    }
+
+    /// Prepends a synthetic wait lane: one `name` span covering
+    /// `[0, wait_ns)` under `label`, with every existing lane shifted
+    /// right by `wait_ns`. `tmk serve` uses this to surface the worker
+    /// pool's queue wait (which elapses before any recorder exists) as a
+    /// first-class span in traced captures.
+    pub fn prepend_wait(&mut self, label: &str, name: &'static str, wait_ns: u64) {
+        if wait_ns == 0 {
+            return;
+        }
+        for lane in &mut self.lanes {
+            for e in &mut lane.events {
+                e.t_ns = e.t_ns.saturating_add(wait_ns);
+            }
+        }
+        self.lanes.insert(
+            0,
+            LaneProfile {
+                label: label.to_string(),
+                events: vec![
+                    TimelineEvent {
+                        t_ns: 0,
+                        kind: EventKind::Begin,
+                        name,
+                        detail: "",
+                        value: 0,
+                    },
+                    TimelineEvent {
+                        t_ns: wait_ns,
+                        kind: EventKind::End,
+                        name: "",
+                        detail: "",
+                        value: 0,
+                    },
+                ],
+                busy_ns: wait_ns,
+            },
+        );
+        self.wall_ns = self.wall_ns.saturating_add(wait_ns);
+        let stat = self.phases.entry(name.to_string()).or_default();
+        stat.count += 1;
+        stat.total_ns = stat.total_ns.saturating_add(wait_ns);
+        stat.max_ns = stat.max_ns.max(wait_ns);
     }
 
     /// A compact human-readable summary (used by bare `--profile`).
@@ -581,6 +905,54 @@ mod tests {
             seen.push((path.join("/"), frame.inclusive_ns));
         });
         assert_eq!(seen, vec![("open".to_string(), 90)]);
+    }
+
+    #[test]
+    fn profile_json_round_trips_and_merges() {
+        let rec = Arc::new(Recorder::new());
+        rec.set_trace(0xabcd);
+        rec.scope(|| {
+            let _s = crate::span::enter("remote_phase_test");
+            instant_detail("cache", "hit");
+            progress(3);
+        });
+        let remote = rec.finish();
+        assert_eq!(remote.trace_id, 0xabcd);
+        let back = ExecutionProfile::from_json(&remote.to_json()).unwrap();
+        assert_eq!(back.trace_id, 0xabcd);
+        assert_eq!(back.lanes.len(), remote.lanes.len());
+        assert_eq!(back.lanes[0].events.len(), remote.lanes[0].events.len());
+        assert_eq!(back.phases["remote_phase_test"].count, 1);
+        assert_eq!((back.layers, back.instants["cache/hit"]), (3, 1));
+
+        let mut local = ExecutionProfile {
+            wall_ns: 500,
+            ..ExecutionProfile::default()
+        };
+        local.merge_remote(&back, 100, "server/");
+        assert_eq!(local.trace_id, 0xabcd, "zero local id adopts remote");
+        assert!(local.phases.contains_key("server/remote_phase_test"));
+        assert_eq!(local.lanes[0].label, "server/main");
+        assert!(local.lanes[0].events.iter().all(|e| e.t_ns >= 100));
+        assert!(local.wall_ns >= 100 + back.wall_ns);
+    }
+
+    #[test]
+    fn prepend_wait_adds_a_leading_lane() {
+        let rec = Arc::new(Recorder::new());
+        rec.scope(|| {
+            let _s = crate::span::enter("queued_work_test");
+        });
+        let mut p = rec.finish();
+        let wall = p.wall_ns;
+        let first_t = p.lanes[0].events[0].t_ns;
+        p.prepend_wait("pool-queue", "pool.queue_wait", 250);
+        assert_eq!(p.lanes[0].label, "pool-queue");
+        assert_eq!(p.lanes[0].events[0].t_ns, 0);
+        assert_eq!(p.lanes[0].events[1].t_ns, 250);
+        assert_eq!(p.lanes[1].events[0].t_ns, first_t + 250);
+        assert_eq!(p.wall_ns, wall + 250);
+        assert_eq!(p.phases["pool.queue_wait"].total_ns, 250);
     }
 
     #[test]

@@ -24,6 +24,37 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) estimated from the log₂
+    /// buckets.
+    ///
+    /// The interpolation rule: the sample of rank `⌈q·count⌉` (1-based)
+    /// is located in its bucket `[lo, 2·lo)` (`[0, 0]` for the zero
+    /// bucket) and assumed uniformly spread within it, so the estimate
+    /// is `lo + frac·lo` where `frac` is the rank's position among the
+    /// bucket's samples. The result is clamped to the recorded `max`,
+    /// which caps the error in the top occupied bucket. Because buckets
+    /// are powers of two, the estimate is within 2× of the true sample
+    /// — plenty for p50/p95/p99 dashboards over latencies.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(lo, n) in &self.buckets {
+            if seen + n >= rank {
+                if lo == 0 {
+                    return 0;
+                }
+                let frac = (rank - seen) as f64 / n as f64;
+                let est = lo as f64 + frac * lo as f64;
+                return (est as u64).min(self.max);
+            }
+            seen += n;
+        }
+        self.max
+    }
 }
 
 /// A span path's aggregate at snapshot time.
@@ -165,14 +196,27 @@ impl Snapshot {
             }
         }
         if !self.histograms.is_empty() {
-            out.push_str("histograms (count / mean / max):\n");
+            out.push_str("histograms (count / mean / p50 / p95 / p99 / max):\n");
             for (name, h) in &self.histograms {
-                let (mean, max) = if name.ends_with("_ns") || name.contains("_ns.") {
-                    (fmt_ns(h.mean() as u64), fmt_ns(h.max))
+                let fmt: fn(u64) -> String = if is_duration_name(name) {
+                    fmt_ns
                 } else {
-                    (format!("{:.1}", h.mean()), h.max.to_string())
+                    |v| v.to_string()
                 };
-                let _ = writeln!(out, "  {name:<44} {} / {mean} / {max}", h.count);
+                let mean = if is_duration_name(name) {
+                    fmt_ns(h.mean() as u64)
+                } else {
+                    format!("{:.1}", h.mean())
+                };
+                let _ = writeln!(
+                    out,
+                    "  {name:<44} {} / {mean} / {} / {} / {} / {}",
+                    h.count,
+                    fmt(h.quantile(0.50)),
+                    fmt(h.quantile(0.95)),
+                    fmt(h.quantile(0.99)),
+                    fmt(h.max)
+                );
             }
         }
         if !self.spans.is_empty() {
@@ -184,6 +228,125 @@ impl Snapshot {
                     s.count,
                     fmt_ns(s.total_ns),
                     fmt_ns(s.max_ns)
+                );
+            }
+        }
+        out
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format.
+    ///
+    /// Metric names are sanitized into the Prometheus grammar (every
+    /// character outside `[a-zA-Z0-9_:]` becomes `_`, so `serve.queries`
+    /// scrapes as `serve_queries`); labeled families rendered by
+    /// [`crate::labels`] (`name{tenant=a,kind=b}`) become real
+    /// Prometheus labels (`name{tenant="a",kind="b"}`). Histograms
+    /// expose cumulative `_bucket{le="…"}` series on the log₂ bucket
+    /// upper bounds plus `+Inf`, `_sum`, and `_count`; span aggregates
+    /// expose `tmk_span_count`/`tmk_span_total_ns` counters keyed by a
+    /// `path` label.
+    pub fn to_prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            let mut out: String = name
+                .chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
+                .collect();
+            if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                out.insert(0, '_');
+            }
+            out
+        }
+        fn escape(v: &str) -> String {
+            v.replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n")
+        }
+        fn label_str(labels: &[(&str, &str)], extra: Option<(&str, &str)>) -> String {
+            let mut pairs: Vec<String> = labels
+                .iter()
+                .map(|&(k, v)| format!("{}=\"{}\"", sanitize(k), escape(v)))
+                .collect();
+            if let Some((k, v)) = extra {
+                pairs.push(format!("{k}=\"{}\"", escape(v)));
+            }
+            if pairs.is_empty() {
+                String::new()
+            } else {
+                format!("{{{}}}", pairs.join(","))
+            }
+        }
+        let mut out = String::new();
+        let mut typed = std::collections::BTreeSet::new();
+        for (name, v) in &self.counters {
+            let (base, labels) = crate::labels::split_labels(name);
+            let base = sanitize(base);
+            if typed.insert(base.clone()) {
+                let _ = writeln!(out, "# TYPE {base} counter");
+            }
+            let _ = writeln!(out, "{base}{} {v}", label_str(&labels, None));
+        }
+        for (name, v) in &self.gauges {
+            let (base, labels) = crate::labels::split_labels(name);
+            let base = sanitize(base);
+            if typed.insert(base.clone()) {
+                let _ = writeln!(out, "# TYPE {base} gauge");
+            }
+            let _ = writeln!(out, "{base}{} {v}", label_str(&labels, None));
+        }
+        for (name, h) in &self.histograms {
+            let (base, labels) = crate::labels::split_labels(name);
+            let base = sanitize(base);
+            if typed.insert(base.clone()) {
+                let _ = writeln!(out, "# TYPE {base} histogram");
+            }
+            let mut cum = 0u64;
+            for &(lo, n) in &h.buckets {
+                cum += n;
+                // Bucket 0 holds exactly 0; bucket [lo, 2·lo) holds
+                // integers up to and including 2·lo − 1.
+                let le = if lo == 0 {
+                    0
+                } else {
+                    lo.saturating_mul(2).saturating_sub(1)
+                };
+                let _ = writeln!(
+                    out,
+                    "{base}_bucket{} {cum}",
+                    label_str(&labels, Some(("le", &le.to_string())))
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{base}_bucket{} {}",
+                label_str(&labels, Some(("le", "+Inf"))),
+                h.count
+            );
+            let _ = writeln!(out, "{base}_sum{} {}", label_str(&labels, None), h.sum);
+            let _ = writeln!(out, "{base}_count{} {}", label_str(&labels, None), h.count);
+        }
+        if !self.spans.is_empty() {
+            out.push_str("# TYPE tmk_span_count counter\n");
+            for (path, s) in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "tmk_span_count{} {}",
+                    label_str(&[], Some(("path", path))),
+                    s.count
+                );
+            }
+            out.push_str("# TYPE tmk_span_total_ns counter\n");
+            for (path, s) in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "tmk_span_total_ns{} {}",
+                    label_str(&[], Some(("path", path))),
+                    s.total_ns
                 );
             }
         }
@@ -359,6 +522,14 @@ impl Snapshot {
     }
 }
 
+/// Whether a metric name denotes nanosecond durations: a trailing
+/// `_ns`, a labelled family segment (`planner.bind_ns.<kind>`), or a
+/// label suffix (`serve.request_ns{tenant=a}`).
+fn is_duration_name(name: &str) -> bool {
+    let (base, _) = crate::labels::split_labels(name);
+    base.ends_with("_ns") || base.contains("_ns.")
+}
+
 /// Formats nanoseconds as a short human duration.
 pub fn fmt_ns(ns: u64) -> String {
     if ns < 1_000 {
@@ -425,6 +596,44 @@ mod tests {
         assert_eq!(hd.buckets, vec![(1024, 1)]);
         assert!(d.span("prepare/bind").is_none(), "unchanged spans drop out");
         assert!(after.diff(&after).is_empty());
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let h = HistogramSnapshot {
+            count: 4,
+            sum: 4000,
+            max: 1500,
+            buckets: vec![(0, 1), (1024, 3)],
+        };
+        // Rank 1 lands in the zero bucket.
+        assert_eq!(h.quantile(0.25), 0);
+        // Rank 2 is the first of three samples in [1024, 2048):
+        // 1024 + (1/3)·1024 ≈ 1365.
+        assert_eq!(h.quantile(0.5), 1365);
+        // The top of the top bucket clamps to the recorded max.
+        assert_eq!(h.quantile(1.0), 1500);
+        assert_eq!(HistogramSnapshot::default().quantile(0.99), 0);
+    }
+
+    #[test]
+    fn prometheus_rendering_sanitizes_and_cumulates() {
+        let mut s = sample();
+        s.counters
+            .insert("serve.requests{tenant=alice,kind=top_k}".into(), 7);
+        let prom = s.to_prometheus();
+        assert!(prom.contains("# TYPE a_hits counter"));
+        assert!(prom.contains("a_hits 3"));
+        assert!(
+            prom.contains("serve_requests{tenant=\"alice\",kind=\"top_k\"} 7"),
+            "labels become Prometheus labels: {prom}"
+        );
+        assert!(prom.contains("# TYPE bind_ns histogram"));
+        assert!(prom.contains("bind_ns_bucket{le=\"2047\"} 2"));
+        assert!(prom.contains("bind_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(prom.contains("bind_ns_sum 3000"));
+        assert!(prom.contains("bind_ns_count 2"));
+        assert!(prom.contains("tmk_span_count{path=\"prepare/bind\"} 2"));
     }
 
     #[test]

@@ -39,6 +39,18 @@ pub fn chrome_trace(profile: &ExecutionProfile) -> String {
         out.push('\n');
         out.push_str(&event);
     };
+    if profile.trace_id != 0 {
+        // Wire-propagated trace id: name the process after it so a
+        // stitched client+server capture is visibly one trace.
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                r#"{{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{{"name":"tmk trace {:016x}"}}}}"#,
+                profile.trace_id
+            ),
+        );
+    }
     for (tid, lane) in profile.lanes.iter().enumerate() {
         let mut meta =
             format!(r#"{{"ph":"M","pid":1,"tid":{tid},"name":"thread_name","args":{{"name":"#);

@@ -43,6 +43,7 @@ use transmark_core::evaluate::{Evaluation, ScoredAnswer};
 use transmark_core::plan::{PreparedEventQuery, PreparedQuery};
 use transmark_core::transducer::Transducer;
 use transmark_markov::MarkovSequence;
+use transmark_obs::log::RecordKind;
 use transmark_sproj::{PreparedProjector, SProjector, SprojEvaluation};
 
 /// Errors of the store layer.
@@ -203,9 +204,18 @@ impl PlanCache {
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(i, _)| i)
                 .expect("cache at capacity is non-empty");
-            inner.entries.swap_remove(lru);
+            let evicted = inner.entries.swap_remove(lru);
             inner.evictions += 1;
             transmark_obs::counter!("store.plan_cache.evictions").inc();
+            transmark_obs::log::publish(
+                RecordKind::PlanCacheEvict,
+                "",
+                &format!(
+                    "evicted plan {:016x} (lru of {} at capacity)",
+                    evicted.key, self.cap
+                ),
+                0,
+            );
         }
         inner.entries.push(PlanCacheEntry {
             key,

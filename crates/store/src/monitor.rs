@@ -172,9 +172,18 @@ impl Monitor {
             None => None,
         };
 
+        // The mode label splits monitor traffic by evaluation shape:
+        // full-prefix event series vs. sliding-window queries.
+        let mode = if self.cfg.window.is_some() {
+            "window"
+        } else {
+            "series"
+        };
         transmark_obs::counter!("store.monitor.runs").inc();
+        transmark_obs::counter!("store.monitor.runs", mode = mode).inc();
         transmark_obs::gauge!("store.monitor.workers").set(n_threads as u64);
         transmark_obs::counter!("store.monitor.streams").add(names.len() as u64);
+        transmark_obs::counter!("store.monitor.streams", mode = mode).add(names.len() as u64);
         let t_run = transmark_obs::Timer::start();
         let rec = transmark_obs::profile::current();
 

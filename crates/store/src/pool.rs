@@ -200,6 +200,10 @@ struct PoolShared {
     /// …and blocking submitters wait here for queue space.
     space_ready: Condvar,
     queue_cap: usize,
+    /// Label value for the per-pool `store.pool.*{pool=…}` series, so
+    /// co-resident pools (e.g. `serve` vs an embedder's own) stay
+    /// distinguishable in one registry.
+    name: &'static str,
 }
 
 /// A fixed set of long-lived worker threads draining a bounded FIFO task
@@ -223,8 +227,16 @@ pub struct WorkerPool {
 impl WorkerPool {
     /// Spawns a pool with `workers` threads (`0` = one per core, see
     /// [`resolve_threads`]) and a queue bounded at `queue_cap` pending
-    /// jobs (minimum 1).
+    /// jobs (minimum 1). The pool reports under the `pool=pool` label;
+    /// use [`WorkerPool::named`] to pick the label value.
     pub fn new(workers: usize, queue_cap: usize) -> WorkerPool {
+        WorkerPool::named("pool", workers, queue_cap)
+    }
+
+    /// Like [`WorkerPool::new`], with an explicit name for the pool's
+    /// `store.pool.*{pool=…}` metric series (the unlabeled totals are
+    /// still recorded).
+    pub fn named(name: &'static str, workers: usize, queue_cap: usize) -> WorkerPool {
         let n = resolve_threads(workers);
         let shared = Arc::new(PoolShared {
             state: Mutex::new(PoolState {
@@ -234,8 +246,10 @@ impl WorkerPool {
             work_ready: Condvar::new(),
             space_ready: Condvar::new(),
             queue_cap: queue_cap.max(1),
+            name,
         });
         transmark_obs::gauge!("store.pool.workers").set(n as u64);
+        transmark_obs::gauge!("store.pool.workers", pool = name).set(n as u64);
         let workers = (0..n)
             .map(|i| {
                 let shared = Arc::clone(&shared);
@@ -272,6 +286,7 @@ impl WorkerPool {
         }
         if state.queue.len() >= self.shared.queue_cap {
             transmark_obs::counter!("store.pool.rejected").inc();
+            transmark_obs::counter!("store.pool.rejected", pool = self.shared.name).inc();
             return Err(PoolError::Saturated);
         }
         self.enqueue(&mut state, Box::new(job));
@@ -299,7 +314,10 @@ impl WorkerPool {
     fn enqueue(&self, state: &mut PoolState, job: Job) {
         state.queue.push_back((job, transmark_obs::Timer::start()));
         transmark_obs::counter!("store.pool.submitted").inc();
+        transmark_obs::counter!("store.pool.submitted", pool = self.shared.name).inc();
         transmark_obs::gauge!("store.pool.queue_depth").set(state.queue.len() as u64);
+        transmark_obs::gauge!("store.pool.queue_depth", pool = self.shared.name)
+            .set(state.queue.len() as u64);
         self.shared.work_ready.notify_one();
     }
 
@@ -337,7 +355,12 @@ fn worker_loop(shared: &PoolShared) {
             loop {
                 if let Some((job, queued)) = state.queue.pop_front() {
                     transmark_obs::gauge!("store.pool.queue_depth").set(state.queue.len() as u64);
-                    queued.observe(transmark_obs::histogram!("store.pool.queue_wait_ns"));
+                    transmark_obs::gauge!("store.pool.queue_depth", pool = shared.name)
+                        .set(state.queue.len() as u64);
+                    let wait =
+                        queued.observe(transmark_obs::histogram!("store.pool.queue_wait_ns"));
+                    transmark_obs::histogram!("store.pool.queue_wait_ns", pool = shared.name)
+                        .record(wait);
                     shared.space_ready.notify_one();
                     break job;
                 }
@@ -352,6 +375,7 @@ fn worker_loop(shared: &PoolShared) {
         };
         job();
         transmark_obs::counter!("store.pool.completed").inc();
+        transmark_obs::counter!("store.pool.completed", pool = shared.name).inc();
     }
 }
 

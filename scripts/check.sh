@@ -9,7 +9,8 @@
 #
 # Also: `scripts/check.sh --serve-smoke` runs only the `tmk serve`
 # end-to-end smoke test (daemon on an ephemeral port, client query,
-# streamed .tmsb session, HTTP metrics scrape, graceful shutdown).
+# streamed .tmsb session, HTTP + Prometheus metrics scrapes, slow-query
+# event log, `tmk top` dashboard frame, graceful shutdown).
 #
 # Also: `scripts/check.sh --monitor-smoke` runs only the incremental
 # smoke test (8-stream `tmk monitor` bit-compared to solo runs,
@@ -19,7 +20,7 @@ cd "$(dirname "$0")/.."
 
 # End-to-end smoke of the service layer against a release binary.
 serve_smoke() {
-  echo "==> tmk serve smoke test (ephemeral port, client + stream + metrics + shutdown)"
+  echo "==> tmk serve smoke test (ephemeral port, client + stream + metrics + log + top + shutdown)"
   local dir tmk addr pid got want
   tmk=target/release/tmk
   dir=$(mktemp -d)
@@ -30,7 +31,10 @@ serve_smoke() {
   "$tmk" export-example "$dir" >/dev/null
   "$tmk" convert "$dir/hospital.tms" "$dir/hospital.tmsb" >/dev/null
 
-  "$tmk" serve 127.0.0.1:0 >"$dir/serve.log" 2>&1 &
+  # --slow-ms 0 flags every request slow, so the event log must end up
+  # with slow_query records carrying the plan explain and phase timings.
+  "$tmk" serve 127.0.0.1:0 --slow-ms 0 --log "$dir/events.jsonl" \
+    >"$dir/serve.log" 2>&1 &
   pid=$!
   addr=""
   for _ in $(seq 1 100); do
@@ -73,6 +77,21 @@ serve_smoke() {
     *"serve.connections"*) ;;
     *) echo "serve smoke: HTTP metrics scrape failed" >&2; return 1 ;;
   esac
+  # The Prometheus exposition endpoint on the same port.
+  exec 3<>"/dev/tcp/${addr%:*}/${addr##*:}"
+  printf 'GET /metrics.prom HTTP/1.0\r\n\r\n' >&3
+  got=$(cat <&3)
+  exec 3>&-
+  case "$got" in
+    *"# TYPE serve_connections counter"*) ;;
+    *) echo "serve smoke: /metrics.prom scrape failed" >&2; return 1 ;;
+  esac
+  # One tmk top frame over /metrics.json: headers and footer render.
+  got=$("$tmk" top "$addr" --interval 50 --count 1)
+  case "$got" in
+    *"tmk top — $addr"*"plan cache hit"*) ;;
+    *) echo "serve smoke: tmk top frame failed: $got" >&2; return 1 ;;
+  esac
 
   # Graceful shutdown: the client gets an ack and the daemon exits.
   got=$("$tmk" client "$addr" shutdown)
@@ -87,6 +106,18 @@ serve_smoke() {
   if kill -0 "$pid" 2>/dev/null; then
     echo "serve smoke: server did not exit after shutdown" >&2
     kill "$pid" 2>/dev/null || true
+    return 1
+  fi
+  # The structured event log: with --slow-ms 0 every query produces a
+  # slow_query record with its plan explain and phase breakdown.
+  if ! grep -q '"kind":"request_start"' "$dir/events.jsonl"; then
+    echo "serve smoke: event log has no request_start records" >&2
+    cat "$dir/events.jsonl" >&2 || true
+    return 1
+  fi
+  if ! grep -q '"kind":"slow_query".*plan:' "$dir/events.jsonl"; then
+    echo "serve smoke: event log has no slow_query record with a plan explain" >&2
+    cat "$dir/events.jsonl" >&2 || true
     return 1
   fi
   echo "    serve smoke passed"

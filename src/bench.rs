@@ -479,6 +479,8 @@ fn serve_sustained(
         queue_cap: conns * 2,
         tenant_quota: conns,
         plan_capacity,
+        slow_ms: None,
+        log: None,
     })
     .map_err(|e| run_err(format!("bench server: {e}")))?;
     let addr = server.local_addr().to_string();

@@ -135,6 +135,10 @@ USAGE:
   tmk map <sequence.tms>                                most likely world
   tmk sample <sequence.tms> [--count N] [--seed S]      draw random worlds
   tmk top <sequence.tms> <query.tmt> [--k N]            ranked answers + confidence
+  tmk top <host:port> [--interval MS] [--count N]       live service dashboard: per-tenant /
+                                                        per-kind q/s and p50/p95/p99 from
+                                                        /metrics.json snapshot diffs; --count N
+                                                        renders N frames and exits
   tmk enumerate <sequence.tms> <query.tmt> [--limit N]  all answers, lexicographic
   tmk confidence <sequence.tms> <query.tmt> <sym>...    confidence of one output
   tmk evidences <sequence.tms> <query.tmt> [--k N] <sym>...
@@ -164,9 +168,16 @@ USAGE:
                                                         non-zero on a >15% regression
   tmk serve [ADDR] [--workers N] [--queue N] [--tenant-quota N] [--plan-cache N]
                                                         run the persistent query service: tmkp
-                                                        protocol plus HTTP GET /metrics[.json] on
-                                                        the same port; ADDR defaults to 127.0.0.1:0
-                                                        (the resolved address is printed on start)
+                                                        protocol plus HTTP GET /metrics[.json|.prom]
+                                                        on the same port; ADDR defaults to
+                                                        127.0.0.1:0 (the resolved address is
+                                                        printed on start)
+        [--slow-ms MS]                                  log any query slower than MS (plan explain
+                                                        + phase timings) to the structured event log
+        [--log FILE|-]                                  drain the structured event log (request,
+                                                        rejection, checkpoint, eviction, and slow-
+                                                        query records) as JSON lines to FILE or
+                                                        stderr (-)
   tmk client <addr> confidence <query.tmt> <seq> <sym>...
                                                         remote confidence of one output
   tmk client <addr> top <query.tmt> <seq> [--k N]       remote ranked answers + confidence
@@ -180,7 +191,7 @@ USAGE:
                                                         chunks (default 8) and, if FILE holds one,
                                                         continue the suspended session from it —
                                                         rerun the same command after a disconnect
-  tmk client <addr> metrics [--json]                    scrape the server's live metrics snapshot
+  tmk client <addr> metrics [--json|--prom]             scrape the server's live metrics snapshot
   tmk client <addr> shutdown                            ask the server to shut down gracefully
 
 COMMON OPTIONS (accepted by every command):
@@ -523,6 +534,39 @@ fn append_remote_profile(out: &mut String, profile: Option<String>) {
     }
 }
 
+/// Handles the profile attached to a `tmk client` response. When the
+/// request carried a trace id, the server serializes its timeline as
+/// JSON — parse it and queue it (with the request's send offset) for
+/// merging into the local recorder's profile, so `--profile=FILE`
+/// writes ONE Chrome trace spanning client and server. Anything else
+/// (a v1 peer's text profile) appends verbatim.
+fn absorb_remote_profile(
+    out: &mut String,
+    remotes: &mut Vec<(transmark_obs::ExecutionProfile, u64)>,
+    traced: bool,
+    profile: Option<String>,
+    sent_at_ns: Option<u64>,
+) {
+    let Some(p) = profile else { return };
+    if traced {
+        if let Ok(remote) = transmark_obs::ExecutionProfile::from_json(&p) {
+            remotes.push((remote, sent_at_ns.unwrap_or(0)));
+            return;
+        }
+    }
+    append_remote_profile(out, Some(p));
+}
+
+/// A fresh wire trace id: wall-clock nanoseconds mixed with the pid,
+/// forced nonzero (zero means "no trace" on the wire).
+fn new_trace_id() -> u64 {
+    let ns = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x5eed);
+    (ns ^ ((std::process::id() as u64) << 32)).max(1)
+}
+
 /// Renders the `--metrics` text report from a snapshot diff: a structured
 /// summary (plan kinds and phase timings, cache hit rates, kernel and
 /// data-plane traffic, fleet statistics) followed by the full snapshot.
@@ -551,17 +595,19 @@ fn metrics_report(s: &Snapshot) -> String {
     }
     if !kinds.is_empty() {
         let _ = writeln!(out, "plan kind(s): {}", kinds.join(", "));
-        out.push_str("phases (count / total / mean):\n");
+        out.push_str("phases (count / total / mean / p50 / p99):\n");
         for kind in &kinds {
             for (phase, prefix) in PHASES {
                 if let Some(h) = s.histogram(&format!("{prefix}{kind}")) {
                     let _ = writeln!(
                         out,
-                        "  {:<34} {} / {} / {}",
+                        "  {:<34} {} / {} / {} / {} / {}",
                         format!("{kind} {phase}"),
                         h.count,
                         fmt_ns(h.sum),
-                        fmt_ns(h.mean() as u64)
+                        fmt_ns(h.mean() as u64),
+                        fmt_ns(h.quantile(0.50)),
+                        fmt_ns(h.quantile(0.99))
                     );
                 }
             }
@@ -719,6 +765,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     };
     let scope = recorder.as_ref().map(|r| r.install("main"));
     let mut out = String::new();
+    // Server-side timelines returned by `tmk client` requests that
+    // carried a trace id, with the send offset of each request; merged
+    // into the local profile after the recorder finishes.
+    let mut remote_profiles: Vec<(transmark_obs::ExecutionProfile, u64)> = Vec::new();
     match command.as_str() {
         "show" => {
             let [seq_path] = positional::<1>(args)?;
@@ -766,25 +816,39 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 .map(|v| parse_usize(&v, "--k"))
                 .transpose()?
                 .unwrap_or(10);
-            let [seq_path, query_path] = positional::<2>(args)?;
-            let m = load_sequence(&seq_path)?;
-            let t = load_transducer(&query_path)?;
-            let ev = Evaluation::with_strategy(&t, &m, opts.strategy)?;
-            if opts.explain {
-                let _ = writeln!(out, "{}", ev.explain());
-            }
-            let answers = ev.top_k_scored(k)?;
-            if answers.is_empty() {
-                let _ = writeln!(out, "(no answers)");
-            }
-            for a in answers {
-                let _ = writeln!(
-                    out,
-                    "{:<30} E_max = {:.6}  confidence = {:.6}",
-                    render(&t, &a.output),
-                    a.emax,
-                    a.confidence
-                );
+            let interval = take_opt(&mut args, "--interval")?
+                .map(|v| parse_usize(&v, "--interval"))
+                .transpose()?
+                .unwrap_or(1000) as u64;
+            let count = take_opt(&mut args, "--count")?
+                .map(|v| parse_usize(&v, "--count"))
+                .transpose()?;
+            // One positional = a server address: the live service
+            // dashboard. Two = the classic ranked-answers query.
+            if args.len() == 1 {
+                let addr = args.remove(0);
+                crate::top::run_dashboard(&mut out, &addr, interval, count)?;
+            } else {
+                let [seq_path, query_path] = positional::<2>(args)?;
+                let m = load_sequence(&seq_path)?;
+                let t = load_transducer(&query_path)?;
+                let ev = Evaluation::with_strategy(&t, &m, opts.strategy)?;
+                if opts.explain {
+                    let _ = writeln!(out, "{}", ev.explain());
+                }
+                let answers = ev.top_k_scored(k)?;
+                if answers.is_empty() {
+                    let _ = writeln!(out, "(no answers)");
+                }
+                for a in answers {
+                    let _ = writeln!(
+                        out,
+                        "{:<30} E_max = {:.6}  confidence = {:.6}",
+                        render(&t, &a.output),
+                        a.emax,
+                        a.confidence
+                    );
+                }
             }
         }
         "enumerate" => {
@@ -1264,6 +1328,11 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 .map(|v| parse_usize(&v, "--plan-cache"))
                 .transpose()?
                 .unwrap_or(transmark_store::DEFAULT_PLAN_CACHE_CAP);
+            let slow_ms = take_opt(&mut args, "--slow-ms")?
+                .map(|v| parse_usize(&v, "--slow-ms"))
+                .transpose()?
+                .map(|v| v as u64);
+            let log = take_opt(&mut args, "--log")?;
             let addr = match args.len() {
                 0 => "127.0.0.1:0".to_string(),
                 1 => args.remove(0),
@@ -1275,6 +1344,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 queue_cap,
                 tenant_quota,
                 plan_capacity,
+                slow_ms,
+                log,
             })
             .map_err(|e| run_err(format!("cannot start server: {e}")))?;
             // Printed (and flushed) before blocking: supervisors and the
@@ -1295,9 +1366,20 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             }
             let addr = args.remove(0);
             let sub = args.remove(0);
-            let profile = matches!(opts.profile, Some(None));
+            // Any profiling output (--profile, --profile=FILE, --flame)
+            // requests the server-side profile too; with a v2 peer the
+            // request also carries a fresh trace id, so the server's
+            // timeline comes back as JSON and is stitched into the local
+            // recorder's — one trace spanning both processes.
+            let profile = opts.profile.is_some() || opts.flame.is_some();
+            let traced = recorder.is_some();
             let wire = |e: crate::serve::protocol::WireError| run_err(e);
             let mut client = Client::connect(&addr, &tenant).map_err(wire)?;
+            if let Some(rec) = &recorder {
+                let trace_id = new_trace_id();
+                rec.set_trace(trace_id);
+                client.set_trace(trace_id);
+            }
             match sub.as_str() {
                 "confidence" => {
                     if args.len() < 2 {
@@ -1312,7 +1394,13 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                         .confidence(&query_text, &seq, &args.join(" "), profile)
                         .map_err(wire)?;
                     let _ = writeln!(out, "{}", resp.value);
-                    append_remote_profile(&mut out, resp.profile);
+                    absorb_remote_profile(
+                        &mut out,
+                        &mut remote_profiles,
+                        traced,
+                        resp.profile,
+                        resp.sent_at_ns,
+                    );
                 }
                 "top" => {
                     let k = take_opt(&mut args, "--k")?
@@ -1346,7 +1434,13 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                             a.confidence
                         );
                     }
-                    append_remote_profile(&mut out, resp.profile);
+                    absorb_remote_profile(
+                        &mut out,
+                        &mut remote_profiles,
+                        traced,
+                        resp.profile,
+                        resp.sent_at_ns,
+                    );
                 }
                 "series" => {
                     let [query_path, seq_path] = positional::<2>(args)?;
@@ -1357,7 +1451,13 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     for (i, p) in resp.value.iter().enumerate() {
                         let _ = writeln!(out, "t={:<4} {p}", i + 1);
                     }
-                    append_remote_profile(&mut out, resp.profile);
+                    absorb_remote_profile(
+                        &mut out,
+                        &mut remote_profiles,
+                        traced,
+                        resp.profile,
+                        resp.sent_at_ns,
+                    );
                 }
                 "stream" => {
                     use crate::serve::client::{StreamCheckpoint, StreamOptions};
@@ -1421,13 +1521,14 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                             .map(|_| &mut on_ck as &mut dyn FnMut(&StreamCheckpoint)),
                         resume: resume_ck.as_ref(),
                     };
-                    if let Some(w) = window {
+                    let (profile_text, sent_at) = if let Some(w) = window {
                         let resp = client
                             .stream_window(&query_text, &tmsb, w as u32, chunk, stream_opts)
                             .map_err(wire)?;
                         for (i, p) in resp.value.iter().enumerate() {
                             let _ = writeln!(out, "t={:<4} {p}", i + 1);
                         }
+                        (resp.profile, resp.sent_at_ns)
                     } else if args.is_empty() {
                         let resp = client
                             .stream_series_with(&query_text, &tmsb, chunk, stream_opts)
@@ -1435,6 +1536,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                         for (i, p) in resp.value.iter().enumerate() {
                             let _ = writeln!(out, "t={:<4} {p}", i + 1);
                         }
+                        (resp.profile, resp.sent_at_ns)
                     } else {
                         let resp = client
                             .stream_confidence_with(
@@ -1446,7 +1548,15 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                             )
                             .map_err(wire)?;
                         let _ = writeln!(out, "{}", resp.value);
-                    }
+                        (resp.profile, resp.sent_at_ns)
+                    };
+                    absorb_remote_profile(
+                        &mut out,
+                        &mut remote_profiles,
+                        traced,
+                        profile_text,
+                        sent_at,
+                    );
                     if let Some(e) = save_err {
                         return Err(run_err(e));
                     }
@@ -1458,10 +1568,18 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 }
                 "metrics" => {
                     let json = take_flag(&mut args, "--json");
-                    if !args.is_empty() {
-                        return Err(usage_err("client metrics takes only --json"));
+                    let prom = take_flag(&mut args, "--prom");
+                    if !args.is_empty() || (json && prom) {
+                        return Err(usage_err("client metrics takes --json or --prom"));
                     }
-                    out.push_str(&client.metrics(json).map_err(wire)?);
+                    let format = if json {
+                        1
+                    } else if prom {
+                        2
+                    } else {
+                        0
+                    };
+                    out.push_str(&client.metrics_format(format).map_err(wire)?);
                 }
                 "shutdown" => {
                     if !args.is_empty() {
@@ -1483,7 +1601,14 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     }
     drop(scope);
     if let Some(rec) = recorder {
-        let profile = rec.finish();
+        let mut profile = rec.finish();
+        // Stitch in server timelines returned by traced client
+        // requests: each remote profile merges at the offset its
+        // request frame was written, under a `server/` lane prefix,
+        // sharing the one client-generated trace id.
+        for (remote, offset_ns) in &remote_profiles {
+            profile.merge_remote(remote, *offset_ns, "server/");
+        }
         if let Some(dest) = &opts.profile {
             let trace = transmark_obs::trace::chrome_trace(&profile);
             match dest {

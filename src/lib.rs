@@ -79,6 +79,7 @@ pub mod bench;
 pub mod cli;
 pub mod facade;
 pub mod serve;
+pub mod top;
 
 pub use facade::Engine;
 

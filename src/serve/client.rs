@@ -10,11 +10,11 @@ use std::net::TcpStream;
 use transmark_markov::binio::read_prelude;
 
 use super::protocol::{
-    parse_error, read_frame, write_frame, Cursor, Frame, PayloadBuilder, WireError, FLAG_RESUME,
-    KIND_CONFIDENCE, KIND_SERIES, KIND_TOP_K, KIND_WINDOW, OP_CHECKPOINT, OP_ERROR, OP_HELLO,
-    OP_HELLO_OK, OP_METRICS, OP_QUERY, OP_RESULT, OP_SHUTDOWN, OP_SHUTDOWN_OK, OP_STREAM_ACK,
-    OP_STREAM_BEGIN, OP_STREAM_CHECKPOINT, OP_STREAM_DATA, OP_STREAM_END, RESULT_CONFIDENCE,
-    RESULT_SERIES, RESULT_TEXT, RESULT_TOP_K, WIRE_MAGIC, WIRE_VERSION,
+    parse_error, read_frame, write_frame, Cursor, Frame, PayloadBuilder, WireError, FLAG_PROFILE,
+    FLAG_RESUME, FLAG_TRACE, KIND_CONFIDENCE, KIND_SERIES, KIND_TOP_K, KIND_WINDOW, OP_CHECKPOINT,
+    OP_ERROR, OP_HELLO, OP_HELLO_OK, OP_METRICS, OP_QUERY, OP_RESULT, OP_SHUTDOWN, OP_SHUTDOWN_OK,
+    OP_STREAM_ACK, OP_STREAM_BEGIN, OP_STREAM_CHECKPOINT, OP_STREAM_DATA, OP_STREAM_END,
+    RESULT_CONFIDENCE, RESULT_SERIES, RESULT_TEXT, RESULT_TOP_K, WIRE_MAGIC, WIRE_VERSION,
 };
 
 /// A sequence payload for self-contained queries: `.tms` text or
@@ -108,14 +108,27 @@ pub struct Response<T> {
     /// The decoded result value.
     pub value: T,
     /// The server-side profile ([`Engine::profiled`](crate::Engine::profiled)
-    /// rendering), when the query asked for one.
+    /// rendering: text, or [`ExecutionProfile::to_json`]
+    /// (transmark_obs::ExecutionProfile::to_json) when the request
+    /// carried a trace id), when the query asked for one.
     pub profile: Option<String>,
+    /// Nanoseconds since the *client* profiler's epoch at which the
+    /// request frame was written — `Some` only when a profiler was
+    /// recording. This is the time offset at which a wire-traced remote
+    /// profile merges into the local one
+    /// ([`ExecutionProfile::merge_remote`](transmark_obs::ExecutionProfile::merge_remote)).
+    pub sent_at_ns: Option<u64>,
 }
 
 /// A connected `tmkp` client (HELLO already exchanged).
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// Negotiated protocol version (the minimum of both peers').
+    version: u32,
+    /// Trace id attached to subsequent requests (0 = none); only sent
+    /// on the wire when the negotiated version supports it.
+    trace_id: u64,
 }
 
 impl Client {
@@ -130,6 +143,8 @@ impl Client {
         let mut client = Client {
             reader: BufReader::new(stream),
             writer,
+            version: WIRE_VERSION,
+            trace_id: 0,
         };
         let hello = PayloadBuilder::new()
             .raw(&WIRE_MAGIC)
@@ -144,7 +159,31 @@ impl Client {
                 frame.op
             )));
         }
+        let mut c = Cursor::new(&frame.payload);
+        client.version = c.u32("negotiated version")?;
         Ok(client)
+    }
+
+    /// The protocol version negotiated at HELLO (the minimum of both
+    /// peers'). Trace context requires version ≥ 2.
+    pub fn negotiated_version(&self) -> u32 {
+        self.version
+    }
+
+    /// Attaches a trace id to every subsequent request (0 clears it).
+    /// Against a version-1 server the id is silently not sent — the
+    /// queries still run, just without cross-process stitching.
+    pub fn set_trace(&mut self, trace_id: u64) {
+        self.trace_id = trace_id;
+    }
+
+    /// The trace id that will actually go on the wire.
+    fn effective_trace(&self) -> u64 {
+        if self.version >= 2 {
+            self.trace_id
+        } else {
+            0
+        }
     }
 
     /// Reads one frame, converting [`OP_ERROR`] into
@@ -164,6 +203,7 @@ impl Client {
     }
 
     fn query_payload(
+        &self,
         kind: u8,
         profile: bool,
         k: u32,
@@ -171,12 +211,19 @@ impl Client {
         output: &str,
         seq: &Sequence<'_>,
     ) -> Vec<u8> {
-        let b = PayloadBuilder::new()
-            .u8(kind)
-            .u8(if profile { 1 } else { 0 })
-            .u32(k)
-            .string(query)
-            .string(output);
+        let trace_id = self.effective_trace();
+        let mut flags = 0u8;
+        if profile {
+            flags |= FLAG_PROFILE;
+        }
+        if trace_id != 0 {
+            flags |= FLAG_TRACE;
+        }
+        let mut b = PayloadBuilder::new().u8(kind).u8(flags);
+        if trace_id != 0 {
+            b = b.u64(trace_id);
+        }
+        let b = b.u32(k).string(query).string(output);
         match seq {
             Sequence::Text(text) => b.u8(0).bytes(text.as_bytes()),
             Sequence::Binary(bytes) => b.u8(1).bytes(bytes),
@@ -185,8 +232,14 @@ impl Client {
     }
 
     /// Issues one self-contained query and returns the raw RESULT
-    /// payload (result kind + body + profile).
-    fn query(&mut self, payload: &[u8]) -> Result<Vec<u8>, WireError> {
+    /// payload (result kind + body + profile) plus the profiler
+    /// timestamp at which the request was written (when recording).
+    fn query(&mut self, payload: &[u8]) -> Result<(Vec<u8>, Option<u64>), WireError> {
+        // On a profiled run the round trip shows up as one span on the
+        // client lane; the server's own lanes slot in under it once the
+        // remote profile is merged at `sent_at_ns`.
+        let _span = transmark_obs::span::enter("client.request");
+        let sent_at_ns = transmark_obs::profile::now_ns();
         write_frame(&mut self.writer, OP_QUERY, payload)?;
         let frame = self.read_reply()?;
         if frame.op != OP_RESULT {
@@ -195,7 +248,7 @@ impl Client {
                 frame.op
             )));
         }
-        Ok(frame.payload)
+        Ok((frame.payload, sent_at_ns))
     }
 
     /// `Pr(sequence →[query]→ output)` — exact confidence of one output
@@ -207,9 +260,11 @@ impl Client {
         output: &str,
         profile: bool,
     ) -> Result<Response<f64>, WireError> {
-        let payload = Self::query_payload(KIND_CONFIDENCE, profile, 0, query, output, seq);
-        let result = self.query(&payload)?;
-        decode_result(&result, RESULT_CONFIDENCE, |c| c.f64("confidence"))
+        let payload = self.query_payload(KIND_CONFIDENCE, profile, 0, query, output, seq);
+        let (result, sent_at_ns) = self.query(&payload)?;
+        let mut r = decode_result(&result, RESULT_CONFIDENCE, |c| c.f64("confidence"))?;
+        r.sent_at_ns = sent_at_ns;
+        Ok(r)
     }
 
     /// Top-k answers by `E_max` with exact confidences.
@@ -220,9 +275,11 @@ impl Client {
         k: u32,
         profile: bool,
     ) -> Result<Response<Vec<WireAnswer>>, WireError> {
-        let payload = Self::query_payload(KIND_TOP_K, profile, k, query, "", seq);
-        let result = self.query(&payload)?;
-        decode_result(&result, RESULT_TOP_K, decode_answers)
+        let payload = self.query_payload(KIND_TOP_K, profile, k, query, "", seq);
+        let (result, sent_at_ns) = self.query(&payload)?;
+        let mut r = decode_result(&result, RESULT_TOP_K, decode_answers)?;
+        r.sent_at_ns = sent_at_ns;
+        Ok(r)
     }
 
     /// The prefix acceptance series of the query's underlying NFA.
@@ -232,9 +289,11 @@ impl Client {
         seq: &Sequence<'_>,
         profile: bool,
     ) -> Result<Response<Vec<f64>>, WireError> {
-        let payload = Self::query_payload(KIND_SERIES, profile, 0, query, "", seq);
-        let result = self.query(&payload)?;
-        decode_result(&result, RESULT_SERIES, decode_series)
+        let payload = self.query_payload(KIND_SERIES, profile, 0, query, "", seq);
+        let (result, sent_at_ns) = self.query(&payload)?;
+        let mut r = decode_result(&result, RESULT_SERIES, decode_series)?;
+        r.sent_at_ns = sent_at_ns;
+        Ok(r)
     }
 
     /// Streams `.tmsb` bytes in `chunk`-sized DATA frames under
@@ -261,8 +320,11 @@ impl Client {
         chunk: usize,
         opts: StreamOptions<'_>,
     ) -> Result<Response<f64>, WireError> {
-        let result = self.stream(KIND_CONFIDENCE, query, output, 0, tmsb, chunk, opts)?;
-        decode_result(&result, RESULT_CONFIDENCE, |c| c.f64("confidence"))
+        let (result, sent_at_ns) =
+            self.stream(KIND_CONFIDENCE, query, output, 0, tmsb, chunk, opts)?;
+        let mut r = decode_result(&result, RESULT_CONFIDENCE, |c| c.f64("confidence"))?;
+        r.sent_at_ns = sent_at_ns;
+        Ok(r)
     }
 
     /// Streamed counterpart of [`Client::series`].
@@ -283,8 +345,10 @@ impl Client {
         chunk: usize,
         opts: StreamOptions<'_>,
     ) -> Result<Response<Vec<f64>>, WireError> {
-        let result = self.stream(KIND_SERIES, query, "", 0, tmsb, chunk, opts)?;
-        decode_result(&result, RESULT_SERIES, decode_series)
+        let (result, sent_at_ns) = self.stream(KIND_SERIES, query, "", 0, tmsb, chunk, opts)?;
+        let mut r = decode_result(&result, RESULT_SERIES, decode_series)?;
+        r.sent_at_ns = sent_at_ns;
+        Ok(r)
     }
 
     /// Streams a sliding-window acceptance query: the returned series
@@ -299,8 +363,11 @@ impl Client {
         chunk: usize,
         opts: StreamOptions<'_>,
     ) -> Result<Response<Vec<f64>>, WireError> {
-        let result = self.stream(KIND_WINDOW, query, "", window, tmsb, chunk, opts)?;
-        decode_result(&result, RESULT_SERIES, decode_series)
+        let (result, sent_at_ns) =
+            self.stream(KIND_WINDOW, query, "", window, tmsb, chunk, opts)?;
+        let mut r = decode_result(&result, RESULT_SERIES, decode_series)?;
+        r.sent_at_ns = sent_at_ns;
+        Ok(r)
     }
 
     /// Runs one streamed session: BEGIN, then one DATA chunk per ACK,
@@ -321,20 +388,29 @@ impl Client {
         tmsb: &[u8],
         chunk: usize,
         mut opts: StreamOptions<'_>,
-    ) -> Result<Vec<u8>, WireError> {
+    ) -> Result<(Vec<u8>, Option<u64>), WireError> {
         let chunk = chunk.max(1);
         let resume = opts.resume.filter(|ck| !ck.is_empty());
-        let mut b =
-            PayloadBuilder::new()
-                .u8(kind)
-                .u8(if resume.is_some() { FLAG_RESUME } else { 0 });
+        let trace_id = self.effective_trace();
+        let mut flags = if resume.is_some() { FLAG_RESUME } else { 0 };
+        if trace_id != 0 {
+            // A traced stream wants the server timeline back for
+            // merging, so the trace flag implies the profile flag.
+            flags |= FLAG_TRACE | FLAG_PROFILE;
+        }
+        let mut b = PayloadBuilder::new().u8(kind).u8(flags);
         if kind == KIND_WINDOW {
             b = b.u32(window);
+        }
+        if trace_id != 0 {
+            b = b.u64(trace_id);
         }
         b = b.string(query).string(output);
         if let Some(ck) = resume {
             b = b.bytes(&ck.blob);
         }
+        let _span = transmark_obs::span::enter("client.stream");
+        let sent_at_ns = transmark_obs::profile::now_ns();
         write_frame(&mut self.writer, OP_STREAM_BEGIN, &b.build())?;
 
         // On resume the server rebuilds its layer reader from the
@@ -392,7 +468,7 @@ impl Client {
                     }
                     // The server re-acks next; the loop continues.
                 }
-                OP_RESULT => return Ok(frame.payload),
+                OP_RESULT => return Ok((frame.payload, sent_at_ns)),
                 OP_ERROR => {
                     let (code, message) = parse_error(&frame.payload);
                     // The server drains to STREAM_END before continuing;
@@ -414,7 +490,13 @@ impl Client {
     /// Fetches the server's metrics snapshot (diffed against its start
     /// baseline) as text or JSON.
     pub fn metrics(&mut self, json: bool) -> Result<String, WireError> {
-        let payload = [if json { 1u8 } else { 0u8 }];
+        self.metrics_format(if json { 1 } else { 0 })
+    }
+
+    /// [`Client::metrics`] with the raw format byte: `0` text, `1`
+    /// JSON, `2` Prometheus exposition.
+    pub fn metrics_format(&mut self, format: u8) -> Result<String, WireError> {
+        let payload = [format];
         write_frame(&mut self.writer, OP_METRICS, &payload)?;
         let frame = self.read_reply()?;
         if frame.op != OP_RESULT {
@@ -485,6 +567,7 @@ fn decode_result<T>(
         } else {
             Some(profile)
         },
+        sent_at_ns: None,
     })
 }
 

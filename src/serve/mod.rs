@@ -14,8 +14,9 @@
 //!
 //! The wire format is the length-prefixed `tmkp` protocol
 //! ([`protocol`]); a connection whose first bytes are `GET ` is served
-//! as a plain HTTP/1.0 metrics scrape instead (`/metrics`,
-//! `/metrics.json`). Admission control is the pool's bounded queue
+//! as a plain HTTP/1.1 metrics scrape instead (`/metrics`,
+//! `/metrics.json`, `/metrics.prom`). Admission control is the pool's
+//! bounded queue
 //! (typed [`ERR_SATURATED`](protocol::ERR_SATURATED) at the door);
 //! per-tenant fairness is an in-flight quota keyed by the HELLO tenant
 //! name. Streamed `.tmsb` sessions drive an incremental core session
@@ -45,17 +46,19 @@ use transmark_core::incremental::{
 use transmark_core::transducer::Transducer;
 use transmark_markov::binio::{read_prelude, RawLayerReader};
 use transmark_markov::{MarkovSequence, SourceError};
+use transmark_obs::log::RecordKind;
+use transmark_obs::{ExecutionProfile, Recorder};
 use transmark_store::{PoolError, WorkerPool};
 
 use crate::facade::Engine;
 use protocol::{
     read_frame, read_frame_after_len, write_error, write_frame, Cursor, Frame, PayloadBuilder,
     WireError, ERR_BAD_CHECKPOINT, ERR_BAD_FRAME, ERR_QUERY, ERR_QUOTA, ERR_SATURATED, ERR_STATE,
-    ERR_VERSION, FLAG_PROFILE, FLAG_RESUME, KIND_CONFIDENCE, KIND_SERIES, KIND_TOP_K, KIND_WINDOW,
-    OP_CHECKPOINT, OP_HELLO, OP_HELLO_OK, OP_METRICS, OP_QUERY, OP_RESULT, OP_SHUTDOWN,
-    OP_SHUTDOWN_OK, OP_STREAM_ACK, OP_STREAM_BEGIN, OP_STREAM_CHECKPOINT, OP_STREAM_DATA,
-    OP_STREAM_END, RESULT_CONFIDENCE, RESULT_SERIES, RESULT_TEXT, RESULT_TOP_K, WIRE_MAGIC,
-    WIRE_VERSION,
+    ERR_VERSION, FLAG_PROFILE, FLAG_RESUME, FLAG_TRACE, KIND_CONFIDENCE, KIND_SERIES, KIND_TOP_K,
+    KIND_WINDOW, OP_CHECKPOINT, OP_HELLO, OP_HELLO_OK, OP_METRICS, OP_QUERY, OP_RESULT,
+    OP_SHUTDOWN, OP_SHUTDOWN_OK, OP_STREAM_ACK, OP_STREAM_BEGIN, OP_STREAM_CHECKPOINT,
+    OP_STREAM_DATA, OP_STREAM_END, RESULT_CONFIDENCE, RESULT_SERIES, RESULT_TEXT, RESULT_TOP_K,
+    WIRE_MAGIC, WIRE_VERSION, WIRE_VERSION_MIN,
 };
 
 /// Configuration for [`Server::start`].
@@ -72,6 +75,16 @@ pub struct ServeConfig {
     pub tenant_quota: usize,
     /// Plan-cache capacity of the server's process-lifetime [`Engine`].
     pub plan_capacity: usize,
+    /// Slow-query threshold in milliseconds: any query (unary or
+    /// streamed) whose wall time meets it is recorded in the structured
+    /// event log with its plan explain and phase timings. `None`
+    /// disables the slow-query log (and its always-on profiling).
+    pub slow_ms: Option<u64>,
+    /// Structured event-log sink: `Some("-")` drains
+    /// [`transmark_obs::log`] to stderr as JSON lines, any other value
+    /// is a file path. `None` leaves records in the in-process ring for
+    /// tests and embedders to drain themselves.
+    pub log: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -82,6 +95,8 @@ impl Default for ServeConfig {
             queue_cap: 64,
             tenant_quota: 4,
             plan_capacity: transmark_store::DEFAULT_PLAN_CACHE_CAP,
+            slow_ms: None,
+            log: None,
         }
     }
 }
@@ -91,6 +106,7 @@ struct Shared {
     addr: SocketAddr,
     stop: AtomicBool,
     tenant_quota: usize,
+    slow_ms: Option<u64>,
     tenants: Mutex<HashMap<String, usize>>,
     /// Read-half clones of live connections, closed on shutdown so
     /// handlers blocked in `read` unblock and drain.
@@ -125,6 +141,10 @@ pub struct Server {
     shared: Arc<Shared>,
     accept: Option<std::thread::JoinHandle<()>>,
     pool: Option<Arc<WorkerPool>>,
+    /// Event-log drain thread (`--log`): stopped *after* the pool has
+    /// drained so records published by in-flight work are not lost.
+    log_stop: Arc<AtomicBool>,
+    log_drain: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
@@ -140,11 +160,17 @@ impl Server {
             addr,
             stop: AtomicBool::new(false),
             tenant_quota: config.tenant_quota.max(1),
+            slow_ms: config.slow_ms,
             tenants: Mutex::new(HashMap::new()),
             conns: Mutex::new(HashMap::new()),
             next_conn: AtomicU64::new(0),
         });
-        let pool = Arc::new(WorkerPool::new(config.threads, config.queue_cap));
+        let pool = Arc::new(WorkerPool::named("serve", config.threads, config.queue_cap));
+        let log_stop = Arc::new(AtomicBool::new(false));
+        let log_drain = match &config.log {
+            Some(target) => Some(spawn_log_drain(target, Arc::clone(&log_stop))?),
+            None => None,
+        };
         let accept = {
             let shared = Arc::clone(&shared);
             let pool = Arc::clone(&pool);
@@ -156,6 +182,8 @@ impl Server {
             shared,
             accept: Some(accept),
             pool: Some(pool),
+            log_stop,
+            log_drain,
         })
     }
 
@@ -193,7 +221,46 @@ impl Server {
         if let Some(pool) = self.pool.take() {
             drop(pool);
         }
+        // Only now — with every in-flight request finished — is the
+        // event log quiescent; the drain thread flushes the tail.
+        self.log_stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.log_drain.take() {
+            h.join().expect("log drain loop does not panic");
+        }
     }
+}
+
+/// Spawns the `--log` drain thread: polls the process-global event ring
+/// and appends each record as one JSON line to stderr (`"-"`) or the
+/// given file. A final drain after `stop` flips catches the tail.
+fn spawn_log_drain(
+    target: &str,
+    stop: Arc<AtomicBool>,
+) -> std::io::Result<std::thread::JoinHandle<()>> {
+    let mut out: Box<dyn Write + Send> = if target == "-" {
+        Box::new(std::io::stderr())
+    } else {
+        Box::new(std::fs::File::create(target)?)
+    };
+    std::thread::Builder::new()
+        .name("tmk-log".to_string())
+        .spawn(move || loop {
+            let records = transmark_obs::log::drain();
+            for r in &records {
+                let _ = writeln!(out, "{}", r.to_json_line());
+            }
+            if !records.is_empty() {
+                let _ = out.flush();
+            }
+            if stop.load(Ordering::SeqCst) {
+                for r in transmark_obs::log::drain() {
+                    let _ = writeln!(out, "{}", r.to_json_line());
+                }
+                let _ = out.flush();
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        })
 }
 
 impl Drop for Server {
@@ -229,11 +296,24 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, pool: &Arc<WorkerPo
         }
         let reject_handle = stream.try_clone();
         let job_shared = Arc::clone(shared);
-        let submitted = pool.try_execute(move || handle_connection(stream, &job_shared, conn_id));
+        // Started here, read when a worker picks the job up: the gap is
+        // the pool queue wait, surfaced as a leading lane in wire-traced
+        // profiles so clients see where the latency went.
+        let queued = transmark_obs::Timer::start();
+        let submitted = pool.try_execute(move || {
+            let queue_wait_ns = queued.elapsed_ns();
+            handle_connection(stream, &job_shared, conn_id, queue_wait_ns)
+        });
         match submitted {
             Ok(()) => {}
             Err(PoolError::Saturated) => {
                 transmark_obs::counter!("serve.rejected.admission").inc();
+                transmark_obs::log::publish(
+                    RecordKind::RejectSaturated,
+                    "",
+                    "connection shed at admission: pool queue full",
+                    0,
+                );
                 if let Ok(mut s) = reject_handle {
                     let _ =
                         write_error(&mut s, ERR_SATURATED, "server is at capacity, retry later");
@@ -270,6 +350,12 @@ fn admit<'a>(shared: &'a Shared, tenant: &str) -> Result<TenantSlot<'a>, ()> {
     let n = tenants.entry(tenant.to_string()).or_insert(0);
     if *n >= shared.tenant_quota {
         transmark_obs::counter!("serve.rejected.quota").inc();
+        transmark_obs::log::publish(
+            RecordKind::RejectQuota,
+            tenant,
+            "in-flight quota reached",
+            0,
+        );
         return Err(());
     }
     *n += 1;
@@ -295,12 +381,12 @@ impl Drop for TenantSlot<'_> {
     }
 }
 
-fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, conn_id: u64) {
-    run_connection(stream, shared);
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, conn_id: u64, queue_wait_ns: u64) {
+    run_connection(stream, shared, queue_wait_ns);
     deregister(shared, conn_id);
 }
 
-fn run_connection(stream: TcpStream, shared: &Arc<Shared>) {
+fn run_connection(stream: TcpStream, shared: &Arc<Shared>, queue_wait_ns: u64) {
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
@@ -319,9 +405,15 @@ fn run_connection(stream: TcpStream, shared: &Arc<Shared>) {
     }
 
     // Frame mode: HELLO first.
-    let tenant = match hello(&mut reader, &mut writer, first4) {
+    let (tenant, version) = match hello(&mut reader, &mut writer, first4) {
         Some(t) => t,
         None => return,
+    };
+    let ctx = QueryCtx {
+        tenant: &tenant,
+        version,
+        queue_wait_ns,
+        slow_ms: shared.slow_ms,
     };
 
     loop {
@@ -336,11 +428,14 @@ fn run_connection(stream: TcpStream, shared: &Arc<Shared>) {
         };
         let t = transmark_obs::Timer::start();
         let keep_going = match frame.op {
-            OP_QUERY => handle_query(&mut writer, shared, &tenant, &frame.payload),
+            OP_QUERY => handle_query(&mut writer, shared, &ctx, &frame.payload),
             OP_STREAM_BEGIN => {
-                handle_stream(&mut reader, &mut writer, shared, &tenant, &frame.payload)
+                handle_stream(&mut reader, &mut writer, shared, &ctx, &frame.payload)
             }
-            OP_METRICS => handle_metrics(&mut writer, shared, &frame.payload),
+            OP_METRICS => {
+                transmark_obs::counter!("serve.requests", tenant = tenant, kind = "metrics").inc();
+                handle_metrics(&mut writer, shared, &frame.payload)
+            }
             OP_SHUTDOWN => {
                 let _ = write_frame(&mut writer, OP_SHUTDOWN_OK, &[]);
                 shared.trigger_stop();
@@ -362,9 +457,15 @@ fn run_connection(stream: TcpStream, shared: &Arc<Shared>) {
     }
 }
 
-/// Validates the HELLO frame; returns the tenant name, or `None` after
-/// writing the appropriate error.
-fn hello(reader: &mut impl Read, writer: &mut impl Write, len_prefix: [u8; 4]) -> Option<String> {
+/// Validates the HELLO frame; returns the tenant name and the
+/// negotiated protocol version (the minimum of both peers'), or `None`
+/// after writing the appropriate error. Version-1 peers are accepted
+/// and simply never see the version-2 trace-context extension.
+fn hello(
+    reader: &mut impl Read,
+    writer: &mut impl Write,
+    len_prefix: [u8; 4],
+) -> Option<(String, u32)> {
     let frame = match read_frame_after_len(reader, len_prefix) {
         Ok(Some(f)) => f,
         _ => return None,
@@ -388,30 +489,57 @@ fn hello(reader: &mut impl Read, writer: &mut impl Write, len_prefix: [u8; 4]) -
             return None;
         }
     };
-    if version != WIRE_VERSION {
-        // Version negotiation: name the version we do speak.
+    if !(WIRE_VERSION_MIN..=WIRE_VERSION).contains(&version) {
+        // Version negotiation: name the versions we do speak.
         let _ = write_error(
             writer,
             ERR_VERSION,
             &format!(
-                "unsupported tmkp version {version}; this server speaks version {WIRE_VERSION}"
+                "unsupported tmkp version {version}; this server speaks versions \
+                 {WIRE_VERSION_MIN} through {WIRE_VERSION}"
             ),
         );
         return None;
     }
+    let negotiated = version.min(WIRE_VERSION);
     let tenant = if tenant.is_empty() {
         "anonymous".to_string()
     } else {
         tenant
     };
-    let ok = PayloadBuilder::new().u32(WIRE_VERSION).build();
+    let ok = PayloadBuilder::new().u32(negotiated).build();
     if write_frame(writer, OP_HELLO_OK, &ok).is_err() {
         return None;
     }
-    Some(tenant)
+    Some((tenant, negotiated))
 }
 
-fn handle_query(writer: &mut impl Write, shared: &Shared, tenant: &str, payload: &[u8]) -> bool {
+/// Per-connection request context threaded into the query handlers:
+/// who is asking, what protocol extensions they negotiated, and the
+/// server-side observability policy in force.
+struct QueryCtx<'a> {
+    tenant: &'a str,
+    /// Negotiated tmkp version; trace context requires ≥ 2.
+    version: u32,
+    /// How long this connection sat in the pool queue before a worker
+    /// picked it up (prepended to wire-traced profiles).
+    queue_wait_ns: u64,
+    slow_ms: Option<u64>,
+}
+
+/// Stable label for a query-kind byte (metric label values, log detail).
+fn kind_name(kind: u8) -> &'static str {
+    match kind {
+        KIND_CONFIDENCE => "confidence",
+        KIND_TOP_K => "top_k",
+        KIND_SERIES => "series",
+        KIND_WINDOW => "window",
+        _ => "unknown",
+    }
+}
+
+fn handle_query(writer: &mut impl Write, shared: &Shared, ctx: &QueryCtx, payload: &[u8]) -> bool {
+    let tenant = ctx.tenant;
     let _slot = match admit(shared, tenant) {
         Ok(s) => s,
         Err(()) => {
@@ -424,7 +552,15 @@ fn handle_query(writer: &mut impl Write, shared: &Shared, tenant: &str, payload:
         }
     };
     transmark_obs::counter!("serve.queries").inc();
-    match execute_query(&shared.engine, payload) {
+    let kind = kind_name(payload.first().copied().unwrap_or(0));
+    transmark_obs::counter!("serve.requests", tenant = tenant, kind = kind).inc();
+    transmark_obs::log::publish(RecordKind::RequestStart, tenant, kind, 0);
+    let t = transmark_obs::Timer::start();
+    let outcome = execute_query(&shared.engine, payload, ctx);
+    let dur_ns = t.elapsed_ns();
+    transmark_obs::histogram!("serve.request_ns", tenant = tenant, kind = kind).record(dur_ns);
+    transmark_obs::log::publish(RecordKind::RequestFinish, tenant, kind, dur_ns);
+    match outcome {
         Ok(result) => write_frame(writer, OP_RESULT, &result).is_ok(),
         Err((code, message)) => write_error(writer, code, &message).is_ok(),
     }
@@ -433,10 +569,15 @@ fn handle_query(writer: &mut impl Write, shared: &Shared, tenant: &str, payload:
 /// Decodes and runs one self-contained query, returning the RESULT
 /// payload. All arithmetic rides the same prepare → bind → execute path
 /// as the in-process facade, so results are bit-identical to it.
-fn execute_query(engine: &Engine, payload: &[u8]) -> Result<Vec<u8>, (u16, String)> {
+fn execute_query(
+    engine: &Engine,
+    payload: &[u8],
+    ctx: &QueryCtx,
+) -> Result<Vec<u8>, (u16, String)> {
     let mut c = Cursor::new(payload);
     let kind = c.u8("kind").map_err(bad_frame)?;
     let flags = c.u8("flags").map_err(bad_frame)?;
+    let trace_id = parse_trace_id(&mut c, flags, ctx.version)?;
     let k = c.u32("k").map_err(bad_frame)?;
     let query_text = c.string("query").map_err(bad_frame)?;
     let output_text = c.string("output").map_err(bad_frame)?;
@@ -447,23 +588,25 @@ fn execute_query(engine: &Engine, payload: &[u8]) -> Result<Vec<u8>, (u16, Strin
         .map_err(|e| (ERR_QUERY, format!("query parse: {e}")))?;
     let m = decode_sequence(seq_format, seq_bytes)?;
 
-    let with_profile = flags & 1 != 0;
+    let with_profile = flags & FLAG_PROFILE != 0;
+    // The bound plan's explain, captured for the slow-query log; the
+    // closure fills it in once binding has chosen a strategy.
+    let explain = std::cell::RefCell::new(String::new());
     let run = || -> Result<(u8, PayloadBuilder), (u16, String)> {
         match kind {
             KIND_CONFIDENCE => {
                 let o = parse_output(&t, &output_text)?;
                 let plan = engine.prepare(&t);
-                let v = plan
-                    .bind(&m)
-                    .and_then(|b| b.confidence(&o))
-                    .map_err(query_err)?;
+                let b = plan.bind(&m).map_err(query_err)?;
+                *explain.borrow_mut() = b.explain().to_string();
+                let v = b.confidence(&o).map_err(query_err)?;
                 Ok((RESULT_CONFIDENCE, PayloadBuilder::new().f64(v)))
             }
             KIND_TOP_K => {
                 let plan = engine.prepare(&t);
-                let answers = Evaluation::with_plan(&plan, &m)
-                    .and_then(|ev| ev.top_k_scored(k as usize))
-                    .map_err(query_err)?;
+                let ev = Evaluation::with_plan(&plan, &m).map_err(query_err)?;
+                *explain.borrow_mut() = ev.explain().to_string();
+                let answers = ev.top_k_scored(k as usize).map_err(query_err)?;
                 let mut b = PayloadBuilder::new().u32(answers.len() as u32);
                 for a in &answers {
                     b = b.u32(a.output.len() as u32);
@@ -487,28 +630,99 @@ fn execute_query(engine: &Engine, payload: &[u8]) -> Result<Vec<u8>, (u16, Strin
         }
     };
 
-    finish_result(engine, with_profile, run)
+    finish_result(engine, ctx, kind, with_profile, trace_id, &explain, run)
 }
 
-/// Runs `run` (optionally under a query-scoped profiler) and assembles
-/// the RESULT payload: result kind, body, length-prefixed profile text.
+/// Consumes the optional version-2 trace id: present exactly when
+/// [`FLAG_TRACE`] is set, which a version-1 peer must not do.
+fn parse_trace_id(c: &mut Cursor, flags: u8, version: u32) -> Result<u64, (u16, String)> {
+    if flags & FLAG_TRACE == 0 {
+        return Ok(0);
+    }
+    if version < 2 {
+        return Err((
+            ERR_BAD_FRAME,
+            "trace context requires negotiated tmkp version >= 2".to_string(),
+        ));
+    }
+    c.u64("trace id").map_err(bad_frame)
+}
+
+/// Runs `run` (under a query-scoped profiler when the request asked for
+/// one, carries a trace id, or the slow-query log is armed) and
+/// assembles the RESULT payload: result kind, body, length-prefixed
+/// profile (text, or [`ExecutionProfile::to_json`] when wire-traced).
 fn finish_result(
     engine: &Engine,
+    ctx: &QueryCtx,
+    kind: u8,
     with_profile: bool,
+    trace_id: u64,
+    explain: &std::cell::RefCell<String>,
     run: impl FnOnce() -> Result<(u8, PayloadBuilder), (u16, String)>,
 ) -> Result<Vec<u8>, (u16, String)> {
-    let (outcome, profile_text) = if with_profile {
-        let (outcome, profile) = engine.profiled(run);
-        (outcome, profile.to_text())
-    } else {
-        (run(), String::new())
-    };
+    let need_profile = with_profile || trace_id != 0 || ctx.slow_ms.is_some();
+    if !need_profile {
+        let (result_kind, body) = run()?;
+        return Ok(PayloadBuilder::new()
+            .u8(result_kind)
+            .raw(&body.build())
+            .string("")
+            .build());
+    }
+    let rec = Arc::new(Recorder::new());
+    if trace_id != 0 {
+        rec.set_trace(trace_id);
+    }
+    let t = transmark_obs::Timer::start();
+    let outcome = engine.profiled_with(&rec, run);
+    let dur_ns = t.elapsed_ns();
+    let mut profile = rec.finish();
+    if trace_id != 0 && ctx.queue_wait_ns > 0 {
+        profile.prepend_wait("pool-queue", "pool.queue_wait", ctx.queue_wait_ns);
+    }
+    maybe_log_slow(ctx, kind, dur_ns, &explain.borrow(), &profile);
     let (result_kind, body) = outcome?;
+    let profile_text = if with_profile {
+        if trace_id != 0 {
+            profile.to_json()
+        } else {
+            profile.to_text()
+        }
+    } else {
+        String::new()
+    };
     Ok(PayloadBuilder::new()
         .u8(result_kind)
         .raw(&body.build())
         .string(&profile_text)
         .build())
+}
+
+/// Publishes a [`RecordKind::SlowQuery`] record when the wall time
+/// meets `--slow-ms`: the detail is the (flattened) bound-plan explain
+/// plus the profiler's per-phase timings, slowest first.
+fn maybe_log_slow(ctx: &QueryCtx, kind: u8, dur_ns: u64, explain: &str, p: &ExecutionProfile) {
+    let Some(slow_ms) = ctx.slow_ms else { return };
+    if dur_ns < slow_ms.saturating_mul(1_000_000) {
+        return;
+    }
+    transmark_obs::counter!("serve.slow_queries").inc();
+    let mut detail = format!("kind={}", kind_name(kind));
+    let flat = explain.trim().replace('\n', "; ");
+    if !flat.is_empty() {
+        detail.push_str(" | ");
+        detail.push_str(&flat);
+    }
+    let mut phases: Vec<_> = p.phases.iter().collect();
+    phases.sort_by_key(|(_, stat)| std::cmp::Reverse(stat.total_ns));
+    if !phases.is_empty() {
+        detail.push_str(" | phases:");
+        for (name, stat) in phases {
+            detail.push_str(&format!(" {name}={}", transmark_obs::fmt_ns(stat.total_ns)));
+        }
+    }
+    transmark_obs::log::publish(RecordKind::SlowQuery, ctx.tenant, &detail, dur_ns);
 }
 
 fn bad_frame(e: WireError) -> (u16, String) {
@@ -729,9 +943,10 @@ fn handle_stream<R: Read, W: Write>(
     reader: &mut R,
     writer: &mut W,
     shared: &Shared,
-    tenant: &str,
+    ctx: &QueryCtx,
     payload: &[u8],
 ) -> bool {
+    let tenant = ctx.tenant;
     let _slot = match admit(shared, tenant) {
         Ok(s) => s,
         Err(()) => {
@@ -750,7 +965,7 @@ fn handle_stream<R: Read, W: Write>(
     transmark_obs::counter!("serve.stream_sessions").inc();
 
     let mut c = Cursor::new(payload);
-    type StreamHeader = (u8, bool, u32, Transducer, String, Option<Vec<u8>>);
+    type StreamHeader = (u8, bool, u64, u32, Transducer, String, Option<Vec<u8>>);
     let parsed = (|| -> Result<StreamHeader, (u16, String)> {
         let kind = c.u8("kind").map_err(bad_frame)?;
         let flags = c.u8("flags").map_err(bad_frame)?;
@@ -759,6 +974,7 @@ fn handle_stream<R: Read, W: Write>(
         } else {
             0
         };
+        let trace_id = parse_trace_id(&mut c, flags, ctx.version)?;
         let query_text = c.string("query").map_err(bad_frame)?;
         let output_text = c.string("output").map_err(bad_frame)?;
         let resume = if flags & FLAG_RESUME != 0 {
@@ -771,13 +987,14 @@ fn handle_stream<R: Read, W: Write>(
         Ok((
             kind,
             flags & FLAG_PROFILE != 0,
+            trace_id,
             window,
             t,
             output_text,
             resume,
         ))
     })();
-    let (kind, with_profile, window, t, output_text, resume) = match parsed {
+    let (kind, with_profile, trace_id, window, t, output_text, resume) = match parsed {
         Ok(p) => p,
         Err((code, message)) => {
             let ok = write_error(writer, code, &message).is_ok();
@@ -785,12 +1002,18 @@ fn handle_stream<R: Read, W: Write>(
         }
     };
 
+    let kind_str = kind_name(kind);
+    transmark_obs::counter!("serve.requests", tenant = tenant, kind = kind_str).inc();
+    transmark_obs::log::publish(RecordKind::RequestStart, tenant, kind_str, 0);
+    let timer = transmark_obs::Timer::start();
     let engine = &shared.engine;
     let mut src = FrameByteStream::new(reader, writer);
     let outcome = run_stream_query(
         engine,
+        ctx,
         kind,
         with_profile,
+        trace_id,
         window,
         &t,
         &output_text,
@@ -798,6 +1021,9 @@ fn handle_stream<R: Read, W: Write>(
         &mut src,
     );
     let aligned = src.drain();
+    let dur_ns = timer.elapsed_ns();
+    transmark_obs::histogram!("serve.request_ns", tenant = tenant, kind = kind_str).record(dur_ns);
+    transmark_obs::log::publish(RecordKind::RequestFinish, tenant, kind_str, dur_ns);
     match outcome {
         Ok(result) => aligned && write_frame(writer, OP_RESULT, &result).is_ok(),
         Err((code, message)) => write_error(writer, code, &message).is_ok() && aligned,
@@ -937,8 +1163,10 @@ impl Sess<'_> {
 #[allow(clippy::too_many_arguments)]
 fn run_stream_query<R: Read, W: Write>(
     engine: &Engine,
+    ctx: &QueryCtx,
     kind: u8,
     with_profile: bool,
+    trace_id: u64,
     window: u32,
     t: &Transducer,
     output_text: &str,
@@ -1022,6 +1250,17 @@ fn run_stream_query<R: Read, W: Write>(
                 let raw = RawLayerReader::from_dims(env.k, env.n, env.position)
                     .map_err(|e| (ERR_BAD_CHECKPOINT, format!("resume checkpoint: {e}")))?;
                 transmark_obs::counter!("serve.stream_resumes").inc();
+                transmark_obs::log::publish(
+                    RecordKind::CheckpointResume,
+                    ctx.tenant,
+                    &format!(
+                        "kind={} resumed at position {} of {} layers",
+                        kind_name(kind),
+                        env.position,
+                        env.n
+                    ),
+                    0,
+                );
                 (sess, raw, env.series, (env.k, env.n))
             }
         };
@@ -1072,22 +1311,44 @@ fn run_stream_query<R: Read, W: Write>(
         }
     };
 
-    if with_profile {
-        let (outcome, profile) = engine.profiled(|| run(src));
-        let (result_kind, body) = outcome?;
-        Ok(PayloadBuilder::new()
-            .u8(result_kind)
-            .raw(&body.build())
-            .string(&profile.to_text())
-            .build())
-    } else {
+    let need_profile = with_profile || trace_id != 0 || ctx.slow_ms.is_some();
+    if !need_profile {
         let (result_kind, body) = run(src)?;
-        Ok(PayloadBuilder::new()
+        return Ok(PayloadBuilder::new()
             .u8(result_kind)
             .raw(&body.build())
             .string("")
-            .build())
+            .build());
     }
+    let rec = Arc::new(Recorder::new());
+    if trace_id != 0 {
+        rec.set_trace(trace_id);
+    }
+    let timer = transmark_obs::Timer::start();
+    let outcome = engine.profiled_with(&rec, || run(src));
+    let dur_ns = timer.elapsed_ns();
+    let mut profile = rec.finish();
+    if trace_id != 0 && ctx.queue_wait_ns > 0 {
+        profile.prepend_wait("pool-queue", "pool.queue_wait", ctx.queue_wait_ns);
+    }
+    // Streamed sessions have no bound plan to explain; the phase
+    // timings still tell the slow-log reader where the time went.
+    maybe_log_slow(ctx, kind, dur_ns, "", &profile);
+    let (result_kind, body) = outcome?;
+    let profile_text = if with_profile {
+        if trace_id != 0 {
+            profile.to_json()
+        } else {
+            profile.to_text()
+        }
+    } else {
+        String::new()
+    };
+    Ok(PayloadBuilder::new()
+        .u8(result_kind)
+        .raw(&body.build())
+        .string(&profile_text)
+        .build())
 }
 
 /// Consumes session frames up to STREAM_END after an error was sent in
@@ -1108,9 +1369,12 @@ fn drain_until_end(reader: &mut impl Read) -> bool {
 }
 
 fn handle_metrics(writer: &mut impl Write, shared: &Shared, payload: &[u8]) -> bool {
-    let json = payload.first().copied().unwrap_or(0) == 1;
     let snap = shared.engine.metrics();
-    let text = if json { snap.to_json() } else { snap.to_text() };
+    let text = match payload.first().copied().unwrap_or(0) {
+        1 => snap.to_json(),
+        2 => snap.to_prometheus(),
+        _ => snap.to_text(),
+    };
     let result = PayloadBuilder::new()
         .u8(RESULT_TEXT)
         .raw(text.as_bytes())
@@ -1120,8 +1384,10 @@ fn handle_metrics(writer: &mut impl Write, shared: &Shared, payload: &[u8]) -> b
 
 // ---- HTTP metrics scrape ---------------------------------------------------
 
-/// Serves one `GET /metrics[.json]` scrape in minimal HTTP/1.0. The
-/// `"GET "` prefix has already been consumed by the sniffer.
+/// Serves one `GET /metrics[.json|.prom]` scrape as a proper HTTP/1.1
+/// response (status line, `Content-Type`, `Content-Length`, one
+/// response per connection). The `"GET "` prefix has already been
+/// consumed by the sniffer.
 fn serve_http(reader: &mut impl Read, writer: &mut impl Write, shared: &Shared) {
     // Read the request head (bounded), extract the path.
     let mut head = Vec::new();
@@ -1146,15 +1412,21 @@ fn serve_http(reader: &mut impl Read, writer: &mut impl Write, shared: &Shared) 
             "application/json",
             shared.engine.metrics().to_json(),
         ),
+        "/metrics.prom" => (
+            "200 OK",
+            // The Prometheus text exposition format, version 0.0.4.
+            "text/plain; version=0.0.4; charset=utf-8",
+            shared.engine.metrics().to_prometheus(),
+        ),
         _ => (
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "not found; try /metrics or /metrics.json\n".to_string(),
+            "not found; try /metrics, /metrics.json, or /metrics.prom\n".to_string(),
         ),
     };
     let _ = write!(
         writer,
-        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );
     let _ = writer.flush();

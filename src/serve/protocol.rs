@@ -24,8 +24,13 @@ use std::io::{Read, Write};
 
 /// Leading bytes of the [`OP_HELLO`] payload.
 pub const WIRE_MAGIC: [u8; 4] = *b"TMKP";
-/// The protocol version this build speaks.
-pub const WIRE_VERSION: u32 = 1;
+/// The newest protocol version this build speaks. Version 2 adds
+/// wire-propagated trace context ([`FLAG_TRACE`]) and structured
+/// profile returns; servers still accept [`WIRE_VERSION_MIN`] peers,
+/// and HELLO_OK carries the negotiated (minimum of the two) version.
+pub const WIRE_VERSION: u32 = 2;
+/// The oldest protocol version this build still serves.
+pub const WIRE_VERSION_MIN: u32 = 1;
 /// Hard ceiling on a single frame's payload (64 MiB); larger
 /// length-prefixes are treated as garbage, not allocation requests.
 pub const MAX_FRAME: usize = 64 << 20;
@@ -54,7 +59,10 @@ pub const OP_STREAM_CHECKPOINT: u8 = 0x08;
 
 // ---- Opcodes: server → client ---------------------------------------------
 
-/// Accepts the HELLO; payload: the server's protocol version.
+/// Accepts the HELLO; payload: the negotiated protocol version — the
+/// minimum of the client's and the server's ([`WIRE_VERSION`]). Both
+/// sides must speak only that version's features for the rest of the
+/// connection.
 pub const OP_HELLO_OK: u8 = 0x81;
 /// A query result (see the `RESULT_*` kinds).
 pub const OP_RESULT: u8 = 0x82;
@@ -80,6 +88,14 @@ pub const FLAG_PROFILE: u8 = 0x1;
 /// it, and DATA frames must start at the blob's recorded layer offset
 /// (past the `.tmsb` prelude).
 pub const FLAG_RESUME: u8 = 0x2;
+/// Version ≥ 2 only: a u64 LE client-generated trace id follows the
+/// flags byte (QUERY) or the window length (STREAM_BEGIN). The server
+/// installs the id into the query's profiler so the capture it ships
+/// back is stitchable to the client's; combined with [`FLAG_PROFILE`],
+/// the RESULT's profile string is the structured JSON form
+/// (`ExecutionProfile::to_json`) instead of rendered text. A client
+/// MUST NOT set this flag when the negotiated version is 1.
+pub const FLAG_TRACE: u8 = 0x4;
 
 // ---- Query kinds -----------------------------------------------------------
 

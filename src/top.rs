@@ -1,0 +1,217 @@
+//! The `tmk top` live service dashboard.
+//!
+//! Polls a running `tmk serve` instance's `GET /metrics.json` endpoint
+//! and renders, from each pair of consecutive snapshots, a per-tenant /
+//! per-plan-kind table: request rate, windowed p50/p95/p99 latency
+//! (from the labelled `serve.request_ns{tenant,kind}` histogram diffs),
+//! plan-cache hit rate, worker-pool queue depth, and stream/slow-query
+//! activity. Everything derives from [`Snapshot::diff`] over the same
+//! JSON snapshot `tmk client metrics --json` scrapes — the dashboard
+//! adds no server-side state.
+//!
+//! Interactive mode (`tmk top ADDR`) repaints in place forever;
+//! `--count N` renders N frames to stdout and exits, which is what the
+//! integration tests and scripts drive.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use transmark_obs::labels::{label_value, split_labels};
+use transmark_obs::{fmt_ns, HistogramSnapshot, Snapshot};
+
+use crate::cli::{run_err, CliError};
+
+/// Polls `addr` every `interval_ms` and renders dashboard frames:
+/// forever to the terminal (repainting in place) when `ticks` is
+/// `None`, or `ticks` frames appended to `out` otherwise.
+pub fn run_dashboard(
+    out: &mut String,
+    addr: &str,
+    interval_ms: u64,
+    ticks: Option<usize>,
+) -> Result<(), CliError> {
+    let interval_ms = interval_ms.max(10);
+    let interval_s = interval_ms as f64 / 1000.0;
+    let mut prev = fetch_snapshot(addr)?;
+    let mut rendered = 0usize;
+    loop {
+        std::thread::sleep(Duration::from_millis(interval_ms));
+        let cur = fetch_snapshot(addr)?;
+        let frame = render_frame(addr, &prev, &cur, interval_s);
+        prev = cur;
+        rendered += 1;
+        match ticks {
+            Some(n) => {
+                out.push_str(&frame);
+                if rendered >= n {
+                    return Ok(());
+                }
+            }
+            None => {
+                // Live mode: clear, home, repaint.
+                print!("\x1b[2J\x1b[H{frame}");
+                let _ = std::io::stdout().flush();
+            }
+        }
+    }
+}
+
+/// One `GET /metrics.json` round trip, parsed back into a [`Snapshot`].
+fn fetch_snapshot(addr: &str) -> Result<Snapshot, CliError> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| run_err(format!("cannot connect to {addr}: {e}")))?;
+    stream
+        .write_all(b"GET /metrics.json HTTP/1.0\r\n\r\n")
+        .map_err(|e| run_err(format!("{addr}: {e}")))?;
+    let mut response = Vec::new();
+    stream
+        .read_to_end(&mut response)
+        .map_err(|e| run_err(format!("{addr}: {e}")))?;
+    let text = String::from_utf8_lossy(&response);
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| run_err(format!("{addr}: malformed HTTP response")))?;
+    if !head.contains("200") {
+        let status = head.lines().next().unwrap_or("");
+        return Err(run_err(format!("{addr}: {status}")));
+    }
+    Snapshot::from_json(body).map_err(|e| run_err(format!("{addr}: bad /metrics.json: {e}")))
+}
+
+/// Renders one dashboard frame from two consecutive snapshots. Pure —
+/// the unit tests drive it with hand-built snapshots.
+pub fn render_frame(addr: &str, prev: &Snapshot, cur: &Snapshot, interval_s: f64) -> String {
+    let d = cur.diff(prev);
+    let mut out = String::new();
+    let _ = writeln!(out, "tmk top — {addr}  (interval {interval_s:.1}s)");
+
+    // Latency histograms keyed back to (tenant, kind) via their labels,
+    // so rows never depend on the rendered label order.
+    let mut lat: BTreeMap<(String, String), &HistogramSnapshot> = BTreeMap::new();
+    for (name, h) in &d.histograms {
+        let (base, labels) = split_labels(name);
+        if base == "serve.request_ns" {
+            lat.insert(row_key(&labels), h);
+        }
+    }
+    let mut rows: Vec<((String, String), u64)> = Vec::new();
+    for (name, &n) in &d.counters {
+        let (base, labels) = split_labels(name);
+        if base == "serve.requests" {
+            rows.push((row_key(&labels), n));
+        }
+    }
+    rows.sort();
+    if rows.is_empty() {
+        out.push_str("(no requests in the last interval)\n");
+    } else {
+        let _ = writeln!(
+            out,
+            "{:<12} {:<12} {:>6} {:>8}  {:>9} {:>9} {:>9}",
+            "tenant", "kind", "req", "q/s", "p50", "p95", "p99"
+        );
+        for ((tenant, kind), n) in &rows {
+            let qps = *n as f64 / interval_s;
+            let (p50, p95, p99) = match lat.get(&(tenant.clone(), kind.clone())) {
+                Some(h) => (
+                    fmt_ns(h.quantile(0.50)),
+                    fmt_ns(h.quantile(0.95)),
+                    fmt_ns(h.quantile(0.99)),
+                ),
+                None => ("-".to_string(), "-".to_string(), "-".to_string()),
+            };
+            let _ = writeln!(
+                out,
+                "{tenant:<12} {kind:<12} {n:>6} {qps:>8.1}  {p50:>9} {p95:>9} {p99:>9}"
+            );
+        }
+    }
+
+    // Service-wide counters for the footer: cache behaviour over the
+    // window, pool pressure, stream and slow-query activity.
+    let (hits, misses) = (
+        d.counter("store.plan_cache.hits"),
+        d.counter("store.plan_cache.misses"),
+    );
+    let cache = if hits + misses > 0 {
+        format!("{:.0}%", 100.0 * hits as f64 / (hits + misses) as f64)
+    } else {
+        "-".to_string()
+    };
+    let _ = writeln!(
+        out,
+        "plan cache hit {cache}  pool queue depth {} (high-water)  streams +{}  slow +{}  connections +{}",
+        cur.gauge("store.pool.queue_depth{pool=serve}"),
+        d.counter("serve.stream_sessions"),
+        d.counter("serve.slow_queries"),
+        d.counter("serve.connections"),
+    );
+    out
+}
+
+fn row_key(labels: &[(&str, &str)]) -> (String, String) {
+    (
+        label_value(labels, "tenant").unwrap_or("-").to_string(),
+        label_value(labels, "kind").unwrap_or("-").to_string(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(count: u64, sum: u64, max: u64, buckets: Vec<(u64, u64)>) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count,
+            sum,
+            max,
+            buckets,
+        }
+    }
+
+    #[test]
+    fn frame_renders_per_tenant_rows_from_diffs() {
+        let mut prev = Snapshot::default();
+        prev.counters
+            .insert("serve.requests{tenant=acme,kind=confidence}".into(), 2);
+        let mut cur = Snapshot::default();
+        cur.counters
+            .insert("serve.requests{tenant=acme,kind=confidence}".into(), 12);
+        cur.counters
+            .insert("serve.requests{tenant=beta,kind=top_k}".into(), 4);
+        cur.histograms.insert(
+            "serve.request_ns{tenant=acme,kind=confidence}".into(),
+            hist(10, 20_480, 4_000, vec![(1024, 10)]),
+        );
+        cur.counters.insert("store.plan_cache.hits".into(), 9);
+        cur.counters.insert("store.plan_cache.misses".into(), 1);
+        cur.gauges
+            .insert("store.pool.queue_depth{pool=serve}".into(), 3);
+
+        let frame = render_frame("127.0.0.1:9", &prev, &cur, 2.0);
+        // acme: 10 new requests over 2s = 5.0 q/s, latencies from the
+        // windowed histogram.
+        assert!(frame.contains("acme"), "{frame}");
+        assert!(frame.contains("confidence"), "{frame}");
+        assert!(frame.contains("5.0"), "{frame}");
+        // beta has a counter but no histogram: placeholder latencies.
+        assert!(frame.contains("beta"), "{frame}");
+        assert!(frame.contains('-'), "{frame}");
+        assert!(frame.contains("plan cache hit 90%"), "{frame}");
+        assert!(frame.contains("pool queue depth 3"), "{frame}");
+    }
+
+    #[test]
+    fn quiet_interval_renders_placeholder() {
+        let s = Snapshot::default();
+        let frame = render_frame("127.0.0.1:9", &s, &s, 1.0);
+        assert!(
+            frame.contains("no requests in the last interval"),
+            "{frame}"
+        );
+        assert!(frame.contains("plan cache hit -"), "{frame}");
+    }
+}

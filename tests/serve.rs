@@ -19,10 +19,10 @@ use transmark::markov::generate::{random_markov_sequence, RandomChainSpec};
 use transmark::markov::MarkovSequence;
 use transmark::serve::client::{Client, Sequence, StreamCheckpoint, StreamOptions};
 use transmark::serve::protocol::{
-    read_frame, write_frame, PayloadBuilder, WireError, ERR_BAD_CHECKPOINT, ERR_BAD_FRAME,
-    ERR_QUOTA, ERR_VERSION, OP_CHECKPOINT, OP_ERROR, OP_HELLO, OP_HELLO_OK, OP_RESULT,
-    OP_STREAM_ACK, OP_STREAM_BEGIN, OP_STREAM_CHECKPOINT, OP_STREAM_DATA, OP_STREAM_END,
-    WIRE_MAGIC, WIRE_VERSION,
+    parse_error, read_frame, write_frame, PayloadBuilder, WireError, ERR_BAD_CHECKPOINT,
+    ERR_BAD_FRAME, ERR_QUOTA, ERR_VERSION, FLAG_TRACE, KIND_SERIES, OP_CHECKPOINT, OP_ERROR,
+    OP_HELLO, OP_HELLO_OK, OP_QUERY, OP_RESULT, OP_STREAM_ACK, OP_STREAM_BEGIN,
+    OP_STREAM_CHECKPOINT, OP_STREAM_DATA, OP_STREAM_END, WIRE_MAGIC, WIRE_VERSION,
 };
 use transmark::serve::{ServeConfig, Server};
 use transmark::Engine;
@@ -753,14 +753,35 @@ fn metrics_over_tmkp_and_http() {
         out
     };
     let scrape = http("/metrics");
-    assert!(scrape.starts_with("HTTP/1.0 200 OK"), "{scrape}");
+    assert!(scrape.starts_with("HTTP/1.1 200 OK"), "{scrape}");
+    assert!(scrape.contains("Content-Type: text/plain"), "{scrape}");
+    assert!(scrape.contains("Content-Length: "), "{scrape}");
     if instrumented {
         assert!(scrape.contains("serve.connections"), "{scrape}");
     }
     let scrape = http("/metrics.json");
     assert!(scrape.contains("application/json"), "{scrape}");
+    // The declared Content-Length matches the body exactly.
+    let (head, body) = scrape.split_once("\r\n\r\n").expect("header split");
+    let declared: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .expect("content-length header")
+        .trim()
+        .parse()
+        .expect("numeric content-length");
+    assert_eq!(declared, body.len(), "{scrape}");
+    let scrape = http("/metrics.prom");
+    assert!(scrape.starts_with("HTTP/1.1 200 OK"), "{scrape}");
+    assert!(scrape.contains("version=0.0.4"), "{scrape}");
+    if instrumented {
+        assert!(
+            scrape.contains("# TYPE serve_connections counter"),
+            "{scrape}"
+        );
+    }
     let scrape = http("/nope");
-    assert!(scrape.starts_with("HTTP/1.0 404"), "{scrape}");
+    assert!(scrape.starts_with("HTTP/1.1 404"), "{scrape}");
 }
 
 /// OP_SHUTDOWN acks, then the whole server — accept loop and workers —
@@ -787,4 +808,191 @@ fn graceful_shutdown_via_client() {
 
     // Joins the accept loop and drains the pool; must not hang.
     server.wait();
+}
+
+/// A v1 peer still negotiates: HELLO with version 1 is accepted,
+/// HELLO_OK echoes the negotiated (minimum) version, and the v2-only
+/// trace flag is rejected with a typed error before the rest of the
+/// payload is touched.
+#[test]
+fn v1_peer_negotiates_and_trace_flag_is_rejected() {
+    let mut s = TcpStream::connect(addr()).expect("connect raw");
+    let mut hello = WIRE_MAGIC.to_vec();
+    hello.extend_from_slice(&PayloadBuilder::new().u32(1).string("legacy").build());
+    write_frame(&mut s, OP_HELLO, &hello).expect("send v1 hello");
+    let ok = read_frame(&mut s).expect("hello reply").expect("frame");
+    assert_eq!(ok.op, OP_HELLO_OK);
+    assert_eq!(ok.payload.as_slice(), &1u32.to_le_bytes());
+
+    let query = PayloadBuilder::new()
+        .u8(KIND_SERIES)
+        .u8(FLAG_TRACE)
+        .u64(0xdead_beef)
+        .build();
+    write_frame(&mut s, OP_QUERY, &query).expect("send traced query");
+    let reply = read_frame(&mut s).expect("reply").expect("frame");
+    assert_eq!(reply.op, OP_ERROR);
+    let (code, message) = parse_error(&reply.payload);
+    assert_eq!(code, ERR_BAD_FRAME);
+    assert!(message.contains("version"), "{message}");
+}
+
+/// A traced, profiled query returns the server timeline as JSON
+/// carrying the client's trace id; merged into a local profile it
+/// yields one Chrome trace with the shared id and prefixed server
+/// lanes.
+#[test]
+fn trace_id_round_trips_into_server_profile() {
+    let (t, m) = instance(TransducerClass::General, 11, 3);
+    let query_text = transmark::engine::textio::to_text(&t);
+    let seq_text = transmark::markov::textio::to_text(&m);
+
+    let mut client = Client::connect(&addr(), "traced").expect("connect");
+    assert_eq!(client.negotiated_version(), WIRE_VERSION);
+    client.set_trace(0x00c0_ffee);
+    let resp = client
+        .confidence(&query_text, &Sequence::Text(&seq_text), "", true)
+        .expect("traced confidence");
+    let profile = resp.profile.expect("server profile present");
+    if transmark::obs::enabled() {
+        let remote =
+            transmark::obs::ExecutionProfile::from_json(&profile).expect("traced profile is JSON");
+        assert_eq!(remote.trace_id, 0x00c0_ffee);
+        assert!(!remote.lanes.is_empty(), "server recorded no lanes");
+        let mut local = transmark::obs::ExecutionProfile::default();
+        local.merge_remote(&remote, 1_000, "server/");
+        assert_eq!(local.trace_id, 0x00c0_ffee);
+        let trace = transmark::obs::trace::chrome_trace(&local);
+        assert!(trace.contains("tmk trace 0000000000c0ffee"), "{trace}");
+        assert!(trace.contains("server/"), "{trace}");
+    }
+}
+
+/// An untraced client is unchanged: the profile comes back as the
+/// classic text rendering, not JSON.
+#[test]
+fn untraced_profile_stays_text() {
+    let (t, m) = instance(TransducerClass::General, 12, 3);
+    let mut client = Client::connect(&addr(), "plain").expect("connect");
+    let resp = client
+        .confidence(
+            &transmark::engine::textio::to_text(&t),
+            &Sequence::Text(&transmark::markov::textio::to_text(&m)),
+            "",
+            true,
+        )
+        .expect("profiled confidence");
+    let profile = resp.profile.expect("profile present");
+    assert!(!profile.trim_start().starts_with('{'), "{profile}");
+}
+
+/// `slow_ms: 0` plus a file event-log sink: queries land in the log as
+/// typed JSON-lines records, including a slow_query entry with phase
+/// timings.
+#[test]
+fn slow_query_log_records_to_file() {
+    let path = std::env::temp_dir().join(format!("tmk-events-{}.jsonl", std::process::id()));
+    let server = Server::start(ServeConfig {
+        threads: 1,
+        slow_ms: Some(0),
+        log: Some(path.display().to_string()),
+        ..ServeConfig::default()
+    })
+    .expect("start logging server");
+    let addr = server.local_addr().to_string();
+
+    let (t, m) = instance(TransducerClass::General, 21, 3);
+    let mut client = Client::connect(&addr, "sloth").expect("connect");
+    client
+        .confidence(
+            &transmark::engine::textio::to_text(&t),
+            &Sequence::Text(&transmark::markov::textio::to_text(&m)),
+            "",
+            false,
+        )
+        .expect("query");
+    client.shutdown().expect("shutdown");
+    server.wait();
+
+    let log = std::fs::read_to_string(&path).expect("log file written");
+    let _ = std::fs::remove_file(&path);
+    if transmark::obs::enabled() {
+        assert!(log.contains("\"kind\":\"request_start\""), "{log}");
+        assert!(log.contains("\"kind\":\"slow_query\""), "{log}");
+        assert!(log.contains("\"tenant\":\"sloth\""), "{log}");
+        // The slow record carries the flattened plan explain and the
+        // per-phase timings.
+        assert!(log.contains("kind=confidence | plan:"), "{log}");
+        assert!(log.contains("phases:"), "{log}");
+        assert!(
+            log.lines().all(|l| l.trim_start().starts_with('{')),
+            "{log}"
+        );
+    }
+}
+
+/// The `tmk top` dashboard drives a live server end to end: scrape
+/// `/metrics.json`, diff, render.
+#[test]
+fn top_dashboard_renders_from_live_server() {
+    let (t, m) = instance(TransducerClass::General, 31, 3);
+    let mut client = Client::connect(&addr(), "dash").expect("connect");
+    client
+        .series(
+            &transmark::engine::textio::to_text(&t),
+            &Sequence::Text(&transmark::markov::textio::to_text(&m)),
+            false,
+        )
+        .expect("seed traffic");
+    let args: Vec<String> = ["top", &addr(), "--interval", "40", "--count", "1"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let out = transmark::cli::run(&args).expect("tmk top");
+    assert!(out.contains("tmk top —"), "{out}");
+    assert!(out.contains("plan cache hit"), "{out}");
+    assert!(out.contains("pool queue depth"), "{out}");
+}
+
+/// The acceptance path: `tmk client --profile=FILE` against a live
+/// server writes ONE Chrome trace — the client lane and the server's
+/// lanes (prefixed `server/`) under a single wire-propagated trace id.
+#[test]
+fn client_profile_writes_one_stitched_chrome_trace() {
+    if !transmark::obs::enabled() {
+        return;
+    }
+    let (t, m) = instance(TransducerClass::General, 41, 3);
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let query_path = dir.join(format!("tmk-trace-q-{pid}.tmt"));
+    let seq_path = dir.join(format!("tmk-trace-s-{pid}.tms"));
+    let trace_path = dir.join(format!("tmk-trace-{pid}.json"));
+    std::fs::write(&query_path, transmark::engine::textio::to_text(&t)).expect("write query");
+    std::fs::write(&seq_path, transmark::markov::textio::to_text(&m)).expect("write seq");
+
+    let args: Vec<String> = [
+        "client",
+        &addr(),
+        "top",
+        query_path.to_str().unwrap(),
+        seq_path.to_str().unwrap(),
+        &format!("--profile={}", trace_path.display()),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let out = transmark::cli::run(&args).expect("tmk client --profile");
+    assert!(out.contains("wrote "), "{out}");
+
+    let trace = std::fs::read_to_string(&trace_path).expect("trace written");
+    for p in [&query_path, &seq_path, &trace_path] {
+        let _ = std::fs::remove_file(p);
+    }
+    // One process, named by the shared trace id.
+    assert_eq!(trace.matches("tmk trace ").count(), 1, "{trace}");
+    // The client lane and the server's merged lanes render as threads
+    // of that one process.
+    assert!(trace.contains(r#""name":"main""#), "{trace}");
+    assert!(trace.contains(r#""name":"server/"#), "{trace}");
 }
